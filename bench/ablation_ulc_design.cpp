@@ -1,0 +1,80 @@
+// Ablation B — ULC design knobs.
+//
+// 1. tempLRU size (paper footnote 3): ULC does not cache first-touch blocks
+//    at L1, so very quick re-references would miss without the small client
+//    buffer pool that holds pass-through blocks. We sweep its size (carved
+//    out of the client cache) on an LRU-friendly and on a web-like workload.
+//
+// 2. Level split: the same aggregate cache sliced into 1-4 levels. ULC's
+//    promise is hierarchy-neutral hit rates (the aggregate behaves like one
+//    big cache) with hits skewed to the cheap upper levels; the slices show
+//    how much of T_ave the level-awareness recovers.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "hierarchy/hierarchy.h"
+#include "hierarchy/runner.h"
+#include "util/table.h"
+#include "workloads/paper_presets.h"
+
+using namespace ulc;
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parse_options(argc, argv, 0.1);
+  const CostModel model3 = CostModel::paper_three_level();
+
+  std::printf("Ablation B1: tempLRU size (blocks carved out of the client cache)\n\n");
+  {
+    TablePrinter table({"trace", "temp", "L1 hit", "total hit", "T_ave (ms)"});
+    for (const char* name : {"sprite", "httpd"}) {
+      const Trace t = make_preset(name, opt.scale, opt.seed);
+      const std::size_t cap = std::string(name) == "sprite" ? 1024 : 12800;
+      for (std::size_t temp : {std::size_t{0}, std::size_t{8}, std::size_t{32},
+                               std::size_t{128}}) {
+        auto ulc = make_ulc({cap, cap, cap}, temp);
+        const RunResult r = run_scheme(*ulc, t, model3);
+        table.add_row({name, std::to_string(temp),
+                       fmt_percent(r.stats.hit_ratio(0), 1),
+                       fmt_percent(r.stats.total_hit_ratio(), 1),
+                       fmt_double(r.t_ave_ms, 3)});
+      }
+    }
+    bench::emit(table, opt);
+  }
+
+  std::printf("Ablation B2: one aggregate cache sliced into N levels\n\n");
+  {
+    TablePrinter table({"trace", "levels", "split", "total hit", "L1 hit",
+                        "T_ave (ms)"});
+    struct Split {
+      const char* label;
+      std::vector<std::size_t> caps;
+    };
+    const Split splits[] = {
+        {"38400", {38400}},
+        {"19200+19200", {19200, 19200}},
+        {"12800x3", {12800, 12800, 12800}},
+        {"9600x4", {9600, 9600, 9600, 9600}},
+    };
+    for (const char* name : {"zipf", "tpcc1"}) {
+      const Trace t = make_preset(name, opt.scale, opt.seed);
+      for (const Split& split : splits) {
+        // Cost model: slice the 1.2ms path into equal per-level links so the
+        // total fetch path stays comparable; disk link unchanged.
+        std::vector<double> links(split.caps.size(), 0.0);
+        for (std::size_t i = 0; i + 1 < links.size(); ++i)
+          links[i] = 1.2 / static_cast<double>(links.size() - 1);
+        links.back() = 10.0;
+        const CostModel model{links};
+        auto ulc = make_ulc(split.caps);
+        const RunResult r = run_scheme(*ulc, t, model);
+        table.add_row({name, std::to_string(split.caps.size()), split.label,
+                       fmt_percent(r.stats.total_hit_ratio(), 1),
+                       fmt_percent(r.stats.hit_ratio(0), 1),
+                       fmt_double(r.t_ave_ms, 3)});
+      }
+    }
+    bench::emit(table, opt);
+  }
+  return 0;
+}

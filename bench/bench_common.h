@@ -1,0 +1,63 @@
+// Shared command-line plumbing for the per-figure bench harnesses.
+//
+// Every harness accepts:
+//   --scale=<f>   fraction of the paper's reference counts (default varies)
+//   --full        paper-scale reference counts (scale = 1.0)
+//   --seed=<n>    workload seed (default 1)
+//   --csv         emit CSV instead of aligned text
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "util/table.h"
+
+namespace ulc::bench {
+
+struct Options {
+  double scale = 0.1;
+  std::uint64_t seed = 1;
+  bool csv = false;
+};
+
+inline Options parse_options(int argc, char** argv, double default_scale) {
+  Options opt;
+  opt.scale = default_scale;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--scale=", 8) == 0) {
+      opt.scale = std::atof(arg + 8);
+      if (opt.scale <= 0.0) {
+        std::fprintf(stderr, "invalid --scale\n");
+        std::exit(2);
+      }
+    } else if (std::strcmp(arg, "--full") == 0) {
+      opt.scale = 1.0;
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      opt.seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strcmp(arg, "--csv") == 0) {
+      opt.csv = true;
+    } else if (std::strcmp(arg, "--help") == 0) {
+      std::printf("usage: %s [--scale=<f> | --full] [--seed=<n>] [--csv]\n", argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s (try --help)\n", arg);
+      std::exit(2);
+    }
+  }
+  return opt;
+}
+
+inline void emit(const TablePrinter& table, const Options& opt) {
+  if (opt.csv) {
+    const std::string csv = table.to_csv();
+    std::fwrite(csv.data(), 1, csv.size(), stdout);
+  } else {
+    table.print();
+  }
+  std::printf("\n");
+}
+
+}  // namespace ulc::bench

@@ -1,0 +1,55 @@
+// Extension — the multi-client protocol generalized to two shared levels
+// (clients + server + disk-array cache). Not in the paper (its multi-client
+// evaluation is two-level); this measures what the generalization buys on a
+// db2-like partitioned-loop workload as the array cache grows: indLRU wastes
+// both shared levels, 2-level ULC can only use the server, 3-level ULC
+// spreads the looping scopes across both shared levels.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "hierarchy/hierarchy.h"
+#include "hierarchy/runner.h"
+#include "util/table.h"
+#include "workloads/paper_presets.h"
+
+using namespace ulc;
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parse_options(argc, argv, 0.05);
+  const CostModel model3 = CostModel::paper_three_level();
+  const CostModel model2 = CostModel::paper_two_level();
+
+  const Trace t = make_preset("db2", opt.scale, opt.seed);
+  const std::size_t client_cap = 8192;
+  const std::size_t server_cap = 32768;
+  const std::size_t n = 8;
+  std::fprintf(stderr, "running db2 (%zu refs)...\n", t.size());
+
+  std::printf("Extension: three-level multi-client ULC on db2-like load\n");
+  std::printf("8 clients x 64MB, 256MB shared server, growing array cache\n\n");
+
+  TablePrinter table({"array blocks", "scheme", "L1", "L2", "L3", "miss",
+                      "T_ave (ms)"});
+  for (std::size_t array_cap : {65536, 131072, 262144}) {
+    auto ulc3 = make_ulc_multi_three(client_cap, server_cap, array_cap, n);
+    const RunResult r3 = run_scheme(*ulc3, t, model3);
+    auto ind = make_ind_lru({client_cap, server_cap, array_cap}, n);
+    const RunResult ri = run_scheme(*ind, t, model3);
+    for (const RunResult* r : {&r3, &ri}) {
+      table.add_row({std::to_string(array_cap), r->scheme,
+                     fmt_percent(r->stats.hit_ratio(0), 1),
+                     fmt_percent(r->stats.hit_ratio(1), 1),
+                     fmt_percent(r->stats.hit_ratio(2), 1),
+                     fmt_percent(r->stats.miss_ratio(), 1),
+                     fmt_double(r->t_ave_ms, 3)});
+    }
+  }
+  bench::emit(table, opt);
+
+  // Two-level reference point: the same server without an array behind it.
+  auto ulc2 = make_ulc_multi(client_cap, server_cap, n);
+  const RunResult r2 = run_scheme(*ulc2, t, model2);
+  std::printf("two-level ULC reference (no array): T_ave %.3f ms, total hit %s\n",
+              r2.t_ave_ms, fmt_percent(r2.stats.total_hit_ratio(), 1).c_str());
+  return 0;
+}

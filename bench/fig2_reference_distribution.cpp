@@ -1,0 +1,44 @@
+// Figure 2 — reference-rate distribution over the 10 segments of each
+// measure's ordered list (ND, R, NLD, LLD-R), plus the cumulative reference
+// rate of the first N segments, for the six small-scale traces of §2
+// (cs, glimpse, zipf, random, sprite, multi).
+//
+// Expected shapes (paper §2.2): ND concentrates everything in the head
+// segments (optimal); R collapses on looping traces (cs, glimpse: references
+// land in the tail); NLD is consistently good; LLD-R tracks NLD everywhere
+// except pure-random.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "measures/analyzers.h"
+#include "util/table.h"
+#include "workloads/paper_presets.h"
+
+using namespace ulc;
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parse_options(argc, argv, 1.0);
+  const char* traces[] = {"cs", "glimpse", "zipf-small", "random-small",
+                          "sprite", "multi"};
+
+  std::printf("Figure 2: reference ratio per list segment (and cumulative)\n\n");
+  for (const char* name : traces) {
+    const Trace t = make_preset(name, opt.scale, opt.seed);
+    std::printf("-- trace %s: %zu references --\n", name, t.size());
+    TablePrinter table({"measure", "seg1", "seg2", "seg3", "seg4", "seg5", "seg6",
+                        "seg7", "seg8", "seg9", "seg10", "cum5", "cold"});
+    for (const MeasureReport& rep : analyze_all_measures(t)) {
+      std::vector<std::string> row{measure_name(rep.measure)};
+      for (std::size_t s = 0; s < kSegments; ++s)
+        row.push_back(fmt_percent(rep.segment_ratio[s], 1));
+      row.push_back(fmt_percent(rep.cumulative_ratio[4], 1));
+      row.push_back(fmt_percent(
+          static_cast<double>(rep.cold_references) /
+              static_cast<double>(rep.references),
+          1));
+      table.add_row(std::move(row));
+    }
+    bench::emit(table, opt);
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 3 — block-movement ratio at each of the nine segment boundaries
+// for ND, R, NLD and LLD-R. A movement at a boundary is one block crossing
+// downward per reference; when segments are mapped onto cache levels this is
+// exactly the communication (demotion) overhead a unified caching scheme
+// built on that measure would pay.
+//
+// Expected shapes (paper §2.2): ND and R are volatile (high ratios,
+// especially on looping glimpse); NLD and LLD-R are stable; LLD-R is often
+// the most stable of all.
+//
+// The paper plots glimpse, sprite and zipf and notes the rest are in its
+// technical-report companion; we print all six.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "measures/analyzers.h"
+#include "util/table.h"
+#include "workloads/paper_presets.h"
+
+using namespace ulc;
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parse_options(argc, argv, 1.0);
+  const char* traces[] = {"glimpse", "sprite", "zipf-small",
+                          "cs",      "random-small", "multi"};
+
+  std::printf("Figure 3: block movement ratio per segment boundary\n\n");
+  for (const char* name : traces) {
+    const Trace t = make_preset(name, opt.scale, opt.seed);
+    std::printf("-- trace %s: %zu references --\n", name, t.size());
+    TablePrinter table({"measure", "b1", "b2", "b3", "b4", "b5", "b6", "b7", "b8",
+                        "b9", "total"});
+    for (const MeasureReport& rep : analyze_all_measures(t)) {
+      std::vector<std::string> row{measure_name(rep.measure)};
+      double total = 0.0;
+      for (std::size_t b = 0; b + 1 < kSegments; ++b) {
+        row.push_back(fmt_percent(rep.movement_ratio[b], 1));
+        total += rep.movement_ratio[b];
+      }
+      row.push_back(fmt_double(total, 3));
+      table.add_row(std::move(row));
+    }
+    bench::emit(table, opt);
+  }
+  return 0;
+}

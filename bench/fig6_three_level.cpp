@@ -1,0 +1,74 @@
+// Figure 6 — the three-level single-client evaluation (client / server /
+// disk-array RAM, 1ms / 0.2ms / 10ms links, 8KB blocks).
+//
+// For each of the five traces (random, zipf, httpd, dev1, tpcc1) and each
+// scheme (indLRU, uniLRU, ULC) this prints the paper's three graphs as rows:
+//   1. hit rate at each of the three levels,
+//   2. demotion rate at each of the two boundaries,
+//   3. average access time and its hit/miss/demotion breakdown.
+//
+// Cache sizes follow the paper: 100MB per level (12800 blocks), 50MB for
+// tpcc1 (6400 blocks). Warm-up = first tenth of the trace. The default
+// --scale=0.1 preserves every footprint/cache ratio; --full reproduces the
+// paper's reference counts (65M-98M for random/zipf).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "hierarchy/hierarchy.h"
+#include "hierarchy/runner.h"
+#include "util/table.h"
+#include "workloads/paper_presets.h"
+
+using namespace ulc;
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parse_options(argc, argv, 0.1);
+  const CostModel model = CostModel::paper_three_level();
+  const char* traces[] = {"random", "zipf", "httpd", "dev1", "tpcc1"};
+
+  std::printf("Figure 6: three-level hierarchy, single client\n");
+  std::printf("links: client--1ms--server--0.2ms--array--10ms--disk\n\n");
+
+  TablePrinter hits({"trace", "scheme", "L1 hit", "L2 hit", "L3 hit", "miss"});
+  TablePrinter demotions({"trace", "scheme", "demotion L1->L2", "demotion L2->L3"});
+  TablePrinter times({"trace", "scheme", "T_ave (ms)", "hit part", "miss part",
+                      "demotion part", "demotion share"});
+
+  for (const char* name : traces) {
+    const Trace t = make_preset(name, opt.scale, opt.seed);
+    const std::size_t cap = std::string(name) == "tpcc1" ? 6400 : 12800;
+    const std::vector<std::size_t> caps(3, cap);
+    std::fprintf(stderr, "running %s (%zu refs, %zu blocks/level)...\n", name,
+                 t.size(), cap);
+
+    std::vector<SchemePtr> schemes;
+    schemes.push_back(make_ind_lru(caps));
+    schemes.push_back(make_uni_lru(caps));
+    schemes.push_back(make_ulc(caps));
+
+    for (SchemePtr& scheme : schemes) {
+      const RunResult r = run_scheme(*scheme, t, model);
+      hits.add_row({name, r.scheme, fmt_percent(r.stats.hit_ratio(0), 1),
+                    fmt_percent(r.stats.hit_ratio(1), 1),
+                    fmt_percent(r.stats.hit_ratio(2), 1),
+                    fmt_percent(r.stats.miss_ratio(), 1)});
+      demotions.add_row({name, r.scheme, fmt_percent(r.stats.demotion_ratio(0), 1),
+                         fmt_percent(r.stats.demotion_ratio(1), 1)});
+      const double share =
+          r.t_ave_ms > 0 ? r.time.demotion_component / r.t_ave_ms : 0.0;
+      times.add_row({name, r.scheme, fmt_double(r.t_ave_ms, 3),
+                     fmt_double(r.time.hit_component, 3),
+                     fmt_double(r.time.miss_component, 3),
+                     fmt_double(r.time.demotion_component, 3),
+                     fmt_percent(share, 1)});
+    }
+  }
+
+  std::printf("(a) hit rates per level\n");
+  bench::emit(hits, opt);
+  std::printf("(b) demotion rates per boundary\n");
+  bench::emit(demotions, opt);
+  std::printf("(c) average access time breakdown\n");
+  bench::emit(times, opt);
+  return 0;
+}

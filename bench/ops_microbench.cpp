@@ -1,0 +1,117 @@
+// Section 5 cost claims, measured: "The operation costs associated with the
+// stacks are O(1) time with each reference request" and the ~17-byte
+// metadata budget per block.
+//
+// google-benchmark micro-benchmarks of the per-reference cost of every
+// engine in the repository, across cache sizes — a flat per-reference cost
+// as the footprint grows is the O(1) evidence.
+#include <benchmark/benchmark.h>
+
+#include "hierarchy/hierarchy.h"
+#include "order/order_statistic_list.h"
+#include "order/segmented_list.h"
+#include "replacement/cache_policy.h"
+#include "ulc/ulc_client.h"
+#include "util/prng.h"
+#include "workloads/synthetic.h"
+
+namespace ulc {
+namespace {
+
+Trace bench_trace(std::uint64_t blocks, std::uint64_t refs) {
+  std::vector<PatternPtr> sources;
+  sources.push_back(make_zipf_source(0, blocks, 0.9, true, 3));
+  sources.push_back(make_loop_source(blocks, blocks / 2));
+  auto src = make_mixture_source(std::move(sources), {0.7, 0.3});
+  return generate(*src, refs, 11, "bench");
+}
+
+void BM_UlcAccess(benchmark::State& state) {
+  const auto blocks = static_cast<std::uint64_t>(state.range(0));
+  const Trace t = bench_trace(blocks, 200000);
+  UlcConfig cfg;
+  cfg.capacities = {blocks / 8, blocks / 4, blocks / 2};
+  UlcClient client(cfg);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.access(t[i].block).hit_level);
+    if (++i == t.size()) i = 0;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_UlcAccess)->Arg(1 << 12)->Arg(1 << 15)->Arg(1 << 18);
+
+void BM_UniLruSegmentedAccess(benchmark::State& state) {
+  const auto blocks = static_cast<std::uint64_t>(state.range(0));
+  const Trace t = bench_trace(blocks, 200000);
+  SegmentedList list({blocks / 8, blocks / 4, blocks / 2});
+  SegmentedList::AccessResult r;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    list.access(t[i].block, r);
+    benchmark::DoNotOptimize(r.hit);
+    if (++i == t.size()) i = 0;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_UniLruSegmentedAccess)->Arg(1 << 12)->Arg(1 << 15)->Arg(1 << 18);
+
+void BM_PolicyAccess(benchmark::State& state, const char* kind) {
+  const auto blocks = static_cast<std::uint64_t>(state.range(0));
+  const Trace t = bench_trace(blocks, 200000);
+  PolicyPtr policy;
+  const std::size_t cap = blocks / 2;
+  if (std::string(kind) == "lru") policy = make_lru(cap);
+  if (std::string(kind) == "mq") policy = make_mq(MqConfig{cap});
+  if (std::string(kind) == "lirs") policy = make_lirs(LirsConfig{cap, 0.02});
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy->access(t[i].block, {}));
+    if (++i == t.size()) i = 0;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK_CAPTURE(BM_PolicyAccess, lru, "lru")->Arg(1 << 12)->Arg(1 << 18);
+BENCHMARK_CAPTURE(BM_PolicyAccess, mq, "mq")->Arg(1 << 12)->Arg(1 << 18);
+BENCHMARK_CAPTURE(BM_PolicyAccess, lirs, "lirs")->Arg(1 << 12)->Arg(1 << 18);
+
+void BM_OrderStatisticMove(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  OrderStatisticList list;
+  std::vector<OrderStatisticList::Handle> handles;
+  for (std::size_t i = 0; i < n; ++i)
+    handles.push_back(list.insert_back(static_cast<std::uint64_t>(i)));
+  Rng rng(5);
+  for (auto _ : state) {
+    const std::size_t idx = static_cast<std::size_t>(rng.next_below(n));
+    const std::size_t pos = static_cast<std::size_t>(rng.next_below(n));
+    list.move(handles[idx], pos);
+    benchmark::DoNotOptimize(list.rank(handles[idx]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_OrderStatisticMove)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_MultiClientUlcAccess(benchmark::State& state) {
+  const auto blocks = static_cast<std::uint64_t>(state.range(0));
+  std::vector<PatternPtr> clients;
+  std::vector<double> rates;
+  for (int c = 0; c < 4; ++c) {
+    clients.push_back(make_zipf_source(blocks * c, blocks, 0.9, true, 3 + c));
+    rates.push_back(1.0);
+  }
+  const Trace t = generate_multi(std::move(clients), rates, 200000, 17, "m");
+  auto scheme = make_ulc_multi(blocks / 8, blocks, 4);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    scheme->access(t[i]);
+    if (++i == t.size()) i = 0;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MultiClientUlcAccess)->Arg(1 << 12)->Arg(1 << 16);
+
+}  // namespace
+}  // namespace ulc
+
+BENCHMARK_MAIN();

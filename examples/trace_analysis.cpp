@@ -1,0 +1,64 @@
+// Scenario: analyze your own block trace with the Section-2 locality
+// measures — which fraction of its references each list segment would serve
+// under ND / R / NLD / LLD-R ranking, and how much cross-boundary movement
+// (demotion traffic) each measure would cost.
+//
+//   $ ./build/examples/trace_analysis [trace.txt]
+//
+// The trace file format is one "<client> <block>" pair per line ('#'
+// comments allowed). Without an argument the example synthesizes a mixed
+// workload and analyzes that.
+#include <cstdio>
+
+#include "measures/analyzers.h"
+#include "trace/trace_io.h"
+#include "util/table.h"
+#include "workloads/synthetic.h"
+
+using namespace ulc;
+
+int main(int argc, char** argv) {
+  Trace trace;
+  if (argc > 1) {
+    std::string error;
+    auto loaded = load_trace_text(argv[1], &error);
+    if (!loaded) {
+      std::fprintf(stderr, "failed to load %s: %s\n", argv[1], error.c_str());
+      return 1;
+    }
+    trace = std::move(*loaded);
+  } else {
+    std::vector<PatternPtr> sources;
+    sources.push_back(make_loop_source(0, 400));
+    sources.push_back(make_zipf_source(1000, 800, 0.9, true, 3));
+    sources.push_back(make_temporal_source(3000, 600, 0.1, 4.0));
+    auto src =
+        make_mixture_source(std::move(sources), {0.35, 0.35, 0.30});
+    trace = generate(*src, 60000, 11, "demo-mixed");
+    std::printf("(no trace given; analyzing a synthesized mixed workload)\n\n");
+  }
+
+  const TraceStats stats = compute_stats(trace);
+  std::printf("trace %s: %zu references, %zu distinct blocks, %zu client(s)\n\n",
+              trace.name().c_str(), stats.references, stats.unique_blocks,
+              stats.clients);
+
+  TablePrinter dist({"measure", "cum seg1-2", "cum seg1-5", "tail seg9-10",
+                     "movement/ref"});
+  for (const MeasureReport& rep : analyze_all_measures(trace)) {
+    double movement = 0.0;
+    for (double m : rep.movement_ratio) movement += m;
+    dist.add_row({measure_name(rep.measure), fmt_percent(rep.cumulative_ratio[1], 1),
+                  fmt_percent(rep.cumulative_ratio[4], 1),
+                  fmt_percent(rep.segment_ratio[8] + rep.segment_ratio[9], 1),
+                  fmt_double(movement, 3)});
+  }
+  dist.print();
+
+  std::printf(
+      "\nReading the table: a measure fit for multi-level caching serves most\n"
+      "references from its head segments (high cum values) while moving few\n"
+      "blocks across segment boundaries (low movement). The paper builds ULC\n"
+      "on LLD-R because it is the only *on-line* measure that does both.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+#include "hierarchy/cost_model.h"
+
+#include "util/ensure.h"
+
+namespace ulc {
+
+CostModel CostModel::paper_three_level() { return CostModel{{1.0, 0.2, 10.0}}; }
+
+CostModel CostModel::paper_two_level() { return CostModel{{1.0, 10.0}}; }
+
+double CostModel::hit_time(std::size_t level) const {
+  ULC_REQUIRE(level < link_ms.size(), "hit_time level out of range");
+  double t = 0.0;
+  for (std::size_t i = 0; i < level; ++i) t += link_ms[i];
+  return t;
+}
+
+double CostModel::miss_time() const {
+  double t = 0.0;
+  for (double l : link_ms) t += l;
+  return t;
+}
+
+void HierarchyStats::resize(std::size_t levels) {
+  level_hits.assign(levels, 0);
+  demotions.assign(levels, 0);
+  reloads.assign(levels, 0);
+}
+
+void HierarchyStats::clear() {
+  for (auto& v : level_hits) v = 0;
+  for (auto& v : demotions) v = 0;
+  for (auto& v : reloads) v = 0;
+  misses = 0;
+  references = 0;
+  writebacks = 0;
+  eviction_notices = 0;
+  stale_syncs = 0;
+}
+
+double HierarchyStats::hit_ratio(std::size_t level) const {
+  if (references == 0) return 0.0;
+  return static_cast<double>(level_hits[level]) / static_cast<double>(references);
+}
+
+double HierarchyStats::total_hit_ratio() const {
+  if (references == 0) return 0.0;
+  std::uint64_t h = 0;
+  for (auto v : level_hits) h += v;
+  return static_cast<double>(h) / static_cast<double>(references);
+}
+
+double HierarchyStats::miss_ratio() const {
+  if (references == 0) return 0.0;
+  return static_cast<double>(misses) / static_cast<double>(references);
+}
+
+double HierarchyStats::demotion_ratio(std::size_t boundary) const {
+  if (references == 0) return 0.0;
+  return static_cast<double>(demotions[boundary]) / static_cast<double>(references);
+}
+
+AccessTimeBreakdown compute_access_time(const HierarchyStats& stats,
+                                        const CostModel& model) {
+  ULC_REQUIRE(stats.level_hits.size() >= model.levels(),
+              "stats/model level mismatch");
+  AccessTimeBreakdown out;
+  if (stats.references == 0) return out;
+  const double n = static_cast<double>(stats.references);
+  for (std::size_t i = 0; i < model.levels(); ++i) {
+    out.hit_component +=
+        static_cast<double>(stats.level_hits[i]) / n * model.hit_time(i);
+  }
+  out.miss_component = static_cast<double>(stats.misses) / n * model.miss_time();
+  for (std::size_t i = 0; i + 1 < model.levels(); ++i) {
+    out.demotion_component +=
+        static_cast<double>(stats.demotions[i]) / n * model.demote_cost(i);
+  }
+  const double disk_link = model.link_ms.back();
+  for (std::size_t i = 0; i < stats.reloads.size(); ++i) {
+    out.reload_disk_ms += static_cast<double>(stats.reloads[i]) / n * disk_link;
+  }
+  out.writeback_disk_ms = static_cast<double>(stats.writebacks) / n * disk_link;
+  return out;
+}
+
+}  // namespace ulc

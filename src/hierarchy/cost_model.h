@@ -1,0 +1,78 @@
+// The paper's analytical access-time model (§4.1):
+//
+//   T_ave = sum_i h_i * T_i  +  h_miss * T_m  +  sum_i h_di * T_di
+//
+// Levels are numbered from the client (level 0). link_ms[i] is the cost of
+// moving one block across the link below level i (level i <-> level i+1;
+// the last link is level n-1 <-> disk). Then a hit at level i costs the
+// links above it, a miss costs every link, and a demotion from level i to
+// i+1 costs link_ms[i]. Demotions are charged on the critical path, as the
+// paper argues they must be (§4.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ulc {
+
+struct CostModel {
+  std::vector<double> link_ms;
+
+  // The paper's three-level setting: client --1ms LAN-- server --0.2ms SAN--
+  // disk-array cache --10ms-- disk (8KB blocks).
+  static CostModel paper_three_level();
+  // Two-level client/server setting used for Figure 7.
+  static CostModel paper_two_level();
+
+  std::size_t levels() const { return link_ms.size(); }
+  double hit_time(std::size_t level) const;
+  double miss_time() const;
+  double demote_cost(std::size_t boundary) const { return link_ms[boundary]; }
+};
+
+// Raw event counts accumulated by a hierarchy scheme.
+struct HierarchyStats {
+  std::vector<std::uint64_t> level_hits;
+  std::uint64_t misses = 0;
+  // demotions[i]: block transfers from level i down to level i+1 (uniLRU
+  // demotes, ULC Demote commands). The last entry counts demotes out of the
+  // bottom level only for schemes that model them as transfers; plain
+  // evictions (drops) are not demotions.
+  std::vector<std::uint64_t> demotions;
+  // reloads[i]: blocks re-read from disk into level i+1 instead of being
+  // demoted (eviction-based placement, Chen et al. 2003). Off the critical
+  // path but disk work nonetheless.
+  std::vector<std::uint64_t> reloads;
+  std::uint64_t references = 0;
+  // Dirty blocks written back to disk when they left the hierarchy.
+  std::uint64_t writebacks = 0;
+  // Multi-client protocol accounting.
+  std::uint64_t eviction_notices = 0;  // server -> owner piggybacked notices
+  std::uint64_t stale_syncs = 0;       // shared-block metadata repairs
+
+  void resize(std::size_t levels);
+  void clear();
+
+  double hit_ratio(std::size_t level) const;
+  double total_hit_ratio() const;
+  double miss_ratio() const;
+  double demotion_ratio(std::size_t boundary) const;
+};
+
+// T_ave decomposition for reporting (all in ms per reference).
+struct AccessTimeBreakdown {
+  double hit_component = 0.0;
+  double miss_component = 0.0;
+  double demotion_component = 0.0;
+  // Disk time spent on reloads, reported separately (not in total()).
+  double reload_disk_ms = 0.0;
+  // Disk time spent writing back dirty blocks (off-path, not in total()).
+  double writeback_disk_ms = 0.0;
+  double total() const { return hit_component + miss_component + demotion_component; }
+};
+
+AccessTimeBreakdown compute_access_time(const HierarchyStats& stats,
+                                        const CostModel& model);
+
+}  // namespace ulc

@@ -1,0 +1,91 @@
+// Common interface for the multi-level caching schemes of Section 4:
+// indLRU, uniLRU (+ multi-client insertion variants), LRU+MQ, eviction-based
+// reload, and ULC itself.
+#pragma once
+
+#include <memory>
+
+#include "hierarchy/cost_model.h"
+#include "replacement/cache_policy.h"
+#include "trace/trace.h"
+#include "trace/types.h"
+
+namespace ulc {
+
+class MultiLevelScheme {
+ public:
+  virtual ~MultiLevelScheme() = default;
+
+  // Processes one block reference from `request.client`.
+  virtual void access(const Request& request) = 0;
+
+  virtual const HierarchyStats& stats() const = 0;
+  // Drops accumulated statistics (end of the warm-up period) without
+  // touching cache contents.
+  virtual void reset_stats() = 0;
+
+  virtual const char* name() const = 0;
+};
+
+using SchemePtr = std::unique_ptr<MultiLevelScheme>;
+
+// ---- Factories ----
+
+// Independent LRU at every level. Inclusive: a block fetched from below is
+// cached at every level it passes. caps[0] is per client; lower levels are
+// shared by all clients.
+SchemePtr make_ind_lru(std::vector<std::size_t> caps, std::size_t n_clients = 1);
+
+// Wong & Wilkes unified LRU (DEMOTE), single client, any number of levels:
+// one global LRU stack whose segments are the cache levels; every block
+// sliding across a segment boundary is a demotion.
+SchemePtr make_uni_lru(std::vector<std::size_t> caps);
+
+// Multi-client unified LRU: per-client exclusive LRU caches over a shared
+// server cache; demoted blocks enter the server at an insertion point.
+enum class UniLruInsertion { kMru, kMiddle, kLru };
+const char* uni_lru_insertion_name(UniLruInsertion policy);
+SchemePtr make_uni_lru_multi(std::size_t client_cap, std::size_t server_cap,
+                             std::size_t n_clients, UniLruInsertion insertion);
+
+// LRU at the client(s), MQ at the shared server (Zhou et al.), inclusive.
+SchemePtr make_mq_hierarchy(std::size_t client_cap, std::size_t server_cap,
+                            std::size_t n_clients, std::size_t queue_count = 8,
+                            std::uint64_t life_time = 0);
+
+// Same structure with any server policy (LIRS/ARC/2Q/...): the whole
+// "re-design the second level" family behind one factory.
+SchemePtr make_policy_hierarchy(std::size_t client_cap, PolicyPtr server_policy,
+                                std::size_t n_clients);
+
+// Eviction-based placement (Chen et al. 2003): structurally uniLRU, but a
+// block crossing a boundary is re-read from disk by the lower level instead
+// of being demoted over the network (counted in stats().reloads).
+SchemePtr make_reload_uni_lru(std::vector<std::size_t> caps);
+
+// OPT-layout: the offline upper bound — Belady content with ND-ordered
+// placement across the levels. Must replay exactly `trace` (kept by
+// reference; it must outlive the scheme). stats().demotions counts layout
+// movement across each boundary.
+SchemePtr make_opt_layout(std::vector<std::size_t> caps, const Trace& trace);
+
+// ULC, multiple clients over TWO shared levels (server + disk-array cache):
+// the multi-client protocol generalized in depth. Shared-level overflow
+// migrates the gLRU victim down (a server-directed demotion) instead of
+// dropping it; owners learn via the same piggybacked notices.
+SchemePtr make_ulc_multi_three(std::size_t client_cap, std::size_t server_cap,
+                               std::size_t array_cap, std::size_t n_clients);
+
+// ULC, single client, any number of levels. `temp_capacity` client buffers
+// (carved out of caps[0]) hold pass-through blocks (paper footnote 3).
+SchemePtr make_ulc(std::vector<std::size_t> caps, std::size_t temp_capacity = 0);
+
+// ULC, multiple clients sharing one server (two levels): per-client engines
+// with an elastic second level, gLRU allocation at the server, delayed
+// (piggybacked) eviction notices. `temp_capacity` buffers per client hold
+// pass-through blocks (paper footnote 3); they are carved out of client_cap
+// so the comparison against the other schemes stays fair.
+SchemePtr make_ulc_multi(std::size_t client_cap, std::size_t server_cap,
+                         std::size_t n_clients, std::size_t temp_capacity = 0);
+
+}  // namespace ulc

@@ -1,0 +1,86 @@
+// Independent LRU — the commonly deployed baseline (paper's indLRU).
+//
+// Every level runs its own LRU with no coordination. Caching is inclusive:
+// a block served from level k (or disk) is inserted at every level above k
+// on its way to the client, so the same block commonly occupies buffers on
+// several levels at once — the undiscerning redundancy the paper's
+// introduction criticizes. Evictions are silent drops (no transfers), hence
+// no demotion cost; its weakness is the hit rate.
+#include <unordered_set>
+#include <vector>
+
+#include "hierarchy/hierarchy.h"
+#include "replacement/cache_policy.h"
+#include "util/ensure.h"
+
+namespace ulc {
+
+namespace {
+
+class IndLruScheme final : public MultiLevelScheme {
+ public:
+  IndLruScheme(std::vector<std::size_t> caps, std::size_t n_clients)
+      : levels_(caps.size()) {
+    ULC_REQUIRE(!caps.empty(), "indLRU needs at least one level");
+    ULC_REQUIRE(n_clients >= 1, "indLRU needs at least one client");
+    for (std::size_t c = 0; c < n_clients; ++c)
+      client_caches_.push_back(make_lru(caps[0]));
+    for (std::size_t l = 1; l < caps.size(); ++l)
+      shared_caches_.push_back(make_lru(caps[l]));
+    stats_.resize(levels_);
+  }
+
+  void access(const Request& request) override {
+    ULC_REQUIRE(request.client < client_caches_.size(), "client id out of range");
+    ++stats_.references;
+    CachePolicy& client = *client_caches_[request.client];
+    const BlockId b = request.block;
+
+    if (request.op == Op::kWrite) dirty_.insert(b);
+    if (client.touch(b, {})) {
+      ++stats_.level_hits[0];
+      return;
+    }
+    // Walk down the hierarchy; cache the block at every level it passes.
+    std::size_t hit_level = kNoHit;
+    for (std::size_t l = 1; l < levels_; ++l) {
+      if (shared_caches_[l - 1]->touch(b, {})) {
+        hit_level = l;
+        break;
+      }
+    }
+    if (hit_level == kNoHit) {
+      ++stats_.misses;
+      hit_level = levels_;  // disk
+    } else {
+      ++stats_.level_hits[hit_level];
+    }
+    // Dirty data lives at the client copy: write it back to disk when the
+    // client evicts it (the deeper inclusive copies are stale).
+    const EvictResult ev = client.insert(b, {});
+    if (ev.evicted && dirty_.erase(ev.victim) > 0) ++stats_.writebacks;
+    for (std::size_t l = 1; l < hit_level && l < levels_; ++l)
+      shared_caches_[l - 1]->insert(b, {});
+  }
+
+  const HierarchyStats& stats() const override { return stats_; }
+  void reset_stats() override { stats_.clear(); }
+  const char* name() const override { return "indLRU"; }
+
+ private:
+  static constexpr std::size_t kNoHit = static_cast<std::size_t>(-1);
+
+  std::size_t levels_;
+  std::vector<PolicyPtr> client_caches_;
+  std::vector<PolicyPtr> shared_caches_;  // levels 1..n-1
+  std::unordered_set<BlockId> dirty_;
+  HierarchyStats stats_;
+};
+
+}  // namespace
+
+SchemePtr make_ind_lru(std::vector<std::size_t> caps, std::size_t n_clients) {
+  return std::make_unique<IndLruScheme>(std::move(caps), n_clients);
+}
+
+}  // namespace ulc

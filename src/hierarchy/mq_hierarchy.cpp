@@ -1,0 +1,84 @@
+// LRU at the client(s) + a pluggable policy at the shared server — the
+// "re-design the low level replacement" approach. MQ (Zhou et al. 2001) is
+// the paper's Figure-7 representative; LIRS, ARC and 2Q servers are
+// provided as extensions of the same family.
+//
+// The server policy runs over the stream of client misses (the environment
+// these policies were designed for); caching is inclusive and there are no
+// demotions.
+#include <unordered_set>
+#include <vector>
+
+#include "hierarchy/hierarchy.h"
+#include "replacement/cache_policy.h"
+#include "util/ensure.h"
+
+namespace ulc {
+
+namespace {
+
+class PolicyServerScheme final : public MultiLevelScheme {
+ public:
+  PolicyServerScheme(std::size_t client_cap, PolicyPtr server,
+                     std::size_t n_clients, std::string name)
+      : server_(std::move(server)), name_(std::move(name)) {
+    ULC_REQUIRE(n_clients >= 1, "needs at least one client");
+    for (std::size_t c = 0; c < n_clients; ++c)
+      clients_.push_back(make_lru(client_cap));
+    stats_.resize(2);
+  }
+
+  void access(const Request& request) override {
+    ULC_REQUIRE(request.client < clients_.size(), "client id out of range");
+    ++stats_.references;
+    CachePolicy& client = *clients_[request.client];
+    const BlockId b = request.block;
+
+    if (request.op == Op::kWrite) dirty_.insert(b);
+    if (client.touch(b, {})) {
+      ++stats_.level_hits[0];
+      return;
+    }
+    if (server_->access(b, {})) {
+      ++stats_.level_hits[1];
+    } else {
+      ++stats_.misses;  // server fetched it from disk and cached it (access()
+                        // already inserted it into MQ)
+    }
+    const EvictResult ev = client.insert(b, {});
+    if (ev.evicted && dirty_.erase(ev.victim) > 0) ++stats_.writebacks;
+  }
+
+  const HierarchyStats& stats() const override { return stats_; }
+  void reset_stats() override { stats_.clear(); }
+  const char* name() const override { return name_.c_str(); }
+
+ private:
+  std::vector<PolicyPtr> clients_;
+  PolicyPtr server_;
+  std::unordered_set<BlockId> dirty_;
+  HierarchyStats stats_;
+  std::string name_;
+};
+
+}  // namespace
+
+SchemePtr make_mq_hierarchy(std::size_t client_cap, std::size_t server_cap,
+                            std::size_t n_clients, std::size_t queue_count,
+                            std::uint64_t life_time) {
+  MqConfig cfg;
+  cfg.capacity = server_cap;
+  cfg.queue_count = queue_count;
+  cfg.life_time = life_time;
+  return std::make_unique<PolicyServerScheme>(client_cap, make_mq(cfg), n_clients,
+                                              "LRU+MQ");
+}
+
+SchemePtr make_policy_hierarchy(std::size_t client_cap, PolicyPtr server_policy,
+                                std::size_t n_clients) {
+  const std::string name = std::string("LRU+") + server_policy->name();
+  return std::make_unique<PolicyServerScheme>(client_cap, std::move(server_policy),
+                                              n_clients, name);
+}
+
+}  // namespace ulc

@@ -1,0 +1,142 @@
+// OPT-layout — the offline upper bound for multi-level caching.
+//
+// At every instant, cache the aggregate-capacity blocks whose next
+// references are nearest (Belady), and lay them out by that same ND order:
+// the |L1| nearest at level 1, the next |L2| at level 2, and so on. No
+// on-line scheme can beat its hit rates, and its per-boundary layout
+// movement shows how much block shuffling even clairvoyant placement needs —
+// the yardstick against which ULC's stability is judged (cf. the paper's
+// Figure 3: ND distinguishes perfectly but moves constantly).
+//
+// Requires the trace up front (for next-use preprocessing); access() must
+// replay exactly that trace.
+#include <map>
+#include <unordered_map>
+
+#include "hierarchy/hierarchy.h"
+#include "measures/next_use.h"
+#include "order/order_statistic_list.h"
+#include "util/ensure.h"
+
+namespace ulc {
+
+namespace {
+
+class OptLayoutScheme final : public MultiLevelScheme {
+ public:
+  using Key = std::pair<std::uint64_t, BlockId>;  // (next use, block)
+
+  OptLayoutScheme(std::vector<std::size_t> caps, const Trace& trace)
+      : caps_(std::move(caps)), next_use_(compute_next_use(trace)), trace_(trace) {
+    ULC_REQUIRE(!caps_.empty(), "OPT layout needs at least one level");
+    std::size_t total = 0;
+    for (std::size_t c : caps_) {
+      ULC_REQUIRE(c >= 1, "level capacity must be >= 1");
+      boundaries_.push_back(total + c);
+      total += c;
+    }
+    aggregate_ = total;
+    stats_.resize(caps_.size());
+  }
+
+  void access(const Request& request) override {
+    ULC_REQUIRE(position_ < trace_.size() &&
+                    trace_[position_].block == request.block,
+                "OPT layout must replay its preprocessing trace in order");
+    const std::uint64_t nu = next_use_[position_];
+    ++position_;
+    ++stats_.references;
+
+    auto it = handles_.find(request.block);
+    if (it != handles_.end()) {
+      const std::size_t old_rank = list_.rank(it->second);
+      ++stats_.level_hits[level_of_rank(old_rank)];
+      // Re-key to the new next-use: remove and re-insert at the new rank.
+      const Key key{nu, request.block};
+      const std::size_t new_rank = rank_for(key, it->second);
+      list_.move(it->second, new_rank);
+      order_.erase(keys_.at(request.block));
+      count_crossings(std::min(old_rank, new_rank), std::max(old_rank, new_rank));
+      keys_[request.block] = key;
+      order_[key] = it->second;
+      return;
+    }
+
+    ++stats_.misses;
+    if (nu == kNever) return;  // never referenced again: do not cache it
+    if (list_.size() >= aggregate_) {
+      // Bypass if the incoming block is itself the farthest-out; otherwise
+      // evict the farthest-next-use resident (the list tail).
+      auto last = std::prev(order_.end());
+      if (Key{nu, request.block} >= last->first) return;
+      const BlockId victim = list_.value(last->second);
+      list_.erase(last->second);
+      handles_.erase(victim);
+      keys_.erase(victim);
+      order_.erase(last);
+    }
+    const std::size_t size_before = list_.size();
+    OrderStatisticList::Handle h = list_.insert_back(request.block);
+    const Key key{nu, request.block};
+    const std::size_t rank = rank_for(key, h);
+    list_.move(h, rank);
+    handles_[request.block] = h;
+    keys_[request.block] = key;
+    order_[key] = h;
+    count_crossings(rank, size_before);
+  }
+
+  const HierarchyStats& stats() const override { return stats_; }
+  void reset_stats() override { stats_.clear(); }
+  const char* name() const override { return "OPT-layout"; }
+
+ private:
+  std::size_t level_of_rank(std::size_t rank) const {
+    for (std::size_t l = 0; l < boundaries_.size(); ++l) {
+      if (rank < boundaries_[l]) return l;
+    }
+    return boundaries_.size() - 1;
+  }
+
+  // Rank the block would occupy given its next-use key: number of cached
+  // blocks with an earlier key ((next use, block) pairs are unique).
+  std::size_t rank_for(const Key& key, OrderStatisticList::Handle self) {
+    auto it = order_.lower_bound(key);
+    if (it == order_.end()) return list_.size() - 1;
+    ULC_ENSURE(it->second != self, "duplicate next-use key");
+    const std::size_t r = list_.rank(it->second);
+    // Inserting before `it`: if self currently sits above it, target is r-1
+    // after removal; OrderStatisticList::move() interprets the position
+    // post-removal, so compensate.
+    return list_.rank(self) < r ? r - 1 : r;
+  }
+
+  // One block slides across each level boundary strictly inside (lo, hi].
+  void count_crossings(std::size_t lo, std::size_t hi) {
+    for (std::size_t l = 0; l + 1 < boundaries_.size(); ++l) {
+      if (boundaries_[l] > lo && boundaries_[l] <= hi) ++stats_.demotions[l];
+    }
+  }
+
+  std::vector<std::size_t> caps_;
+  std::vector<std::size_t> boundaries_;
+  std::size_t aggregate_ = 0;
+  std::vector<std::uint64_t> next_use_;
+  const Trace& trace_;
+  std::size_t position_ = 0;
+
+  OrderStatisticList list_;  // cached blocks, ascending next use
+  std::unordered_map<BlockId, OrderStatisticList::Handle> handles_;
+  std::unordered_map<BlockId, Key> keys_;
+  std::map<Key, OrderStatisticList::Handle> order_;
+
+  HierarchyStats stats_;
+};
+
+}  // namespace
+
+SchemePtr make_opt_layout(std::vector<std::size_t> caps, const Trace& trace) {
+  return std::make_unique<OptLayoutScheme>(std::move(caps), trace);
+}
+
+}  // namespace ulc

@@ -1,0 +1,65 @@
+// Eviction-based placement (Chen, Zhou & Li, USENIX 2003), discussed in the
+// paper's Related Work: keep unified-LRU's exclusive layout, but instead of
+// demoting a block over the network, drop it and have the lower level
+// re-read it from disk. Cache contents — and therefore hit rates — are
+// identical to uniLRU (tests assert this); the cost moves from the
+// client/server links to the disk, off the critical path. The ablation
+// bench uses this to probe when uniLRU's demotion traffic, not its layout,
+// is the problem.
+#include <unordered_set>
+
+#include "hierarchy/hierarchy.h"
+#include "order/segmented_list.h"
+
+namespace ulc {
+
+namespace {
+
+class ReloadUniLruScheme final : public MultiLevelScheme {
+ public:
+  explicit ReloadUniLruScheme(std::vector<std::size_t> caps) : list_(caps) {
+    stats_.resize(caps.size());
+  }
+
+  void access(const Request& request) override {
+    ++stats_.references;
+    list_.access(request.block, result_);
+    if (result_.hit) {
+      ++stats_.level_hits[result_.old_segment];
+    } else {
+      ++stats_.misses;
+    }
+    if (request.op == Op::kWrite) dirty_.insert(request.block);
+    // Boundary slides become disk reloads into the lower level rather than
+    // network demotions. Note the catch for dirty blocks: a reload fetches
+    // the *stale* on-disk copy, so dirty blocks must be written back before
+    // their cached copy may be dropped.
+    for (std::size_t b = 0; b < result_.crossed_count; ++b) {
+      ++stats_.reloads[b];
+      if (dirty_.find(result_.crossed[b]) != dirty_.end()) {
+        ++stats_.writebacks;
+        dirty_.erase(result_.crossed[b]);
+      }
+    }
+    if (result_.evicted && dirty_.erase(result_.evicted_key) > 0)
+      ++stats_.writebacks;
+  }
+
+  const HierarchyStats& stats() const override { return stats_; }
+  void reset_stats() override { stats_.clear(); }
+  const char* name() const override { return "reloadLRU"; }
+
+ private:
+  SegmentedList list_;
+  SegmentedList::AccessResult result_;
+  std::unordered_set<BlockId> dirty_;
+  HierarchyStats stats_;
+};
+
+}  // namespace
+
+SchemePtr make_reload_uni_lru(std::vector<std::size_t> caps) {
+  return std::make_unique<ReloadUniLruScheme>(std::move(caps));
+}
+
+}  // namespace ulc

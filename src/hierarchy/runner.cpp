@@ -1,0 +1,26 @@
+#include "hierarchy/runner.h"
+
+#include "util/ensure.h"
+
+namespace ulc {
+
+RunResult run_scheme(MultiLevelScheme& scheme, const Trace& trace,
+                     const CostModel& model, double warmup_fraction) {
+  ULC_REQUIRE(warmup_fraction >= 0.0 && warmup_fraction < 1.0,
+              "warmup fraction must be in [0, 1)");
+  const std::size_t warmup =
+      static_cast<std::size_t>(warmup_fraction * static_cast<double>(trace.size()));
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (i == warmup) scheme.reset_stats();
+    scheme.access(trace[i]);
+  }
+  RunResult result;
+  result.scheme = scheme.name();
+  result.trace = trace.name();
+  result.stats = scheme.stats();
+  result.time = compute_access_time(result.stats, model);
+  result.t_ave_ms = result.time.total();
+  return result;
+}
+
+}  // namespace ulc

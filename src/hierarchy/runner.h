@@ -1,0 +1,27 @@
+// Trace-driven simulation runner: warms the caches on the first fraction of
+// the trace (the paper uses one tenth), measures the rest, and evaluates the
+// cost model.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hierarchy/hierarchy.h"
+#include "trace/trace.h"
+
+namespace ulc {
+
+struct RunResult {
+  std::string scheme;
+  std::string trace;
+  HierarchyStats stats;
+  AccessTimeBreakdown time;
+  double t_ave_ms = 0.0;
+};
+
+// Runs the whole trace through the scheme; statistics are reset after
+// `warmup_fraction` of the references (paper §4.2: first one tenth).
+RunResult run_scheme(MultiLevelScheme& scheme, const Trace& trace,
+                     const CostModel& model, double warmup_fraction = 0.1);
+
+}  // namespace ulc

@@ -1,0 +1,272 @@
+// Drivers wiring the ULC client engine(s) into the simulated hierarchy.
+//
+// Single client (Figure 6): one UlcClient owns every level's placement; the
+// lower levels have no decisions to make, so the driver only has to account
+// hits, misses and Demote transfers.
+//
+// Multi client (Figure 7, §3.2.2): one UlcClient per client, each with an
+// elastic second level, over one shared GlruServer. The driver plays the
+// network: it forwards Retrieve/Demote commands, queues the server's
+// replacement notices per owner, and delivers them before the owner's next
+// request (the paper piggybacks them on the next retrieved block; delivery
+// order is identical in a trace-driven simulation). Shared blocks taken to
+// another client's L1 leave other clients' metadata stale; the driver
+// reconciles that at access time (counted as stale_syncs).
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "hierarchy/hierarchy.h"
+#include "ulc/glru_server.h"
+#include "ulc/ulc_client.h"
+#include "util/ensure.h"
+
+namespace ulc {
+
+namespace {
+
+namespace {
+
+// tempLRU buffers are real client memory (paper footnote 3): carve them out
+// of the client cache so cross-scheme comparisons stay fair.
+std::vector<std::size_t> carve_temp(std::vector<std::size_t> caps,
+                                    std::size_t temp_capacity) {
+  ULC_REQUIRE(temp_capacity < caps[0],
+              "tempLRU must be smaller than the client cache");
+  caps[0] -= temp_capacity;
+  return caps;
+}
+
+}  // namespace
+
+namespace {
+
+UlcConfig single_config(std::vector<std::size_t> caps, std::size_t temp_capacity) {
+  UlcConfig cfg;
+  cfg.capacities = carve_temp(std::move(caps), temp_capacity);
+  cfg.temp_capacity = temp_capacity;
+  return cfg;
+}
+
+}  // namespace
+
+class UlcSingleScheme final : public MultiLevelScheme {
+ public:
+  UlcSingleScheme(std::vector<std::size_t> caps, std::size_t temp_capacity)
+      : client_(single_config(std::move(caps), temp_capacity)) {
+    stats_.resize(client_.levels());
+  }
+
+  void access(const Request& request) override {
+    ++stats_.references;
+    const UlcAccess& a = client_.access(request.block);
+    if (request.op == Op::kWrite) {
+      if (a.placed_level != kLevelOut) {
+        dirty_.insert(request.block);
+      } else {
+        ++stats_.writebacks;  // uncached write goes straight through to disk
+      }
+    }
+    if (a.temp_hit) {
+      // Block served from the client's tempLRU buffers: L1-speed. If the
+      // engine repositioned it at a lower level than where a copy already
+      // sits, the client ships it down — costed like a demotion.
+      ++stats_.level_hits[0];
+      if (a.placed_level != kLevelOut && a.placed_level > 0 &&
+          a.placed_level != a.hit_level) {
+        for (std::size_t k = 0; k < a.placed_level; ++k) ++stats_.demotions[k];
+      }
+    } else if (a.hit_level != kLevelOut) {
+      ++stats_.level_hits[a.hit_level];
+    } else {
+      ++stats_.misses;
+    }
+    for (const DemoteCmd& d : a.demotions) {
+      // A demote to "out" discards the block at its source level — after a
+      // write-back if it is dirty. Otherwise a multi-hop Demote(b, f, t)
+      // crosses every link between f and t.
+      if (d.to == kLevelOut) {
+        if (dirty_.erase(d.block) > 0) ++stats_.writebacks;
+        continue;
+      }
+      for (std::size_t k = d.from; k < d.to; ++k) ++stats_.demotions[k];
+    }
+  }
+
+  const HierarchyStats& stats() const override { return stats_; }
+  void reset_stats() override { stats_.clear(); }
+  const char* name() const override { return "ULC"; }
+
+  const UlcClient& client() const { return client_; }
+
+ private:
+  UlcClient client_;
+  std::unordered_set<BlockId> dirty_;
+  HierarchyStats stats_;
+};
+
+class UlcMultiScheme final : public MultiLevelScheme {
+ public:
+  UlcMultiScheme(std::size_t client_cap, std::size_t server_cap,
+                 std::size_t n_clients, std::size_t temp_capacity)
+      : server_(server_cap) {
+    ULC_REQUIRE(n_clients >= 1, "ULC-multi needs at least one client");
+    UlcConfig cfg;
+    cfg.capacities = carve_temp({client_cap, 0}, temp_capacity);
+    cfg.last_level_elastic = true;
+    cfg.temp_capacity = temp_capacity;
+    for (std::size_t c = 0; c < n_clients; ++c)
+      clients_.push_back(std::make_unique<UlcClient>(cfg));
+    pending_notices_.resize(n_clients);
+    stats_.resize(2);
+  }
+
+  void access(const Request& request) override {
+    ULC_REQUIRE(request.client < clients_.size(), "client id out of range");
+    ++stats_.references;
+    const ClientId c = request.client;
+    UlcClient& client = *clients_[c];
+
+    deliver_notices(c);
+
+    // Reconcile shared-block state: another client may have taken a block
+    // this client still believes is at the server.
+    if (client.level_of(request.block) == 1 && !server_.contains(request.block)) {
+      ++stats_.stale_syncs;
+      client.external_evict(request.block);
+    }
+
+    const UlcAccess& a = client.access(request.block);
+    if (request.op == Op::kWrite) {
+      if (a.placed_level != kLevelOut) {
+        dirty_.insert(request.block);
+      } else {
+        ++stats_.writebacks;  // uncached write goes straight through to disk
+      }
+    }
+
+    if (a.temp_hit) {
+      // Served from the client's tempLRU buffers at L1 speed. Server-side
+      // bookkeeping still follows the engine's direction: a server copy is
+      // kept (and refreshed on the piggybacked traffic) or dropped when the
+      // block moved up to the client cache proper.
+      ++stats_.level_hits[0];
+      if (a.hit_level == 1) {
+        if (a.retrieve.cache_at == 1) {
+          server_.refresh(request.block, c);
+        } else {
+          take_respecting_owner(request.block, c);
+        }
+      } else if (a.retrieve.cache_at == 1) {
+        // Uncached block directed to the server level: if another client
+        // already placed a shared copy, just refresh it; otherwise ship the
+        // local copy down (costed as a demotion transfer).
+        if (server_.contains(request.block)) {
+          server_.refresh(request.block, c);
+        } else {
+          ++stats_.demotions[0];
+          place_at_server(request.block, c);
+        }
+      }
+    } else if (a.hit_level == 0) {
+      ++stats_.level_hits[0];
+    } else if (a.hit_level == 1) {
+      ++stats_.level_hits[1];
+      if (a.retrieve.cache_at == 1) {
+        const bool ok = server_.refresh(request.block, c);
+        ULC_ENSURE(ok, "server lost a block the client was promised");
+      } else {
+        take_respecting_owner(request.block, c);
+      }
+    } else {
+      // The engine believes the block is uncached, but a shared copy may sit
+      // at the server, placed there under another client's direction.
+      if (server_.contains(request.block)) {
+        ++stats_.level_hits[1];
+        if (a.retrieve.cache_at == 1) {
+          server_.refresh(request.block, c);
+        } else if (a.retrieve.cache_at == 0) {
+          take_respecting_owner(request.block, c);
+        }
+        // cache_at == out: a pass-through read; gLRU order is driven by
+        // cache requests only, so the server copy and its recency stay.
+      } else {
+        ++stats_.misses;
+        if (a.retrieve.cache_at == 1) place_at_server(request.block, c);
+      }
+    }
+
+    for (const DemoteCmd& d : a.demotions) {
+      ULC_ENSURE(d.from == 0 && d.to == 1, "multi-client ULC demotes only L1->L2");
+      ++stats_.demotions[0];
+      place_at_server(d.block, c);
+    }
+  }
+
+  const HierarchyStats& stats() const override { return stats_; }
+  void reset_stats() override { stats_.clear(); }
+  const char* name() const override { return "ULC"; }
+
+  const GlruServer& server() const { return server_; }
+  const UlcClient& client(std::size_t c) const { return *clients_[c]; }
+
+ private:
+  // A client moving a block up to its own cache removes the server copy
+  // only if it owns it there. A copy directed to the server by *another*
+  // client stays — the paper's "cached on the highest level among all the
+  // clients' direction" rule for shared blocks — so the remaining clients
+  // keep their server hits while the taker holds a private copy.
+  void take_respecting_owner(BlockId block, ClientId taker) {
+    if (!server_.contains(block)) return;
+    if (server_.owner_of(block) == taker) server_.take(block);
+  }
+
+  void deliver_notices(ClientId c) {
+    for (BlockId b : pending_notices_[c]) {
+      // The block may have been re-placed (and so be live again) since the
+      // notice was generated; deliver only if the eviction still stands.
+      if (clients_[c]->level_of(b) == 1 && !server_.contains(b))
+        clients_[c]->external_evict(b);
+    }
+    pending_notices_[c].clear();
+  }
+
+  void place_at_server(BlockId block, ClientId owner) {
+    const GlruServer::PlaceResult r = server_.place(block, owner);
+    if (server_.full() && !announced_full_) {
+      announced_full_ = true;
+      for (auto& cl : clients_) cl->set_elastic_full(true);
+    }
+    if (!r.evicted) return;
+    if (dirty_.erase(r.victim) > 0) ++stats_.writebacks;
+    ++stats_.eviction_notices;
+    if (r.victim_owner == owner) {
+      // Local knowledge: the requester learns immediately.
+      if (clients_[owner]->level_of(r.victim) == 1)
+        clients_[owner]->external_evict(r.victim);
+    } else {
+      pending_notices_[r.victim_owner].push_back(r.victim);
+    }
+  }
+
+  std::vector<std::unique_ptr<UlcClient>> clients_;
+  std::unordered_set<BlockId> dirty_;
+  GlruServer server_;
+  std::vector<std::vector<BlockId>> pending_notices_;
+  bool announced_full_ = false;
+  HierarchyStats stats_;
+};
+
+}  // namespace
+
+SchemePtr make_ulc(std::vector<std::size_t> caps, std::size_t temp_capacity) {
+  return std::make_unique<UlcSingleScheme>(std::move(caps), temp_capacity);
+}
+
+SchemePtr make_ulc_multi(std::size_t client_cap, std::size_t server_cap,
+                         std::size_t n_clients, std::size_t temp_capacity) {
+  return std::make_unique<UlcMultiScheme>(client_cap, server_cap, n_clients,
+                                          temp_capacity);
+}
+
+}  // namespace ulc

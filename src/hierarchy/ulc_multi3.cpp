@@ -1,0 +1,208 @@
+// Three-level multi-client ULC: per-client caches over a shared server
+// cache over a shared disk-array cache — the paper's §3.2.2 protocol
+// generalized to more than one shared level (its single-client protocol
+// already handles arbitrary depth; this supplies the multi-client side).
+//
+// Each shared level runs its own gLRU with owners. The new wrinkle is what
+// a full shared level does with its gLRU victim: the server *migrates* it
+// down into the array (a server-directed demotion, charged as a transfer on
+// the server/array link) rather than dropping it; the array, at the bottom,
+// drops (with a write-back if dirty). Owners learn of migrations and
+// evictions through the same piggybacked notices as in the two-level
+// protocol, now carrying a moved-down/evicted kind.
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "hierarchy/hierarchy.h"
+#include "ulc/glru_server.h"
+#include "ulc/ulc_client.h"
+#include "util/ensure.h"
+
+namespace ulc {
+
+namespace {
+
+class UlcMulti3Scheme final : public MultiLevelScheme {
+ public:
+  UlcMulti3Scheme(std::size_t client_cap, std::size_t server_cap,
+                  std::size_t array_cap, std::size_t n_clients)
+      : server_(server_cap), array_(array_cap) {
+    ULC_REQUIRE(n_clients >= 1, "needs at least one client");
+    UlcConfig cfg;
+    cfg.capacities = {client_cap, 0, 0};
+    cfg.first_elastic_level = 1;
+    for (std::size_t c = 0; c < n_clients; ++c)
+      clients_.push_back(std::make_unique<UlcClient>(cfg));
+    pending_.resize(n_clients);
+    stats_.resize(3);
+  }
+
+  void access(const Request& request) override {
+    ULC_REQUIRE(request.client < clients_.size(), "client id out of range");
+    ++stats_.references;
+    const ClientId c = request.client;
+    UlcClient& client = *clients_[c];
+
+    // Deliver pending notices, then make sure the engine's view of the
+    // requested block matches reality (shared blocks move underneath us).
+    for (BlockId b : pending_[c]) sync(c, b);
+    pending_[c].clear();
+    if (sync(c, request.block)) ++stats_.stale_syncs;
+
+    client.set_elastic_full(1, server_.full());
+    client.set_elastic_full(2, array_.full());
+
+    const UlcAccess& a = client.access(request.block);
+    if (request.op == Op::kWrite) {
+      if (a.placed_level != kLevelOut) {
+        dirty_.insert(request.block);
+      } else {
+        ++stats_.writebacks;
+      }
+    }
+
+    serve(c, request.block, a);
+
+    for (const DemoteCmd& d : a.demotions) {
+      ULC_ENSURE(d.from == 0 && d.to == 1,
+                 "client cascades stop at the first shared level");
+      ++stats_.demotions[0];
+      place_at_server(d.block, c);
+    }
+  }
+
+  const HierarchyStats& stats() const override { return stats_; }
+  void reset_stats() override { stats_.clear(); }
+  const char* name() const override { return "ULC"; }
+
+  const GlruServer& server() const { return server_; }
+  const GlruServer& array() const { return array_; }
+
+ private:
+  void serve(ClientId c, BlockId b, const UlcAccess& a) {
+    if (a.hit_level == 0) {
+      ++stats_.level_hits[0];
+      return;
+    }
+    if (a.hit_level == 1) {
+      ++stats_.level_hits[1];
+      route_from_server(c, b, a.retrieve.cache_at);
+      return;
+    }
+    if (a.hit_level == 2) {
+      ++stats_.level_hits[2];
+      route_from_array(c, b, a.retrieve.cache_at);
+      return;
+    }
+    // Engine miss: a shared copy may still exist under another client's
+    // direction.
+    if (server_.contains(b)) {
+      ++stats_.level_hits[1];
+      if (a.retrieve.cache_at != kLevelOut) route_from_server(c, b, a.retrieve.cache_at);
+      return;
+    }
+    if (array_.contains(b)) {
+      ++stats_.level_hits[2];
+      if (a.retrieve.cache_at != kLevelOut) route_from_array(c, b, a.retrieve.cache_at);
+      return;
+    }
+    ++stats_.misses;
+    if (a.retrieve.cache_at == 1) place_at_server(b, c);
+    if (a.retrieve.cache_at == 2) place_at_array(b, c);
+  }
+
+  // The block is at the server; move/keep it per the client's direction.
+  void route_from_server(ClientId c, BlockId b, std::size_t cache_at) {
+    if (cache_at >= 1 && cache_at != kLevelOut) {
+      // Stays at the server level (cache_at == 1) or is directed to the
+      // array (cache_at == 2: a block ranked down; ship it).
+      if (cache_at == 1) {
+        server_.refresh(b, c);
+      } else {
+        if (server_.owner_of(b) == c) server_.take(b);
+        ++stats_.demotions[1];
+        place_at_array(b, c);
+      }
+    } else if (cache_at == 0) {
+      if (server_.owner_of(b) == c) server_.take(b);
+    }
+  }
+
+  void route_from_array(ClientId c, BlockId b, std::size_t cache_at) {
+    if (cache_at == 2) {
+      array_.refresh(b, c);
+    } else if (cache_at == 1) {
+      if (array_.owner_of(b) == c) array_.take(b);
+      place_at_server(b, c);
+    } else if (cache_at == 0) {
+      if (array_.owner_of(b) == c) array_.take(b);
+    }
+  }
+
+  void place_at_server(BlockId b, ClientId owner) {
+    const GlruServer::PlaceResult r = server_.place(b, owner);
+    if (!r.evicted) return;
+    // Server-directed migration: the gLRU victim moves down to the array
+    // instead of being dropped; its owner is told via a piggybacked notice.
+    ++stats_.demotions[1];
+    ++stats_.eviction_notices;
+    queue_notice(r.victim_owner, r.victim);
+    place_at_array(r.victim, r.victim_owner);
+  }
+
+  void place_at_array(BlockId b, ClientId owner) {
+    const GlruServer::PlaceResult r = array_.place(b, owner);
+    if (!r.evicted) return;
+    if (dirty_.erase(r.victim) > 0) ++stats_.writebacks;
+    ++stats_.eviction_notices;
+    queue_notice(r.victim_owner, r.victim);
+  }
+
+  void queue_notice(ClientId owner, BlockId block) {
+    // Self-notices apply immediately (local knowledge); others are delivered
+    // before the owner's next request (piggybacked in the real protocol).
+    if (owner < clients_.size()) {
+      pending_[owner].push_back(block);
+    }
+  }
+
+  // Repairs the engine's belief about `block` against the shared caches.
+  // Returns true if anything had to change.
+  bool sync(ClientId c, BlockId b) {
+    UlcClient& client = *clients_[c];
+    const std::size_t el = client.level_of(b);
+    if (el == 1) {
+      if (server_.contains(b)) return false;
+      if (array_.contains(b)) {
+        client.external_demote(b);
+        return true;
+      }
+      client.external_evict(b);
+      return true;
+    }
+    if (el == 2) {
+      if (array_.contains(b)) return false;
+      client.external_evict(b);
+      return true;
+    }
+    return false;
+  }
+
+  std::vector<std::unique_ptr<UlcClient>> clients_;
+  GlruServer server_;
+  GlruServer array_;
+  std::vector<std::vector<BlockId>> pending_;
+  std::unordered_set<BlockId> dirty_;
+  HierarchyStats stats_;
+};
+
+}  // namespace
+
+SchemePtr make_ulc_multi_three(std::size_t client_cap, std::size_t server_cap,
+                               std::size_t array_cap, std::size_t n_clients) {
+  return std::make_unique<UlcMulti3Scheme>(client_cap, server_cap, array_cap,
+                                           n_clients);
+}
+
+}  // namespace ulc

@@ -1,0 +1,208 @@
+// Unified LRU (Wong & Wilkes 2002) — the paper's uniLRU baseline.
+//
+// Single client: one LRU stack over the aggregate cache; the first |L1|
+// positions are the client cache, the next |L2| the server cache, and so
+// on. Every reference moves the block to the stack top, so one block slides
+// down across each boundary above the hit position — each slide is a DEMOTE
+// (a real block transfer). Exclusive by construction and with the hit rate
+// of a single aggregate-size LRU, but demotion traffic is unbounded by
+// design: that is the weakness ULC attacks.
+//
+// Multi client: per-client exclusive LRU caches over one shared server
+// cache. A block read from the server moves to the client (exclusive); the
+// client's LRU-bottom overflow is demoted to the server, entering at a
+// configurable insertion point (Wong & Wilkes' adaptive-insertion variants;
+// the bench reports the best variant per workload, as the paper did).
+#include <unordered_set>
+#include <vector>
+
+#include "hierarchy/hierarchy.h"
+#include "order/order_statistic_list.h"
+#include "order/segmented_list.h"
+#include "replacement/cache_policy.h"
+#include "util/ensure.h"
+
+namespace ulc {
+
+const char* uni_lru_insertion_name(UniLruInsertion policy) {
+  switch (policy) {
+    case UniLruInsertion::kMru:
+      return "mru";
+    case UniLruInsertion::kMiddle:
+      return "mid";
+    case UniLruInsertion::kLru:
+      return "lru";
+  }
+  return "?";
+}
+
+namespace {
+
+class UniLruScheme final : public MultiLevelScheme {
+ public:
+  explicit UniLruScheme(std::vector<std::size_t> caps) : list_(caps) {
+    stats_.resize(caps.size());
+  }
+
+  void access(const Request& request) override {
+    ++stats_.references;
+    list_.access(request.block, result_);
+    if (result_.hit) {
+      ++stats_.level_hits[result_.old_segment];
+    } else {
+      ++stats_.misses;
+    }
+    if (request.op == Op::kWrite) dirty_.insert(request.block);
+    // Each boundary slide is one demotion transfer; the final eviction is a
+    // silent drop — unless the block is dirty, in which case it must be
+    // written back to disk first.
+    for (std::size_t b = 0; b < result_.crossed_count; ++b) ++stats_.demotions[b];
+    if (result_.evicted && dirty_.erase(result_.evicted_key) > 0)
+      ++stats_.writebacks;
+  }
+
+  const HierarchyStats& stats() const override { return stats_; }
+  void reset_stats() override { stats_.clear(); }
+  const char* name() const override { return "uniLRU"; }
+
+ private:
+  SegmentedList list_;
+  SegmentedList::AccessResult result_;
+  std::unordered_set<BlockId> dirty_;
+  HierarchyStats stats_;
+};
+
+// Shared server cache with positional insertion, built on the
+// order-statistic list (O(log n) insert-at-position for the kMiddle
+// variant).
+class ServerLru {
+ public:
+  explicit ServerLru(std::size_t capacity) : capacity_(capacity) {
+    ULC_REQUIRE(capacity >= 1, "server capacity must be >= 1");
+  }
+
+  bool contains(BlockId b) const { return index_.count(b) != 0; }
+
+  // Exclusive read: remove and return presence.
+  bool take(BlockId b) {
+    auto it = index_.find(b);
+    if (it == index_.end()) return false;
+    list_.erase(it->second);
+    index_.erase(it);
+    return true;
+  }
+
+  // Insert a demoted block at the given policy's position; returns the
+  // evicted block if the server overflowed.
+  EvictResult insert(BlockId b, UniLruInsertion policy) {
+    ULC_REQUIRE(index_.find(b) == index_.end(), "server insert of present block");
+    std::size_t pos = 0;
+    switch (policy) {
+      case UniLruInsertion::kMru:
+        pos = 0;
+        break;
+      case UniLruInsertion::kMiddle:
+        pos = list_.size() / 2;
+        break;
+      case UniLruInsertion::kLru:
+        pos = list_.size();
+        break;
+    }
+    index_[b] = list_.insert_at(pos, b);
+    EvictResult ev;
+    if (list_.size() > capacity_) {
+      auto victim = list_.at(list_.size() - 1);
+      ev.evicted = true;
+      ev.victim = list_.value(victim);
+      index_.erase(ev.victim);
+      list_.erase(victim);
+    }
+    return ev;
+  }
+
+  // A server hit for a block that stays (not used by exclusive uniLRU, but
+  // by tests): refresh to MRU.
+  void refresh(BlockId b) {
+    auto it = index_.find(b);
+    ULC_REQUIRE(it != index_.end(), "refresh of absent block");
+    list_.move_to_front(it->second);
+  }
+
+  std::size_t size() const { return list_.size(); }
+
+ private:
+  std::size_t capacity_;
+  OrderStatisticList list_;
+  std::unordered_map<BlockId, OrderStatisticList::Handle> index_;
+};
+
+class UniLruMultiScheme final : public MultiLevelScheme {
+ public:
+  UniLruMultiScheme(std::size_t client_cap, std::size_t server_cap,
+                    std::size_t n_clients, UniLruInsertion insertion)
+      : server_(server_cap), insertion_(insertion) {
+    ULC_REQUIRE(n_clients >= 1, "uniLRU-multi needs at least one client");
+    for (std::size_t c = 0; c < n_clients; ++c)
+      clients_.push_back(make_lru(client_cap));
+    stats_.resize(2);
+    name_ = std::string("uniLRU-") + uni_lru_insertion_name(insertion);
+  }
+
+  void access(const Request& request) override {
+    ULC_REQUIRE(request.client < clients_.size(), "client id out of range");
+    ++stats_.references;
+    CachePolicy& client = *clients_[request.client];
+    const BlockId b = request.block;
+
+    if (request.op == Op::kWrite) dirty_.insert(b);
+    if (client.touch(b, {})) {
+      ++stats_.level_hits[0];
+      return;
+    }
+    if (server_.take(b)) {
+      ++stats_.level_hits[1];  // served from server; exclusive move up
+    } else {
+      ++stats_.misses;  // disk read straight to the client (exclusive)
+    }
+    const EvictResult ev = client.insert(b, {});
+    if (ev.evicted) {
+      // DEMOTE the client's LRU bottom into the shared server cache. Another
+      // client may have demoted its own copy of a shared block already; the
+      // transfer still happens (the client has no server directory), but the
+      // server keeps a single copy.
+      ++stats_.demotions[0];
+      if (server_.contains(ev.victim)) {
+        server_.refresh(ev.victim);
+      } else {
+        const EvictResult sev = server_.insert(ev.victim, insertion_);
+        if (sev.evicted && dirty_.erase(sev.victim) > 0) ++stats_.writebacks;
+      }
+    }
+  }
+
+  const HierarchyStats& stats() const override { return stats_; }
+  void reset_stats() override { stats_.clear(); }
+  const char* name() const override { return name_.c_str(); }
+
+ private:
+  std::vector<PolicyPtr> clients_;
+  ServerLru server_;
+  UniLruInsertion insertion_;
+  std::unordered_set<BlockId> dirty_;
+  HierarchyStats stats_;
+  std::string name_;
+};
+
+}  // namespace
+
+SchemePtr make_uni_lru(std::vector<std::size_t> caps) {
+  return std::make_unique<UniLruScheme>(std::move(caps));
+}
+
+SchemePtr make_uni_lru_multi(std::size_t client_cap, std::size_t server_cap,
+                             std::size_t n_clients, UniLruInsertion insertion) {
+  return std::make_unique<UniLruMultiScheme>(client_cap, server_cap, n_clients,
+                                             insertion);
+}
+
+}  // namespace ulc

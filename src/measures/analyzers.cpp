@@ -1,0 +1,203 @@
+#include "measures/analyzers.h"
+
+#include <unordered_map>
+
+#include "measures/next_use.h"
+#include "util/ensure.h"
+
+namespace ulc {
+
+const char* measure_name(Measure m) {
+  switch (m) {
+    case Measure::kND:
+      return "ND";
+    case Measure::kR:
+      return "R";
+    case Measure::kNLD:
+      return "NLD";
+    case Measure::kLLD_R:
+      return "LLD-R";
+  }
+  return "?";
+}
+
+namespace {
+
+std::size_t count_distinct(const Trace& trace) {
+  std::unordered_map<BlockId, bool> seen;
+  seen.reserve(trace.size() / 4 + 16);
+  for (const Request& r : trace) seen.emplace(r.block, true);
+  return seen.size();
+}
+
+MeasureReport finish_report(const Trace& trace, Measure measure,
+                            const SegmentAccountant& acct, std::size_t distinct) {
+  MeasureReport rep;
+  rep.measure = measure;
+  rep.trace_name = trace.name();
+  rep.references = acct.references();
+  rep.cold_references = acct.cold_references();
+  rep.distinct_blocks = distinct;
+  const double total = static_cast<double>(acct.references());
+  double cum = 0.0;
+  for (std::size_t s = 0; s < kSegments; ++s) {
+    rep.segment_ratio[s] =
+        total > 0 ? static_cast<double>(acct.segment_references(s)) / total : 0.0;
+    cum += rep.segment_ratio[s];
+    rep.cumulative_ratio[s] = cum;
+  }
+  for (std::size_t b = 0; b + 1 < kSegments; ++b) {
+    rep.movement_ratio[b] =
+        total > 0 ? static_cast<double>(acct.boundary_crossings(b)) / total : 0.0;
+  }
+  return rep;
+}
+
+// ND, R, NLD: one block is repositioned per reference; the ordered list is a
+// SortedMeasureList and a reference with an unchanged key causes no movement.
+MeasureReport analyze_keyed(const Trace& trace, Measure measure) {
+  const std::size_t distinct = count_distinct(trace);
+  SegmentAccountant acct(distinct);
+  SortedMeasureList list;
+
+  std::vector<std::uint64_t> next_use;
+  std::vector<std::uint64_t> stack_dist;
+  if (measure == Measure::kND) {
+    next_use = compute_next_use(trace);
+  } else if (measure == Measure::kNLD) {
+    next_use = compute_next_use(trace);
+    stack_dist = compute_stack_distances(trace);
+  }
+
+  // Ordering keys must ascend with weakening locality; cap "never again" /
+  // "unknown" at a sentinel beyond any real key.
+  const std::uint64_t never_key = kNever - 1;
+
+  std::unordered_map<BlockId, std::uint64_t> current_key;
+  current_key.reserve(distinct * 2);
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const BlockId b = trace[i].block;
+    std::uint64_t key = 0;
+    switch (measure) {
+      case Measure::kR:
+        // Most recent = strongest; invert time so keys ascend with recency.
+        key = never_key - static_cast<std::uint64_t>(i);
+        break;
+      case Measure::kND:
+        key = next_use[i] == kNever ? never_key : next_use[i];
+        break;
+      case Measure::kNLD:
+        key = next_use[i] == kNever ? never_key : stack_dist[next_use[i]];
+        break;
+      case Measure::kLLD_R:
+        ULC_REQUIRE(false, "LLD-R uses the counting engine");
+    }
+
+    if (list.contains(b)) {
+      const std::size_t r_old = list.rank_of(b);
+      acct.count_reference(r_old);
+      auto it = current_key.find(b);
+      if (it->second != key) {
+        it->second = key;
+        const auto [from, to] = list.update(b, key);
+        acct.count_move(from, to);
+      }
+    } else {
+      acct.count_cold_reference();
+      const std::size_t size_before = list.size();
+      const std::size_t r_new = list.insert(b, key);
+      current_key.emplace(b, key);
+      acct.count_move(size_before, r_new);
+    }
+  }
+  return finish_report(trace, measure, acct, distinct);
+}
+
+// LLD-R: value_x = max(LLD_x, R_x). R (the LRU position) drifts between
+// references of a block, so the whole ordering is re-derived per reference
+// with a counting sort over values in [0, distinct], tie-broken by a static
+// per-block slot so unchanged blocks do not shuffle.
+MeasureReport analyze_lldr(const Trace& trace) {
+  const std::size_t distinct = count_distinct(trace);
+  SegmentAccountant acct(distinct);
+  const std::vector<std::uint64_t> stack_dist = compute_stack_distances(trace);
+
+  const std::uint32_t kNoSeg = 0xffffffffu;
+  struct BlockState {
+    std::uint32_t lld;      // capped at `distinct` (= infinity)
+    std::uint32_t lru_pos;  // current recency
+    std::uint32_t segment;  // segment at the previous recomputation
+  };
+  std::vector<BlockState> blocks;  // indexed by slot
+  std::unordered_map<BlockId, std::uint32_t> slot_of;
+  slot_of.reserve(distinct * 2);
+  std::vector<std::uint32_t> lru;  // slot ids, most recent first
+
+  const std::uint32_t inf = static_cast<std::uint32_t>(distinct);
+  std::vector<std::uint32_t> bucket_start(distinct + 2, 0);
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const BlockId b = trace[i].block;
+    auto it = slot_of.find(b);
+    std::uint32_t slot;
+    if (it != slot_of.end()) {
+      slot = it->second;
+      acct.count_reference_in_segment(blocks[slot].segment);
+      // Move to LRU front.
+      const std::uint32_t p = blocks[slot].lru_pos;
+      for (std::uint32_t q = p; q > 0; --q) {
+        lru[q] = lru[q - 1];
+        blocks[lru[q]].lru_pos = q;
+      }
+      lru[0] = slot;
+      blocks[slot].lru_pos = 0;
+      const std::uint64_t d = stack_dist[i];
+      blocks[slot].lld = d >= inf ? inf : static_cast<std::uint32_t>(d);
+    } else {
+      acct.count_cold_reference();
+      slot = static_cast<std::uint32_t>(blocks.size());
+      blocks.push_back(BlockState{inf, 0, kNoSeg});
+      slot_of.emplace(b, slot);
+      lru.insert(lru.begin(), slot);
+      for (std::uint32_t q = 1; q < lru.size(); ++q) blocks[lru[q]].lru_pos = q;
+    }
+
+    // Re-derive ranks: counting sort by value = max(lld, lru_pos), stable in
+    // slot order (static tiebreak -> no phantom movement among ties).
+    const std::size_t n = blocks.size();
+    std::fill(bucket_start.begin(), bucket_start.begin() + distinct + 2, 0);
+    for (std::size_t s = 0; s < n; ++s) {
+      const std::uint32_t v = std::max(blocks[s].lld, blocks[s].lru_pos);
+      ++bucket_start[v + 1];
+    }
+    for (std::size_t v = 1; v < distinct + 2; ++v)
+      bucket_start[v] += bucket_start[v - 1];
+    for (std::size_t s = 0; s < n; ++s) {
+      const std::uint32_t v = std::max(blocks[s].lld, blocks[s].lru_pos);
+      const std::size_t rank = bucket_start[v]++;
+      const std::uint32_t new_seg = static_cast<std::uint32_t>(acct.segment_of(rank));
+      const std::uint32_t old_seg = blocks[s].segment;
+      if (old_seg != kNoSeg && new_seg > old_seg)
+        acct.count_segment_move(old_seg, new_seg);
+      blocks[s].segment = new_seg;
+    }
+  }
+  return finish_report(trace, Measure::kLLD_R, acct, distinct);
+}
+
+}  // namespace
+
+MeasureReport analyze_measure(const Trace& trace, Measure measure) {
+  ULC_REQUIRE(!trace.empty(), "cannot analyze an empty trace");
+  if (measure == Measure::kLLD_R) return analyze_lldr(trace);
+  return analyze_keyed(trace, measure);
+}
+
+std::array<MeasureReport, 4> analyze_all_measures(const Trace& trace) {
+  return {analyze_measure(trace, Measure::kND), analyze_measure(trace, Measure::kR),
+          analyze_measure(trace, Measure::kNLD),
+          analyze_measure(trace, Measure::kLLD_R)};
+}
+
+}  // namespace ulc

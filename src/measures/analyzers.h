@@ -1,0 +1,58 @@
+// Locality-measure analyzers reproducing the paper's Section 2 study
+// (Figures 2 and 3, Table 1).
+//
+// Each measure keeps all accessed blocks in an ascendingly ordered list
+// (strong locality first); the list's full length (= distinct blocks in the
+// trace) is split into 10 equal segments. Per reference we record the
+// segment the block is found in (Figure 2) and the number of blocks moving
+// down across each of the 9 segment boundaries (Figure 3).
+//
+// Measures:
+//  * ND    — next distance: time until next reference (OPT's criterion;
+//            offline). Ordered by next-reference time.
+//  * R     — recency: position in the LRU stack (LRU's criterion; online).
+//  * NLD   — next locality distance: the recency the block will have at its
+//            next reference (offline). Stable between references.
+//  * LLD-R — max(last locality distance, current recency): the paper's
+//            online approximation of NLD and the basis of ULC.
+//
+// Blocks are repositioned minimally: a reference that does not change a
+// block's ordering key causes no movement (this is what makes NLD/LLD-R
+// stable on looping workloads, exactly the paper's point).
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "measures/measure_list.h"
+#include "trace/trace.h"
+
+namespace ulc {
+
+enum class Measure { kND, kR, kNLD, kLLD_R };
+
+const char* measure_name(Measure m);
+
+struct MeasureReport {
+  Measure measure = Measure::kR;
+  std::string trace_name;
+  std::uint64_t references = 0;
+  std::uint64_t cold_references = 0;  // first touches; belong to no segment
+  std::size_t distinct_blocks = 0;
+
+  // Fraction of all references found in each segment (Figure 2 bars).
+  std::array<double, kSegments> segment_ratio{};
+  // Cumulative reference rate over the first N segments (Figure 2 lines).
+  std::array<double, kSegments> cumulative_ratio{};
+  // Downward block movements per boundary / total references (Figure 3).
+  std::array<double, kSegments - 1> movement_ratio{};
+};
+
+// Runs the full trace through the measure's ordered list. Aborts if the
+// trace has fewer than 10 distinct blocks.
+MeasureReport analyze_measure(const Trace& trace, Measure measure);
+
+// Convenience: all four measures for one trace.
+std::array<MeasureReport, 4> analyze_all_measures(const Trace& trace);
+
+}  // namespace ulc

@@ -1,0 +1,114 @@
+#include "measures/measure_list.h"
+
+#include <algorithm>
+
+#include "util/ensure.h"
+
+namespace ulc {
+
+SegmentAccountant::SegmentAccountant(std::size_t final_length)
+    : final_length_(final_length) {
+  ULC_REQUIRE(final_length >= kSegments, "list too short to split into 10 segments");
+  boundaries_.resize(kSegments - 1);
+  for (std::size_t k = 0; k + 1 < kSegments; ++k)
+    boundaries_[k] = (k + 1) * final_length_ / kSegments;
+}
+
+std::size_t SegmentAccountant::segment_of(std::size_t rank) const {
+  // Number of boundaries at or below `rank`.
+  std::size_t s = 0;
+  while (s + 1 < kSegments && rank >= boundaries_[s]) ++s;
+  return s;
+}
+
+void SegmentAccountant::count_reference(std::size_t rank) {
+  count_reference_in_segment(segment_of(rank));
+}
+
+void SegmentAccountant::count_reference_in_segment(std::size_t seg) {
+  ULC_REQUIRE(seg < kSegments, "segment out of range");
+  ++references_;
+  ++seg_refs_[seg];
+}
+
+void SegmentAccountant::count_move(std::size_t from, std::size_t to) {
+  const std::size_t lo = std::min(from, to);
+  const std::size_t hi = std::max(from, to);
+  for (std::size_t k = 0; k + 1 < kSegments; ++k) {
+    if (boundaries_[k] > lo && boundaries_[k] <= hi) ++crossings_[k];
+  }
+}
+
+void SegmentAccountant::count_segment_move(std::size_t from_seg, std::size_t to_seg) {
+  ULC_REQUIRE(from_seg < kSegments && to_seg < kSegments, "segment out of range");
+  for (std::size_t k = from_seg; k < to_seg; ++k) ++crossings_[k];
+}
+
+std::size_t SortedMeasureList::lower_bound_rank(std::uint64_t key,
+                                                std::uint64_t tie) const {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), std::pair(key, tie),
+      [](const Entry& e, const std::pair<std::uint64_t, std::uint64_t>& k) {
+        return std::pair(e.key, e.tie) < k;
+      });
+  return static_cast<std::size_t>(it - entries_.begin());
+}
+
+std::size_t SortedMeasureList::rank_of(BlockId block) const {
+  auto it = keys_.find(block);
+  ULC_REQUIRE(it != keys_.end(), "rank_of absent block");
+  const std::size_t r = lower_bound_rank(it->second.first, it->second.second);
+  ULC_ENSURE(r < entries_.size() && entries_[r].block == block,
+             "stored key does not locate its block");
+  return r;
+}
+
+std::size_t SortedMeasureList::insert(BlockId block, std::uint64_t key) {
+  ULC_REQUIRE(keys_.find(block) == keys_.end(), "insert of present block");
+  const std::uint64_t tie = ++tie_counter_;
+  const std::size_t rank = lower_bound_rank(key, tie);
+  entries_.insert(entries_.begin() + static_cast<std::ptrdiff_t>(rank),
+                  Entry{block, key, tie});
+  keys_.emplace(block, std::pair(key, tie));
+  return rank;
+}
+
+std::pair<std::size_t, std::size_t> SortedMeasureList::update(BlockId block,
+                                                              std::uint64_t key) {
+  auto it = keys_.find(block);
+  ULC_REQUIRE(it != keys_.end(), "update of absent block");
+  const std::size_t old_rank = lower_bound_rank(it->second.first, it->second.second);
+  ULC_ENSURE(old_rank < entries_.size() && entries_[old_rank].block == block,
+             "stored key does not locate its block");
+  if (it->second.first == key) return {old_rank, old_rank};
+
+  entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(old_rank));
+  const std::uint64_t tie = ++tie_counter_;
+  const std::size_t new_rank = lower_bound_rank(key, tie);
+  entries_.insert(entries_.begin() + static_cast<std::ptrdiff_t>(new_rank),
+                  Entry{block, key, tie});
+  it->second = std::pair(key, tie);
+  return {old_rank, new_rank};
+}
+
+std::uint64_t SortedMeasureList::key_of(BlockId block) const {
+  auto it = keys_.find(block);
+  ULC_REQUIRE(it != keys_.end(), "key_of absent block");
+  return it->second.first;
+}
+
+bool SortedMeasureList::check_consistency() const {
+  if (keys_.size() != entries_.size()) return false;
+  for (std::size_t r = 0; r < entries_.size(); ++r) {
+    auto it = keys_.find(entries_[r].block);
+    if (it == keys_.end() ||
+        it->second != std::pair(entries_[r].key, entries_[r].tie))
+      return false;
+    if (r > 0 && std::pair(entries_[r - 1].key, entries_[r - 1].tie) >=
+                     std::pair(entries_[r].key, entries_[r].tie))
+      return false;
+  }
+  return true;
+}
+
+}  // namespace ulc

@@ -1,0 +1,104 @@
+// Machinery for the Section-2 locality-measure study.
+//
+// For each measure (ND, R, NLD, LLD-R) the paper keeps an ascendingly ordered
+// list of all accessed blocks, divides the *full length* of the list into 10
+// equal segments, and per reference records (a) which segment the referenced
+// block was found in and (b) how many blocks move across each segment
+// boundary. SegmentAccountant implements the fixed-boundary bookkeeping;
+// SortedMeasureList is the incremental ordered-list engine used by the
+// measures where only the referenced block is repositioned per reference
+// (ND, R, NLD). LLD-R, whose ordering drifts as recencies grow past LLDs, is
+// handled by a counting-sort engine in analyzers.cpp.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/types.h"
+
+namespace ulc {
+
+inline constexpr std::size_t kSegments = 10;
+
+// Fixed segmentation of a list whose final length is known up front (the
+// total number of distinct blocks in the trace, as in the paper).
+class SegmentAccountant {
+ public:
+  explicit SegmentAccountant(std::size_t final_length);
+
+  // Segment index (0..9) of a list rank.
+  std::size_t segment_of(std::size_t rank) const;
+
+  // Records that the referenced block was found at `rank`.
+  void count_reference(std::size_t rank);
+  // Records that the referenced block was found in segment `seg` directly.
+  void count_reference_in_segment(std::size_t seg);
+  void count_cold_reference() { ++cold_references_; }
+
+  // Records the downward boundary crossings implied by one element moving
+  // from rank `from` to rank `to` in a list (all displaced elements shift by
+  // one): exactly one block crosses each boundary strictly inside
+  // (min(from,to), max(from,to)].
+  void count_move(std::size_t from, std::size_t to);
+  // Records that one block moved from segment `from_seg` down to `to_seg`.
+  void count_segment_move(std::size_t from_seg, std::size_t to_seg);
+
+  std::uint64_t references() const { return references_ + cold_references_; }
+  std::uint64_t cold_references() const { return cold_references_; }
+  std::uint64_t segment_references(std::size_t s) const { return seg_refs_[s]; }
+  std::uint64_t boundary_crossings(std::size_t b) const { return crossings_[b]; }
+
+  // boundary_rank(b) = first rank belonging to segment b+1.
+  std::size_t boundary_rank(std::size_t b) const { return boundaries_[b]; }
+
+ private:
+  std::size_t final_length_;
+  // boundaries_[k] = rank of the first element of segment k+1, k = 0..8.
+  std::vector<std::size_t> boundaries_;
+  std::vector<std::uint64_t> seg_refs_ = std::vector<std::uint64_t>(kSegments, 0);
+  std::vector<std::uint64_t> crossings_ = std::vector<std::uint64_t>(kSegments - 1, 0);
+  std::uint64_t references_ = 0;
+  std::uint64_t cold_references_ = 0;
+};
+
+// An array-backed list of blocks kept sorted ascending by (key, tie); ties
+// get a fresh monotone counter on every (re)keying, so equal keys order by
+// update time. A block's rank is recovered by binary search on its stored
+// (key, tie) — keys are unique pairs — which keeps repositioning at
+// O(log n + move distance) with no per-shift index maintenance.
+class SortedMeasureList {
+ public:
+  struct Entry {
+    BlockId block;
+    std::uint64_t key;
+    std::uint64_t tie;
+  };
+
+  bool contains(BlockId block) const { return keys_.count(block) != 0; }
+  std::size_t size() const { return entries_.size(); }
+
+  // Current rank of a present block. Aborts if absent.
+  std::size_t rank_of(BlockId block) const;
+
+  // Inserts an absent block with the given key; returns its rank.
+  std::size_t insert(BlockId block, std::uint64_t key);
+  // Re-keys a present block, repositioning it; returns {old, new} rank.
+  // A call with the block's current key is a no-op returning {r, r}.
+  std::pair<std::size_t, std::size_t> update(BlockId block, std::uint64_t key);
+
+  std::uint64_t key_of(BlockId block) const;
+  const Entry& at(std::size_t rank) const { return entries_[rank]; }
+
+  bool check_consistency() const;
+
+ private:
+  std::vector<Entry> entries_;
+  // block -> (key, tie) as currently stored in entries_.
+  std::unordered_map<BlockId, std::pair<std::uint64_t, std::uint64_t>> keys_;
+  std::uint64_t tie_counter_ = 0;
+
+  std::size_t lower_bound_rank(std::uint64_t key, std::uint64_t tie) const;
+};
+
+}  // namespace ulc

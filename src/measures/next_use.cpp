@@ -1,0 +1,80 @@
+#include "measures/next_use.h"
+
+#include <unordered_map>
+
+#include "util/ensure.h"
+
+namespace ulc {
+
+std::vector<std::uint64_t> compute_next_use(const Trace& trace) {
+  const std::size_t n = trace.size();
+  std::vector<std::uint64_t> next(n, kNever);
+  std::unordered_map<BlockId, std::uint64_t> last_seen;
+  last_seen.reserve(n / 4 + 16);
+  for (std::size_t i = n; i-- > 0;) {
+    auto [it, inserted] = last_seen.try_emplace(trace[i].block, i);
+    if (!inserted) {
+      next[i] = it->second;
+      it->second = i;
+    }
+  }
+  return next;
+}
+
+namespace {
+
+// Fenwick tree over reference positions; used to count, for a window of the
+// trace, how many positions are the *most recent* reference of their block.
+class Fenwick {
+ public:
+  explicit Fenwick(std::size_t n) : tree_(n + 1, 0) {}
+
+  void add(std::size_t i, int delta) {
+    for (std::size_t x = i + 1; x < tree_.size(); x += x & (~x + 1))
+      tree_[x] += delta;
+  }
+
+  // Sum of [0, i].
+  std::int64_t prefix(std::size_t i) const {
+    std::int64_t s = 0;
+    for (std::size_t x = i + 1; x > 0; x -= x & (~x + 1)) s += tree_[x];
+    return s;
+  }
+
+  std::int64_t range(std::size_t lo, std::size_t hi) const {  // [lo, hi]
+    if (lo > hi) return 0;
+    return prefix(hi) - (lo == 0 ? 0 : prefix(lo - 1));
+  }
+
+ private:
+  std::vector<std::int64_t> tree_;
+};
+
+}  // namespace
+
+std::vector<std::uint64_t> compute_stack_distances(const Trace& trace) {
+  const std::size_t n = trace.size();
+  std::vector<std::uint64_t> dist(n, kInfiniteDistance);
+  std::unordered_map<BlockId, std::size_t> last_pos;
+  last_pos.reserve(n / 4 + 16);
+  Fenwick marks(n);
+  // Sweep forward keeping exactly one mark per distinct block — at its most
+  // recent position. The number of marks strictly between prev(i) and i is
+  // the number of distinct blocks referenced in that window.
+  for (std::size_t i = 0; i < n; ++i) {
+    const BlockId b = trace[i].block;
+    auto it = last_pos.find(b);
+    if (it != last_pos.end()) {
+      const std::size_t prev = it->second;
+      dist[i] = static_cast<std::uint64_t>(marks.range(prev + 1, i == 0 ? 0 : i - 1));
+      marks.add(prev, -1);
+      it->second = i;
+    } else {
+      last_pos.emplace(b, i);
+    }
+    marks.add(i, +1);
+  }
+  return dist;
+}
+
+}  // namespace ulc

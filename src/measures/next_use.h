@@ -1,0 +1,34 @@
+// Offline preprocessing of a trace for the future-knowledge measures.
+//
+// For every reference position i the paper's Section 2 measures need:
+//  * next_use[i]:       index of the next reference to the same block
+//                       (kNever if none) — the basis of ND and of OPT.
+//  * stack_distance[i]: the LRU stack distance (recency) of reference i,
+//                       i.e. the number of *distinct* blocks referenced since
+//                       the previous reference to this block (kInfinite for a
+//                       block's first reference). stack_distance[next_use[i]]
+//                       is exactly NLD at reference i, and stack_distance[i]
+//                       is exactly LLD at reference i.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace ulc {
+
+constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
+constexpr std::uint64_t kInfiniteDistance = std::numeric_limits<std::uint64_t>::max();
+
+// next_use[i] = smallest j > i with trace[j].block == trace[i].block, or kNever.
+std::vector<std::uint64_t> compute_next_use(const Trace& trace);
+
+// stack_distance[i] = number of distinct blocks referenced in (prev(i), i),
+// where prev(i) is the previous reference to the same block;
+// kInfiniteDistance for first references. Computed in O(n log n) with a
+// Fenwick tree over reference positions (the classic reuse-distance sweep).
+std::vector<std::uint64_t> compute_stack_distances(const Trace& trace);
+
+}  // namespace ulc

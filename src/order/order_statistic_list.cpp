@@ -1,0 +1,201 @@
+#include "order/order_statistic_list.h"
+
+#include "util/ensure.h"
+
+namespace ulc {
+
+struct OrderStatisticList::Node {
+  std::uint64_t value;
+  std::uint64_t priority;
+  std::size_t subtree_size;
+  Node* left;
+  Node* right;
+  Node* parent;
+};
+
+namespace {
+
+inline std::size_t size_of(const OrderStatisticList::Node* n) {
+  return n ? n->subtree_size : 0;
+}
+
+inline void pull(OrderStatisticList::Node* n) {
+  n->subtree_size = 1 + size_of(n->left) + size_of(n->right);
+  if (n->left) n->left->parent = n;
+  if (n->right) n->right->parent = n;
+}
+
+}  // namespace
+
+OrderStatisticList::OrderStatisticList() : rng_(0x9d5c41u) {}
+
+OrderStatisticList::~OrderStatisticList() {
+  free_tree(root_);
+  Node* n = free_list_;
+  while (n) {
+    Node* next = n->right;
+    delete n;
+    n = next;
+  }
+}
+
+OrderStatisticList::Node* OrderStatisticList::alloc(std::uint64_t value) {
+  Node* n;
+  if (free_list_) {
+    n = free_list_;
+    free_list_ = n->right;
+  } else {
+    n = new Node();
+  }
+  n->value = value;
+  n->priority = rng_.next_u64();
+  n->subtree_size = 1;
+  n->left = n->right = n->parent = nullptr;
+  return n;
+}
+
+void OrderStatisticList::free_node(Node* n) {
+  n->right = free_list_;
+  free_list_ = n;
+}
+
+void OrderStatisticList::free_tree(Node* n) {
+  if (!n) return;
+  free_tree(n->left);
+  free_tree(n->right);
+  delete n;
+}
+
+OrderStatisticList::Node* OrderStatisticList::merge(Node* a, Node* b) {
+  if (!a) return b;
+  if (!b) return a;
+  if (a->priority > b->priority) {
+    a->right = merge(a->right, b);
+    pull(a);
+    return a;
+  }
+  b->left = merge(a, b->left);
+  pull(b);
+  return b;
+}
+
+void OrderStatisticList::split(Node* t, std::size_t left_count, Node*& a, Node*& b) {
+  if (!t) {
+    a = b = nullptr;
+    return;
+  }
+  if (size_of(t->left) >= left_count) {
+    split(t->left, left_count, a, t->left);
+    b = t;
+    pull(b);
+    b->parent = nullptr;
+    if (a) a->parent = nullptr;
+  } else {
+    split(t->right, left_count - size_of(t->left) - 1, t->right, b);
+    a = t;
+    pull(a);
+    a->parent = nullptr;
+    if (b) b->parent = nullptr;
+  }
+}
+
+OrderStatisticList::Handle OrderStatisticList::insert_at(std::size_t pos,
+                                                         std::uint64_t value) {
+  ULC_REQUIRE(pos <= size_, "insert position out of range");
+  Node* n = alloc(value);
+  Node *a, *b;
+  split(root_, pos, a, b);
+  root_ = merge(merge(a, n), b);
+  root_->parent = nullptr;
+  ++size_;
+  return n;
+}
+
+void OrderStatisticList::erase(Handle h) {
+  ULC_REQUIRE(h != nullptr, "erase of null handle");
+  const std::size_t pos = rank(h);
+  Node *a, *b, *mid, *c;
+  split(root_, pos, a, b);
+  split(b, 1, mid, c);
+  ULC_ENSURE(mid == h, "rank/handle mismatch in erase");
+  root_ = merge(a, c);
+  if (root_) root_->parent = nullptr;
+  --size_;
+  free_node(h);
+}
+
+std::size_t OrderStatisticList::rank(Handle h) const {
+  ULC_REQUIRE(h != nullptr, "rank of null handle");
+  std::size_t r = size_of(h->left);
+  const Node* n = h;
+  while (n->parent) {
+    if (n->parent->right == n) r += size_of(n->parent->left) + 1;
+    n = n->parent;
+  }
+  ULC_ENSURE(n == root_, "handle does not belong to this list");
+  return r;
+}
+
+void OrderStatisticList::move(Handle h, std::size_t pos) {
+  ULC_REQUIRE(h != nullptr, "move of null handle");
+  ULC_REQUIRE(size_ > 0 && pos <= size_ - 1, "move position out of range");
+  const std::size_t cur = rank(h);
+  Node *a, *b, *mid, *c;
+  split(root_, cur, a, b);
+  split(b, 1, mid, c);
+  ULC_ENSURE(mid == h, "rank/handle mismatch in move");
+  Node* rest = merge(a, c);
+  Node *x, *y;
+  split(rest, pos, x, y);
+  h->left = h->right = h->parent = nullptr;
+  h->subtree_size = 1;
+  root_ = merge(merge(x, h), y);
+  root_->parent = nullptr;
+}
+
+OrderStatisticList::Handle OrderStatisticList::at(std::size_t pos) const {
+  ULC_REQUIRE(pos < size_, "at position out of range");
+  Node* n = root_;
+  std::size_t p = pos;
+  while (true) {
+    const std::size_t ls = size_of(n->left);
+    if (p < ls) {
+      n = n->left;
+    } else if (p == ls) {
+      return n;
+    } else {
+      p -= ls + 1;
+      n = n->right;
+    }
+  }
+}
+
+std::uint64_t OrderStatisticList::value(Handle h) const {
+  ULC_REQUIRE(h != nullptr, "value of null handle");
+  return h->value;
+}
+
+namespace {
+
+bool check_node(const OrderStatisticList::Node* n, std::size_t& count) {
+  if (!n) return true;
+  if (n->subtree_size != 1 + size_of(n->left) + size_of(n->right)) return false;
+  if (n->left && (n->left->parent != n || n->left->priority > n->priority)) return false;
+  if (n->right && (n->right->parent != n || n->right->priority > n->priority)) return false;
+  std::size_t lc = 0, rc = 0;
+  if (!check_node(n->left, lc) || !check_node(n->right, rc)) return false;
+  count = 1 + lc + rc;
+  return count == n->subtree_size;
+}
+
+}  // namespace
+
+bool OrderStatisticList::check_consistency() const {
+  if (!root_) return size_ == 0;
+  if (root_->parent != nullptr) return false;
+  std::size_t count = 0;
+  if (!check_node(root_, count)) return false;
+  return count == size_;
+}
+
+}  // namespace ulc

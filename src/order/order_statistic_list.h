@@ -1,0 +1,72 @@
+// A sequence container with O(log n) positional access, insert, erase, and
+// rank queries — an order-statistic list implemented as an implicit treap
+// with parent pointers.
+//
+// Section 2 of the paper maintains, for each locality measure (ND, R, NLD,
+// LLD-R), an ascendingly ordered list of all accessed blocks and asks two
+// questions per reference: "what is the rank (segment) of this block?" and
+// "where does it move to?". Those are exactly rank() and move().
+#pragma once
+
+#include <cstdint>
+
+#include "util/prng.h"
+
+namespace ulc {
+
+class OrderStatisticList {
+ public:
+  // Opaque stable handle to an element; valid until the element is erased.
+  struct Node;
+  using Handle = Node*;
+
+  OrderStatisticList();
+  ~OrderStatisticList();
+
+  OrderStatisticList(const OrderStatisticList&) = delete;
+  OrderStatisticList& operator=(const OrderStatisticList&) = delete;
+
+  // Inserts `value` so that it occupies position `pos` (0-based; existing
+  // elements at >= pos shift back). pos <= size().
+  Handle insert_at(std::size_t pos, std::uint64_t value);
+  Handle insert_front(std::uint64_t value) { return insert_at(0, value); }
+  Handle insert_back(std::uint64_t value) { return insert_at(size(), value); }
+
+  // Removes the element. The handle becomes invalid.
+  void erase(Handle h);
+
+  // Current 0-based position of the element. O(log n).
+  std::size_t rank(Handle h) const;
+
+  // Moves the element to position `pos` (interpreted after removal, i.e.
+  // pos <= size()-1). Equivalent to erase+insert but keeps the handle valid.
+  void move(Handle h, std::size_t pos);
+  void move_to_front(Handle h) { move(h, 0); }
+  void move_to_back(Handle h) { move(h, size() - 1); }
+
+  // Element at position pos. O(log n).
+  Handle at(std::size_t pos) const;
+
+  std::uint64_t value(Handle h) const;
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Verifies internal structure (sizes, parent pointers, heap property).
+  // Intended for tests; O(n).
+  bool check_consistency() const;
+
+ private:
+  Node* root_ = nullptr;
+  std::size_t size_ = 0;
+  Rng rng_;
+
+  Node* merge(Node* a, Node* b);
+  void split(Node* t, std::size_t left_count, Node*& a, Node*& b);
+  Node* alloc(std::uint64_t value);
+  void free_node(Node* n);
+  void free_tree(Node* n);
+
+  Node* free_list_ = nullptr;
+};
+
+}  // namespace ulc

@@ -1,0 +1,190 @@
+#include "order/segmented_list.h"
+
+#include "util/ensure.h"
+
+namespace ulc {
+
+SegmentedList::SegmentedList(std::vector<std::size_t> segment_capacities)
+    : caps_(std::move(segment_capacities)),
+      counts_(caps_.size(), 0),
+      last_(caps_.size(), nullptr) {
+  ULC_REQUIRE(!caps_.empty(), "SegmentedList needs at least one segment");
+  for (std::size_t c : caps_) ULC_REQUIRE(c >= 1, "segment capacity must be >= 1");
+}
+
+SegmentedList::~SegmentedList() {
+  Node* n = head_;
+  while (n) {
+    Node* next = n->next;
+    delete n;
+    n = next;
+  }
+  n = free_list_;
+  while (n) {
+    Node* next = n->next;
+    delete n;
+    n = next;
+  }
+}
+
+SegmentedList::Node* SegmentedList::alloc(Key key) {
+  Node* n;
+  if (free_list_) {
+    n = free_list_;
+    free_list_ = n->next;
+  } else {
+    n = new Node();
+  }
+  n->key = key;
+  n->segment = 0;
+  n->prev = n->next = nullptr;
+  return n;
+}
+
+void SegmentedList::free_node(Node* n) {
+  n->next = free_list_;
+  free_list_ = n;
+}
+
+void SegmentedList::unlink(Node* n) {
+  if (n->prev)
+    n->prev->next = n->next;
+  else
+    head_ = n->next;
+  if (n->next)
+    n->next->prev = n->prev;
+  else
+    tail_ = n->prev;
+  n->prev = n->next = nullptr;
+}
+
+void SegmentedList::link_front(Node* n) {
+  n->prev = nullptr;
+  n->next = head_;
+  if (head_) head_->prev = n;
+  head_ = n;
+  if (!tail_) tail_ = n;
+}
+
+void SegmentedList::rebalance(std::size_t from, AccessResult& out) {
+  for (std::size_t s = from; s < caps_.size(); ++s) {
+    if (counts_[s] <= caps_[s]) continue;
+    ULC_ENSURE(counts_[s] == caps_[s] + 1, "segment can only overflow by one");
+    Node* m = last_[s];
+    if (s + 1 < caps_.size()) {
+      // Slide m across the boundary: positionally it stays put; it becomes
+      // the MRU-most member of segment s+1.
+      out.crossed[s] = m->key;
+      out.crossed_count = s + 1;
+      --counts_[s];
+      last_[s] = m->prev;  // counts_[s] >= 1 still, so prev is in segment s
+      m->segment = s + 1;
+      ++counts_[s + 1];
+      if (counts_[s + 1] == 1) last_[s + 1] = m;
+    } else {
+      // Overflow past the final segment: evict from the global LRU position.
+      ULC_ENSURE(m == tail_, "final-segment LRU block must be the list tail");
+      out.evicted = true;
+      out.evicted_key = m->key;
+      --counts_[s];
+      last_[s] = counts_[s] > 0 ? m->prev : nullptr;
+      unlink(m);
+      index_.erase(m->key);
+      --size_;
+      free_node(m);
+    }
+  }
+}
+
+void SegmentedList::access(Key key, AccessResult& out) {
+  out.hit = false;
+  out.old_segment = kNoSegment;
+  out.crossed.resize(caps_.size());
+  out.crossed_count = 0;
+  out.evicted = false;
+
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    Node* n = it->second;
+    const std::size_t old = n->segment;
+    out.hit = true;
+    out.old_segment = old;
+    if (old == 0 && head_ == n) {
+      return;  // already MRU; nothing moves
+    }
+    --counts_[old];
+    if (last_[old] == n) last_[old] = counts_[old] > 0 ? n->prev : nullptr;
+    unlink(n);
+    link_front(n);
+    n->segment = 0;
+    ++counts_[0];
+    if (counts_[0] == 1) last_[0] = n;
+    rebalance(0, out);
+    return;
+  }
+
+  Node* n = alloc(key);
+  link_front(n);
+  ++counts_[0];
+  if (counts_[0] == 1) last_[0] = n;
+  index_.emplace(key, n);
+  ++size_;
+  rebalance(0, out);
+}
+
+bool SegmentedList::remove(Key key, AccessResult& out) {
+  out.hit = false;
+  out.old_segment = kNoSegment;
+  out.crossed.resize(caps_.size());
+  out.crossed_count = 0;
+  out.evicted = false;
+
+  auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  Node* n = it->second;
+  out.old_segment = n->segment;
+  --counts_[n->segment];
+  if (last_[n->segment] == n)
+    last_[n->segment] = counts_[n->segment] > 0 ? n->prev : nullptr;
+  unlink(n);
+  index_.erase(it);
+  --size_;
+  free_node(n);
+  return true;
+}
+
+std::size_t SegmentedList::segment_of(Key key) const {
+  auto it = index_.find(key);
+  return it == index_.end() ? kNoSegment : it->second->segment;
+}
+
+bool SegmentedList::check_consistency() const {
+  std::size_t seen = 0;
+  std::vector<std::size_t> counts(caps_.size(), 0);
+  std::size_t prev_segment = 0;
+  const Node* prev = nullptr;
+  for (const Node* n = head_; n; n = n->next) {
+    if (n->prev != prev) return false;
+    if (n->segment >= caps_.size()) return false;
+    if (n->segment < prev_segment) return false;  // segments must be contiguous
+    prev_segment = n->segment;
+    ++counts[n->segment];
+    auto it = index_.find(n->key);
+    if (it == index_.end() || it->second != n) return false;
+    ++seen;
+    prev = n;
+  }
+  if (prev != tail_) return false;
+  if (seen != size_ || index_.size() != size_) return false;
+  for (std::size_t s = 0; s < caps_.size(); ++s) {
+    if (counts[s] != counts_[s]) return false;
+    if (counts_[s] > caps_[s]) return false;
+    if (counts_[s] > 0) {
+      if (!last_[s] || last_[s]->segment != s) return false;
+      if (last_[s]->next && last_[s]->next->segment == s) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ulc

@@ -1,0 +1,92 @@
+// An LRU list partitioned into k fixed-capacity contiguous segments with
+// O(k) bookkeeping per access.
+//
+// This is the engine behind the unified-LRU (Wong & Wilkes DEMOTE) baseline:
+// segment i models cache level L_{i+1}. When a block is inserted at the MRU
+// position, one block slides across each full segment boundary above the
+// position the accessed block came from — each such slide is exactly one
+// demotion in uniLRU. The structure reports those boundary crossings so the
+// caller can account demotion traffic without scanning.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace ulc {
+
+class SegmentedList {
+ public:
+  using Key = std::uint64_t;
+
+  static constexpr std::size_t kNoSegment = static_cast<std::size_t>(-1);
+
+  struct AccessResult {
+    bool hit = false;
+    // Segment the key was found in (kNoSegment on miss).
+    std::size_t old_segment = kNoSegment;
+    // crossed[b] = key that slid from segment b into segment b+1 as a result
+    // of this access; boundaries not crossed are absent from the vector tail.
+    // Entry b is meaningful for b < crossed_count.
+    std::vector<Key> crossed;
+    std::size_t crossed_count = 0;
+    // Key evicted from the bottom of the last segment, if any.
+    bool evicted = false;
+    Key evicted_key = 0;
+  };
+
+  explicit SegmentedList(std::vector<std::size_t> segment_capacities);
+  ~SegmentedList();
+
+  SegmentedList(const SegmentedList&) = delete;
+  SegmentedList& operator=(const SegmentedList&) = delete;
+
+  // References `key`: moves it to the MRU position (inserting it if absent)
+  // and updates segment boundaries. Results are written into `out` (whose
+  // buffers are reused across calls to avoid per-access allocation).
+  void access(Key key, AccessResult& out);
+
+  // Removes `key` from the list if present (used by exclusive-caching
+  // variants that drop a block on read). Returns true if it was present.
+  bool remove(Key key, AccessResult& out);
+
+  bool contains(Key key) const { return index_.find(key) != index_.end(); }
+  // Segment of `key`, or kNoSegment if absent.
+  std::size_t segment_of(Key key) const;
+
+  std::size_t size() const { return size_; }
+  std::size_t segment_count() const { return caps_.size(); }
+  std::size_t segment_size(std::size_t s) const { return counts_[s]; }
+  std::size_t segment_capacity(std::size_t s) const { return caps_[s]; }
+
+  // O(n) structural validation for tests.
+  bool check_consistency() const;
+
+ private:
+  struct Node {
+    Key key;
+    std::size_t segment;
+    Node* prev;
+    Node* next;
+  };
+
+  std::vector<std::size_t> caps_;
+  std::vector<std::size_t> counts_;
+  // last_[s]: LRU-most node of segment s; only meaningful when counts_[s] > 0.
+  std::vector<Node*> last_;
+  Node* head_ = nullptr;
+  Node* tail_ = nullptr;
+  std::size_t size_ = 0;
+  std::unordered_map<Key, Node*> index_;
+  Node* free_list_ = nullptr;
+
+  Node* alloc(Key key);
+  void free_node(Node* n);
+  void unlink(Node* n);
+  void link_front(Node* n);
+  // Shifts overflow down across boundaries starting at segment `from`,
+  // recording crossings; evicts from the final segment on overflow.
+  void rebalance(std::size_t from, AccessResult& out);
+};
+
+}  // namespace ulc

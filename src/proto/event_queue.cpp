@@ -1,0 +1,31 @@
+#include "proto/event_queue.h"
+
+#include "util/ensure.h"
+
+namespace ulc {
+
+void EventQueue::schedule(SimTime at, Action action) {
+  ULC_REQUIRE(at >= now_, "cannot schedule into the past");
+  heap_.push(Entry{at, next_seq_++, std::move(action)});
+}
+
+bool EventQueue::run_one() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; move the action out via const_cast on
+  // the known-mutable element (standard pattern; the entry is popped
+  // immediately after).
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  ULC_ENSURE(entry.at >= now_, "event queue time went backwards");
+  now_ = entry.at;
+  entry.action();
+  return true;
+}
+
+std::size_t EventQueue::run(std::size_t limit) {
+  std::size_t fired = 0;
+  while (fired < limit && run_one()) ++fired;
+  return fired;
+}
+
+}  // namespace ulc

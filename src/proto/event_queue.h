@@ -1,0 +1,51 @@
+// Deterministic discrete-event scheduler for the message-level protocol
+// simulation. Events fire in (time, insertion-sequence) order, so equal-time
+// events run in the order they were scheduled and every run is replayable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace ulc {
+
+using SimTime = double;  // milliseconds
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  // Schedules `action` at absolute time `at` (>= now()).
+  void schedule(SimTime at, Action action);
+  // Schedules `action` `delay` after now().
+  void schedule_in(SimTime delay, Action action) { schedule(now_ + delay, std::move(action)); }
+
+  // Runs the next event; returns false when the queue is empty.
+  bool run_one();
+  // Runs until the queue drains or `limit` events have fired.
+  std::size_t run(std::size_t limit = static_cast<std::size_t>(-1));
+
+  SimTime now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace ulc

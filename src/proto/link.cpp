@@ -1,0 +1,47 @@
+#include "proto/link.h"
+
+#include <algorithm>
+
+#include "util/ensure.h"
+
+namespace ulc {
+
+SimLink::SimLink(const LinkConfig& config) : config_(config) {
+  ULC_REQUIRE(config.bandwidth_mb_s > 0.0, "link bandwidth must be positive");
+  ULC_REQUIRE(config.latency_ms >= 0.0, "link latency must be non-negative");
+}
+
+SimLink::SimLink(EventQueue& queue, const LinkConfig& config) : SimLink(config) {
+  queue_ = &queue;
+}
+
+SimTime SimLink::transmission_ms(std::size_t bytes) const {
+  // bandwidth in MB/s = bytes/ms * 1000/2^20; transmission = bytes / rate.
+  const double bytes_per_ms = config_.bandwidth_mb_s * 1048576.0 / 1000.0;
+  return static_cast<double>(bytes) / bytes_per_ms;
+}
+
+SimTime SimLink::enqueue(int direction, std::size_t bytes, SimTime when) {
+  ULC_REQUIRE(direction == 0 || direction == 1, "link direction must be 0 or 1");
+  ULC_REQUIRE(when >= last_send_[direction],
+              "per-direction sends must be issued in time order (FIFO)");
+  last_send_[direction] = when;
+  const SimTime start = std::max(when, busy_until_[direction]);
+  const SimTime tx = transmission_ms(bytes);
+  busy_until_[direction] = start + tx;
+  busy_total_[direction] += tx;
+  ++messages_[direction];
+  return start + tx + config_.latency_ms;
+}
+
+void SimLink::send(int direction, std::size_t bytes, EventQueue::Action deliver) {
+  ULC_REQUIRE(queue_ != nullptr, "send() needs an EventQueue; use deliver_at()");
+  const SimTime arrival = enqueue(direction, bytes, queue_->now());
+  queue_->schedule(arrival, std::move(deliver));
+}
+
+SimTime SimLink::deliver_at(int direction, std::size_t bytes, SimTime when) {
+  return enqueue(direction, bytes, when);
+}
+
+}  // namespace ulc

@@ -1,0 +1,57 @@
+// A simulated network/bus link: fixed propagation latency plus a serial
+// transmission server per direction (store-and-forward FIFO). This is what
+// turns demotion traffic into *contention*: a demoted 8KB block occupies
+// the downlink and delays the read requests queued behind it — the effect
+// Chen et al. [15] measured and the ULC paper uses to argue that demotion
+// costs cannot be assumed hidden.
+#pragma once
+
+#include <cstdint>
+
+#include "proto/event_queue.h"
+
+namespace ulc {
+
+struct LinkConfig {
+  SimTime latency_ms = 0.2;       // propagation + protocol overhead
+  double bandwidth_mb_s = 10.0;   // serial transmission rate
+};
+
+class SimLink {
+ public:
+  explicit SimLink(const LinkConfig& config);
+  SimLink(EventQueue& queue, const LinkConfig& config);
+
+  // Sends `bytes` in the given direction (0 = down, 1 = up); `deliver` runs
+  // at the arrival time. Messages in one direction serialize FIFO; the two
+  // directions are independent (full duplex). Requires an EventQueue.
+  void send(int direction, std::size_t bytes, EventQueue::Action deliver);
+
+  // Synchronous form for sequential (closed-loop) simulations: enqueues the
+  // message at time `when` and returns its arrival time. Calls in one
+  // direction must have non-decreasing `when` (FIFO).
+  SimTime deliver_at(int direction, std::size_t bytes, SimTime when);
+
+  // Transmission time of a payload at this link's bandwidth.
+  SimTime transmission_ms(std::size_t bytes) const;
+
+  // Total busy transmission time accumulated per direction (utilization).
+  SimTime busy_ms(int direction) const { return busy_total_[direction]; }
+  std::uint64_t messages(int direction) const { return messages_[direction]; }
+
+ private:
+  EventQueue* queue_ = nullptr;
+  LinkConfig config_;
+  SimTime busy_until_[2] = {0.0, 0.0};
+  SimTime busy_total_[2] = {0.0, 0.0};
+  SimTime last_send_[2] = {0.0, 0.0};
+  std::uint64_t messages_[2] = {0, 0};
+
+  SimTime enqueue(int direction, std::size_t bytes, SimTime when);
+};
+
+// Standard message sizes.
+inline constexpr std::size_t kBlockBytes = 8192;   // one file block
+inline constexpr std::size_t kControlBytes = 64;   // request/command header
+
+}  // namespace ulc

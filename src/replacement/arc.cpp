@@ -1,0 +1,167 @@
+// ARC — Megiddo & Modha, FAST 2003.
+//
+// Adaptive Replacement Cache: two LRU lists, T1 (seen once recently) and T2
+// (seen at least twice recently), with ghost lists B1/B2 remembering recent
+// evictions from each. The target size p of T1 adapts continuously: a hit in
+// B1 says "recency was under-provisioned" (grow p), a hit in B2 the
+// opposite. Included as the self-tuning single-level baseline: it shares
+// ULC's "re-referenced blocks earn residency" instinct but tunes a split
+// instead of ranking by re-reference distance.
+#include <list>
+#include <unordered_map>
+
+#include "replacement/cache_policy.h"
+#include "util/ensure.h"
+
+namespace ulc {
+
+namespace {
+
+class ArcPolicy final : public CachePolicy {
+ public:
+  explicit ArcPolicy(std::size_t capacity) : c_(capacity) {
+    ULC_REQUIRE(capacity >= 2, "ARC needs capacity >= 2");
+  }
+
+  bool touch(BlockId block, const AccessContext&) override {
+    auto it = index_.find(block);
+    if (it == index_.end()) return false;
+    Entry& e = it->second;
+    if (e.where == Where::kT1) {
+      // Second recent reference: promote to T2.
+      t1_.erase(e.pos);
+      t2_.push_front(block);
+      e = Entry{Where::kT2, t2_.begin()};
+      return true;
+    }
+    if (e.where == Where::kT2) {
+      t2_.splice(t2_.begin(), t2_, e.pos);
+      return true;
+    }
+    return false;  // ghost entries are not resident
+  }
+
+  EvictResult insert(BlockId block, const AccessContext&) override {
+    EvictResult ev;
+    auto it = index_.find(block);
+    if (it != index_.end() && it->second.where == Where::kB1) {
+      // Case II: ghost hit in B1 -> favour recency.
+      const std::size_t delta =
+          b1_.size() >= b2_.size() ? 1 : (b2_.size() + b1_.size() - 1) / b1_.size();
+      p_ = std::min(p_ + delta, c_);
+      ev = replace(/*in_b2=*/false);
+      b1_.erase(it->second.pos);
+      t2_.push_front(block);
+      index_[block] = Entry{Where::kT2, t2_.begin()};
+      return ev;
+    }
+    if (it != index_.end() && it->second.where == Where::kB2) {
+      // Case III: ghost hit in B2 -> favour frequency.
+      const std::size_t delta =
+          b2_.size() >= b1_.size() ? 1 : (b1_.size() + b2_.size() - 1) / b2_.size();
+      p_ = p_ > delta ? p_ - delta : 0;
+      ev = replace(/*in_b2=*/true);
+      b2_.erase(it->second.pos);
+      t2_.push_front(block);
+      index_[block] = Entry{Where::kT2, t2_.begin()};
+      return ev;
+    }
+    ULC_REQUIRE(it == index_.end(), "insert of resident block");
+
+    // Case IV: brand-new block.
+    const std::size_t l1 = t1_.size() + b1_.size();
+    if (l1 == c_) {
+      if (t1_.size() < c_) {
+        // Drop the oldest B1 ghost and replace.
+        index_.erase(b1_.back());
+        b1_.pop_back();
+        ev = replace(false);
+      } else {
+        // T1 itself fills the cache: evict its LRU outright (no ghost).
+        const BlockId victim = t1_.back();
+        t1_.pop_back();
+        index_.erase(victim);
+        ev = EvictResult{true, victim};
+      }
+    } else if (l1 < c_ && t1_.size() + t2_.size() + b1_.size() + b2_.size() >= c_) {
+      if (t1_.size() + t2_.size() + b1_.size() + b2_.size() >= 2 * c_) {
+        index_.erase(b2_.back());
+        b2_.pop_back();
+      }
+      ev = replace(false);
+    } else if (t1_.size() + t2_.size() >= c_) {
+      ev = replace(false);
+    }
+    t1_.push_front(block);
+    index_[block] = Entry{Where::kT1, t1_.begin()};
+    return ev;
+  }
+
+  bool erase(BlockId block) override {
+    auto it = index_.find(block);
+    if (it == index_.end()) return false;
+    Entry& e = it->second;
+    if (e.where == Where::kT1) {
+      t1_.erase(e.pos);
+    } else if (e.where == Where::kT2) {
+      t2_.erase(e.pos);
+    } else {
+      return false;  // ghost: not resident
+    }
+    index_.erase(it);
+    return true;
+  }
+
+  bool contains(BlockId block) const override {
+    auto it = index_.find(block);
+    return it != index_.end() &&
+           (it->second.where == Where::kT1 || it->second.where == Where::kT2);
+  }
+  std::size_t size() const override { return t1_.size() + t2_.size(); }
+  std::size_t capacity() const override { return c_; }
+  const char* name() const override { return "ARC"; }
+
+ private:
+  enum class Where { kT1, kT2, kB1, kB2 };
+  struct Entry {
+    Where where;
+    std::list<BlockId>::iterator pos;
+  };
+
+  // The ARC REPLACE subroutine: evict from T1 or T2 per the target p,
+  // remembering the victim in the matching ghost list.
+  EvictResult replace(bool in_b2) {
+    if (t1_.size() + t2_.size() < c_) return EvictResult{};
+    EvictResult ev;
+    const bool take_t1 =
+        !t1_.empty() && (t1_.size() > p_ || (in_b2 && t1_.size() == p_));
+    if (take_t1) {
+      const BlockId victim = t1_.back();
+      t1_.pop_back();
+      b1_.push_front(victim);
+      index_[victim] = Entry{Where::kB1, b1_.begin()};
+      ev = EvictResult{true, victim};
+    } else {
+      ULC_ENSURE(!t2_.empty(), "ARC replace with empty T2");
+      const BlockId victim = t2_.back();
+      t2_.pop_back();
+      b2_.push_front(victim);
+      index_[victim] = Entry{Where::kB2, b2_.begin()};
+      ev = EvictResult{true, victim};
+    }
+    return ev;
+  }
+
+  std::size_t c_;
+  std::size_t p_ = 0;  // target size of T1
+  std::list<BlockId> t1_, t2_, b1_, b2_;
+  std::unordered_map<BlockId, Entry> index_;
+};
+
+}  // namespace
+
+PolicyPtr make_arc(std::size_t capacity) {
+  return std::make_unique<ArcPolicy>(capacity);
+}
+
+}  // namespace ulc

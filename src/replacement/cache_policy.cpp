@@ -1,0 +1,23 @@
+#include "replacement/cache_policy.h"
+
+namespace ulc {
+
+bool CachePolicy::access(BlockId block, const AccessContext& ctx,
+                         EvictResult* evicted) {
+  if (touch(block, ctx)) {
+    ++hits_;
+    if (evicted) *evicted = EvictResult{};
+    return true;
+  }
+  ++misses_;
+  const EvictResult ev = insert(block, ctx);
+  if (evicted) *evicted = ev;
+  return false;
+}
+
+double CachePolicy::hit_ratio() const {
+  const std::uint64_t total = hits_ + misses_;
+  return total == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(total);
+}
+
+}  // namespace ulc

@@ -1,0 +1,99 @@
+// Single-level cache replacement policies behind one interface.
+//
+// These serve three roles in the reproduction: building blocks of the
+// independent-LRU baseline (one policy instance per level), the MQ server
+// cache of Figure 7 (Zhou et al. 2001), and reference policies for tests
+// (OPT dominance, RANDOM's size-proportional hit rate on uniform traces).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "trace/types.h"
+
+namespace ulc {
+
+// Per-access side information. LRU/FIFO/RANDOM ignore it; OPT requires
+// next_use (the trace position of the next reference to this block, or
+// kNever) — supplied by the offline preprocessing in measures/next_use.h.
+struct AccessContext {
+  std::uint64_t time = 0;
+  std::uint64_t next_use = 0;
+};
+
+struct EvictResult {
+  bool evicted = false;
+  BlockId victim = 0;
+};
+
+class CachePolicy {
+ public:
+  virtual ~CachePolicy() = default;
+
+  // References a block that may or may not be cached; returns true on hit.
+  // On miss the block is admitted (possibly evicting; see *evicted).
+  bool access(BlockId block, const AccessContext& ctx = {},
+              EvictResult* evicted = nullptr);
+
+  // Updates recency/frequency state of a present block; false if absent.
+  virtual bool touch(BlockId block, const AccessContext& ctx) = 0;
+  // Admits an absent block, evicting if at capacity.
+  virtual EvictResult insert(BlockId block, const AccessContext& ctx) = 0;
+  // Removes a block (exclusive-caching reads); false if absent.
+  virtual bool erase(BlockId block) = 0;
+
+  virtual bool contains(BlockId block) const = 0;
+  virtual std::size_t size() const = 0;
+  virtual std::size_t capacity() const = 0;
+  virtual const char* name() const = 0;
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  double hit_ratio() const;
+
+ protected:
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+using PolicyPtr = std::unique_ptr<CachePolicy>;
+
+PolicyPtr make_lru(std::size_t capacity);
+PolicyPtr make_fifo(std::size_t capacity);
+PolicyPtr make_random(std::size_t capacity, std::uint64_t seed = 1);
+// OPT (Belady): evicts the block whose next use is farthest in the future.
+// Requires AccessContext::next_use on every touch/insert.
+PolicyPtr make_opt(std::size_t capacity);
+
+struct MqConfig {
+  std::size_t capacity = 0;
+  std::size_t queue_count = 8;
+  // lifeTime: accesses a block may sit unreferenced in its queue before
+  // being demoted one queue down. The MQ paper recommends the observed peak
+  // temporal distance; a multiple of the cache size is a robust default.
+  std::uint64_t life_time = 0;  // 0 -> 4 * capacity
+  std::size_t ghost_capacity = 0;  // Qout entries; 0 -> 4 * capacity
+};
+PolicyPtr make_mq(const MqConfig& config);
+
+struct TwoQConfig {
+  std::size_t capacity = 0;
+  // 2Q paper defaults: A1in ~25% of the cache, A1out remembers ~50% worth
+  // of evicted identities.
+  double kin_fraction = 0.25;
+  double kout_fraction = 0.5;
+};
+PolicyPtr make_two_q(const TwoQConfig& config);
+
+// ARC (Megiddo & Modha 2003): self-tuning recency/frequency split.
+PolicyPtr make_arc(std::size_t capacity);
+
+struct LirsConfig {
+  std::size_t capacity = 0;
+  // Fraction of the cache devoted to HIR resident blocks (LIRS paper: ~1%,
+  // at least 2 blocks).
+  double hir_fraction = 0.01;
+};
+PolicyPtr make_lirs(const LirsConfig& config);
+
+}  // namespace ulc

@@ -1,0 +1,258 @@
+// LIRS — Jiang & Zhang, SIGMETRICS 2002.
+//
+// LIRS is the single-level ancestor of ULC: it ranks blocks by the recency
+// at which they were last referenced (IRR, the same quantity the ULC paper
+// calls LLD) instead of by raw recency. Included as the extension the
+// paper's Related Work points to, and used by tests/benches to sanity-check
+// that LLD-based ranking beats LRU on weak-locality (looping) workloads even
+// in one level.
+//
+// Structures: stack S (LIR blocks, resident and non-resident HIR blocks,
+// most recent on top) and queue Q (resident HIR blocks, FIFO). The stack
+// bottom is always a LIR block (pruning). Non-resident HIR entries (ghosts)
+// are bounded by `kGhostFactor` x capacity, trimmed oldest-first.
+#include <list>
+#include <unordered_map>
+
+#include "replacement/cache_policy.h"
+#include "util/ensure.h"
+
+namespace ulc {
+
+namespace {
+
+constexpr std::size_t kGhostFactor = 3;
+
+class LirsPolicy final : public CachePolicy {
+ public:
+  explicit LirsPolicy(const LirsConfig& cfg) : capacity_(cfg.capacity) {
+    ULC_REQUIRE(cfg.capacity >= 2, "LIRS needs capacity >= 2");
+    hir_capacity_ = static_cast<std::size_t>(
+        static_cast<double>(cfg.capacity) * cfg.hir_fraction);
+    if (hir_capacity_ < 2) hir_capacity_ = 2;
+    if (hir_capacity_ > capacity_ - 1) hir_capacity_ = capacity_ - 1;
+    lir_capacity_ = capacity_ - hir_capacity_;
+  }
+
+  bool touch(BlockId block, const AccessContext&) override {
+    auto it = entries_.find(block);
+    if (it == entries_.end() || !it->second.resident) return false;
+    Entry& e = it->second;
+    if (e.status == Status::kLir) {
+      const bool was_bottom = (e.in_stack && stack_.back() == block);
+      stack_move_top(block, e);
+      if (was_bottom) prune();
+      return true;
+    }
+    // Resident HIR hit.
+    if (e.in_stack) {
+      // Its recency beat the LIR bottom's recency: promote to LIR.
+      stack_move_top(block, e);
+      e.status = Status::kLir;
+      queue_remove(block, e);
+      ++lir_count_;
+      demote_lir_excess();
+    } else {
+      stack_push_top(block, e);
+      queue_move_tail(block, e);
+    }
+    return true;
+  }
+
+  EvictResult insert(BlockId block, const AccessContext&) override {
+    auto it = entries_.find(block);
+    ULC_REQUIRE(it == entries_.end() || !it->second.resident,
+                "insert of resident block");
+    EvictResult ev;
+    if (resident_count_ >= capacity_) ev = evict_one();
+
+    if (lir_count_ < lir_capacity_ && (it == entries_.end() || !it->second.in_stack)) {
+      // Cold start: fill the LIR set first.
+      Entry& e = (it == entries_.end()) ? entries_[block] : it->second;
+      e.resident = true;
+      e.status = Status::kLir;
+      stack_push_top(block, e);
+      ++lir_count_;
+      ++resident_count_;
+      return ev;
+    }
+
+    if (it != entries_.end() && it->second.in_stack) {
+      // Ghost hit: the reuse distance was within the LIR recency scope.
+      Entry& e = it->second;
+      ULC_ENSURE(e.status == Status::kHir, "ghost must be HIR");
+      e.resident = true;
+      e.status = Status::kLir;
+      --ghost_count_;
+      stack_move_top(block, e);
+      ++lir_count_;
+      ++resident_count_;
+      demote_lir_excess();
+      return ev;
+    }
+
+    Entry& e = entries_[block];
+    e.resident = true;
+    e.status = Status::kHir;
+    stack_push_top(block, e);
+    queue_move_tail(block, e);
+    ++resident_count_;
+    return ev;
+  }
+
+  bool erase(BlockId block) override {
+    auto it = entries_.find(block);
+    if (it == entries_.end() || !it->second.resident) return false;
+    Entry& e = it->second;
+    if (e.status == Status::kLir) {
+      --lir_count_;
+      if (e.in_stack) stack_remove(block, e);
+      --resident_count_;
+      entries_.erase(it);
+      prune();
+      return true;
+    }
+    queue_remove(block, e);
+    --resident_count_;
+    if (e.in_stack) {
+      e.resident = false;  // keep as ghost
+      ++ghost_count_;
+      trim_ghosts();
+    } else {
+      entries_.erase(it);
+    }
+    return true;
+  }
+
+  bool contains(BlockId block) const override {
+    auto it = entries_.find(block);
+    return it != entries_.end() && it->second.resident;
+  }
+  std::size_t size() const override { return resident_count_; }
+  std::size_t capacity() const override { return capacity_; }
+  const char* name() const override { return "LIRS"; }
+
+ private:
+  enum class Status { kLir, kHir };
+  struct Entry {
+    Status status = Status::kHir;
+    bool resident = false;
+    bool in_stack = false;
+    bool in_queue = false;
+    std::list<BlockId>::iterator stack_pos;
+    std::list<BlockId>::iterator queue_pos;
+  };
+
+  void stack_push_top(BlockId block, Entry& e) {
+    if (e.in_stack) {
+      stack_.erase(e.stack_pos);
+    }
+    stack_.push_front(block);
+    e.stack_pos = stack_.begin();
+    e.in_stack = true;
+  }
+  void stack_move_top(BlockId block, Entry& e) { stack_push_top(block, e); }
+  void stack_remove(BlockId, Entry& e) {
+    ULC_ENSURE(e.in_stack, "stack_remove of non-stack entry");
+    stack_.erase(e.stack_pos);
+    e.in_stack = false;
+  }
+
+  void queue_move_tail(BlockId block, Entry& e) {
+    if (e.in_queue) queue_.erase(e.queue_pos);
+    queue_.push_back(block);
+    e.queue_pos = std::prev(queue_.end());
+    e.in_queue = true;
+  }
+  void queue_remove(BlockId, Entry& e) {
+    if (!e.in_queue) return;
+    queue_.erase(e.queue_pos);
+    e.in_queue = false;
+  }
+
+  // Ensure the stack bottom is a LIR block; drop HIR entries off the bottom
+  // (resident ones stay cached via Q; non-resident ones are forgotten).
+  void prune() {
+    while (!stack_.empty()) {
+      const BlockId bottom = stack_.back();
+      Entry& e = entries_.at(bottom);
+      if (e.status == Status::kLir) return;
+      stack_.pop_back();
+      e.in_stack = false;
+      if (!e.resident) {
+        --ghost_count_;
+        entries_.erase(bottom);
+      }
+    }
+  }
+
+  // If LIR overflows its target size, demote the stack-bottom LIR block to
+  // resident HIR (tail of Q) and prune.
+  void demote_lir_excess() {
+    while (lir_count_ > lir_capacity_) {
+      prune();
+      ULC_ENSURE(!stack_.empty(), "LIR overflow with empty stack");
+      const BlockId bottom = stack_.back();
+      Entry& e = entries_.at(bottom);
+      ULC_ENSURE(e.status == Status::kLir, "pruned stack bottom must be LIR");
+      stack_.pop_back();
+      e.in_stack = false;
+      e.status = Status::kHir;
+      --lir_count_;
+      queue_move_tail(bottom, e);
+      prune();
+    }
+  }
+
+  EvictResult evict_one() {
+    ULC_ENSURE(!queue_.empty(), "LIRS eviction with empty HIR queue");
+    const BlockId victim = queue_.front();
+    Entry& e = entries_.at(victim);
+    queue_.pop_front();
+    e.in_queue = false;
+    e.resident = false;
+    --resident_count_;
+    if (e.in_stack) {
+      ++ghost_count_;
+      trim_ghosts();
+    } else {
+      entries_.erase(victim);
+    }
+    return EvictResult{true, victim};
+  }
+
+  void trim_ghosts() {
+    // Bound metadata: forget the oldest (bottom-most) ghosts.
+    if (ghost_count_ <= kGhostFactor * capacity_) return;
+    for (auto it = std::prev(stack_.end());
+         ghost_count_ > kGhostFactor * capacity_ && it != stack_.begin();) {
+      const BlockId b = *it;
+      Entry& e = entries_.at(b);
+      auto prev = std::prev(it);
+      if (e.status == Status::kHir && !e.resident) {
+        stack_.erase(it);
+        --ghost_count_;
+        entries_.erase(b);
+      }
+      it = prev;
+    }
+  }
+
+  std::size_t capacity_;
+  std::size_t hir_capacity_;
+  std::size_t lir_capacity_;
+  std::size_t lir_count_ = 0;
+  std::size_t resident_count_ = 0;
+  std::size_t ghost_count_ = 0;
+  std::list<BlockId> stack_;  // front = most recent
+  std::list<BlockId> queue_;  // front = next HIR victim
+  std::unordered_map<BlockId, Entry> entries_;
+};
+
+}  // namespace
+
+PolicyPtr make_lirs(const LirsConfig& config) {
+  return std::make_unique<LirsPolicy>(config);
+}
+
+}  // namespace ulc

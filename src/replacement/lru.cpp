@@ -1,0 +1,65 @@
+// Least Recently Used — the policy underlying almost all existing file
+// systems (paper §5) and the per-level policy of the indLRU baseline.
+#include <list>
+#include <unordered_map>
+
+#include "replacement/cache_policy.h"
+#include "util/ensure.h"
+
+namespace ulc {
+
+namespace {
+
+class LruPolicy final : public CachePolicy {
+ public:
+  explicit LruPolicy(std::size_t capacity) : capacity_(capacity) {
+    ULC_REQUIRE(capacity > 0, "LRU capacity must be positive");
+  }
+
+  bool touch(BlockId block, const AccessContext&) override {
+    auto it = index_.find(block);
+    if (it == index_.end()) return false;
+    list_.splice(list_.begin(), list_, it->second);
+    return true;
+  }
+
+  EvictResult insert(BlockId block, const AccessContext&) override {
+    ULC_REQUIRE(index_.find(block) == index_.end(), "insert of present block");
+    EvictResult ev;
+    if (list_.size() >= capacity_) {
+      ev.evicted = true;
+      ev.victim = list_.back();
+      index_.erase(list_.back());
+      list_.pop_back();
+    }
+    list_.push_front(block);
+    index_[block] = list_.begin();
+    return ev;
+  }
+
+  bool erase(BlockId block) override {
+    auto it = index_.find(block);
+    if (it == index_.end()) return false;
+    list_.erase(it->second);
+    index_.erase(it);
+    return true;
+  }
+
+  bool contains(BlockId block) const override { return index_.count(block) != 0; }
+  std::size_t size() const override { return list_.size(); }
+  std::size_t capacity() const override { return capacity_; }
+  const char* name() const override { return "LRU"; }
+
+ private:
+  std::size_t capacity_;
+  std::list<BlockId> list_;  // front = MRU
+  std::unordered_map<BlockId, std::list<BlockId>::iterator> index_;
+};
+
+}  // namespace
+
+PolicyPtr make_lru(std::size_t capacity) {
+  return std::make_unique<LruPolicy>(capacity);
+}
+
+}  // namespace ulc

@@ -1,0 +1,158 @@
+// Multi-Queue (MQ) replacement — Zhou, Philbin & Li, USENIX 2001.
+//
+// The paper's Figure 7 compares ULC against "LRU at the client + MQ at the
+// server", MQ being the representative of the re-design-the-low-level-cache
+// approach. MQ maintains `queue_count` LRU queues: a block with reference
+// count f lives in queue floor(log2(f)) (capped), is moved to the tail of
+// its queue on access with expireTime = now + lifeTime, and queue heads
+// whose expireTime has passed are demoted one queue down. Victims come from
+// the head of the lowest non-empty queue. Evicted blocks leave their
+// reference count in a FIFO ghost directory (Qout) so a quick re-fetch
+// resumes the old frequency.
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "replacement/cache_policy.h"
+#include "util/ensure.h"
+
+namespace ulc {
+
+namespace {
+
+class MqPolicy final : public CachePolicy {
+ public:
+  explicit MqPolicy(const MqConfig& cfg)
+      : capacity_(cfg.capacity),
+        life_time_(cfg.life_time ? cfg.life_time : 4 * cfg.capacity),
+        ghost_capacity_(cfg.ghost_capacity ? cfg.ghost_capacity : 4 * cfg.capacity),
+        queues_(cfg.queue_count) {
+    ULC_REQUIRE(cfg.capacity > 0, "MQ capacity must be positive");
+    ULC_REQUIRE(cfg.queue_count > 0, "MQ needs at least one queue");
+  }
+
+  bool touch(BlockId block, const AccessContext&) override {
+    ++now_;
+    adjust();
+    auto it = index_.find(block);
+    if (it == index_.end()) return false;
+    Entry& e = it->second;
+    queues_[e.queue].erase(e.pos);
+    ++e.frequency;
+    e.queue = queue_for(e.frequency);
+    e.expire = now_ + life_time_;
+    queues_[e.queue].push_back(block);
+    e.pos = std::prev(queues_[e.queue].end());
+    return true;
+  }
+
+  EvictResult insert(BlockId block, const AccessContext&) override {
+    ULC_REQUIRE(index_.find(block) == index_.end(), "insert of present block");
+    EvictResult ev;
+    if (index_.size() >= capacity_) {
+      ev = evict_one();
+    }
+    std::uint64_t freq = 1;
+    auto git = ghost_index_.find(block);
+    if (git != ghost_index_.end()) {
+      freq = git->second->frequency + 1;
+      ghost_.erase(git->second);
+      ghost_index_.erase(git);
+    }
+    Entry e;
+    e.frequency = freq;
+    e.queue = queue_for(freq);
+    e.expire = now_ + life_time_;
+    queues_[e.queue].push_back(block);
+    e.pos = std::prev(queues_[e.queue].end());
+    index_.emplace(block, e);
+    return ev;
+  }
+
+  bool erase(BlockId block) override {
+    auto it = index_.find(block);
+    if (it == index_.end()) return false;
+    queues_[it->second.queue].erase(it->second.pos);
+    index_.erase(it);
+    return true;
+  }
+
+  bool contains(BlockId block) const override { return index_.count(block) != 0; }
+  std::size_t size() const override { return index_.size(); }
+  std::size_t capacity() const override { return capacity_; }
+  const char* name() const override { return "MQ"; }
+
+ private:
+  struct Entry {
+    std::uint64_t frequency = 0;
+    std::size_t queue = 0;
+    std::uint64_t expire = 0;
+    std::list<BlockId>::iterator pos;
+  };
+  struct GhostEntry {
+    BlockId block;
+    std::uint64_t frequency;
+  };
+
+  std::size_t queue_for(std::uint64_t frequency) const {
+    std::size_t q = 0;
+    while (frequency > 1 && q + 1 < queues_.size()) {
+      frequency >>= 1;
+      ++q;
+    }
+    return q;
+  }
+
+  // MQ's "Adjust": demote expired queue heads one level down.
+  void adjust() {
+    for (std::size_t q = queues_.size(); q-- > 1;) {
+      if (queues_[q].empty()) continue;
+      const BlockId head = queues_[q].front();
+      Entry& e = index_.at(head);
+      if (e.expire < now_) {
+        queues_[q].pop_front();
+        e.queue = q - 1;
+        e.expire = now_ + life_time_;
+        queues_[q - 1].push_back(head);
+        e.pos = std::prev(queues_[q - 1].end());
+      }
+    }
+  }
+
+  EvictResult evict_one() {
+    for (auto& queue : queues_) {
+      if (queue.empty()) continue;
+      const BlockId victim = queue.front();
+      const Entry& e = index_.at(victim);
+      queue.pop_front();
+      // Remember the victim's frequency in the ghost directory.
+      ghost_.push_back(GhostEntry{victim, e.frequency});
+      ghost_index_[victim] = std::prev(ghost_.end());
+      if (ghost_.size() > ghost_capacity_) {
+        ghost_index_.erase(ghost_.front().block);
+        ghost_.pop_front();
+      }
+      index_.erase(victim);
+      return EvictResult{true, victim};
+    }
+    ULC_ENSURE(false, "evict_one called on an empty cache");
+    return EvictResult{};
+  }
+
+  std::size_t capacity_;
+  std::uint64_t life_time_;
+  std::size_t ghost_capacity_;
+  std::uint64_t now_ = 0;
+  std::vector<std::list<BlockId>> queues_;  // front = LRU end of each queue
+  std::unordered_map<BlockId, Entry> index_;
+  std::list<GhostEntry> ghost_;
+  std::unordered_map<BlockId, std::list<GhostEntry>::iterator> ghost_index_;
+};
+
+}  // namespace
+
+PolicyPtr make_mq(const MqConfig& config) {
+  return std::make_unique<MqPolicy>(config);
+}
+
+}  // namespace ulc

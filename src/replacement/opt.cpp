@@ -1,0 +1,82 @@
+// OPT (Belady's MIN, with bypass) — evicts the resident block whose next
+// reference is farthest in the future, and declines to cache a fetched
+// block that is itself the farthest. The criterion is the paper's ND
+// measure; OPT is the upper bound every on-line policy is tested against.
+#include <set>
+#include <unordered_map>
+
+#include "measures/next_use.h"
+#include "replacement/cache_policy.h"
+#include "util/ensure.h"
+
+namespace ulc {
+
+namespace {
+
+class OptPolicy final : public CachePolicy {
+ public:
+  explicit OptPolicy(std::size_t capacity) : capacity_(capacity) {
+    ULC_REQUIRE(capacity > 0, "OPT capacity must be positive");
+  }
+
+  bool touch(BlockId block, const AccessContext& ctx) override {
+    auto it = index_.find(block);
+    if (it == index_.end()) return false;
+    queue_.erase({it->second, block});
+    it->second = effective_next(ctx);
+    queue_.insert({it->second, block});
+    return true;
+  }
+
+  EvictResult insert(BlockId block, const AccessContext& ctx) override {
+    ULC_REQUIRE(index_.find(block) == index_.end(), "insert of present block");
+    EvictResult ev;
+    const std::uint64_t nu = effective_next(ctx);
+    if (index_.size() >= capacity_) {
+      const auto victim = *queue_.rbegin();
+      // Bypass: caching a block whose next use is farther than every
+      // resident's cannot help (file caches may decline to cache — the same
+      // freedom ULC's L_out status uses).
+      if (nu >= victim.first) return ev;
+      ev.evicted = true;
+      ev.victim = victim.second;
+      queue_.erase(victim);
+      index_.erase(victim.second);
+    }
+    index_[block] = nu;
+    queue_.insert({nu, block});
+    return ev;
+  }
+
+  bool erase(BlockId block) override {
+    auto it = index_.find(block);
+    if (it == index_.end()) return false;
+    queue_.erase({it->second, block});
+    index_.erase(it);
+    return true;
+  }
+
+  bool contains(BlockId block) const override { return index_.count(block) != 0; }
+  std::size_t size() const override { return index_.size(); }
+  std::size_t capacity() const override { return capacity_; }
+  const char* name() const override { return "OPT"; }
+
+ private:
+  static std::uint64_t effective_next(const AccessContext& ctx) {
+    // kNever sorts after every finite next use, so never-again blocks are
+    // the first eviction candidates.
+    return ctx.next_use;
+  }
+
+  std::size_t capacity_;
+  std::unordered_map<BlockId, std::uint64_t> index_;  // block -> next use
+  std::set<std::pair<std::uint64_t, BlockId>> queue_;
+};
+
+}  // namespace
+
+PolicyPtr make_opt(std::size_t capacity) {
+  return std::make_unique<OptPolicy>(capacity);
+}
+
+}  // namespace ulc

@@ -1,0 +1,76 @@
+// RANDOM replacement — the paper's Section 2 reference point: on a spatially
+// uniform trace no on-line policy can beat a hit rate proportional to the
+// cache size, which is what RANDOM delivers.
+#include <unordered_map>
+#include <vector>
+
+#include "replacement/cache_policy.h"
+#include "util/ensure.h"
+#include "util/prng.h"
+
+namespace ulc {
+
+namespace {
+
+class RandomPolicy final : public CachePolicy {
+ public:
+  RandomPolicy(std::size_t capacity, std::uint64_t seed)
+      : capacity_(capacity), rng_(seed) {
+    ULC_REQUIRE(capacity > 0, "RANDOM capacity must be positive");
+    slots_.reserve(capacity);
+  }
+
+  bool touch(BlockId block, const AccessContext&) override {
+    return index_.find(block) != index_.end();
+  }
+
+  EvictResult insert(BlockId block, const AccessContext&) override {
+    ULC_REQUIRE(index_.find(block) == index_.end(), "insert of present block");
+    EvictResult ev;
+    if (slots_.size() >= capacity_) {
+      const std::size_t victim_slot =
+          static_cast<std::size_t>(rng_.next_below(slots_.size()));
+      ev.evicted = true;
+      ev.victim = slots_[victim_slot];
+      index_.erase(ev.victim);
+      slots_[victim_slot] = block;
+      index_[block] = victim_slot;
+      return ev;
+    }
+    index_[block] = slots_.size();
+    slots_.push_back(block);
+    return ev;
+  }
+
+  bool erase(BlockId block) override {
+    auto it = index_.find(block);
+    if (it == index_.end()) return false;
+    const std::size_t slot = it->second;
+    index_.erase(it);
+    if (slot + 1 != slots_.size()) {
+      slots_[slot] = slots_.back();
+      index_[slots_[slot]] = slot;
+    }
+    slots_.pop_back();
+    return true;
+  }
+
+  bool contains(BlockId block) const override { return index_.count(block) != 0; }
+  std::size_t size() const override { return slots_.size(); }
+  std::size_t capacity() const override { return capacity_; }
+  const char* name() const override { return "RANDOM"; }
+
+ private:
+  std::size_t capacity_;
+  Rng rng_;
+  std::vector<BlockId> slots_;
+  std::unordered_map<BlockId, std::size_t> index_;
+};
+
+}  // namespace
+
+PolicyPtr make_random(std::size_t capacity, std::uint64_t seed) {
+  return std::make_unique<RandomPolicy>(capacity, seed);
+}
+
+}  // namespace ulc

@@ -1,0 +1,132 @@
+// 2Q — Johnson & Shasha, VLDB 1994 (the "full version" of the algorithm).
+//
+// Like LIRS and ULC, 2Q refuses to give a first-touch block the benefit of
+// the doubt: new blocks enter a small FIFO (A1in); only blocks re-referenced
+// after leaving it — their id still in the A1out ghost — are promoted to the
+// main LRU (Am). Included as the classic admission-filter baseline against
+// which ULC's Lout/second-touch behaviour can be compared at one level.
+#include <list>
+#include <unordered_map>
+
+#include "replacement/cache_policy.h"
+#include "util/ensure.h"
+
+namespace ulc {
+
+namespace {
+
+class TwoQPolicy final : public CachePolicy {
+ public:
+  explicit TwoQPolicy(const TwoQConfig& cfg) : capacity_(cfg.capacity) {
+    ULC_REQUIRE(cfg.capacity >= 2, "2Q needs capacity >= 2");
+    kin_ = static_cast<std::size_t>(static_cast<double>(capacity_) * cfg.kin_fraction);
+    if (kin_ < 1) kin_ = 1;
+    if (kin_ > capacity_ - 1) kin_ = capacity_ - 1;
+    kout_ =
+        static_cast<std::size_t>(static_cast<double>(capacity_) * cfg.kout_fraction);
+    if (kout_ < 1) kout_ = 1;
+  }
+
+  bool touch(BlockId block, const AccessContext&) override {
+    auto it = index_.find(block);
+    if (it == index_.end()) return false;
+    Entry& e = it->second;
+    switch (e.where) {
+      case Where::kAm:
+        am_.splice(am_.begin(), am_, e.pos);  // LRU bump
+        return true;
+      case Where::kA1in:
+        return true;  // 2Q: hits in A1in do not reorder
+      case Where::kA1out:
+        return false;  // ghost: not resident
+    }
+    return false;
+  }
+
+  EvictResult insert(BlockId block, const AccessContext&) override {
+    EvictResult ev;
+    auto it = index_.find(block);
+    if (it != index_.end() && it->second.where == Where::kA1out) {
+      // Re-reference after FIFO eviction: this block has real reuse; promote
+      // into the main LRU.
+      a1out_.erase(it->second.pos);
+      index_.erase(it);
+      ev = reclaim_for(block);
+      am_.push_front(block);
+      index_[block] = Entry{Where::kAm, am_.begin()};
+      return ev;
+    }
+    ULC_REQUIRE(it == index_.end(), "insert of resident block");
+    ev = reclaim_for(block);
+    a1in_.push_front(block);
+    index_[block] = Entry{Where::kA1in, a1in_.begin()};
+    return ev;
+  }
+
+  bool erase(BlockId block) override {
+    auto it = index_.find(block);
+    if (it == index_.end() || it->second.where == Where::kA1out) return false;
+    if (it->second.where == Where::kAm) {
+      am_.erase(it->second.pos);
+    } else {
+      a1in_.erase(it->second.pos);
+    }
+    index_.erase(it);
+    return true;
+  }
+
+  bool contains(BlockId block) const override {
+    auto it = index_.find(block);
+    return it != index_.end() && it->second.where != Where::kA1out;
+  }
+  std::size_t size() const override { return am_.size() + a1in_.size(); }
+  std::size_t capacity() const override { return capacity_; }
+  const char* name() const override { return "2Q"; }
+
+ private:
+  enum class Where { kAm, kA1in, kA1out };
+  struct Entry {
+    Where where;
+    std::list<BlockId>::iterator pos;
+  };
+
+  // Frees one slot if the cache is full (the 2Q "reclaimfor" procedure).
+  EvictResult reclaim_for(BlockId) {
+    EvictResult ev;
+    if (size() < capacity_) return ev;
+    if (a1in_.size() > kin_ || am_.empty()) {
+      // Page out the A1in FIFO tail; remember its identity in A1out.
+      const BlockId victim = a1in_.back();
+      a1in_.pop_back();
+      ev = EvictResult{true, victim};
+      a1out_.push_front(victim);
+      index_[victim] = Entry{Where::kA1out, a1out_.begin()};
+      if (a1out_.size() > kout_) {
+        index_.erase(a1out_.back());
+        a1out_.pop_back();
+      }
+    } else {
+      const BlockId victim = am_.back();
+      am_.pop_back();
+      index_.erase(victim);
+      ev = EvictResult{true, victim};
+    }
+    return ev;
+  }
+
+  std::size_t capacity_;
+  std::size_t kin_;
+  std::size_t kout_;
+  std::list<BlockId> am_;     // main LRU, front = MRU
+  std::list<BlockId> a1in_;   // admission FIFO, front = newest
+  std::list<BlockId> a1out_;  // ghost FIFO of evicted A1in ids
+  std::unordered_map<BlockId, Entry> index_;
+};
+
+}  // namespace
+
+PolicyPtr make_two_q(const TwoQConfig& config) {
+  return std::make_unique<TwoQPolicy>(config);
+}
+
+}  // namespace ulc

@@ -1,0 +1,189 @@
+#include "runtime/block_cache.h"
+
+#include <cstring>
+
+#include "util/ensure.h"
+
+namespace ulc {
+
+namespace {
+
+UlcConfig engine_config(const BlockCacheConfig& cfg, const NearTier& near) {
+  UlcConfig out;
+  out.capacities = {cfg.memory_blocks, near.capacity_blocks()};
+  return out;
+}
+
+}  // namespace
+
+BlockCache::BlockCache(const BlockCacheConfig& config, NearTier& near,
+                       Origin& origin)
+    : config_(config),
+      near_(near),
+      origin_(origin),
+      engine_(engine_config(config, near)) {
+  ULC_REQUIRE(config.block_size > 0, "block size must be positive");
+  ULC_REQUIRE(config.memory_blocks >= 1, "need at least one RAM buffer");
+  ULC_REQUIRE(near.block_size() == config.block_size,
+              "near tier block size mismatch");
+  arena_.resize(config.block_size * config.memory_blocks);
+  free_buffers_.reserve(config.memory_blocks);
+  for (std::size_t i = config.memory_blocks; i-- > 0;) free_buffers_.push_back(i);
+  scratch_.resize(config.block_size);
+  scratch2_.resize(config.block_size);
+}
+
+BlockCache::~BlockCache() {
+  // Durability on destruction: push dirty data to the origin.
+  flush();
+}
+
+std::size_t BlockCache::acquire_buffer() {
+  ULC_ENSURE(!free_buffers_.empty(),
+             "RAM pool exhausted: engine placement must bound residency");
+  const std::size_t index = free_buffers_.back();
+  free_buffers_.pop_back();
+  return index;
+}
+
+void BlockCache::release_buffer(std::size_t index) {
+  free_buffers_.push_back(index);
+}
+
+void BlockCache::writeback(BlockId block, std::span<const std::byte> contents) {
+  origin_.write(block, contents);
+  ++stats_.writebacks;
+}
+
+void BlockCache::handle_demotions(const UlcAccess& outcome) {
+  for (const DemoteCmd& d : outcome.demotions) {
+    if (d.from == 0) {
+      auto it = resident_.find(d.block);
+      ULC_ENSURE(it != resident_.end(), "demoted block not resident in RAM");
+      const std::byte* data = buffer_data(it->second);
+      if (d.to == 1) {
+        near_.store(d.block, std::span(data, config_.block_size));
+        ++stats_.demotions;
+      } else {
+        // Discard from RAM: dirty data must reach the origin first.
+        if (dirty_.erase(d.block) > 0)
+          writeback(d.block, std::span(data, config_.block_size));
+      }
+      release_buffer(it->second);
+      resident_.erase(it);
+    } else {
+      // Leaving the near tier; in a two-tier cache that means discard.
+      ULC_ENSURE(d.to == kLevelOut, "two-tier cache demotes near-tier blocks out");
+      if (dirty_.erase(d.block) > 0) {
+        const bool ok = near_.fetch(d.block, scratch2_);
+        ULC_ENSURE(ok, "dirty near-tier block missing");
+        writeback(d.block, scratch2_);
+      }
+      near_.evict(d.block);
+    }
+  }
+}
+
+void BlockCache::apply_placement(BlockId block, const UlcAccess& outcome,
+                                 std::span<const std::byte> contents,
+                                 bool dirtying) {
+  if (outcome.placed_level == 0) {
+    auto it = resident_.find(block);
+    std::size_t buf;
+    if (it == resident_.end()) {
+      buf = acquire_buffer();
+      resident_[block] = buf;
+    } else {
+      buf = it->second;
+    }
+    if (buffer_data(buf) != contents.data())
+      std::memcpy(buffer_data(buf), contents.data(), config_.block_size);
+    if (outcome.hit_level == 1) near_.evict(block);  // exclusive move up
+    if (dirtying) dirty_.insert(block);
+  } else if (outcome.placed_level == 1) {
+    // Stays at / goes to the near tier. On a near-tier read hit nothing
+    // moves; writes and fresh placements must store the bytes.
+    if (dirtying || outcome.hit_level != 1) near_.store(block, contents);
+    if (dirtying) dirty_.insert(block);
+  } else {
+    // Not cached anywhere: pass-through. A write goes straight to the
+    // origin; a read retains nothing.
+    if (dirtying) writeback(block, contents);
+  }
+}
+
+void BlockCache::read(BlockId block, std::span<std::byte> out) {
+  ULC_REQUIRE(out.size() >= config_.block_size, "read buffer too small");
+  std::lock_guard<std::mutex> guard(lock_);
+  ++stats_.reads;
+  const UlcAccess& a = engine_.access(block);
+
+  const std::byte* source = nullptr;
+  if (a.hit_level == 0) {
+    ++stats_.memory_hits;
+    source = buffer_data(resident_.at(block));
+  } else if (a.hit_level == 1) {
+    ++stats_.near_hits;
+    const bool ok = near_.fetch(block, scratch_);
+    ULC_ENSURE(ok, "engine says near-tier hit but the tier lacks the block");
+    source = scratch_.data();
+  } else {
+    ++stats_.origin_reads;
+    origin_.read(block, scratch_);
+    source = scratch_.data();
+  }
+  std::memcpy(out.data(), source, config_.block_size);
+
+  // Demotions first: they free the RAM buffer a promotion may need. They
+  // never touch the just-accessed block (it sits at the stack top) and use
+  // their own scratch buffer, so `source` stays valid.
+  handle_demotions(a);
+  apply_placement(block, a, std::span(source, config_.block_size),
+                  /*dirtying=*/false);
+}
+
+void BlockCache::write(BlockId block, std::span<const std::byte> in) {
+  ULC_REQUIRE(in.size() >= config_.block_size, "write buffer too small");
+  std::lock_guard<std::mutex> guard(lock_);
+  ++stats_.writes;
+  const UlcAccess& a = engine_.access(block);
+  if (a.hit_level == 0) {
+    ++stats_.memory_hits;
+  } else if (a.hit_level == 1) {
+    ++stats_.near_hits;
+  }
+  // A whole-block write does not need the old contents; the new bytes are
+  // placed per the engine's direction.
+  handle_demotions(a);
+  apply_placement(block, a, in.subspan(0, config_.block_size),
+                  /*dirtying=*/true);
+}
+
+void BlockCache::flush() {
+  std::lock_guard<std::mutex> guard(lock_);
+  for (BlockId block : dirty_) {
+    auto it = resident_.find(block);
+    if (it != resident_.end()) {
+      origin_.write(block,
+                    std::span(buffer_data(it->second), config_.block_size));
+    } else {
+      const bool ok = near_.fetch(block, scratch_);
+      ULC_ENSURE(ok, "dirty block missing from both tiers");
+      origin_.write(block, scratch_);
+    }
+    ++stats_.writebacks;
+  }
+  dirty_.clear();
+}
+
+BlockCacheStats BlockCache::stats() const {
+  std::lock_guard<std::mutex> guard(lock_);
+  return stats_;
+}
+
+bool BlockCache::resident_in_memory(BlockId block) const {
+  std::lock_guard<std::mutex> guard(lock_);
+  return resident_.count(block) != 0;
+}
+
+}  // namespace ulc

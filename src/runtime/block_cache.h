@@ -1,0 +1,99 @@
+// BlockCache — an embeddable, thread-safe two-tier block cache with ULC
+// placement. This is the paper's protocol running over real bytes rather
+// than trace metadata: a RAM buffer pool (tier L1) in front of a NearTier
+// (tier L2, e.g. an SSD cache file) in front of the Origin.
+//
+// The ULC engine decides, per access, where a block belongs; BlockCache
+// moves the data accordingly: Retrieve commands become tier fetches, Demote
+// commands become near-tier stores, discards of dirty blocks become origin
+// write-backs. Blocks the engine declines to cache are served straight
+// through (the caller receives a copy; nothing is retained).
+//
+// Thread safety: all operations are serialized by one internal mutex (the
+// engine's metadata operations are O(1), so the lock is held briefly except
+// during tier/origin IO; a sharded design is future work).
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "runtime/tier.h"
+#include "ulc/ulc_client.h"
+
+namespace ulc {
+
+struct BlockCacheConfig {
+  std::size_t block_size = 8192;
+  std::size_t memory_blocks = 1024;  // tier-L1 buffer pool size
+};
+
+struct BlockCacheStats {
+  std::uint64_t memory_hits = 0;    // served from the RAM pool
+  std::uint64_t near_hits = 0;      // served from the near tier
+  std::uint64_t origin_reads = 0;   // misses
+  std::uint64_t demotions = 0;      // RAM -> near-tier block movements
+  std::uint64_t writebacks = 0;     // dirty blocks written to the origin
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+};
+
+class BlockCache {
+ public:
+  // The tiers must outlive the cache. near.block_size() must match.
+  BlockCache(const BlockCacheConfig& config, NearTier& near, Origin& origin);
+  ~BlockCache();
+
+  BlockCache(const BlockCache&) = delete;
+  BlockCache& operator=(const BlockCache&) = delete;
+
+  // Copies the block's current contents into `out` (>= block_size bytes).
+  void read(BlockId block, std::span<std::byte> out);
+  // Replaces the block's contents from `in` (>= block_size bytes).
+  void write(BlockId block, std::span<const std::byte> in);
+
+  // Writes every dirty block back to the origin (cached copies stay valid).
+  void flush();
+
+  BlockCacheStats stats() const;
+  std::size_t block_size() const { return config_.block_size; }
+
+  // Test support: true if the block currently occupies a RAM buffer.
+  bool resident_in_memory(BlockId block) const;
+
+ private:
+  struct Buffer {
+    std::byte* data = nullptr;
+  };
+
+  // All private methods require lock_ to be held.
+  std::byte* buffer_data(std::size_t index) { return &arena_[index * config_.block_size]; }
+  std::size_t acquire_buffer();
+  void release_buffer(std::size_t index);
+  // Applies the engine's outcome for `block` whose fresh contents are in
+  // `scratch` (filled from wherever it was served). Returns nothing; updates
+  // residency, near tier, and write-back state.
+  void apply_placement(BlockId block, const UlcAccess& outcome,
+                       std::span<const std::byte> contents, bool dirtying);
+  void handle_demotions(const UlcAccess& outcome);
+  void writeback(BlockId block, std::span<const std::byte> contents);
+
+  BlockCacheConfig config_;
+  NearTier& near_;
+  Origin& origin_;
+
+  mutable std::mutex lock_;
+  UlcClient engine_;
+  std::vector<std::byte> arena_;
+  std::vector<std::size_t> free_buffers_;
+  std::unordered_map<BlockId, std::size_t> resident_;  // block -> buffer index
+  std::unordered_set<BlockId> dirty_;  // dirty wherever the block now lives
+  std::vector<std::byte> scratch_;
+  std::vector<std::byte> scratch2_;  // demotion-path IO (keeps scratch_ valid)
+  BlockCacheStats stats_;
+};
+
+}  // namespace ulc

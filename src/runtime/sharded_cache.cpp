@@ -1,0 +1,89 @@
+#include "runtime/sharded_cache.h"
+
+#include <mutex>
+
+#include "util/ensure.h"
+
+namespace ulc {
+
+namespace {
+
+class SynchronizedOrigin final : public Origin {
+ public:
+  explicit SynchronizedOrigin(Origin& inner) : inner_(inner) {}
+
+  void read(BlockId block, std::span<std::byte> out) override {
+    std::lock_guard<std::mutex> guard(lock_);
+    inner_.read(block, out);
+  }
+
+  void write(BlockId block, std::span<const std::byte> data) override {
+    std::lock_guard<std::mutex> guard(lock_);
+    inner_.write(block, data);
+  }
+
+ private:
+  Origin& inner_;
+  std::mutex lock_;
+};
+
+// Fibonacci hashing spreads sequential block ids across shards.
+inline std::size_t shard_index(BlockId block, std::size_t shards) {
+  return static_cast<std::size_t>((block * 0x9e3779b97f4a7c15ULL) >> 32) % shards;
+}
+
+}  // namespace
+
+std::unique_ptr<Origin> make_synchronized_origin(Origin& inner) {
+  return std::make_unique<SynchronizedOrigin>(inner);
+}
+
+ShardedBlockCache::ShardedBlockCache(const BlockCacheConfig& per_shard,
+                                     std::size_t shards,
+                                     const NearTierFactory& near_factory,
+                                     Origin& origin)
+    : block_size_(per_shard.block_size) {
+  ULC_REQUIRE(shards >= 1, "need at least one shard");
+  ULC_REQUIRE(near_factory != nullptr, "need a near-tier factory");
+  shards_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    Shard shard;
+    shard.near = near_factory(s);
+    ULC_REQUIRE(shard.near != nullptr, "near-tier factory returned null");
+    shard.cache = std::make_unique<BlockCache>(per_shard, *shard.near, origin);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+BlockCache& ShardedBlockCache::shard_for(BlockId block) {
+  return *shards_[shard_index(block, shards_.size())].cache;
+}
+
+void ShardedBlockCache::read(BlockId block, std::span<std::byte> out) {
+  shard_for(block).read(block, out);
+}
+
+void ShardedBlockCache::write(BlockId block, std::span<const std::byte> in) {
+  shard_for(block).write(block, in);
+}
+
+void ShardedBlockCache::flush() {
+  for (Shard& shard : shards_) shard.cache->flush();
+}
+
+BlockCacheStats ShardedBlockCache::stats() const {
+  BlockCacheStats total;
+  for (const Shard& shard : shards_) {
+    const BlockCacheStats s = shard.cache->stats();
+    total.memory_hits += s.memory_hits;
+    total.near_hits += s.near_hits;
+    total.origin_reads += s.origin_reads;
+    total.demotions += s.demotions;
+    total.writebacks += s.writebacks;
+    total.reads += s.reads;
+    total.writes += s.writes;
+  }
+  return total;
+}
+
+}  // namespace ulc

@@ -1,0 +1,54 @@
+// ShardedBlockCache — N independent BlockCache shards routed by block-id
+// hash, for embedders whose access rate outgrows one engine lock.
+//
+// Each shard has its own ULC engine, RAM pool slice and near tier, so shard
+// operations never contend; only the origin is shared (wrap a non-thread-
+// safe Origin with make_synchronized_origin). Placement quality degrades
+// gracefully: each shard ranks its own 1/N of the block population against
+// 1/N of the capacity, which preserves ULC's behaviour for workloads whose
+// locality is not correlated with the hash (tests check the hit-rate parity
+// against a single shard).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "runtime/block_cache.h"
+
+namespace ulc {
+
+// Serializes a non-thread-safe Origin behind a mutex.
+std::unique_ptr<Origin> make_synchronized_origin(Origin& inner);
+
+class ShardedBlockCache {
+ public:
+  using NearTierFactory = std::function<std::unique_ptr<NearTier>(std::size_t shard)>;
+
+  // `per_shard` applies to every shard (memory_blocks per shard). The
+  // factory creates one near tier per shard. `origin` must be thread-safe
+  // (wrap with make_synchronized_origin if needed) and outlive the cache.
+  ShardedBlockCache(const BlockCacheConfig& per_shard, std::size_t shards,
+                    const NearTierFactory& near_factory, Origin& origin);
+
+  void read(BlockId block, std::span<std::byte> out);
+  void write(BlockId block, std::span<const std::byte> in);
+  void flush();
+
+  BlockCacheStats stats() const;  // aggregated over shards
+  std::size_t shards() const { return shards_.size(); }
+  std::size_t block_size() const { return block_size_; }
+
+ private:
+  struct Shard {
+    std::unique_ptr<NearTier> near;
+    std::unique_ptr<BlockCache> cache;
+  };
+
+  BlockCache& shard_for(BlockId block);
+
+  std::size_t block_size_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace ulc

@@ -1,0 +1,200 @@
+#include "runtime/tier.h"
+
+#include <cstdio>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "util/ensure.h"
+
+namespace ulc {
+
+namespace {
+
+class MemoryNearTier final : public NearTier {
+ public:
+  MemoryNearTier(std::size_t capacity, std::size_t block_size)
+      : capacity_(capacity), block_size_(block_size) {}
+
+  bool fetch(BlockId block, std::span<std::byte> out) override {
+    ULC_REQUIRE(out.size() >= block_size_, "fetch buffer too small");
+    auto it = store_.find(block);
+    if (it == store_.end()) return false;
+    std::memcpy(out.data(), it->second.data(), block_size_);
+    return true;
+  }
+
+  void store(BlockId block, std::span<const std::byte> data) override {
+    ULC_REQUIRE(data.size() >= block_size_, "store buffer too small");
+    auto& slot = store_[block];
+    slot.assign(data.begin(), data.begin() + static_cast<std::ptrdiff_t>(block_size_));
+    ULC_ENSURE(store_.size() <= capacity_ + 1,
+               "near tier overfilled: the placement engine must bound it");
+  }
+
+  void evict(BlockId block) override { store_.erase(block); }
+
+  std::size_t capacity_blocks() const override { return capacity_; }
+  std::size_t block_size() const override { return block_size_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t block_size_;
+  std::unordered_map<BlockId, std::vector<std::byte>> store_;
+};
+
+class MemoryOrigin final : public Origin {
+ public:
+  explicit MemoryOrigin(std::size_t block_size) : block_size_(block_size) {}
+
+  void read(BlockId block, std::span<std::byte> out) override {
+    ULC_REQUIRE(out.size() >= block_size_, "read buffer too small");
+    auto it = store_.find(block);
+    if (it == store_.end()) {
+      std::memset(out.data(), 0, block_size_);
+      return;
+    }
+    std::memcpy(out.data(), it->second.data(), block_size_);
+  }
+
+  void write(BlockId block, std::span<const std::byte> data) override {
+    ULC_REQUIRE(data.size() >= block_size_, "write buffer too small");
+    auto& slot = store_[block];
+    slot.assign(data.begin(), data.begin() + static_cast<std::ptrdiff_t>(block_size_));
+  }
+
+ private:
+  std::size_t block_size_;
+  std::unordered_map<BlockId, std::vector<std::byte>> store_;
+};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+FilePtr open_rw(const std::string& path) {
+  // Open for update, creating if needed.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (!f) f = std::fopen(path.c_str(), "w+b");
+  ULC_REQUIRE(f != nullptr, "cannot open tier file");
+  return FilePtr(f);
+}
+
+// Slot-mapped cache file: block contents live in fixed slots; a directory
+// maps block id -> slot, with a free list of vacated slots.
+class FileNearTier final : public NearTier {
+ public:
+  FileNearTier(const std::string& path, std::size_t capacity, std::size_t block_size)
+      : file_(open_rw(path)), capacity_(capacity), block_size_(block_size) {}
+
+  bool fetch(BlockId block, std::span<std::byte> out) override {
+    ULC_REQUIRE(out.size() >= block_size_, "fetch buffer too small");
+    auto it = slots_.find(block);
+    if (it == slots_.end()) return false;
+    read_slot(it->second, out);
+    return true;
+  }
+
+  void store(BlockId block, std::span<const std::byte> data) override {
+    ULC_REQUIRE(data.size() >= block_size_, "store buffer too small");
+    std::size_t slot;
+    auto it = slots_.find(block);
+    if (it != slots_.end()) {
+      slot = it->second;
+    } else if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+      slots_[block] = slot;
+    } else {
+      slot = next_slot_++;
+      slots_[block] = slot;
+    }
+    const long off = static_cast<long>(slot * block_size_);
+    ULC_REQUIRE(std::fseek(file_.get(), off, SEEK_SET) == 0, "tier seek failed");
+    ULC_REQUIRE(std::fwrite(data.data(), 1, block_size_, file_.get()) == block_size_,
+                "tier write failed");
+  }
+
+  void evict(BlockId block) override {
+    auto it = slots_.find(block);
+    if (it == slots_.end()) return;
+    free_slots_.push_back(it->second);
+    slots_.erase(it);
+  }
+
+  std::size_t capacity_blocks() const override { return capacity_; }
+  std::size_t block_size() const override { return block_size_; }
+
+ private:
+  void read_slot(std::size_t slot, std::span<std::byte> out) {
+    const long off = static_cast<long>(slot * block_size_);
+    ULC_REQUIRE(std::fseek(file_.get(), off, SEEK_SET) == 0, "tier seek failed");
+    ULC_REQUIRE(std::fread(out.data(), 1, block_size_, file_.get()) == block_size_,
+                "tier read failed");
+  }
+
+  FilePtr file_;
+  std::size_t capacity_;
+  std::size_t block_size_;
+  std::unordered_map<BlockId, std::size_t> slots_;
+  std::vector<std::size_t> free_slots_;
+  std::size_t next_slot_ = 0;
+};
+
+class FileOrigin final : public Origin {
+ public:
+  FileOrigin(const std::string& path, std::size_t block_size)
+      : file_(open_rw(path)), block_size_(block_size) {}
+
+  void read(BlockId block, std::span<std::byte> out) override {
+    ULC_REQUIRE(out.size() >= block_size_, "read buffer too small");
+    const long off = static_cast<long>(block * block_size_);
+    if (std::fseek(file_.get(), 0, SEEK_END) != 0 ||
+        std::ftell(file_.get()) < off + static_cast<long>(block_size_)) {
+      std::memset(out.data(), 0, block_size_);  // beyond EOF: zeroes
+      return;
+    }
+    ULC_REQUIRE(std::fseek(file_.get(), off, SEEK_SET) == 0, "origin seek failed");
+    ULC_REQUIRE(std::fread(out.data(), 1, block_size_, file_.get()) == block_size_,
+                "origin read failed");
+  }
+
+  void write(BlockId block, std::span<const std::byte> data) override {
+    ULC_REQUIRE(data.size() >= block_size_, "write buffer too small");
+    const long off = static_cast<long>(block * block_size_);
+    ULC_REQUIRE(std::fseek(file_.get(), off, SEEK_SET) == 0, "origin seek failed");
+    ULC_REQUIRE(std::fwrite(data.data(), 1, block_size_, file_.get()) == block_size_,
+                "origin write failed");
+  }
+
+ private:
+  FilePtr file_;
+  std::size_t block_size_;
+};
+
+}  // namespace
+
+std::unique_ptr<NearTier> make_memory_near_tier(std::size_t capacity_blocks,
+                                                std::size_t block_size) {
+  return std::make_unique<MemoryNearTier>(capacity_blocks, block_size);
+}
+
+std::unique_ptr<Origin> make_memory_origin(std::size_t block_size) {
+  return std::make_unique<MemoryOrigin>(block_size);
+}
+
+std::unique_ptr<NearTier> make_file_near_tier(const std::string& path,
+                                              std::size_t capacity_blocks,
+                                              std::size_t block_size) {
+  return std::make_unique<FileNearTier>(path, capacity_blocks, block_size);
+}
+
+std::unique_ptr<Origin> make_file_origin(const std::string& path,
+                                         std::size_t block_size) {
+  return std::make_unique<FileOrigin>(path, block_size);
+}
+
+}  // namespace ulc

@@ -1,0 +1,59 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/prng.h"
+
+namespace ulc {
+
+Trace Trace::filter_client(ClientId client) const {
+  Trace out(name_ + "/client" + std::to_string(client));
+  for (const Request& r : requests_) {
+    if (r.client == client) out.add(r.block, 0, r.op);
+  }
+  return out;
+}
+
+Trace Trace::prefix(std::size_t n) const {
+  Trace out(name_);
+  const std::size_t count = std::min(n, requests_.size());
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.add(requests_[i]);
+  return out;
+}
+
+TraceStats compute_stats(const Trace& trace) {
+  TraceStats stats;
+  stats.references = trace.size();
+  std::unordered_map<BlockId, ClientId> first_client;
+  std::unordered_set<BlockId> shared;
+  std::unordered_set<ClientId> clients;
+  first_client.reserve(trace.size() / 4 + 16);
+  for (const Request& r : trace) {
+    stats.max_block = std::max(stats.max_block, r.block);
+    clients.insert(r.client);
+    auto [it, inserted] = first_client.emplace(r.block, r.client);
+    if (!inserted && it->second != r.client) shared.insert(r.block);
+  }
+  stats.unique_blocks = first_client.size();
+  stats.clients = clients.size();
+  stats.shared_blocks = shared.size();
+  for (const Request& r : trace) stats.writes += r.op == Op::kWrite ? 1 : 0;
+  return stats;
+}
+
+Trace with_writes(const Trace& trace, double fraction, std::uint64_t seed) {
+  Trace out(trace.name());
+  out.reserve(trace.size());
+  Rng rng(seed);
+  for (const Request& r : trace) {
+    Request copy = r;
+    copy.op = rng.next_bool(fraction) ? Op::kWrite : Op::kRead;
+    out.add(copy);
+  }
+  return out;
+}
+
+}  // namespace ulc

@@ -1,0 +1,64 @@
+// An in-memory block reference trace plus summary statistics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/types.h"
+
+namespace ulc {
+
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::string name) : name_(std::move(name)) {}
+
+  void reserve(std::size_t n) { requests_.reserve(n); }
+  void add(BlockId block, ClientId client = 0, Op op = Op::kRead) {
+    requests_.push_back({block, client, op});
+  }
+  void add(const Request& r) { requests_.push_back(r); }
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  std::size_t size() const { return requests_.size(); }
+  bool empty() const { return requests_.empty(); }
+  const Request& operator[](std::size_t i) const { return requests_[i]; }
+  const std::vector<Request>& requests() const { return requests_; }
+
+  auto begin() const { return requests_.begin(); }
+  auto end() const { return requests_.end(); }
+
+  // Returns a copy containing only requests of `client`, renumbered to
+  // client 0 (useful for running a multi-client trace single-client).
+  Trace filter_client(ClientId client) const;
+
+  // Returns the trace truncated to at most n requests.
+  Trace prefix(std::size_t n) const;
+
+ private:
+  std::string name_;
+  std::vector<Request> requests_;
+};
+
+// Summary statistics computed in one pass.
+struct TraceStats {
+  std::size_t references = 0;
+  std::size_t unique_blocks = 0;
+  std::size_t clients = 0;           // number of distinct client ids
+  BlockId max_block = 0;
+  // Number of blocks referenced by more than one client (sharing degree).
+  std::size_t shared_blocks = 0;
+  std::size_t writes = 0;
+};
+
+TraceStats compute_stats(const Trace& trace);
+
+// Deterministically marks `fraction` of the requests as writes (the paper's
+// traces do not distinguish; this lets write-back behaviour be studied on
+// any workload).
+Trace with_writes(const Trace& trace, double fraction, std::uint64_t seed = 1);
+
+}  // namespace ulc

@@ -1,0 +1,24 @@
+// Trace (de)serialization.
+//
+// Two formats:
+//  * text:   one "<client> <block>" pair per line, '#' comments — convenient
+//            for importing external traces and for eyeballing.
+//  * binary: magic + little-endian u32 client / u64 block pairs — compact,
+//            used to cache large synthesized traces between runs.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "trace/trace.h"
+
+namespace ulc {
+
+// Returns false (and leaves *error set) on IO or format problems.
+bool save_trace_text(const Trace& trace, const std::string& path, std::string* error = nullptr);
+bool save_trace_binary(const Trace& trace, const std::string& path, std::string* error = nullptr);
+
+std::optional<Trace> load_trace_text(const std::string& path, std::string* error = nullptr);
+std::optional<Trace> load_trace_binary(const std::string& path, std::string* error = nullptr);
+
+}  // namespace ulc

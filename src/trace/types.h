@@ -1,0 +1,30 @@
+// Fundamental identifiers of the trace-driven simulator.
+#pragma once
+
+#include <cstdint>
+
+namespace ulc {
+
+// A file block identifier. The paper's metadata is "8 bytes for file
+// identifier and block offset"; we model that as one flat 64-bit id.
+using BlockId = std::uint64_t;
+
+// Identifies the client issuing a request in multi-client workloads.
+using ClientId = std::uint32_t;
+
+// Request kind. The paper's traces are reads and "writes would be handled
+// identically for placement purposes" (§5); what writes add is dirty state:
+// a dirty block leaving the hierarchy must be written back to disk instead
+// of being discarded.
+enum class Op : std::uint8_t { kRead = 0, kWrite = 1 };
+
+// One block reference.
+struct Request {
+  BlockId block = 0;
+  ClientId client = 0;
+  Op op = Op::kRead;
+
+  friend bool operator==(const Request&, const Request&) = default;
+};
+
+}  // namespace ulc

@@ -1,0 +1,73 @@
+#include "ulc/glru_server.h"
+
+#include "util/ensure.h"
+
+namespace ulc {
+
+GlruServer::GlruServer(std::size_t capacity) : capacity_(capacity) {
+  ULC_REQUIRE(capacity >= 1, "server capacity must be >= 1");
+}
+
+GlruServer::PlaceResult GlruServer::place(BlockId block, ClientId owner) {
+  PlaceResult result;
+  auto it = index_.find(block);
+  if (it != index_.end()) {
+    // Shared block already cached: refresh recency, transfer ownership.
+    it->second->owner = owner;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return result;
+  }
+  if (lru_.size() >= capacity_) {
+    const Entry& victim = lru_.back();
+    result.evicted = true;
+    result.victim = victim.block;
+    result.victim_owner = victim.owner;
+    index_.erase(victim.block);
+    lru_.pop_back();
+  }
+  lru_.push_front(Entry{block, owner});
+  index_[block] = lru_.begin();
+  return result;
+}
+
+bool GlruServer::refresh(BlockId block, ClientId owner) {
+  auto it = index_.find(block);
+  if (it == index_.end()) return false;
+  it->second->owner = owner;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return true;
+}
+
+bool GlruServer::take(BlockId block) {
+  auto it = index_.find(block);
+  if (it == index_.end()) return false;
+  lru_.erase(it->second);
+  index_.erase(it);
+  return true;
+}
+
+ClientId GlruServer::owner_of(BlockId block) const {
+  auto it = index_.find(block);
+  ULC_REQUIRE(it != index_.end(), "owner_of absent block");
+  return it->second->owner;
+}
+
+std::size_t GlruServer::owned_by(ClientId client) const {
+  std::size_t n = 0;
+  for (const Entry& e : lru_) {
+    if (e.owner == client) ++n;
+  }
+  return n;
+}
+
+bool GlruServer::check_consistency() const {
+  if (index_.size() != lru_.size()) return false;
+  if (lru_.size() > capacity_) return false;
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    auto idx = index_.find(it->block);
+    if (idx == index_.end() || idx->second != it) return false;
+  }
+  return true;
+}
+
+}  // namespace ulc

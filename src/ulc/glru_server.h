@@ -1,0 +1,70 @@
+// The shared-server side of the multi-client ULC protocol (paper §3.2.2).
+//
+// The server's buffers are allocated among clients by a global LRU stack,
+// gLRU, ordered by the times clients last *required a block be cached* here
+// (placements and Retrieve(b, s, s) refreshes — not plain pass-through
+// reads). Each buffer records its owner: the client that most recently
+// directed the block here. When a placement overflows the cache, the gLRU
+// bottom is replaced and its owner must be told so it can shrink its view
+// of its server share (yardstick adjustment); the notice is delayed and
+// piggybacked on the next block retrieved by that owner.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/types.h"
+
+namespace ulc {
+
+class GlruServer {
+ public:
+  explicit GlruServer(std::size_t capacity);
+
+  struct PlaceResult {
+    bool evicted = false;
+    BlockId victim = 0;
+    ClientId victim_owner = 0;
+  };
+
+  // Client `owner` directs `block` to be cached here (a fresh placement or a
+  // Demote(b, 1, 2)). If the block is already cached — a shared block
+  // directed here by another client — its recency and owner are refreshed.
+  PlaceResult place(BlockId block, ClientId owner);
+
+  // Retrieve(b, server, server): serve the block, keeping it cached;
+  // refreshes gLRU recency and ownership. Returns false if absent.
+  bool refresh(BlockId block, ClientId owner);
+
+  // Retrieve(b, server, client-level): serve the block and drop the server
+  // copy (the client now caches it; exclusive layout). Returns false if
+  // absent.
+  bool take(BlockId block);
+
+  bool contains(BlockId block) const { return index_.count(block) != 0; }
+  // Owner of a cached block; block must be present.
+  ClientId owner_of(BlockId block) const;
+
+  std::size_t size() const { return lru_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool full() const { return lru_.size() >= capacity_; }
+
+  // Number of blocks currently owned by `client`.
+  std::size_t owned_by(ClientId client) const;
+
+  bool check_consistency() const;
+
+ private:
+  struct Entry {
+    BlockId block;
+    ClientId owner;
+  };
+
+  std::size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently directed
+  std::unordered_map<BlockId, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace ulc

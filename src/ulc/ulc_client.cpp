@@ -1,0 +1,218 @@
+#include "ulc/ulc_client.h"
+
+#include <algorithm>
+
+#include "util/ensure.h"
+
+namespace ulc {
+
+UlcClient::UlcClient(const UlcConfig& config)
+    : capacities_(config.capacities),
+      first_elastic_(config.first_elastic_level),
+      temp_capacity_(config.temp_capacity),
+      stack_(config.capacities.size()) {
+  ULC_REQUIRE(!capacities_.empty(), "ULC needs at least one level");
+  if (config.last_level_elastic)
+    first_elastic_ = std::min(first_elastic_, capacities_.size() - 1);
+  ULC_REQUIRE(first_elastic_ >= 1, "the client cache itself cannot be elastic");
+  elastic_full_.assign(capacities_.size(), false);
+  for (std::size_t i = 0; i < capacities_.size(); ++i) {
+    ULC_REQUIRE(capacities_[i] >= 1 || is_elastic(i),
+                "level capacity must be >= 1");
+  }
+  stats_.level_hits.assign(capacities_.size(), 0);
+  stats_.demotions.assign(capacities_.size() == 0 ? 0 : capacities_.size() - 1, 0);
+}
+
+bool UlcClient::level_has_room(std::size_t level) const {
+  if (is_elastic(level)) return !elastic_full_[level];
+  return stack_.level_size(level) < capacities_[level];
+}
+
+std::size_t UlcClient::first_level_with_room() const {
+  for (std::size_t i = 0; i < capacities_.size(); ++i) {
+    if (level_has_room(i)) return i;
+  }
+  return kLevelOut;
+}
+
+bool UlcClient::level_overflowed(std::size_t level) const {
+  if (is_elastic(level)) return false;  // the shared level's server decides
+  return stack_.level_size(level) > capacities_[level];
+}
+
+void UlcClient::set_elastic_full(bool full) {
+  for (std::size_t i = 0; i < capacities_.size(); ++i) {
+    if (is_elastic(i)) elastic_full_[i] = full;
+  }
+}
+
+void UlcClient::set_elastic_full(std::size_t level, bool full) {
+  ULC_REQUIRE(level < capacities_.size() && is_elastic(level),
+              "set_elastic_full on a non-elastic level");
+  elastic_full_[level] = full;
+}
+
+void UlcClient::run_demotion_cascade(std::size_t start_level) {
+  // Frees the slot taken by a placement at start_level by demoting each
+  // overflowing level's yardstick one level down; stops at the first level
+  // with room (at the latest, the level the accessed block vacated, or the
+  // elastic server level).
+  //
+  // When the block just demoted into level k+1 is immediately level k+1's
+  // replacement victim (its recency is worse than every resident there), the
+  // two steps collapse into one Demote(b, k, k+2)-style command — the
+  // paper's Demote(b, i, j) allows arbitrary i < j — so the block is shipped
+  // once to its final destination; if that destination is "out", it is
+  // simply discarded at its original level with no transfer at all.
+  UniLruStack::Node* inflight = nullptr;
+  for (std::size_t k = start_level; k < capacities_.size(); ++k) {
+    if (!level_overflowed(k)) break;
+    UniLruStack::Node* victim = stack_.yard(k);
+    ULC_ENSURE(victim != nullptr, "overflowing level must have a yardstick");
+    stack_.yardstick_departure(victim);
+    const std::size_t next = (k + 1 < capacities_.size()) ? k + 1 : kLevelOut;
+    stack_.set_level(victim, next);
+    if (victim == inflight) {
+      out_.demotions.back().to = next;  // extend the in-flight demotion
+    } else {
+      out_.demotions.push_back(DemoteCmd{victim->block, k, next});
+    }
+    inflight = (next == kLevelOut) ? nullptr : victim;
+    if (next == kLevelOut) ++stats_.evictions;
+  }
+  // Account block transfers: a demote from f to t crosses links f..t-1; a
+  // demote to "out" is a local discard (no transfer).
+  for (const DemoteCmd& d : out_.demotions) {
+    if (d.to == kLevelOut) continue;
+    for (std::size_t k = d.from; k < d.to; ++k) ++stats_.demotions[k];
+  }
+}
+
+const UlcAccess& UlcClient::access(BlockId block) {
+  ++stats_.references;
+  out_.hit_level = kLevelOut;
+  out_.temp_hit = false;
+  out_.placed_level = kLevelOut;
+  out_.demotions.clear();
+
+  if (temp_capacity_ > 0) {
+    auto it = temp_index_.find(block);
+    if (it != temp_index_.end()) {
+      out_.temp_hit = true;
+      ++stats_.temp_hits;
+      temp_lru_.erase(it->second);
+      temp_index_.erase(it);
+    }
+  }
+
+  UniLruStack::Node* n = stack_.find(block);
+  if (n == nullptr) {
+    // Cold (or long-ago-pruned) block: fill the first level with room, or
+    // stay uncached when the whole hierarchy is full (paper §3.2.1).
+    const std::size_t fill = first_level_with_room();
+    n = stack_.push_top(block, fill);
+    if (!out_.temp_hit) ++stats_.misses;
+    out_.placed_level = fill;
+    out_.retrieve = RetrieveCmd{block, kLevelOut, fill};
+    stack_.prune();
+    touch_temp(block, fill == 0);
+    return out_;
+  }
+
+  const std::size_t i = n->level;
+  const std::size_t r = stack_.recency_status(n);
+
+  // Serve the block from where it is cached.
+  if (i != kLevelOut) {
+    out_.hit_level = i;
+    ++stats_.level_hits[i];
+  } else if (!out_.temp_hit) {
+    ++stats_.misses;
+  }
+
+  // Placement level: its recency status (= its LLD band), falling back to
+  // the first level with room during warm-up, else uncached.
+  std::size_t j = r;
+  if (j == kLevelOut) j = first_level_with_room();
+  ULC_ENSURE(i == kLevelOut || j == kLevelOut || j <= i,
+             "recency status deeper than level status (paper: i < j impossible)");
+
+  if (j == i) {
+    // Retrieve(b, i, i): stays where it is (or stays uncached).
+    if (i != kLevelOut && stack_.level_size(i) > 1) stack_.yardstick_departure(n);
+    stack_.move_to_top(n);
+    out_.retrieve = RetrieveCmd{block, i, i};
+    out_.placed_level = i;
+  } else {
+    // Retrieve(b, i, j), j < i (or i = out): move b to level j and free a
+    // slot there via the demotion cascade.
+    if (i != kLevelOut) stack_.yardstick_departure(n);
+    stack_.move_to_top(n);
+    stack_.set_level(n, j);
+    out_.retrieve = RetrieveCmd{block, i, j};
+    out_.placed_level = j;
+    if (j != kLevelOut) run_demotion_cascade(j);
+  }
+  stack_.prune();
+  touch_temp(block, out_.placed_level == 0);
+  return out_;
+}
+
+void UlcClient::external_evict(BlockId block) {
+  UniLruStack::Node* n = stack_.find(block);
+  ULC_REQUIRE(n != nullptr && n->level != kLevelOut && is_elastic(n->level),
+              "server evicted a block this client does not hold at a shared level");
+  ++stats_.external_evictions;
+  stack_.yardstick_departure(n);
+  stack_.set_level(n, kLevelOut);
+  stack_.prune();
+}
+
+void UlcClient::external_demote(BlockId block) {
+  UniLruStack::Node* n = stack_.find(block);
+  ULC_REQUIRE(n != nullptr && n->level != kLevelOut && is_elastic(n->level),
+              "server demoted a block this client does not hold at a shared level");
+  ULC_REQUIRE(n->level + 1 < capacities_.size(),
+              "cannot externally demote below the bottom level");
+  stack_.yardstick_departure(n);
+  stack_.set_level(n, n->level + 1);
+  stack_.prune();
+}
+
+void UlcClient::touch_temp(BlockId block, bool cached_at_client) {
+  if (temp_capacity_ == 0 || cached_at_client) return;
+  // The block passed through the client without being cached at L1; it sits
+  // in the small tempLRU until pushed out (paper footnote 3).
+  auto it = temp_index_.find(block);
+  if (it != temp_index_.end()) {
+    temp_lru_.erase(it->second);
+    temp_index_.erase(it);
+  }
+  temp_lru_.push_front(block);
+  temp_index_[block] = temp_lru_.begin();
+  if (temp_lru_.size() > temp_capacity_) {
+    temp_index_.erase(temp_lru_.back());
+    temp_lru_.pop_back();
+  }
+}
+
+bool UlcClient::is_cached(BlockId block) const {
+  const UniLruStack::Node* n = stack_.find(block);
+  return n != nullptr && n->level != kLevelOut;
+}
+
+std::size_t UlcClient::level_of(BlockId block) const {
+  const UniLruStack::Node* n = stack_.find(block);
+  return n == nullptr ? kLevelOut : n->level;
+}
+
+bool UlcClient::check_consistency() const {
+  std::vector<std::size_t> caps = capacities_;
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    if (is_elastic(i)) caps[i] = static_cast<std::size_t>(-1);
+  }
+  return stack_.check_consistency(&caps);
+}
+
+}  // namespace ulc

@@ -1,0 +1,133 @@
+// The ULC protocol engine that runs at the first-level client (paper §3.2).
+//
+// Per reference the engine decides, from the block's position between the
+// yardsticks of the uniLRUstack (its LLD at this access), which level the
+// block is to be cached at, and emits the two protocol commands of §3.2.1:
+//
+//   Retrieve(b, i, j), i >= j : fetch b from level i, caching it at level j
+//                               as it passes on the way to the client;
+//   Demote(b, i, i+1)         : push level i's yardstick block down a level
+//                               (the cascade that frees the slot at j).
+//
+// Lower levels execute these commands verbatim — they run no replacement
+// policy of their own. The engine supports:
+//   * fixed per-level capacities (single-client mode, any number of levels);
+//   * *elastic* shared levels (multi-client mode, one or more): their sizes
+//     are whatever the shared caches grant; the servers signal shrinks via
+//     external_evict(), downward migrations via external_demote() (the
+//     paper's piggybacked replacement notices, generalized in depth) and
+//     fullness via set_elastic_full();
+//   * an optional client-side tempLRU holding blocks that pass through the
+//     client without being cached at L1 (paper footnote 3); disabled (size
+//     0) by default to match the paper's simulation.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/types.h"
+#include "ulc/uni_lru_stack.h"
+
+namespace ulc {
+
+struct UlcConfig {
+  std::vector<std::size_t> capacities;  // per level, level 0 = client cache
+  bool last_level_elastic = false;      // multi-client shared server mode
+  // Generalized multi-client mode: levels >= first_elastic_level are shared
+  // caches whose sizes are granted by their servers (kLevelOut = none
+  // elastic). last_level_elastic is shorthand for levels()-1.
+  std::size_t first_elastic_level = kLevelOut;
+  std::size_t temp_capacity = 0;        // client tempLRU; 0 = not modeled
+};
+
+struct RetrieveCmd {
+  BlockId block = 0;
+  std::size_t from_level = kLevelOut;  // kLevelOut = disk (below all caches)
+  std::size_t cache_at = kLevelOut;    // kLevelOut = do not cache anywhere
+};
+
+struct DemoteCmd {
+  BlockId block = 0;
+  std::size_t from = 0;
+  std::size_t to = kLevelOut;  // kLevelOut = evicted out of the hierarchy
+};
+
+struct UlcAccess {
+  // Where the block was served from: cache level, or kLevelOut for disk.
+  std::size_t hit_level = kLevelOut;
+  bool miss() const { return hit_level == kLevelOut && !temp_hit; }
+  bool temp_hit = false;  // served from the client tempLRU (L1-speed)
+  // Level the block is cached at after this access (kLevelOut = uncached).
+  std::size_t placed_level = kLevelOut;
+  RetrieveCmd retrieve;
+  std::vector<DemoteCmd> demotions;  // cascade, top-down order
+};
+
+struct UlcStats {
+  std::vector<std::uint64_t> level_hits;      // per level
+  std::uint64_t temp_hits = 0;
+  std::uint64_t misses = 0;
+  std::vector<std::uint64_t> demotions;       // [i] = Demote(i -> i+1) count
+  std::uint64_t evictions = 0;                // demotes out of the last level
+  std::uint64_t external_evictions = 0;       // server-initiated (multi-client)
+  std::uint64_t references = 0;
+};
+
+class UlcClient {
+ public:
+  explicit UlcClient(const UlcConfig& config);
+
+  // Processes one reference. The returned struct is reused across calls.
+  const UlcAccess& access(BlockId block);
+
+  // Multi-client: a shared level replaced `block` (this client owned it).
+  // Must name a block this client currently has at an elastic level.
+  void external_evict(BlockId block);
+  // Multi-client, multiple shared levels: the shared level holding `block`
+  // migrated it one level down (its own gLRU victim moved to the next shared
+  // cache instead of being dropped). Updates the level status and counts.
+  void external_demote(BlockId block);
+  // Multi-client: once a shared level is full, cold blocks are no longer
+  // auto-placed there (they become L_out as per the paper's full-caches rule).
+  void set_elastic_full(bool full);
+  void set_elastic_full(std::size_t level, bool full);
+
+  const UlcStats& stats() const { return stats_; }
+  const UniLruStack& stack() const { return stack_; }
+  std::size_t levels() const { return capacities_.size(); }
+  std::size_t level_size(std::size_t level) const { return stack_.level_size(level); }
+  std::size_t capacity(std::size_t level) const { return capacities_[level]; }
+  bool is_cached(BlockId block) const;
+  // Level the engine believes `block` is cached at (kLevelOut if uncached or
+  // unknown). Used by the multi-client driver to reconcile shared-block
+  // takes by other clients before processing an access.
+  std::size_t level_of(BlockId block) const;
+  bool in_temp(BlockId block) const { return temp_index_.count(block) != 0; }
+
+  // Structural invariant validation (tests): stack consistency + capacities.
+  bool check_consistency() const;
+
+ private:
+  std::vector<std::size_t> capacities_;
+  std::size_t first_elastic_ = kLevelOut;
+  std::vector<bool> elastic_full_;
+  std::size_t temp_capacity_ = 0;
+
+  UniLruStack stack_;
+  UlcAccess out_;
+  UlcStats stats_;
+
+  std::list<BlockId> temp_lru_;  // front = most recent
+  std::unordered_map<BlockId, std::list<BlockId>::iterator> temp_index_;
+
+  bool is_elastic(std::size_t level) const { return level >= first_elastic_; }
+  bool level_has_room(std::size_t level) const;
+  std::size_t first_level_with_room() const;  // kLevelOut if none
+  bool level_overflowed(std::size_t level) const;
+  void run_demotion_cascade(std::size_t start_level);
+  void touch_temp(BlockId block, bool cached_at_client);
+};
+
+}  // namespace ulc

@@ -1,0 +1,201 @@
+#include "ulc/uni_lru_stack.h"
+
+#include "util/ensure.h"
+
+namespace ulc {
+
+UniLruStack::UniLruStack(std::size_t levels)
+    : yard_(levels, nullptr), level_count_(levels, 0) {
+  ULC_REQUIRE(levels >= 1, "need at least one cache level");
+}
+
+UniLruStack::~UniLruStack() {
+  Node* n = head_;
+  while (n) {
+    Node* next = n->next;
+    delete n;
+    n = next;
+  }
+  n = free_list_;
+  while (n) {
+    Node* next = n->next;
+    delete n;
+    n = next;
+  }
+}
+
+UniLruStack::Node* UniLruStack::alloc(BlockId block) {
+  Node* n;
+  if (free_list_) {
+    n = free_list_;
+    free_list_ = n->next;
+  } else {
+    n = new Node();
+  }
+  n->block = block;
+  n->level = kLevelOut;
+  n->seq = 0;
+  n->prev = n->next = nullptr;
+  return n;
+}
+
+void UniLruStack::free_node(Node* n) {
+  n->next = free_list_;
+  free_list_ = n;
+}
+
+void UniLruStack::unlink(Node* n) {
+  if (n->prev)
+    n->prev->next = n->next;
+  else
+    head_ = n->next;
+  if (n->next)
+    n->next->prev = n->prev;
+  else
+    tail_ = n->prev;
+  n->prev = n->next = nullptr;
+}
+
+void UniLruStack::link_front(Node* n) {
+  n->prev = nullptr;
+  n->next = head_;
+  if (head_) head_->prev = n;
+  head_ = n;
+  if (!tail_) tail_ = n;
+}
+
+UniLruStack::Node* UniLruStack::find(BlockId block) {
+  auto it = index_.find(block);
+  return it == index_.end() ? nullptr : it->second;
+}
+
+const UniLruStack::Node* UniLruStack::find(BlockId block) const {
+  auto it = index_.find(block);
+  return it == index_.end() ? nullptr : it->second;
+}
+
+UniLruStack::Node* UniLruStack::push_top(BlockId block, std::size_t level) {
+  ULC_REQUIRE(index_.find(block) == index_.end(), "push_top of present block");
+  Node* n = alloc(block);
+  n->seq = next_seq_++;
+  link_front(n);
+  index_.emplace(block, n);
+  n->level = kLevelOut;
+  if (level != kLevelOut) set_level(n, level);
+  return n;
+}
+
+void UniLruStack::move_to_top(Node* n) {
+  ULC_REQUIRE(n != nullptr, "move_to_top of null node");
+  ULC_ENSURE(n->level == kLevelOut || yard_[n->level] != n || level_count_[n->level] == 1,
+             "yardstick_departure must run before moving a yardstick "
+             "(unless it is its level's only block)");
+  unlink(n);
+  n->seq = next_seq_++;
+  link_front(n);
+}
+
+void UniLruStack::set_level(Node* n, std::size_t to) {
+  ULC_REQUIRE(n != nullptr, "set_level of null node");
+  const std::size_t from = n->level;
+  if (from == to) return;
+  if (from != kLevelOut) {
+    ULC_ENSURE(yard_[from] != n, "yardstick_departure must run before set_level");
+    --level_count_[from];
+  }
+  n->level = to;
+  if (to != kLevelOut) {
+    ++level_count_[to];
+    // DemotionSearching, O(1): the node is the new yardstick iff it is the
+    // deepest (smallest-sequence) block of its new level.
+    if (yard_[to] == nullptr || n->seq < yard_[to]->seq) yard_[to] = n;
+  }
+}
+
+void UniLruStack::yardstick_departure(Node* n) {
+  ULC_REQUIRE(n != nullptr && n->level != kLevelOut,
+              "yardstick_departure needs a cached node");
+  const std::size_t level = n->level;
+  if (yard_[level] != n) return;
+  if (level_count_[level] == 1) {
+    yard_[level] = nullptr;
+    return;
+  }
+  // YardStickAdjustment: walk towards the stack top to the next block with
+  // the same level status. It must exist: every level-L block sits at or
+  // above Y_L by construction (I2).
+  Node* p = n->prev;
+  while (p && p->level != level) p = p->prev;
+  ULC_ENSURE(p != nullptr, "no other block of a level with count >= 2 found above");
+  yard_[level] = p;
+}
+
+void UniLruStack::remove(Node* n) {
+  ULC_REQUIRE(n != nullptr, "remove of null node");
+  ULC_REQUIRE(n->level == kLevelOut, "only uncached nodes may be removed");
+  index_.erase(n->block);
+  unlink(n);
+  free_node(n);
+}
+
+std::size_t UniLruStack::prune() {
+  // Deepest yardstick = the smallest yardstick sequence number.
+  std::uint64_t min_seq = 0;
+  bool have = false;
+  for (const Node* y : yard_) {
+    if (y && (!have || y->seq < min_seq)) {
+      min_seq = y->seq;
+      have = true;
+    }
+  }
+  std::size_t removed = 0;
+  while (tail_ && tail_->level == kLevelOut && (!have || tail_->seq < min_seq)) {
+    Node* n = tail_;
+    index_.erase(n->block);
+    unlink(n);
+    free_node(n);
+    ++removed;
+  }
+  return removed;
+}
+
+std::size_t UniLruStack::recency_status(const Node* n) const {
+  ULC_REQUIRE(n != nullptr, "recency_status of null node");
+  for (std::size_t i = 0; i < yard_.size(); ++i) {
+    if (yard_[i] && n->seq >= yard_[i]->seq) return i;
+  }
+  return kLevelOut;
+}
+
+bool UniLruStack::check_consistency(
+    const std::vector<std::size_t>* capacities) const {
+  std::vector<std::size_t> counts(level_count_.size(), 0);
+  std::vector<const Node*> deepest(level_count_.size(), nullptr);
+  std::size_t seen = 0;
+  std::uint64_t prev_seq = ~0ULL;
+  const Node* prev = nullptr;
+  for (const Node* n = head_; n; n = n->next) {
+    if (n->prev != prev) return false;
+    if (n->seq >= prev_seq) return false;  // strictly descending
+    prev_seq = n->seq;
+    auto it = index_.find(n->block);
+    if (it == index_.end() || it->second != n) return false;
+    if (n->level != kLevelOut) {
+      if (n->level >= counts.size()) return false;
+      ++counts[n->level];
+      deepest[n->level] = n;  // last seen = deepest
+    }
+    ++seen;
+    prev = n;
+  }
+  if (prev != tail_) return false;
+  if (seen != index_.size()) return false;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] != level_count_[i]) return false;
+    if (yard_[i] != deepest[i]) return false;  // I3: yardstick = deepest
+    if (capacities && counts[i] > (*capacities)[i]) return false;  // I4
+  }
+  return true;
+}
+
+}  // namespace ulc

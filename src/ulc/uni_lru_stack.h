@@ -1,0 +1,119 @@
+// uniLRUstack — the client-side metadata structure of the ULC protocol
+// (paper §3.2, Figure 4).
+//
+// One node per recently-referenced block, ordered by recency (head = most
+// recent). Each node carries the block's *level status*: the cache level the
+// block is cached at (kLevelOut = not cached anywhere). Per cache level the
+// stack tracks the *yardstick* Y_i — the level-L_i block with maximal
+// recency, i.e. the bottom of the conceptual per-level stack LRU_i and the
+// replacement victim of level i.
+//
+// Instead of storing the paper's per-block recency status R_i and updating
+// it on every YardStickAdjustment pass, each node stores a monotone access
+// sequence number; stack order is descending sequence, so
+//   recency status of x  =  min { i : seq(x) >= seq(Y_i) }
+// is computed in O(#levels) with no per-pass bookkeeping. This is exactly
+// the paper's R_i whenever the yardsticks are stack-ordered (the steady
+// state) and remains well defined in warm-up transients where they are not.
+// YardStickAdjustment survives as the upward walk that locates the next
+// level-L_i block when Y_i is demoted, evicted or re-referenced, and
+// DemotionSearching as the O(1) sequence comparison that decides whether a
+// demoted block becomes its new level's yardstick.
+//
+// Only metadata lives here (the paper's ~17 bytes/block); block contents are
+// never simulated.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/types.h"
+
+namespace ulc {
+
+// Level indices are 0-based in code (paper's L1 = level 0).
+inline constexpr std::size_t kLevelOut = static_cast<std::size_t>(-1);
+
+class UniLruStack {
+ public:
+  struct Node {
+    BlockId block = 0;
+    std::size_t level = kLevelOut;
+    std::uint64_t seq = 0;  // last-access sequence; stack order = descending
+    Node* prev = nullptr;   // towards head (more recent)
+    Node* next = nullptr;   // towards tail (less recent)
+  };
+
+  explicit UniLruStack(std::size_t levels);
+  ~UniLruStack();
+
+  UniLruStack(const UniLruStack&) = delete;
+  UniLruStack& operator=(const UniLruStack&) = delete;
+
+  std::size_t levels() const { return level_count_.size(); }
+
+  // Lookup; nullptr if the block is not in the stack.
+  Node* find(BlockId block);
+  const Node* find(BlockId block) const;
+
+  // Inserts an absent block at the stack top with the given level status.
+  Node* push_top(BlockId block, std::size_t level);
+
+  // Moves a present node to the stack top (fresh sequence number). The
+  // node's level status is unchanged; yardsticks are NOT adjusted (callers
+  // fix the yardstick of n->level first via yardstick_departure()).
+  void move_to_top(Node* n);
+
+  // Changes a node's level status, maintaining per-level counts and
+  // yardsticks (DemotionSearching: the node becomes the new yardstick of
+  // `to` iff it is deeper than the current one). The *old* level's yardstick
+  // must already have been fixed via yardstick_departure() if n was it.
+  void set_level(Node* n, std::size_t to);
+
+  // To be called when node `n` (currently holding level status `n->level`,
+  // a real level) is about to leave that level (re-reference, demotion or
+  // external eviction): if n is that level's yardstick, walks up from n to
+  // the next node of the same level (the paper's YardStickAdjustment).
+  // After this call yard(n->level) no longer points at n.
+  void yardstick_departure(Node* n);
+
+  // Removes a node from the stack entirely (its level must be kLevelOut).
+  void remove(Node* n);
+
+  // Drops kLevelOut nodes from the stack tail that lie below every
+  // yardstick (they could never be re-ranked into a cache level). Returns
+  // the number of nodes removed.
+  std::size_t prune();
+
+  // The paper's recency status, generalized: smallest level i whose
+  // yardstick Y_i is at or below n (seq(n) >= seq(Y_i)); kLevelOut if none.
+  std::size_t recency_status(const Node* n) const;
+
+  Node* yard(std::size_t level) const { return yard_[level]; }
+  std::size_t level_size(std::size_t level) const { return level_count_[level]; }
+  std::size_t stack_size() const { return index_.size(); }
+
+  Node* head() const { return head_; }
+  Node* tail() const { return tail_; }
+
+  // O(n) validation of all structural invariants (DESIGN.md I1-I5, in their
+  // transient-tolerant form); used by tests and debug checks.
+  bool check_consistency(const std::vector<std::size_t>* capacities = nullptr) const;
+
+ private:
+  std::vector<Node*> yard_;
+  std::vector<std::size_t> level_count_;
+  Node* head_ = nullptr;
+  Node* tail_ = nullptr;
+  std::uint64_t next_seq_ = 1;
+  std::unordered_map<BlockId, Node*> index_;
+  Node* free_list_ = nullptr;
+
+  void unlink(Node* n);
+  void link_front(Node* n);
+  Node* alloc(BlockId block);
+  void free_node(Node* n);
+};
+
+}  // namespace ulc

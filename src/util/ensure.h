@@ -1,0 +1,40 @@
+// Lightweight invariant checking for internal data-structure consistency.
+//
+// ULC_ENSURE is compiled in when ULC_ENABLE_CHECKS is defined (the default
+// for this repository, including RelWithDebInfo) and aborts with a message on
+// violation. It guards *internal* invariants (yardstick ordering, capacity
+// accounting, list consistency); public-API misuse is reported the same way
+// since this library has no error states a caller could meaningfully handle.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ulc {
+
+[[noreturn]] inline void ensure_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "ULC_ENSURE failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace ulc
+
+#if defined(ULC_ENABLE_CHECKS)
+#define ULC_ENSURE(cond, msg)                                  \
+  do {                                                         \
+    if (!(cond)) ::ulc::ensure_fail(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+#else
+#define ULC_ENSURE(cond, msg) \
+  do {                        \
+  } while (0)
+#endif
+
+// Always-on variant for checks that guard against memory corruption or
+// caller contract violations that would otherwise cause undefined behaviour.
+#define ULC_REQUIRE(cond, msg)                                 \
+  do {                                                         \
+    if (!(cond)) ::ulc::ensure_fail(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)

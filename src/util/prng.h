@@ -1,0 +1,72 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// We do not use std::mt19937 / std::*_distribution because the exact output
+// of the standard distributions is implementation-defined; trace synthesis
+// must be bit-reproducible so that EXPERIMENTS.md numbers can be regenerated
+// anywhere. Xoshiro256** seeded via SplitMix64 is the standard small, fast,
+// well-tested choice.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ulc {
+
+// SplitMix64: used to expand a single 64-bit seed into a full generator state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// Xoshiro256**: the repository-wide PRNG.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  std::uint64_t next_u64();
+
+  // Uniform integer in [0, bound). bound must be > 0. Uses Lemire's unbiased
+  // multiply-shift rejection method.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  // Uniform double in [0, 1).
+  double next_double();
+
+  // Bernoulli trial with probability p (clamped to [0,1]).
+  bool next_bool(double p);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+// Samples ranks 0..n-1 with P(rank = i) proportional to 1/(i+1)^theta.
+// theta = 1 reproduces the paper's zipf trace ("probability of a reference to
+// the i-th block is proportional to 1/i"). Sampling is inverse-CDF over a
+// precomputed cumulative table: O(log n) per sample, exact and deterministic.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double theta);
+
+  // Returns a rank in [0, n). Rank 0 is the most popular item.
+  std::uint64_t sample(Rng& rng) const;
+
+  std::uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i); cdf_[n-1] == 1.0
+};
+
+}  // namespace ulc

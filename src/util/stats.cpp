@@ -1,0 +1,64 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/ensure.h"
+
+namespace ulc {
+
+void OnlineStats::add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  if (count_ == 1) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+}
+
+double OnlineStats::variance() const {
+  if (count_ == 0) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(std::size_t buckets) : counts_(buckets, 0) {
+  ULC_REQUIRE(buckets > 0, "Histogram needs at least one bucket");
+}
+
+void Histogram::add(std::size_t bucket, std::uint64_t weight) {
+  if (bucket >= counts_.size()) bucket = counts_.size() - 1;
+  counts_[bucket] += weight;
+  total_ += weight;
+}
+
+std::uint64_t Histogram::bucket(std::size_t i) const {
+  ULC_REQUIRE(i < counts_.size(), "Histogram bucket out of range");
+  return counts_[i];
+}
+
+double Histogram::ratio(std::size_t i) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(bucket(i)) / static_cast<double>(total_);
+}
+
+double Histogram::cumulative_ratio(std::size_t i) const {
+  if (total_ == 0) return 0.0;
+  ULC_REQUIRE(i < counts_.size(), "Histogram bucket out of range");
+  std::uint64_t acc = 0;
+  for (std::size_t k = 0; k <= i; ++k) acc += counts_[k];
+  return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+void Histogram::clear() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+}
+
+}  // namespace ulc

@@ -1,0 +1,54 @@
+// Small statistics helpers shared by the simulator and the benches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ulc {
+
+// Streaming mean/variance/min/max (Welford).
+class OnlineStats {
+ public:
+  void add(double x);
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Fixed-bucket counting histogram over [0, buckets); out-of-range values are
+// clamped to the last bucket. Used for segment/stack-depth distributions.
+class Histogram {
+ public:
+  explicit Histogram(std::size_t buckets);
+
+  void add(std::size_t bucket, std::uint64_t weight = 1);
+  std::uint64_t bucket(std::size_t i) const;
+  std::size_t buckets() const { return counts_.size(); }
+  std::uint64_t total() const { return total_; }
+
+  // Fraction of all samples in bucket i (0 if empty histogram).
+  double ratio(std::size_t i) const;
+  // Fraction of all samples in buckets [0, i].
+  double cumulative_ratio(std::size_t i) const;
+
+  void clear();
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ulc

@@ -1,0 +1,38 @@
+// Plain-text table and CSV emission for the benchmark harnesses.
+//
+// Every bench binary prints the rows/series the paper's figure or table
+// reports; TablePrinter keeps that output aligned and diff-friendly, and the
+// optional CSV sink makes the data easy to plot.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ulc {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Render to an aligned plain-text table.
+  std::string to_text() const;
+  // Render to CSV (headers + rows).
+  std::string to_csv() const;
+
+  void print(std::FILE* out = stdout) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// printf-style float formatting helpers used by the bench harnesses.
+std::string fmt_double(double v, int precision = 3);
+std::string fmt_percent(double fraction, int precision = 1);  // 0.125 -> "12.5%"
+
+}  // namespace ulc

@@ -1,0 +1,277 @@
+#include "workloads/paper_presets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/ensure.h"
+#include "workloads/synthetic.h"
+
+namespace ulc {
+
+namespace {
+
+std::uint64_t scaled(double scale, std::uint64_t full, std::uint64_t minimum) {
+  ULC_REQUIRE(scale > 0.0, "scale must be positive");
+  const double refs = scale * static_cast<double>(full);
+  return std::max<std::uint64_t>(minimum, static_cast<std::uint64_t>(refs));
+}
+
+}  // namespace
+
+// cs: a cscope-style source examination — one tight loop over the whole
+// (small) code base, repeated. ~1300 blocks, ~130K references.
+Trace preset_cs(std::uint64_t seed) {
+  auto src = make_loop_source(0, 1300);
+  return generate(*src, 130000, seed, "cs");
+}
+
+// glimpse: repeated whole-scans of several index scopes of different sizes,
+// on the regular schedule a query batch produces — the small index is
+// re-scanned most often, the full collection least. The regularity gives
+// each block a stable re-scan distance (LLD), the property Figures 2 and 3
+// exploit.
+Trace preset_glimpse(std::uint64_t seed) {
+  std::vector<PatternPtr> phases;
+  std::vector<std::uint64_t> lengths;
+  phases.push_back(make_loop_source(0, 300));      // small index, 3 passes
+  lengths.push_back(900);
+  phases.push_back(make_loop_source(300, 900));    // medium scope, 1 pass
+  lengths.push_back(900);
+  phases.push_back(make_loop_source(0, 300));      // small index again
+  lengths.push_back(900);
+  phases.push_back(make_loop_source(1200, 1800));  // full-collection scan
+  lengths.push_back(1800);
+  auto src = make_phase_source(std::move(phases), std::move(lengths));
+  return generate(*src, 30000, seed, "glimpse");
+}
+
+// sprite: temporally-clustered client requests to a Sprite file server —
+// the LRU-friendly pattern. ~7000 blocks, ~134K references.
+Trace preset_sprite(std::uint64_t seed) {
+  auto src = make_temporal_source(0, 7000, 0.055, 5.0);
+  return generate(*src, 134000, seed, "sprite");
+}
+
+Trace preset_random_small(std::uint64_t seed) {
+  auto src = make_uniform_source(0, 5000);
+  return generate(*src, 100000, seed, "random");
+}
+
+Trace preset_zipf_small(std::uint64_t seed) {
+  auto src = make_zipf_source(0, 5000, 1.0, /*scramble=*/true, 17);
+  return generate(*src, 100000, seed, "zipf");
+}
+
+// multi: the paper describes it as "mixed with sequential, looping and
+// probabilistic references" — modelled as cycling phases.
+Trace preset_multi(std::uint64_t seed) {
+  std::vector<PatternPtr> phases;
+  std::vector<std::uint64_t> lengths;
+  phases.push_back(make_scan_source(0, 2000));          // sequential
+  lengths.push_back(2000);
+  phases.push_back(make_loop_source(2000, 1200));       // looping
+  lengths.push_back(4800);
+  phases.push_back(make_zipf_source(3200, 2800, 0.9, true, 23));  // probabilistic
+  lengths.push_back(5200);
+  auto src = make_phase_source(std::move(phases), std::move(lengths));
+  return generate(*src, 120000, seed, "multi");
+}
+
+// random (large): 512MB data set = 65536 blocks; ~65M references.
+Trace preset_random_large(double scale, std::uint64_t seed) {
+  auto src = make_uniform_source(0, 65536);
+  return generate(*src, scaled(scale, 65000000, 650000), seed, "random");
+}
+
+// zipf (large): 768MB = 98304 blocks; ~98M references; P(i) ~ 1/i.
+Trace preset_zipf_large(double scale, std::uint64_t seed) {
+  auto src = make_zipf_source(0, 98304, 1.0, /*scramble=*/true, 29);
+  return generate(*src, scaled(scale, 98000000, 980000), seed, "zipf");
+}
+
+namespace {
+
+FileServerConfig httpd_config() {
+  FileServerConfig cfg;
+  cfg.base = 0;
+  cfg.n_files = 13457;           // paper: 524MB in 13,457 files
+  cfg.zipf_theta = 0.9;          // web-style skewed file popularity
+  cfg.mean_file_blocks = 4.9;    // 65536 blocks / 13457 files
+  cfg.max_file_blocks = 192;
+  cfg.layout_seed = 101;
+  // A 24-hour web trace: what is hot drifts through the catalogue over the
+  // day (the pattern changes the paper says MQ is slow to follow).
+  cfg.drift_period = 1000;
+  cfg.drift_step = 37;
+  return cfg;
+}
+
+// One web-server node's stream: Zipf file requests with daily popularity
+// drift, plus crawler/mirror sweeps walking the whole site (each node at a
+// different phase).
+PatternPtr httpd_node_source(int node) {
+  std::vector<PatternPtr> parts;
+  std::vector<double> weights;
+  parts.push_back(make_file_server_source(httpd_config()));
+  weights.push_back(0.90);
+  parts.push_back(make_loop_source(0, 65536, 9000ull * static_cast<unsigned>(node)));
+  weights.push_back(0.10);
+  return make_mixture_source(std::move(parts), std::move(weights));
+}
+
+}  // namespace
+
+// httpd (single-client form): the 7 per-node request streams aggregated into
+// one, as the paper does for the Figure 6 study. ~1.5M file requests at ~4.9
+// blocks each is ~7.3M block references.
+Trace preset_httpd_single(double scale, std::uint64_t seed) {
+  std::vector<PatternPtr> nodes;
+  std::vector<double> rates;
+  for (int c = 0; c < 7; ++c) {
+    nodes.push_back(httpd_node_source(c));
+    rates.push_back(1.0);
+  }
+  auto src = make_mixture_source(std::move(nodes), std::move(rates));
+  return generate(*src, scaled(scale, 7300000, 365000), seed, "httpd");
+}
+
+// dev1: a desktop Linux I/O trace — a drifting edited/compiled working set,
+// with background sequential installs/scans and occasional random metadata
+// touches. ~600MB (76800 blocks) footprint but only ~100K references.
+Trace preset_dev1(double scale, std::uint64_t seed) {
+  std::vector<PatternPtr> sources;
+  std::vector<double> weights;
+  // Active project working set: strongly clustered reuse.
+  sources.push_back(make_temporal_source(0, 24000, 0.12, 3.0));
+  weights.push_back(0.50);
+  // Repeated build sweeps over the project + system headers: a loop larger
+  // than the client cache but within the aggregate — reuse only a
+  // coordinated hierarchy can serve.
+  sources.push_back(make_loop_source(24000, 20000));
+  weights.push_back(0.30);
+  // Shorter IDE/indexer scans.
+  std::vector<LoopScope> scans;
+  scans.push_back({44000, 9000, 1.0});
+  sources.push_back(make_nested_loop_source(std::move(scans)));
+  weights.push_back(0.12);
+  // Desktop noise across the rest of the disk.
+  sources.push_back(make_uniform_source(53000, 23800));
+  weights.push_back(0.08);
+  auto src = make_mixture_source(std::move(sources), std::move(weights));
+  return generate(*src, scaled(scale, 100000, 100000), seed, "dev1");
+}
+
+// tpcc1: TPC-C on Postgres. The paper identifies a looping access pattern
+// whose loop distance falls beyond the first cache level — reproduced as a
+// dominant table/index loop of ~12000 blocks (~94MB) inside a 32768-block
+// (256MB) data set, plus sparse uniform excursions to the rest.
+Trace preset_tpcc1(double scale, std::uint64_t seed) {
+  std::vector<PatternPtr> sources;
+  std::vector<double> weights;
+  sources.push_back(make_loop_source(0, 12000));
+  weights.push_back(0.98);
+  sources.push_back(make_uniform_source(12000, 20768));
+  weights.push_back(0.02);
+  auto src = make_mixture_source(std::move(sources), std::move(weights));
+  return generate(*src, scaled(scale, 3900000, 390000), seed, "tpcc1");
+}
+
+// httpd (multi-client form): the same file population served by 7 web-server
+// nodes; every node sees the same Zipf popularity (high sharing), with
+// node-local request streams.
+Trace preset_httpd_multi(double scale, std::uint64_t seed) {
+  std::vector<PatternPtr> clients;
+  std::vector<double> rates;
+  for (int c = 0; c < 7; ++c) {
+    clients.push_back(httpd_node_source(c));
+    rates.push_back(1.0);
+  }
+  return generate_multi(std::move(clients), rates, scaled(scale, 7300000, 365000),
+                        seed, "httpd");
+}
+
+// openmail: 6 mail servers over an 18.6GB store. Per-client mailbox regions
+// (no sharing) with light reuse of recent messages and long mailbox scans —
+// weak per-client locality over a huge footprint.
+Trace preset_openmail(double scale, std::uint64_t seed) {
+  constexpr std::uint64_t kPerClient = 406323;  // ~6 x 406K blocks = 18.6GB
+  std::vector<PatternPtr> clients;
+  std::vector<double> rates;
+  for (int c = 0; c < 6; ++c) {
+    const BlockId base = static_cast<BlockId>(c) * kPerClient;
+    std::vector<PatternPtr> sources;
+    std::vector<double> weights;
+    // Recently-delivered/read messages: clustered reuse over a region that
+    // outgrows the 1GB client cache (131072 blocks) as the hour progresses.
+    sources.push_back(make_temporal_source(base, 300000, 0.35, 2.0));
+    weights.push_back(0.50);
+    // Mailbox re-scans (folder opens): looping scopes around and beyond the
+    // per-client cache share.
+    std::vector<LoopScope> scans;
+    scans.push_back({base + 300000, 40000, 2.0});
+    scans.push_back({base + 340000, 66323, 1.0});
+    sources.push_back(make_nested_loop_source(std::move(scans)));
+    weights.push_back(0.42);
+    // Cold lookups anywhere in the store.
+    sources.push_back(make_uniform_source(base, kPerClient));
+    weights.push_back(0.08);
+    clients.push_back(make_mixture_source(std::move(sources), std::move(weights)));
+    rates.push_back(1.0);
+  }
+  return generate_multi(std::move(clients), rates, scaled(scale, 6000000, 600000),
+                        seed, "openmail");
+}
+
+// db2: 8 SP2 nodes running join/set/aggregation queries — per-node looping
+// scans over partitioned tables (several looping scope sizes) plus a shared
+// hot dictionary. 5.2GB total.
+Trace preset_db2(double scale, std::uint64_t seed) {
+  constexpr std::uint64_t kShared = 15360;      // shared catalog/dictionary
+  constexpr std::uint64_t kPerClient = 80000;   // per-node partition
+  std::vector<PatternPtr> clients;
+  std::vector<double> rates;
+  for (int c = 0; c < 8; ++c) {
+    const BlockId base = kShared + static_cast<BlockId>(c) * kPerClient;
+    std::vector<PatternPtr> sources;
+    std::vector<double> weights;
+    std::vector<LoopScope> loops;
+    loops.push_back({base, 24000, 3.0});            // inner-table scan
+    loops.push_back({base + 24000, 40000, 2.0});    // mid-size join scan
+    loops.push_back({base, 80000, 1.0});            // full-partition scan
+    sources.push_back(make_nested_loop_source(std::move(loops)));
+    weights.push_back(0.85);
+    sources.push_back(make_zipf_source(0, kShared, 0.9, true, 31));
+    weights.push_back(0.15);
+    clients.push_back(make_mixture_source(std::move(sources), std::move(weights)));
+    rates.push_back(1.0);
+  }
+  return generate_multi(std::move(clients), rates, scaled(scale, 8000000, 800000),
+                        seed, "db2");
+}
+
+Trace make_preset(const std::string& name, double scale, std::uint64_t seed) {
+  if (name == "cs") return preset_cs(seed);
+  if (name == "glimpse") return preset_glimpse(seed);
+  if (name == "sprite") return preset_sprite(seed);
+  if (name == "random-small") return preset_random_small(seed);
+  if (name == "zipf-small") return preset_zipf_small(seed);
+  if (name == "multi") return preset_multi(seed);
+  if (name == "random") return preset_random_large(scale, seed);
+  if (name == "zipf") return preset_zipf_large(scale, seed);
+  if (name == "httpd") return preset_httpd_single(scale, seed);
+  if (name == "dev1") return preset_dev1(scale, seed);
+  if (name == "tpcc1") return preset_tpcc1(scale, seed);
+  if (name == "httpd-multi") return preset_httpd_multi(scale, seed);
+  if (name == "openmail") return preset_openmail(scale, seed);
+  if (name == "db2") return preset_db2(scale, seed);
+  ULC_REQUIRE(false, ("unknown preset: " + name).c_str());
+  return Trace();
+}
+
+std::vector<std::string> preset_names() {
+  return {"cs",    "glimpse", "sprite", "random-small", "zipf-small", "multi",
+          "random", "zipf",   "httpd",  "dev1",         "tpcc1",
+          "httpd-multi", "openmail", "db2"};
+}
+
+}  // namespace ulc

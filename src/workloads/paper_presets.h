@@ -1,0 +1,47 @@
+// Named workload presets reproducing the access-pattern structure of every
+// trace in the paper's evaluation (Sections 2 and 4).
+//
+// The original traces (BYU trace repository, HP OpenMail, Maryland SP2 runs)
+// are not redistributable; DESIGN.md §5 documents, per trace, which generator
+// stands in for it and why the substitution preserves the behaviour the
+// paper's experiments depend on. Footprints (unique-block counts) follow the
+// paper exactly; reference counts are the paper's scaled by `scale` so quick
+// runs keep the same block/cache-size ratios.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace ulc {
+
+// ---- Section 2 small-scale traces (Figures 2 and 3) ----
+Trace preset_cs(std::uint64_t seed = 1);       // looping (cscope-like)
+Trace preset_glimpse(std::uint64_t seed = 1);  // looping, multiple scopes
+Trace preset_sprite(std::uint64_t seed = 1);   // temporally clustered (LRU-friendly)
+Trace preset_random_small(std::uint64_t seed = 1);
+Trace preset_zipf_small(std::uint64_t seed = 1);
+Trace preset_multi(std::uint64_t seed = 1);    // sequential + looping + probabilistic
+
+// ---- Section 4 single-client traces (Figure 6) ----
+// Paper scale: random 65536 blocks / 65M refs; zipf 98304 blocks / 98M refs;
+// httpd 524MB in 13457 files / ~1.5M file requests; dev1 ~600MB / ~100K refs;
+// tpcc1 ~256MB / 3.9M refs.
+Trace preset_random_large(double scale = 1.0, std::uint64_t seed = 1);
+Trace preset_zipf_large(double scale = 1.0, std::uint64_t seed = 1);
+Trace preset_httpd_single(double scale = 1.0, std::uint64_t seed = 1);
+Trace preset_dev1(double scale = 1.0, std::uint64_t seed = 1);
+Trace preset_tpcc1(double scale = 1.0, std::uint64_t seed = 1);
+
+// ---- Section 4 multi-client traces (Figure 7) ----
+Trace preset_httpd_multi(double scale = 1.0, std::uint64_t seed = 1);   // 7 clients
+Trace preset_openmail(double scale = 1.0, std::uint64_t seed = 1);     // 6 clients
+Trace preset_db2(double scale = 1.0, std::uint64_t seed = 1);          // 8 clients
+
+// Factory by name ("cs", "glimpse", ..., "db2"); aborts on unknown names.
+Trace make_preset(const std::string& name, double scale = 1.0, std::uint64_t seed = 1);
+std::vector<std::string> preset_names();
+
+}  // namespace ulc

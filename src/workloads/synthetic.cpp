@@ -1,0 +1,366 @@
+#include "workloads/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/ensure.h"
+
+namespace ulc {
+
+namespace {
+
+class UniformSource final : public PatternSource {
+ public:
+  UniformSource(BlockId base, std::uint64_t n) : base_(base), n_(n) {
+    ULC_REQUIRE(n > 0, "uniform source needs blocks");
+  }
+  BlockId next(Rng& rng) override { return base_ + rng.next_below(n_); }
+
+ private:
+  BlockId base_;
+  std::uint64_t n_;
+};
+
+class ZipfSource final : public PatternSource {
+ public:
+  ZipfSource(BlockId base, std::uint64_t n, double theta, bool scramble,
+             std::uint64_t scramble_seed)
+      : base_(base), sampler_(n, theta) {
+    if (scramble) {
+      perm_.resize(static_cast<std::size_t>(n));
+      for (std::uint64_t i = 0; i < n; ++i) perm_[static_cast<std::size_t>(i)] = i;
+      Rng rng(scramble_seed);
+      // Fisher-Yates with our deterministic RNG.
+      for (std::uint64_t i = n; i > 1; --i) {
+        const std::uint64_t j = rng.next_below(i);
+        std::swap(perm_[static_cast<std::size_t>(i - 1)],
+                  perm_[static_cast<std::size_t>(j)]);
+      }
+    }
+  }
+
+  BlockId next(Rng& rng) override {
+    const std::uint64_t rank = sampler_.sample(rng);
+    if (perm_.empty()) return base_ + rank;
+    return base_ + perm_[static_cast<std::size_t>(rank)];
+  }
+
+ private:
+  BlockId base_;
+  ZipfSampler sampler_;
+  std::vector<std::uint64_t> perm_;
+};
+
+class LoopSource final : public PatternSource {
+ public:
+  LoopSource(BlockId base, std::uint64_t n, std::uint64_t start)
+      : base_(base), n_(n), pos_(start % n) {
+    ULC_REQUIRE(n > 0, "loop source needs blocks");
+  }
+  BlockId next(Rng&) override {
+    const BlockId b = base_ + pos_;
+    pos_ = (pos_ + 1) % n_;
+    return b;
+  }
+
+ private:
+  BlockId base_;
+  std::uint64_t n_;
+  std::uint64_t pos_;
+};
+
+class NestedLoopSource final : public PatternSource {
+ public:
+  explicit NestedLoopSource(std::vector<LoopScope> scopes)
+      : scopes_(std::move(scopes)) {
+    ULC_REQUIRE(!scopes_.empty(), "nested loop source needs scopes");
+    double sum = 0.0;
+    for (const auto& s : scopes_) {
+      ULC_REQUIRE(s.n_blocks > 0, "loop scope needs blocks");
+      ULC_REQUIRE(s.weight > 0.0, "loop scope weight must be positive");
+      sum += s.weight;
+    }
+    cum_.reserve(scopes_.size());
+    double acc = 0.0;
+    for (const auto& s : scopes_) {
+      acc += s.weight / sum;
+      cum_.push_back(acc);
+    }
+    cum_.back() = 1.0;
+  }
+
+  BlockId next(Rng& rng) override {
+    if (remaining_ == 0) {
+      const double u = rng.next_double();
+      current_ = static_cast<std::size_t>(
+          std::lower_bound(cum_.begin(), cum_.end(), u) - cum_.begin());
+      remaining_ = scopes_[current_].n_blocks;
+      pos_ = 0;
+    }
+    const BlockId b = scopes_[current_].base + pos_;
+    ++pos_;
+    --remaining_;
+    return b;
+  }
+
+ private:
+  std::vector<LoopScope> scopes_;
+  std::vector<double> cum_;
+  std::size_t current_ = 0;
+  std::uint64_t remaining_ = 0;
+  std::uint64_t pos_ = 0;
+};
+
+class TemporalSource final : public PatternSource {
+ public:
+  TemporalSource(BlockId base, std::uint64_t n, double p_new, double alpha)
+      : base_(base), n_(n), p_new_(p_new), alpha_(alpha) {
+    ULC_REQUIRE(n > 0, "temporal source needs blocks");
+    ULC_REQUIRE(alpha > 0.0, "temporal alpha must be positive");
+  }
+
+  BlockId next(Rng& rng) override {
+    if (stack_.empty() || (introduced_ < n_ && rng.next_bool(p_new_))) {
+      const BlockId b = base_ + introduced_;
+      introduced_ = (introduced_ + 1) % (n_ + 1);
+      if (introduced_ == 0) introduced_ = n_;  // saturate: all blocks known
+      stack_.push_back(0);                     // placeholder, fixed below
+      // Move-to-front insert.
+      for (std::size_t i = stack_.size() - 1; i > 0; --i) stack_[i] = stack_[i - 1];
+      stack_[0] = b;
+      return b;
+    }
+    // Truncated Pareto over stack depth [0, stack_.size()).
+    const double u = rng.next_double();
+    const double depth_f =
+        static_cast<double>(stack_.size()) * (std::pow(1.0 - u, 1.0 / alpha_) *
+                                              -1.0 + 1.0);
+    std::size_t depth = static_cast<std::size_t>(depth_f);
+    if (depth >= stack_.size()) depth = stack_.size() - 1;
+    const BlockId b = stack_[depth];
+    // Move to front.
+    for (std::size_t i = depth; i > 0; --i) stack_[i] = stack_[i - 1];
+    stack_[0] = b;
+    return b;
+  }
+
+ private:
+  BlockId base_;
+  std::uint64_t n_;
+  double p_new_;
+  double alpha_;
+  std::uint64_t introduced_ = 0;
+  std::vector<BlockId> stack_;
+};
+
+class FileServerSource final : public PatternSource {
+ public:
+  explicit FileServerSource(const FileServerConfig& cfg)
+      : sampler_(cfg.n_files, cfg.zipf_theta),
+        drift_period_(cfg.drift_period),
+        drift_step_(cfg.drift_step) {
+    build_layout(cfg, starts_, sizes_);
+  }
+
+  BlockId next(Rng& rng) override {
+    if (remaining_ == 0) {
+      if (drift_period_ > 0 && ++requests_ % drift_period_ == 0) {
+        offset_ = (offset_ + drift_step_) % starts_.size();
+      }
+      const std::uint64_t rank = sampler_.sample(rng);
+      const std::size_t file =
+          static_cast<std::size_t>((rank + offset_) % starts_.size());
+      cursor_ = starts_[file];
+      remaining_ = sizes_[file];
+    }
+    const BlockId b = cursor_;
+    ++cursor_;
+    --remaining_;
+    return b;
+  }
+
+  static void build_layout(const FileServerConfig& cfg, std::vector<BlockId>& starts,
+                           std::vector<std::uint64_t>& sizes) {
+    ULC_REQUIRE(cfg.n_files > 0, "file server needs files");
+    ULC_REQUIRE(cfg.mean_file_blocks >= 1.0, "files must have at least one block");
+    starts.resize(static_cast<std::size_t>(cfg.n_files));
+    sizes.resize(static_cast<std::size_t>(cfg.n_files));
+    Rng rng(cfg.layout_seed);
+    // Bounded lognormal-ish size: exp(N(mu, 0.8)) clamped to [1, max].
+    const double mu = std::log(cfg.mean_file_blocks) - 0.32;  // e^{0.8^2/2} correction
+    BlockId cursor = cfg.base;
+    for (std::size_t i = 0; i < starts.size(); ++i) {
+      // Box-Muller from two uniforms.
+      const double u1 = std::max(rng.next_double(), 1e-12);
+      const double u2 = rng.next_double();
+      const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+      double size_f = std::exp(mu + 0.8 * z);
+      std::uint64_t size = static_cast<std::uint64_t>(size_f);
+      size = std::clamp<std::uint64_t>(size, 1, cfg.max_file_blocks);
+      starts[i] = cursor;
+      sizes[i] = size;
+      cursor += size;
+    }
+  }
+
+ private:
+  ZipfSampler sampler_;
+  std::uint64_t drift_period_;
+  std::uint64_t drift_step_;
+  std::vector<BlockId> starts_;
+  std::vector<std::uint64_t> sizes_;
+  BlockId cursor_ = 0;
+  std::uint64_t remaining_ = 0;
+  std::uint64_t requests_ = 0;
+  std::uint64_t offset_ = 0;
+};
+
+class MixtureSource final : public PatternSource {
+ public:
+  MixtureSource(std::vector<PatternPtr> sources, std::vector<double> weights)
+      : sources_(std::move(sources)) {
+    ULC_REQUIRE(!sources_.empty(), "mixture needs sources");
+    ULC_REQUIRE(sources_.size() == weights.size(), "mixture weights/sources mismatch");
+    double sum = 0.0;
+    for (double w : weights) {
+      ULC_REQUIRE(w >= 0.0, "mixture weight must be non-negative");
+      sum += w;
+    }
+    ULC_REQUIRE(sum > 0.0, "mixture weights must not all be zero");
+    double acc = 0.0;
+    for (double w : weights) {
+      acc += w / sum;
+      cum_.push_back(acc);
+    }
+    cum_.back() = 1.0;
+  }
+
+  BlockId next(Rng& rng) override {
+    const double u = rng.next_double();
+    const std::size_t i = static_cast<std::size_t>(
+        std::lower_bound(cum_.begin(), cum_.end(), u) - cum_.begin());
+    return sources_[i]->next(rng);
+  }
+
+ private:
+  std::vector<PatternPtr> sources_;
+  std::vector<double> cum_;
+};
+
+class PhaseSource final : public PatternSource {
+ public:
+  PhaseSource(std::vector<PatternPtr> sources, std::vector<std::uint64_t> lengths)
+      : sources_(std::move(sources)), lengths_(std::move(lengths)) {
+    ULC_REQUIRE(!sources_.empty(), "phase source needs sources");
+    ULC_REQUIRE(sources_.size() == lengths_.size(), "phase lengths/sources mismatch");
+    for (std::uint64_t l : lengths_) ULC_REQUIRE(l > 0, "phase length must be positive");
+    remaining_ = lengths_[0];
+  }
+
+  BlockId next(Rng& rng) override {
+    if (remaining_ == 0) {
+      current_ = (current_ + 1) % sources_.size();
+      remaining_ = lengths_[current_];
+    }
+    --remaining_;
+    return sources_[current_]->next(rng);
+  }
+
+ private:
+  std::vector<PatternPtr> sources_;
+  std::vector<std::uint64_t> lengths_;
+  std::size_t current_ = 0;
+  std::uint64_t remaining_ = 0;
+};
+
+}  // namespace
+
+PatternPtr make_uniform_source(BlockId base, std::uint64_t n_blocks) {
+  return std::make_unique<UniformSource>(base, n_blocks);
+}
+
+PatternPtr make_zipf_source(BlockId base, std::uint64_t n_blocks, double theta,
+                            bool scramble, std::uint64_t scramble_seed) {
+  return std::make_unique<ZipfSource>(base, n_blocks, theta, scramble, scramble_seed);
+}
+
+PatternPtr make_loop_source(BlockId base, std::uint64_t n_blocks,
+                            std::uint64_t start_offset) {
+  return std::make_unique<LoopSource>(base, n_blocks, start_offset);
+}
+
+PatternPtr make_nested_loop_source(std::vector<LoopScope> scopes) {
+  return std::make_unique<NestedLoopSource>(std::move(scopes));
+}
+
+PatternPtr make_temporal_source(BlockId base, std::uint64_t n_blocks, double p_new,
+                                double alpha) {
+  return std::make_unique<TemporalSource>(base, n_blocks, p_new, alpha);
+}
+
+PatternPtr make_scan_source(BlockId base, std::uint64_t n_blocks) {
+  return std::make_unique<LoopSource>(base, n_blocks, 0);
+}
+
+PatternPtr make_file_server_source(const FileServerConfig& config) {
+  return std::make_unique<FileServerSource>(config);
+}
+
+std::uint64_t file_server_footprint(const FileServerConfig& config) {
+  std::vector<BlockId> starts;
+  std::vector<std::uint64_t> sizes;
+  FileServerSource::build_layout(config, starts, sizes);
+  return (starts.back() + sizes.back()) - config.base;
+}
+
+PatternPtr make_mixture_source(std::vector<PatternPtr> sources,
+                               std::vector<double> weights) {
+  return std::make_unique<MixtureSource>(std::move(sources), std::move(weights));
+}
+
+PatternPtr make_phase_source(std::vector<PatternPtr> sources,
+                             std::vector<std::uint64_t> lengths) {
+  return std::make_unique<PhaseSource>(std::move(sources), std::move(lengths));
+}
+
+Trace generate(PatternSource& source, std::uint64_t n_refs, std::uint64_t seed,
+               const std::string& name) {
+  Trace trace(name);
+  trace.reserve(static_cast<std::size_t>(n_refs));
+  Rng rng(seed);
+  for (std::uint64_t i = 0; i < n_refs; ++i) trace.add(source.next(rng), 0);
+  return trace;
+}
+
+Trace generate_multi(std::vector<PatternPtr> client_sources,
+                     const std::vector<double>& client_rates, std::uint64_t n_refs,
+                     std::uint64_t seed, const std::string& name) {
+  ULC_REQUIRE(!client_sources.empty(), "multi-client generation needs clients");
+  ULC_REQUIRE(client_sources.size() == client_rates.size(),
+              "client rates/sources mismatch");
+  double sum = 0.0;
+  for (double r : client_rates) {
+    ULC_REQUIRE(r > 0.0, "client rate must be positive");
+    sum += r;
+  }
+  std::vector<double> cum;
+  double acc = 0.0;
+  for (double r : client_rates) {
+    acc += r / sum;
+    cum.push_back(acc);
+  }
+  cum.back() = 1.0;
+
+  Trace trace(name);
+  trace.reserve(static_cast<std::size_t>(n_refs));
+  Rng rng(seed);
+  for (std::uint64_t i = 0; i < n_refs; ++i) {
+    const double u = rng.next_double();
+    const std::size_t c = static_cast<std::size_t>(
+        std::lower_bound(cum.begin(), cum.end(), u) - cum.begin());
+    trace.add(client_sources[c]->next(rng), static_cast<ClientId>(c));
+  }
+  return trace;
+}
+
+}  // namespace ulc

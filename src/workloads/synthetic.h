@@ -1,0 +1,111 @@
+// Composable synthetic block-reference pattern sources.
+//
+// The paper's evaluation traces (cs, glimpse, sprite, multi, httpd, dev1,
+// tpcc1, openmail, db2) come from trace archives that are no longer
+// distributable, so this module provides the generator vocabulary from which
+// paper_presets.{h,cpp} synthesizes equivalents: uniform-random, Zipf,
+// looping, temporally-clustered (LRU-friendly), sequential scans, whole-file
+// server requests, and probabilistic mixtures of any of these. Every source
+// is deterministic given a seed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "trace/trace.h"
+#include "util/prng.h"
+
+namespace ulc {
+
+// A stateful stream of block references.
+class PatternSource {
+ public:
+  virtual ~PatternSource() = default;
+  // Produces the next referenced block id.
+  virtual BlockId next(Rng& rng) = 0;
+};
+
+using PatternPtr = std::unique_ptr<PatternSource>;
+
+// Uniformly random references over [base, base + n_blocks).
+PatternPtr make_uniform_source(BlockId base, std::uint64_t n_blocks);
+
+// Zipf(theta) over n_blocks. `scramble` decorrelates popularity rank from
+// block id (a fixed pseudo-random permutation) so that popular blocks are not
+// spatially adjacent, matching real file popularity.
+PatternPtr make_zipf_source(BlockId base, std::uint64_t n_blocks, double theta,
+                            bool scramble = true, std::uint64_t scramble_seed = 1);
+
+// Endless sequential loop over [base, base + n_blocks): b, b+1, ..., wrap.
+PatternPtr make_loop_source(BlockId base, std::uint64_t n_blocks,
+                            std::uint64_t start_offset = 0);
+
+// Several looping scopes; a scope is chosen with probability proportional to
+// its weight and then scanned in full before the next choice (glimpse-style
+// repeated whole-index scans of different sizes).
+struct LoopScope {
+  BlockId base = 0;
+  std::uint64_t n_blocks = 0;
+  double weight = 1.0;
+};
+PatternPtr make_nested_loop_source(std::vector<LoopScope> scopes);
+
+// Temporally-clustered (LRU-friendly, sprite-like) references: with
+// probability p_new touch a not-yet-referenced block, otherwise re-reference
+// the block at an LRU stack depth drawn from a truncated Pareto with shape
+// `alpha` (larger alpha = tighter clustering). Wraps to re-use old blocks
+// once all n_blocks have been introduced.
+PatternPtr make_temporal_source(BlockId base, std::uint64_t n_blocks, double p_new,
+                                double alpha);
+
+// One sequential pass over [base, base + n_blocks); after the pass it starts
+// over (equivalent to loop but kept separate for mixture phase semantics).
+PatternPtr make_scan_source(BlockId base, std::uint64_t n_blocks);
+
+// Whole-file request stream: file popularity is Zipf(theta); each request
+// reads all blocks of the chosen file sequentially. File sizes are drawn once
+// (deterministically from `layout_seed`) from a bounded lognormal-like
+// distribution with the given mean, and files are laid out contiguously from
+// `base`.
+struct FileServerConfig {
+  BlockId base = 0;
+  std::uint64_t n_files = 1000;
+  double zipf_theta = 0.9;
+  double mean_file_blocks = 5.0;
+  std::uint64_t max_file_blocks = 64;
+  std::uint64_t layout_seed = 7;
+  // Popularity drift: every `drift_period` file requests the popularity
+  // ranking rotates by `drift_step` files, so the hot set slowly moves
+  // through the catalogue (day-long web traces change what is hot; this is
+  // the pattern-change behaviour frequency-based caches are slow to track).
+  // drift_period = 0 disables drift.
+  std::uint64_t drift_period = 0;
+  std::uint64_t drift_step = 1;
+};
+PatternPtr make_file_server_source(const FileServerConfig& config);
+// Total number of blocks the file layout occupies (footprint).
+std::uint64_t file_server_footprint(const FileServerConfig& config);
+
+// Probabilistic mixture: each reference is drawn from source i with
+// probability weight[i] / sum(weights). Multi-block sources (file scans,
+// loops) keep their own state across interleaving.
+PatternPtr make_mixture_source(std::vector<PatternPtr> sources,
+                               std::vector<double> weights);
+
+// Phase sequence: runs source i for lengths[i] references, then moves to the
+// next, cycling (the `multi` trace's sequential-then-loop-then-random mix).
+PatternPtr make_phase_source(std::vector<PatternPtr> sources,
+                             std::vector<std::uint64_t> lengths);
+
+// Materializes n_refs references from a source into a single-client trace.
+Trace generate(PatternSource& source, std::uint64_t n_refs, std::uint64_t seed,
+               const std::string& name);
+
+// Materializes a multi-client trace: per-client sources, interleaved by
+// choosing at each step a client with probability proportional to its rate.
+Trace generate_multi(std::vector<PatternPtr> client_sources,
+                     const std::vector<double>& client_rates, std::uint64_t n_refs,
+                     std::uint64_t seed, const std::string& name);
+
+}  // namespace ulc

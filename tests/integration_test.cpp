@@ -1,0 +1,155 @@
+// End-to-end checks that the reproduction exhibits the paper's qualitative
+// results on (scaled) paper workloads. These are the "shape" assertions of
+// Figures 6 and 7 — who wins, by what kind of margin, and where the costs
+// come from — run at a scale small enough for CI.
+#include <gtest/gtest.h>
+
+#include "hierarchy/hierarchy.h"
+#include "hierarchy/runner.h"
+#include "workloads/paper_presets.h"
+
+namespace ulc {
+namespace {
+
+struct ThreeLevelResults {
+  RunResult ind;
+  RunResult uni;
+  RunResult ulc;
+};
+
+ThreeLevelResults run_three_level(const Trace& t, std::size_t per_level_cap) {
+  const CostModel m = CostModel::paper_three_level();
+  const std::vector<std::size_t> caps(3, per_level_cap);
+  ThreeLevelResults out;
+  auto ind = make_ind_lru(caps);
+  auto uni = make_uni_lru(caps);
+  auto ulc = make_ulc(caps);
+  out.ind = run_scheme(*ind, t, m);
+  out.uni = run_scheme(*uni, t, m);
+  out.ulc = run_scheme(*ulc, t, m);
+  return out;
+}
+
+// tpcc1: looping beyond L1. Paper: uniLRU hits almost entirely at L2 with a
+// ~100% first-boundary demotion rate; ULC splits the loop across L1/L2 with
+// demotion rates around 1%, beating uniLRU's access time by a wide margin.
+TEST(PaperShapes, Tpcc1ThreeLevel) {
+  const Trace t = preset_tpcc1(0.05, 1);
+  const auto r = run_three_level(t, 6400);  // 50MB per level
+
+  EXPECT_LT(r.uni.stats.hit_ratio(0), 0.05);
+  EXPECT_GT(r.uni.stats.hit_ratio(1), 0.8);
+  EXPECT_GT(r.uni.stats.demotion_ratio(0), 0.9);
+
+  EXPECT_GT(r.ulc.stats.hit_ratio(0), 0.4);
+  EXPECT_LT(r.ulc.stats.demotion_ratio(0), 0.1);
+  EXPECT_LT(r.ulc.t_ave_ms, r.uni.t_ave_ms);
+  EXPECT_LT(r.uni.t_ave_ms, r.ind.t_ave_ms);
+}
+
+// random: every scheme's hit rate is proportional to the cache it really
+// exploits. indLRU wastes the lower levels; uniLRU and ULC use the
+// aggregate. (Paper: 19.5% per level for uniLRU/ULC.)
+TEST(PaperShapes, RandomThreeLevel) {
+  const Trace t = preset_random_large(0.02, 1);
+  const auto r = run_three_level(t, 12800);  // 100MB per level
+
+  EXPECT_NEAR(r.ind.stats.hit_ratio(0), 0.195, 0.02);
+  EXPECT_LT(r.ind.stats.hit_ratio(1) + r.ind.stats.hit_ratio(2), 0.06);
+
+  EXPECT_NEAR(r.uni.stats.total_hit_ratio(), 0.586, 0.03);
+  EXPECT_NEAR(r.ulc.stats.total_hit_ratio(), 0.586, 0.06);
+  // ULC keeps uniLRU-class hit rates without uniLRU's demotion bill.
+  EXPECT_LT(r.ulc.stats.demotion_ratio(0), r.uni.stats.demotion_ratio(0));
+  EXPECT_LE(r.ulc.t_ave_ms, r.uni.t_ave_ms * 1.02);
+}
+
+// zipf: strong skew is LRU-friendly at the top; all schemes do well at L1,
+// and ULC must not be worse than uniLRU overall.
+TEST(PaperShapes, ZipfThreeLevel) {
+  const Trace t = preset_zipf_large(0.01, 1);
+  const auto r = run_three_level(t, 12800);
+  EXPECT_GT(r.uni.stats.hit_ratio(0), 0.5);
+  EXPECT_GT(r.ulc.stats.hit_ratio(0), 0.5);
+  EXPECT_LE(r.ulc.t_ave_ms, r.uni.t_ave_ms + 0.05);
+  EXPECT_LT(r.ulc.t_ave_ms, r.ind.t_ave_ms);
+}
+
+// Every single-client preset: ULC beats indLRU on access time, and its
+// demotion share of access time stays small (paper: 1%-8.3%).
+class SingleClientSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SingleClientSweep, UlcWinsWithCheapDemotions) {
+  const Trace t = make_preset(GetParam(), 0.02, 1);
+  const std::size_t cap = std::string(GetParam()) == "tpcc1" ? 6400 : 12800;
+  const auto r = run_three_level(t, cap);
+  EXPECT_LT(r.ulc.t_ave_ms, r.ind.t_ave_ms) << "vs indLRU";
+  EXPECT_LE(r.ulc.t_ave_ms, r.uni.t_ave_ms * 1.02) << "vs uniLRU";
+  if (r.ulc.t_ave_ms > 0.01) {
+    EXPECT_LT(r.ulc.time.demotion_component / r.ulc.t_ave_ms, 0.15);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Presets, SingleClientSweep,
+                         ::testing::Values("random", "zipf", "httpd", "dev1",
+                                           "tpcc1"));
+
+// Figure 7 shape: in the multi-client structure ULC achieves the best
+// access time of the four schemes.
+class MultiClientSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MultiClientSweep, UlcBestOfFour) {
+  const std::string name = GetParam();
+  std::size_t client_cap = 1024;  // httpd: 8MB clients (paper-exact)
+  std::size_t server_cap = 8192;
+  std::size_t n_clients = 7;
+  double scale = 0.05;
+  // MQ's best case is a stationary frequency-skewed server stream; our
+  // synthetic httpd is closer to that than the real 24h trace was, so MQ is
+  // allowed a small edge there (see EXPERIMENTS.md).
+  double mq_slack = 1.20;
+  if (name == "openmail") {
+    // Paper-exact sizes: the openmail preset's per-client working sets are
+    // tuned against the 1GB clients, so the test runs it at full scale (the
+    // suite's slowest test, ~40s).
+    client_cap = 131072;  // 1GB
+    server_cap = 262144;  // 2GB
+    n_clients = 6;
+    scale = 1.0;
+    mq_slack = 1.0;
+  } else if (name == "db2") {
+    client_cap = 8192;
+    server_cap = 32768;
+    n_clients = 8;
+    scale = 0.05;
+    mq_slack = 1.0;
+  }
+  const Trace t = make_preset(name, scale, 1);
+  const CostModel m = CostModel::paper_two_level();
+
+  auto ulc = make_ulc_multi(client_cap, server_cap, n_clients);
+  const RunResult rulc = run_scheme(*ulc, t, m);
+
+  auto ind = make_ind_lru({client_cap, server_cap}, n_clients);
+  const RunResult rind = run_scheme(*ind, t, m);
+
+  auto mq = make_mq_hierarchy(client_cap, server_cap, n_clients);
+  const RunResult rmq = run_scheme(*mq, t, m);
+
+  double best_uni = 1e18;
+  for (auto ins : {UniLruInsertion::kMru, UniLruInsertion::kMiddle,
+                   UniLruInsertion::kLru}) {
+    auto uni = make_uni_lru_multi(client_cap, server_cap, n_clients, ins);
+    best_uni = std::min(best_uni, run_scheme(*uni, t, m).t_ave_ms);
+  }
+
+  EXPECT_LE(rulc.t_ave_ms, rind.t_ave_ms * 1.001) << "vs indLRU";
+  EXPECT_LE(rulc.t_ave_ms, rmq.t_ave_ms * mq_slack) << "vs MQ";
+  EXPECT_LE(rulc.t_ave_ms, best_uni * 1.001) << "vs best uniLRU";
+}
+
+INSTANTIATE_TEST_SUITE_P(Presets, MultiClientSweep,
+                         ::testing::Values("httpd-multi", "openmail", "db2"));
+
+}  // namespace
+}  // namespace ulc

@@ -1,0 +1,117 @@
+// Cross-cutting randomized sweep: every single-client scheme run side by
+// side over randomized workloads, seeds and cache shapes, checking the
+// global accounting and structural sanity properties that must hold for
+// *any* correct multi-level caching scheme — plus the cross-scheme
+// relations this library guarantees by construction.
+#include <gtest/gtest.h>
+
+#include "hierarchy/hierarchy.h"
+#include "hierarchy/runner.h"
+#include "replacement/cache_policy.h"
+#include "util/prng.h"
+#include "workloads/synthetic.h"
+
+namespace ulc {
+namespace {
+
+struct SweepCase {
+  std::uint64_t seed;
+  int workload;
+  std::vector<std::size_t> caps;
+  double write_fraction;
+};
+
+PatternPtr make_workload(int kind, std::uint64_t seed) {
+  switch (kind) {
+    case 0:
+      return make_uniform_source(0, 500);
+    case 1:
+      return make_zipf_source(0, 500, 1.0, true, seed);
+    case 2:
+      return make_loop_source(0, 200);
+    case 3:
+      return make_temporal_source(0, 500, 0.12, 3.5);
+    default: {
+      std::vector<PatternPtr> sources;
+      sources.push_back(make_loop_source(0, 120));
+      sources.push_back(make_zipf_source(1000, 300, 0.9, true, seed + 1));
+      sources.push_back(make_scan_source(5000, 2000));
+      return make_mixture_source(std::move(sources), {0.4, 0.4, 0.2});
+    }
+  }
+}
+
+class SchemeSweepTest : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(SchemeSweepTest, GlobalAccountingHoldsForEveryScheme) {
+  const SweepCase& sc = GetParam();
+  auto src = make_workload(sc.workload, sc.seed);
+  Trace t = generate(*src, 12000, sc.seed, "sweep");
+  if (sc.write_fraction > 0) t = with_writes(t, sc.write_fraction, sc.seed + 7);
+  const std::size_t writes = compute_stats(t).writes;
+
+  std::vector<SchemePtr> schemes;
+  schemes.push_back(make_ind_lru(sc.caps));
+  schemes.push_back(make_uni_lru(sc.caps));
+  schemes.push_back(make_reload_uni_lru(sc.caps));
+  schemes.push_back(make_ulc(sc.caps));
+  schemes.push_back(make_opt_layout(sc.caps, t));
+
+  std::size_t aggregate = 0;
+  for (std::size_t c : sc.caps) aggregate += c;
+
+  double best_online_hits = 0.0;
+  double opt_hits = 0.0;
+  std::uint64_t uni_hits = 0, reload_hits = 0;
+  for (SchemePtr& scheme : schemes) {
+    for (const Request& r : t) scheme->access(r);
+    const HierarchyStats& s = scheme->stats();
+
+    // Accounting: every reference is a hit at exactly one level or a miss.
+    std::uint64_t total = s.misses;
+    for (auto h : s.level_hits) total += h;
+    ASSERT_EQ(total, s.references) << scheme->name();
+    ASSERT_EQ(s.references, t.size()) << scheme->name();
+
+    // Write-backs can never exceed writes.
+    ASSERT_LE(s.writebacks, writes) << scheme->name();
+
+    // Demotion counters only exist on interior boundaries.
+    for (std::size_t b = 0; b + 1 < sc.caps.size(); ++b)
+      ASSERT_LE(s.demotions[b], 3 * s.references) << scheme->name();
+
+    const double hit = s.total_hit_ratio();
+    if (std::string(scheme->name()) == "OPT-layout") {
+      opt_hits = hit;
+    } else {
+      best_online_hits = std::max(best_online_hits, hit);
+    }
+    if (std::string(scheme->name()) == "uniLRU") uni_hits = total - s.misses;
+    if (std::string(scheme->name()) == "reloadLRU") reload_hits = total - s.misses;
+  }
+
+  // Belady dominance over every on-line scheme.
+  EXPECT_GE(opt_hits + 1e-9, best_online_hits);
+  // reloadLRU is uniLRU with a different cost structure: identical hits.
+  EXPECT_EQ(uni_hits, reload_hits);
+}
+
+std::vector<SweepCase> sweep_cases() {
+  std::vector<SweepCase> cases;
+  const std::vector<std::vector<std::size_t>> shapes = {
+      {40, 40}, {20, 60, 120}, {64, 16, 16}, {10, 10, 10, 10}};
+  Rng rng(2026);
+  for (int w = 0; w < 5; ++w) {
+    for (const auto& caps : shapes) {
+      cases.push_back(SweepCase{rng.next_u64() % 1000 + 1, w, caps,
+                                (w % 2 == 0) ? 0.0 : 0.3});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SchemeSweepTest,
+                         ::testing::ValuesIn(sweep_cases()));
+
+}  // namespace
+}  // namespace ulc

@@ -1,0 +1,161 @@
+// Differential oracle for the Section-2 measure analyzers: an O(n^2)
+// model that literally maintains each measure's sorted list as a vector and
+// recomputes ranks/segments from scratch, with no code shared with the
+// incremental engines.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "measures/analyzers.h"
+#include "measures/next_use.h"
+#include "workloads/synthetic.h"
+
+namespace ulc {
+namespace {
+
+struct OracleReport {
+  std::vector<std::uint64_t> seg_refs = std::vector<std::uint64_t>(kSegments, 0);
+  std::vector<std::uint64_t> crossings =
+      std::vector<std::uint64_t>(kSegments - 1, 0);
+  std::uint64_t cold = 0;
+};
+
+std::size_t count_distinct(const Trace& t) {
+  std::vector<BlockId> blocks;
+  for (const Request& r : t) blocks.push_back(r.block);
+  std::sort(blocks.begin(), blocks.end());
+  blocks.erase(std::unique(blocks.begin(), blocks.end()), blocks.end());
+  return blocks.size();
+}
+
+// Shared oracle for the keyed measures (R, ND, NLD): keeps the sorted list
+// as a plain vector of (key, tie, block) and recomputes everything per
+// reference.
+OracleReport keyed_oracle(const Trace& t, Measure measure) {
+  const std::size_t n = count_distinct(t);
+  std::vector<std::size_t> boundaries;
+  for (std::size_t k = 1; k < kSegments; ++k) boundaries.push_back(k * n / 10);
+  auto segment_of = [&](std::size_t rank) {
+    std::size_t s = 0;
+    while (s + 1 < kSegments && rank >= boundaries[s]) ++s;
+    return s;
+  };
+
+  std::vector<std::uint64_t> next_use, stack_dist;
+  if (measure != Measure::kR) next_use = compute_next_use(t);
+  if (measure == Measure::kNLD) stack_dist = compute_stack_distances(t);
+
+  struct Entry {
+    std::uint64_t key;
+    std::uint64_t tie;
+    BlockId block;
+  };
+  std::vector<Entry> list;
+  std::uint64_t tie_counter = 0;
+  OracleReport rep;
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const BlockId b = t[i].block;
+    std::uint64_t key = 0;
+    switch (measure) {
+      case Measure::kR:
+        key = (kNever - 1) - i;
+        break;
+      case Measure::kND:
+        key = next_use[i] == kNever ? kNever - 1 : next_use[i];
+        break;
+      case Measure::kNLD:
+        key = next_use[i] == kNever ? kNever - 1 : stack_dist[next_use[i]];
+        break;
+      default:
+        ADD_FAILURE() << "unsupported";
+        return rep;
+    }
+    auto it = std::find_if(list.begin(), list.end(),
+                           [&](const Entry& e) { return e.block == b; });
+    if (it == list.end()) {
+      ++rep.cold;
+      const std::size_t size_before = list.size();
+      Entry e{key, ++tie_counter, b};
+      const auto pos = std::lower_bound(
+          list.begin(), list.end(), e, [](const Entry& x, const Entry& y) {
+            return std::pair(x.key, x.tie) < std::pair(y.key, y.tie);
+          });
+      const std::size_t r_new = static_cast<std::size_t>(pos - list.begin());
+      list.insert(pos, e);
+      for (std::size_t k = 0; k + 1 < kSegments; ++k) {
+        if (boundaries[k] > r_new && boundaries[k] <= size_before)
+          ++rep.crossings[k];
+      }
+    } else {
+      const std::size_t r_old = static_cast<std::size_t>(it - list.begin());
+      ++rep.seg_refs[segment_of(r_old)];
+      if (it->key != key) {
+        Entry e{key, ++tie_counter, b};
+        list.erase(it);
+        const auto pos = std::lower_bound(
+            list.begin(), list.end(), e, [](const Entry& x, const Entry& y) {
+              return std::pair(x.key, x.tie) < std::pair(y.key, y.tie);
+            });
+        const std::size_t r_new = static_cast<std::size_t>(pos - list.begin());
+        list.insert(pos, e);
+        const std::size_t lo = std::min(r_old, r_new);
+        const std::size_t hi = std::max(r_old, r_new);
+        for (std::size_t k = 0; k + 1 < kSegments; ++k) {
+          if (boundaries[k] > lo && boundaries[k] <= hi) ++rep.crossings[k];
+        }
+      }
+    }
+  }
+  return rep;
+}
+
+class MeasureOracleTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MeasureOracleTest, AnalyzerMatchesBruteForce) {
+  const auto [workload, which] = GetParam();
+  PatternPtr src;
+  switch (workload) {
+    case 0:
+      src = make_uniform_source(0, 60);
+      break;
+    case 1:
+      src = make_zipf_source(0, 60, 1.0, true, 5);
+      break;
+    case 2:
+      src = make_loop_source(0, 40);
+      break;
+    default:
+      src = make_temporal_source(0, 60, 0.2, 3.0);
+      break;
+  }
+  const Trace t = generate(*src, 3000, 99, "o");
+  const Measure m = which == 0   ? Measure::kR
+                    : which == 1 ? Measure::kND
+                                 : Measure::kNLD;
+  const MeasureReport got = analyze_measure(t, m);
+  const OracleReport want = keyed_oracle(t, m);
+
+  const double total = static_cast<double>(t.size());
+  ASSERT_EQ(got.cold_references, want.cold);
+  for (std::size_t s = 0; s < kSegments; ++s) {
+    ASSERT_NEAR(got.segment_ratio[s],
+                static_cast<double>(want.seg_refs[s]) / total, 1e-12)
+        << measure_name(m) << " segment " << s;
+  }
+  for (std::size_t b = 0; b + 1 < kSegments; ++b) {
+    ASSERT_NEAR(got.movement_ratio[b],
+                static_cast<double>(want.crossings[b]) / total, 1e-12)
+        << measure_name(m) << " boundary " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MeasureOracleTest,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                                            ::testing::Values(0, 1, 2)));
+
+}  // namespace
+}  // namespace ulc

@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "measures/analyzers.h"
+#include "measures/measure_list.h"
+#include "measures/next_use.h"
+#include "util/prng.h"
+#include "workloads/synthetic.h"
+
+namespace ulc {
+namespace {
+
+Trace from_blocks(std::initializer_list<BlockId> blocks) {
+  Trace t("hand");
+  for (BlockId b : blocks) t.add(b);
+  return t;
+}
+
+TEST(NextUse, HandComputed) {
+  const Trace t = from_blocks({1, 2, 1, 3, 2, 1});
+  const auto nu = compute_next_use(t);
+  EXPECT_EQ(nu[0], 2u);
+  EXPECT_EQ(nu[1], 4u);
+  EXPECT_EQ(nu[2], 5u);
+  EXPECT_EQ(nu[3], kNever);
+  EXPECT_EQ(nu[4], kNever);
+  EXPECT_EQ(nu[5], kNever);
+}
+
+TEST(StackDistance, HandComputed) {
+  const Trace t = from_blocks({1, 2, 1, 3, 2, 1});
+  const auto d = compute_stack_distances(t);
+  EXPECT_EQ(d[0], kInfiniteDistance);
+  EXPECT_EQ(d[1], kInfiniteDistance);
+  EXPECT_EQ(d[2], 1u);  // block 2 in between
+  EXPECT_EQ(d[3], kInfiniteDistance);
+  EXPECT_EQ(d[4], 2u);  // blocks 1, 3
+  EXPECT_EQ(d[5], 2u);  // blocks 3, 2
+}
+
+// Brute-force reference for stack distances.
+std::vector<std::uint64_t> brute_stack_distances(const Trace& t) {
+  std::vector<std::uint64_t> out(t.size(), kInfiniteDistance);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    for (std::size_t j = i; j-- > 0;) {
+      if (t[j].block == t[i].block) {
+        std::unordered_set<BlockId> distinct;
+        for (std::size_t k = j + 1; k < i; ++k) distinct.insert(t[k].block);
+        out[i] = distinct.size();
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+TEST(StackDistance, MatchesBruteForceOnRandomTrace) {
+  auto src = make_uniform_source(0, 40);
+  const Trace t = generate(*src, 800, 23, "r");
+  const auto fast = compute_stack_distances(t);
+  const auto slow = brute_stack_distances(t);
+  ASSERT_EQ(fast.size(), slow.size());
+  for (std::size_t i = 0; i < fast.size(); ++i) ASSERT_EQ(fast[i], slow[i]) << i;
+}
+
+TEST(StackDistance, LoopHasConstantDistance) {
+  auto src = make_loop_source(0, 25);
+  const Trace t = generate(*src, 200, 1, "loop");
+  const auto d = compute_stack_distances(t);
+  for (std::size_t i = 25; i < t.size(); ++i) EXPECT_EQ(d[i], 24u) << i;
+}
+
+TEST(SegmentAccountant, SegmentsAndBoundaries) {
+  SegmentAccountant acct(100);
+  EXPECT_EQ(acct.segment_of(0), 0u);
+  EXPECT_EQ(acct.segment_of(9), 0u);
+  EXPECT_EQ(acct.segment_of(10), 1u);
+  EXPECT_EQ(acct.segment_of(99), 9u);
+  EXPECT_EQ(acct.segment_of(1000), 9u);
+  EXPECT_EQ(acct.boundary_rank(0), 10u);
+  EXPECT_EQ(acct.boundary_rank(8), 90u);
+}
+
+TEST(SegmentAccountant, MoveCounting) {
+  SegmentAccountant acct(100);
+  acct.count_move(25, 3);  // crosses boundaries at ranks 10 and 20
+  EXPECT_EQ(acct.boundary_crossings(0), 1u);
+  EXPECT_EQ(acct.boundary_crossings(1), 1u);
+  EXPECT_EQ(acct.boundary_crossings(2), 0u);
+  acct.count_move(10, 10);  // no movement
+  EXPECT_EQ(acct.boundary_crossings(0), 1u);
+  acct.count_move(5, 95);  // crosses all nine boundaries
+  for (std::size_t b = 0; b < 9; ++b) EXPECT_GE(acct.boundary_crossings(b), 1u);
+}
+
+TEST(SortedMeasureList, OrderingAndRanks) {
+  SortedMeasureList list;
+  list.insert(1, 50);
+  list.insert(2, 10);
+  list.insert(3, 30);
+  EXPECT_EQ(list.rank_of(2), 0u);
+  EXPECT_EQ(list.rank_of(3), 1u);
+  EXPECT_EQ(list.rank_of(1), 2u);
+  auto [from, to] = list.update(1, 20);
+  EXPECT_EQ(from, 2u);
+  EXPECT_EQ(to, 1u);
+  EXPECT_TRUE(list.check_consistency());
+  // Equal keys order by update time (later update goes after).
+  list.update(2, 20);
+  EXPECT_EQ(list.rank_of(1), 0u);
+  EXPECT_EQ(list.rank_of(2), 1u);
+  // Unchanged key is a no-op.
+  auto [f2, t2] = list.update(3, 30);
+  EXPECT_EQ(f2, t2);
+  EXPECT_TRUE(list.check_consistency());
+}
+
+TEST(Analyzers, ReportRatiosSumWithColdToOne) {
+  auto src = make_zipf_source(0, 200, 0.8, true, 3);
+  const Trace t = generate(*src, 5000, 31, "z");
+  for (const Measure m :
+       {Measure::kND, Measure::kR, Measure::kNLD, Measure::kLLD_R}) {
+    const MeasureReport rep = analyze_measure(t, m);
+    double sum = 0.0;
+    for (double r : rep.segment_ratio) sum += r;
+    const double cold = static_cast<double>(rep.cold_references) /
+                        static_cast<double>(rep.references);
+    EXPECT_NEAR(sum + cold, 1.0, 1e-9) << measure_name(m);
+    EXPECT_NEAR(rep.cumulative_ratio[9] + cold, 1.0, 1e-9);
+    EXPECT_EQ(rep.references, t.size());
+  }
+}
+
+// On a pure loop: ND always finds the next-referenced block at the list
+// head; R always finds it at the tail; NLD and LLD-R see identical values
+// for every block and are perfectly stable (no boundary movement).
+TEST(Analyzers, LoopSignatures) {
+  auto src = make_loop_source(0, 100);
+  const Trace t = generate(*src, 5000, 1, "loop");
+
+  const MeasureReport nd = analyze_measure(t, Measure::kND);
+  EXPECT_GT(nd.segment_ratio[0], 0.95);
+
+  const MeasureReport r = analyze_measure(t, Measure::kR);
+  EXPECT_GT(r.segment_ratio[9], 0.95);
+  // R: every re-reference travels the whole list -> movement ratio ~1 at
+  // every boundary.
+  for (std::size_t b = 0; b < 9; ++b) EXPECT_GT(r.movement_ratio[b], 0.9);
+
+  const MeasureReport lldr = analyze_measure(t, Measure::kLLD_R);
+  for (std::size_t b = 0; b < 9; ++b) EXPECT_LT(lldr.movement_ratio[b], 0.05);
+
+  const MeasureReport nld = analyze_measure(t, Measure::kNLD);
+  for (std::size_t b = 0; b < 9; ++b) EXPECT_LT(nld.movement_ratio[b], 0.05);
+}
+
+// LRU-friendly trace: R concentrates references in the head segments.
+TEST(Analyzers, TemporalFavorsRecency) {
+  auto src = make_temporal_source(0, 1000, 0.08, 5.0);
+  const Trace t = generate(*src, 20000, 5, "t");
+  const MeasureReport r = analyze_measure(t, Measure::kR);
+  EXPECT_GT(r.cumulative_ratio[2], 0.6);
+}
+
+// ND produces the best (most head-concentrated) distribution of all four
+// measures, reflecting OPT's optimality (paper observation 1 for Figure 2).
+TEST(Analyzers, NdDominatesOnMixedTrace) {
+  std::vector<PatternPtr> sources;
+  sources.push_back(make_loop_source(0, 150));
+  sources.push_back(make_zipf_source(200, 300, 0.9, true, 5));
+  auto src = make_mixture_source(std::move(sources), {0.5, 0.5});
+  const Trace t = generate(*src, 20000, 7, "mixed");
+  const auto reports = analyze_all_measures(t);
+  const MeasureReport& nd = reports[0];
+  for (std::size_t i = 1; i < reports.size(); ++i) {
+    for (std::size_t s = 0; s < 4; ++s) {
+      EXPECT_GE(nd.cumulative_ratio[s] + 1e-9, reports[i].cumulative_ratio[s])
+          << "segment " << s << " vs " << measure_name(reports[i].measure);
+    }
+  }
+}
+
+// LLD-R must track NLD closely on loop-dominated traces (paper observation 2
+// for Figure 2) while R does not.
+TEST(Analyzers, LldrApproximatesNldOnLoops) {
+  std::vector<LoopScope> scopes{{0, 60, 2.0}, {60, 240, 1.0}};
+  auto src = make_nested_loop_source(std::move(scopes));
+  const Trace t = generate(*src, 20000, 9, "gl");
+  const MeasureReport nld = analyze_measure(t, Measure::kNLD);
+  const MeasureReport lldr = analyze_measure(t, Measure::kLLD_R);
+  const MeasureReport r = analyze_measure(t, Measure::kR);
+  double lldr_gap = 0.0, r_gap = 0.0;
+  for (std::size_t s = 0; s < kSegments; ++s) {
+    lldr_gap += std::abs(lldr.cumulative_ratio[s] - nld.cumulative_ratio[s]);
+    r_gap += std::abs(r.cumulative_ratio[s] - nld.cumulative_ratio[s]);
+  }
+  EXPECT_LT(lldr_gap, r_gap);
+}
+
+// Movement ratios: the stable measures (NLD, LLD-R) move less than the
+// volatile ones (ND, R) on every workload class the paper names.
+class StabilityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StabilityTest, StableMeasuresMoveLess) {
+  PatternPtr src;
+  switch (GetParam()) {
+    case 0:
+      src = make_loop_source(0, 120);
+      break;
+    case 1:
+      src = make_zipf_source(0, 400, 1.0, true, 3);
+      break;
+    case 2:
+      src = make_temporal_source(0, 400, 0.08, 4.0);
+      break;
+    default: {
+      std::vector<LoopScope> scopes{{0, 50, 2.0}, {50, 200, 1.0}};
+      src = make_nested_loop_source(std::move(scopes));
+      break;
+    }
+  }
+  const Trace t = generate(*src, 15000, 41, "w");
+  const MeasureReport nd = analyze_measure(t, Measure::kND);
+  const MeasureReport r = analyze_measure(t, Measure::kR);
+  const MeasureReport nld = analyze_measure(t, Measure::kNLD);
+  const MeasureReport lldr = analyze_measure(t, Measure::kLLD_R);
+  auto total = [](const MeasureReport& rep) {
+    double s = 0.0;
+    for (double m : rep.movement_ratio) s += m;
+    return s;
+  };
+  EXPECT_LT(total(nld), total(nd) + 1e-9);
+  EXPECT_LT(total(lldr), total(r) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, StabilityTest, ::testing::Values(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace ulc

@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "order/order_statistic_list.h"
+#include "order/segmented_list.h"
+#include "trace/types.h"
+#include "util/prng.h"
+
+namespace ulc {
+namespace {
+
+TEST(OrderStatisticList, InsertFrontBackAndAt) {
+  OrderStatisticList list;
+  auto a = list.insert_back(10);
+  auto b = list.insert_back(20);
+  auto c = list.insert_front(5);
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_EQ(list.value(list.at(0)), 5u);
+  EXPECT_EQ(list.value(list.at(1)), 10u);
+  EXPECT_EQ(list.value(list.at(2)), 20u);
+  EXPECT_EQ(list.rank(a), 1u);
+  EXPECT_EQ(list.rank(b), 2u);
+  EXPECT_EQ(list.rank(c), 0u);
+  EXPECT_TRUE(list.check_consistency());
+}
+
+TEST(OrderStatisticList, InsertAtMiddle) {
+  OrderStatisticList list;
+  list.insert_back(1);
+  list.insert_back(3);
+  auto h = list.insert_at(1, 2);
+  EXPECT_EQ(list.rank(h), 1u);
+  EXPECT_EQ(list.value(list.at(1)), 2u);
+  EXPECT_TRUE(list.check_consistency());
+}
+
+TEST(OrderStatisticList, EraseMaintainsRanks) {
+  OrderStatisticList list;
+  std::vector<OrderStatisticList::Handle> hs;
+  for (std::uint64_t i = 0; i < 10; ++i) hs.push_back(list.insert_back(i));
+  list.erase(hs[4]);
+  EXPECT_EQ(list.size(), 9u);
+  EXPECT_EQ(list.rank(hs[5]), 4u);
+  EXPECT_EQ(list.value(list.at(4)), 5u);
+  EXPECT_TRUE(list.check_consistency());
+}
+
+TEST(OrderStatisticList, MoveRepositions) {
+  OrderStatisticList list;
+  std::vector<OrderStatisticList::Handle> hs;
+  for (std::uint64_t i = 0; i < 6; ++i) hs.push_back(list.insert_back(i));
+  list.move(hs[5], 0);  // 5 0 1 2 3 4
+  EXPECT_EQ(list.rank(hs[5]), 0u);
+  EXPECT_EQ(list.rank(hs[0]), 1u);
+  list.move(hs[5], 5);  // back to the end
+  EXPECT_EQ(list.rank(hs[5]), 5u);
+  EXPECT_EQ(list.rank(hs[0]), 0u);
+  list.move(hs[2], 3);
+  EXPECT_EQ(list.value(list.at(3)), 2u);
+  EXPECT_TRUE(list.check_consistency());
+}
+
+// Property sweep: random ops mirrored against a std::vector reference.
+class OrderStatisticRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OrderStatisticRandomTest, MatchesVectorReference) {
+  Rng rng(GetParam());
+  OrderStatisticList list;
+  std::vector<std::uint64_t> ref;
+  std::vector<OrderStatisticList::Handle> handles;  // parallel to values
+  std::vector<std::uint64_t> values;
+  std::uint64_t next_value = 0;
+
+  for (int step = 0; step < 2000; ++step) {
+    const std::uint64_t op = rng.next_below(4);
+    if (op == 0 || ref.empty()) {  // insert
+      const std::size_t pos =
+          static_cast<std::size_t>(rng.next_below(ref.size() + 1));
+      const std::uint64_t v = next_value++;
+      ref.insert(ref.begin() + static_cast<std::ptrdiff_t>(pos), v);
+      handles.push_back(list.insert_at(pos, v));
+      values.push_back(v);
+    } else if (op == 1) {  // erase
+      const std::size_t idx =
+          static_cast<std::size_t>(rng.next_below(values.size()));
+      const std::uint64_t v = values[idx];
+      const auto it = std::find(ref.begin(), ref.end(), v);
+      ASSERT_NE(it, ref.end());
+      ref.erase(it);
+      list.erase(handles[idx]);
+      handles[idx] = handles.back();
+      values[idx] = values.back();
+      handles.pop_back();
+      values.pop_back();
+    } else if (op == 2) {  // move
+      const std::size_t idx =
+          static_cast<std::size_t>(rng.next_below(values.size()));
+      const std::size_t pos = static_cast<std::size_t>(rng.next_below(ref.size()));
+      const std::uint64_t v = values[idx];
+      const auto it = std::find(ref.begin(), ref.end(), v);
+      ref.erase(it);
+      ref.insert(ref.begin() + static_cast<std::ptrdiff_t>(pos), v);
+      list.move(handles[idx], pos);
+    } else {  // verify ranks
+      const std::size_t idx =
+          static_cast<std::size_t>(rng.next_below(values.size()));
+      const auto it = std::find(ref.begin(), ref.end(), values[idx]);
+      ASSERT_EQ(list.rank(handles[idx]),
+                static_cast<std::size_t>(it - ref.begin()));
+    }
+    ASSERT_EQ(list.size(), ref.size());
+  }
+  ASSERT_TRUE(list.check_consistency());
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    ASSERT_EQ(list.value(list.at(i)), ref[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OrderStatisticRandomTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---- SegmentedList ----
+
+TEST(SegmentedList, FillsSegmentsInOrder) {
+  SegmentedList list({2, 2});
+  SegmentedList::AccessResult r;
+  list.access(1, r);
+  EXPECT_FALSE(r.hit);
+  list.access(2, r);
+  list.access(3, r);
+  EXPECT_EQ(r.crossed_count, 1u);   // block 1 slid into segment 1
+  EXPECT_EQ(r.crossed[0], 1u);
+  list.access(4, r);
+  EXPECT_EQ(list.segment_size(0), 2u);
+  EXPECT_EQ(list.segment_size(1), 2u);
+  EXPECT_EQ(list.segment_of(4), 0u);
+  EXPECT_EQ(list.segment_of(3), 0u);
+  EXPECT_EQ(list.segment_of(2), 1u);
+  EXPECT_EQ(list.segment_of(1), 1u);
+  EXPECT_TRUE(list.check_consistency());
+}
+
+TEST(SegmentedList, EvictsFromGlobalLruPosition) {
+  SegmentedList list({1, 1});
+  SegmentedList::AccessResult r;
+  list.access(1, r);
+  list.access(2, r);
+  list.access(3, r);
+  EXPECT_TRUE(r.evicted);
+  EXPECT_EQ(r.evicted_key, 1u);
+  EXPECT_FALSE(list.contains(1));
+  EXPECT_TRUE(list.contains(2));
+  EXPECT_TRUE(list.contains(3));
+}
+
+TEST(SegmentedList, HitReportsOldSegmentAndDemotesAboveIt) {
+  SegmentedList list({2, 2, 2});
+  SegmentedList::AccessResult r;
+  for (BlockId b = 1; b <= 6; ++b) list.access(b, r);
+  // Stack (MRU->LRU): 6 5 | 4 3 | 2 1
+  list.access(1, r);  // hit in segment 2
+  EXPECT_TRUE(r.hit);
+  EXPECT_EQ(r.old_segment, 2u);
+  EXPECT_EQ(r.crossed_count, 2u);  // one slide at each boundary above
+  EXPECT_EQ(r.crossed[0], 5u);
+  EXPECT_EQ(r.crossed[1], 3u);
+  EXPECT_FALSE(r.evicted);
+  // Hit at the top causes no movement.
+  list.access(1, r);
+  EXPECT_TRUE(r.hit);
+  EXPECT_EQ(r.old_segment, 0u);
+  EXPECT_EQ(r.crossed_count, 0u);
+  EXPECT_TRUE(list.check_consistency());
+}
+
+TEST(SegmentedList, RemoveKeepsStructure) {
+  SegmentedList list({2, 2});
+  SegmentedList::AccessResult r;
+  for (BlockId b = 1; b <= 4; ++b) list.access(b, r);
+  EXPECT_TRUE(list.remove(2, r));
+  EXPECT_EQ(r.old_segment, 1u);
+  EXPECT_FALSE(list.contains(2));
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_FALSE(list.remove(2, r));
+  EXPECT_TRUE(list.check_consistency());
+}
+
+// Property: SegmentedList behaves exactly like an LRU vector reference with
+// fixed segment boundaries.
+class SegmentedListRandomTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t>> {};
+
+TEST_P(SegmentedListRandomTest, MatchesLruReference) {
+  const auto [seed, segments] = GetParam();
+  Rng rng(seed);
+  std::vector<std::size_t> caps;
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < segments; ++s) {
+    caps.push_back(1 + static_cast<std::size_t>(rng.next_below(4)));
+    total += caps.back();
+  }
+  SegmentedList list(caps);
+  SegmentedList::AccessResult r;
+  std::vector<BlockId> ref;  // front = MRU
+
+  auto ref_segment = [&](std::size_t pos) {
+    std::size_t acc = 0;
+    for (std::size_t s = 0; s < caps.size(); ++s) {
+      acc += caps[s];
+      if (pos < acc) return s;
+    }
+    return caps.size();
+  };
+
+  for (int step = 0; step < 3000; ++step) {
+    const BlockId b = rng.next_below(static_cast<std::uint64_t>(total * 2));
+    const auto it = std::find(ref.begin(), ref.end(), b);
+    const bool expect_hit = it != ref.end();
+    const std::size_t expect_seg =
+        expect_hit ? ref_segment(static_cast<std::size_t>(it - ref.begin())) : 0;
+    if (expect_hit) ref.erase(std::find(ref.begin(), ref.end(), b));
+    ref.insert(ref.begin(), b);
+    bool expect_evict = false;
+    BlockId expect_victim = 0;
+    if (ref.size() > total) {
+      expect_evict = true;
+      expect_victim = ref.back();
+      ref.pop_back();
+    }
+
+    list.access(b, r);
+    ASSERT_EQ(r.hit, expect_hit);
+    if (expect_hit) {
+      ASSERT_EQ(r.old_segment, expect_seg);
+    }
+    ASSERT_EQ(r.evicted, expect_evict);
+    if (expect_evict) {
+      ASSERT_EQ(r.evicted_key, expect_victim);
+    }
+    // Segment assignment must match positional segmentation.
+    if (step % 100 == 0) {
+      ASSERT_TRUE(list.check_consistency());
+      for (std::size_t pos = 0; pos < ref.size(); ++pos)
+        ASSERT_EQ(list.segment_of(ref[pos]), ref_segment(pos));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SegmentedListRandomTest,
+    ::testing::Combine(::testing::Values(3, 7, 11, 19),
+                       ::testing::Values(std::size_t{1}, std::size_t{2},
+                                         std::size_t{3}, std::size_t{5})));
+
+}  // namespace
+}  // namespace ulc

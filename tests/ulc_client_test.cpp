@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include "ulc/ulc_client.h"
+#include "workloads/synthetic.h"
+
+namespace ulc {
+namespace {
+
+UlcConfig config(std::vector<std::size_t> caps, std::size_t temp = 0) {
+  UlcConfig cfg;
+  cfg.capacities = std::move(caps);
+  cfg.temp_capacity = temp;
+  return cfg;
+}
+
+TEST(UlcClient, WarmupFillsLevelsTopDown) {
+  UlcClient c(config({2, 2}));
+  EXPECT_EQ(c.access(1).placed_level, 0u);
+  EXPECT_EQ(c.access(2).placed_level, 0u);
+  EXPECT_EQ(c.access(3).placed_level, 1u);
+  EXPECT_EQ(c.access(4).placed_level, 1u);
+  EXPECT_EQ(c.level_size(0), 2u);
+  EXPECT_EQ(c.level_size(1), 2u);
+  // Hierarchy full: a fresh block stays uncached.
+  const UlcAccess& a = c.access(5);
+  EXPECT_TRUE(a.miss());
+  EXPECT_EQ(a.placed_level, kLevelOut);
+  EXPECT_TRUE(c.check_consistency());
+}
+
+TEST(UlcClient, ColdMissesAreMisses) {
+  UlcClient c(config({2, 2}));
+  for (BlockId b = 1; b <= 4; ++b) {
+    const UlcAccess& a = c.access(b);
+    EXPECT_TRUE(a.miss());
+    EXPECT_EQ(a.retrieve.from_level, kLevelOut);
+  }
+  EXPECT_EQ(c.stats().misses, 4u);
+}
+
+// The paper's central stability property: on a loop that exactly fits the
+// aggregate cache, every block keeps its warm-up level forever — each level
+// serves its own share of hits and there are no demotions at all.
+TEST(UlcClient, LoopIsPerfectlyStable) {
+  UlcClient c(config({2, 2}));
+  auto src = make_loop_source(1, 4);
+  Rng rng(1);
+  for (int i = 0; i < 4; ++i) c.access(src->next(rng));  // warm-up
+  for (int i = 0; i < 400; ++i) {
+    const BlockId b = src->next(rng);
+    const UlcAccess& a = c.access(b);
+    ASSERT_FALSE(a.miss()) << "iteration " << i;
+    ASSERT_EQ(a.hit_level, b <= 2 ? 0u : 1u) << "block " << b;
+    ASSERT_TRUE(a.demotions.empty());
+    ASSERT_TRUE(c.check_consistency());
+  }
+  EXPECT_EQ(c.stats().demotions[0], 0u);
+  EXPECT_EQ(c.stats().level_hits[0], 200u);
+  EXPECT_EQ(c.stats().level_hits[1], 200u);
+}
+
+// A loop one block larger than the aggregate: ULC pins a resident subset
+// (OPT-like behaviour) instead of thrashing like LRU would.
+TEST(UlcClient, OversizedLoopDoesNotThrash) {
+  UlcClient c(config({1, 1}));
+  auto src = make_loop_source(1, 3);
+  Rng rng(1);
+  for (int i = 0; i < 3; ++i) c.access(src->next(rng));
+  std::uint64_t hits = 0;
+  for (int i = 0; i < 300; ++i) {
+    const UlcAccess& a = c.access(src->next(rng));
+    hits += a.miss() ? 0 : 1;
+    ASSERT_TRUE(c.check_consistency());
+  }
+  EXPECT_EQ(hits, 200u);  // blocks 1 and 2 always hit; block 3 always misses
+  EXPECT_EQ(c.stats().demotions[0], 0u);
+}
+
+// Re-referenced-soon blocks land at L1; blocks re-referenced at a recency
+// beyond Y1 land lower (LLD-directed placement).
+TEST(UlcClient, AlternatingPairServedWithoutDemotions) {
+  UlcClient c(config({1, 1}));
+  c.access(10);
+  c.access(20);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(c.access(10).hit_level, 0u);
+    EXPECT_EQ(c.access(20).hit_level, 1u);  // stable at the server level
+  }
+  EXPECT_EQ(c.stats().demotions[0], 0u);  // uniLRU would demote every access
+}
+
+TEST(UlcClient, PromotionDemotesYardstickCascade) {
+  UlcClient c(config({1, 1}));
+  c.access(1);  // L0
+  c.access(2);  // L1
+  c.access(3);  // out
+  // Stack: 3(out) 2(L1) 1(L0); re-access 3 immediately: its recency beats
+  // Y0 (=1), so it is cached at L0. Block 1 (the oldest recency in the
+  // stack) is the victim at L0 and, being older than block 2, also the
+  // immediate victim at L1 — the two steps collapse into one discard
+  // Demote(1, 0, out): no block is actually transferred.
+  const UlcAccess& a = c.access(3);
+  EXPECT_EQ(a.placed_level, 0u);
+  ASSERT_EQ(a.demotions.size(), 1u);
+  EXPECT_EQ(a.demotions[0].block, 1u);
+  EXPECT_EQ(a.demotions[0].from, 0u);
+  EXPECT_EQ(a.demotions[0].to, kLevelOut);
+  EXPECT_TRUE(c.is_cached(3));
+  EXPECT_TRUE(c.is_cached(2));   // survives at L1 (better recency than 1)
+  EXPECT_FALSE(c.is_cached(1));  // discarded without a transfer
+  EXPECT_EQ(c.stats().demotions[0], 0u);
+  EXPECT_TRUE(c.check_consistency());
+}
+
+TEST(UlcClient, RetrieveCommandsCarryLevels) {
+  UlcClient c(config({1, 1}));
+  c.access(1);
+  c.access(2);
+  const UlcAccess& hit0 = c.access(1);
+  EXPECT_EQ(hit0.retrieve.from_level, 0u);
+  EXPECT_EQ(hit0.retrieve.cache_at, 0u);
+  const UlcAccess& hit1 = c.access(2);
+  EXPECT_EQ(hit1.retrieve.from_level, 1u);
+  EXPECT_EQ(hit1.retrieve.cache_at, 1u);
+}
+
+TEST(UlcClient, TempLruServesPassThroughBlocks) {
+  UlcClient c(config({1, 1}, /*temp=*/2));
+  c.access(1);
+  c.access(2);
+  c.access(3);  // uncached pass-through -> tempLRU
+  EXPECT_TRUE(c.in_temp(3));
+  const UlcAccess& a = c.access(3);  // still in temp: L1-speed service
+  EXPECT_TRUE(a.temp_hit);
+  EXPECT_EQ(c.stats().temp_hits, 1u);
+}
+
+TEST(UlcClient, TempLruCapacityBounded) {
+  UlcClient c(config({1, 1}, /*temp=*/2));
+  c.access(1);
+  c.access(2);
+  c.access(10);
+  c.access(11);
+  c.access(12);  // pushes 10 out of the 2-entry tempLRU
+  EXPECT_FALSE(c.in_temp(10));
+  EXPECT_TRUE(c.in_temp(11));
+  EXPECT_TRUE(c.in_temp(12));
+}
+
+TEST(UlcClient, StatsAddUp) {
+  UlcClient c(config({4, 4, 4}));
+  auto src = make_zipf_source(0, 64, 1.0, true, 3);
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) c.access(src->next(rng));
+  const UlcStats& s = c.stats();
+  std::uint64_t total = s.misses;
+  for (auto h : s.level_hits) total += h;
+  EXPECT_EQ(total, s.references);
+  EXPECT_EQ(s.references, 2000u);
+}
+
+// Property sweep: the engine maintains every structural invariant on
+// arbitrary workloads and configurations.
+struct PropertyCase {
+  int workload;
+  std::vector<std::size_t> caps;
+};
+
+class UlcClientPropertyTest : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(UlcClientPropertyTest, InvariantsHoldThroughout) {
+  const PropertyCase& pc = GetParam();
+  PatternPtr src;
+  switch (pc.workload) {
+    case 0:
+      src = make_uniform_source(0, 300);
+      break;
+    case 1:
+      src = make_zipf_source(0, 300, 1.0, true, 7);
+      break;
+    case 2:
+      src = make_loop_source(0, 120);
+      break;
+    case 3:
+      src = make_temporal_source(0, 300, 0.1, 4.0);
+      break;
+    default: {
+      std::vector<LoopScope> scopes{{0, 40, 2.0}, {40, 160, 1.0}};
+      src = make_nested_loop_source(std::move(scopes));
+      break;
+    }
+  }
+  UlcClient c(config(pc.caps));
+  Rng rng(99);
+  std::size_t total_cap = 0;
+  for (std::size_t cap : pc.caps) total_cap += cap;
+  for (int i = 0; i < 6000; ++i) {
+    const BlockId b = src->next(rng);
+    const UlcAccess& a = c.access(b);
+    // The served level must match where the block now is only if it stayed;
+    // in all cases the block ends up cached at placed_level.
+    if (a.placed_level != kLevelOut) {
+      ASSERT_TRUE(c.is_cached(b));
+      ASSERT_EQ(c.level_of(b), a.placed_level);
+    } else {
+      ASSERT_FALSE(c.is_cached(b));
+    }
+    // Demotions go strictly downward (possibly multi-hop when collapsed).
+    for (const DemoteCmd& d : a.demotions) {
+      ASSERT_TRUE(d.to == kLevelOut || d.to > d.from);
+    }
+    if (i % 101 == 0) {
+      ASSERT_TRUE(c.check_consistency());
+      std::size_t cached = 0;
+      for (std::size_t l = 0; l < pc.caps.size(); ++l) {
+        ASSERT_LE(c.level_size(l), pc.caps[l]);
+        cached += c.level_size(l);
+      }
+      ASSERT_LE(cached, total_cap);
+    }
+  }
+  ASSERT_TRUE(c.check_consistency());
+}
+
+std::vector<PropertyCase> property_cases() {
+  std::vector<PropertyCase> cases;
+  const std::vector<std::vector<std::size_t>> configs = {
+      {8}, {1, 1}, {4, 8}, {8, 8, 8}, {2, 16, 64}, {16, 4, 2}, {1, 1, 1, 1}};
+  for (int w = 0; w < 5; ++w) {
+    for (const auto& caps : configs) cases.push_back({w, caps});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, UlcClientPropertyTest,
+                         ::testing::ValuesIn(property_cases()));
+
+}  // namespace
+}  // namespace ulc

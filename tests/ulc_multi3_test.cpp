@@ -1,0 +1,127 @@
+// Three-level multi-client ULC (clients + shared server + shared array):
+// the depth-generalized multi-client protocol.
+#include <gtest/gtest.h>
+
+#include "hierarchy/hierarchy.h"
+#include "hierarchy/runner.h"
+#include "ulc/ulc_client.h"
+#include "workloads/synthetic.h"
+
+namespace ulc {
+namespace {
+
+TEST(UlcClientElastic3, ExternalDemoteMovesDownOneLevel) {
+  UlcConfig cfg;
+  cfg.capacities = {1, 0, 0};
+  cfg.first_elastic_level = 1;
+  UlcClient c(cfg);
+  c.access(1);  // L0
+  c.access(2);  // elastic L1
+  EXPECT_EQ(c.level_of(2), 1u);
+  c.external_demote(2);  // server migrated it to the array
+  EXPECT_EQ(c.level_of(2), 2u);
+  EXPECT_EQ(c.level_size(1), 0u);
+  EXPECT_EQ(c.level_size(2), 1u);
+  EXPECT_TRUE(c.check_consistency());
+  // And the array can evict it outright.
+  c.external_evict(2);
+  EXPECT_FALSE(c.is_cached(2));
+}
+
+TEST(UlcClientElastic3, PerLevelFullFlags) {
+  UlcConfig cfg;
+  cfg.capacities = {1, 0, 0};
+  cfg.first_elastic_level = 1;
+  UlcClient c(cfg);
+  c.access(1);                  // L0
+  c.set_elastic_full(1, true);  // server full, array still open
+  const UlcAccess& a = c.access(2);
+  EXPECT_EQ(a.placed_level, 2u);  // cold block lands at the array
+  c.set_elastic_full(2, true);
+  const UlcAccess& b = c.access(3);
+  EXPECT_EQ(b.placed_level, kLevelOut);
+}
+
+TEST(UlcMulti3, SingleClientApproximatesThreeLevelUlc) {
+  // One client: the 3-level multi scheme should track the single-client
+  // engine closely (gLRU victims vs yardstick victims differ slightly).
+  auto src = make_zipf_source(0, 600, 0.9, true, 3);
+  const Trace t = generate(*src, 40000, 7, "z");
+  auto multi = make_ulc_multi_three(48, 96, 192, 1);
+  auto single = make_ulc({48, 96, 192});
+  for (const Request& r : t) {
+    multi->access(r);
+    single->access(r);
+  }
+  EXPECT_EQ(multi->stats().level_hits[0], single->stats().level_hits[0]);
+  const double n = static_cast<double>(t.size());
+  EXPECT_NEAR(multi->stats().total_hit_ratio(), single->stats().total_hit_ratio(),
+              0.03);
+  EXPECT_NEAR(static_cast<double>(multi->stats().misses) / n,
+              static_cast<double>(single->stats().misses) / n, 0.03);
+}
+
+TEST(UlcMulti3, ArrayAbsorbsServerOverflow) {
+  // Working sets far beyond the server: blocks must flow through to the
+  // array level and be served from there (migration demotions counted on
+  // the server/array boundary).
+  std::vector<PatternPtr> sources;
+  sources.push_back(make_loop_source(0, 300));
+  sources.push_back(make_loop_source(10000, 300));
+  const Trace t = generate_multi(std::move(sources), {1.0, 1.0}, 40000, 9, "m3");
+  auto scheme = make_ulc_multi_three(32, 128, 1024, 2);
+  const RunResult r =
+      run_scheme(*scheme, t, CostModel::paper_three_level(), 0.1);
+  EXPECT_GT(r.stats.hit_ratio(2), 0.2);  // the array carries the loops
+  EXPECT_GT(r.stats.total_hit_ratio(), 0.8);
+}
+
+TEST(UlcMulti3, BeatsThreeLevelIndLruOnLoops) {
+  // Four looping clients whose combined footprint (1400 blocks) fits the
+  // exclusive aggregate (4x64 + 256 + 1024 = 1536) but exceeds every single
+  // inclusive level: indLRU thrashes everywhere, ULC pins the loops.
+  std::vector<PatternPtr> sources;
+  for (int c = 0; c < 4; ++c)
+    sources.push_back(make_loop_source(100000ull * c, 350));
+  const Trace t =
+      generate_multi(std::move(sources), {1, 1, 1, 1}, 60000, 11, "loops");
+  const CostModel m = CostModel::paper_three_level();
+
+  auto ulc = make_ulc_multi_three(64, 256, 1024, 4);
+  const RunResult ru = run_scheme(*ulc, t, m);
+  auto ind = make_ind_lru({64, 256, 1024}, 4);
+  const RunResult ri = run_scheme(*ind, t, m);
+  EXPECT_LT(ru.t_ave_ms, ri.t_ave_ms);
+  EXPECT_GT(ru.stats.total_hit_ratio(), ri.stats.total_hit_ratio());
+}
+
+TEST(UlcMulti3, SharedBlocksStayServable) {
+  // Both clients cycle the same mid-size set: it lives in the shared levels
+  // and every client keeps hitting it.
+  std::vector<PatternPtr> sources;
+  sources.push_back(make_loop_source(0, 200));
+  sources.push_back(make_loop_source(0, 200));
+  const Trace t =
+      generate_multi(std::move(sources), {1.0, 1.0}, 30000, 13, "shared3");
+  auto scheme = make_ulc_multi_three(16, 128, 256, 2);
+  const RunResult r =
+      run_scheme(*scheme, t, CostModel::paper_three_level(), 0.1);
+  EXPECT_GT(r.stats.total_hit_ratio(), 0.85);
+}
+
+TEST(UlcMulti3, StatsAddUp) {
+  std::vector<PatternPtr> sources;
+  for (int c = 0; c < 3; ++c)
+    sources.push_back(make_zipf_source(5000ull * c, 500, 0.9, true, c + 1));
+  const Trace t = generate_multi(std::move(sources), {1, 1, 1}, 30000, 17, "z3");
+  auto scheme = make_ulc_multi_three(32, 64, 128, 3);
+  for (const Request& r : t) scheme->access(r);
+  const HierarchyStats& s = scheme->stats();
+  std::uint64_t total = s.misses;
+  for (auto h : s.level_hits) total += h;
+  EXPECT_EQ(total, s.references);
+  EXPECT_EQ(s.references, t.size());
+}
+
+}  // namespace
+}  // namespace ulc

@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include "hierarchy/hierarchy.h"
+#include "hierarchy/runner.h"
+#include "ulc/glru_server.h"
+#include "ulc/ulc_client.h"
+#include "workloads/synthetic.h"
+
+namespace ulc {
+namespace {
+
+TEST(GlruServer, PlaceEvictsGlobalLruBottomWithOwner) {
+  GlruServer s(2);
+  EXPECT_FALSE(s.place(1, 0).evicted);
+  EXPECT_FALSE(s.place(2, 1).evicted);
+  const auto r = s.place(3, 0);
+  EXPECT_TRUE(r.evicted);
+  EXPECT_EQ(r.victim, 1u);
+  EXPECT_EQ(r.victim_owner, 0u);
+  EXPECT_TRUE(s.contains(2));
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_TRUE(s.check_consistency());
+}
+
+TEST(GlruServer, RefreshUpdatesRecencyAndOwner) {
+  GlruServer s(2);
+  s.place(1, 0);
+  s.place(2, 1);
+  EXPECT_TRUE(s.refresh(1, 1));  // block 1 now most recent, owned by client 1
+  EXPECT_EQ(s.owner_of(1), 1u);
+  const auto r = s.place(3, 0);
+  EXPECT_TRUE(r.evicted);
+  EXPECT_EQ(r.victim, 2u);  // 1 was refreshed, so 2 is the bottom
+  EXPECT_FALSE(s.refresh(99, 0));
+}
+
+TEST(GlruServer, PlaceOfSharedBlockTransfersOwnership) {
+  GlruServer s(4);
+  s.place(7, 0);
+  const auto r = s.place(7, 1);
+  EXPECT_FALSE(r.evicted);
+  EXPECT_EQ(s.owner_of(7), 1u);
+  EXPECT_EQ(s.size(), 1u);  // single copy
+}
+
+TEST(GlruServer, TakeRemovesExclusively) {
+  GlruServer s(2);
+  s.place(1, 0);
+  EXPECT_TRUE(s.take(1));
+  EXPECT_FALSE(s.contains(1));
+  EXPECT_FALSE(s.take(1));
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(GlruServer, OwnedByCounts) {
+  GlruServer s(4);
+  s.place(1, 0);
+  s.place(2, 0);
+  s.place(3, 1);
+  EXPECT_EQ(s.owned_by(0), 2u);
+  EXPECT_EQ(s.owned_by(1), 1u);
+  EXPECT_EQ(s.owned_by(9), 0u);
+}
+
+TEST(UlcClientElastic, ExternalEvictShrinksServerView) {
+  UlcConfig cfg;
+  cfg.capacities = {1, 0};
+  cfg.last_level_elastic = true;
+  UlcClient c(cfg);
+  c.access(1);  // L0
+  c.access(2);  // elastic level 1 (server has room)
+  c.access(3);  // elastic level 1
+  EXPECT_EQ(c.level_size(1), 2u);
+  c.external_evict(2);
+  EXPECT_EQ(c.level_size(1), 1u);
+  EXPECT_FALSE(c.is_cached(2));
+  EXPECT_EQ(c.stats().external_evictions, 1u);
+  EXPECT_TRUE(c.check_consistency());
+}
+
+TEST(UlcClientElastic, FullServerMakesColdBlocksUncached) {
+  UlcConfig cfg;
+  cfg.capacities = {1, 0};
+  cfg.last_level_elastic = true;
+  UlcClient c(cfg);
+  c.access(1);
+  c.access(2);
+  c.set_elastic_full(true);
+  const UlcAccess& a = c.access(3);
+  EXPECT_EQ(a.placed_level, kLevelOut);
+  EXPECT_FALSE(c.is_cached(3));
+}
+
+// Full multi-client scheme: correctness of the driver + server wiring.
+TEST(UlcMulti, SingleClientApproximatesTwoLevelUlc) {
+  // With one client, multi-client ULC is the single-client two-level engine
+  // with one deliberate difference: the server victim comes from gLRU
+  // (ordered by cache-request times) rather than being exactly the client's
+  // yardstick Y2 — the orders diverge slightly for demoted blocks. Hit and
+  // demotion counts must agree to within a small tolerance.
+  auto src = make_zipf_source(0, 500, 0.9, true, 3);
+  const Trace t = generate(*src, 30000, 7, "z");
+  auto multi = make_ulc_multi(/*client_cap=*/64, /*server_cap=*/128, 1);
+  auto single = make_ulc({64, 128});
+  for (const Request& r : t) {
+    multi->access(r);
+    single->access(r);
+  }
+  // L1 is driven purely by the client engine: identical by construction.
+  EXPECT_EQ(multi->stats().level_hits[0], single->stats().level_hits[0]);
+  const double n = static_cast<double>(t.size());
+  EXPECT_NEAR(static_cast<double>(multi->stats().level_hits[1]) / n,
+              static_cast<double>(single->stats().level_hits[1]) / n, 0.01);
+  EXPECT_NEAR(static_cast<double>(multi->stats().misses) / n,
+              static_cast<double>(single->stats().misses) / n, 0.01);
+  EXPECT_NEAR(static_cast<double>(multi->stats().demotions[0]) / n,
+              static_cast<double>(single->stats().demotions[0]) / n, 0.02);
+}
+
+TEST(UlcMulti, DynamicPartitionFollowsWorkingSets) {
+  // Client 0 re-uses a large set (needs server space); client 1 re-uses a
+  // set that fits its own cache (needs none). gLRU should give most of the
+  // server to client 0.
+  std::vector<PatternPtr> sources;
+  sources.push_back(make_loop_source(0, 300));     // client 0: large loop
+  sources.push_back(make_zipf_source(10000, 64, 1.2, true, 5));  // client 1: tiny hot set
+  const Trace t =
+      generate_multi(std::move(sources), {1.0, 1.0}, 40000, 9, "parts");
+  auto scheme = make_ulc_multi(/*client_cap=*/64, /*server_cap=*/256, 2);
+  for (const Request& r : t) scheme->access(r);
+  // Inspect the server partition through a second run with direct access to
+  // the objects (the factory hides them), via stats instead: client 1's
+  // traffic should be nearly all L1 hits, client 0 should own the server.
+  const HierarchyStats& s = scheme->stats();
+  EXPECT_GT(s.level_hits[1], 0u);
+  // Most references hit somewhere: client 1 in its cache, client 0 via the
+  // server-backed loop.
+  const double total_hit = s.total_hit_ratio();
+  EXPECT_GT(total_hit, 0.8);
+}
+
+TEST(UlcMulti, SharedBlocksServedFromServer) {
+  // Two clients alternate over the same set, sized to fit the server but
+  // not a client cache: the second client's requests should find the
+  // blocks the first client placed at the server.
+  std::vector<PatternPtr> sources;
+  sources.push_back(make_loop_source(0, 100));
+  sources.push_back(make_loop_source(0, 100));
+  const Trace t =
+      generate_multi(std::move(sources), {1.0, 1.0}, 30000, 11, "shared");
+  auto scheme = make_ulc_multi(/*client_cap=*/16, /*server_cap=*/512, 2);
+  for (const Request& r : t) scheme->access(r);
+  const HierarchyStats& s = scheme->stats();
+  EXPECT_GT(s.hit_ratio(1), 0.3);  // the shared loop lives at the server
+  EXPECT_GT(s.total_hit_ratio(), 0.7);
+}
+
+TEST(UlcMulti, EvictionNoticesAreCounted) {
+  // Server far smaller than the combined demand, with churning placements
+  // (zipf re-references at many distances): placements displace other
+  // clients' blocks, generating delayed owner notices.
+  std::vector<PatternPtr> sources;
+  sources.push_back(make_zipf_source(0, 2000, 0.8, true, 5));
+  sources.push_back(make_zipf_source(10000, 2000, 0.8, true, 9));
+  const Trace t =
+      generate_multi(std::move(sources), {1.0, 1.0}, 30000, 13, "contend");
+  auto scheme = make_ulc_multi(/*client_cap=*/32, /*server_cap=*/128, 2);
+  for (const Request& r : t) scheme->access(r);
+  EXPECT_GT(scheme->stats().eviction_notices, 100u);
+}
+
+TEST(UlcMulti, TempLruServesQuickReuseAtClientSpeed) {
+  // With per-client tempLRU buffers, a block re-touched immediately after a
+  // pass-through is served at L1 speed (counted as an L1 hit) even though
+  // ULC declined to cache it there.
+  std::vector<PatternPtr> sources;
+  // Alternating double-touches of fresh blocks: b, b, b', b', ...
+  struct DoubleTouch final : public PatternSource {
+    BlockId next(Rng&) override {
+      const BlockId b = 1000 + counter_ / 2;
+      ++counter_;
+      return b;
+    }
+    std::uint64_t counter_ = 0;
+  };
+  sources.push_back(std::make_unique<DoubleTouch>());
+  const Trace t = generate_multi(std::move(sources), {1.0}, 4000, 3, "dt");
+
+  auto with_temp = make_ulc_multi(/*client_cap=*/32, /*server_cap=*/64, 1,
+                                  /*temp_capacity=*/8);
+  auto without = make_ulc_multi(32, 64, 1, 0);
+  for (const Request& r : t) {
+    with_temp->access(r);
+    without->access(r);
+  }
+  // Every second touch lands in the tempLRU; without it those are misses
+  // (the hierarchy is full of once-touched blocks).
+  EXPECT_GT(with_temp->stats().hit_ratio(0), 0.4);
+  EXPECT_LT(without->stats().hit_ratio(0), 0.1);
+}
+
+TEST(UlcMulti, WarmupFillsServerBeforeDeclaringFull) {
+  // Cold blocks go to the client first, then the server, then become L_out:
+  // the server ends exactly full, never over.
+  auto src = make_scan_source(0, 10000);
+  const Trace t = generate(*src, 400, 1, "scan");
+  auto scheme = make_ulc_multi(64, 128, 1);
+  for (const Request& r : t) scheme->access(r);
+  // 400 distinct cold blocks > 64 + 128: everything was a miss...
+  EXPECT_EQ(scheme->stats().misses, 400u);
+  // ...and a second pass hits exactly the cached 192.
+  auto src2 = make_scan_source(0, 10000);
+  Rng rng(1);
+  std::uint64_t hits = 0;
+  for (int i = 0; i < 400; ++i) {
+    const std::uint64_t before =
+        scheme->stats().level_hits[0] + scheme->stats().level_hits[1];
+    scheme->access(Request{src2->next(rng), 0});
+    const std::uint64_t after =
+        scheme->stats().level_hits[0] + scheme->stats().level_hits[1];
+    hits += after - before;
+  }
+  EXPECT_EQ(hits, 192u);
+}
+
+}  // namespace
+}  // namespace ulc

@@ -1,0 +1,233 @@
+// Differential test: UlcClient (the O(1) engine with yardstick pointers and
+// sequence numbers) against an independent reference model written straight
+// from the paper's prose with O(n) scans and no shared code. Any divergence
+// in served level, placement, demotion commands or cached contents fails.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "ulc/ulc_client.h"
+#include "util/prng.h"
+#include "workloads/synthetic.h"
+
+namespace ulc {
+namespace {
+
+// Reference model of the single-client ULC protocol (paper §3.2.1).
+class ReferenceUlc {
+ public:
+  struct Outcome {
+    std::size_t hit_level = kLevelOut;
+    std::size_t placed_level = kLevelOut;
+    std::vector<DemoteCmd> demotions;
+  };
+
+  explicit ReferenceUlc(std::vector<std::size_t> caps) : caps_(std::move(caps)) {}
+
+  Outcome access(BlockId b) {
+    Outcome out;
+    auto pos = find(b);
+    if (!pos) {
+      // Not in uniLRUstack: cold. Fill the first level with room, else Lout.
+      const std::size_t fill = first_level_with_room();
+      stack_.insert(stack_.begin(), Entry{b, fill});
+      out.placed_level = fill;
+      prune();
+      return out;
+    }
+
+    const Entry e = stack_[*pos];
+    out.hit_level = e.level;
+
+    // Recency status: the smallest level whose yardstick (deepest block of
+    // that level) sits at or below this block in the stack.
+    std::size_t r = kLevelOut;
+    for (std::size_t lvl = 0; lvl < caps_.size(); ++lvl) {
+      const auto y = yardstick(lvl);
+      if (y && *pos <= *y) {
+        r = lvl;
+        break;
+      }
+    }
+    std::size_t j = r;
+    if (j == kLevelOut) j = first_level_with_room();
+
+    // Move to the stack top.
+    stack_.erase(stack_.begin() + static_cast<std::ptrdiff_t>(*pos));
+    stack_.insert(stack_.begin(), Entry{b, j});
+    out.placed_level = j;
+
+    if (j != e.level && j != kLevelOut) {
+      // Demotion cascade with same-block collapsing.
+      std::optional<BlockId> inflight;
+      for (std::size_t k = j; k < caps_.size(); ++k) {
+        if (count(k) <= caps_[k]) break;
+        const auto y = yardstick(k);
+        const BlockId victim = stack_[*y].block;
+        const std::size_t next = k + 1 < caps_.size() ? k + 1 : kLevelOut;
+        stack_[*y].level = next;
+        if (inflight && *inflight == victim) {
+          out.demotions.back().to = next;
+        } else {
+          out.demotions.push_back(DemoteCmd{victim, k, next});
+        }
+        inflight = next == kLevelOut ? std::nullopt : std::optional(victim);
+      }
+    }
+    prune();
+    return out;
+  }
+
+  bool is_cached(BlockId b) const {
+    for (const Entry& e : stack_) {
+      if (e.block == b) return e.level != kLevelOut;
+    }
+    return false;
+  }
+
+  std::size_t level_of(BlockId b) const {
+    for (const Entry& e : stack_) {
+      if (e.block == b) return e.level;
+    }
+    return kLevelOut;
+  }
+
+  std::vector<BlockId> cached_at(std::size_t level) const {
+    std::vector<BlockId> out;
+    for (const Entry& e : stack_) {
+      if (e.level == level) out.push_back(e.block);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  struct Entry {
+    BlockId block;
+    std::size_t level;
+  };
+
+  std::optional<std::size_t> find(BlockId b) const {
+    for (std::size_t i = 0; i < stack_.size(); ++i) {
+      if (stack_[i].block == b) return i;
+    }
+    return std::nullopt;
+  }
+
+  // Index of the deepest block with the given level status.
+  std::optional<std::size_t> yardstick(std::size_t level) const {
+    for (std::size_t i = stack_.size(); i-- > 0;) {
+      if (stack_[i].level == level) return i;
+    }
+    return std::nullopt;
+  }
+
+  std::size_t count(std::size_t level) const {
+    std::size_t n = 0;
+    for (const Entry& e : stack_) n += e.level == level ? 1 : 0;
+    return n;
+  }
+
+  std::size_t first_level_with_room() const {
+    for (std::size_t lvl = 0; lvl < caps_.size(); ++lvl) {
+      if (count(lvl) < caps_[lvl]) return lvl;
+    }
+    return kLevelOut;
+  }
+
+  void prune() {
+    // Drop uncached blocks below every yardstick.
+    std::optional<std::size_t> deepest;
+    for (std::size_t lvl = 0; lvl < caps_.size(); ++lvl) {
+      const auto y = yardstick(lvl);
+      if (y && (!deepest || *y > *deepest)) deepest = *y;
+    }
+    while (!stack_.empty() && stack_.back().level == kLevelOut &&
+           (!deepest || stack_.size() - 1 > *deepest)) {
+      stack_.pop_back();
+    }
+  }
+
+  std::vector<std::size_t> caps_;
+  std::vector<Entry> stack_;  // front = most recent
+};
+
+struct DiffCase {
+  int workload;
+  std::vector<std::size_t> caps;
+};
+
+class UlcDifferentialTest : public ::testing::TestWithParam<DiffCase> {};
+
+TEST_P(UlcDifferentialTest, EngineMatchesReferenceModel) {
+  const DiffCase& pc = GetParam();
+  PatternPtr src;
+  switch (pc.workload) {
+    case 0:
+      src = make_uniform_source(0, 120);
+      break;
+    case 1:
+      src = make_zipf_source(0, 120, 1.0, true, 7);
+      break;
+    case 2:
+      src = make_loop_source(0, 50);
+      break;
+    case 3:
+      src = make_temporal_source(0, 120, 0.15, 3.0);
+      break;
+    default: {
+      std::vector<LoopScope> scopes{{0, 20, 2.0}, {20, 70, 1.0}};
+      src = make_nested_loop_source(std::move(scopes));
+      break;
+    }
+  }
+  UlcConfig cfg;
+  cfg.capacities = pc.caps;
+  UlcClient engine(cfg);
+  ReferenceUlc reference(pc.caps);
+
+  Rng rng(1234);
+  for (int i = 0; i < 4000; ++i) {
+    const BlockId b = src->next(rng);
+    const UlcAccess& got = engine.access(b);
+    const ReferenceUlc::Outcome want = reference.access(b);
+
+    ASSERT_EQ(got.hit_level, want.hit_level) << "step " << i << " block " << b;
+    ASSERT_EQ(got.placed_level, want.placed_level) << "step " << i;
+    ASSERT_EQ(got.demotions.size(), want.demotions.size()) << "step " << i;
+    for (std::size_t d = 0; d < want.demotions.size(); ++d) {
+      ASSERT_EQ(got.demotions[d].block, want.demotions[d].block) << "step " << i;
+      ASSERT_EQ(got.demotions[d].from, want.demotions[d].from) << "step " << i;
+      ASSERT_EQ(got.demotions[d].to, want.demotions[d].to) << "step " << i;
+    }
+    if (i % 97 == 0) {
+      // Full cached-content comparison, level by level.
+      for (std::size_t lvl = 0; lvl < pc.caps.size(); ++lvl) {
+        for (BlockId blk : reference.cached_at(lvl)) {
+          ASSERT_EQ(engine.level_of(blk), lvl) << "step " << i << " blk " << blk;
+        }
+        ASSERT_EQ(engine.level_size(lvl), reference.cached_at(lvl).size())
+            << "step " << i;
+      }
+      ASSERT_TRUE(engine.check_consistency());
+    }
+  }
+}
+
+std::vector<DiffCase> diff_cases() {
+  std::vector<DiffCase> cases;
+  const std::vector<std::vector<std::size_t>> configs = {
+      {8}, {1, 1}, {4, 8}, {8, 8, 8}, {2, 6, 18}, {12, 4, 2}, {1, 1, 1, 1}};
+  for (int w = 0; w < 5; ++w) {
+    for (const auto& caps : configs) cases.push_back({w, caps});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, UlcDifferentialTest,
+                         ::testing::ValuesIn(diff_cases()));
+
+}  // namespace
+}  // namespace ulc

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "ulc/uni_lru_stack.h"
+
+namespace ulc {
+namespace {
+
+TEST(UniLruStack, PushAndFind) {
+  UniLruStack s(2);
+  auto* a = s.push_top(1, 0);
+  auto* b = s.push_top(2, 0);
+  EXPECT_EQ(s.find(1), a);
+  EXPECT_EQ(s.find(2), b);
+  EXPECT_EQ(s.find(3), nullptr);
+  EXPECT_EQ(s.head(), b);
+  EXPECT_EQ(s.tail(), a);
+  EXPECT_EQ(s.level_size(0), 2u);
+  EXPECT_TRUE(s.check_consistency());
+}
+
+TEST(UniLruStack, YardstickIsDeepestOfLevel) {
+  UniLruStack s(2);
+  auto* a = s.push_top(1, 0);
+  s.push_top(2, 1);
+  auto* c = s.push_top(3, 0);
+  EXPECT_EQ(s.yard(0), a);  // deepest level-0 block
+  EXPECT_EQ(s.yard(1), s.find(2));
+  // Re-reference a (the yardstick): departure walks up to c.
+  s.yardstick_departure(a);
+  s.move_to_top(a);
+  EXPECT_EQ(s.yard(0), c);
+  EXPECT_TRUE(s.check_consistency());
+}
+
+TEST(UniLruStack, SingleBlockLevelKeepsYardstickOnMove) {
+  UniLruStack s(2);
+  auto* a = s.push_top(1, 0);
+  s.push_top(2, 1);
+  // a is the only level-0 block; moving it to the top keeps it yardstick.
+  s.move_to_top(a);
+  EXPECT_EQ(s.yard(0), a);
+  EXPECT_TRUE(s.check_consistency());
+}
+
+TEST(UniLruStack, SetLevelUpdatesCountsAndYardstick) {
+  UniLruStack s(3);
+  auto* a = s.push_top(1, 0);
+  auto* b = s.push_top(2, 0);
+  // Demote the deepest (a) to level 1.
+  s.yardstick_departure(a);
+  s.set_level(a, 1);
+  EXPECT_EQ(s.level_size(0), 1u);
+  EXPECT_EQ(s.level_size(1), 1u);
+  EXPECT_EQ(s.yard(0), b);
+  EXPECT_EQ(s.yard(1), a);  // DemotionSearching: a is deepest level-1 block
+  // Demote b too: it is shallower than a, so a stays yardstick of level 1.
+  s.yardstick_departure(b);
+  s.set_level(b, 1);
+  EXPECT_EQ(s.yard(1), a);
+  EXPECT_EQ(s.yard(0), nullptr);
+  EXPECT_TRUE(s.check_consistency());
+}
+
+TEST(UniLruStack, RecencyStatusFromYardsticks) {
+  UniLruStack s(2);
+  auto* a = s.push_top(1, 0);   // will be deepest
+  auto* b = s.push_top(2, 1);
+  auto* c = s.push_top(3, 0);
+  auto* d = s.push_top(4, 1);
+  // Stack (top->bottom): d c b a. Y0 = a (bottom), Y1 = b.
+  EXPECT_EQ(s.recency_status(d), 0u);  // above Y1? d.seq >= Y1.seq -> wait:
+  // recency_status = smallest level whose yardstick is at/below the node.
+  // Y0 = a is below everything, so every node has status 0 here.
+  EXPECT_EQ(s.recency_status(c), 0u);
+  EXPECT_EQ(s.recency_status(b), 0u);
+  EXPECT_EQ(s.recency_status(a), 0u);
+  // Demote a to level 1: now Y0 = c, Y1 = a.
+  s.yardstick_departure(a);
+  s.set_level(a, 1);
+  EXPECT_EQ(s.recency_status(d), 0u);  // above Y0=c
+  EXPECT_EQ(s.recency_status(c), 0u);  // is Y0
+  EXPECT_EQ(s.recency_status(b), 1u);  // below Y0, above Y1
+  EXPECT_EQ(s.recency_status(a), 1u);  // is Y1
+  EXPECT_TRUE(s.check_consistency());
+}
+
+TEST(UniLruStack, RecencyStatusOutBelowAllYardsticks) {
+  UniLruStack s(1);
+  auto* a = s.push_top(1, kLevelOut);
+  s.push_top(2, 0);
+  // a (uncached) is below the only yardstick -> status out... but the
+  // yardstick (block 2) is ABOVE a, so a's status is out.
+  EXPECT_EQ(s.recency_status(a), kLevelOut);
+}
+
+TEST(UniLruStack, PruneDropsUncachedTail) {
+  UniLruStack s(1);
+  auto* a = s.push_top(1, kLevelOut);
+  auto* b = s.push_top(2, 0);
+  s.push_top(3, kLevelOut);
+  // Tail is a (uncached, below yardstick b): prune removes it; block 3 is
+  // above the yardstick and stays.
+  EXPECT_EQ(s.prune(), 1u);
+  EXPECT_EQ(s.find(1), nullptr);
+  EXPECT_NE(s.find(3), nullptr);
+  EXPECT_EQ(s.tail(), b);
+  EXPECT_TRUE(s.check_consistency());
+  (void)a;
+}
+
+TEST(UniLruStack, PruneStopsAtCachedBlock) {
+  UniLruStack s(2);
+  s.push_top(1, kLevelOut);
+  s.push_top(2, 0);  // cached block above the uncached tail... wait: deeper
+  // Stack: 2(top, L0), 1(bottom, out). Yardstick Y0 = 2.
+  // Tail (1) is uncached and below Y0: pruned.
+  EXPECT_EQ(s.prune(), 1u);
+  // Now make an uncached block sit ABOVE the deepest yardstick:
+  auto* c = s.push_top(3, kLevelOut);
+  EXPECT_EQ(s.prune(), 0u);  // tail is the yardstick itself, nothing to drop
+  EXPECT_NE(s.find(3), nullptr);
+  (void)c;
+}
+
+TEST(UniLruStack, RemoveRequiresUncached) {
+  UniLruStack s(1);
+  auto* a = s.push_top(1, 0);
+  s.yardstick_departure(a);
+  s.set_level(a, kLevelOut);
+  s.remove(a);
+  EXPECT_EQ(s.find(1), nullptr);
+  EXPECT_EQ(s.stack_size(), 0u);
+  EXPECT_TRUE(s.check_consistency());
+}
+
+TEST(UniLruStack, ConsistencyWithCapacities) {
+  UniLruStack s(2);
+  s.push_top(1, 0);
+  s.push_top(2, 0);
+  s.push_top(3, 1);
+  std::vector<std::size_t> caps{2, 1};
+  EXPECT_TRUE(s.check_consistency(&caps));
+  std::vector<std::size_t> tight{1, 1};
+  EXPECT_FALSE(s.check_consistency(&tight));  // level 0 over capacity
+}
+
+}  // namespace
+}  // namespace ulc

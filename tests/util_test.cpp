@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/prng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace ulc {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, NextBoolMatchesProbability) {
+  Rng rng(17);
+  int yes = 0;
+  for (int i = 0; i < 20000; ++i) yes += rng.next_bool(0.3) ? 1 : 0;
+  EXPECT_NEAR(yes / 20000.0, 0.3, 0.02);
+  EXPECT_FALSE(rng.next_bool(0.0));
+  EXPECT_TRUE(rng.next_bool(1.0));
+}
+
+TEST(ZipfSampler, Theta1MatchesHarmonicWeights) {
+  const std::uint64_t n = 100;
+  ZipfSampler zipf(n, 1.0);
+  Rng rng(23);
+  std::vector<int> counts(n, 0);
+  const int samples = 200000;
+  for (int i = 0; i < samples; ++i) ++counts[zipf.sample(rng)];
+  double h = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i) h += 1.0 / static_cast<double>(i);
+  // Check the head of the distribution.
+  for (std::uint64_t rank : {0ull, 1ull, 4ull, 9ull}) {
+    const double expected = 1.0 / (static_cast<double>(rank + 1) * h);
+    const double got = counts[rank] / static_cast<double>(samples);
+    EXPECT_NEAR(got, expected, expected * 0.15) << "rank " << rank;
+  }
+}
+
+TEST(ZipfSampler, ThetaZeroIsUniform) {
+  const std::uint64_t n = 50;
+  ZipfSampler zipf(n, 0.0);
+  Rng rng(29);
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.sample(rng)];
+  for (std::uint64_t i = 0; i < n; ++i)
+    EXPECT_NEAR(counts[i] / 100000.0, 1.0 / 50.0, 0.006);
+}
+
+TEST(OnlineStats, BasicMoments) {
+  OnlineStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+  EXPECT_NEAR(s.variance(), 1.25, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(1.25), 1e-12);
+}
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Histogram, RatiosAndCumulative) {
+  Histogram h(4);
+  h.add(0, 1);
+  h.add(1, 3);
+  h.add(3, 4);
+  h.add(9, 2);  // clamped to last bucket
+  EXPECT_EQ(h.total(), 10u);
+  EXPECT_DOUBLE_EQ(h.ratio(0), 0.1);
+  EXPECT_DOUBLE_EQ(h.ratio(1), 0.3);
+  EXPECT_DOUBLE_EQ(h.ratio(2), 0.0);
+  EXPECT_DOUBLE_EQ(h.ratio(3), 0.6);
+  EXPECT_DOUBLE_EQ(h.cumulative_ratio(1), 0.4);
+  EXPECT_DOUBLE_EQ(h.cumulative_ratio(3), 1.0);
+  h.clear();
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_DOUBLE_EQ(h.ratio(3), 0.0);
+}
+
+TEST(Table, AlignedTextAndCsv) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22.5"});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  const std::string csv = t.to_csv();
+  EXPECT_EQ(csv, "name,value\nalpha,1\nb,22.5\n");
+}
+
+TEST(Table, CsvEscaping) {
+  TablePrinter t({"a"});
+  t.add_row({"x,y\"z"});
+  EXPECT_EQ(t.to_csv(), "a\n\"x,y\"\"z\"\n");
+}
+
+TEST(Table, Formatting) {
+  EXPECT_EQ(fmt_double(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt_percent(0.1234, 1), "12.3%");
+}
+
+}  // namespace
+}  // namespace ulc

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "workloads/paper_presets.h"
+#include "workloads/synthetic.h"
+
+namespace ulc {
+namespace {
+
+TEST(Synthetic, UniformCoversRange) {
+  auto src = make_uniform_source(100, 50);
+  Trace t = generate(*src, 20000, 1, "u");
+  std::unordered_set<BlockId> seen;
+  for (const Request& r : t) {
+    ASSERT_GE(r.block, 100u);
+    ASSERT_LT(r.block, 150u);
+    seen.insert(r.block);
+  }
+  EXPECT_EQ(seen.size(), 50u);
+}
+
+TEST(Synthetic, LoopIsExactCycle) {
+  auto src = make_loop_source(10, 5);
+  Trace t = generate(*src, 12, 1, "loop");
+  const BlockId expect[] = {10, 11, 12, 13, 14, 10, 11, 12, 13, 14, 10, 11};
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i].block, expect[i]);
+}
+
+TEST(Synthetic, NestedLoopScansWholeScopes) {
+  std::vector<LoopScope> scopes{{0, 4, 1.0}, {100, 3, 1.0}};
+  auto src = make_nested_loop_source(std::move(scopes));
+  Trace t = generate(*src, 300, 3, "nl");
+  // Every maximal run from a scope must be a full in-order scan.
+  std::size_t i = 0;
+  while (i < t.size()) {
+    const std::uint64_t base = t[i].block < 100 ? 0 : 100;
+    const std::uint64_t len = base == 0 ? 4 : 3;
+    if (i + len > t.size()) break;
+    for (std::uint64_t k = 0; k < len; ++k)
+      ASSERT_EQ(t[i + k].block, base + k) << "at " << i + k;
+    i += len;
+  }
+}
+
+TEST(Synthetic, ZipfIsSkewed) {
+  auto src = make_zipf_source(0, 1000, 1.0, /*scramble=*/false, 1);
+  Trace t = generate(*src, 50000, 5, "z");
+  std::unordered_map<BlockId, int> counts;
+  for (const Request& r : t) ++counts[r.block];
+  // Rank 0 should dominate rank 100 roughly 100:1 under theta=1.
+  EXPECT_GT(counts[0], counts[100] * 20);
+}
+
+TEST(Synthetic, ZipfScrambleDecorrelatesIds) {
+  auto plain = make_zipf_source(0, 1000, 1.0, false, 1);
+  auto scrambled = make_zipf_source(0, 1000, 1.0, true, 9);
+  Trace tp = generate(*plain, 20000, 5, "p");
+  Trace ts = generate(*scrambled, 20000, 5, "s");
+  std::unordered_map<BlockId, int> cs;
+  for (const Request& r : ts) ++cs[r.block];
+  // The most popular scrambled block is almost surely not id 0.
+  BlockId hottest = 0;
+  int best = -1;
+  for (auto& [b, n] : cs) {
+    if (n > best) {
+      best = n;
+      hottest = b;
+    }
+  }
+  EXPECT_NE(hottest, 0u);
+}
+
+TEST(Synthetic, TemporalIsLruFriendly) {
+  auto src = make_temporal_source(0, 2000, 0.1, 5.0);
+  Trace t = generate(*src, 30000, 7, "t");
+  // Count re-references that land within a short LRU window.
+  std::vector<BlockId> stack;
+  std::uint64_t rerefs = 0, near = 0;
+  for (const Request& r : t) {
+    auto it = std::find(stack.begin(), stack.end(), r.block);
+    if (it != stack.end()) {
+      ++rerefs;
+      if (static_cast<std::size_t>(it - stack.begin()) < 200) ++near;
+      stack.erase(it);
+    }
+    stack.insert(stack.begin(), r.block);
+  }
+  ASSERT_GT(rerefs, 10000u);
+  EXPECT_GT(static_cast<double>(near) / static_cast<double>(rerefs), 0.5);
+}
+
+TEST(Synthetic, FileServerReadsWholeFiles) {
+  FileServerConfig cfg;
+  cfg.n_files = 50;
+  cfg.mean_file_blocks = 4.0;
+  cfg.max_file_blocks = 16;
+  cfg.layout_seed = 3;
+  auto src = make_file_server_source(cfg);
+  Trace t = generate(*src, 5000, 11, "fs");
+  const std::uint64_t footprint = file_server_footprint(cfg);
+  EXPECT_GT(footprint, 50u);
+  // Block ids stay inside the layout, and consecutive blocks within a file
+  // request ascend by one.
+  std::uint64_t ascending = 0;
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    ASSERT_LT(t[i].block, footprint);
+    if (t[i].block == t[i - 1].block + 1) ++ascending;
+  }
+  EXPECT_GT(ascending, t.size() / 2);  // mean file length 4 => ~3/4 ascending
+}
+
+TEST(Synthetic, MixtureUsesAllSources) {
+  std::vector<PatternPtr> sources;
+  sources.push_back(make_loop_source(0, 10));
+  sources.push_back(make_uniform_source(1000, 10));
+  auto src = make_mixture_source(std::move(sources), {0.5, 0.5});
+  Trace t = generate(*src, 4000, 13, "mix");
+  std::size_t low = 0, high = 0;
+  for (const Request& r : t) (r.block < 1000 ? low : high) += 1;
+  EXPECT_NEAR(static_cast<double>(low) / 4000.0, 0.5, 0.05);
+  EXPECT_NEAR(static_cast<double>(high) / 4000.0, 0.5, 0.05);
+}
+
+TEST(Synthetic, PhasesCycleInOrder) {
+  std::vector<PatternPtr> sources;
+  sources.push_back(make_loop_source(0, 5));
+  sources.push_back(make_loop_source(100, 5));
+  auto src = make_phase_source(std::move(sources), {10, 20});
+  Trace t = generate(*src, 60, 17, "ph");
+  for (std::size_t i = 0; i < 10; ++i) ASSERT_LT(t[i].block, 100u);
+  for (std::size_t i = 10; i < 30; ++i) ASSERT_GE(t[i].block, 100u);
+  for (std::size_t i = 30; i < 40; ++i) ASSERT_LT(t[i].block, 100u);
+}
+
+TEST(Synthetic, MultiClientRatesRespected) {
+  std::vector<PatternPtr> sources;
+  sources.push_back(make_uniform_source(0, 10));
+  sources.push_back(make_uniform_source(0, 10));
+  Trace t = generate_multi(std::move(sources), {3.0, 1.0}, 20000, 19, "mc");
+  std::size_t c0 = 0;
+  for (const Request& r : t) c0 += r.client == 0 ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(c0) / 20000.0, 0.75, 0.02);
+}
+
+TEST(Presets, Deterministic) {
+  const Trace a = preset_cs(1);
+  const Trace b = preset_cs(1);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); i += 1000) ASSERT_EQ(a[i], b[i]);
+}
+
+TEST(Presets, SmallTraceShapes) {
+  const TraceStats cs = compute_stats(preset_cs());
+  EXPECT_EQ(cs.unique_blocks, 1300u);
+  EXPECT_EQ(cs.references, 130000u);
+
+  const TraceStats glimpse = compute_stats(preset_glimpse());
+  EXPECT_LE(glimpse.unique_blocks, 3000u);
+  EXPECT_GE(glimpse.unique_blocks, 2000u);
+
+  const TraceStats sprite = compute_stats(preset_sprite());
+  EXPECT_GT(sprite.unique_blocks, 3000u);
+  EXPECT_LE(sprite.unique_blocks, 7000u);
+}
+
+TEST(Presets, ScaledLargeTraces) {
+  const Trace r = preset_random_large(0.01, 1);
+  const TraceStats rs = compute_stats(r);
+  EXPECT_EQ(rs.references, 650000u);
+  EXPECT_GT(rs.unique_blocks, 60000u);  // nearly all of 65536 touched
+  EXPECT_LE(rs.max_block, 65535u);
+
+  const Trace z = preset_zipf_large(0.01, 1);
+  EXPECT_EQ(z.size(), 980000u);
+}
+
+TEST(Presets, Tpcc1IsLoopDominated) {
+  const Trace t = preset_tpcc1(0.03, 1);
+  std::size_t in_loop = 0;
+  for (const Request& r : t) in_loop += r.block < 12000 ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(in_loop) / static_cast<double>(t.size()), 0.98,
+              0.01);
+}
+
+TEST(Presets, MultiClientClientCounts) {
+  const TraceStats h = compute_stats(preset_httpd_multi(0.02, 1));
+  EXPECT_EQ(h.clients, 7u);
+  EXPECT_GT(h.shared_blocks, 1000u);  // web workload shares hot files
+
+  const TraceStats m = compute_stats(preset_openmail(0.02, 1));
+  EXPECT_EQ(m.clients, 6u);
+  EXPECT_EQ(m.shared_blocks, 0u);  // per-user mail stores: no sharing
+
+  const TraceStats d = compute_stats(preset_db2(0.02, 1));
+  EXPECT_EQ(d.clients, 8u);
+  EXPECT_GT(d.shared_blocks, 0u);  // shared catalog
+}
+
+TEST(Presets, RegistryCoversAllNames) {
+  for (const std::string& name : preset_names()) {
+    const Trace t = make_preset(name, 0.01, 1);
+    EXPECT_FALSE(t.empty()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace ulc

@@ -1,0 +1,145 @@
+// Write-request handling: placement is identical to reads (paper §5), but
+// dirty blocks leaving the hierarchy must be written back to disk.
+#include <gtest/gtest.h>
+
+#include "hierarchy/hierarchy.h"
+#include "hierarchy/runner.h"
+#include "trace/trace.h"
+#include "trace/trace_io.h"
+#include "util/prng.h"
+#include "workloads/synthetic.h"
+
+namespace ulc {
+namespace {
+
+TEST(Writes, WithWritesMarksRequestedFraction) {
+  auto src = make_uniform_source(0, 100);
+  const Trace t = with_writes(generate(*src, 20000, 1, "u"), 0.3, 7);
+  const TraceStats s = compute_stats(t);
+  EXPECT_NEAR(static_cast<double>(s.writes) / 20000.0, 0.3, 0.02);
+  // Deterministic.
+  const Trace t2 = with_writes(generate(*src, 20000, 1, "u"), 0.3, 7);
+  for (std::size_t i = 0; i < t.size(); i += 333) EXPECT_EQ(t[i], t2[i]);
+}
+
+TEST(Writes, TraceIoRoundTripsOps) {
+  Trace t("ops");
+  t.add(1, 0, Op::kRead);
+  t.add(2, 1, Op::kWrite);
+  t.add(3, 0, Op::kWrite);
+  const std::string text = ::testing::TempDir() + "/ulc_ops.txt";
+  const std::string bin = ::testing::TempDir() + "/ulc_ops.bin";
+  std::string err;
+  ASSERT_TRUE(save_trace_text(t, text, &err)) << err;
+  ASSERT_TRUE(save_trace_binary(t, bin, &err)) << err;
+  for (const std::string& path : {text, bin}) {
+    auto loaded = path == text ? load_trace_text(path, &err)
+                               : load_trace_binary(path, &err);
+    ASSERT_TRUE(loaded.has_value()) << err;
+    ASSERT_EQ(loaded->size(), 3u);
+    EXPECT_EQ((*loaded)[0].op, Op::kRead);
+    EXPECT_EQ((*loaded)[1].op, Op::kWrite);
+    EXPECT_EQ((*loaded)[1].client, 1u);
+    EXPECT_EQ((*loaded)[2].op, Op::kWrite);
+  }
+  std::remove(text.c_str());
+  std::remove(bin.c_str());
+}
+
+TEST(Writeback, UniLruWritesBackDirtyEvictions) {
+  // All-write loop larger than the aggregate: every eviction is dirty.
+  auto src = make_loop_source(0, 300);
+  const Trace t = with_writes(generate(*src, 10000, 1, "loop"), 1.0, 3);
+  auto uni = make_uni_lru({100, 100});
+  for (const Request& r : t) uni->access(r);
+  const HierarchyStats& s = uni->stats();
+  // Once warm, each miss evicts one dirty block.
+  EXPECT_GT(s.writebacks, s.misses - 400);
+  EXPECT_LE(s.writebacks, s.misses);
+}
+
+TEST(Writeback, CleanTrafficWritesNothing) {
+  auto src = make_loop_source(0, 300);
+  const Trace t = generate(*src, 10000, 1, "loop");  // all reads
+  auto uni = make_uni_lru({100, 100});
+  auto ulc = make_ulc({100, 100});
+  for (const Request& r : t) {
+    uni->access(r);
+    ulc->access(r);
+  }
+  EXPECT_EQ(uni->stats().writebacks, 0u);
+  EXPECT_EQ(ulc->stats().writebacks, 0u);
+}
+
+TEST(Writeback, UlcUncachedWritesGoStraightToDisk) {
+  // Fill the hierarchy, then write to fresh (never-cached) blocks: ULC gives
+  // them L_out status, so every such write is an immediate write-through.
+  auto warm = make_loop_source(0, 20);
+  Trace t("w");
+  {
+    Rng rng(1);
+    for (int i = 0; i < 40; ++i) t.add(warm->next(rng), 0, Op::kRead);
+    for (BlockId b = 1000; b < 1050; ++b) t.add(b, 0, Op::kWrite);
+  }
+  auto ulc = make_ulc({10, 10});
+  for (const Request& r : t) ulc->access(r);
+  EXPECT_EQ(ulc->stats().writebacks, 50u);
+}
+
+TEST(Writeback, UlcDirtyDiscardIsWrittenBack) {
+  // Mixed load with writes over a churning working set: discarded-dirty
+  // blocks must be written back; total writebacks never exceed writes.
+  auto src = make_zipf_source(0, 400, 0.8, true, 5);
+  const Trace t = with_writes(generate(*src, 30000, 7, "z"), 0.4, 9);
+  auto ulc = make_ulc({40, 40});
+  for (const Request& r : t) ulc->access(r);
+  const HierarchyStats& s = ulc->stats();
+  EXPECT_GT(s.writebacks, 0u);
+  EXPECT_LE(s.writebacks, compute_stats(t).writes);
+}
+
+TEST(Writeback, ReloadSchemeWritesBackBeforeDroppingDirty) {
+  // Under eviction-based placement a dirty block cannot be silently dropped
+  // and reloaded (the disk copy is stale): crossings of dirty blocks add
+  // writebacks on top of uniLRU's.
+  auto src = make_loop_source(0, 150);
+  const Trace t = with_writes(generate(*src, 20000, 1, "loop"), 1.0, 11);
+  auto reload = make_reload_uni_lru({100, 100});
+  auto uni = make_uni_lru({100, 100});
+  for (const Request& r : t) {
+    reload->access(r);
+    uni->access(r);
+  }
+  EXPECT_GT(reload->stats().writebacks, uni->stats().writebacks);
+}
+
+TEST(Writeback, CostModelReportsWritebackDiskTime) {
+  HierarchyStats s;
+  s.resize(2);
+  s.references = 100;
+  s.level_hits = {60, 20};
+  s.misses = 20;
+  s.writebacks = 10;
+  const CostModel m{{1.0, 10.0}};
+  const AccessTimeBreakdown b = compute_access_time(s, m);
+  EXPECT_DOUBLE_EQ(b.writeback_disk_ms, 0.1 * 10.0);
+  // Off the critical path: not part of total().
+  EXPECT_DOUBLE_EQ(b.total(),
+                   b.hit_component + b.miss_component + b.demotion_component);
+}
+
+TEST(Writeback, MultiClientUlcServerEvictions) {
+  // Two clients writing over sets larger than client+server: gLRU evictions
+  // of dirty blocks must be written back.
+  std::vector<PatternPtr> sources;
+  sources.push_back(make_zipf_source(0, 800, 0.7, true, 3));
+  sources.push_back(make_zipf_source(10000, 800, 0.7, true, 5));
+  Trace t = generate_multi(std::move(sources), {1.0, 1.0}, 30000, 13, "mw");
+  t = with_writes(t, 0.5, 15);
+  auto scheme = make_ulc_multi(32, 128, 2);
+  for (const Request& r : t) scheme->access(r);
+  EXPECT_GT(scheme->stats().writebacks, 0u);
+}
+
+}  // namespace
+}  // namespace ulc

@@ -1,0 +1,328 @@
+// ulctool — command-line front end to the library.
+//
+//   ulctool presets
+//       List the built-in paper workload presets.
+//   ulctool gen --preset=<name> [--scale=<f>] [--seed=<n>] --out=<file> [--binary]
+//       Synthesize a preset trace and write it to a file.
+//   ulctool stats (--preset=<name> [--scale] [--seed] | --trace=<file>)
+//       Reference counts, footprint, client/sharing structure of a trace.
+//   ulctool analyze (--preset=... | --trace=<file>)
+//       Section-2 locality-measure analysis (ND/R/NLD/LLD-R).
+//   ulctool sim --scheme=<ulc|unilru|indlru|mq|reload> --caps=<a,b,...>
+//               (--preset=... | --trace=<file>) [--clients=<n>] [--warmup=<f>]
+//               [--links=<ms,ms,...>]
+//       Run a trace through a hierarchy scheme and report hit rates,
+//       demotion rates and the average access time breakdown.
+//   ulctool compare --caps=<a,b,...> (--preset=... | --trace=<file>)
+//                   [--clients=<n>] [--warmup=<f>]
+//       Run every applicable scheme on the trace and print one ranked
+//       table (total hits, demotion rate, T_ave).
+//
+// Trace files use the text format of trace_io.h ("<client> <block>" per
+// line) or the ULCTRC binary format (by extension ".bin"/"--binary").
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hierarchy/hierarchy.h"
+#include "hierarchy/runner.h"
+#include "measures/analyzers.h"
+#include "trace/trace_io.h"
+#include "util/table.h"
+#include "workloads/paper_presets.h"
+
+namespace {
+
+using namespace ulc;
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::fprintf(stderr, "ulctool: %s\n\n", msg);
+  std::fprintf(stderr,
+               "usage:\n"
+               "  ulctool presets\n"
+               "  ulctool gen --preset=<name> [--scale=<f>] [--seed=<n>] "
+               "--out=<file> [--binary]\n"
+               "  ulctool stats   (--preset=<name> | --trace=<file>) [--scale] "
+               "[--seed]\n"
+               "  ulctool analyze (--preset=<name> | --trace=<file>) [--scale] "
+               "[--seed]\n"
+               "  ulctool sim --scheme=<ulc|unilru|indlru|mq|reload> "
+               "--caps=<a,b,...>\n"
+               "              (--preset=<name> | --trace=<file>) "
+               "[--clients=<n>] [--warmup=<f>] [--links=<ms,...>]\n");
+  std::exit(2);
+}
+
+struct Args {
+  std::map<std::string, std::string> kv;
+  bool has(const std::string& k) const { return kv.count(k) != 0; }
+  std::string get(const std::string& k, const std::string& dflt = "") const {
+    auto it = kv.find(k);
+    return it == kv.end() ? dflt : it->second;
+  }
+  double get_double(const std::string& k, double dflt) const {
+    auto it = kv.find(k);
+    return it == kv.end() ? dflt : std::atof(it->second.c_str());
+  }
+  std::uint64_t get_u64(const std::string& k, std::uint64_t dflt) const {
+    auto it = kv.find(k);
+    return it == kv.end() ? dflt : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+};
+
+Args parse_args(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--", 2) != 0) usage(("unexpected argument: " + std::string(a)).c_str());
+    const char* eq = std::strchr(a, '=');
+    if (eq) {
+      args.kv[std::string(a + 2, eq)] = std::string(eq + 1);
+    } else {
+      args.kv[std::string(a + 2)] = "1";
+    }
+  }
+  return args;
+}
+
+std::vector<std::size_t> parse_sizes(const std::string& s) {
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t next = s.find(',', pos);
+    if (next == std::string::npos) next = s.size();
+    out.push_back(static_cast<std::size_t>(
+        std::strtoull(s.substr(pos, next - pos).c_str(), nullptr, 10)));
+    pos = next + 1;
+  }
+  return out;
+}
+
+std::vector<double> parse_doubles(const std::string& s) {
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t next = s.find(',', pos);
+    if (next == std::string::npos) next = s.size();
+    out.push_back(std::atof(s.substr(pos, next - pos).c_str()));
+    pos = next + 1;
+  }
+  return out;
+}
+
+Trace load_input(const Args& args) {
+  if (args.has("preset")) {
+    return make_preset(args.get("preset"), args.get_double("scale", 0.1),
+                       args.get_u64("seed", 1));
+  }
+  if (args.has("trace")) {
+    const std::string path = args.get("trace");
+    std::string error;
+    auto loaded = path.size() > 4 && path.substr(path.size() - 4) == ".bin"
+                      ? load_trace_binary(path, &error)
+                      : load_trace_text(path, &error);
+    if (!loaded) {
+      std::fprintf(stderr, "ulctool: %s\n", error.c_str());
+      std::exit(1);
+    }
+    return std::move(*loaded);
+  }
+  usage("need --preset or --trace");
+}
+
+int cmd_presets() {
+  for (const std::string& name : preset_names()) std::printf("%s\n", name.c_str());
+  return 0;
+}
+
+int cmd_gen(const Args& args) {
+  if (!args.has("out")) usage("gen needs --out=<file>");
+  const Trace t = load_input(args);
+  std::string error;
+  const bool ok = args.has("binary")
+                      ? save_trace_binary(t, args.get("out"), &error)
+                      : save_trace_text(t, args.get("out"), &error);
+  if (!ok) {
+    std::fprintf(stderr, "ulctool: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu references to %s\n", t.size(), args.get("out").c_str());
+  return 0;
+}
+
+int cmd_stats(const Args& args) {
+  const Trace t = load_input(args);
+  const TraceStats s = compute_stats(t);
+  std::printf("trace:          %s\n", t.name().c_str());
+  std::printf("references:     %zu\n", s.references);
+  std::printf("distinct blocks: %zu (%.1f MB at 8KB/block)\n", s.unique_blocks,
+              static_cast<double>(s.unique_blocks) * 8.0 / 1024.0);
+  std::printf("clients:        %zu\n", s.clients);
+  std::printf("shared blocks:  %zu\n", s.shared_blocks);
+  std::printf("max block id:   %llu\n",
+              static_cast<unsigned long long>(s.max_block));
+  return 0;
+}
+
+int cmd_analyze(const Args& args) {
+  const Trace t = load_input(args);
+  std::printf("analyzing %zu references...\n\n", t.size());
+  TablePrinter table({"measure", "cum seg1-2", "cum seg1-5", "movement/ref",
+                      "on-line"});
+  for (const MeasureReport& rep : analyze_all_measures(t)) {
+    double movement = 0.0;
+    for (double m : rep.movement_ratio) movement += m;
+    const bool online =
+        rep.measure == Measure::kR || rep.measure == Measure::kLLD_R;
+    table.add_row({measure_name(rep.measure),
+                   fmt_percent(rep.cumulative_ratio[1], 1),
+                   fmt_percent(rep.cumulative_ratio[4], 1),
+                   fmt_double(movement, 3), online ? "yes" : "no"});
+  }
+  table.print();
+  return 0;
+}
+
+int cmd_sim(const Args& args) {
+  const Trace t = load_input(args);
+  const std::vector<std::size_t> caps = parse_sizes(args.get("caps"));
+  if (caps.empty()) usage("sim needs --caps=<a,b,...>");
+  const std::size_t clients = args.get_u64("clients", 1);
+  const std::string kind = args.get("scheme", "ulc");
+
+  SchemePtr scheme;
+  if (kind == "ulc") {
+    scheme = clients > 1 ? make_ulc_multi(caps[0], caps.size() > 1 ? caps[1] : 0,
+                                          clients)
+                         : make_ulc(caps);
+  } else if (kind == "unilru") {
+    scheme = clients > 1
+                 ? make_uni_lru_multi(caps[0], caps.size() > 1 ? caps[1] : 0,
+                                      clients, UniLruInsertion::kMru)
+                 : make_uni_lru(caps);
+  } else if (kind == "indlru") {
+    scheme = make_ind_lru(caps, clients);
+  } else if (kind == "mq") {
+    if (caps.size() != 2) usage("mq needs exactly two levels");
+    scheme = make_mq_hierarchy(caps[0], caps[1], clients);
+  } else if (kind == "reload") {
+    scheme = make_reload_uni_lru(caps);
+  } else {
+    usage("unknown --scheme");
+  }
+
+  CostModel model;
+  if (args.has("links")) {
+    model.link_ms = parse_doubles(args.get("links"));
+    if (model.link_ms.size() != caps.size())
+      usage("--links needs one entry per level (last one is the disk link)");
+  } else if (caps.size() == 3) {
+    model = CostModel::paper_three_level();
+  } else if (caps.size() == 2) {
+    model = CostModel::paper_two_level();
+  } else {
+    for (std::size_t i = 0; i + 1 < caps.size(); ++i) model.link_ms.push_back(1.0);
+    model.link_ms.push_back(10.0);
+  }
+
+  const RunResult r =
+      run_scheme(*scheme, t, model, args.get_double("warmup", 0.1));
+  std::printf("scheme: %s on %s (%zu references, %.0f%% warm-up)\n\n",
+              r.scheme.c_str(), r.trace.c_str(), t.size(),
+              100 * args.get_double("warmup", 0.1));
+  for (std::size_t l = 0; l < caps.size(); ++l)
+    std::printf("L%zu hits:      %6.2f%%  (capacity %zu blocks)\n", l + 1,
+                100 * r.stats.hit_ratio(l), caps[l]);
+  std::printf("misses:       %6.2f%%\n", 100 * r.stats.miss_ratio());
+  for (std::size_t b = 0; b + 1 < caps.size(); ++b)
+    std::printf("demotions %zu->%zu: %.2f per 100 refs\n", b + 1, b + 2,
+                100 * r.stats.demotion_ratio(b));
+  std::printf("\nT_ave = %.3f ms (hit %.3f + miss %.3f + demotion %.3f)\n",
+              r.t_ave_ms, r.time.hit_component, r.time.miss_component,
+              r.time.demotion_component);
+  return 0;
+}
+
+int cmd_compare(const Args& args) {
+  const Trace t = load_input(args);
+  const std::vector<std::size_t> caps = parse_sizes(args.get("caps"));
+  if (caps.empty()) usage("compare needs --caps=<a,b,...>");
+  const std::size_t clients = args.get_u64("clients", 1);
+  const double warmup = args.get_double("warmup", 0.1);
+
+  CostModel model;
+  if (caps.size() == 3) {
+    model = CostModel::paper_three_level();
+  } else if (caps.size() == 2) {
+    model = CostModel::paper_two_level();
+  } else {
+    for (std::size_t i = 0; i + 1 < caps.size(); ++i) model.link_ms.push_back(1.0);
+    model.link_ms.push_back(10.0);
+  }
+
+  std::vector<SchemePtr> schemes;
+  schemes.push_back(make_ind_lru(caps, clients));
+  if (clients == 1) {
+    schemes.push_back(make_uni_lru(caps));
+    schemes.push_back(make_reload_uni_lru(caps));
+    schemes.push_back(make_ulc(caps));
+    if (caps.size() == 2)
+      schemes.push_back(make_policy_hierarchy(
+          caps[0], make_lirs(LirsConfig{caps[1], 0.02}), 1));
+  } else if (caps.size() == 2) {
+    for (auto ins : {UniLruInsertion::kMru, UniLruInsertion::kMiddle,
+                     UniLruInsertion::kLru})
+      schemes.push_back(make_uni_lru_multi(caps[0], caps[1], clients, ins));
+    schemes.push_back(make_ulc_multi(caps[0], caps[1], clients));
+  } else if (caps.size() == 3) {
+    schemes.push_back(make_ulc_multi_three(caps[0], caps[1], caps[2], clients));
+  }
+  if (caps.size() == 2)
+    schemes.push_back(make_mq_hierarchy(caps[0], caps[1], clients));
+
+  struct Row {
+    RunResult result;
+  };
+  std::vector<Row> rows;
+  for (SchemePtr& scheme : schemes) {
+    std::fprintf(stderr, "running %s...\n", scheme->name());
+    rows.push_back(Row{run_scheme(*scheme, t, model, warmup)});
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.result.t_ave_ms < b.result.t_ave_ms;
+  });
+
+  TablePrinter table({"scheme", "total hit", "L1 hit", "demote/ref",
+                      "writebacks/ref", "T_ave (ms)"});
+  for (const Row& row : rows) {
+    const RunResult& r = row.result;
+    const double n = static_cast<double>(r.stats.references);
+    table.add_row(
+        {r.scheme, fmt_percent(r.stats.total_hit_ratio(), 1),
+         fmt_percent(r.stats.hit_ratio(0), 1),
+         fmt_double(r.stats.demotion_ratio(0), 3),
+         fmt_double(n > 0 ? static_cast<double>(r.stats.writebacks) / n : 0.0, 3),
+         fmt_double(r.t_ave_ms, 3)});
+  }
+  table.print();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  const Args args = parse_args(argc, argv, 2);
+  if (cmd == "presets") return cmd_presets();
+  if (cmd == "gen") return cmd_gen(args);
+  if (cmd == "stats") return cmd_stats(args);
+  if (cmd == "analyze") return cmd_analyze(args);
+  if (cmd == "sim") return cmd_sim(args);
+  if (cmd == "compare") return cmd_compare(args);
+  usage(("unknown command: " + cmd).c_str());
+}
