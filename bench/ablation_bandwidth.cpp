@@ -6,40 +6,62 @@
 // client/server link cost (emulating lower bandwidth for 8KB transfers) and
 // reports T_ave for indLRU / uniLRU / ULC on the looping tpcc1 workload —
 // locating the crossover where uniLRU loses to indLRU while ULC, with its
-// ~1% demotion rate, stays flat.
+// ~1% demotion rate, stays flat. All 18 (link, scheme) cells share one
+// cached tpcc1 trace.
 #include <cstdio>
 
 #include "bench_common.h"
+#include "exp/experiment.h"
 #include "hierarchy/hierarchy.h"
-#include "hierarchy/runner.h"
 #include "util/table.h"
-#include "workloads/paper_presets.h"
 
 using namespace ulc;
 
 int main(int argc, char** argv) {
   const bench::Options opt = bench::parse_options(argc, argv, 0.1);
-  const Trace t = preset_tpcc1(opt.scale, opt.seed);
   const std::vector<std::size_t> caps(3, 6400);
+  const double lans[] = {0.5, 1.0, 2.0, 4.0, 8.0, 16.0};
+
+  std::vector<exp::ExperimentSpec> specs;
+  for (double lan : lans) {
+    struct Factory {
+      const char* label;
+      exp::SchemeFactory make;
+    };
+    const Factory factories[] = {
+        {"indLRU", [caps](const Trace&) { return make_ind_lru(caps); }},
+        {"uniLRU", [caps](const Trace&) { return make_uni_lru(caps); }},
+        {"ULC", [caps](const Trace&) { return make_ulc(caps); }},
+    };
+    for (const Factory& f : factories) {
+      exp::ExperimentSpec spec;
+      spec.factory = f.make;
+      spec.trace = {"tpcc1", opt.scale, opt.seed};
+      spec.model = CostModel{{lan, 0.2, 10.0}};
+      spec.warmup_fraction = opt.warmup;
+      spec.params["lan_ms"] = lan;
+      specs.push_back(std::move(spec));
+    }
+  }
+
+  const std::vector<exp::CellResult> cells = exp::run_matrix(specs, opt.matrix());
 
   std::printf("Ablation C: T_ave (ms) vs client<->server link cost, tpcc1\n\n");
   TablePrinter table({"link ms (LAN)", "indLRU", "uniLRU", "ULC",
                       "uniLRU demotion part"});
-  for (double lan : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
-    const CostModel model{{lan, 0.2, 10.0}};
-    auto ind = make_ind_lru(caps);
-    auto uni = make_uni_lru(caps);
-    auto ulc = make_ulc(caps);
-    const RunResult ri = run_scheme(*ind, t, model);
-    const RunResult ru = run_scheme(*uni, t, model);
-    const RunResult rc = run_scheme(*ulc, t, model);
-    table.add_row({fmt_double(lan, 1), fmt_double(ri.t_ave_ms, 3),
-                   fmt_double(ru.t_ave_ms, 3), fmt_double(rc.t_ave_ms, 3),
-                   fmt_double(ru.time.demotion_component, 3)});
+  for (std::size_t i = 0; i < cells.size(); i += 3) {
+    const exp::CellResult& ri = cells[i];
+    const exp::CellResult& ru = cells[i + 1];
+    const exp::CellResult& rc = cells[i + 2];
+    table.add_row({fmt_double(ri.params.at("lan_ms"), 1),
+                   fmt_double(ri.run.t_ave_ms, 3), fmt_double(ru.run.t_ave_ms, 3),
+                   fmt_double(rc.run.t_ave_ms, 3),
+                   fmt_double(ru.run.time.demotion_component, 3)});
   }
   bench::emit(table, opt);
   std::printf(
       "uniLRU's demotion bill grows linearly with the link cost (one demotion\n"
       "per reference on this looping workload); ULC's does not.\n");
+  bench::write_json(opt, "ablation_bandwidth", exp::results_to_json(cells));
   return 0;
 }

@@ -15,10 +15,9 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "exp/experiment.h"
 #include "hierarchy/hierarchy.h"
-#include "hierarchy/runner.h"
 #include "util/table.h"
-#include "workloads/paper_presets.h"
 
 using namespace ulc;
 
@@ -52,39 +51,65 @@ std::uint64_t peak_burst(const Trace& t, const std::vector<std::size_t>& caps,
 int main(int argc, char** argv) {
   const bench::Options opt = bench::parse_options(argc, argv, 0.05);
   const CostModel model = CostModel::paper_three_level();
+  const char* traces[] = {"tpcc1", "zipf"};
 
-  std::printf("Ablation E: delayed demotions — buffer size vs hit rate\n\n");
-  for (const char* name : {"tpcc1", "zipf"}) {
-    const Trace t = make_preset(name, opt.scale, opt.seed);
+  exp::TraceCache cache;
+  std::vector<exp::ExperimentSpec> specs;
+  for (const char* name : traces) {
     const std::size_t cap = std::string(name) == "tpcc1" ? 6400 : 12800;
-    std::fprintf(stderr, "running %s (%zu refs)...\n", name, t.size());
-
-    TablePrinter table({"demote buffers", "total hit", "T_ave on-path",
-                        "T_ave hidden (bound)"});
     for (std::size_t buffers :
          {std::size_t{0}, cap / 64, cap / 16, cap / 4, cap / 2}) {
+      exp::ExperimentSpec spec;
       const std::vector<std::size_t> caps{cap - buffers, cap, cap};
-      auto uni = make_uni_lru(caps);
-      const RunResult r = run_scheme(*uni, t, model);
+      spec.factory = [caps](const Trace&) { return make_uni_lru(caps); };
+      spec.trace = {name, opt.scale, opt.seed};
+      spec.model = model;
+      spec.warmup_fraction = opt.warmup;
+      spec.params["demote_buffers"] = static_cast<double>(buffers);
+      specs.push_back(std::move(spec));
+    }
+    exp::ExperimentSpec ulc_spec;
+    ulc_spec.factory = [cap](const Trace&) { return make_ulc({cap, cap, cap}); };
+    ulc_spec.trace = {name, opt.scale, opt.seed};
+    ulc_spec.model = model;
+    ulc_spec.warmup_fraction = opt.warmup;
+    specs.push_back(std::move(ulc_spec));
+  }
+
+  const std::vector<exp::CellResult> cells =
+      exp::run_matrix(specs, opt.matrix(&cache));
+
+  std::printf("Ablation E: delayed demotions — buffer size vs hit rate\n\n");
+  std::size_t at = 0;
+  for (const char* name : traces) {
+    const std::size_t cap = std::string(name) == "tpcc1" ? 6400 : 12800;
+    TablePrinter table({"demote buffers", "total hit", "T_ave on-path",
+                        "T_ave hidden (bound)"});
+    for (int i = 0; i < 5; ++i, ++at) {
+      const exp::CellResult& cell = cells[at];
+      const RunResult& r = cell.run;
       // Optimistic bound: zero demotion charge.
       const double hidden = r.time.hit_component + r.time.miss_component;
-      table.add_row({std::to_string(buffers),
+      table.add_row({fmt_double(cell.params.at("demote_buffers"), 0),
                      fmt_percent(r.stats.total_hit_ratio(), 1),
                      fmt_double(r.t_ave_ms, 3), fmt_double(hidden, 3)});
     }
     std::printf("-- %s (uniLRU; ULC needs no staging buffers) --\n", name);
     bench::emit(table, opt);
 
-    auto ulc = make_ulc({cap, cap, cap});
-    const RunResult ru = run_scheme(*ulc, t, model);
+    const RunResult& ru = cells[at++].run;
     std::printf("ULC reference point: T_ave %.3f ms at %s total hits\n",
                 ru.t_ave_ms, fmt_percent(ru.stats.total_hit_ratio(), 1).c_str());
 
+    // The burst scan needs the per-reference demotion series, so it replays
+    // serially — on the same cached trace the matrix used.
+    const Trace& t = cache.get({name, opt.scale, opt.seed});
     const std::vector<std::size_t> caps(3, cap);
     std::printf("uniLRU demotion bursts: max %llu demotions per 64 references, "
                 "%llu per 1024\n\n",
                 static_cast<unsigned long long>(peak_burst(t, caps, 64)),
                 static_cast<unsigned long long>(peak_burst(t, caps, 1024)));
   }
+  bench::write_json(opt, "ablation_delayed_demotion", exp::results_to_json(cells));
   return 0;
 }

@@ -6,13 +6,16 @@
 // (the paper's Figure 2/3 trade-off between ND's distinction and its
 // instability, now at hierarchy scale). ULC concedes some hits and some L1
 // concentration to an online measure, and buys near-zero movement.
+//
+// The OPT-layout factory is the reason engine factories receive the cell's
+// trace: the clairvoyant scheme must replay exactly the trace it was built
+// from, which the shared TraceCache keeps alive for the whole matrix.
 #include <cstdio>
 
 #include "bench_common.h"
+#include "exp/experiment.h"
 #include "hierarchy/hierarchy.h"
-#include "hierarchy/runner.h"
 #include "util/table.h"
-#include "workloads/paper_presets.h"
 
 using namespace ulc;
 
@@ -20,31 +23,47 @@ int main(int argc, char** argv) {
   const bench::Options opt = bench::parse_options(argc, argv, 0.05);
   const CostModel model = CostModel::paper_three_level();
 
+  std::vector<exp::ExperimentSpec> specs;
+  for (const char* name : {"zipf", "tpcc1", "httpd", "random"}) {
+    const std::size_t cap = std::string(name) == "tpcc1" ? 6400 : 12800;
+    const std::vector<std::size_t> caps(3, cap);
+    struct Factory {
+      const char* label;
+      exp::SchemeFactory make;
+    };
+    const Factory factories[] = {
+        {"OPT-layout",
+         [caps](const Trace& t) { return make_opt_layout(caps, t); }},
+        {"ULC", [caps](const Trace&) { return make_ulc(caps); }},
+    };
+    for (const Factory& f : factories) {
+      exp::ExperimentSpec spec;
+      spec.factory = f.make;
+      spec.trace = {name, opt.scale, opt.seed};
+      spec.model = model;
+      spec.warmup_fraction = opt.warmup;
+      spec.params["cap_blocks"] = static_cast<double>(cap);
+      specs.push_back(std::move(spec));
+    }
+  }
+
+  const std::vector<exp::CellResult> cells = exp::run_matrix(specs, opt.matrix());
+
   std::printf("Ablation D: ULC vs the offline OPT-layout bound\n\n");
   TablePrinter table({"trace", "scheme", "total hit", "L1 hit",
                       "movement L1->L2 /ref", "T_ave (ms)"});
-  for (const char* name : {"zipf", "tpcc1", "httpd", "random"}) {
-    const Trace t = make_preset(name, opt.scale, opt.seed);
-    const std::size_t cap = std::string(name) == "tpcc1" ? 6400 : 12800;
-    const std::vector<std::size_t> caps(3, cap);
-    std::fprintf(stderr, "running %s (%zu refs)...\n", name, t.size());
-
-    auto layout = make_opt_layout(caps, t);
-    const RunResult ro = run_scheme(*layout, t, model);
-    auto ulc = make_ulc(caps);
-    const RunResult ru = run_scheme(*ulc, t, model);
-
-    for (const RunResult* r : {&ro, &ru}) {
-      table.add_row({name, r->scheme, fmt_percent(r->stats.total_hit_ratio(), 1),
-                     fmt_percent(r->stats.hit_ratio(0), 1),
-                     fmt_double(r->stats.demotion_ratio(0), 3),
-                     fmt_double(r->t_ave_ms, 3)});
-    }
+  for (const exp::CellResult& cell : cells) {
+    const RunResult& r = cell.run;
+    table.add_row({r.trace, r.scheme, fmt_percent(r.stats.total_hit_ratio(), 1),
+                   fmt_percent(r.stats.hit_ratio(0), 1),
+                   fmt_double(r.stats.demotion_ratio(0), 3),
+                   fmt_double(r.t_ave_ms, 3)});
   }
   bench::emit(table, opt);
   std::printf(
       "OPT-layout's T_ave is a lower bound that no protocol could realize:\n"
       "its per-boundary movement is block traffic a real hierarchy would pay\n"
       "for. ULC's hit rates trail the bound while its movement is near zero.\n");
+  bench::write_json(opt, "ablation_optimal", exp::results_to_json(cells));
   return 0;
 }

@@ -9,10 +9,9 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "exp/experiment.h"
 #include "hierarchy/hierarchy.h"
-#include "hierarchy/runner.h"
 #include "util/table.h"
-#include "workloads/paper_presets.h"
 
 using namespace ulc;
 
@@ -21,30 +20,46 @@ int main(int argc, char** argv) {
   const CostModel model = CostModel::paper_three_level();
   const char* traces[] = {"tpcc1", "zipf", "random"};
 
+  std::vector<exp::ExperimentSpec> specs;
+  for (const char* name : traces) {
+    const std::size_t cap = std::string(name) == "tpcc1" ? 6400 : 12800;
+    const std::vector<std::size_t> caps(3, cap);
+    struct Factory {
+      const char* label;
+      exp::SchemeFactory make;
+    };
+    const Factory factories[] = {
+        {"uniLRU", [caps](const Trace&) { return make_uni_lru(caps); }},
+        {"reloadLRU", [caps](const Trace&) { return make_reload_uni_lru(caps); }},
+        {"ULC", [caps](const Trace&) { return make_ulc(caps); }},
+    };
+    for (const Factory& f : factories) {
+      exp::ExperimentSpec spec;
+      spec.factory = f.make;
+      spec.trace = {name, opt.scale, opt.seed};
+      spec.model = model;
+      spec.warmup_fraction = opt.warmup;
+      spec.params["cap_blocks"] = static_cast<double>(cap);
+      specs.push_back(std::move(spec));
+    }
+  }
+
+  const std::vector<exp::CellResult> cells = exp::run_matrix(specs, opt.matrix());
+
   std::printf("Ablation A: demotion vs eviction-based reload vs ULC\n\n");
   TablePrinter table({"trace", "scheme", "total hit", "T_ave (ms)",
                       "demotion part", "reload disk ms/ref"});
-  for (const char* name : traces) {
-    const Trace t = make_preset(name, opt.scale, opt.seed);
-    const std::size_t cap = std::string(name) == "tpcc1" ? 6400 : 12800;
-    const std::vector<std::size_t> caps(3, cap);
-    std::fprintf(stderr, "running %s (%zu refs)...\n", name, t.size());
-
-    std::vector<SchemePtr> schemes;
-    schemes.push_back(make_uni_lru(caps));
-    schemes.push_back(make_reload_uni_lru(caps));
-    schemes.push_back(make_ulc(caps));
-    for (SchemePtr& scheme : schemes) {
-      const RunResult r = run_scheme(*scheme, t, model);
-      table.add_row({name, r.scheme, fmt_percent(r.stats.total_hit_ratio(), 1),
-                     fmt_double(r.t_ave_ms, 3),
-                     fmt_double(r.time.demotion_component, 3),
-                     fmt_double(r.time.reload_disk_ms, 3)});
-    }
+  for (const exp::CellResult& cell : cells) {
+    const RunResult& r = cell.run;
+    table.add_row({r.trace, r.scheme, fmt_percent(r.stats.total_hit_ratio(), 1),
+                   fmt_double(r.t_ave_ms, 3),
+                   fmt_double(r.time.demotion_component, 3),
+                   fmt_double(r.time.reload_disk_ms, 3)});
   }
   bench::emit(table, opt);
   std::printf(
       "reloadLRU matches uniLRU's hit rates with no demotion cost on the\n"
       "critical path, but pays in background disk reads; ULC avoids both.\n");
+  bench::write_json(opt, "ablation_reload", exp::results_to_json(cells));
   return 0;
 }

@@ -9,13 +9,15 @@
 //    promise is hierarchy-neutral hit rates (the aggregate behaves like one
 //    big cache) with hits skewed to the cheap upper levels; the slices show
 //    how much of T_ave the level-awareness recovers.
+//
+// Both sweeps run as one experiment-engine matrix; a "part" param keeps the
+// B1/B2 rows apart when rendering and in the JSON.
 #include <cstdio>
 
 #include "bench_common.h"
+#include "exp/experiment.h"
 #include "hierarchy/hierarchy.h"
-#include "hierarchy/runner.h"
 #include "util/table.h"
-#include "workloads/paper_presets.h"
 
 using namespace ulc;
 
@@ -23,21 +25,70 @@ int main(int argc, char** argv) {
   const bench::Options opt = bench::parse_options(argc, argv, 0.1);
   const CostModel model3 = CostModel::paper_three_level();
 
+  std::vector<exp::ExperimentSpec> specs;
+
+  // B1: tempLRU sweep.
+  for (const char* name : {"sprite", "httpd"}) {
+    const std::size_t cap = std::string(name) == "sprite" ? 1024 : 12800;
+    for (std::size_t temp : {std::size_t{0}, std::size_t{8}, std::size_t{32},
+                             std::size_t{128}}) {
+      exp::ExperimentSpec spec;
+      spec.factory = [cap, temp](const Trace&) {
+        return make_ulc({cap, cap, cap}, temp);
+      };
+      spec.trace = {name, opt.scale, opt.seed};
+      spec.model = model3;
+      spec.warmup_fraction = opt.warmup;
+      spec.params["part"] = 1;
+      spec.params["temp_buffers"] = static_cast<double>(temp);
+      specs.push_back(std::move(spec));
+    }
+  }
+
+  // B2: one aggregate cache sliced into N levels.
+  struct Split {
+    const char* label;
+    std::vector<std::size_t> caps;
+  };
+  const Split splits[] = {
+      {"38400", {38400}},
+      {"19200+19200", {19200, 19200}},
+      {"12800x3", {12800, 12800, 12800}},
+      {"9600x4", {9600, 9600, 9600, 9600}},
+  };
+  const std::size_t b2_start = specs.size();
+  for (const char* name : {"zipf", "tpcc1"}) {
+    for (const Split& split : splits) {
+      // Cost model: slice the 1.2ms path into equal per-level links so the
+      // total fetch path stays comparable; disk link unchanged.
+      std::vector<double> links(split.caps.size(), 0.0);
+      for (std::size_t i = 0; i + 1 < links.size(); ++i)
+        links[i] = 1.2 / static_cast<double>(links.size() - 1);
+      links.back() = 10.0;
+      exp::ExperimentSpec spec;
+      const std::vector<std::size_t> caps = split.caps;
+      spec.factory = [caps](const Trace&) { return make_ulc(caps); };
+      spec.trace = {name, opt.scale, opt.seed};
+      spec.model = CostModel{links};
+      spec.warmup_fraction = opt.warmup;
+      spec.params["part"] = 2;
+      spec.params["levels"] = static_cast<double>(split.caps.size());
+      specs.push_back(std::move(spec));
+    }
+  }
+
+  const std::vector<exp::CellResult> cells = exp::run_matrix(specs, opt.matrix());
+
   std::printf("Ablation B1: tempLRU size (blocks carved out of the client cache)\n\n");
   {
     TablePrinter table({"trace", "temp", "L1 hit", "total hit", "T_ave (ms)"});
-    for (const char* name : {"sprite", "httpd"}) {
-      const Trace t = make_preset(name, opt.scale, opt.seed);
-      const std::size_t cap = std::string(name) == "sprite" ? 1024 : 12800;
-      for (std::size_t temp : {std::size_t{0}, std::size_t{8}, std::size_t{32},
-                               std::size_t{128}}) {
-        auto ulc = make_ulc({cap, cap, cap}, temp);
-        const RunResult r = run_scheme(*ulc, t, model3);
-        table.add_row({name, std::to_string(temp),
-                       fmt_percent(r.stats.hit_ratio(0), 1),
-                       fmt_percent(r.stats.total_hit_ratio(), 1),
-                       fmt_double(r.t_ave_ms, 3)});
-      }
+    for (std::size_t i = 0; i < b2_start; ++i) {
+      const RunResult& r = cells[i].run;
+      table.add_row({r.trace,
+                     fmt_double(cells[i].params.at("temp_buffers"), 0),
+                     fmt_percent(r.stats.hit_ratio(0), 1),
+                     fmt_percent(r.stats.total_hit_ratio(), 1),
+                     fmt_double(r.t_ave_ms, 3)});
     }
     bench::emit(table, opt);
   }
@@ -46,29 +97,12 @@ int main(int argc, char** argv) {
   {
     TablePrinter table({"trace", "levels", "split", "total hit", "L1 hit",
                         "T_ave (ms)"});
-    struct Split {
-      const char* label;
-      std::vector<std::size_t> caps;
-    };
-    const Split splits[] = {
-        {"38400", {38400}},
-        {"19200+19200", {19200, 19200}},
-        {"12800x3", {12800, 12800, 12800}},
-        {"9600x4", {9600, 9600, 9600, 9600}},
-    };
+    std::size_t at = b2_start;
     for (const char* name : {"zipf", "tpcc1"}) {
-      const Trace t = make_preset(name, opt.scale, opt.seed);
+      (void)name;
       for (const Split& split : splits) {
-        // Cost model: slice the 1.2ms path into equal per-level links so the
-        // total fetch path stays comparable; disk link unchanged.
-        std::vector<double> links(split.caps.size(), 0.0);
-        for (std::size_t i = 0; i + 1 < links.size(); ++i)
-          links[i] = 1.2 / static_cast<double>(links.size() - 1);
-        links.back() = 10.0;
-        const CostModel model{links};
-        auto ulc = make_ulc(split.caps);
-        const RunResult r = run_scheme(*ulc, t, model);
-        table.add_row({name, std::to_string(split.caps.size()), split.label,
+        const RunResult& r = cells[at++].run;
+        table.add_row({r.trace, std::to_string(split.caps.size()), split.label,
                        fmt_percent(r.stats.total_hit_ratio(), 1),
                        fmt_percent(r.stats.hit_ratio(0), 1),
                        fmt_double(r.t_ave_ms, 3)});
@@ -76,5 +110,6 @@ int main(int argc, char** argv) {
     }
     bench::emit(table, opt);
   }
+  bench::write_json(opt, "ablation_ulc_design", exp::results_to_json(cells));
   return 0;
 }

@@ -1,17 +1,23 @@
 // Shared command-line plumbing for the per-figure bench harnesses.
 //
 // Every harness accepts:
-//   --scale=<f>   fraction of the paper's reference counts (default varies)
-//   --full        paper-scale reference counts (scale = 1.0)
-//   --seed=<n>    workload seed (default 1)
-//   --csv         emit CSV instead of aligned text
+//   --scale=<f>    fraction of the paper's reference counts (default varies)
+//   --full         paper-scale reference counts (scale = 1.0)
+//   --seed=<n>     workload seed (default 1)
+//   --warmup=<f>   warm-up fraction fed to run_scheme (default 0.1)
+//   --threads=<n>  worker threads for the experiment engine (default 1)
+//   --json=<path>  write the structured result array as JSON
+//   --csv          emit CSV instead of aligned text
 #pragma once
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "exp/experiment.h"
+#include "util/json.h"
 #include "util/table.h"
 
 namespace ulc::bench {
@@ -20,7 +26,42 @@ struct Options {
   double scale = 0.1;
   std::uint64_t seed = 1;
   bool csv = false;
+  double warmup = 0.1;
+  std::size_t threads = 1;
+  std::string json_path;
+
+  exp::MatrixOptions matrix(exp::TraceCache* cache = nullptr) const {
+    exp::MatrixOptions m;
+    m.threads = threads;
+    m.cache = cache;
+    return m;
+  }
 };
+
+// Strict numeric parsing: the whole value must be consumed, no empty values,
+// no silent "garbage parses as 0".
+inline double parse_double_arg(const char* text, const char* flag) {
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(text, &end);
+  if (*text == '\0' || end == nullptr || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "invalid %s value: '%s'\n", flag, text);
+    std::exit(2);
+  }
+  return v;
+}
+
+inline std::uint64_t parse_u64_arg(const char* text, const char* flag) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (*text == '\0' || *text == '-' || end == nullptr || *end != '\0' ||
+      errno == ERANGE) {
+    std::fprintf(stderr, "invalid %s value: '%s'\n", flag, text);
+    std::exit(2);
+  }
+  return static_cast<std::uint64_t>(v);
+}
 
 inline Options parse_options(int argc, char** argv, double default_scale) {
   Options opt;
@@ -28,7 +69,7 @@ inline Options parse_options(int argc, char** argv, double default_scale) {
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--scale=", 8) == 0) {
-      opt.scale = std::atof(arg + 8);
+      opt.scale = parse_double_arg(arg + 8, "--scale");
       if (opt.scale <= 0.0) {
         std::fprintf(stderr, "invalid --scale\n");
         std::exit(2);
@@ -36,11 +77,32 @@ inline Options parse_options(int argc, char** argv, double default_scale) {
     } else if (std::strcmp(arg, "--full") == 0) {
       opt.scale = 1.0;
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
-      opt.seed = std::strtoull(arg + 7, nullptr, 10);
+      opt.seed = parse_u64_arg(arg + 7, "--seed");
+    } else if (std::strncmp(arg, "--warmup=", 9) == 0) {
+      opt.warmup = parse_double_arg(arg + 9, "--warmup");
+      if (opt.warmup < 0.0 || opt.warmup >= 1.0) {
+        std::fprintf(stderr, "--warmup must be in [0, 1)\n");
+        std::exit(2);
+      }
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      opt.threads = static_cast<std::size_t>(parse_u64_arg(arg + 10, "--threads"));
+      if (opt.threads == 0) {
+        std::fprintf(stderr, "--threads must be >= 1\n");
+        std::exit(2);
+      }
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      opt.json_path = arg + 7;
+      if (opt.json_path.empty()) {
+        std::fprintf(stderr, "--json needs a path\n");
+        std::exit(2);
+      }
     } else if (std::strcmp(arg, "--csv") == 0) {
       opt.csv = true;
     } else if (std::strcmp(arg, "--help") == 0) {
-      std::printf("usage: %s [--scale=<f> | --full] [--seed=<n>] [--csv]\n", argv[0]);
+      std::printf(
+          "usage: %s [--scale=<f> | --full] [--seed=<n>] [--warmup=<f>]\n"
+          "          [--threads=<n>] [--json=<path>] [--csv]\n",
+          argv[0]);
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown argument: %s (try --help)\n", arg);
@@ -58,6 +120,27 @@ inline void emit(const TablePrinter& table, const Options& opt) {
     table.print();
   }
   std::printf("\n");
+}
+
+// Writes {"benchmark", run options, "results": <results>} to opt.json_path
+// when --json was given. `results` is usually exp::results_to_json(cells),
+// but measure/protocol harnesses build their own row arrays.
+inline void write_json(const Options& opt, const std::string& benchmark,
+                       Json results) {
+  if (opt.json_path.empty()) return;
+  Json doc = Json::object();
+  doc.set("benchmark", benchmark);
+  doc.set("scale", opt.scale);
+  doc.set("seed", opt.seed);
+  doc.set("warmup", opt.warmup);
+  doc.set("threads", opt.threads);
+  doc.set("results", std::move(results));
+  std::string error;
+  if (!save_json(doc, opt.json_path, 2, &error)) {
+    std::fprintf(stderr, "--json: %s\n", error.c_str());
+    std::exit(1);
+  }
+  std::fprintf(stderr, "wrote %s\n", opt.json_path.c_str());
 }
 
 }  // namespace ulc::bench

@@ -7,10 +7,9 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "exp/experiment.h"
 #include "hierarchy/hierarchy.h"
-#include "hierarchy/runner.h"
 #include "util/table.h"
-#include "workloads/paper_presets.h"
 
 using namespace ulc;
 
@@ -19,37 +18,68 @@ int main(int argc, char** argv) {
   const CostModel model3 = CostModel::paper_three_level();
   const CostModel model2 = CostModel::paper_two_level();
 
-  const Trace t = make_preset("db2", opt.scale, opt.seed);
   const std::size_t client_cap = 8192;
   const std::size_t server_cap = 32768;
   const std::size_t n = 8;
-  std::fprintf(stderr, "running db2 (%zu refs)...\n", t.size());
+  const exp::TraceSpec db2{"db2", opt.scale, opt.seed};
+
+  std::vector<exp::ExperimentSpec> specs;
+  for (std::size_t array_cap : {65536, 131072, 262144}) {
+    exp::ExperimentSpec ulc3;
+    ulc3.factory = [=](const Trace&) {
+      return make_ulc_multi_three(client_cap, server_cap, array_cap, n);
+    };
+    ulc3.trace = db2;
+    ulc3.model = model3;
+    ulc3.warmup_fraction = opt.warmup;
+    ulc3.params["array_blocks"] = static_cast<double>(array_cap);
+    specs.push_back(std::move(ulc3));
+
+    exp::ExperimentSpec ind;
+    ind.factory = [=](const Trace&) {
+      return make_ind_lru({client_cap, server_cap, array_cap}, n);
+    };
+    ind.trace = db2;
+    ind.model = model3;
+    ind.warmup_fraction = opt.warmup;
+    ind.params["array_blocks"] = static_cast<double>(array_cap);
+    specs.push_back(std::move(ind));
+  }
+  // Two-level reference point: the same server without an array behind it.
+  {
+    exp::ExperimentSpec ulc2;
+    ulc2.factory = [=](const Trace&) {
+      return make_ulc_multi(client_cap, server_cap, n);
+    };
+    ulc2.trace = db2;
+    ulc2.model = model2;
+    ulc2.warmup_fraction = opt.warmup;
+    ulc2.params["array_blocks"] = 0;
+    specs.push_back(std::move(ulc2));
+  }
+
+  const std::vector<exp::CellResult> cells = exp::run_matrix(specs, opt.matrix());
 
   std::printf("Extension: three-level multi-client ULC on db2-like load\n");
   std::printf("8 clients x 64MB, 256MB shared server, growing array cache\n\n");
 
   TablePrinter table({"array blocks", "scheme", "L1", "L2", "L3", "miss",
                       "T_ave (ms)"});
-  for (std::size_t array_cap : {65536, 131072, 262144}) {
-    auto ulc3 = make_ulc_multi_three(client_cap, server_cap, array_cap, n);
-    const RunResult r3 = run_scheme(*ulc3, t, model3);
-    auto ind = make_ind_lru({client_cap, server_cap, array_cap}, n);
-    const RunResult ri = run_scheme(*ind, t, model3);
-    for (const RunResult* r : {&r3, &ri}) {
-      table.add_row({std::to_string(array_cap), r->scheme,
-                     fmt_percent(r->stats.hit_ratio(0), 1),
-                     fmt_percent(r->stats.hit_ratio(1), 1),
-                     fmt_percent(r->stats.hit_ratio(2), 1),
-                     fmt_percent(r->stats.miss_ratio(), 1),
-                     fmt_double(r->t_ave_ms, 3)});
-    }
+  for (std::size_t i = 0; i + 1 < cells.size(); ++i) {
+    const exp::CellResult& cell = cells[i];
+    const RunResult& r = cell.run;
+    table.add_row({fmt_double(cell.params.at("array_blocks"), 0), r.scheme,
+                   fmt_percent(r.stats.hit_ratio(0), 1),
+                   fmt_percent(r.stats.hit_ratio(1), 1),
+                   fmt_percent(r.stats.hit_ratio(2), 1),
+                   fmt_percent(r.stats.miss_ratio(), 1),
+                   fmt_double(r.t_ave_ms, 3)});
   }
   bench::emit(table, opt);
 
-  // Two-level reference point: the same server without an array behind it.
-  auto ulc2 = make_ulc_multi(client_cap, server_cap, n);
-  const RunResult r2 = run_scheme(*ulc2, t, model2);
+  const RunResult& r2 = cells.back().run;
   std::printf("two-level ULC reference (no array): T_ave %.3f ms, total hit %s\n",
               r2.t_ave_ms, fmt_percent(r2.stats.total_hit_ratio(), 1).c_str());
+  bench::write_json(opt, "ext_multi3", exp::results_to_json(cells));
   return 0;
 }

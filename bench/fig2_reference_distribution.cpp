@@ -7,38 +7,61 @@
 // segments (optimal); R collapses on looping traces (cs, glimpse: references
 // land in the tail); NLD is consistently good; LLD-R tracks NLD everywhere
 // except pure-random.
+//
+// The per-trace analyses are independent, so they run through the engine's
+// worker pool (--threads=<n>); output order stays fixed.
+#include <array>
 #include <cstdio>
 
 #include "bench_common.h"
+#include "exp/experiment.h"
 #include "measures/analyzers.h"
 #include "util/table.h"
-#include "workloads/paper_presets.h"
 
 using namespace ulc;
 
 int main(int argc, char** argv) {
   const bench::Options opt = bench::parse_options(argc, argv, 1.0);
-  const char* traces[] = {"cs", "glimpse", "zipf-small", "random-small",
-                          "sprite", "multi"};
+  const std::vector<const char*> traces = {"cs",     "glimpse", "zipf-small",
+                                           "random-small", "sprite", "multi"};
 
+  exp::TraceCache cache;
+  std::vector<std::array<MeasureReport, 4>> reports(traces.size());
+  std::vector<std::size_t> sizes(traces.size());
+  exp::parallel_for(traces.size(), opt.threads, [&](std::size_t i) {
+    const Trace& t = cache.get({traces[i], opt.scale, opt.seed});
+    sizes[i] = t.size();
+    reports[i] = analyze_all_measures(t);
+  });
+
+  Json json_rows = Json::array();
   std::printf("Figure 2: reference ratio per list segment (and cumulative)\n\n");
-  for (const char* name : traces) {
-    const Trace t = make_preset(name, opt.scale, opt.seed);
-    std::printf("-- trace %s: %zu references --\n", name, t.size());
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    std::printf("-- trace %s: %zu references --\n", traces[i], sizes[i]);
     TablePrinter table({"measure", "seg1", "seg2", "seg3", "seg4", "seg5", "seg6",
                         "seg7", "seg8", "seg9", "seg10", "cum5", "cold"});
-    for (const MeasureReport& rep : analyze_all_measures(t)) {
+    for (const MeasureReport& rep : reports[i]) {
       std::vector<std::string> row{measure_name(rep.measure)};
       for (std::size_t s = 0; s < kSegments; ++s)
         row.push_back(fmt_percent(rep.segment_ratio[s], 1));
+      const double cold = static_cast<double>(rep.cold_references) /
+                          static_cast<double>(rep.references);
       row.push_back(fmt_percent(rep.cumulative_ratio[4], 1));
-      row.push_back(fmt_percent(
-          static_cast<double>(rep.cold_references) /
-              static_cast<double>(rep.references),
-          1));
+      row.push_back(fmt_percent(cold, 1));
       table.add_row(std::move(row));
+
+      Json jr = Json::object();
+      jr.set("trace", traces[i]);
+      jr.set("measure", measure_name(rep.measure));
+      Json segs = Json::array();
+      for (std::size_t s = 0; s < kSegments; ++s) segs.push(rep.segment_ratio[s]);
+      jr.set("segment_ratios", std::move(segs));
+      jr.set("cum5", rep.cumulative_ratio[4]);
+      jr.set("cold_ratio", cold);
+      json_rows.push(std::move(jr));
     }
     bench::emit(table, opt);
   }
+  bench::write_json(opt, "fig2_reference_distribution", std::move(json_rows));
   return 0;
 }

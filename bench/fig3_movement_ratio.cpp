@@ -9,38 +9,59 @@
 // the most stable of all.
 //
 // The paper plots glimpse, sprite and zipf and notes the rest are in its
-// technical-report companion; we print all six.
+// technical-report companion; we print all six. Per-trace analyses run on
+// the engine's worker pool.
+#include <array>
 #include <cstdio>
 
 #include "bench_common.h"
+#include "exp/experiment.h"
 #include "measures/analyzers.h"
 #include "util/table.h"
-#include "workloads/paper_presets.h"
 
 using namespace ulc;
 
 int main(int argc, char** argv) {
   const bench::Options opt = bench::parse_options(argc, argv, 1.0);
-  const char* traces[] = {"glimpse", "sprite", "zipf-small",
-                          "cs",      "random-small", "multi"};
+  const std::vector<const char*> traces = {"glimpse", "sprite",       "zipf-small",
+                                           "cs",      "random-small", "multi"};
 
+  exp::TraceCache cache;
+  std::vector<std::array<MeasureReport, 4>> reports(traces.size());
+  std::vector<std::size_t> sizes(traces.size());
+  exp::parallel_for(traces.size(), opt.threads, [&](std::size_t i) {
+    const Trace& t = cache.get({traces[i], opt.scale, opt.seed});
+    sizes[i] = t.size();
+    reports[i] = analyze_all_measures(t);
+  });
+
+  Json json_rows = Json::array();
   std::printf("Figure 3: block movement ratio per segment boundary\n\n");
-  for (const char* name : traces) {
-    const Trace t = make_preset(name, opt.scale, opt.seed);
-    std::printf("-- trace %s: %zu references --\n", name, t.size());
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    std::printf("-- trace %s: %zu references --\n", traces[i], sizes[i]);
     TablePrinter table({"measure", "b1", "b2", "b3", "b4", "b5", "b6", "b7", "b8",
                         "b9", "total"});
-    for (const MeasureReport& rep : analyze_all_measures(t)) {
+    for (const MeasureReport& rep : reports[i]) {
       std::vector<std::string> row{measure_name(rep.measure)};
       double total = 0.0;
+      Json boundaries = Json::array();
       for (std::size_t b = 0; b + 1 < kSegments; ++b) {
         row.push_back(fmt_percent(rep.movement_ratio[b], 1));
+        boundaries.push(rep.movement_ratio[b]);
         total += rep.movement_ratio[b];
       }
       row.push_back(fmt_double(total, 3));
       table.add_row(std::move(row));
+
+      Json jr = Json::object();
+      jr.set("trace", traces[i]);
+      jr.set("measure", measure_name(rep.measure));
+      jr.set("movement_ratios", std::move(boundaries));
+      jr.set("total_movement", total);
+      json_rows.push(std::move(jr));
     }
     bench::emit(table, opt);
   }
+  bench::write_json(opt, "fig3_movement_ratio", std::move(json_rows));
   return 0;
 }

@@ -10,14 +10,14 @@
 // Cache sizes follow the paper: 100MB per level (12800 blocks), 50MB for
 // tpcc1 (6400 blocks). Warm-up = first tenth of the trace. The default
 // --scale=0.1 preserves every footprint/cache ratio; --full reproduces the
-// paper's reference counts (65M-98M for random/zipf).
+// paper's reference counts (65M-98M for random/zipf). The 3x5 grid runs as
+// independent cells on the experiment engine (--threads=<n>).
 #include <cstdio>
 
 #include "bench_common.h"
+#include "exp/experiment.h"
 #include "hierarchy/hierarchy.h"
-#include "hierarchy/runner.h"
 #include "util/table.h"
-#include "workloads/paper_presets.h"
 
 using namespace ulc;
 
@@ -29,39 +29,53 @@ int main(int argc, char** argv) {
   std::printf("Figure 6: three-level hierarchy, single client\n");
   std::printf("links: client--1ms--server--0.2ms--array--10ms--disk\n\n");
 
+  std::vector<exp::ExperimentSpec> specs;
+  for (const char* name : traces) {
+    const std::size_t cap = std::string(name) == "tpcc1" ? 6400 : 12800;
+    const std::vector<std::size_t> caps(3, cap);
+    struct Factory {
+      const char* label;
+      exp::SchemeFactory make;
+    };
+    const Factory factories[] = {
+        {"indLRU", [caps](const Trace&) { return make_ind_lru(caps); }},
+        {"uniLRU", [caps](const Trace&) { return make_uni_lru(caps); }},
+        {"ULC", [caps](const Trace&) { return make_ulc(caps); }},
+    };
+    for (const Factory& f : factories) {
+      exp::ExperimentSpec spec;
+      spec.factory = f.make;
+      spec.trace = {name, opt.scale, opt.seed};
+      spec.model = model;
+      spec.warmup_fraction = opt.warmup;
+      spec.params["cap_blocks"] = static_cast<double>(cap);
+      specs.push_back(std::move(spec));
+    }
+  }
+
+  std::fprintf(stderr, "running %zu cells on %zu thread(s)...\n", specs.size(),
+               opt.threads);
+  const std::vector<exp::CellResult> cells = exp::run_matrix(specs, opt.matrix());
+
   TablePrinter hits({"trace", "scheme", "L1 hit", "L2 hit", "L3 hit", "miss"});
   TablePrinter demotions({"trace", "scheme", "demotion L1->L2", "demotion L2->L3"});
   TablePrinter times({"trace", "scheme", "T_ave (ms)", "hit part", "miss part",
                       "demotion part", "demotion share"});
-
-  for (const char* name : traces) {
-    const Trace t = make_preset(name, opt.scale, opt.seed);
-    const std::size_t cap = std::string(name) == "tpcc1" ? 6400 : 12800;
-    const std::vector<std::size_t> caps(3, cap);
-    std::fprintf(stderr, "running %s (%zu refs, %zu blocks/level)...\n", name,
-                 t.size(), cap);
-
-    std::vector<SchemePtr> schemes;
-    schemes.push_back(make_ind_lru(caps));
-    schemes.push_back(make_uni_lru(caps));
-    schemes.push_back(make_ulc(caps));
-
-    for (SchemePtr& scheme : schemes) {
-      const RunResult r = run_scheme(*scheme, t, model);
-      hits.add_row({name, r.scheme, fmt_percent(r.stats.hit_ratio(0), 1),
-                    fmt_percent(r.stats.hit_ratio(1), 1),
-                    fmt_percent(r.stats.hit_ratio(2), 1),
-                    fmt_percent(r.stats.miss_ratio(), 1)});
-      demotions.add_row({name, r.scheme, fmt_percent(r.stats.demotion_ratio(0), 1),
-                         fmt_percent(r.stats.demotion_ratio(1), 1)});
-      const double share =
-          r.t_ave_ms > 0 ? r.time.demotion_component / r.t_ave_ms : 0.0;
-      times.add_row({name, r.scheme, fmt_double(r.t_ave_ms, 3),
-                     fmt_double(r.time.hit_component, 3),
-                     fmt_double(r.time.miss_component, 3),
-                     fmt_double(r.time.demotion_component, 3),
-                     fmt_percent(share, 1)});
-    }
+  for (const exp::CellResult& cell : cells) {
+    const RunResult& r = cell.run;
+    hits.add_row({r.trace, r.scheme, fmt_percent(r.stats.hit_ratio(0), 1),
+                  fmt_percent(r.stats.hit_ratio(1), 1),
+                  fmt_percent(r.stats.hit_ratio(2), 1),
+                  fmt_percent(r.stats.miss_ratio(), 1)});
+    demotions.add_row({r.trace, r.scheme, fmt_percent(r.stats.demotion_ratio(0), 1),
+                       fmt_percent(r.stats.demotion_ratio(1), 1)});
+    const double share =
+        r.t_ave_ms > 0 ? r.time.demotion_component / r.t_ave_ms : 0.0;
+    times.add_row({r.trace, r.scheme, fmt_double(r.t_ave_ms, 3),
+                   fmt_double(r.time.hit_component, 3),
+                   fmt_double(r.time.miss_component, 3),
+                   fmt_double(r.time.demotion_component, 3),
+                   fmt_percent(share, 1)});
   }
 
   std::printf("(a) hit rates per level\n");
@@ -70,5 +84,6 @@ int main(int argc, char** argv) {
   bench::emit(demotions, opt);
   std::printf("(c) average access time breakdown\n");
   bench::emit(times, opt);
+  bench::write_json(opt, "fig6_three_level", exp::results_to_json(cells));
   return 0;
 }

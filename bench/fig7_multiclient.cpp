@@ -11,14 +11,17 @@
 // db2 until the combined caches cover the looping scopes (crossover as the
 // server grows); MQ strong at small servers, overtaken at large ones where
 // its slow reaction to pattern changes shows.
+//
+// Every (workload, server size, scheme) cell — including each of the three
+// uniLRU insertion variants — is an independent experiment-engine cell.
 #include <algorithm>
 #include <cstdio>
+#include <map>
 
 #include "bench_common.h"
+#include "exp/experiment.h"
 #include "hierarchy/hierarchy.h"
-#include "hierarchy/runner.h"
 #include "util/table.h"
-#include "workloads/paper_presets.h"
 
 using namespace ulc;
 
@@ -47,39 +50,73 @@ int main(int argc, char** argv) {
   std::printf("Figure 7: average access time vs server cache size (ms)\n");
   std::printf("links: client--1ms--server--10ms--disk\n\n");
 
+  std::vector<exp::ExperimentSpec> specs;
   for (const Workload& w : workloads) {
     // openmail's huge footprint needs more references to leave warm-up; its
     // own default kicks in unless the user overrode --scale.
     const double scale = std::max(opt.scale, w.default_scale);
-    const Trace t = make_preset(w.name, scale, opt.seed);
-    std::fprintf(stderr, "running %s (%zu refs, %zu clients x %zu blocks)...\n",
-                 w.name, t.size(), w.clients, w.client_cap);
+    for (std::size_t scap : w.server_caps) {
+      const std::size_t ccap = w.client_cap;
+      const std::size_t n = w.clients;
+      struct Factory {
+        std::string label;
+        exp::SchemeFactory make;
+      };
+      std::vector<Factory> factories;
+      factories.push_back(
+          {"indLRU", [=](const Trace&) { return make_ind_lru({ccap, scap}, n); }});
+      for (auto ins : {UniLruInsertion::kMru, UniLruInsertion::kMiddle,
+                       UniLruInsertion::kLru}) {
+        factories.push_back({std::string("uniLRU/") + uni_lru_insertion_name(ins),
+                             [=](const Trace&) {
+                               return make_uni_lru_multi(ccap, scap, n, ins);
+                             }});
+      }
+      factories.push_back(
+          {"LRU+MQ", [=](const Trace&) { return make_mq_hierarchy(ccap, scap, n); }});
+      factories.push_back(
+          {"ULC", [=](const Trace&) { return make_ulc_multi(ccap, scap, n); }});
+      for (Factory& f : factories) {
+        exp::ExperimentSpec spec;
+        spec.scheme = std::move(f.label);
+        spec.factory = std::move(f.make);
+        spec.trace = {w.name, scale, opt.seed};
+        spec.model = model;
+        spec.warmup_fraction = opt.warmup;
+        spec.params["server_blocks"] = static_cast<double>(scap);
+        spec.params["client_blocks"] = static_cast<double>(ccap);
+        spec.params["clients"] = static_cast<double>(n);
+        specs.push_back(std::move(spec));
+      }
+    }
+  }
 
+  std::fprintf(stderr, "running %zu cells on %zu thread(s)...\n", specs.size(),
+               opt.threads);
+  const std::vector<exp::CellResult> cells = exp::run_matrix(specs, opt.matrix());
+
+  std::size_t at = 0;
+  for (const Workload& w : workloads) {
     TablePrinter table({"server blocks", "server MB", "indLRU", "uniLRU(best)",
                         "LRU+MQ", "ULC"});
     for (std::size_t scap : w.server_caps) {
-      auto ind = make_ind_lru({w.client_cap, scap}, w.clients);
-      const RunResult rind = run_scheme(*ind, t, model);
-
+      std::map<std::string, double> t_ave;
       double best_uni = 1e18;
-      for (auto ins : {UniLruInsertion::kMru, UniLruInsertion::kMiddle,
-                       UniLruInsertion::kLru}) {
-        auto uni = make_uni_lru_multi(w.client_cap, scap, w.clients, ins);
-        best_uni = std::min(best_uni, run_scheme(*uni, t, model).t_ave_ms);
+      for (int s = 0; s < 6; ++s, ++at) {
+        const exp::CellResult& cell = cells[at];
+        if (cell.run.scheme.rfind("uniLRU/", 0) == 0) {
+          best_uni = std::min(best_uni, cell.run.t_ave_ms);
+        } else {
+          t_ave[cell.run.scheme] = cell.run.t_ave_ms;
+        }
       }
-
-      auto mq = make_mq_hierarchy(w.client_cap, scap, w.clients);
-      const RunResult rmq = run_scheme(*mq, t, model);
-
-      auto ulc = make_ulc_multi(w.client_cap, scap, w.clients);
-      const RunResult rulc = run_scheme(*ulc, t, model);
-
       table.add_row({std::to_string(scap), std::to_string(scap * 8 / 1024),
-                     fmt_double(rind.t_ave_ms, 3), fmt_double(best_uni, 3),
-                     fmt_double(rmq.t_ave_ms, 3), fmt_double(rulc.t_ave_ms, 3)});
+                     fmt_double(t_ave["indLRU"], 3), fmt_double(best_uni, 3),
+                     fmt_double(t_ave["LRU+MQ"], 3), fmt_double(t_ave["ULC"], 3)});
     }
     std::printf("-- %s --\n", w.name);
     bench::emit(table, opt);
   }
+  bench::write_json(opt, "fig7_multiclient", exp::results_to_json(cells));
   return 0;
 }

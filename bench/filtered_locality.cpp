@@ -8,15 +8,18 @@
 // recency-based policy) are exactly what L1 absorbs; the residue is why an
 // independent LRU at the server is nearly useless and why ULC instead ranks
 // blocks where the original stream is visible: at the client.
+//
+// Each workload is one engine cell: synthesize (shared cache), bucketize the
+// original stream, replay the L1 filter, bucketize the residue.
 #include <array>
 #include <cstdio>
 #include <string>
 
 #include "bench_common.h"
+#include "exp/experiment.h"
 #include "measures/next_use.h"
 #include "replacement/cache_policy.h"
 #include "util/table.h"
-#include "workloads/paper_presets.h"
 
 using namespace ulc;
 
@@ -44,12 +47,11 @@ struct DistanceBuckets {
     }
   }
 
-  std::string ratio(std::size_t i) const {
-    return fmt_percent(total ? static_cast<double>(counts[i]) /
-                                   static_cast<double>(total)
-                             : 0.0,
-                       1);
+  double fraction(std::size_t i) const {
+    return total ? static_cast<double>(counts[i]) / static_cast<double>(total)
+                 : 0.0;
   }
+  std::string ratio(std::size_t i) const { return fmt_percent(fraction(i), 1); }
 };
 
 DistanceBuckets bucketize(const Trace& t) {
@@ -62,31 +64,46 @@ DistanceBuckets bucketize(const Trace& t) {
 
 int main(int argc, char** argv) {
   const bench::Options opt = bench::parse_options(argc, argv, 0.05);
+  const std::vector<const char*> traces = {"zipf", "httpd", "tpcc1", "dev1"};
+
+  exp::TraceCache cache;
+  std::vector<DistanceBuckets> original(traces.size());
+  std::vector<DistanceBuckets> residue(traces.size());
+  exp::parallel_for(traces.size(), opt.threads, [&](std::size_t i) {
+    const Trace& t = cache.get({traces[i], opt.scale, opt.seed});
+    original[i] = bucketize(t);
+
+    auto l1 = make_lru(std::string(traces[i]) == "tpcc1" ? 6400 : 12800);
+    Trace filtered("l2-stream");
+    for (const Request& r : t) {
+      if (!l1->access(r.block, {})) filtered.add(r);
+    }
+    residue[i] = bucketize(filtered);
+  });
 
   std::printf("Reuse-distance distributions: original stream vs what an L2\n");
   std::printf("cache sees after the Figure-6 L1 LRU filter (100MB; 50MB for\n");
   std::printf("tpcc1)\n\n");
 
+  static const char* kBucketNames[] = {"lt_1k",  "lt_4k",   "lt_16k",
+                                       "lt_64k", "ge_64k", "first_touch"};
+  Json json_rows = Json::array();
   TablePrinter table({"trace", "stream", "<1K", "<4K", "<16K", "<64K", ">=64K",
                       "first touch"});
-  for (const char* name : {"zipf", "httpd", "tpcc1", "dev1"}) {
-    const Trace t = make_preset(name, opt.scale, opt.seed);
-    std::fprintf(stderr, "running %s (%zu refs)...\n", name, t.size());
-
-    const DistanceBuckets original = bucketize(t);
-
-    auto l1 = make_lru(std::string(name) == "tpcc1" ? 6400 : 12800);
-    Trace filtered("l2-stream");
-    for (const Request& r : t) {
-      if (!l1->access(r.block, {})) filtered.add(r);
-    }
-    const DistanceBuckets residue = bucketize(filtered);
-
+  for (std::size_t i = 0; i < traces.size(); ++i) {
     for (int which = 0; which < 2; ++which) {
-      const DistanceBuckets& b = which == 0 ? original : residue;
-      std::vector<std::string> row{name, which == 0 ? "original" : "L1 misses"};
-      for (std::size_t i = 0; i < 6; ++i) row.push_back(b.ratio(i));
+      const DistanceBuckets& b = which == 0 ? original[i] : residue[i];
+      const char* stream = which == 0 ? "original" : "L1 misses";
+      std::vector<std::string> row{traces[i], stream};
+      Json jr = Json::object();
+      jr.set("trace", traces[i]);
+      jr.set("stream", stream);
+      for (std::size_t k = 0; k < 6; ++k) {
+        row.push_back(b.ratio(k));
+        jr.set(kBucketNames[k], b.fraction(k));
+      }
       table.add_row(std::move(row));
+      json_rows.push(std::move(jr));
     }
   }
   bench::emit(table, opt);
@@ -94,5 +111,6 @@ int main(int argc, char** argv) {
       "The L1 filter eats the short-distance mass; the second level is left\n"
       "with long distances and first touches — recency information that LRU\n"
       "cannot use, which is the case for client-directed placement.\n");
+  bench::write_json(opt, "filtered_locality", std::move(json_rows));
   return 0;
 }

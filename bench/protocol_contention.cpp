@@ -10,57 +10,96 @@
 //  2. What happens as the client/server link slows down? uniLRU's demotion
 //     per reference congests the downlink and its measured time diverges
 //     above the analytic value; ULC barely moves.
+//
+// Every (trace, scheme) and (link speed, scheme) simulation is an
+// independent cell on the engine pool; traces come from the shared cache.
 #include <cstdio>
 
 #include "bench_common.h"
+#include "exp/experiment.h"
+#include "hierarchy/hierarchy.h"
 #include "proto/multi_protocol_sim.h"
 #include "proto/protocol_sim.h"
 #include "util/table.h"
-#include "workloads/paper_presets.h"
 
 using namespace ulc;
 
 int main(int argc, char** argv) {
   const bench::Options opt = bench::parse_options(argc, argv, 0.05);
+  exp::TraceCache cache;
+  Json json_rows = Json::array();
 
   std::printf("Protocol-level simulation vs the analytic Section 4.1 model\n\n");
 
   {
     std::printf("(1) paper link speeds, three traces\n");
-    TablePrinter table({"trace", "scheme", "measured ms", "analytic ms",
-                        "queueing ms", "down-link util"});
-    for (const char* name : {"tpcc1", "zipf", "httpd"}) {
-      const Trace t = make_preset(name, opt.scale, opt.seed);
+    const std::vector<const char*> traces = {"tpcc1", "zipf", "httpd"};
+    const ProtocolScheme schemes[] = {ProtocolScheme::kIndLru,
+                                      ProtocolScheme::kUniLru,
+                                      ProtocolScheme::kUlc};
+    std::vector<ProtocolResult> results(traces.size() * 3);
+    exp::parallel_for(results.size(), opt.threads, [&](std::size_t i) {
+      const char* name = traces[i / 3];
+      const Trace& t = cache.get({name, opt.scale, opt.seed});
       const std::size_t cap = std::string(name) == "tpcc1" ? 6400 : 12800;
       const ProtocolConfig cfg = ProtocolConfig::paper_three_level({cap, cap, cap});
-      std::fprintf(stderr, "running %s (%zu refs)...\n", name, t.size());
-      for (ProtocolScheme scheme : {ProtocolScheme::kIndLru,
-                                    ProtocolScheme::kUniLru, ProtocolScheme::kUlc}) {
-        const ProtocolResult r = run_protocol_sim(scheme, cfg, t);
-        table.add_row({name, protocol_scheme_name(scheme),
-                       fmt_double(r.response_ms.mean(), 3),
-                       fmt_double(r.analytic_t_ave_ms, 3),
-                       fmt_double(r.response_ms.mean() - r.analytic_t_ave_ms, 3),
-                       fmt_percent(r.link_down_utilization[0], 1)});
-      }
+      results[i] = run_protocol_sim(schemes[i % 3], cfg, t);
+    });
+
+    TablePrinter table({"trace", "scheme", "measured ms", "analytic ms",
+                        "queueing ms", "down-link util"});
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const ProtocolResult& r = results[i];
+      table.add_row({traces[i / 3], protocol_scheme_name(schemes[i % 3]),
+                     fmt_double(r.response_ms.mean(), 3),
+                     fmt_double(r.analytic_t_ave_ms, 3),
+                     fmt_double(r.response_ms.mean() - r.analytic_t_ave_ms, 3),
+                     fmt_percent(r.link_down_utilization[0], 1)});
+      Json jr = Json::object();
+      jr.set("section", 1);
+      jr.set("trace", traces[i / 3]);
+      jr.set("scheme", protocol_scheme_name(schemes[i % 3]));
+      jr.set("measured_ms", r.response_ms.mean());
+      jr.set("analytic_ms", r.analytic_t_ave_ms);
+      jr.set("down_link_utilization", r.link_down_utilization[0]);
+      json_rows.push(std::move(jr));
     }
     bench::emit(table, opt);
   }
 
   {
     std::printf("(2) slowing the client/server link, tpcc1\n");
+    const std::vector<double> speeds = {32.0, 16.0, 8.0, 4.0, 2.0};
+    const ProtocolScheme schemes[] = {ProtocolScheme::kUniLru,
+                                      ProtocolScheme::kUlc};
+    std::vector<ProtocolResult> results(speeds.size() * 2);
+    exp::parallel_for(results.size(), opt.threads, [&](std::size_t i) {
+      const Trace& t = cache.get({"tpcc1", opt.scale, opt.seed});
+      ProtocolConfig cfg = ProtocolConfig::paper_three_level({6400, 6400, 6400});
+      cfg.links[0] = LinkConfig{0.5, speeds[i / 2]};
+      results[i] = run_protocol_sim(schemes[i % 2], cfg, t);
+    });
+
     TablePrinter table({"LAN MB/s", "uniLRU measured", "uniLRU analytic",
                         "ULC measured", "ULC analytic"});
-    const Trace t = make_preset("tpcc1", opt.scale, opt.seed);
-    for (double mbs : {32.0, 16.0, 8.0, 4.0, 2.0}) {
-      ProtocolConfig cfg = ProtocolConfig::paper_three_level({6400, 6400, 6400});
-      cfg.links[0] = LinkConfig{0.5, mbs};
-      const ProtocolResult uni = run_protocol_sim(ProtocolScheme::kUniLru, cfg, t);
-      const ProtocolResult ulc = run_protocol_sim(ProtocolScheme::kUlc, cfg, t);
-      table.add_row({fmt_double(mbs, 0), fmt_double(uni.response_ms.mean(), 3),
+    for (std::size_t s = 0; s < speeds.size(); ++s) {
+      const ProtocolResult& uni = results[2 * s];
+      const ProtocolResult& ulc = results[2 * s + 1];
+      table.add_row({fmt_double(speeds[s], 0), fmt_double(uni.response_ms.mean(), 3),
                      fmt_double(uni.analytic_t_ave_ms, 3),
                      fmt_double(ulc.response_ms.mean(), 3),
                      fmt_double(ulc.analytic_t_ave_ms, 3)});
+      for (std::size_t k = 0; k < 2; ++k) {
+        const ProtocolResult& r = results[2 * s + k];
+        Json jr = Json::object();
+        jr.set("section", 2);
+        jr.set("trace", "tpcc1");
+        jr.set("scheme", protocol_scheme_name(schemes[k]));
+        jr.set("lan_mb_per_s", speeds[s]);
+        jr.set("measured_ms", r.response_ms.mean());
+        jr.set("analytic_ms", r.analytic_t_ave_ms);
+        json_rows.push(std::move(jr));
+      }
     }
     bench::emit(table, opt);
     std::printf(
@@ -72,8 +111,6 @@ int main(int argc, char** argv) {
     std::printf("(3) six closed-loop clients on one shared LAN segment\n");
     std::printf("    (per-client loops beyond the client cache; the [15] "
                 "scenario)\n");
-    TablePrinter table({"scheme", "measured ms", "analytic ms", "down util",
-                        "up util", "refs/s"});
     auto make_sources = [] {
       std::vector<PatternPtr> sources;
       for (std::size_t c = 0; c < 6; ++c)
@@ -86,19 +123,36 @@ int main(int argc, char** argv) {
     mcfg.shared_lan = LinkConfig{0.3, 16.0};
     mcfg.seed = opt.seed;
 
-    std::vector<SchemePtr> schemes;
-    schemes.push_back(make_ind_lru({64, 1024}, 6));
-    schemes.push_back(make_uni_lru_multi(64, 1024, 6, UniLruInsertion::kMru));
-    schemes.push_back(make_mq_hierarchy(64, 1024, 6));
-    schemes.push_back(make_ulc_multi(64, 1024, 6));
-    for (SchemePtr& scheme : schemes) {
-      const MultiProtocolResult r =
-          run_multi_protocol_sim(*scheme, make_sources(), mcfg);
+    using MultiFactory = std::function<SchemePtr()>;
+    const std::vector<MultiFactory> factories = {
+        [] { return make_ind_lru({64, 1024}, 6); },
+        [] { return make_uni_lru_multi(64, 1024, 6, UniLruInsertion::kMru); },
+        [] { return make_mq_hierarchy(64, 1024, 6); },
+        [] { return make_ulc_multi(64, 1024, 6); },
+    };
+    std::vector<MultiProtocolResult> results(factories.size());
+    exp::parallel_for(factories.size(), opt.threads, [&](std::size_t i) {
+      SchemePtr scheme = factories[i]();
+      results[i] = run_multi_protocol_sim(*scheme, make_sources(), mcfg);
+    });
+
+    TablePrinter table({"scheme", "measured ms", "analytic ms", "down util",
+                        "up util", "refs/s"});
+    for (const MultiProtocolResult& r : results) {
       table.add_row({r.scheme, fmt_double(r.response_ms.mean(), 3),
                      fmt_double(r.analytic_t_ave_ms, 3),
                      fmt_percent(r.lan_down_utilization, 1),
                      fmt_percent(r.lan_up_utilization, 1),
                      fmt_double(r.throughput_per_s, 0)});
+      Json jr = Json::object();
+      jr.set("section", 3);
+      jr.set("scheme", r.scheme);
+      jr.set("measured_ms", r.response_ms.mean());
+      jr.set("analytic_ms", r.analytic_t_ave_ms);
+      jr.set("lan_down_utilization", r.lan_down_utilization);
+      jr.set("lan_up_utilization", r.lan_up_utilization);
+      jr.set("refs_per_sec", r.throughput_per_s);
+      json_rows.push(std::move(jr));
     }
     bench::emit(table, opt);
     std::printf(
@@ -106,5 +160,6 @@ int main(int argc, char** argv) {
         "delay dwarfs its analytic estimate; ULC's stable placement keeps\n"
         "the segment free for reads.\n");
   }
+  bench::write_json(opt, "protocol_contention", std::move(json_rows));
   return 0;
 }

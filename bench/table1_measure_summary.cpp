@@ -7,42 +7,46 @@
 //
 // The paper derives the strong/weak verdicts from Figures 2 and 3; this
 // harness computes the quantitative scores behind them across all six §2
-// traces and prints both the numbers and the derived verdicts:
+// traces (analyzed in parallel on the engine pool) and prints both the
+// numbers and the derived verdicts:
 //   * distinction score = mean cumulative reference rate of the first five
 //     segments (higher = references concentrate at the strong-locality end);
 //   * stability score   = mean total movement ratio across the nine
 //     boundaries (lower = cheaper to run a hierarchy on this measure).
+#include <array>
 #include <cstdio>
 
 #include "bench_common.h"
+#include "exp/experiment.h"
 #include "measures/analyzers.h"
 #include "util/table.h"
-#include "workloads/paper_presets.h"
 
 using namespace ulc;
 
 int main(int argc, char** argv) {
   const bench::Options opt = bench::parse_options(argc, argv, 1.0);
-  const char* traces[] = {"cs", "glimpse", "zipf-small", "random-small",
-                          "sprite", "multi"};
+  const std::vector<const char*> traces = {"cs",     "glimpse", "zipf-small",
+                                           "random-small", "sprite", "multi"};
+
+  exp::TraceCache cache;
+  std::vector<std::array<MeasureReport, 4>> reports(traces.size());
+  exp::parallel_for(traces.size(), opt.threads, [&](std::size_t i) {
+    reports[i] = analyze_all_measures(cache.get({traces[i], opt.scale, opt.seed}));
+  });
 
   double distinction[4] = {0, 0, 0, 0};
   double movement[4] = {0, 0, 0, 0};
-  int count = 0;
-  for (const char* name : traces) {
-    const Trace t = make_preset(name, opt.scale, opt.seed);
-    const auto reports = analyze_all_measures(t);
-    for (std::size_t m = 0; m < reports.size(); ++m) {
-      distinction[m] += reports[m].cumulative_ratio[4];
+  for (const auto& trace_reports : reports) {
+    for (std::size_t m = 0; m < trace_reports.size(); ++m) {
+      distinction[m] += trace_reports[m].cumulative_ratio[4];
       double total = 0.0;
-      for (double v : reports[m].movement_ratio) total += v;
+      for (double v : trace_reports[m].movement_ratio) total += v;
       movement[m] += total;
     }
-    ++count;
   }
   for (int m = 0; m < 4; ++m) {
-    distinction[m] /= count;
-    movement[m] /= count;
+    distinction[m] /= static_cast<double>(traces.size());
+    movement[m] /= static_cast<double>(traces.size());
   }
 
   // Verdicts: thresholds placed between the observed clusters — R's head
@@ -53,8 +57,7 @@ int main(int argc, char** argv) {
     return (higher_is_strong ? v >= threshold : v <= threshold) ? "strong" : "weak";
   };
 
-  const Measure order[] = {Measure::kND, Measure::kR, Measure::kNLD,
-                           Measure::kLLD_R};
+  const char* names[] = {"ND", "R", "NLD", "LLD-R"};
   const bool online[] = {false, true, false, true};
 
   std::printf("Table 1: comparison of the four measures (means over 6 traces)\n\n");
@@ -86,10 +89,22 @@ int main(int argc, char** argv) {
     for (int m = 0; m < 4; ++m) row.push_back(online[m] ? "yes" : "no");
     table.add_row(std::move(row));
   }
-  (void)order;
   bench::emit(table, opt);
   std::printf(
       "Paper's Table 1: ND strong/weak/no, R weak/weak/yes, NLD strong/strong/no, "
       "LLD-R strong/strong/yes.\n");
+
+  Json json_rows = Json::array();
+  for (int m = 0; m < 4; ++m) {
+    Json jr = Json::object();
+    jr.set("measure", names[m]);
+    jr.set("distinction_score", distinction[m]);
+    jr.set("movement_score", movement[m]);
+    jr.set("distinguishes", std::string(strength(distinction[m], 0.55, true)));
+    jr.set("stable", std::string(strength(movement[m], 2.0, false)));
+    jr.set("online", online[m]);
+    json_rows.push(std::move(jr));
+  }
+  bench::write_json(opt, "table1_measure_summary", std::move(json_rows));
   return 0;
 }

@@ -8,15 +8,31 @@ RunResult run_scheme(MultiLevelScheme& scheme, const Trace& trace,
                      const CostModel& model, double warmup_fraction) {
   ULC_REQUIRE(warmup_fraction >= 0.0 && warmup_fraction < 1.0,
               "warmup fraction must be in [0, 1)");
-  const std::size_t warmup =
-      static_cast<std::size_t>(warmup_fraction * static_cast<double>(trace.size()));
-  for (std::size_t i = 0; i < trace.size(); ++i) {
-    if (i == warmup) scheme.reset_stats();
-    scheme.access(trace[i]);
-  }
   RunResult result;
   result.scheme = scheme.name();
   result.trace = trace.name();
+  if (trace.empty()) {
+    // No references: return zeroed stats (sized to the scheme's levels)
+    // instead of ratios computed from 0 references.
+    scheme.reset_stats();
+    result.stats = scheme.stats();
+    result.time = compute_access_time(result.stats, model);
+    result.t_ave_ms = result.time.total();
+    return result;
+  }
+  // On tiny traces `warmup_fraction * size` can round to 0; the stats must
+  // still be dropped exactly once, before the first measured reference.
+  const std::size_t warmup =
+      static_cast<std::size_t>(warmup_fraction * static_cast<double>(trace.size()));
+  bool stats_reset = false;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (i >= warmup && !stats_reset) {
+      scheme.reset_stats();
+      stats_reset = true;
+    }
+    scheme.access(trace[i]);
+  }
+  ULC_ENSURE(stats_reset, "warmup must end before the trace does");
   result.stats = scheme.stats();
   result.time = compute_access_time(result.stats, model);
   result.t_ave_ms = result.time.total();

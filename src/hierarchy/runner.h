@@ -1,6 +1,12 @@
 // Trace-driven simulation runner: warms the caches on the first fraction of
 // the trace (the paper uses one tenth), measures the rest, and evaluates the
 // cost model.
+//
+// This is the single-cell primitive of the experiment engine: exp::run_matrix
+// (src/exp/experiment.h) executes one run_scheme call per (scheme, trace)
+// cell on its worker pool and wraps the RunResult in timing + JSON. Harnesses
+// should describe grids as ExperimentSpecs instead of looping over
+// run_scheme themselves.
 #pragma once
 
 #include <string>

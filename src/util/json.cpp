@@ -1,0 +1,164 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/ensure.h"
+
+namespace ulc {
+
+Json& Json::set(const std::string& key, Json value) {
+  ULC_REQUIRE(kind_ == Kind::kObject, "Json::set on a non-object");
+  for (auto& member : members_) {
+    if (member.first == key) {
+      member.second = std::move(value);
+      return *this;
+    }
+  }
+  members_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  ULC_REQUIRE(kind_ == Kind::kArray, "Json::push on a non-array");
+  items_.push_back(std::move(value));
+  return *this;
+}
+
+std::size_t Json::size() const {
+  if (kind_ == Kind::kArray) return items_.size();
+  if (kind_ == Kind::kObject) return members_.size();
+  return 0;
+}
+
+std::string Json::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string Json::format_double(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no inf/nan
+  if (v == 0.0) return "0";              // fold -0 for determinism
+  // Integral values inside the exactly-representable range print as integers.
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  // Shortest %.*g form that round-trips.
+  char buf[40];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  const auto newline_pad = [&](int d) {
+    if (!pretty) return;
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(d), ' ');
+  };
+  char buf[32];
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kInt:
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(int_));
+      out += buf;
+      break;
+    case Kind::kUint:
+      std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(uint_));
+      out += buf;
+      break;
+    case Kind::kDouble:
+      out += format_double(double_);
+      break;
+    case Kind::kString:
+      out += escape(string_);
+      break;
+    case Kind::kArray:
+      if (items_.empty()) {
+        out += "[]";
+        break;
+      }
+      out.push_back('[');
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i) out.push_back(',');
+        newline_pad(depth + 1);
+        items_[i].dump_to(out, indent, depth + 1);
+      }
+      newline_pad(depth);
+      out.push_back(']');
+      break;
+    case Kind::kObject:
+      if (members_.empty()) {
+        out += "{}";
+        break;
+      }
+      out.push_back('{');
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i) out.push_back(',');
+        newline_pad(depth + 1);
+        out += escape(members_[i].first);
+        out.push_back(':');
+        if (pretty) out.push_back(' ');
+        members_[i].second.dump_to(out, indent, depth + 1);
+      }
+      newline_pad(depth);
+      out.push_back('}');
+      break;
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+bool save_json(const Json& doc, const std::string& path, int indent,
+               std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) {
+    if (error) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  const std::string text = doc.dump(indent);
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size() &&
+                  std::fputc('\n', f) != EOF;
+  std::fclose(f);
+  if (!ok && error) *error = "short write to " + path;
+  return ok;
+}
+
+}  // namespace ulc

@@ -1,0 +1,76 @@
+// Minimal dependency-free JSON document builder for the structured-results
+// layer of the experiment engine.
+//
+// Construction mirrors the document: Json::object() / Json::array() make
+// containers, set()/push() fill them (object keys keep insertion order so
+// output is deterministic), and dump() serializes. Doubles are printed with
+// the shortest representation that round-trips through strtod, so equal
+// values always serialize to equal bytes — the property the engine's
+// "--threads=1 vs --threads=8 byte-identical output" guarantee rests on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ulc {
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kInt, kUint, kDouble, kString, kArray, kObject };
+
+  Json() : kind_(Kind::kNull) {}
+  Json(std::nullptr_t) : kind_(Kind::kNull) {}
+  Json(bool v) : kind_(Kind::kBool), bool_(v) {}
+  Json(double v) : kind_(Kind::kDouble), double_(v) {}
+  Json(int v) : kind_(Kind::kInt), int_(v) {}
+  Json(std::int64_t v) : kind_(Kind::kInt), int_(v) {}
+  Json(std::uint64_t v) : kind_(Kind::kUint), uint_(v) {}
+  Json(const char* v) : kind_(Kind::kString), string_(v) {}
+  Json(std::string v) : kind_(Kind::kString), string_(std::move(v)) {}
+
+  static Json object() { Json j; j.kind_ = Kind::kObject; return j; }
+  static Json array() { Json j; j.kind_ = Kind::kArray; return j; }
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  // Object member (requires is_object()); replaces an existing key in place.
+  Json& set(const std::string& key, Json value);
+  // Array element (requires is_array()).
+  Json& push(Json value);
+
+  std::size_t size() const;
+
+  // Serialization. indent < 0 emits one line; indent >= 0 pretty-prints with
+  // that many spaces per nesting level. The output always ends without a
+  // trailing newline; callers append one when writing files.
+  std::string dump(int indent = -1) const;
+
+  // Escapes `s` as a JSON string literal (with quotes).
+  static std::string escape(const std::string& s);
+  // Shortest decimal form of `v` that strtod parses back to exactly `v`.
+  static std::string format_double(double v);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> items_;                            // kArray
+  std::vector<std::pair<std::string, Json>> members_;  // kObject
+};
+
+// Writes `doc.dump(indent)` plus a final newline to `path`. Returns false and
+// fills `error` (when non-null) on IO failure.
+bool save_json(const Json& doc, const std::string& path, int indent = 2,
+               std::string* error = nullptr);
+
+}  // namespace ulc

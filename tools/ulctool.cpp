@@ -10,28 +10,34 @@
 //       Section-2 locality-measure analysis (ND/R/NLD/LLD-R).
 //   ulctool sim --scheme=<ulc|unilru|indlru|mq|reload> --caps=<a,b,...>
 //               (--preset=... | --trace=<file>) [--clients=<n>] [--warmup=<f>]
-//               [--links=<ms,ms,...>]
+//               [--links=<ms,ms,...>] [--json=<path>]
 //       Run a trace through a hierarchy scheme and report hit rates,
 //       demotion rates and the average access time breakdown.
 //   ulctool compare --caps=<a,b,...> (--preset=... | --trace=<file>)
-//                   [--clients=<n>] [--warmup=<f>]
+//                   [--clients=<n>] [--warmup=<f>] [--threads=<n>]
+//                   [--json=<path>]
 //       Run every applicable scheme on the trace and print one ranked
 //       table (total hits, demotion rate, T_ave).
 //
-// Trace files use the text format of trace_io.h ("<client> <block>" per
-// line) or the ULCTRC binary format (by extension ".bin"/"--binary").
+// sim and compare run their cells on the shared experiment engine
+// (src/exp/experiment.h); --json writes the engine's structured result
+// array. Trace files use the text format of trace_io.h ("<client> <block>"
+// per line) or the ULCTRC binary format (by extension ".bin"/"--binary").
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "exp/experiment.h"
 #include "hierarchy/hierarchy.h"
 #include "hierarchy/runner.h"
 #include "measures/analyzers.h"
 #include "trace/trace_io.h"
+#include "util/json.h"
 #include "util/table.h"
 #include "workloads/paper_presets.h"
 
@@ -53,7 +59,12 @@ using namespace ulc;
                "  ulctool sim --scheme=<ulc|unilru|indlru|mq|reload> "
                "--caps=<a,b,...>\n"
                "              (--preset=<name> | --trace=<file>) "
-               "[--clients=<n>] [--warmup=<f>] [--links=<ms,...>]\n");
+               "[--clients=<n>] [--warmup=<f>] [--links=<ms,...>] "
+               "[--json=<path>]\n"
+               "  ulctool compare --caps=<a,b,...> "
+               "(--preset=<name> | --trace=<file>)\n"
+               "              [--clients=<n>] [--warmup=<f>] [--threads=<n>] "
+               "[--json=<path>]\n");
   std::exit(2);
 }
 
@@ -66,11 +77,28 @@ struct Args {
   }
   double get_double(const std::string& k, double dflt) const {
     auto it = kv.find(k);
-    return it == kv.end() ? dflt : std::atof(it->second.c_str());
+    if (it == kv.end()) return dflt;
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (it->second.empty() || end == nullptr || *end != '\0') {
+      std::fprintf(stderr, "ulctool: invalid --%s value: '%s'\n", k.c_str(),
+                   it->second.c_str());
+      std::exit(2);
+    }
+    return v;
   }
   std::uint64_t get_u64(const std::string& k, std::uint64_t dflt) const {
     auto it = kv.find(k);
-    return it == kv.end() ? dflt : std::strtoull(it->second.c_str(), nullptr, 10);
+    if (it == kv.end()) return dflt;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(it->second.c_str(), &end, 10);
+    if (it->second.empty() || it->second[0] == '-' || end == nullptr ||
+        *end != '\0') {
+      std::fprintf(stderr, "ulctool: invalid --%s value: '%s'\n", k.c_str(),
+                   it->second.c_str());
+      std::exit(2);
+    }
+    return static_cast<std::uint64_t>(v);
   }
 };
 
@@ -187,34 +215,23 @@ int cmd_analyze(const Args& args) {
   return 0;
 }
 
-int cmd_sim(const Args& args) {
-  const Trace t = load_input(args);
-  const std::vector<std::size_t> caps = parse_sizes(args.get("caps"));
-  if (caps.empty()) usage("sim needs --caps=<a,b,...>");
-  const std::size_t clients = args.get_u64("clients", 1);
-  const std::string kind = args.get("scheme", "ulc");
-
-  SchemePtr scheme;
-  if (kind == "ulc") {
-    scheme = clients > 1 ? make_ulc_multi(caps[0], caps.size() > 1 ? caps[1] : 0,
-                                          clients)
-                         : make_ulc(caps);
-  } else if (kind == "unilru") {
-    scheme = clients > 1
-                 ? make_uni_lru_multi(caps[0], caps.size() > 1 ? caps[1] : 0,
-                                      clients, UniLruInsertion::kMru)
-                 : make_uni_lru(caps);
-  } else if (kind == "indlru") {
-    scheme = make_ind_lru(caps, clients);
-  } else if (kind == "mq") {
-    if (caps.size() != 2) usage("mq needs exactly two levels");
-    scheme = make_mq_hierarchy(caps[0], caps[1], clients);
-  } else if (kind == "reload") {
-    scheme = make_reload_uni_lru(caps);
-  } else {
-    usage("unknown --scheme");
+// Writes the engine's structured result array when --json=<path> was given.
+void maybe_write_json(const Args& args, const std::string& command,
+                      const std::vector<exp::CellResult>& cells) {
+  if (!args.has("json")) return;
+  Json doc = Json::object();
+  doc.set("benchmark", "ulctool " + command);
+  doc.set("warmup", args.get_double("warmup", 0.1));
+  doc.set("results", exp::results_to_json(cells));
+  std::string error;
+  if (!save_json(doc, args.get("json"), 2, &error)) {
+    std::fprintf(stderr, "ulctool: %s\n", error.c_str());
+    std::exit(1);
   }
+  std::fprintf(stderr, "wrote %s\n", args.get("json").c_str());
+}
 
+CostModel model_for(const Args& args, const std::vector<std::size_t>& caps) {
   CostModel model;
   if (args.has("links")) {
     model.link_ms = parse_doubles(args.get("links"));
@@ -228,11 +245,53 @@ int cmd_sim(const Args& args) {
     for (std::size_t i = 0; i + 1 < caps.size(); ++i) model.link_ms.push_back(1.0);
     model.link_ms.push_back(10.0);
   }
+  return model;
+}
 
-  const RunResult r =
-      run_scheme(*scheme, t, model, args.get_double("warmup", 0.1));
+int cmd_sim(const Args& args) {
+  auto t = std::make_shared<const Trace>(load_input(args));
+  const std::vector<std::size_t> caps = parse_sizes(args.get("caps"));
+  if (caps.empty()) usage("sim needs --caps=<a,b,...>");
+  const std::size_t clients = args.get_u64("clients", 1);
+  const std::string kind = args.get("scheme", "ulc");
+
+  exp::SchemeFactory factory;
+  if (kind == "ulc") {
+    factory = [caps, clients](const Trace&) {
+      return clients > 1 ? make_ulc_multi(caps[0],
+                                          caps.size() > 1 ? caps[1] : 0, clients)
+                         : make_ulc(caps);
+    };
+  } else if (kind == "unilru") {
+    factory = [caps, clients](const Trace&) {
+      return clients > 1
+                 ? make_uni_lru_multi(caps[0], caps.size() > 1 ? caps[1] : 0,
+                                      clients, UniLruInsertion::kMru)
+                 : make_uni_lru(caps);
+    };
+  } else if (kind == "indlru") {
+    factory = [caps, clients](const Trace&) { return make_ind_lru(caps, clients); };
+  } else if (kind == "mq") {
+    if (caps.size() != 2) usage("mq needs exactly two levels");
+    factory = [caps, clients](const Trace&) {
+      return make_mq_hierarchy(caps[0], caps[1], clients);
+    };
+  } else if (kind == "reload") {
+    factory = [caps](const Trace&) { return make_reload_uni_lru(caps); };
+  } else {
+    usage("unknown --scheme");
+  }
+
+  exp::ExperimentSpec spec;
+  spec.factory = std::move(factory);
+  spec.trace_override = t;
+  spec.model = model_for(args, caps);
+  spec.warmup_fraction = args.get_double("warmup", 0.1);
+
+  const std::vector<exp::CellResult> cells = exp::run_matrix({std::move(spec)});
+  const RunResult& r = cells[0].run;
   std::printf("scheme: %s on %s (%zu references, %.0f%% warm-up)\n\n",
-              r.scheme.c_str(), r.trace.c_str(), t.size(),
+              r.scheme.c_str(), r.trace.c_str(), t->size(),
               100 * args.get_double("warmup", 0.1));
   for (std::size_t l = 0; l < caps.size(); ++l)
     std::printf("L%zu hits:      %6.2f%%  (capacity %zu blocks)\n", l + 1,
@@ -244,62 +303,78 @@ int cmd_sim(const Args& args) {
   std::printf("\nT_ave = %.3f ms (hit %.3f + miss %.3f + demotion %.3f)\n",
               r.t_ave_ms, r.time.hit_component, r.time.miss_component,
               r.time.demotion_component);
+  std::printf("wall %.3f s (%.0f refs/s)\n", cells[0].wall_seconds,
+              cells[0].refs_per_sec);
+  maybe_write_json(args, "sim", cells);
   return 0;
 }
 
 int cmd_compare(const Args& args) {
-  const Trace t = load_input(args);
+  auto t = std::make_shared<const Trace>(load_input(args));
   const std::vector<std::size_t> caps = parse_sizes(args.get("caps"));
   if (caps.empty()) usage("compare needs --caps=<a,b,...>");
   const std::size_t clients = args.get_u64("clients", 1);
   const double warmup = args.get_double("warmup", 0.1);
+  const CostModel model = model_for(args, caps);
 
-  CostModel model;
-  if (caps.size() == 3) {
-    model = CostModel::paper_three_level();
-  } else if (caps.size() == 2) {
-    model = CostModel::paper_two_level();
-  } else {
-    for (std::size_t i = 0; i + 1 < caps.size(); ++i) model.link_ms.push_back(1.0);
-    model.link_ms.push_back(10.0);
-  }
-
-  std::vector<SchemePtr> schemes;
-  schemes.push_back(make_ind_lru(caps, clients));
+  std::vector<exp::SchemeFactory> factories;
+  factories.push_back(
+      [caps, clients](const Trace&) { return make_ind_lru(caps, clients); });
   if (clients == 1) {
-    schemes.push_back(make_uni_lru(caps));
-    schemes.push_back(make_reload_uni_lru(caps));
-    schemes.push_back(make_ulc(caps));
+    factories.push_back([caps](const Trace&) { return make_uni_lru(caps); });
+    factories.push_back(
+        [caps](const Trace&) { return make_reload_uni_lru(caps); });
+    factories.push_back([caps](const Trace&) { return make_ulc(caps); });
     if (caps.size() == 2)
-      schemes.push_back(make_policy_hierarchy(
-          caps[0], make_lirs(LirsConfig{caps[1], 0.02}), 1));
+      factories.push_back([caps](const Trace&) {
+        return make_policy_hierarchy(caps[0],
+                                     make_lirs(LirsConfig{caps[1], 0.02}), 1);
+      });
   } else if (caps.size() == 2) {
     for (auto ins : {UniLruInsertion::kMru, UniLruInsertion::kMiddle,
                      UniLruInsertion::kLru})
-      schemes.push_back(make_uni_lru_multi(caps[0], caps[1], clients, ins));
-    schemes.push_back(make_ulc_multi(caps[0], caps[1], clients));
+      factories.push_back([caps, clients, ins](const Trace&) {
+        return make_uni_lru_multi(caps[0], caps[1], clients, ins);
+      });
+    factories.push_back([caps, clients](const Trace&) {
+      return make_ulc_multi(caps[0], caps[1], clients);
+    });
   } else if (caps.size() == 3) {
-    schemes.push_back(make_ulc_multi_three(caps[0], caps[1], caps[2], clients));
+    factories.push_back([caps, clients](const Trace&) {
+      return make_ulc_multi_three(caps[0], caps[1], caps[2], clients);
+    });
   }
   if (caps.size() == 2)
-    schemes.push_back(make_mq_hierarchy(caps[0], caps[1], clients));
+    factories.push_back([caps, clients](const Trace&) {
+      return make_mq_hierarchy(caps[0], caps[1], clients);
+    });
 
-  struct Row {
-    RunResult result;
-  };
-  std::vector<Row> rows;
-  for (SchemePtr& scheme : schemes) {
-    std::fprintf(stderr, "running %s...\n", scheme->name());
-    rows.push_back(Row{run_scheme(*scheme, t, model, warmup)});
+  std::vector<exp::ExperimentSpec> specs;
+  for (exp::SchemeFactory& factory : factories) {
+    exp::ExperimentSpec spec;
+    spec.factory = std::move(factory);
+    spec.trace_override = t;
+    spec.model = model;
+    spec.warmup_fraction = warmup;
+    specs.push_back(std::move(spec));
   }
-  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
-    return a.result.t_ave_ms < b.result.t_ave_ms;
-  });
+
+  exp::MatrixOptions mopt;
+  mopt.threads = static_cast<std::size_t>(args.get_u64("threads", 1));
+  std::fprintf(stderr, "running %zu schemes on %zu thread(s)...\n", specs.size(),
+               mopt.threads);
+  std::vector<exp::CellResult> cells = exp::run_matrix(specs, mopt);
+  maybe_write_json(args, "compare", cells);  // engine (spec) order, pre-sort
+
+  std::sort(cells.begin(), cells.end(),
+            [](const exp::CellResult& a, const exp::CellResult& b) {
+              return a.run.t_ave_ms < b.run.t_ave_ms;
+            });
 
   TablePrinter table({"scheme", "total hit", "L1 hit", "demote/ref",
                       "writebacks/ref", "T_ave (ms)"});
-  for (const Row& row : rows) {
-    const RunResult& r = row.result;
+  for (const exp::CellResult& cell : cells) {
+    const RunResult& r = cell.run;
     const double n = static_cast<double>(r.stats.references);
     table.add_row(
         {r.scheme, fmt_percent(r.stats.total_hit_ratio(), 1),
