@@ -1,0 +1,151 @@
+#include "check/mutations.h"
+
+#include <memory>
+#include <string>
+
+#include "ulc/uni_lru_stack.h"
+#include "util/ensure.h"
+
+namespace ulc {
+
+namespace {
+
+class MutantScheme final : public MultiLevelScheme {
+ public:
+  MutantScheme(SchemePtr inner, Mutation mutation)
+      : inner_(std::move(inner)), mutation_(mutation) {
+    ULC_REQUIRE(inner_ != nullptr, "mutant needs a scheme to break");
+    name_ = std::string("mutant(") + inner_->name() + ")";
+    if (mutation_ == Mutation::kMisorderYardstick) {
+      // A tiny private uniLRUstack whose level-0 yardstick is corrupted by
+      // writing the node's level field directly, bypassing set_level's
+      // count/yardstick bookkeeping — the bug class the auditor's
+      // independent stack walk must catch.
+      side_stack_ = std::make_unique<UniLruStack>(2);
+      side_stack_->push_top(1, 0);
+      side_stack_->push_top(2, 0);
+      side_stack_->find(1)->level = 1;
+    }
+  }
+
+  void set_audit_sink(std::vector<AuditEvent>* sink) override {
+    outer_ = sink;
+    inner_->set_audit_sink(sink == nullptr ? nullptr : &buffer_);
+  }
+
+  void access(const Request& request) override {
+    buffer_.clear();
+    inner_->access(request);
+    if (mutation_ == Mutation::kStatsDrop) {
+      tampered_ = inner_->stats();
+      if (!stats_dropped_ && tampered_.misses > 0) {
+        --tampered_.misses;
+        stats_dropped_ = true;
+      }
+    }
+    if (outer_ == nullptr) return;
+    bool tampered_once = false;
+    for (const AuditEvent& e : buffer_) {
+      AuditEvent out = e;
+      switch (mutation_) {
+        case Mutation::kDoublePlace:
+          if (!tampered_once && e.kind == AuditEvent::Kind::kPlace) {
+            outer_->push_back(out);
+            tampered_once = true;
+          }
+          break;
+        case Mutation::kSkipDemote:
+          if (!tampered_once && (e.kind == AuditEvent::Kind::kDemote ||
+                                 e.kind == AuditEvent::Kind::kDemoteMerge)) {
+            tampered_once = true;
+            continue;  // the transfer happened; the narration omits it
+          }
+          break;
+        case Mutation::kDropEvict:
+          if (!tampered_once && e.kind == AuditEvent::Kind::kEvict) {
+            tampered_once = true;
+            continue;  // the victim left; the narration keeps it resident
+          }
+          break;
+        case Mutation::kGhostDemote:
+          if (!tampered_once && e.kind == AuditEvent::Kind::kDemote) {
+            out.block += 0x100000000ull;  // a block that is not there
+            tampered_once = true;
+          }
+          break;
+        case Mutation::kServeWrongBlock:
+          if (!tampered_once && e.kind == AuditEvent::Kind::kServe) {
+            out.block += 1;
+            tampered_once = true;
+          }
+          break;
+        default:
+          break;
+      }
+      outer_->push_back(out);
+    }
+  }
+
+  const HierarchyStats& stats() const override {
+    return mutation_ == Mutation::kStatsDrop ? tampered_ : inner_->stats();
+  }
+  void reset_stats() override {
+    inner_->reset_stats();
+    if (mutation_ == Mutation::kStatsDrop) tampered_ = inner_->stats();
+  }
+  const char* name() const override { return name_.c_str(); }
+
+  AuditTraits audit_traits() const override { return inner_->audit_traits(); }
+
+  void audit_resident_levels(ClientId client, BlockId block,
+                             std::vector<std::size_t>& out) const override {
+    inner_->audit_resident_levels(client, block, out);
+    if (mutation_ != Mutation::kLyingResidency) return;
+    // Hide copies held at the bottom level (a directory that forgot them).
+    const std::size_t bottom = audit_traits().capacities.size() - 1;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      if (out[i] == bottom && bottom > 0) {
+        out.erase(out.begin() + static_cast<std::ptrdiff_t>(i));
+        return;
+      }
+    }
+  }
+
+  std::size_t audit_level_size(ClientId client, std::size_t level) const override {
+    return inner_->audit_level_size(client, level);
+  }
+
+  bool audit_check_internal() const override {
+    // A scheme whose own self-check is as broken as its state.
+    if (mutation_ == Mutation::kMisorderYardstick) return true;
+    return inner_->audit_check_internal();
+  }
+
+  std::size_t audit_stack_count() const override {
+    if (mutation_ == Mutation::kMisorderYardstick) return 1;
+    return inner_->audit_stack_count();
+  }
+
+  const UniLruStack* audit_stack(std::size_t index) const override {
+    if (mutation_ == Mutation::kMisorderYardstick) return side_stack_.get();
+    return inner_->audit_stack(index);
+  }
+
+ private:
+  SchemePtr inner_;
+  Mutation mutation_;
+  std::string name_;
+  std::vector<AuditEvent>* outer_ = nullptr;
+  std::vector<AuditEvent> buffer_;
+  HierarchyStats tampered_;
+  bool stats_dropped_ = false;
+  std::unique_ptr<UniLruStack> side_stack_;
+};
+
+}  // namespace
+
+SchemePtr make_mutant(SchemePtr inner, Mutation mutation) {
+  return std::make_unique<MutantScheme>(std::move(inner), mutation);
+}
+
+}  // namespace ulc

@@ -1,0 +1,32 @@
+// Deliberately broken scheme wrappers — the auditor's own test fixtures.
+//
+// Each mutant forwards everything to a real inner scheme but tampers with
+// one aspect of its observable behaviour (the event narration, the
+// statistics, the residency answers, or an exposed uniLRUstack), modeling a
+// specific class of implementation bug. tests/check_test.cpp asserts that
+// CheckedHierarchy catches every mutant with the expected ViolationKind —
+// the mutation tests that keep the auditor itself honest.
+#pragma once
+
+#include <vector>
+
+#include "hierarchy/hierarchy.h"
+
+namespace ulc {
+
+enum class Mutation {
+  kDoublePlace,        // duplicates a placement event      -> duplicate
+  kSkipDemote,         // suppresses a demotion event       -> conservation
+  kDropEvict,          // suppresses an eviction event      -> capacity
+  kGhostDemote,        // demotes a block that isn't there  -> ghost
+  kServeWrongBlock,    // serves a block nobody asked for   -> sequencing
+  kStatsDrop,          // under-reports misses              -> conservation
+  kLyingResidency,     // hides deep copies from queries    -> drift
+  kMisorderYardstick,  // corrupts a uniLRUstack yardstick  -> yardstick
+};
+
+// Wraps `inner` with the given defect. The wrapper keeps the inner scheme's
+// name, traits and statistics shape, so it drops into any harness.
+SchemePtr make_mutant(SchemePtr inner, Mutation mutation);
+
+}  // namespace ulc

@@ -1,0 +1,88 @@
+// Audit instrumentation types shared by every MultiLevelScheme.
+//
+// When a scheme is given an audit sink (set_audit_sink), it narrates each
+// access as a sequence of block *movements* — the observable protocol
+// actions of §3.2.1 (Retrieve serves, Demote transfers, placements,
+// evictions) plus disk reloads and write-backs. The shadow-model auditor
+// (src/check/checked_hierarchy.h) replays those events against an
+// independently maintained residency model and cross-checks them per access
+// against the scheme's own statistics, so a scheme whose internal state
+// drifts from the protocol messages it claims to send is caught mechanically
+// rather than by eyeballing hit-ratio tables.
+//
+// Emission contract (enforced by the auditor):
+//   * events appear in an order in which no level ever exceeds its capacity:
+//     the demotion/eviction that frees a slot precedes the placement that
+//     needs it (the paper's demote-before-evict sequencing, §3.1);
+//   * kServe is emitted only for the requested block of the current access;
+//   * a kDemote/kDemoteMerge crossing links [from, to) accounts for exactly
+//     that many HierarchyStats::demotions increments, kReload for one
+//     reloads increment, kWriteback for one writebacks increment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/types.h"
+
+namespace ulc {
+
+// "Not a cache level" marker for AuditEvent endpoints (disk / out).
+inline constexpr std::size_t kAuditNoLevel = static_cast<std::size_t>(-1);
+
+// One observable block movement or accounting action.
+struct AuditEvent {
+  enum class Kind : std::uint8_t {
+    kServe,        // copy leaves `from`, travelling up to the requester
+    kPlace,        // copy appears at `to` (fetched from disk or the serve)
+    kDemote,       // copy moves down from `from` to `to` (network transfer)
+    kDemoteMerge,  // demote whose target already holds the shared copy:
+                   // the transfer happens, the target keeps a single copy
+    kReload,       // copy moves down by a disk re-read (eviction-based
+                   // placement; no network transfer)
+    kEvict,        // copy at `from` leaves the hierarchy (silent drop)
+    kWriteback,    // dirty block written back to disk as it leaves
+    kCharge,       // pure accounting: demote messages on links [from, to)
+                   // that move no copy of their own (shared-block ship-downs
+                   // whose source copy stays; any copy the transfer creates
+                   // is narrated by a separate kPlace)
+  };
+
+  Kind kind = Kind::kPlace;
+  BlockId block = 0;
+  std::size_t from = kAuditNoLevel;  // level losing the copy
+  std::size_t to = kAuditNoLevel;    // level gaining the copy
+  ClientId owner = 0;                // owning client, for level-0 copies
+  // kEvict only: the block conceptually cascaded through every level below
+  // `from` before leaving (ULC's collapsed Demote(b, i, out), which discards
+  // at the source with no transfer). Such evictions are legal under the
+  // bottom-evict-only rule even when `from` is an interior level.
+  bool through_bottom = false;
+};
+
+// What the auditor may assume about a scheme. Default-constructed traits
+// (supported == false) restrict the auditor to statistics-conservation
+// checks; schemes that implement the full audit interface return supported
+// == true and accurate structural flags.
+struct AuditTraits {
+  bool supported = false;
+  // At most one copy of a block exists hierarchy-wide (single-client
+  // exclusive schemes: uniLRU, reloadLRU, single-client ULC). Multi-client
+  // schemes deliberately duplicate shared blocks across a client cache and a
+  // shared level (paper §3.2.2's shared-block rule), so they set this false
+  // and rely on the per-level duplicate check instead.
+  bool exclusive = false;
+  // Copies leave the hierarchy only from the bottom level (demote-before-
+  // evict schemes); interior kEvict events must carry through_bottom.
+  bool bottom_evict_only = false;
+  // The reported hit level always equals the topmost level holding a copy.
+  // True for every scheme except three-level multi-client ULC, where stale
+  // per-client metadata can legitimately serve from a deeper shared level.
+  bool exact_hit_level = true;
+  std::size_t clients = 1;
+  // Per-level capacities; 0 = externally sized (elastic). Level 0 is a
+  // per-client capacity in multi-client schemes.
+  std::vector<std::size_t> capacities;
+};
+
+}  // namespace ulc

@@ -4,13 +4,17 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
+#include "hierarchy/audit.h"
 #include "hierarchy/cost_model.h"
 #include "replacement/cache_policy.h"
 #include "trace/trace.h"
 #include "trace/types.h"
 
 namespace ulc {
+
+class UniLruStack;
 
 class MultiLevelScheme {
  public:
@@ -25,6 +29,55 @@ class MultiLevelScheme {
   virtual void reset_stats() = 0;
 
   virtual const char* name() const = 0;
+
+  // ---- Audit interface (src/check/checked_hierarchy.h) ----
+  //
+  // Schemes that support auditing narrate block movements into the sink
+  // (see audit.h for the emission contract) and answer residency queries so
+  // the auditor can detect drift between the narrated protocol and the real
+  // cache contents. The default implementation supports nothing: the
+  // auditor then falls back to statistics-conservation checks only.
+
+  virtual AuditTraits audit_traits() const { return {}; }
+  // Install (or clear, with nullptr) the event sink. Events are appended on
+  // every access; the caller owns clearing the vector between accesses.
+  virtual void set_audit_sink(std::vector<AuditEvent>* sink) { audit_sink_ = sink; }
+  // Appends every level holding `block` to `out`; level 0 means client
+  // `client`'s private cache, shared levels are reported for any client.
+  virtual void audit_resident_levels(ClientId client, BlockId block,
+                                     std::vector<std::size_t>& out) const {
+    (void)client;
+    (void)block;
+    (void)out;
+  }
+  // Copies held at `level`; for level 0 the count of client `client`'s
+  // private cache, for shared levels `client` is ignored.
+  virtual std::size_t audit_level_size(ClientId client, std::size_t level) const {
+    (void)client;
+    (void)level;
+    return 0;
+  }
+  // Scheme-internal structural validation (uniLRUstack consistency etc.).
+  virtual bool audit_check_internal() const { return true; }
+  // ULC schemes expose their clients' uniLRUstacks for the auditor's
+  // yardstick checks; others report none.
+  virtual std::size_t audit_stack_count() const { return 0; }
+  virtual const UniLruStack* audit_stack(std::size_t index) const {
+    (void)index;
+    return nullptr;
+  }
+
+ protected:
+  bool auditing() const { return audit_sink_ != nullptr; }
+  void audit_emit(AuditEvent::Kind kind, BlockId block,
+                  std::size_t from = kAuditNoLevel, std::size_t to = kAuditNoLevel,
+                  ClientId owner = 0, bool through_bottom = false) const {
+    if (audit_sink_ != nullptr)
+      audit_sink_->push_back(AuditEvent{kind, block, from, to, owner, through_bottom});
+  }
+
+ private:
+  std::vector<AuditEvent>* audit_sink_ = nullptr;
 };
 
 using SchemePtr = std::unique_ptr<MultiLevelScheme>;

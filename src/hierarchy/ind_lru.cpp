@@ -58,14 +58,48 @@ class IndLruScheme final : public MultiLevelScheme {
     // Dirty data lives at the client copy: write it back to disk when the
     // client evicts it (the deeper inclusive copies are stale).
     const EvictResult ev = client.insert(b, {});
-    if (ev.evicted && dirty_.erase(ev.victim) > 0) ++stats_.writebacks;
-    for (std::size_t l = 1; l < hit_level && l < levels_; ++l)
-      shared_caches_[l - 1]->insert(b, {});
+    if (ev.evicted) {
+      audit_emit(AuditEvent::Kind::kEvict, ev.victim, 0, kAuditNoLevel,
+                 request.client);
+      if (dirty_.erase(ev.victim) > 0) {
+        ++stats_.writebacks;
+        audit_emit(AuditEvent::Kind::kWriteback, ev.victim);
+      }
+    }
+    audit_emit(AuditEvent::Kind::kPlace, b, kAuditNoLevel, 0, request.client);
+    for (std::size_t l = 1; l < hit_level && l < levels_; ++l) {
+      const EvictResult sev = shared_caches_[l - 1]->insert(b, {});
+      if (sev.evicted)
+        audit_emit(AuditEvent::Kind::kEvict, sev.victim, l);
+      audit_emit(AuditEvent::Kind::kPlace, b, kAuditNoLevel, l);
+    }
   }
 
   const HierarchyStats& stats() const override { return stats_; }
   void reset_stats() override { stats_.clear(); }
   const char* name() const override { return "indLRU"; }
+
+  AuditTraits audit_traits() const override {
+    AuditTraits t;
+    t.supported = true;
+    t.clients = client_caches_.size();
+    t.capacities.push_back(client_caches_[0]->capacity());
+    for (const PolicyPtr& s : shared_caches_) t.capacities.push_back(s->capacity());
+    return t;
+  }
+
+  void audit_resident_levels(ClientId client, BlockId block,
+                             std::vector<std::size_t>& out) const override {
+    if (client_caches_[client]->contains(block)) out.push_back(0);
+    for (std::size_t l = 1; l < levels_; ++l) {
+      if (shared_caches_[l - 1]->contains(block)) out.push_back(l);
+    }
+  }
+
+  std::size_t audit_level_size(ClientId client, std::size_t level) const override {
+    return level == 0 ? client_caches_[client]->size()
+                      : shared_caches_[level - 1]->size();
+  }
 
  private:
   static constexpr std::size_t kNoHit = static_cast<std::size_t>(-1);

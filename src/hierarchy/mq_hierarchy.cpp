@@ -20,8 +20,8 @@ namespace {
 class PolicyServerScheme final : public MultiLevelScheme {
  public:
   PolicyServerScheme(std::size_t client_cap, PolicyPtr server,
-                     std::size_t n_clients, std::string name)
-      : server_(std::move(server)), name_(std::move(name)) {
+                     std::size_t n_clients, std::string name, bool auditable)
+      : server_(std::move(server)), name_(std::move(name)), auditable_(auditable) {
     ULC_REQUIRE(n_clients >= 1, "needs at least one client");
     for (std::size_t c = 0; c < n_clients; ++c)
       clients_.push_back(make_lru(client_cap));
@@ -39,19 +39,53 @@ class PolicyServerScheme final : public MultiLevelScheme {
       ++stats_.level_hits[0];
       return;
     }
-    if (server_->access(b, {})) {
+    EvictResult sev;
+    if (server_->access(b, {}, &sev)) {
       ++stats_.level_hits[1];
     } else {
       ++stats_.misses;  // server fetched it from disk and cached it (access()
                         // already inserted it into MQ)
+      if (sev.evicted) audit_emit(AuditEvent::Kind::kEvict, sev.victim, 1);
+      audit_emit(AuditEvent::Kind::kPlace, b, kAuditNoLevel, 1);
     }
     const EvictResult ev = client.insert(b, {});
-    if (ev.evicted && dirty_.erase(ev.victim) > 0) ++stats_.writebacks;
+    if (ev.evicted) {
+      audit_emit(AuditEvent::Kind::kEvict, ev.victim, 0, kAuditNoLevel,
+                 request.client);
+      if (dirty_.erase(ev.victim) > 0) {
+        ++stats_.writebacks;
+        audit_emit(AuditEvent::Kind::kWriteback, ev.victim);
+      }
+    }
+    audit_emit(AuditEvent::Kind::kPlace, b, kAuditNoLevel, 0, request.client);
   }
 
   const HierarchyStats& stats() const override { return stats_; }
   void reset_stats() override { stats_.clear(); }
   const char* name() const override { return name_.c_str(); }
+
+  AuditTraits audit_traits() const override {
+    AuditTraits t;
+    // The audit contract additionally needs the server policy to change
+    // residency only through insert()'s single EvictResult. LRU and MQ
+    // satisfy that; LIRS-family policies shuffle residency on hits, so
+    // make_policy_hierarchy builds a non-auditable scheme (stats-only
+    // checks still apply).
+    t.supported = auditable_;
+    t.clients = clients_.size();
+    t.capacities = {clients_[0]->capacity(), server_->capacity()};
+    return t;
+  }
+
+  void audit_resident_levels(ClientId client, BlockId block,
+                             std::vector<std::size_t>& out) const override {
+    if (clients_[client]->contains(block)) out.push_back(0);
+    if (server_->contains(block)) out.push_back(1);
+  }
+
+  std::size_t audit_level_size(ClientId client, std::size_t level) const override {
+    return level == 0 ? clients_[client]->size() : server_->size();
+  }
 
  private:
   std::vector<PolicyPtr> clients_;
@@ -59,6 +93,7 @@ class PolicyServerScheme final : public MultiLevelScheme {
   std::unordered_set<BlockId> dirty_;
   HierarchyStats stats_;
   std::string name_;
+  bool auditable_;
 };
 
 }  // namespace
@@ -71,14 +106,14 @@ SchemePtr make_mq_hierarchy(std::size_t client_cap, std::size_t server_cap,
   cfg.queue_count = queue_count;
   cfg.life_time = life_time;
   return std::make_unique<PolicyServerScheme>(client_cap, make_mq(cfg), n_clients,
-                                              "LRU+MQ");
+                                              "LRU+MQ", /*auditable=*/true);
 }
 
 SchemePtr make_policy_hierarchy(std::size_t client_cap, PolicyPtr server_policy,
                                 std::size_t n_clients) {
   const std::string name = std::string("LRU+") + server_policy->name();
   return std::make_unique<PolicyServerScheme>(client_cap, std::move(server_policy),
-                                              n_clients, name);
+                                              n_clients, name, /*auditable=*/false);
 }
 
 }  // namespace ulc

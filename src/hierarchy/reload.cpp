@@ -7,6 +7,7 @@
 // bench uses this to probe when uniLRU's demotion traffic, not its layout,
 // is the problem.
 #include <unordered_set>
+#include <vector>
 
 #include "hierarchy/hierarchy.h"
 #include "order/segmented_list.h"
@@ -34,24 +35,68 @@ class ReloadUniLruScheme final : public MultiLevelScheme {
     // network demotions. Note the catch for dirty blocks: a reload fetches
     // the *stale* on-disk copy, so dirty blocks must be written back before
     // their cached copy may be dropped.
+    crossed_wrote_back_.assign(result_.crossed_count, false);
     for (std::size_t b = 0; b < result_.crossed_count; ++b) {
       ++stats_.reloads[b];
-      if (dirty_.find(result_.crossed[b]) != dirty_.end()) {
+      if (dirty_.erase(result_.crossed[b]) > 0) {
         ++stats_.writebacks;
-        dirty_.erase(result_.crossed[b]);
+        crossed_wrote_back_[b] = true;
       }
     }
-    if (result_.evicted && dirty_.erase(result_.evicted_key) > 0)
-      ++stats_.writebacks;
+    const bool wrote_back =
+        result_.evicted && dirty_.erase(result_.evicted_key) > 0;
+    if (wrote_back) ++stats_.writebacks;
+    if (auditing()) emit_events(request.block, wrote_back);
   }
 
   const HierarchyStats& stats() const override { return stats_; }
   void reset_stats() override { stats_.clear(); }
   const char* name() const override { return "reloadLRU"; }
 
+  AuditTraits audit_traits() const override {
+    AuditTraits t;
+    t.supported = true;
+    t.exclusive = true;
+    t.bottom_evict_only = true;
+    for (std::size_t s = 0; s < list_.segment_count(); ++s)
+      t.capacities.push_back(list_.segment_capacity(s));
+    return t;
+  }
+
+  void audit_resident_levels(ClientId, BlockId block,
+                             std::vector<std::size_t>& out) const override {
+    const std::size_t s = list_.segment_of(block);
+    if (s != SegmentedList::kNoSegment) out.push_back(s);
+  }
+
+  std::size_t audit_level_size(ClientId, std::size_t level) const override {
+    return list_.segment_size(level);
+  }
+
  private:
+  // Same layout narration as uniLRU, except boundary slides are kReload
+  // (disk re-read) rather than kDemote, each preceded by the write-back the
+  // stale-copy rule forces for dirty blocks.
+  void emit_events(BlockId block, bool wrote_back) {
+    if (result_.hit && result_.old_segment == 0) return;  // pure touch
+    if (result_.hit) {
+      audit_emit(AuditEvent::Kind::kServe, block, result_.old_segment);
+    } else if (result_.evicted) {
+      audit_emit(AuditEvent::Kind::kEvict, result_.evicted_key,
+                 list_.segment_count() - 1);
+      if (wrote_back) audit_emit(AuditEvent::Kind::kWriteback, result_.evicted_key);
+    }
+    for (std::size_t b = result_.crossed_count; b-- > 0;) {
+      if (crossed_wrote_back_[b])
+        audit_emit(AuditEvent::Kind::kWriteback, result_.crossed[b]);
+      audit_emit(AuditEvent::Kind::kReload, result_.crossed[b], b, b + 1);
+    }
+    audit_emit(AuditEvent::Kind::kPlace, block, kAuditNoLevel, 0);
+  }
+
   SegmentedList list_;
   SegmentedList::AccessResult result_;
+  std::vector<bool> crossed_wrote_back_;
   std::unordered_set<BlockId> dirty_;
   HierarchyStats stats_;
 };

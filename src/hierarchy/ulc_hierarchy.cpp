@@ -53,7 +53,8 @@ UlcConfig single_config(std::vector<std::size_t> caps, std::size_t temp_capacity
 class UlcSingleScheme final : public MultiLevelScheme {
  public:
   UlcSingleScheme(std::vector<std::size_t> caps, std::size_t temp_capacity)
-      : client_(single_config(std::move(caps), temp_capacity)) {
+      : client_(single_config(std::move(caps), temp_capacity)),
+        temp_capacity_(temp_capacity) {
     stats_.resize(client_.levels());
   }
 
@@ -65,6 +66,7 @@ class UlcSingleScheme final : public MultiLevelScheme {
         dirty_.insert(request.block);
       } else {
         ++stats_.writebacks;  // uncached write goes straight through to disk
+        audit_emit(AuditEvent::Kind::kWriteback, request.block);
       }
     }
     if (a.temp_hit) {
@@ -81,26 +83,88 @@ class UlcSingleScheme final : public MultiLevelScheme {
     } else {
       ++stats_.misses;
     }
-    for (const DemoteCmd& d : a.demotions) {
+    demote_wrote_back_.assign(a.demotions.size(), false);
+    for (std::size_t d = 0; d < a.demotions.size(); ++d) {
       // A demote to "out" discards the block at its source level — after a
       // write-back if it is dirty. Otherwise a multi-hop Demote(b, f, t)
       // crosses every link between f and t.
-      if (d.to == kLevelOut) {
-        if (dirty_.erase(d.block) > 0) ++stats_.writebacks;
+      const DemoteCmd& cmd = a.demotions[d];
+      if (cmd.to == kLevelOut) {
+        if (dirty_.erase(cmd.block) > 0) {
+          ++stats_.writebacks;
+          demote_wrote_back_[d] = true;
+        }
         continue;
       }
-      for (std::size_t k = d.from; k < d.to; ++k) ++stats_.demotions[k];
+      for (std::size_t k = cmd.from; k < cmd.to; ++k) ++stats_.demotions[k];
     }
+    if (auditing()) emit_events(request.block, a);
   }
 
   const HierarchyStats& stats() const override { return stats_; }
   void reset_stats() override { stats_.clear(); }
   const char* name() const override { return "ULC"; }
 
+  AuditTraits audit_traits() const override {
+    AuditTraits t;
+    // tempLRU copies live outside the uniLRUstack's residency model, so the
+    // footnote-3 variant is stats-checked only.
+    t.supported = temp_capacity_ == 0;
+    t.exclusive = true;
+    t.bottom_evict_only = true;
+    for (std::size_t l = 0; l < client_.levels(); ++l)
+      t.capacities.push_back(client_.capacity(l));
+    return t;
+  }
+
+  void audit_resident_levels(ClientId, BlockId block,
+                             std::vector<std::size_t>& out) const override {
+    const std::size_t l = client_.level_of(block);
+    if (l != kLevelOut) out.push_back(l);
+  }
+
+  std::size_t audit_level_size(ClientId, std::size_t level) const override {
+    return client_.level_size(level);
+  }
+
+  bool audit_check_internal() const override { return client_.check_consistency(); }
+  std::size_t audit_stack_count() const override { return 1; }
+  const UniLruStack* audit_stack(std::size_t) const override {
+    return &client_.stack();
+  }
+
   const UlcClient& client() const { return client_; }
 
  private:
+  // Narrates the access in the protocol's own order (§3.2.1): the Retrieve
+  // serve frees the hit level's slot, the Demote cascade runs bottom-up so
+  // each transfer lands in the slot the one below just freed, and the
+  // placement of the requested block lands last. A Demote(b, f, out) is a
+  // discard at f with no transfer — the collapsed cascade through every
+  // lower level — hence kEvict with through_bottom.
+  void emit_events(BlockId block, const UlcAccess& a) {
+    if (a.temp_hit) return;  // only with tempLRU, which is unsupported
+    if (a.hit_level != kLevelOut && a.placed_level == a.hit_level) return;
+    if (a.hit_level != kLevelOut)
+      audit_emit(AuditEvent::Kind::kServe, block, a.hit_level);
+    for (std::size_t d = a.demotions.size(); d-- > 0;) {
+      const DemoteCmd& cmd = a.demotions[d];
+      if (cmd.to == kLevelOut) {
+        audit_emit(AuditEvent::Kind::kEvict, cmd.block, cmd.from, kAuditNoLevel,
+                   0, /*through_bottom=*/true);
+        if (demote_wrote_back_[d])
+          audit_emit(AuditEvent::Kind::kWriteback, cmd.block);
+      } else {
+        audit_emit(AuditEvent::Kind::kDemote, cmd.block, cmd.from, cmd.to);
+      }
+    }
+    if (a.placed_level != kLevelOut)
+      audit_emit(AuditEvent::Kind::kPlace, block, kAuditNoLevel, a.placed_level);
+  }
+
   UlcClient client_;
+  std::size_t temp_capacity_;
+  std::vector<bool> demote_wrote_back_;
   std::unordered_set<BlockId> dirty_;
   HierarchyStats stats_;
 };
@@ -109,7 +173,7 @@ class UlcMultiScheme final : public MultiLevelScheme {
  public:
   UlcMultiScheme(std::size_t client_cap, std::size_t server_cap,
                  std::size_t n_clients, std::size_t temp_capacity)
-      : server_(server_cap) {
+      : server_(server_cap), temp_capacity_(temp_capacity) {
     ULC_REQUIRE(n_clients >= 1, "ULC-multi needs at least one client");
     UlcConfig cfg;
     cfg.capacities = carve_temp({client_cap, 0}, temp_capacity);
@@ -142,6 +206,7 @@ class UlcMultiScheme final : public MultiLevelScheme {
         dirty_.insert(request.block);
       } else {
         ++stats_.writebacks;  // uncached write goes straight through to disk
+        audit_emit(AuditEvent::Kind::kWriteback, request.block);
       }
     }
 
@@ -192,20 +257,63 @@ class UlcMultiScheme final : public MultiLevelScheme {
         // cache requests only, so the server copy and its recency stay.
       } else {
         ++stats_.misses;
-        if (a.retrieve.cache_at == 1) place_at_server(request.block, c);
+        if (a.retrieve.cache_at == 1) {
+          place_at_server(request.block, c);
+          audit_emit(AuditEvent::Kind::kPlace, request.block, kAuditNoLevel, 1, c);
+        }
       }
     }
 
     for (const DemoteCmd& d : a.demotions) {
       ULC_ENSURE(d.from == 0 && d.to == 1, "multi-client ULC demotes only L1->L2");
       ++stats_.demotions[0];
-      place_at_server(d.block, c);
+      const bool merged = place_at_server(d.block, c);
+      audit_emit(merged ? AuditEvent::Kind::kDemoteMerge : AuditEvent::Kind::kDemote,
+                 d.block, 0, 1, c);
     }
+    // The requested block's own landing at this client's L1 goes last: the
+    // demotion cascade above freed its slot.
+    if (!a.temp_hit && a.placed_level == 0 && a.hit_level != 0)
+      audit_emit(AuditEvent::Kind::kPlace, request.block, kAuditNoLevel, 0, c);
   }
 
   const HierarchyStats& stats() const override { return stats_; }
   void reset_stats() override { stats_.clear(); }
   const char* name() const override { return "ULC"; }
+
+  AuditTraits audit_traits() const override {
+    AuditTraits t;
+    t.supported = temp_capacity_ == 0;
+    t.bottom_evict_only = true;
+    t.clients = clients_.size();
+    t.capacities = {clients_[0]->capacity(0), server_.capacity()};
+    return t;
+  }
+
+  void audit_resident_levels(ClientId client, BlockId block,
+                             std::vector<std::size_t>& out) const override {
+    // The engine's metadata is authoritative for the client's own cache;
+    // server residency comes from the server itself (per-client views of it
+    // are allowed to lag behind the piggybacked notices).
+    if (clients_[client]->level_of(block) == 0) out.push_back(0);
+    if (server_.contains(block)) out.push_back(1);
+  }
+
+  std::size_t audit_level_size(ClientId client, std::size_t level) const override {
+    return level == 0 ? clients_[client]->level_size(0) : server_.size();
+  }
+
+  bool audit_check_internal() const override {
+    for (const auto& cl : clients_) {
+      if (!cl->check_consistency()) return false;
+    }
+    return server_.check_consistency();
+  }
+
+  std::size_t audit_stack_count() const override { return clients_.size(); }
+  const UniLruStack* audit_stack(std::size_t index) const override {
+    return &clients_[index]->stack();
+  }
 
   const GlruServer& server() const { return server_; }
   const UlcClient& client(std::size_t c) const { return *clients_[c]; }
@@ -218,7 +326,10 @@ class UlcMultiScheme final : public MultiLevelScheme {
   // keep their server hits while the taker holds a private copy.
   void take_respecting_owner(BlockId block, ClientId taker) {
     if (!server_.contains(block)) return;
-    if (server_.owner_of(block) == taker) server_.take(block);
+    if (server_.owner_of(block) == taker) {
+      audit_emit(AuditEvent::Kind::kServe, block, 1, kAuditNoLevel, taker);
+      server_.take(block);
+    }
   }
 
   void deliver_notices(ClientId c) {
@@ -231,14 +342,24 @@ class UlcMultiScheme final : public MultiLevelScheme {
     pending_notices_[c].clear();
   }
 
-  void place_at_server(BlockId block, ClientId owner) {
+  // Returns true if the server already held a shared copy (the placement
+  // merged into it). Emits the eviction the placement forced, so callers
+  // emitting the incoming block's own event after the call keep the
+  // free-slot-before-fill order.
+  bool place_at_server(BlockId block, ClientId owner) {
+    const bool merged = server_.contains(block);
     const GlruServer::PlaceResult r = server_.place(block, owner);
     if (server_.full() && !announced_full_) {
       announced_full_ = true;
       for (auto& cl : clients_) cl->set_elastic_full(true);
     }
-    if (!r.evicted) return;
-    if (dirty_.erase(r.victim) > 0) ++stats_.writebacks;
+    if (!r.evicted) return merged;
+    audit_emit(AuditEvent::Kind::kEvict, r.victim, 1, kAuditNoLevel,
+               r.victim_owner);
+    if (dirty_.erase(r.victim) > 0) {
+      ++stats_.writebacks;
+      audit_emit(AuditEvent::Kind::kWriteback, r.victim);
+    }
     ++stats_.eviction_notices;
     if (r.victim_owner == owner) {
       // Local knowledge: the requester learns immediately.
@@ -247,6 +368,7 @@ class UlcMultiScheme final : public MultiLevelScheme {
     } else {
       pending_notices_[r.victim_owner].push_back(r.victim);
     }
+    return merged;
   }
 
   std::vector<std::unique_ptr<UlcClient>> clients_;
@@ -254,6 +376,7 @@ class UlcMultiScheme final : public MultiLevelScheme {
   GlruServer server_;
   std::vector<std::vector<BlockId>> pending_notices_;
   bool announced_full_ = false;
+  std::size_t temp_capacity_;
   HierarchyStats stats_;
 };
 

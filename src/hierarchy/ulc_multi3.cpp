@@ -59,6 +59,7 @@ class UlcMulti3Scheme final : public MultiLevelScheme {
         dirty_.insert(request.block);
       } else {
         ++stats_.writebacks;
+        audit_emit(AuditEvent::Kind::kWriteback, request.block);
       }
     }
 
@@ -68,13 +69,55 @@ class UlcMulti3Scheme final : public MultiLevelScheme {
       ULC_ENSURE(d.from == 0 && d.to == 1,
                  "client cascades stop at the first shared level");
       ++stats_.demotions[0];
-      place_at_server(d.block, c);
+      const bool merged = place_at_server(d.block, c);
+      audit_emit(merged ? AuditEvent::Kind::kDemoteMerge : AuditEvent::Kind::kDemote,
+                 d.block, 0, 1, c);
     }
+    if (a.placed_level == 0 && a.hit_level != 0)
+      audit_emit(AuditEvent::Kind::kPlace, request.block, kAuditNoLevel, 0, c);
   }
 
   const HierarchyStats& stats() const override { return stats_; }
   void reset_stats() override { stats_.clear(); }
   const char* name() const override { return "ULC"; }
+
+  AuditTraits audit_traits() const override {
+    AuditTraits t;
+    t.supported = true;
+    t.bottom_evict_only = true;
+    // Stale client metadata may legitimately serve from the array while
+    // another client has since promoted a shared copy to the server, so the
+    // reported hit level is a *member* of the resident set, not its top.
+    t.exact_hit_level = false;
+    t.clients = clients_.size();
+    t.capacities = {clients_[0]->capacity(0), server_.capacity(),
+                    array_.capacity()};
+    return t;
+  }
+
+  void audit_resident_levels(ClientId client, BlockId block,
+                             std::vector<std::size_t>& out) const override {
+    if (clients_[client]->level_of(block) == 0) out.push_back(0);
+    if (server_.contains(block)) out.push_back(1);
+    if (array_.contains(block)) out.push_back(2);
+  }
+
+  std::size_t audit_level_size(ClientId client, std::size_t level) const override {
+    if (level == 0) return clients_[client]->level_size(0);
+    return level == 1 ? server_.size() : array_.size();
+  }
+
+  bool audit_check_internal() const override {
+    for (const auto& cl : clients_) {
+      if (!cl->check_consistency()) return false;
+    }
+    return server_.check_consistency() && array_.check_consistency();
+  }
+
+  std::size_t audit_stack_count() const override { return clients_.size(); }
+  const UniLruStack* audit_stack(std::size_t index) const override {
+    return &clients_[index]->stack();
+  }
 
   const GlruServer& server() const { return server_; }
   const GlruServer& array() const { return array_; }
@@ -108,8 +151,14 @@ class UlcMulti3Scheme final : public MultiLevelScheme {
       return;
     }
     ++stats_.misses;
-    if (a.retrieve.cache_at == 1) place_at_server(b, c);
-    if (a.retrieve.cache_at == 2) place_at_array(b, c);
+    if (a.retrieve.cache_at == 1) {
+      place_at_server(b, c);
+      audit_emit(AuditEvent::Kind::kPlace, b, kAuditNoLevel, 1, c);
+    }
+    if (a.retrieve.cache_at == 2) {
+      place_at_array(b, c);
+      audit_emit(AuditEvent::Kind::kPlace, b, kAuditNoLevel, 2, c);
+    }
   }
 
   // The block is at the server; move/keep it per the client's direction.
@@ -120,12 +169,28 @@ class UlcMulti3Scheme final : public MultiLevelScheme {
       if (cache_at == 1) {
         server_.refresh(b, c);
       } else {
-        if (server_.owner_of(b) == c) server_.take(b);
+        const bool took = server_.owner_of(b) == c;
+        if (took) server_.take(b);
         ++stats_.demotions[1];
-        place_at_array(b, c);
+        const bool merged = place_at_array(b, c);
+        // Four narrations of one ship-down: a move (demote, merging or not)
+        // when this client owned the server copy, otherwise the copy stays
+        // and the transfer is pure accounting (kCharge) plus — if the array
+        // did not already hold the shared copy — a fresh copy appearing.
+        if (took) {
+          audit_emit(merged ? AuditEvent::Kind::kDemoteMerge
+                            : AuditEvent::Kind::kDemote,
+                     b, 1, 2, c);
+        } else {
+          audit_emit(AuditEvent::Kind::kCharge, b, 1, 2, c);
+          if (!merged) audit_emit(AuditEvent::Kind::kPlace, b, kAuditNoLevel, 2, c);
+        }
       }
     } else if (cache_at == 0) {
-      if (server_.owner_of(b) == c) server_.take(b);
+      if (server_.owner_of(b) == c) {
+        audit_emit(AuditEvent::Kind::kServe, b, 1, kAuditNoLevel, c);
+        server_.take(b);
+      }
     }
   }
 
@@ -133,30 +198,53 @@ class UlcMulti3Scheme final : public MultiLevelScheme {
     if (cache_at == 2) {
       array_.refresh(b, c);
     } else if (cache_at == 1) {
-      if (array_.owner_of(b) == c) array_.take(b);
-      place_at_server(b, c);
+      const bool took = array_.owner_of(b) == c;
+      if (took) {
+        audit_emit(AuditEvent::Kind::kServe, b, 2, kAuditNoLevel, c);
+        array_.take(b);
+      }
+      const bool merged = place_at_server(b, c);
+      if (!merged)
+        audit_emit(AuditEvent::Kind::kPlace, b, kAuditNoLevel, 1, c);
     } else if (cache_at == 0) {
-      if (array_.owner_of(b) == c) array_.take(b);
+      if (array_.owner_of(b) == c) {
+        audit_emit(AuditEvent::Kind::kServe, b, 2, kAuditNoLevel, c);
+        array_.take(b);
+      }
     }
   }
 
-  void place_at_server(BlockId b, ClientId owner) {
+  // Returns true if the server already held the (shared) copy.
+  bool place_at_server(BlockId b, ClientId owner) {
+    const bool merged = server_.contains(b);
     const GlruServer::PlaceResult r = server_.place(b, owner);
-    if (!r.evicted) return;
+    if (!r.evicted) return merged;
     // Server-directed migration: the gLRU victim moves down to the array
     // instead of being dropped; its owner is told via a piggybacked notice.
     ++stats_.demotions[1];
     ++stats_.eviction_notices;
     queue_notice(r.victim_owner, r.victim);
-    place_at_array(r.victim, r.victim_owner);
+    const bool victim_merged = place_at_array(r.victim, r.victim_owner);
+    audit_emit(victim_merged ? AuditEvent::Kind::kDemoteMerge
+                             : AuditEvent::Kind::kDemote,
+               r.victim, 1, 2, r.victim_owner);
+    return merged;
   }
 
-  void place_at_array(BlockId b, ClientId owner) {
+  // Returns true if the array already held the (shared) copy.
+  bool place_at_array(BlockId b, ClientId owner) {
+    const bool merged = array_.contains(b);
     const GlruServer::PlaceResult r = array_.place(b, owner);
-    if (!r.evicted) return;
-    if (dirty_.erase(r.victim) > 0) ++stats_.writebacks;
+    if (!r.evicted) return merged;
+    audit_emit(AuditEvent::Kind::kEvict, r.victim, 2, kAuditNoLevel,
+               r.victim_owner);
+    if (dirty_.erase(r.victim) > 0) {
+      ++stats_.writebacks;
+      audit_emit(AuditEvent::Kind::kWriteback, r.victim);
+    }
     ++stats_.eviction_notices;
     queue_notice(r.victim_owner, r.victim);
+    return merged;
   }
 
   void queue_notice(ClientId owner, BlockId block) {

@@ -57,15 +57,54 @@ class UniLruScheme final : public MultiLevelScheme {
     // silent drop — unless the block is dirty, in which case it must be
     // written back to disk first.
     for (std::size_t b = 0; b < result_.crossed_count; ++b) ++stats_.demotions[b];
-    if (result_.evicted && dirty_.erase(result_.evicted_key) > 0)
-      ++stats_.writebacks;
+    const bool wrote_back =
+        result_.evicted && dirty_.erase(result_.evicted_key) > 0;
+    if (wrote_back) ++stats_.writebacks;
+    if (auditing()) emit_events(request.block, wrote_back);
   }
 
   const HierarchyStats& stats() const override { return stats_; }
   void reset_stats() override { stats_.clear(); }
   const char* name() const override { return "uniLRU"; }
 
+  AuditTraits audit_traits() const override {
+    AuditTraits t;
+    t.supported = true;
+    t.exclusive = true;
+    t.bottom_evict_only = true;
+    for (std::size_t s = 0; s < list_.segment_count(); ++s)
+      t.capacities.push_back(list_.segment_capacity(s));
+    return t;
+  }
+
+  void audit_resident_levels(ClientId, BlockId block,
+                             std::vector<std::size_t>& out) const override {
+    const std::size_t s = list_.segment_of(block);
+    if (s != SegmentedList::kNoSegment) out.push_back(s);
+  }
+
+  std::size_t audit_level_size(ClientId, std::size_t level) const override {
+    return list_.segment_size(level);
+  }
+
  private:
+  // Narrates one access in demote-before-evict order: the serve (or bottom
+  // eviction) opens a hole, the boundary slides fill it bottom-up, and the
+  // MRU placement lands last, so occupancy never exceeds capacity.
+  void emit_events(BlockId block, bool wrote_back) {
+    if (result_.hit && result_.old_segment == 0) return;  // pure touch
+    if (result_.hit) {
+      audit_emit(AuditEvent::Kind::kServe, block, result_.old_segment);
+    } else if (result_.evicted) {
+      audit_emit(AuditEvent::Kind::kEvict, result_.evicted_key,
+                 list_.segment_count() - 1);
+      if (wrote_back) audit_emit(AuditEvent::Kind::kWriteback, result_.evicted_key);
+    }
+    for (std::size_t b = result_.crossed_count; b-- > 0;)
+      audit_emit(AuditEvent::Kind::kDemote, result_.crossed[b], b, b + 1);
+    audit_emit(AuditEvent::Kind::kPlace, block, kAuditNoLevel, 0);
+  }
+
   SegmentedList list_;
   SegmentedList::AccessResult result_;
   std::unordered_set<BlockId> dirty_;
@@ -129,6 +168,7 @@ class ServerLru {
   }
 
   std::size_t size() const { return list_.size(); }
+  std::size_t capacity() const { return capacity_; }
 
  private:
   std::size_t capacity_;
@@ -161,6 +201,7 @@ class UniLruMultiScheme final : public MultiLevelScheme {
     }
     if (server_.take(b)) {
       ++stats_.level_hits[1];  // served from server; exclusive move up
+      audit_emit(AuditEvent::Kind::kServe, b, 1);
     } else {
       ++stats_.misses;  // disk read straight to the client (exclusive)
     }
@@ -173,16 +214,58 @@ class UniLruMultiScheme final : public MultiLevelScheme {
       ++stats_.demotions[0];
       if (server_.contains(ev.victim)) {
         server_.refresh(ev.victim);
+        audit_emit(AuditEvent::Kind::kDemoteMerge, ev.victim, 0, 1,
+                   request.client);
       } else {
         const EvictResult sev = server_.insert(ev.victim, insertion_);
-        if (sev.evicted && dirty_.erase(sev.victim) > 0) ++stats_.writebacks;
+        if (sev.evicted && sev.victim == ev.victim) {
+          // LRU-point insertion corner: the demoted block entered at the
+          // server's own bottom and was at once the overflow victim — it
+          // passed straight through without ever being resident there.
+          audit_emit(AuditEvent::Kind::kCharge, ev.victim, 0, 1, request.client);
+          audit_emit(AuditEvent::Kind::kEvict, ev.victim, 0, kAuditNoLevel,
+                     request.client, /*through_bottom=*/true);
+          if (dirty_.erase(sev.victim) > 0) {
+            ++stats_.writebacks;
+            audit_emit(AuditEvent::Kind::kWriteback, sev.victim);
+          }
+        } else {
+          if (sev.evicted) {
+            audit_emit(AuditEvent::Kind::kEvict, sev.victim, 1);
+            if (dirty_.erase(sev.victim) > 0) {
+              ++stats_.writebacks;
+              audit_emit(AuditEvent::Kind::kWriteback, sev.victim);
+            }
+          }
+          audit_emit(AuditEvent::Kind::kDemote, ev.victim, 0, 1, request.client);
+        }
       }
     }
+    audit_emit(AuditEvent::Kind::kPlace, b, kAuditNoLevel, 0, request.client);
   }
 
   const HierarchyStats& stats() const override { return stats_; }
   void reset_stats() override { stats_.clear(); }
   const char* name() const override { return name_.c_str(); }
+
+  AuditTraits audit_traits() const override {
+    AuditTraits t;
+    t.supported = true;
+    t.bottom_evict_only = true;
+    t.clients = clients_.size();
+    t.capacities = {clients_[0]->capacity(), server_.capacity()};
+    return t;
+  }
+
+  void audit_resident_levels(ClientId client, BlockId block,
+                             std::vector<std::size_t>& out) const override {
+    if (clients_[client]->contains(block)) out.push_back(0);
+    if (server_.contains(block)) out.push_back(1);
+  }
+
+  std::size_t audit_level_size(ClientId client, std::size_t level) const override {
+    return level == 0 ? clients_[client]->size() : server_.size();
+  }
 
  private:
   std::vector<PolicyPtr> clients_;

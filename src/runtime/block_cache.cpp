@@ -1,6 +1,8 @@
 #include "runtime/block_cache.h"
 
+#include <algorithm>
 #include <cstring>
+#include <vector>
 
 #include "util/ensure.h"
 
@@ -161,7 +163,11 @@ void BlockCache::write(BlockId block, std::span<const std::byte> in) {
 
 void BlockCache::flush() {
   std::lock_guard<std::mutex> guard(lock_);
-  for (BlockId block : dirty_) {
+  // Write back in block order: the hash-set iteration order must not leak
+  // into the sequence of origin writes (determinism across runs/platforms).
+  std::vector<BlockId> to_flush(dirty_.begin(), dirty_.end());
+  std::sort(to_flush.begin(), to_flush.end());
+  for (BlockId block : to_flush) {
     auto it = resident_.find(block);
     if (it != resident_.end()) {
       origin_.write(block,

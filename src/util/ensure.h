@@ -27,8 +27,13 @@ namespace ulc {
     if (!(cond)) ::ulc::ensure_fail(#cond, __FILE__, __LINE__, (msg)); \
   } while (0)
 #else
-#define ULC_ENSURE(cond, msg) \
-  do {                        \
+// The disabled form must still "use" its operands: sizeof keeps variables
+// referenced (no -Wunused warnings under -DULC_ENABLE_CHECKS=OFF) without
+// evaluating the condition or the message.
+#define ULC_ENSURE(cond, msg)     \
+  do {                            \
+    (void)sizeof((cond) ? 1 : 0); \
+    (void)sizeof(msg);            \
   } while (0)
 #endif
 

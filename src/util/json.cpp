@@ -61,7 +61,7 @@ std::string Json::escape(const std::string& s) {
 
 std::string Json::format_double(double v) {
   if (!std::isfinite(v)) return "null";  // JSON has no inf/nan
-  if (v == 0.0) return "0";              // fold -0 for determinism
+  if (v == 0.0) return "0";  // fold -0 for determinism  // ulc-lint: allow(float-eq)
   // Integral values inside the exactly-representable range print as integers.
   if (v == std::floor(v) && std::fabs(v) < 1e15) {
     char buf[32];

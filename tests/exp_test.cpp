@@ -223,9 +223,9 @@ TEST(RunMatrix, SharedCacheSynthesizesEachTraceOnce) {
 
 TEST(RunMatrix, TraceOverrideAndSchemeRename) {
   auto t = std::make_shared<const Trace>([] {
-    Trace t("override");
-    for (int i = 0; i < 200; ++i) t.add(static_cast<BlockId>(i % 50));
-    return t;
+    Trace tr("override");
+    for (int i = 0; i < 200; ++i) tr.add(static_cast<BlockId>(i % 50));
+    return tr;
   }());
   exp::ExperimentSpec spec;
   spec.scheme = "renamed";

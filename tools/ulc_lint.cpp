@@ -1,0 +1,372 @@
+// ulc_lint — repository-specific style and determinism linter.
+//
+// The generic compiler warnings cannot see repo-level contracts: simulator
+// output must be bit-reproducible (no wall-clock or libc randomness, no
+// hash-order leaking into emitted sequences), every invariant failure must
+// say *which* invariant broke, and headers must stay include-clean. This
+// tool enforces those contracts textually, comment- and string-aware, and
+// runs as a ctest case so CI fails on regressions.
+//
+// Usage: ulc_lint <dir> [<dir>...]
+//
+// Rules (suppress a line with `// ulc-lint: allow(<rule>)`):
+//   determinism          rand()/srand()/time()/std::random_device anywhere
+//   unordered-iteration  range-for over a variable declared as an unordered
+//                        container in the same translation unit (file plus
+//                        its same-stem sibling header/source) — hash order
+//                        must never feed output
+//   ensure-msg           ULC_ENSURE/ULC_REQUIRE with an empty message
+//   pragma-once          header file without #pragma once
+//   using-namespace      `using namespace` in a header
+//   float-eq             ==/!= against a floating-point literal
+//
+// Exit status: 0 clean, 1 findings, 2 usage/IO error.
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Finding {
+  std::string path;
+  std::size_t line;
+  std::string rule;
+  std::string message;
+};
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Replaces comment bodies and string/char-literal contents with spaces,
+// preserving offsets and newlines, so textual rules never fire inside
+// comments or literals. Quote characters themselves are kept.
+std::string strip(const std::string& text) {
+  std::string out = text;
+  enum class State { kCode, kLine, kBlock, kString, kChar } state = State::kCode;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLine;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlock;
+          out[i] = ' ';
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLine:
+        if (c == '\n')
+          state = State::kCode;
+        else
+          out[i] = ' ';
+        break;
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+      case State::kChar: {
+        const char quote = state == State::kString ? '"' : '\'';
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == quote) {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) lines.push_back(cur);
+  return lines;
+}
+
+// Per-line suppression markers: `// ulc-lint: allow(rule1, rule2)`.
+bool allowed(const std::string& original_line, const std::string& rule) {
+  static const std::string kMarker = "ulc-lint: allow(";
+  std::size_t at = 0;
+  while ((at = original_line.find(kMarker, at)) != std::string::npos) {
+    const std::size_t open = at + kMarker.size();
+    const std::size_t close = original_line.find(')', open);
+    if (close == std::string::npos) break;
+    std::stringstream list(original_line.substr(open, close - open));
+    std::string item;
+    while (std::getline(list, item, ',')) {
+      item.erase(std::remove_if(item.begin(), item.end(),
+                                [](char c) { return std::isspace(
+                                    static_cast<unsigned char>(c)) != 0; }),
+                 item.end());
+      if (item == rule) return true;
+    }
+    at = close;
+  }
+  return false;
+}
+
+// Names of variables declared as std::unordered_{map,set}<...> in the given
+// stripped text. Walks past the balanced template argument list and records
+// the declarator identifier that follows.
+void collect_unordered_names(const std::string& stripped,
+                             std::set<std::string>& names) {
+  static const std::regex kDecl("unordered_(?:map|set)\\s*<");
+  for (auto it = std::sregex_iterator(stripped.begin(), stripped.end(), kDecl);
+       it != std::sregex_iterator(); ++it) {
+    std::size_t i = static_cast<std::size_t>(it->position()) + it->length();
+    int depth = 1;
+    while (i < stripped.size() && depth > 0) {
+      if (stripped[i] == '<') ++depth;
+      if (stripped[i] == '>') --depth;
+      ++i;
+    }
+    while (i < stripped.size() &&
+           std::isspace(static_cast<unsigned char>(stripped[i])) != 0)
+      ++i;
+    std::string name;
+    while (i < stripped.size() && ident_char(stripped[i])) name.push_back(stripped[i++]);
+    while (i < stripped.size() &&
+           std::isspace(static_cast<unsigned char>(stripped[i])) != 0)
+      ++i;
+    const char after = i < stripped.size() ? stripped[i] : '\0';
+    if (!name.empty() && (after == ';' || after == '{' || after == '=' || after == ','))
+      names.insert(name);
+  }
+}
+
+// Parses an ULC_ENSURE/ULC_REQUIRE invocation starting at the macro name in
+// `text` and returns its final argument (the message), or nullopt when the
+// call is malformed. String-aware so commas inside the message don't split.
+std::string last_macro_argument(const std::string& text, std::size_t name_end) {
+  std::size_t i = name_end;
+  while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])) != 0)
+    ++i;
+  if (i >= text.size() || text[i] != '(') return {};
+  ++i;
+  int depth = 1;
+  bool in_string = false;
+  std::size_t arg_start = i;
+  std::string last;
+  for (; i < text.size() && depth > 0; ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\')
+        ++i;
+      else if (c == '"')
+        in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '(' || c == '[' || c == '{') ++depth;
+    if (c == ')' || c == ']' || c == '}') --depth;
+    if ((c == ',' && depth == 1) || (depth == 0)) {
+      last = text.substr(arg_start, i - arg_start);
+      arg_start = i + 1;
+    }
+  }
+  const auto first = last.find_first_not_of(" \t\n\r");
+  if (first == std::string::npos) return {};
+  const auto end = last.find_last_not_of(" \t\n\r");
+  return last.substr(first, end - first + 1);
+}
+
+std::size_t line_of(const std::string& text, std::size_t offset) {
+  return 1 + static_cast<std::size_t>(
+                 std::count(text.begin(), text.begin() + static_cast<long>(offset),
+                            '\n'));
+}
+
+class Linter {
+ public:
+  void lint_file(const fs::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "ulc_lint: cannot read %s\n", path.c_str());
+      io_error_ = true;
+      return;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string original = buf.str();
+    const std::string stripped = strip(original);
+    const auto orig_lines = split_lines(original);
+    const auto strip_lines = split_lines(stripped);
+    const bool is_header = path.extension() == ".h";
+
+    auto report = [&](std::size_t line, const std::string& rule,
+                      const std::string& message) {
+      const std::string& src =
+          line >= 1 && line <= orig_lines.size() ? orig_lines[line - 1] : original;
+      if (!allowed(src, rule))
+        findings_.push_back({path.generic_string(), line, rule, message});
+    };
+
+    // determinism --------------------------------------------------------
+    static const std::regex kNonDet(
+        "(^|[^A-Za-z0-9_])(rand\\s*\\(|srand\\s*\\(|time\\s*\\(|random_device)");
+    for (std::size_t n = 0; n < strip_lines.size(); ++n) {
+      if (std::regex_search(strip_lines[n], kNonDet))
+        report(n + 1, "determinism",
+               "wall-clock or libc randomness breaks reproducible runs; use "
+               "util/prng.h with an explicit seed");
+    }
+
+    // unordered-iteration ------------------------------------------------
+    std::set<std::string> unordered;
+    collect_unordered_names(stripped, unordered);
+    for (const fs::path& sib : siblings(path)) {
+      std::ifstream sin(sib, std::ios::binary);
+      if (!sin) continue;
+      std::stringstream sbuf;
+      sbuf << sin.rdbuf();
+      collect_unordered_names(strip(sbuf.str()), unordered);
+    }
+    static const std::regex kRangeFor(
+        "for\\s*\\([^;()]*:\\s*([A-Za-z_][A-Za-z0-9_]*)\\s*\\)");
+    for (std::size_t n = 0; n < strip_lines.size(); ++n) {
+      std::smatch m;
+      if (std::regex_search(strip_lines[n], m, kRangeFor) &&
+          unordered.count(m[1].str()) != 0)
+        report(n + 1, "unordered-iteration",
+               "hash-order iteration over '" + m[1].str() +
+                   "' may leak into output; iterate a sorted copy");
+    }
+
+    // ensure-msg ---------------------------------------------------------
+    static const std::regex kEnsure("ULC_(?:ENSURE|REQUIRE)\\b");
+    for (auto it = std::sregex_iterator(stripped.begin(), stripped.end(), kEnsure);
+         it != std::sregex_iterator(); ++it) {
+      const std::size_t at = static_cast<std::size_t>(it->position());
+      const std::size_t name_end = at + it->length();
+      const std::size_t line = line_of(original, at);
+      // Skip the macro definitions themselves (util/ensure.h).
+      if (strip_lines[line - 1].find("#define") != std::string::npos) continue;
+      const std::string msg = last_macro_argument(original, name_end);
+      if (msg.empty() || msg == "\"\"")
+        report(line, "ensure-msg", "invariant check without a diagnostic message");
+    }
+
+    // pragma-once / using-namespace (headers only) -----------------------
+    if (is_header) {
+      if (stripped.find("#pragma once") == std::string::npos)
+        report(1, "pragma-once", "header lacks #pragma once");
+      for (std::size_t n = 0; n < strip_lines.size(); ++n) {
+        if (std::regex_search(strip_lines[n], std::regex("\\busing\\s+namespace\\b")))
+          report(n + 1, "using-namespace",
+                 "headers must not inject namespaces into every includer");
+      }
+    }
+
+    // float-eq -----------------------------------------------------------
+    static const std::regex kFloatEq(
+        "((^|[^<>=!&|])(==|!=)\\s*([0-9]+\\.[0-9]*|\\.[0-9]+)f?)"
+        "|(([0-9]+\\.[0-9]*|\\.[0-9]+)f?\\s*(==|!=)([^=]|$))");
+    for (std::size_t n = 0; n < strip_lines.size(); ++n) {
+      if (std::regex_search(strip_lines[n], kFloatEq))
+        report(n + 1, "float-eq",
+               "exact comparison against a floating-point literal; compare "
+               "with a tolerance or justify with an allow marker");
+    }
+  }
+
+  bool io_error() const { return io_error_; }
+
+  int emit() const {
+    auto sorted = findings_;
+    std::sort(sorted.begin(), sorted.end(), [](const Finding& a, const Finding& b) {
+      if (a.path != b.path) return a.path < b.path;
+      if (a.line != b.line) return a.line < b.line;
+      return a.rule < b.rule;
+    });
+    for (const Finding& f : sorted)
+      std::printf("%s:%zu: [%s] %s\n", f.path.c_str(), f.line, f.rule.c_str(),
+                  f.message.c_str());
+    if (sorted.empty()) {
+      std::printf("ulc_lint: clean\n");
+      return 0;
+    }
+    std::printf("ulc_lint: %zu issue(s)\n", sorted.size());
+    return 1;
+  }
+
+ private:
+  // The same-stem .h/.cpp sibling completes the translation unit for
+  // member-variable declarations.
+  static std::vector<fs::path> siblings(const fs::path& path) {
+    std::vector<fs::path> out;
+    for (const char* ext : {".h", ".cpp"}) {
+      fs::path sib = path;
+      sib.replace_extension(ext);
+      if (sib != path && fs::exists(sib)) out.push_back(sib);
+    }
+    return out;
+  }
+
+  std::vector<Finding> findings_;
+  bool io_error_ = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: ulc_lint <dir> [<dir>...]\n");
+    return 2;
+  }
+  std::vector<fs::path> files;
+  for (int i = 1; i < argc; ++i) {
+    const fs::path root(argv[i]);
+    if (!fs::exists(root)) {
+      std::fprintf(stderr, "ulc_lint: no such path: %s\n", argv[i]);
+      return 2;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (!entry.is_regular_file()) continue;
+      const auto ext = entry.path().extension();
+      if (ext == ".h" || ext == ".cpp") files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  Linter linter;
+  for (const fs::path& f : files) linter.lint_file(f);
+  if (linter.io_error()) return 2;
+  return linter.emit();
+}
