@@ -147,6 +147,7 @@ void CheckedHierarchy::check_event_shape(const AuditEvent& e) const {
   switch (e.kind) {
     case AuditEvent::Kind::kServe:
     case AuditEvent::Kind::kEvict:
+    case AuditEvent::Kind::kLost:
       if (e.from == kAuditNoLevel)
         fail(ViolationKind::kSequencing, "serve/evict without a source level");
       break;
@@ -198,11 +199,45 @@ void CheckedHierarchy::replay_events() {
                "hierarchy");
         remove_copy(e.block, e.from, e.owner, "evict");
         break;
+      case AuditEvent::Kind::kLost:
+        // A resync discovered the copy is gone. Not an eviction: exempt
+        // from the bottom-evict-only rule (the copy was found missing, it
+        // did not leave through the protocol).
+        remove_copy(e.block, e.from, e.owner, "lost");
+        break;
       case AuditEvent::Kind::kWriteback:
       case AuditEvent::Kind::kCharge:
         break;
     }
   }
+}
+
+void CheckedHierarchy::replay_resync_events() {
+  for (const AuditEvent& e : events_) {
+    check_event_shape(e);
+    if (e.kind != AuditEvent::Kind::kLost)
+      fail(ViolationKind::kSequencing,
+           "directory resync may narrate only kLost events");
+    remove_copy(e.block, e.from, e.owner, "lost");
+  }
+  events_.clear();
+}
+
+bool CheckedHierarchy::resync_drop(ClientId client, BlockId block,
+                                   std::size_t level) {
+  if (!traits_.supported) return inner_->resync_drop(client, block, level);
+  events_.clear();
+  const bool dropped = inner_->resync_drop(client, block, level);
+  replay_resync_events();
+  return dropped;
+}
+
+std::size_t CheckedHierarchy::resync_level(ClientId client, std::size_t level) {
+  if (!traits_.supported) return inner_->resync_level(client, level);
+  events_.clear();
+  const std::size_t n = inner_->resync_level(client, level);
+  replay_resync_events();
+  return n;
 }
 
 void CheckedHierarchy::check_stats_delta(

@@ -104,9 +104,21 @@ class CheckedHierarchy final : public MultiLevelScheme {
     return inner_->audit_stack(index);
   }
 
+  // Directory resync passes through the auditor so the shadow model tracks
+  // the repair: every narrated kLost drops the matching shadow copy, and
+  // anything else narrated during a resync is a sequencing violation.
+  bool supports_resync() const override { return inner_->supports_resync(); }
+  bool resync_drop(ClientId client, BlockId block, std::size_t level) override;
+  std::size_t resync_level(ClientId client, std::size_t level) override;
+
   const MultiLevelScheme& inner() const { return *inner_; }
   std::uint64_t accesses_checked() const { return accesses_; }
   bool event_checks_active() const { return traits_.supported; }
+
+  // The events narrated by the most recent access() (valid until the next
+  // access or resync call). Lets a harness that may not install its own
+  // sink — the auditor owns the inner scheme's — still read the narration.
+  const std::vector<AuditEvent>& last_events() const { return events_; }
 
   // Full drift sweep + structural checks; called automatically every
   // sweep_interval accesses. Harnesses call it once after a run.
@@ -132,6 +144,7 @@ class CheckedHierarchy final : public MultiLevelScheme {
 
   void check_event_shape(const AuditEvent& e) const;
   void replay_events();
+  void replay_resync_events();
   void check_stats_delta(const std::vector<std::size_t>& pre_visible);
   void sweep();
   void check_stack(const UniLruStack& stack, std::size_t index) const;

@@ -86,6 +86,40 @@ class MutantScheme final : public MultiLevelScheme {
     }
   }
 
+  bool supports_resync() const override { return inner_->supports_resync(); }
+
+  bool resync_drop(ClientId client, BlockId block, std::size_t level) override {
+    if (mutation_ == Mutation::kResyncAmnesia) {
+      // The recovery bug under test: the client acknowledges the lost copy
+      // (narrating kLost, so the shadow model drops it) but forgets to
+      // evict the stale directory entry — the scheme will later claim a
+      // hit at a level the shadow knows is empty.
+      if (outer_ != nullptr)
+        outer_->push_back(AuditEvent{AuditEvent::Kind::kLost, block, level,
+                                     kAuditNoLevel, client, false});
+      return true;
+    }
+    const std::size_t had = buffer_.size();
+    const bool dropped = inner_->resync_drop(client, block, level);
+    if (outer_ != nullptr)
+      outer_->insert(outer_->end(),
+                     buffer_.begin() + static_cast<std::ptrdiff_t>(had),
+                     buffer_.end());
+    buffer_.resize(had);
+    return dropped;
+  }
+
+  std::size_t resync_level(ClientId client, std::size_t level) override {
+    const std::size_t had = buffer_.size();
+    const std::size_t n = inner_->resync_level(client, level);
+    if (outer_ != nullptr)
+      outer_->insert(outer_->end(),
+                     buffer_.begin() + static_cast<std::ptrdiff_t>(had),
+                     buffer_.end());
+    buffer_.resize(had);
+    return n;
+  }
+
   const HierarchyStats& stats() const override {
     return mutation_ == Mutation::kStatsDrop ? tampered_ : inner_->stats();
   }

@@ -23,6 +23,8 @@ enum class Mutation {
   kStatsDrop,          // under-reports misses              -> conservation
   kLyingResidency,     // hides deep copies from queries    -> drift
   kMisorderYardstick,  // corrupts a uniLRUstack yardstick  -> yardstick
+  kResyncAmnesia,      // resync narrates the kLost but forgets to evict the
+                       // stale directory entry              -> drift
 };
 
 // Wraps `inner` with the given defect. The wrapper keeps the inner scheme's

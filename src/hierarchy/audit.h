@@ -46,6 +46,11 @@ struct AuditEvent {
                    // that move no copy of their own (shared-block ship-downs
                    // whose source copy stays; any copy the transfer creates
                    // is narrated by a separate kPlace)
+    kLost,         // directory resync: the copy at `from` was discovered to
+                   // be gone (level crash, lost demote) and the directory
+                   // entry is dropped to match reality. No transfer, no
+                   // write-back; exempt from the bottom-evict-only rule —
+                   // the copy did not "leave", it was found missing.
   };
 
   Kind kind = Kind::kPlace;

@@ -67,6 +67,35 @@ class MultiLevelScheme {
     return nullptr;
   }
 
+  // ---- Directory resync (src/proto recovery protocol) ----
+  //
+  // When a faulted run discovers that a level's reply contradicts the
+  // client's directory — a stale hit after a level crash, a demote whose
+  // data never arrived — the client repairs its metadata through these
+  // hooks instead of asserting. Implementations narrate each dropped
+  // directory entry as a kLost audit event so the shadow auditor stays in
+  // lock-step with the repair. Schemes with no client directory (indLRU)
+  // keep the default no-op: their per-level LRU state self-heals.
+
+  virtual bool supports_resync() const { return false; }
+  // Drops `client`'s directory claim that `block` lives at `level` (and any
+  // matching real copy the scheme itself holds at that level). Returns
+  // false when the directory holds no such claim.
+  virtual bool resync_drop(ClientId client, BlockId block, std::size_t level) {
+    (void)client;
+    (void)block;
+    (void)level;
+    return false;
+  }
+  // A level restarted empty: drops every directory entry of `client` at
+  // `level` (all clients' views for shared levels). Returns the number of
+  // entries dropped.
+  virtual std::size_t resync_level(ClientId client, std::size_t level) {
+    (void)client;
+    (void)level;
+    return 0;
+  }
+
  protected:
   bool auditing() const { return audit_sink_ != nullptr; }
   void audit_emit(AuditEvent::Kind kind, BlockId block,

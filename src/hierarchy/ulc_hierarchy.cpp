@@ -133,6 +133,28 @@ class UlcSingleScheme final : public MultiLevelScheme {
     return &client_.stack();
   }
 
+  // The directory *is* the residency model in single-client ULC, so a
+  // resync both repairs the metadata and (conceptually) acknowledges the
+  // lost copy — narrated as kLost so the shadow auditor drops it too.
+  bool supports_resync() const override { return true; }
+
+  bool resync_drop(ClientId, BlockId block, std::size_t level) override {
+    if (!client_.resync_evict(block, level)) return false;
+    dirty_.erase(block);  // the copy (and any dirty data) is gone
+    audit_emit(AuditEvent::Kind::kLost, block, level);
+    return true;
+  }
+
+  std::size_t resync_level(ClientId, std::size_t level) override {
+    std::vector<BlockId> lost;
+    const std::size_t n = client_.resync_wipe_level(level, &lost);
+    for (BlockId b : lost) {
+      dirty_.erase(b);
+      audit_emit(AuditEvent::Kind::kLost, b, level);
+    }
+    return n;
+  }
+
   const UlcClient& client() const { return client_; }
 
  private:
@@ -313,6 +335,51 @@ class UlcMultiScheme final : public MultiLevelScheme {
   std::size_t audit_stack_count() const override { return clients_.size(); }
   const UniLruStack* audit_stack(std::size_t index) const override {
     return &clients_[index]->stack();
+  }
+
+  bool supports_resync() const override { return true; }
+
+  // kLost is narrated only when a *real* copy disappears (the server held
+  // the block); dropping a client's stale level-1 claim is metadata-only —
+  // the shadow never saw that copy, so no event.
+  bool resync_drop(ClientId client, BlockId block, std::size_t level) override {
+    if (level == 0) {
+      if (!clients_[client]->resync_evict(block, 0)) return false;
+      dirty_.erase(block);
+      audit_emit(AuditEvent::Kind::kLost, block, 0, kAuditNoLevel, client);
+      return true;
+    }
+    const bool had = server_.contains(block);
+    if (had) server_.take(block);
+    bool claimed = false;
+    for (auto& cl : clients_) {
+      if (cl->resync_evict(block, 1)) claimed = true;
+    }
+    if (!had && !claimed) return false;
+    if (had) {
+      dirty_.erase(block);
+      audit_emit(AuditEvent::Kind::kLost, block, 1);
+    }
+    return true;
+  }
+
+  std::size_t resync_level(ClientId client, std::size_t level) override {
+    std::vector<BlockId> lost;
+    if (level == 0) {
+      const std::size_t n = clients_[client]->resync_wipe_level(0, &lost);
+      for (BlockId b : lost) {
+        dirty_.erase(b);
+        audit_emit(AuditEvent::Kind::kLost, b, 0, kAuditNoLevel, client);
+      }
+      return n;
+    }
+    const std::size_t n = server_.wipe(&lost);
+    for (BlockId b : lost) {
+      dirty_.erase(b);
+      audit_emit(AuditEvent::Kind::kLost, b, 1);
+    }
+    for (auto& cl : clients_) cl->resync_wipe_level(1);
+    return n;
   }
 
   const GlruServer& server() const { return server_; }

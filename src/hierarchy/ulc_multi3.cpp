@@ -119,6 +119,53 @@ class UlcMulti3Scheme final : public MultiLevelScheme {
     return &clients_[index]->stack();
   }
 
+  bool supports_resync() const override { return true; }
+
+  // Mirrors UlcMultiScheme::resync_drop, generalized to the two shared
+  // levels: kLost is narrated only when the shared cache really held the
+  // block; dropping stale per-client claims is metadata-only.
+  bool resync_drop(ClientId client, BlockId block, std::size_t level) override {
+    if (level == 0) {
+      if (!clients_[client]->resync_evict(block, 0)) return false;
+      dirty_.erase(block);
+      audit_emit(AuditEvent::Kind::kLost, block, 0, kAuditNoLevel, client);
+      return true;
+    }
+    GlruServer& shared = level == 1 ? server_ : array_;
+    const bool had = shared.contains(block);
+    if (had) shared.take(block);
+    bool claimed = false;
+    for (auto& cl : clients_) {
+      if (cl->resync_evict(block, level)) claimed = true;
+    }
+    if (!had && !claimed) return false;
+    if (had) {
+      dirty_.erase(block);
+      audit_emit(AuditEvent::Kind::kLost, block, level);
+    }
+    return true;
+  }
+
+  std::size_t resync_level(ClientId client, std::size_t level) override {
+    std::vector<BlockId> lost;
+    if (level == 0) {
+      const std::size_t n = clients_[client]->resync_wipe_level(0, &lost);
+      for (BlockId b : lost) {
+        dirty_.erase(b);
+        audit_emit(AuditEvent::Kind::kLost, b, 0, kAuditNoLevel, client);
+      }
+      return n;
+    }
+    GlruServer& shared = level == 1 ? server_ : array_;
+    const std::size_t n = shared.wipe(&lost);
+    for (BlockId b : lost) {
+      dirty_.erase(b);
+      audit_emit(AuditEvent::Kind::kLost, b, level);
+    }
+    for (auto& cl : clients_) cl->resync_wipe_level(level);
+    return n;
+  }
+
   const GlruServer& server() const { return server_; }
   const GlruServer& array() const { return array_; }
 

@@ -11,6 +11,10 @@ void EventQueue::schedule(SimTime at, Action action) {
 
 bool EventQueue::run_one() {
   if (heap_.empty()) return false;
+  ULC_REQUIRE(event_limit_ == 0 || events_fired_ < event_limit_,
+              "event-count limit exceeded: a fault/retry storm is not "
+              "converging (raise set_event_limit or fix the feedback loop)");
+  ++events_fired_;
   // priority_queue::top() is const; move the action out via const_cast on
   // the known-mutable element (standard pattern; the entry is popped
   // immediately after).
@@ -25,6 +29,13 @@ bool EventQueue::run_one() {
 std::size_t EventQueue::run(std::size_t limit) {
   std::size_t fired = 0;
   while (fired < limit && run_one()) ++fired;
+  return fired;
+}
+
+std::size_t EventQueue::run_until(SimTime t) {
+  std::size_t fired = 0;
+  while (!heap_.empty() && heap_.top().at <= t && run_one()) ++fired;
+  if (now_ < t) now_ = t;
   return fired;
 }
 

@@ -25,6 +25,16 @@ class EventQueue {
   bool run_one();
   // Runs until the queue drains or `limit` events have fired.
   std::size_t run(std::size_t limit = static_cast<std::size_t>(-1));
+  // Fires every event with at <= t, then advances now() to at least t even
+  // if the queue drained earlier. Returns the number of events fired.
+  std::size_t run_until(SimTime t);
+
+  // Aborts with a diagnostic once `limit` events have fired in total over
+  // the queue's lifetime (0 = unlimited, the default). A retry storm that
+  // keeps rescheduling itself then terminates with a message instead of
+  // spinning forever.
+  void set_event_limit(std::uint64_t limit) { event_limit_ = limit; }
+  std::uint64_t events_fired() const { return events_fired_; }
 
   SimTime now() const { return now_; }
   bool empty() const { return heap_.empty(); }
@@ -46,6 +56,8 @@ class EventQueue {
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t event_limit_ = 0;
+  std::uint64_t events_fired_ = 0;
 };
 
 }  // namespace ulc

@@ -1,0 +1,67 @@
+// Faulted protocol simulation: the legacy message-level simulator
+// (proto/protocol_sim.h) replayed under a FaultPlan, with the client-side
+// recovery protocol (proto/reliable.h) handling what the plan breaks.
+//
+// The simulator drives the *real* hierarchy schemes (hierarchy/hierarchy.h,
+// optionally wrapped in the CheckedHierarchy auditor) instead of the legacy
+// decision adapters, reads each access's narrated audit events to learn
+// which protocol messages the scheme intends, and plays those messages over
+// FaultyLinks. Alongside the scheme's directory it tracks what each level
+// *actually* holds (copies arrive only when their transfer survives, crash
+// wipes erase them), so a lost demote or a level restart makes the
+// directory provably stale — and the recovery protocol (timeouts, bounded
+// retries, circuit breaker + degraded mode, directory resync) has to earn
+// every hit the run reports.
+//
+// With a fault-free plan the reliability layer disarms completely and the
+// run reproduces run_protocol_sim byte for byte (tested): same traffic in
+// the same order, same arithmetic, zero PRNG draws.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "proto/faults.h"
+#include "proto/protocol_sim.h"
+#include "proto/reliable.h"
+
+namespace ulc {
+
+struct FaultSimConfig {
+  ProtocolConfig protocol;
+  FaultSpec faults;                  // message-level fates (seeded)
+  std::vector<CrashEvent> crashes;   // level restarts
+  RetryPolicy retry;
+  // Wrap the scheme in the CheckedHierarchy auditor (invariant checking on
+  // every access and resync).
+  bool checked = true;
+  bool abort_on_violation = false;   // auditor aborts instead of throwing
+  std::string context;               // replay context for violation reports
+};
+
+// Recovery phase a reference starts in: kNormal until the first breaker
+// trips, kDegraded while any breaker is open, kRecovered after every
+// breaker has closed again.
+enum class FaultPhase : std::size_t { kNormal = 0, kDegraded = 1, kRecovered = 2 };
+inline constexpr std::size_t kFaultPhases = 3;
+const char* fault_phase_name(FaultPhase phase);
+
+struct FaultedProtocolResult {
+  ProtocolResult base;
+  ReliabilityStats reliability;  // whole-run totals (not reset at warmup)
+  // Response time split by the phase each reference started in (reset at
+  // warmup like base.response_ms).
+  std::array<OnlineStats, kFaultPhases> phase_response_ms;
+  std::array<std::uint64_t, kFaultPhases> phase_references{};
+  SimTime measure_start_ms = 0.0;
+  SimTime end_ms = 0.0;  // final simulated time (for placing crashes)
+};
+
+// Runs `trace` (single-client) through the faulted simulator.
+FaultedProtocolResult run_faulted_protocol_sim(ProtocolScheme scheme,
+                                               const FaultSimConfig& config,
+                                               const Trace& trace);
+
+}  // namespace ulc

@@ -1,0 +1,90 @@
+#include "proto/faults.h"
+
+#include <algorithm>
+
+#include "util/ensure.h"
+
+namespace ulc {
+
+FaultPlan::FaultPlan(const FaultSpec& spec, std::vector<CrashEvent> crashes)
+    : spec_(spec), crashes_(std::move(crashes)), rng_(spec.seed) {
+  ULC_REQUIRE(spec.loss >= 0.0 && spec.loss <= 1.0 && spec.duplicate >= 0.0 &&
+                  spec.duplicate <= 1.0 && spec.delay >= 0.0 && spec.delay <= 1.0,
+              "fault probabilities must lie in [0, 1]");
+  ULC_REQUIRE(spec.delay_ms >= 0.0, "fault extra delay must be non-negative");
+  std::size_t max_level = 0;
+  for (const CrashEvent& c : crashes_) {
+    ULC_REQUIRE(c.level > 0, "level 0 is the client itself; it cannot crash");
+    ULC_REQUIRE(c.at_ms >= 0.0 && c.outage_ms >= 0.0,
+                "crash times and outages must be non-negative");
+    max_level = std::max(max_level, c.level);
+  }
+  times_by_level_.resize(max_level + 1);
+  for (const CrashEvent& c : crashes_) times_by_level_[c.level].push_back(c.at_ms);
+  for (std::vector<SimTime>& times : times_by_level_)
+    std::sort(times.begin(), times.end());
+}
+
+MessageFate FaultPlan::next_fate() {
+  MessageFate fate;
+  if (!message_faults()) return fate;
+  // Three draws per message regardless of which probabilities are zero, so
+  // the fate stream for a given seed is stable across spec tweaks within a
+  // sweep cell. Fates are applied with priority drop > duplicate > delay.
+  const bool drop = rng_.next_bool(spec_.loss);
+  const bool dup = rng_.next_bool(spec_.duplicate);
+  const bool delay = rng_.next_bool(spec_.delay);
+  if (drop) {
+    fate.dropped = true;
+  } else if (dup) {
+    fate.duplicated = true;
+  } else if (delay) {
+    fate.extra_delay_ms = spec_.delay_ms * rng_.next_double();
+  }
+  return fate;
+}
+
+std::uint64_t FaultPlan::epoch_at(std::size_t level, SimTime t) const {
+  if (level >= times_by_level_.size()) return 0;
+  const std::vector<SimTime>& times = times_by_level_[level];
+  return static_cast<std::uint64_t>(
+      std::upper_bound(times.begin(), times.end(), t) - times.begin());
+}
+
+bool FaultPlan::down_at(std::size_t level, SimTime t) const {
+  for (const CrashEvent& c : crashes_) {
+    if (c.level == level && t >= c.at_ms && t < c.at_ms + c.outage_ms) return true;
+  }
+  return false;
+}
+
+const std::vector<SimTime>& FaultPlan::crash_times(std::size_t level) const {
+  if (level >= times_by_level_.size()) return no_times_;
+  return times_by_level_[level];
+}
+
+FaultyLink::Delivery FaultyLink::transfer(int direction, std::size_t bytes,
+                                          SimTime when) {
+  // FIFO clamp: see SimLink::last_send() for the proof this is exact.
+  const SimTime issue = std::max(when, link_.last_send(direction));
+  Delivery d;
+  d.at = link_.deliver_at(direction, bytes, issue);
+  if (!plan_->message_faults()) return d;
+  const MessageFate fate = plan_->next_fate();
+  if (fate.dropped) {
+    d.arrived = false;
+    ++stats_->messages_lost;
+  } else if (fate.duplicated) {
+    // The second copy occupies the wire too; the receiver's SequenceWindow
+    // suppresses it, so only the first arrival matters for timing.
+    link_.deliver_at(direction, bytes, link_.last_send(direction));
+    ++stats_->messages_duplicated;
+    ++stats_->duplicates_ignored;
+  } else if (fate.extra_delay_ms > 0.0) {
+    d.at += fate.extra_delay_ms;
+    ++stats_->messages_delayed;
+  }
+  return d;
+}
+
+}  // namespace ulc

@@ -1,0 +1,121 @@
+// Deterministic fault injection for the message-level protocol simulator.
+//
+// A FaultPlan, driven by the repo's seeded PRNG, decides the fate of every
+// message crossing a SimLink — lost, duplicated, or delivered with extra
+// delay — and carries a schedule of level-crash events (a cache level
+// restarts empty at time T and is unreachable for an outage window). The
+// whole plan is replayable from its seed: the same (spec, crashes, seed)
+// produce bit-identical fault schedules, and a fault-free plan makes *zero*
+// PRNG draws so it perturbs nothing.
+//
+// Reordering note: SimLink is store-and-forward FIFO per direction, so two
+// frames on one link physically cannot swap. Reordering is therefore modeled
+// as randomized *extra delay* applied after the link: with sequence-numbered
+// idempotent receivers (proto/reliable.h) a delayed duplicate is
+// indistinguishable from an out-of-order arrival, which is exactly the
+// hazard the recovery protocol must absorb.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "proto/link.h"
+#include "proto/reliable.h"
+#include "util/prng.h"
+
+namespace ulc {
+
+// Message-level fault probabilities. All default to "no faults".
+struct FaultSpec {
+  double loss = 0.0;        // P(message silently dropped)
+  double duplicate = 0.0;   // P(message delivered twice)
+  double delay = 0.0;       // P(message held back by extra_delay_ms)
+  SimTime delay_ms = 0.0;   // extra delay applied to a delayed message
+  std::uint64_t seed = 1;   // PRNG seed for the fate stream
+
+  bool any() const { return loss > 0.0 || duplicate > 0.0 || delay > 0.0; }
+};
+
+// A level restarts empty at `at_ms` and rejects all traffic until
+// `at_ms + outage_ms` (crash-recovery with the fabric still up: the machine
+// reboots with a cold cache; the client must detect the wipe and resync).
+struct CrashEvent {
+  std::size_t level = 1;    // which cache level (0 is the client itself)
+  SimTime at_ms = 0.0;
+  SimTime outage_ms = 0.0;
+};
+
+// The fate drawn for one message.
+struct MessageFate {
+  bool dropped = false;
+  bool duplicated = false;
+  SimTime extra_delay_ms = 0.0;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  FaultPlan(const FaultSpec& spec, std::vector<CrashEvent> crashes);
+
+  // True when the plan can affect nothing at all: no message faults and no
+  // crashes. The reliability layer disarms entirely for such plans so a
+  // fault-free faulted run reproduces the legacy simulator byte for byte.
+  bool fault_free() const { return !spec_.any() && crashes_.empty(); }
+  bool message_faults() const { return spec_.any(); }
+
+  // Draws the fate of the next message. Makes no PRNG draws (and always
+  // returns the no-fault fate) when message_faults() is false. Fates are
+  // mutually exclusive by priority: dropped, else duplicated, else delayed.
+  MessageFate next_fate();
+
+  // One uniform draw in [0, 1) for timeout jitter, from the same seeded
+  // stream (sequential simulator, so the draw order is deterministic).
+  double jitter01() { return rng_.next_double(); }
+
+  // Crash schedule queries. epoch_at counts the crashes of `level` with
+  // at_ms <= t — the client tracks the last epoch it synchronized with and
+  // treats any advance as "the level restarted empty". down_at is true
+  // inside an outage window (the level answers nothing).
+  std::uint64_t epoch_at(std::size_t level, SimTime t) const;
+  bool down_at(std::size_t level, SimTime t) const;
+  // Crash times of `level`, ascending (for lazy wipe of simulated contents).
+  const std::vector<SimTime>& crash_times(std::size_t level) const;
+  const std::vector<CrashEvent>& crashes() const { return crashes_; }
+
+ private:
+  FaultSpec spec_;
+  std::vector<CrashEvent> crashes_;
+  std::vector<std::vector<SimTime>> times_by_level_;
+  std::vector<SimTime> no_times_;
+  Rng rng_{1};
+};
+
+// A SimLink with a FaultPlan in front of its receiver. Traffic is charged
+// to the link unconditionally (a dropped frame still occupied the wire);
+// faults act on *delivery*: drops vanish after transmission, duplicates
+// charge the link a second time, delays push the arrival out. The issue
+// time is clamped up to last_send(direction) so interleaved traffic sources
+// (retries, probes, demotions) can never violate the link's FIFO
+// precondition — see SimLink::last_send() for why the clamp is exact.
+class FaultyLink {
+ public:
+  FaultyLink(const LinkConfig& config, FaultPlan& plan, ReliabilityStats& stats)
+      : link_(config), plan_(&plan), stats_(&stats) {}
+
+  struct Delivery {
+    bool arrived = true;
+    SimTime at = 0.0;  // arrival time (meaningful even when dropped: the
+                       // time the frame *would* have arrived)
+  };
+
+  Delivery transfer(int direction, std::size_t bytes, SimTime when);
+
+  const SimLink& raw() const { return link_; }
+
+ private:
+  SimLink link_;
+  FaultPlan* plan_;
+  ReliabilityStats* stats_;
+};
+
+}  // namespace ulc

@@ -39,6 +39,16 @@ class SimLink {
   SimTime busy_ms(int direction) const { return busy_total_[direction]; }
   std::uint64_t messages(int direction) const { return messages_[direction]; }
 
+  // Issue time of the most recent send in `direction`. The FIFO precondition
+  // of deliver_at() (non-decreasing `when` per direction — enforced with
+  // ULC_REQUIRE in enqueue()) means callers that interleave traffic sources
+  // (retries, probes, demotions) must clamp their issue time up to this.
+  // The clamp is provably harmless: busy_until_ >= last_send_ always holds
+  // (each send sets busy_until_ = max(when, busy_until_) + tx), so raising
+  // `when` to last_send_ never changes max(when, busy_until_) and therefore
+  // never changes any arrival time.
+  SimTime last_send(int direction) const { return last_send_[direction]; }
+
  private:
   EventQueue* queue_ = nullptr;
   LinkConfig config_;

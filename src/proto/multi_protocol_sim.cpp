@@ -62,6 +62,10 @@ MultiProtocolResult run_multi_protocol_sim(MultiLevelScheme& scheme,
   ULC_REQUIRE(config.refs_per_client > 0, "need references to simulate");
 
   EventQueue q;
+  // Each reference schedules a handful of events (completion + think-time
+  // re-issue); anything past this bound means a feedback loop is
+  // rescheduling itself and the run would spin forever.
+  q.set_event_limit(config.refs_per_client * n_clients * 64 + 1024);
   SimLink lan(config.shared_lan);
   SimTime disk_busy_until = 0.0;
   SimTime disk_busy_total = 0.0;

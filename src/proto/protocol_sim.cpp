@@ -241,18 +241,22 @@ ProtocolResult run_protocol_sim(ProtocolScheme scheme, const ProtocolConfig& con
   }
   result.disk_utilization = (disk_busy_total - disk_busy_at_start) / elapsed;
 
-  // Analytic §4.1 prediction with per-hop cost = latency + one block
-  // transmission, for the same event counts.
+  result.analytic_t_ave_ms = protocol_analytic_t_ave(config, result.stats);
+  return result;
+}
+
+double protocol_analytic_t_ave(const ProtocolConfig& config,
+                               const HierarchyStats& stats) {
+  // Per-hop cost = latency + one block transmission, for the given counts.
   CostModel model;
-  for (const SimLink& link : links) {
+  for (const LinkConfig& lc : config.links) {
     // Reconstruct the per-hop block cost from the link itself.
-    model.link_ms.push_back(link.transmission_ms(kBlockBytes) + 0.0);
+    model.link_ms.push_back(SimLink(lc).transmission_ms(kBlockBytes) + 0.0);
   }
   for (std::size_t l = 0; l < config.links.size(); ++l)
     model.link_ms[l] += config.links[l].latency_ms;
   model.link_ms.push_back(config.disk_service_ms);
-  result.analytic_t_ave_ms = compute_access_time(result.stats, model).total();
-  return result;
+  return compute_access_time(stats, model).total();
 }
 
 }  // namespace ulc

@@ -64,4 +64,10 @@ struct ProtocolResult {
 ProtocolResult run_protocol_sim(ProtocolScheme scheme, const ProtocolConfig& config,
                                 const Trace& trace);
 
+// The §4.1 analytic prediction for the given event counts under `config`:
+// per-hop cost = link latency + one block transmission, disk behind the
+// last level. Shared by the fault-free and faulted simulators.
+double protocol_analytic_t_ave(const ProtocolConfig& config,
+                               const HierarchyStats& stats);
+
 }  // namespace ulc

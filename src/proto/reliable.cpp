@@ -1,0 +1,35 @@
+#include "proto/reliable.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/ensure.h"
+
+namespace ulc {
+
+SimTime retry_timeout(const RetryPolicy& policy, SimTime base_rtt_ms,
+                      std::size_t attempt, double jitter01) {
+  ULC_REQUIRE(base_rtt_ms > 0.0, "retry timeout needs a positive base RTT");
+  ULC_REQUIRE(jitter01 >= 0.0 && jitter01 < 1.0,
+              "timeout jitter draw must lie in [0, 1)");
+  double timeout = policy.rtt_multiplier * base_rtt_ms *
+                   std::pow(policy.backoff, static_cast<double>(attempt));
+  timeout = std::min(timeout, policy.max_timeout_ms);
+  return timeout * (1.0 + policy.jitter * jitter01);
+}
+
+bool SequenceWindow::accept(std::uint64_t seq) {
+  if (seq < next_ || ahead_.count(seq) != 0) {
+    ++duplicates_;
+    return false;
+  }
+  if (seq == next_) {
+    ++next_;
+    while (ahead_.erase(next_) != 0) ++next_;
+  } else {
+    ahead_.insert(seq);
+  }
+  return true;
+}
+
+}  // namespace ulc

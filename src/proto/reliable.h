@@ -1,0 +1,106 @@
+// Client-side reliability layer for the ULC wire protocol: sequence-numbered
+// idempotent messages, per-message timeouts with bounded exponential-backoff
+// retries, and a per-level retry-budget circuit breaker that switches the
+// client into *degraded mode* (bypass the dead level, probe periodically for
+// recovery). docs/PROTOCOL.md §"Failure semantics & recovery" documents the
+// state machine and the constants.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+namespace ulc {
+
+using SimTime = double;  // mirrors proto/event_queue.h (kept header-light)
+
+// Retry/backoff/probing constants. The initial timeout is a multiple of the
+// zero-load round-trip time to the target (per-target, so a deep level gets
+// a proportionally longer budget), doubled per attempt, capped, and jittered
+// to avoid synchronized retry bursts.
+struct RetryPolicy {
+  double rtt_multiplier = 4.0;   // initial timeout = multiplier * zero-load RTT
+  double backoff = 2.0;          // timeout multiplier per retry
+  double jitter = 0.25;          // timeout *= 1 + jitter * U[0,1)
+  std::size_t max_attempts = 4;  // total tries before the budget is exhausted
+  SimTime max_timeout_ms = 1000.0;
+  SimTime probe_interval_ms = 50.0;  // degraded-mode recovery probe period
+};
+
+// Timeout for `attempt` (0-based) of a message whose zero-load round trip is
+// `base_rtt_ms`, with `jitter01` drawn from the run's seeded PRNG.
+SimTime retry_timeout(const RetryPolicy& policy, SimTime base_rtt_ms,
+                      std::size_t attempt, double jitter01);
+
+// Receiver-side duplicate suppression: each message carries a monotonically
+// increasing sequence number; a receiver accepts each number once. Memory
+// stays bounded by the reorder window (numbers ahead of the contiguous
+// frontier are remembered only until the frontier passes them).
+class SequenceWindow {
+ public:
+  // True when `seq` is fresh (first delivery); false for a duplicate.
+  bool accept(std::uint64_t seq);
+  std::uint64_t duplicates_ignored() const { return duplicates_; }
+
+ private:
+  std::uint64_t next_ = 0;  // every seq < next_ has been accepted
+  std::unordered_set<std::uint64_t> ahead_;
+  std::uint64_t duplicates_ = 0;
+};
+
+// Per-level circuit breaker. Trips when a message to the level exhausts its
+// retry budget; while open, the client bypasses the level (degraded mode)
+// and sends a recovery probe every probe_interval_ms. A successful probe
+// closes the breaker.
+class LevelBreaker {
+ public:
+  bool open() const { return open_; }
+  bool ever_tripped() const { return ever_tripped_; }
+
+  void trip(SimTime now) {
+    open_ = true;
+    ever_tripped_ = true;
+    next_probe_ = now;  // first probe may go immediately
+  }
+  void close() { open_ = false; }
+
+  bool probe_due(SimTime now) const { return open_ && now >= next_probe_; }
+  void probe_sent(SimTime now, SimTime interval) { next_probe_ = now + interval; }
+
+ private:
+  bool open_ = false;
+  bool ever_tripped_ = false;
+  SimTime next_probe_ = 0.0;
+};
+
+// Whole-run reliability accounting (not reset at warmup: fault handling is a
+// property of the full run, unlike the steady-state performance counters).
+struct ReliabilityStats {
+  // Wire-level fates applied by the FaultPlan.
+  std::uint64_t messages_lost = 0;
+  std::uint64_t messages_duplicated = 0;
+  std::uint64_t messages_delayed = 0;
+  // Client-side recovery machinery.
+  std::uint64_t timeouts = 0;       // attempts that missed their deadline
+  std::uint64_t retries = 0;        // re-sends after a timeout
+  std::uint64_t late_replies = 0;   // replies that arrived past the deadline
+  std::uint64_t duplicates_ignored = 0;  // suppressed by SequenceWindows
+  std::uint64_t nacks = 0;          // level answered "I don't have it"
+  std::uint64_t breaker_trips = 0;  // retry budget exhausted -> degraded mode
+  std::uint64_t probes = 0;         // degraded-mode recovery probes sent
+  std::uint64_t recoveries = 0;     // breakers closed by a successful probe
+  // Directory repair.
+  std::uint64_t resync_drops = 0;          // single stale entries dropped
+  std::uint64_t resync_level_purges = 0;   // whole-level purges after a crash
+  std::uint64_t resync_purged_entries = 0; // entries dropped by those purges
+  std::uint64_t stale_copies_reclaimed = 0;  // level copies the directory no
+                                             // longer tracked, reclaimed by
+                                             // the resync inventory exchange
+  // Data-path consequences.
+  std::uint64_t bypassed_reads = 0;  // reads routed around an open breaker
+  std::uint64_t stale_reads = 0;     // directory claimed a copy that was gone
+  std::uint64_t failed_reads = 0;    // even the disk path exhausted its budget
+  std::uint64_t demote_drops = 0;    // demotions whose data never arrived
+  std::uint64_t dead_placements = 0;  // placements directed at a down level
+};
+
+}  // namespace ulc

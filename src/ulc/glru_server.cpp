@@ -60,6 +60,16 @@ std::size_t GlruServer::owned_by(ClientId client) const {
   return n;
 }
 
+std::size_t GlruServer::wipe(std::vector<BlockId>* dropped) {
+  const std::size_t n = lru_.size();
+  if (dropped != nullptr) {
+    for (const Entry& e : lru_) dropped->push_back(e.block);
+  }
+  lru_.clear();
+  index_.clear();
+  return n;
+}
+
 bool GlruServer::check_consistency() const {
   if (index_.size() != lru_.size()) return false;
   if (lru_.size() > capacity_) return false;

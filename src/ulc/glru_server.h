@@ -54,6 +54,11 @@ class GlruServer {
   // Number of blocks currently owned by `client`.
   std::size_t owned_by(ClientId client) const;
 
+  // Fault recovery: the server restarted empty. Drops everything, appending
+  // the dropped blocks (most- to least-recently directed) to `dropped` if
+  // given. Returns the number of blocks dropped.
+  std::size_t wipe(std::vector<BlockId>* dropped = nullptr);
+
   bool check_consistency() const;
 
  private:

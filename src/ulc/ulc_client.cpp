@@ -169,6 +169,34 @@ void UlcClient::external_evict(BlockId block) {
   stack_.prune();
 }
 
+bool UlcClient::resync_evict(BlockId block, std::size_t level) {
+  UniLruStack::Node* n = stack_.find(block);
+  if (n == nullptr || n->level != level || level == kLevelOut) return false;
+  ++stats_.resync_drops;
+  stack_.yardstick_departure(n);
+  stack_.set_level(n, kLevelOut);
+  stack_.prune();
+  return true;
+}
+
+std::size_t UlcClient::resync_wipe_level(std::size_t level,
+                                         std::vector<BlockId>* dropped) {
+  ULC_REQUIRE(level != kLevelOut && level < capacities_.size(),
+              "resync wipe needs a real cache level");
+  std::vector<UniLruStack::Node*> victims;
+  for (UniLruStack::Node* n = stack_.head(); n != nullptr; n = n->next) {
+    if (n->level == level) victims.push_back(n);
+  }
+  for (UniLruStack::Node* n : victims) {
+    if (dropped != nullptr) dropped->push_back(n->block);
+    stack_.yardstick_departure(n);
+    stack_.set_level(n, kLevelOut);
+  }
+  stack_.prune();
+  stats_.resync_drops += victims.size();
+  return victims.size();
+}
+
 void UlcClient::external_demote(BlockId block) {
   UniLruStack::Node* n = stack_.find(block);
   ULC_REQUIRE(n != nullptr && n->level != kLevelOut && is_elastic(n->level),

@@ -72,6 +72,8 @@ struct UlcStats {
   std::vector<std::uint64_t> demotions;       // [i] = Demote(i -> i+1) count
   std::uint64_t evictions = 0;                // demotes out of the last level
   std::uint64_t external_evictions = 0;       // server-initiated (multi-client)
+  std::uint64_t resync_drops = 0;             // directory entries dropped by
+                                              // fault-recovery resync
   std::uint64_t references = 0;
 };
 
@@ -93,6 +95,21 @@ class UlcClient {
   // auto-placed there (they become L_out as per the paper's full-caches rule).
   void set_elastic_full(bool full);
   void set_elastic_full(std::size_t level, bool full);
+
+  // ---- Fault-recovery directory repair (proto/reliable.h) ----
+  //
+  // Unlike external_evict these accept any level (elastic or fixed): they
+  // reconcile the directory with a reply that proved a copy is *gone*
+  // (level crash, lost demote data), which can happen to any level.
+
+  // Drops the directory entry claiming `block` is cached at `level`.
+  // Returns false (and changes nothing) when no such claim exists.
+  bool resync_evict(BlockId block, std::size_t level);
+  // A level restarted empty: drops every directory entry at `level`,
+  // appending the dropped blocks to `dropped` (if given). Returns the
+  // number of entries dropped.
+  std::size_t resync_wipe_level(std::size_t level,
+                                std::vector<BlockId>* dropped = nullptr);
 
   const UlcStats& stats() const { return stats_; }
   const UniLruStack& stack() const { return stack_; }

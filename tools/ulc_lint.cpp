@@ -19,6 +19,11 @@
 //   pragma-once          header file without #pragma once
 //   using-namespace      `using namespace` in a header
 //   float-eq             ==/!= against a floating-point literal
+//   unbounded-retry      an infinite loop (`while (true)` / `for (;;)`) whose
+//                        body issues protocol sends (send/deliver_at/transfer)
+//                        with no attempts counter in sight — retries must be
+//                        bounded (proto/reliable.h) so a dead level cannot
+//                        spin the simulator forever
 //
 // Exit status: 0 clean, 1 findings, 2 usage/IO error.
 #include <algorithm>
@@ -304,6 +309,44 @@ class Linter {
         report(n + 1, "float-eq",
                "exact comparison against a floating-point literal; compare "
                "with a tolerance or justify with an allow marker");
+    }
+
+    // unbounded-retry -----------------------------------------------------
+    static const std::regex kInfLoop(
+        "while\\s*\\(\\s*(?:true|1)\\s*\\)|for\\s*\\(\\s*;\\s*;\\s*\\)");
+    static const std::regex kSendCall("\\b(?:send|deliver_at|transfer)\\s*\\(");
+    static const std::regex kAttemptsBound("attempt|retr(?:y|ies)|tries");
+    for (auto it = std::sregex_iterator(stripped.begin(), stripped.end(), kInfLoop);
+         it != std::sregex_iterator(); ++it) {
+      const std::size_t at = static_cast<std::size_t>(it->position());
+      // Loop body: the balanced brace block after the header, or the single
+      // statement up to `;` when unbraced.
+      std::size_t i = at + static_cast<std::size_t>(it->length());
+      while (i < stripped.size() &&
+             std::isspace(static_cast<unsigned char>(stripped[i])) != 0)
+        ++i;
+      std::size_t body_start = i;
+      std::size_t body_end = i;
+      if (i < stripped.size() && stripped[i] == '{') {
+        body_start = ++i;
+        int depth = 1;
+        while (i < stripped.size() && depth > 0) {
+          if (stripped[i] == '{') ++depth;
+          if (stripped[i] == '}') --depth;
+          ++i;
+        }
+        body_end = i;
+      } else {
+        while (i < stripped.size() && stripped[i] != ';') ++i;
+        body_end = i;
+      }
+      const std::string body = stripped.substr(body_start, body_end - body_start);
+      if (std::regex_search(body, kSendCall) &&
+          !std::regex_search(body, kAttemptsBound))
+        report(line_of(stripped, at), "unbounded-retry",
+               "infinite loop around a protocol send with no attempts bound; "
+               "retries must be counted against RetryPolicy::max_attempts "
+               "(proto/reliable.h)");
     }
   }
 
