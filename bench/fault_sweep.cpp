@@ -42,9 +42,13 @@ Json row_json(const FaultedProtocolResult& r, ProtocolScheme scheme,
     jr.set("crash_outage_ms", cfg.crashes.front().outage_ms);
   }
   jr.set("measured_ms", r.base.response_ms.mean());
+  // Full distribution of the same samples: count/mean/min/max/p50/p95/p99
+  // (null fields when the measured window is empty).
+  jr.set("response_ms", r.base.response_hist.to_json());
   jr.set("analytic_ms", r.base.analytic_t_ave_ms);
   jr.set("hit_ratio", r.base.stats.total_hit_ratio());
   jr.set("miss_ratio", r.base.stats.miss_ratio());
+  jr.set("counters", counters_to_json(r.base.stats));
   const ReliabilityStats& rs = r.reliability;
   jr.set("messages_lost", rs.messages_lost);
   jr.set("timeouts", rs.timeouts);
@@ -66,8 +70,13 @@ Json row_json(const FaultedProtocolResult& r, ProtocolScheme scheme,
     Json jp = Json::object();
     jp.set("phase", fault_phase_name(static_cast<FaultPhase>(p)));
     jp.set("references", r.phase_references[p]);
-    jp.set("mean_response_ms",
-           r.phase_references[p] > 0 ? r.phase_response_ms[p].mean() : 0.0);
+    // null, not 0.0, when the phase saw no references — a crash-free run's
+    // degraded phase has no mean response time, and 0.0 would poison
+    // cross-run aggregation (the empty-Welford bug).
+    jp.set("mean_response_ms", r.phase_references[p] > 0
+                                   ? Json(r.phase_response_ms[p].mean())
+                                   : Json(nullptr));
+    jp.set("response_ms", r.phase_hist[p].to_json());
     phases.push(std::move(jp));
   }
   jr.set("phases", std::move(phases));

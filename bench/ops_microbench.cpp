@@ -8,6 +8,8 @@
 #include <benchmark/benchmark.h>
 
 #include "hierarchy/hierarchy.h"
+#include "hierarchy/runner.h"
+#include "obs/metrics.h"
 #include "order/order_statistic_list.h"
 #include "order/segmented_list.h"
 #include "replacement/cache_policy.h"
@@ -91,6 +93,41 @@ void BM_OrderStatisticMove(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_OrderStatisticMove)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+// The observability gate: run_scheme with observation disabled must cost the
+// same as it did before src/obs existed (the only addition is one null-check
+// per run, not per reference). Compare obs_off with obs_on to see the actual
+// instrumentation cost, and obs_off across commits to confirm the disabled
+// path stays free.
+void BM_RunScheme(benchmark::State& state, bool observed) {
+  const auto blocks = static_cast<std::uint64_t>(state.range(0));
+  const Trace t = bench_trace(blocks, 50000);
+  const CostModel model = CostModel::paper_three_level();
+  for (auto _ : state) {
+    auto scheme = make_ulc({blocks / 8, blocks / 4, blocks / 2});
+    RunObservation obs;
+    obs::MetricsRegistry metrics;
+    if (observed) obs.metrics = &metrics;
+    const RunResult r = run_scheme(*scheme, t, model, 0.1, obs);
+    benchmark::DoNotOptimize(r.t_ave_ms);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * t.size()));
+}
+BENCHMARK_CAPTURE(BM_RunScheme, obs_off, false)->Arg(1 << 12);
+BENCHMARK_CAPTURE(BM_RunScheme, obs_on, true)->Arg(1 << 12);
+
+// Raw cost of one histogram sample (bucket index + Welford update).
+void BM_HistogramRecord(benchmark::State& state) {
+  obs::LatencyHistogram hist;
+  Rng rng(7);
+  for (auto _ : state) {
+    hist.record(static_cast<double>(rng.next_below(1 << 20)) * 0.001);
+    benchmark::DoNotOptimize(hist.count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HistogramRecord);
 
 void BM_MultiClientUlcAccess(benchmark::State& state) {
   const auto blocks = static_cast<std::uint64_t>(state.range(0));

@@ -60,6 +60,8 @@ int main(int argc, char** argv) {
       jr.set("trace", traces[i / 3]);
       jr.set("scheme", protocol_scheme_name(schemes[i % 3]));
       jr.set("measured_ms", r.response_ms.mean());
+      jr.set("response_ms", r.response_hist.to_json());
+      jr.set("counters", counters_to_json(r.stats));
       jr.set("analytic_ms", r.analytic_t_ave_ms);
       jr.set("down_link_utilization", r.link_down_utilization[0]);
       json_rows.push(std::move(jr));
@@ -97,6 +99,8 @@ int main(int argc, char** argv) {
         jr.set("scheme", protocol_scheme_name(schemes[k]));
         jr.set("lan_mb_per_s", speeds[s]);
         jr.set("measured_ms", r.response_ms.mean());
+        jr.set("response_ms", r.response_hist.to_json());
+        jr.set("counters", counters_to_json(r.stats));
         jr.set("analytic_ms", r.analytic_t_ave_ms);
         json_rows.push(std::move(jr));
       }
@@ -148,6 +152,8 @@ int main(int argc, char** argv) {
       jr.set("section", 3);
       jr.set("scheme", r.scheme);
       jr.set("measured_ms", r.response_ms.mean());
+      jr.set("response_ms", r.response_hist.to_json());
+      jr.set("counters", counters_to_json(r.stats));
       jr.set("analytic_ms", r.analytic_t_ave_ms);
       jr.set("lan_down_utilization", r.lan_down_utilization);
       jr.set("lan_up_utilization", r.lan_up_utilization);

@@ -1,11 +1,11 @@
 #include "exp/experiment.h"
 
 #include <algorithm>
-#include <chrono>
 #include <exception>
 #include <thread>
 
 #include "util/ensure.h"
+#include "util/wallclock.h"
 #include "workloads/paper_presets.h"
 
 namespace ulc::exp {
@@ -79,13 +79,20 @@ std::vector<CellResult> run_matrix(const std::vector<ExperimentSpec>& specs,
     ULC_REQUIRE(static_cast<bool>(spec.factory), "ExperimentSpec needs a factory");
     const Trace& trace =
         spec.trace_override ? *spec.trace_override : cache.get(spec.trace);
-    const auto start = std::chrono::steady_clock::now();
+    const WallTimer timer;
     SchemePtr scheme = spec.factory(trace);
     CellResult& cell = results[i];
-    cell.run = run_scheme(*scheme, trace, spec.model, spec.warmup_fraction);
-    const std::chrono::duration<double> elapsed =
-        std::chrono::steady_clock::now() - start;
-    cell.wall_seconds = elapsed.count();
+    RunObservation observe;
+    if (options.observe && obs::enabled()) {
+      // Each cell owns its registry (no sharing across workers); results are
+      // returned in spec order, so any downstream merge happens in a fixed
+      // order no matter how cells were scheduled.
+      cell.metrics = std::make_shared<obs::MetricsRegistry>();
+      observe.metrics = cell.metrics.get();
+    }
+    cell.run =
+        run_scheme(*scheme, trace, spec.model, spec.warmup_fraction, observe);
+    cell.wall_seconds = timer.elapsed_seconds();
     cell.refs_per_sec = cell.wall_seconds > 0.0
                             ? static_cast<double>(trace.size()) / cell.wall_seconds
                             : 0.0;
@@ -118,6 +125,14 @@ Json cell_to_json(const CellResult& cell) {
   for (std::size_t b = 0; b + 1 < r.stats.reloads.size(); ++b)
     reloads.push(n > 0 ? static_cast<double>(r.stats.reloads[b]) / n : 0.0);
   out.set("reload_ratios", std::move(reloads));
+
+  out.set("counters", counters_to_json(r.stats));
+  if (cell.metrics) {
+    const obs::LatencyHistogram* hist = cell.metrics->find_histogram("response_ms");
+    out.set("response_ms", hist ? hist->to_json() : Json(nullptr));
+  } else {
+    out.set("response_ms", nullptr);
+  }
 
   out.set("t_ave_ms", r.t_ave_ms);
   Json time = Json::object();

@@ -90,6 +90,10 @@ struct CellResult {
   double wall_seconds = 0.0;
   double refs_per_sec = 0.0;
   std::map<std::string, double> params;
+  // Per-cell observability (response_ms histogram + named counters); null
+  // when the matrix ran with observe=false or obs was compiled out. Owned by
+  // the cell, deterministic: keyed to the cost model, never the wall clock.
+  std::shared_ptr<obs::MetricsRegistry> metrics;
 };
 
 struct MatrixOptions {
@@ -97,6 +101,9 @@ struct MatrixOptions {
   // Optional externally-owned cache, shared across several run_matrix calls
   // (and with any extra serial work the harness does on the same traces).
   TraceCache* cache = nullptr;
+  // Collect per-cell response-time histograms and counters (cheap: a few
+  // vector compares per reference). observe=false restores the bare runner.
+  bool observe = true;
 };
 
 // Executes every cell, using `options.threads` workers, and returns results
@@ -119,6 +126,10 @@ void parallel_for(std::size_t n, std::size_t threads,
 //   miss_ratio
 //   demotion_ratios[]        per-boundary demotions per reference
 //   reload_ratios[]          per-boundary disk reloads per reference
+//   counters{}               raw per-level counters (counters_to_json)
+//   response_ms{}            per-reference critical-path latency histogram
+//                            (count/mean/min/max/p50/p95/p99; null with
+//                            observe=false, all-null fields when 0 samples)
 //   t_ave_ms + time{hit_ms, miss_ms, demotion_ms, reload_disk_ms,
 //                   writeback_disk_ms}
 //   wall_seconds, refs_per_sec   (the only nondeterministic fields)

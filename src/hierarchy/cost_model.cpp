@@ -60,6 +60,25 @@ double HierarchyStats::demotion_ratio(std::size_t boundary) const {
   return static_cast<double>(demotions[boundary]) / static_cast<double>(references);
 }
 
+Json counters_to_json(const HierarchyStats& stats) {
+  Json j = Json::object();
+  Json hits = Json::array();
+  for (auto v : stats.level_hits) hits.push(v);
+  j.set("level_hits", std::move(hits));
+  j.set("misses", stats.misses);
+  Json dem = Json::array();
+  for (auto v : stats.demotions) dem.push(v);
+  j.set("demotions", std::move(dem));
+  Json rel = Json::array();
+  for (auto v : stats.reloads) rel.push(v);
+  j.set("reloads", std::move(rel));
+  j.set("references", stats.references);
+  j.set("writebacks", stats.writebacks);
+  if (stats.eviction_notices != 0) j.set("eviction_notices", stats.eviction_notices);
+  if (stats.stale_syncs != 0) j.set("stale_syncs", stats.stale_syncs);
+  return j;
+}
+
 AccessTimeBreakdown compute_access_time(const HierarchyStats& stats,
                                         const CostModel& model) {
   ULC_REQUIRE(stats.level_hits.size() >= model.levels(),

@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "util/json.h"
+
 namespace ulc {
 
 struct CostModel {
@@ -74,5 +76,12 @@ struct AccessTimeBreakdown {
 
 AccessTimeBreakdown compute_access_time(const HierarchyStats& stats,
                                         const CostModel& model);
+
+// Raw per-level counters as JSON ({"level_hits": [...], "misses": N,
+// "demotions": [...], "reloads": [...], "references": N, "writebacks": N});
+// the protocol-only counters (eviction_notices, stale_syncs) are included
+// only when non-zero. Shared by the experiment engine cells and the fault
+// sweep rows so every bench JSON reports the same counter schema.
+Json counters_to_json(const HierarchyStats& stats);
 
 }  // namespace ulc

@@ -1,13 +1,88 @@
 #include "hierarchy/runner.h"
 
+#include <string>
+
 #include "util/ensure.h"
 
 namespace ulc {
 
+namespace {
+
+// Per-access critical-path cost derived from the counter deltas of one
+// scheme.access() call: hit/miss service time plus the demote transfers it
+// triggered. Matches AccessTimeBreakdown::total() term by term, so the
+// histogram mean equals t_ave_ms exactly.
+class AccessCostObserver {
+ public:
+  AccessCostObserver(const MultiLevelScheme& scheme, const CostModel& model)
+      : scheme_(scheme), model_(model) {
+    snapshot();
+  }
+
+  // Must be called whenever scheme stats are reset mid-run (warmup end).
+  void snapshot() {
+    const HierarchyStats& s = scheme_.stats();
+    prev_hits_ = s.level_hits;
+    prev_demotions_ = s.demotions;
+    prev_misses_ = s.misses;
+  }
+
+  // Cost in ms of the access performed since the last snapshot/observe call.
+  double observe() {
+    const HierarchyStats& s = scheme_.stats();
+    double cost = 0.0;
+    if (s.misses != prev_misses_) {
+      cost += model_.miss_time();
+      prev_misses_ = s.misses;
+    } else {
+      for (std::size_t i = 0; i < prev_hits_.size() && i < model_.levels(); ++i) {
+        if (s.level_hits[i] != prev_hits_[i]) {
+          cost += model_.hit_time(i);
+          break;
+        }
+      }
+    }
+    for (std::size_t i = 0; i < prev_hits_.size(); ++i)
+      prev_hits_[i] = s.level_hits[i];
+    for (std::size_t i = 0; i + 1 < model_.levels() && i < prev_demotions_.size();
+         ++i) {
+      const std::uint64_t d = s.demotions[i] - prev_demotions_[i];
+      cost += static_cast<double>(d) * model_.demote_cost(i);
+    }
+    for (std::size_t i = 0; i < prev_demotions_.size(); ++i)
+      prev_demotions_[i] = s.demotions[i];
+    return cost;
+  }
+
+ private:
+  const MultiLevelScheme& scheme_;
+  const CostModel& model_;
+  std::vector<std::uint64_t> prev_hits_;
+  std::vector<std::uint64_t> prev_demotions_;
+  std::uint64_t prev_misses_ = 0;
+};
+
+void publish_counters(obs::MetricsRegistry& m, const HierarchyStats& s) {
+  for (std::size_t i = 0; i < s.level_hits.size(); ++i)
+    m.add_counter("hits.L" + std::to_string(i), s.level_hits[i]);
+  m.add_counter("misses", s.misses);
+  for (std::size_t i = 0; i < s.demotions.size(); ++i)
+    m.add_counter("demote.L" + std::to_string(i), s.demotions[i]);
+  for (std::size_t i = 0; i < s.reloads.size(); ++i)
+    m.add_counter("reload.L" + std::to_string(i), s.reloads[i]);
+  m.add_counter("references", s.references);
+  m.add_counter("writebacks", s.writebacks);
+}
+
+}  // namespace
+
 RunResult run_scheme(MultiLevelScheme& scheme, const Trace& trace,
-                     const CostModel& model, double warmup_fraction) {
+                     const CostModel& model, double warmup_fraction,
+                     RunObservation observe) {
   ULC_REQUIRE(warmup_fraction >= 0.0 && warmup_fraction < 1.0,
               "warmup fraction must be in [0, 1)");
+  obs::MetricsRegistry* metrics = obs::gate(observe.metrics);
+  obs::TraceRecorder* events = obs::gate(observe.events);
   RunResult result;
   result.scheme = scheme.name();
   result.trace = trace.name();
@@ -18,6 +93,7 @@ RunResult run_scheme(MultiLevelScheme& scheme, const Trace& trace,
     result.stats = scheme.stats();
     result.time = compute_access_time(result.stats, model);
     result.t_ave_ms = result.time.total();
+    if (metrics) publish_counters(*metrics, result.stats);
     return result;
   }
   // On tiny traces `warmup_fraction * size` can round to 0; the stats must
@@ -25,17 +101,43 @@ RunResult run_scheme(MultiLevelScheme& scheme, const Trace& trace,
   const std::size_t warmup =
       static_cast<std::size_t>(warmup_fraction * static_cast<double>(trace.size()));
   bool stats_reset = false;
-  for (std::size_t i = 0; i < trace.size(); ++i) {
-    if (i >= warmup && !stats_reset) {
-      scheme.reset_stats();
-      stats_reset = true;
+  if (metrics || events) {
+    AccessCostObserver cost(scheme, model);
+    obs::LatencyHistogram* hist =
+        metrics ? &metrics->histogram("response_ms") : nullptr;
+    double clock_ms = 0.0;  // closed-loop simulated time
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      if (i >= warmup && !stats_reset) {
+        scheme.reset_stats();
+        stats_reset = true;
+        cost.snapshot();
+      }
+      scheme.access(trace[i]);
+      if (stats_reset) {
+        const double ms = cost.observe();
+        if (hist) hist->record(ms);
+        if (events) {
+          events->span("access", "access", clock_ms, ms,
+                       obs::TraceRecorder::kClientTrack, i,
+                       static_cast<std::int64_t>(trace[i].block));
+        }
+        clock_ms += ms;
+      }
     }
-    scheme.access(trace[i]);
+  } else {
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      if (i >= warmup && !stats_reset) {
+        scheme.reset_stats();
+        stats_reset = true;
+      }
+      scheme.access(trace[i]);
+    }
   }
   ULC_ENSURE(stats_reset, "warmup must end before the trace does");
   result.stats = scheme.stats();
   result.time = compute_access_time(result.stats, model);
   result.t_ave_ms = result.time.total();
+  if (metrics) publish_counters(*metrics, result.stats);
   return result;
 }
 

@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "hierarchy/hierarchy.h"
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
 #include "trace/trace.h"
 
 namespace ulc {
@@ -25,9 +27,29 @@ struct RunResult {
   double t_ave_ms = 0.0;
 };
 
+// Optional deterministic instrumentation for run_scheme. Either pointer may
+// be null (and both default to null — the zero-cost path: the per-access
+// bookkeeping is skipped entirely).
+//
+// With `metrics` set, the runner records one critical-path response-time
+// sample per *measured* reference into metrics->histogram("response_ms"):
+// the model hit/miss time of the access plus the demote transfers it
+// triggered — exactly the terms of AccessTimeBreakdown::total(), so
+// mean(response_ms) == t_ave_ms. Final per-level counters are also published
+// into the registry ("hits.L<k>", "misses", "demote.L<k>", ...).
+//
+// With `events` set, each measured reference is recorded as a span on a
+// closed-loop simulated clock (each access starts when the previous one
+// completes) — never the wall clock.
+struct RunObservation {
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceRecorder* events = nullptr;
+};
+
 // Runs the whole trace through the scheme; statistics are reset after
 // `warmup_fraction` of the references (paper §4.2: first one tenth).
 RunResult run_scheme(MultiLevelScheme& scheme, const Trace& trace,
-                     const CostModel& model, double warmup_fraction = 0.1);
+                     const CostModel& model, double warmup_fraction = 0.1,
+                     RunObservation observe = RunObservation{});
 
 }  // namespace ulc

@@ -1,0 +1,148 @@
+// Deterministic observability primitives: named counters/gauges, log-bucketed
+// latency histograms with exact-rank percentiles, and an RAII scope timer.
+//
+// Everything here is keyed to *simulated* time or access index — never the
+// wall clock — so any instrumented run replays bit-for-bit. Histograms and
+// registries merge associatively; the engine merges per-cell instances in
+// fixed spec order, which is what keeps `--threads=1` and `--threads=8`
+// output byte-identical. Containers are std::map (ordered) on purpose:
+// iteration order is part of the determinism contract.
+//
+// Compile-time switch: building with -DULC_ENABLE_OBS=0 turns obs::enabled()
+// into a constexpr false, so every `obs::gate(ptr)` call site collapses to a
+// null pointer and the instrumentation branches compile out entirely. At
+// runtime the switch is simply "pass nullptr" — both are exercised by
+// ops_microbench.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/json.h"
+#include "util/stats.h"
+
+#ifndef ULC_ENABLE_OBS
+#define ULC_ENABLE_OBS 1
+#endif
+
+namespace ulc {
+namespace obs {
+
+constexpr bool enabled() { return ULC_ENABLE_OBS != 0; }
+
+// Collapses instrumentation pointers to nullptr when observability is
+// compiled out, letting the optimizer delete the recording paths.
+template <class T>
+constexpr T* gate(T* p) {
+  return enabled() ? p : nullptr;
+}
+
+// Log-bucketed latency histogram (milliseconds).
+//
+// Buckets are log-linear: each power-of-two octave is split into kSubBuckets
+// equal slices, so the relative width of any bucket is at most 1/kSubBuckets
+// (~3.1%). Bucket selection uses frexp/ldexp and power-of-two arithmetic
+// only, so it is exact IEEE-754 — identical on every platform. Percentiles
+// are nearest-rank: the rank is exact; the returned value is the upper edge
+// of the bucket holding that rank, clamped to the exact observed [min, max]
+// (so p0/p100 are exact and every quantile is within one bucket width of the
+// true order statistic). Non-positive samples (e.g. 0 ms local hits) land in
+// a dedicated zero bucket.
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBuckets = 32;
+
+  void record(double ms);
+  // Element-wise sum; merging is associative and commutative, but callers
+  // must still merge in a fixed order when exact moment (mean/stddev)
+  // reproducibility across merge shapes matters.
+  void merge(const LatencyHistogram& other);
+  void clear();
+
+  bool empty() const { return moments_.empty(); }
+  std::uint64_t count() const { return moments_.count(); }
+  double sum() const { return moments_.sum(); }
+  double mean() const { return moments_.mean(); }
+  // Exact observed extrema; both require a non-empty histogram.
+  double min() const { return moments_.min(); }
+  double max() const { return moments_.max(); }
+
+  // Nearest-rank percentile, p in [0, 100]; requires a non-empty histogram.
+  double percentile(double p) const;
+
+  // {"count", "mean", "min", "max", "p50", "p95", "p99"}; all value fields
+  // are null when the histogram is empty.
+  Json to_json() const;
+
+ private:
+  static int bucket_of(double ms);
+  static double bucket_upper(int index);
+
+  std::map<int, std::uint64_t> buckets_;
+  OnlineStats moments_;
+};
+
+// Named counters, gauges and latency histograms. Lookup is by string name;
+// std::map keeps to_json() and merge() deterministic. One registry per
+// experiment cell / simulator run; merge in fixed order for aggregates.
+class MetricsRegistry {
+ public:
+  void add_counter(const std::string& name, std::uint64_t delta = 1);
+  // 0 when the counter has never been touched.
+  std::uint64_t counter(const std::string& name) const;
+
+  void set_gauge(const std::string& name, double value);
+
+  // Creates the histogram on first use.
+  LatencyHistogram& histogram(const std::string& name);
+  // nullptr when absent.
+  const LatencyHistogram* find_histogram(const std::string& name) const;
+
+  // Counters add, gauges take `other`'s value (last writer wins), histograms
+  // merge element-wise.
+  void merge(const MetricsRegistry& other);
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  // {"counters": {...}, "gauges": {...}, "histograms": {name: {...}}} with
+  // keys in lexicographic order; empty sections are omitted.
+  Json to_json() const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, LatencyHistogram> histograms_;
+};
+
+// RAII span timer over a *simulated* clock. Reads `*sim_clock_ms` at
+// construction and destruction and records the difference; a null histogram
+// or clock makes it a no-op, so call sites need no `if (obs)` guards.
+class ScopeTimer {
+ public:
+  ScopeTimer(LatencyHistogram* hist, const double* sim_clock_ms)
+      : hist_(hist),
+        clock_(sim_clock_ms),
+        start_(hist && sim_clock_ms ? *sim_clock_ms : 0.0) {}
+  ~ScopeTimer() {
+    if (hist_ && clock_) hist_->record(*clock_ - start_);
+  }
+
+  ScopeTimer(const ScopeTimer&) = delete;
+  ScopeTimer& operator=(const ScopeTimer&) = delete;
+
+ private:
+  LatencyHistogram* hist_;
+  const double* clock_;
+  double start_;
+};
+
+// {"count", "mean", "stddev", "min", "max"} for a Welford accumulator; the
+// value fields are null when no samples were recorded (the empty-stats fix:
+// a zero-request phase must not report min=0).
+Json stats_to_json(const OnlineStats& s);
+
+}  // namespace obs
+}  // namespace ulc

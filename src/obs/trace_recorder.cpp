@@ -1,0 +1,97 @@
+#include "obs/trace_recorder.h"
+
+#include <set>
+#include <utility>
+
+namespace ulc {
+namespace obs {
+
+bool TraceRecorder::has_room() {
+  if (max_events_ != 0 && events_.size() >= max_events_) {
+    ++dropped_;
+    return false;
+  }
+  return true;
+}
+
+void TraceRecorder::span(const std::string& name, const char* category,
+                         double start_ms, double dur_ms, int track,
+                         std::uint64_t access_index, std::int64_t block) {
+  if (!has_room()) return;
+  events_.push_back(
+      Event{'X', name, category, start_ms, dur_ms, track, access_index, block});
+}
+
+void TraceRecorder::instant(const std::string& name, const char* category,
+                            double at_ms, int track, std::uint64_t access_index,
+                            std::int64_t block) {
+  if (!has_room()) return;
+  events_.push_back(
+      Event{'i', name, category, at_ms, 0.0, track, access_index, block});
+}
+
+void TraceRecorder::clear() {
+  events_.clear();
+  dropped_ = 0;
+}
+
+Json TraceRecorder::to_chrome_json() const {
+  Json events = Json::array();
+
+  // Name the thread lanes so the viewer shows "client" / "level k" instead
+  // of bare tids. std::set gives a deterministic lane order.
+  std::set<int> tracks;
+  for (const Event& e : events_) tracks.insert(e.track);
+  for (const auto& [track, name] : track_names_) {
+    (void)name;
+    tracks.insert(track);
+  }
+  for (int track : tracks) {
+    Json meta = Json::object();
+    meta.set("name", "thread_name");
+    meta.set("ph", "M");
+    meta.set("pid", 0);
+    meta.set("tid", track);
+    Json args = Json::object();
+    const auto named = track_names_.find(track);
+    if (named != track_names_.end()) {
+      args.set("name", named->second);
+    } else {
+      args.set("name", track == kClientTrack
+                           ? std::string("client")
+                           : "level " + std::to_string(track - 1));
+    }
+    meta.set("args", std::move(args));
+    events.push(std::move(meta));
+  }
+
+  for (const Event& e : events_) {
+    Json j = Json::object();
+    j.set("name", e.name);
+    j.set("cat", e.category);
+    j.set("ph", std::string(1, e.phase));
+    // Chrome's ts/dur are microseconds; sim time is milliseconds.
+    j.set("ts", e.ts_ms * 1000.0);
+    if (e.phase == 'X') j.set("dur", e.dur_ms * 1000.0);
+    if (e.phase == 'i') j.set("s", "t");  // thread-scoped instant
+    j.set("pid", 0);
+    j.set("tid", e.track);
+    Json args = Json::object();
+    args.set("access", e.access_index);
+    if (e.block >= 0) args.set("block", e.block);
+    j.set("args", std::move(args));
+    events.push(std::move(j));
+  }
+
+  Json doc = Json::object();
+  doc.set("displayTimeUnit", "ms");
+  Json other = Json::object();
+  other.set("generator", "ulc");
+  other.set("dropped_events", dropped_);
+  doc.set("otherData", std::move(other));
+  doc.set("traceEvents", std::move(events));
+  return doc;
+}
+
+}  // namespace obs
+}  // namespace ulc

@@ -1,0 +1,80 @@
+// Protocol event timeline with Chrome trace_event JSON export.
+//
+// Records complete spans (ph "X": a reference being served, a block transfer)
+// and instant events (ph "i": demote arrivals, breaker trips, phase
+// transitions, crash wipes) keyed by simulated milliseconds and access index.
+// Tracks map to Chrome thread lanes: track 0 is the client, track 1+k is
+// cache level k. Export follows the trace_event format understood by
+// chrome://tracing and Perfetto (ts/dur in microseconds).
+//
+// Determinism: events are stored in recording order and serialized verbatim;
+// nothing here reads the wall clock. A capacity limit (max_events) makes long
+// runs safe to trace — overflowing events are counted, not recorded, and the
+// drop count is reported in the export's otherData.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace ulc {
+namespace obs {
+
+class TraceRecorder {
+ public:
+  // max_events == 0 means unbounded.
+  explicit TraceRecorder(std::size_t max_events = 0) : max_events_(max_events) {}
+
+  static constexpr int kClientTrack = 0;
+  static int level_track(std::size_t level) { return static_cast<int>(level) + 1; }
+
+  // Optional display name for a track lane; unnamed tracks fall back to
+  // "client" / "level k" per the helpers above.
+  void name_track(int track, std::string name) {
+    track_names_[track] = std::move(name);
+  }
+
+  // Complete span starting at start_ms lasting dur_ms. block < 0 omits the
+  // block arg.
+  void span(const std::string& name, const char* category, double start_ms,
+            double dur_ms, int track, std::uint64_t access_index,
+            std::int64_t block = -1);
+
+  // Instant event at at_ms.
+  void instant(const std::string& name, const char* category, double at_ms,
+               int track, std::uint64_t access_index, std::int64_t block = -1);
+
+  std::size_t size() const { return events_.size(); }
+  std::uint64_t dropped() const { return dropped_; }
+  bool empty() const { return events_.empty(); }
+  void clear();
+
+  // {"displayTimeUnit": "ms", "otherData": {...}, "traceEvents": [...]} —
+  // thread_name metadata first, then events in recording order.
+  Json to_chrome_json() const;
+
+ private:
+  struct Event {
+    char phase;  // 'X' or 'i'
+    std::string name;
+    const char* category;
+    double ts_ms;
+    double dur_ms;  // spans only
+    int track;
+    std::uint64_t access_index;
+    std::int64_t block;  // -1 = absent
+  };
+
+  bool has_room();
+
+  std::vector<Event> events_;
+  std::map<int, std::string> track_names_;
+  std::size_t max_events_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace obs
+}  // namespace ulc

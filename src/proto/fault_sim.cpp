@@ -120,6 +120,11 @@ FaultedProtocolResult run_faulted_protocol_sim(ProtocolScheme scheme_kind,
   FaultPlan plan(config.faults, config.crashes);
   const bool armed = !plan.fault_free();
 
+  // Timeline recording is read-only with respect to the simulation: every
+  // event is stamped with times the run computed anyway.
+  obs::TraceRecorder* rec = obs::gate(config.events);
+  std::uint64_t current_access = 0;  // for stamping events from the lambdas
+
   std::vector<FaultyLink> links;
   links.reserve(nlinks);
   for (const LinkConfig& lc : proto.links) links.emplace_back(lc, plan, rel);
@@ -184,6 +189,9 @@ FaultedProtocolResult run_faulted_protocol_sim(ProtocolScheme scheme_kind,
       LevelActual& st = levels[l];
       while (st.wiped_through < times.size() && times[st.wiped_through] <= now) {
         const SimTime when = times[st.wiped_through];
+        if (rec)
+          rec->instant("crash L" + std::to_string(l), "fault", when,
+                       obs::TraceRecorder::level_track(l), current_access);
         for (auto it = st.present.begin(); it != st.present.end();) {
           // Erase-all sweep: the surviving set is order-independent.
           if (it->second < when) {
@@ -246,6 +254,9 @@ FaultedProtocolResult run_faulted_protocol_sim(ProtocolScheme scheme_kind,
   const auto send_probe = [&](std::size_t l, SimTime now) {
     levels[l].breaker.probe_sent(now, config.retry.probe_interval_ms);
     ++rel.probes;
+    if (rec)
+      rec->instant("probe L" + std::to_string(l), "phase", now,
+                   obs::TraceRecorder::level_track(l), current_access);
     SimTime t = now;
     for (std::size_t k = 0; k < l && k < nlinks; ++k) {
       const FaultyLink::Delivery d = links[k].transfer(0, kControlBytes, t);
@@ -403,6 +414,7 @@ FaultedProtocolResult run_faulted_protocol_sim(ProtocolScheme scheme_kind,
       }
     }
     if (!charge_only) levels[tr.from].present.erase(tr.block);
+    const SimTime demote_start = at;
     SimTime one_way = 0.0;
     for (std::size_t l = tr.from; l < tr.to && l < nlinks; ++l) {
       one_way += proto.links[l].latency_ms +
@@ -431,6 +443,12 @@ FaultedProtocolResult run_faulted_protocol_sim(ProtocolScheme scheme_kind,
       if (alive && armed && plan.down_at(tr.to, t)) alive = false;
       if (alive) {
         if (!charge_only) levels[tr.to].present[tr.block] = t;
+        if (rec)
+          rec->span("demote L" + std::to_string(tr.from) + "->L" +
+                        std::to_string(tr.to),
+                    "demote", demote_start, t - demote_start,
+                    obs::TraceRecorder::level_track(tr.from), current_access,
+                    static_cast<std::int64_t>(tr.block));
         return;
       }
       ++rel.timeouts;
@@ -438,6 +456,12 @@ FaultedProtocolResult run_faulted_protocol_sim(ProtocolScheme scheme_kind,
       if (attempt + 1 < attempts) ++rel.retries;
     }
     ++rel.demote_drops;
+    if (rec)
+      rec->instant("demote lost L" + std::to_string(tr.from) + "->L" +
+                       std::to_string(tr.to),
+                   "fault", demote_start,
+                   obs::TraceRecorder::level_track(tr.from), current_access,
+                   static_cast<std::int64_t>(tr.block));
     if (!charge_only) resync_drop(tr.block, tr.to);
   };
 
@@ -456,7 +480,9 @@ FaultedProtocolResult run_faulted_protocol_sim(ProtocolScheme scheme_kind,
     if (i == warmup) {
       result.base.stats.clear();
       result.base.response_ms = OnlineStats{};
+      result.base.response_hist.clear();
       for (OnlineStats& s : result.phase_response_ms) s = OnlineStats{};
+      for (obs::LatencyHistogram& h : result.phase_hist) h.clear();
       result.phase_references = {};
       measure_start = now;
       for (std::size_t l = 0; l < nlinks; ++l) {
@@ -476,6 +502,9 @@ FaultedProtocolResult run_faulted_protocol_sim(ProtocolScheme scheme_kind,
         if (st.breaker.open() && st.recovery_at >= 0.0 && st.recovery_at <= now) {
           st.breaker.close();
           ++rel.recoveries;
+          if (rec)
+            rec->instant("breaker close L" + std::to_string(l), "phase",
+                         st.recovery_at, obs::TraceRecorder::level_track(l), i);
           resync_after_epoch(l, st.recovery_epoch, now);
           inventory_sync(l, now);  // also reclaims pure-loss stale copies
           st.recovery_at = -1.0;
@@ -488,6 +517,7 @@ FaultedProtocolResult run_faulted_protocol_sim(ProtocolScheme scheme_kind,
                                        : FaultPhase::kNormal);
     }
     const std::size_t phase_idx = static_cast<std::size_t>(phase);
+    current_access = i;
 
     ++result.base.stats.references;
     ++result.phase_references[phase_idx];
@@ -553,6 +583,9 @@ FaultedProtocolResult run_faulted_protocol_sim(ProtocolScheme scheme_kind,
           levels[claimed].breaker.trip(fo.at);
           ever_tripped = true;
           ++rel.breaker_trips;
+          if (rec)
+            rec->instant("breaker trip L" + std::to_string(claimed), "phase",
+                         fo.at, obs::TraceRecorder::level_track(claimed), i);
           to_disk = true;
           heal_plant = true;
           disk_issue = fo.at;
@@ -590,7 +623,16 @@ FaultedProtocolResult run_faulted_protocol_sim(ProtocolScheme scheme_kind,
     }
 
     result.base.response_ms.add(completion - now);
+    result.base.response_hist.record(completion - now);
     result.phase_response_ms[phase_idx].add(completion - now);
+    result.phase_hist[phase_idx].record(completion - now);
+    if (rec) {
+      const std::string name =
+          to_disk ? std::string("miss") : "hit L" + std::to_string(claimed);
+      rec->span(name, fault_phase_name(phase), now, completion - now,
+                obs::TraceRecorder::kClientTrack, i,
+                static_cast<std::int64_t>(block));
+    }
 
     // --- demotion transfers, issued after the reference completes ---
     for (const AuditEvent& tr : narr.transfers) process_demote(tr, completion);

@@ -39,6 +39,11 @@ struct FaultSimConfig {
   bool checked = true;
   bool abort_on_violation = false;   // auditor aborts instead of throwing
   std::string context;               // replay context for violation reports
+  // Optional message-timeline recorder (reference spans, Demote transfers,
+  // crash wipes, breaker trips/closes, probes). Purely additive: recording
+  // never changes the run, so the fault-free byte-for-byte parity with
+  // run_protocol_sim holds with or without it.
+  obs::TraceRecorder* events = nullptr;
 };
 
 // Recovery phase a reference starts in: kNormal until the first breaker
@@ -54,6 +59,9 @@ struct FaultedProtocolResult {
   // Response time split by the phase each reference started in (reset at
   // warmup like base.response_ms).
   std::array<OnlineStats, kFaultPhases> phase_response_ms;
+  // The same split, log-bucketed for tail percentiles (p50/p95/p99) — the
+  // degraded-mode tail the mean hides.
+  std::array<obs::LatencyHistogram, kFaultPhases> phase_hist;
   std::array<std::uint64_t, kFaultPhases> phase_references{};
   SimTime measure_start_ms = 0.0;
   SimTime end_ms = 0.0;  // final simulated time (for placing crashes)

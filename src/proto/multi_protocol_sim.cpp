@@ -61,6 +61,12 @@ MultiProtocolResult run_multi_protocol_sim(MultiLevelScheme& scheme,
               "multi protocol sim expects a two-level scheme");
   ULC_REQUIRE(config.refs_per_client > 0, "need references to simulate");
 
+  obs::TraceRecorder* events = obs::gate(config.events);
+  if (events) {
+    for (std::size_t c = 0; c < n_clients; ++c)
+      events->name_track(static_cast<int>(c), "client " + std::to_string(c));
+  }
+
   EventQueue q;
   // Each reference schedules a handful of events (completion + think-time
   // re-issue); anything past this bound means a feedback loop is
@@ -108,7 +114,13 @@ MultiProtocolResult run_multi_protocol_sim(MultiLevelScheme& scheme,
     }
 
     if (d.hit_level == 0 && d.demotions == 0) {
-      if (measured) result.response_ms.add(0.0);
+      if (measured) {
+        result.response_ms.add(0.0);
+        result.response_hist.record(0.0);
+        if (events)
+          events->span("hit L0", "access", t_issue, 0.0, static_cast<int>(c),
+                       issued[c] - 1, static_cast<std::int64_t>(block));
+      }
       q.schedule_in(config.think_time_ms, [&issue, c] { issue(c); });
       return;
     }
@@ -120,7 +132,13 @@ MultiProtocolResult run_multi_protocol_sim(MultiLevelScheme& scheme,
       lan.deliver_at(0, kBlockBytes, t_issue);
 
     if (d.hit_level == 0) {
-      if (measured) result.response_ms.add(0.0);
+      if (measured) {
+        result.response_ms.add(0.0);
+        result.response_hist.record(0.0);
+        if (events)
+          events->span("hit L0", "access", t_issue, 0.0, static_cast<int>(c),
+                       issued[c] - 1, static_cast<std::int64_t>(block));
+      }
       q.schedule_in(config.think_time_ms, [&issue, c] { issue(c); });
       return;
     }
@@ -129,13 +147,24 @@ MultiProtocolResult run_multi_protocol_sim(MultiLevelScheme& scheme,
     const SimTime t_at_server = lan.deliver_at(0, kControlBytes, t_issue);
     const bool server_hit = d.hit_level == 1;
 
-    auto finish = [&, c, t_issue, measured](SimTime ready) {
+    const std::uint64_t access_index = issued[c] - 1;
+    auto finish = [&, c, t_issue, measured, server_hit, block,
+                   access_index](SimTime ready) {
       // Block travels back up the shared segment; scheduled at `ready` so
       // the uplink sees sends in time order.
-      q.schedule(ready, [&, c, t_issue, measured] {
+      q.schedule(ready, [&, c, t_issue, measured, server_hit, block,
+                         access_index] {
         const SimTime done = lan.deliver_at(1, kBlockBytes, q.now());
-        q.schedule(done, [&, c, t_issue, measured] {
-          if (measured) result.response_ms.add(q.now() - t_issue);
+        q.schedule(done, [&, c, t_issue, measured, server_hit, block,
+                          access_index] {
+          if (measured) {
+            result.response_ms.add(q.now() - t_issue);
+            result.response_hist.record(q.now() - t_issue);
+            if (events)
+              events->span(server_hit ? "hit L1" : "miss", "access", t_issue,
+                           q.now() - t_issue, static_cast<int>(c), access_index,
+                           static_cast<std::int64_t>(block));
+          }
           q.schedule_in(config.think_time_ms, [&issue, c] { issue(c); });
         });
       });

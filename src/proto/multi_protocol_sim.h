@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "hierarchy/hierarchy.h"
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
 #include "proto/link.h"
 #include "util/stats.h"
 #include "workloads/synthetic.h"
@@ -32,12 +34,17 @@ struct MultiProtocolConfig {
   SimTime disk_service_ms = 10.0;
   SimTime think_time_ms = 0.05;   // client work between references
   std::uint64_t seed = 1;
+  // Optional message-timeline recorder (one lane per client); never changes
+  // the simulation.
+  obs::TraceRecorder* events = nullptr;
 };
 
 struct MultiProtocolResult {
   std::string scheme;
   // Response time per reference across all clients, after per-client warmup.
   OnlineStats response_ms;
+  // Same samples, log-bucketed for percentiles (p50/p95/p99).
+  obs::LatencyHistogram response_hist;
   HierarchyStats stats;  // post-warmup event counts
   double lan_down_utilization = 0.0;
   double lan_up_utilization = 0.0;

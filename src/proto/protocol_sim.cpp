@@ -142,7 +142,8 @@ std::unique_ptr<SchemeAdapter> make_adapter(ProtocolScheme scheme,
 }  // namespace
 
 ProtocolResult run_protocol_sim(ProtocolScheme scheme, const ProtocolConfig& config,
-                                const Trace& trace) {
+                                const Trace& trace, obs::TraceRecorder* events) {
+  events = obs::gate(events);
   ULC_REQUIRE(!config.caps.empty(), "protocol sim needs at least one level");
   ULC_REQUIRE(config.links.size() + 1 == config.caps.size(),
               "need one link per adjacent level pair");
@@ -174,6 +175,7 @@ ProtocolResult run_protocol_sim(ProtocolScheme scheme, const ProtocolConfig& con
     if (i == warmup) {
       result.stats.clear();
       result.response_ms = OnlineStats{};
+      result.response_hist.clear();
       measure_start = now;
       for (std::size_t l = 0; l < links.size(); ++l) {
         busy_down_at_start[l] = links[l].busy_ms(0);
@@ -211,6 +213,15 @@ ProtocolResult run_protocol_sim(ProtocolScheme scheme, const ProtocolConfig& con
       ++result.stats.level_hits[d.hit_level];
     }
     result.response_ms.add(completion - now);
+    result.response_hist.record(completion - now);
+    if (events) {
+      const std::string name =
+          d.hit_level == kLevelOut ? "miss"
+                                   : "hit L" + std::to_string(d.hit_level);
+      events->span(name, "access", now, completion - now,
+                   obs::TraceRecorder::kClientTrack, i,
+                   static_cast<std::int64_t>(trace[i].block));
+    }
 
     // --- demotion transfers, issued after the reference completes ---
     for (const Transfer& tr : d.demotions) {
@@ -221,9 +232,16 @@ ProtocolResult run_protocol_sim(ProtocolScheme scheme, const ProtocolConfig& con
         for (std::size_t l = 0; l < tr.from; ++l)
           at = links[l].deliver_at(0, kControlBytes, at);
       }
+      const SimTime demote_start = at;
       for (std::size_t l = tr.from; l < tr.to && l < links.size(); ++l) {
         at = links[l].deliver_at(0, kBlockBytes, at);
         ++result.stats.demotions[l];
+      }
+      if (events) {
+        events->span("demote L" + std::to_string(tr.from) + "->L" +
+                         std::to_string(tr.to),
+                     "demote", demote_start, at - demote_start,
+                     obs::TraceRecorder::level_track(tr.from), i);
       }
     }
     now = completion;

@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "hierarchy/cost_model.h"
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
 #include "proto/link.h"
 #include "trace/trace.h"
 #include "util/stats.h"
@@ -43,6 +45,9 @@ struct ProtocolResult {
   ProtocolScheme scheme = ProtocolScheme::kUlc;
   // Measured response time per reference (after warm-up).
   OnlineStats response_ms;
+  // Same samples, log-bucketed for percentiles (p50/p95/p99). Keyed to sim
+  // time only; adding it does not perturb the simulation.
+  obs::LatencyHistogram response_hist;
   // Event counts (hits per level, misses, demotions) as in the trace runner.
   HierarchyStats stats;
   // Per-link utilization over the measured period: busy transmission time /
@@ -60,9 +65,12 @@ struct ProtocolResult {
 
 // Runs the trace through the protocol simulator. The trace must be
 // single-client. caps.size() >= 1; links.size() == caps.size() - 1... plus
-// the disk behind the last level.
+// the disk behind the last level. A non-null `events` recorder captures the
+// message timeline (reference spans on the client track, Demote transfer
+// spans on the level tracks) in simulated time; it never changes the run.
 ProtocolResult run_protocol_sim(ProtocolScheme scheme, const ProtocolConfig& config,
-                                const Trace& trace);
+                                const Trace& trace,
+                                obs::TraceRecorder* events = nullptr);
 
 // The §4.1 analytic prediction for the given event counts under `config`:
 // per-hop cost = link latency + one block transmission, disk behind the

@@ -21,7 +21,10 @@ UlcClient::UlcClient(const UlcConfig& config)
                 "level capacity must be >= 1");
   }
   stats_.level_hits.assign(capacities_.size(), 0);
-  stats_.demotions.assign(capacities_.size() == 0 ? 0 : capacities_.size() - 1, 0);
+  // Non-emptiness is guaranteed by the ULC_REQUIRE above; boundary i covers
+  // demotions crossing link i, so a single-level hierarchy has none and its
+  // cascade only takes the kLevelOut discard path (which never indexes here).
+  stats_.demotions.assign(capacities_.size() - 1, 0);
 }
 
 bool UlcClient::level_has_room(std::size_t level) const {

@@ -21,12 +21,40 @@ void OnlineStats::add(double x) {
   }
 }
 
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * (nb / n);
+  m2_ += other.m2_ + delta * delta * (na * nb / n);
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
 double OnlineStats::variance() const {
   if (count_ == 0) return 0.0;
   return m2_ / static_cast<double>(count_);
 }
 
 double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double OnlineStats::min() const {
+  ULC_REQUIRE(count_ > 0, "min() of empty OnlineStats (check empty() first)");
+  return min_;
+}
+
+double OnlineStats::max() const {
+  ULC_REQUIRE(count_ > 0, "max() of empty OnlineStats (check empty() first)");
+  return max_;
+}
 
 Histogram::Histogram(std::size_t buckets) : counts_(buckets, 0) {
   ULC_REQUIRE(buckets > 0, "Histogram needs at least one bucket");

@@ -7,16 +7,32 @@
 namespace ulc {
 
 // Streaming mean/variance/min/max (Welford).
+//
+// Emptiness is explicit: callers must check empty() (or count()) before
+// asking for extrema. min()/max() abort on an empty accumulator instead of
+// silently returning 0.0 — a zero-request phase reporting min=0 used to
+// poison JSON aggregates; JSON writers should emit null for empty stats
+// (see obs::stats_to_json). mean()/sum() of an empty accumulator are 0.0 by
+// convention (an empty sum), which is safe for additive aggregation.
 class OnlineStats {
  public:
   void add(double x);
+  // Parallel Welford combine (Chan et al.); deterministic for a fixed merge
+  // order — merge per-shard stats in a fixed order when byte-identical
+  // output across thread counts matters.
+  void merge(const OnlineStats& other);
 
+  bool empty() const { return count_ == 0; }
   std::uint64_t count() const { return count_; }
   double mean() const { return count_ ? mean_ : 0.0; }
-  double variance() const;  // population variance
+  // Population variance (M2/n), not the sample estimator (M2/(n-1)): these
+  // are exhaustive statistics over every simulated reference, not a sample
+  // from a larger population. 0.0 when empty.
+  double variance() const;
   double stddev() const;
-  double min() const { return count_ ? min_ : 0.0; }
-  double max() const { return count_ ? max_ : 0.0; }
+  // Require a non-empty accumulator.
+  double min() const;
+  double max() const;
   double sum() const { return sum_; }
 
  private:

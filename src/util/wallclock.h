@@ -1,0 +1,32 @@
+// The single place in src/ that may read the machine clock.
+//
+// Every simulated quantity in this repository is keyed to sim time or access
+// index so runs replay bit-for-bit; the only legitimate uses of wall time are
+// throughput reporting (wall_seconds / refs_per_sec) and they are explicitly
+// excluded from determinism comparisons. The `wall-clock` rule in
+// tools/ulc_lint.cpp rejects std::chrono clock calls anywhere else in src/ —
+// this header is its allow-list. Do not use WallTimer to derive anything that
+// feeds back into simulation state or structured results beyond the two
+// fields above.
+#pragma once
+
+#include <chrono>  // ulc-lint: allow(wall-clock)
+
+namespace ulc {
+
+// Monotonic stopwatch started at construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}  // ulc-lint: allow(wall-clock)
+
+  double elapsed_seconds() const {
+    const auto now = Clock::now();  // ulc-lint: allow(wall-clock)
+    return std::chrono::duration<double>(now - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;  // ulc-lint: allow(wall-clock)
+  Clock::time_point start_;
+};
+
+}  // namespace ulc

@@ -258,6 +258,11 @@ TEST(CellJson, MatchesGoldenFile) {
   cell.wall_seconds = 1.5;
   cell.refs_per_sec = 12345;
   cell.params["cap_blocks"] = 6400;
+  // Observability fields: a deterministic response-time histogram, as the
+  // engine produces when MatrixOptions.observe is on.
+  cell.metrics = std::make_shared<obs::MetricsRegistry>();
+  obs::LatencyHistogram& hist = cell.metrics->histogram("response_ms");
+  for (double ms : {0.0, 0.2, 0.2, 1.0, 12.4}) hist.record(ms);
 
   const std::string actual = exp::cell_to_json(cell).dump(2) + "\n";
 

@@ -1,0 +1,334 @@
+// Tests for the observability layer (src/obs): histogram bucket math and
+// exact-rank percentiles, merge determinism across sharded (multi-thread)
+// accumulation, the metrics registry, the scope timer, the trace recorder's
+// Chrome trace_event export (golden file), and the engine-level guarantees —
+// published counters match the run's HierarchyStats and the response-time
+// histogram's mean reproduces the analytic T_ave components it measures.
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exp/experiment.h"
+#include "hierarchy/hierarchy.h"
+#include "hierarchy/runner.h"
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
+#include "util/prng.h"
+#include "workloads/synthetic.h"
+
+namespace ulc {
+namespace {
+
+Trace small_trace(std::uint64_t blocks, std::uint64_t refs, std::uint64_t seed) {
+  auto src = make_zipf_source(0, blocks, 0.9, true, seed);
+  return generate(*src, refs, seed, "obs");
+}
+
+// ---- LatencyHistogram ----
+
+TEST(LatencyHistogram, EmptyReportsNulls) {
+  obs::LatencyHistogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.to_json().dump(),
+            "{\"count\":0,\"mean\":null,\"min\":null,\"max\":null,"
+            "\"p50\":null,\"p95\":null,\"p99\":null}");
+}
+
+TEST(LatencyHistogram, PercentileOfEmptyAborts) {
+  obs::LatencyHistogram h;
+  EXPECT_DEATH(h.percentile(50.0), "empty histogram");
+}
+
+TEST(LatencyHistogram, ExtremaAreExactAndPercentilesClamped) {
+  obs::LatencyHistogram h;
+  for (double ms : {0.0, 0.2, 0.2, 1.0, 12.4}) h.record(ms);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 12.4);
+  // p0/p100 are clamped to the exact observed extrema.
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 12.4);
+  // Rank 3 of 5 is the 0.2 sample; the answer is that bucket's upper edge,
+  // within one bucket width (1/32) of the true order statistic.
+  const double p50 = h.percentile(50.0);
+  EXPECT_GE(p50, 0.2);
+  EXPECT_LE(p50, 0.2 * (1.0 + 1.0 / obs::LatencyHistogram::kSubBuckets));
+}
+
+TEST(LatencyHistogram, NonPositiveSamplesShareTheZeroBucket) {
+  obs::LatencyHistogram h;
+  h.record(0.0);
+  h.record(-3.5);  // clock-skew style input must not crash or misbucket
+  h.record(0.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.min(), -3.5);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  // All three land in the zero bucket whose upper edge is 0, so mid-range
+  // percentiles report 0; only p0 recovers the exact (negative) minimum.
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), -3.5);
+}
+
+TEST(LatencyHistogram, BucketRelativeErrorBoundAcrossMagnitudes) {
+  // One tiny and one huge sample so clamping cannot mask bucket error; the
+  // p50 rank lands on v's bucket and must be within 1/kSubBuckets above v.
+  for (double v = 1e-6; v < 1e7; v *= 3.7) {
+    obs::LatencyHistogram h;
+    h.record(v);
+    h.record(1e9);
+    const double p50 = h.percentile(50.0);
+    EXPECT_GE(p50, v) << v;
+    EXPECT_LE(p50, v * (1.0 + 1.0 / obs::LatencyHistogram::kSubBuckets)) << v;
+  }
+}
+
+TEST(LatencyHistogram, ShardedMergeIsDeterministicAcrossThreadCounts) {
+  Rng rng(42);
+  std::vector<double> samples;
+  for (int i = 0; i < 4000; ++i)
+    samples.push_back(static_cast<double>(rng.next_below(1 << 20)) * 0.001);
+
+  obs::LatencyHistogram sequential;
+  for (double s : samples) sequential.record(s);
+
+  // Shard deterministically, populate the shards concurrently (the engine's
+  // worker pool), then merge in fixed shard order. The merge *shape* is
+  // fixed, so the JSON must be byte-identical no matter how many threads
+  // raced on the shards — that is the contract run_matrix relies on.
+  std::string reference;
+  for (std::size_t threads : {1, 3, 8}) {
+    constexpr std::size_t kShards = 7;
+    std::vector<obs::LatencyHistogram> shards(kShards);
+    exp::parallel_for(kShards, threads, [&](std::size_t shard) {
+      for (std::size_t i = shard; i < samples.size(); i += kShards)
+        shards[shard].record(samples[i]);
+    });
+    obs::LatencyHistogram merged;
+    for (const obs::LatencyHistogram& s : shards) merged.merge(s);
+    if (reference.empty()) reference = merged.to_json().dump();
+    EXPECT_EQ(merged.to_json().dump(), reference) << threads;
+
+    // Against the sequential accumulation: the bucket contents are integers,
+    // so count/extrema/percentiles agree exactly; only the Welford mean may
+    // differ in the last bit because the merge tree reorders the additions.
+    EXPECT_EQ(merged.count(), sequential.count());
+    EXPECT_DOUBLE_EQ(merged.min(), sequential.min());
+    EXPECT_DOUBLE_EQ(merged.max(), sequential.max());
+    for (double p : {50.0, 95.0, 99.0})
+      EXPECT_DOUBLE_EQ(merged.percentile(p), sequential.percentile(p)) << p;
+    EXPECT_NEAR(merged.mean(), sequential.mean(), 1e-9 * sequential.mean());
+  }
+}
+
+TEST(LatencyHistogram, ClearResetsToEmpty) {
+  obs::LatencyHistogram h;
+  h.record(1.0);
+  h.clear();
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.to_json().dump(), obs::LatencyHistogram().to_json().dump());
+}
+
+// ---- MetricsRegistry ----
+
+TEST(MetricsRegistry, CountersGaugesHistogramsAndMerge) {
+  obs::MetricsRegistry a;
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.counter("absent"), 0u);
+  a.add_counter("hits.L0", 5);
+  a.add_counter("hits.L0", 2);
+  a.set_gauge("warmup", 0.1);
+  a.histogram("response_ms").record(1.0);
+  EXPECT_EQ(a.counter("hits.L0"), 7u);
+  EXPECT_NE(a.find_histogram("response_ms"), nullptr);
+  EXPECT_EQ(a.find_histogram("absent"), nullptr);
+
+  obs::MetricsRegistry b;
+  b.add_counter("hits.L0", 3);
+  b.add_counter("misses", 1);
+  b.set_gauge("warmup", 0.2);
+  b.histogram("response_ms").record(2.0);
+
+  a.merge(b);
+  EXPECT_EQ(a.counter("hits.L0"), 10u);  // counters add
+  EXPECT_EQ(a.counter("misses"), 1u);
+  EXPECT_EQ(a.find_histogram("response_ms")->count(), 2u);  // histograms merge
+  // Gauges take the merged-in value; keys serialize in lexicographic order.
+  EXPECT_EQ(a.to_json().dump(),
+            "{\"counters\":{\"hits.L0\":10,\"misses\":1},"
+            "\"gauges\":{\"warmup\":0.2},"
+            "\"histograms\":{\"response_ms\":" +
+                a.find_histogram("response_ms")->to_json().dump() + "}}");
+}
+
+TEST(ScopeTimer, RecordsSimClockDeltaAndToleratesNulls) {
+  obs::LatencyHistogram h;
+  double clock = 10.0;
+  {
+    obs::ScopeTimer t(&h, &clock);
+    clock = 13.5;
+  }
+  ASSERT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 3.5);
+  {
+    obs::ScopeTimer t(nullptr, &clock);  // no-op forms must not crash
+    obs::ScopeTimer t2(&h, nullptr);
+  }
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(ObsGate, PassesPointersThroughWhenEnabled) {
+  int x = 0;
+  if (obs::enabled()) {
+    EXPECT_EQ(obs::gate(&x), &x);
+  } else {
+    EXPECT_EQ(obs::gate(&x), nullptr);
+  }
+}
+
+TEST(StatsToJson, EmptyEmitsNullsNotZeros) {
+  OnlineStats s;
+  EXPECT_EQ(obs::stats_to_json(s).dump(),
+            "{\"count\":0,\"mean\":null,\"stddev\":null,"
+            "\"min\":null,\"max\":null}");
+  s.add(2.0);
+  EXPECT_EQ(obs::stats_to_json(s).dump(),
+            "{\"count\":1,\"mean\":2,\"stddev\":0,\"min\":2,\"max\":2}");
+}
+
+// ---- TraceRecorder ----
+
+TEST(TraceRecorder, CapacityDropsAreCountedNotRecorded) {
+  obs::TraceRecorder rec(2);
+  rec.span("a", "access", 0.0, 1.0, obs::TraceRecorder::kClientTrack, 0);
+  rec.instant("b", "fault", 1.0, obs::TraceRecorder::level_track(0), 0);
+  rec.span("c", "access", 2.0, 1.0, obs::TraceRecorder::kClientTrack, 1);
+  EXPECT_EQ(rec.size(), 2u);
+  EXPECT_EQ(rec.dropped(), 1u);
+  const std::string doc = rec.to_chrome_json().dump();
+  EXPECT_NE(doc.find("\"dropped_events\":1"), std::string::npos) << doc;
+  rec.clear();
+  EXPECT_TRUE(rec.empty());
+  EXPECT_EQ(rec.dropped(), 0u);
+}
+
+// The export schema is pinned by a golden file: chrome://tracing and Perfetto
+// parse these documents, so field names, ph/ts/dur conventions and metadata
+// ordering must not drift silently.
+TEST(TraceRecorder, ChromeExportMatchesGoldenFile) {
+  obs::TraceRecorder rec;
+  rec.name_track(obs::TraceRecorder::kClientTrack, "client");
+  rec.name_track(obs::TraceRecorder::level_track(1), "level L1");
+  rec.span("hit L1", "access", 0.25, 1.5, obs::TraceRecorder::kClientTrack, 0,
+           42);
+  rec.span("demote L0->L1", "demote", 1.75, 0.5,
+           obs::TraceRecorder::level_track(0), 0, 7);
+  rec.instant("breaker trip L1", "phase", 2.5, obs::TraceRecorder::level_track(1),
+              1);
+  rec.span("miss", "access", 3.0, 12.0, obs::TraceRecorder::kClientTrack, 1);
+
+  const std::string actual = rec.to_chrome_json().dump(2) + "\n";
+  std::ifstream golden(std::string(ULC_GOLDEN_DIR) + "/trace_events.golden.json");
+  ASSERT_TRUE(golden.is_open()) << "missing golden file";
+  std::stringstream expected;
+  expected << golden.rdbuf();
+  EXPECT_EQ(actual, expected.str())
+      << "Chrome trace schema changed; update "
+         "tests/golden/trace_events.golden.json\nactual:\n"
+      << actual;
+}
+
+// ---- run_scheme integration ----
+
+TEST(RunSchemeObs, CountersMatchStatsAndHistogramMeanMatchesTave) {
+  const Trace t = small_trace(512, 20000, 5);
+  const CostModel model = CostModel::paper_three_level();
+  auto scheme = make_ulc({64, 128, 256});
+  obs::MetricsRegistry metrics;
+  RunObservation observe;
+  observe.metrics = &metrics;
+  const RunResult r = run_scheme(*scheme, t, model, 0.1, observe);
+
+  // Published counters are the run's HierarchyStats verbatim.
+  for (std::size_t l = 0; l < r.stats.level_hits.size(); ++l)
+    EXPECT_EQ(metrics.counter("hits.L" + std::to_string(l)),
+              r.stats.level_hits[l]);
+  EXPECT_EQ(metrics.counter("misses"), r.stats.misses);
+  EXPECT_EQ(metrics.counter("references"), r.stats.references);
+  for (std::size_t b = 0; b < r.stats.demotions.size(); ++b)
+    EXPECT_EQ(metrics.counter("demote.L" + std::to_string(b)),
+              r.stats.demotions[b]);
+
+  // The response histogram samples exactly the per-reference terms of the
+  // analytic model (hit + miss + demotion; reloads/writebacks are off the
+  // read path), so its mean reproduces those T_ave components.
+  const obs::LatencyHistogram* hist = metrics.find_histogram("response_ms");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count(), r.stats.references);
+  const double expected =
+      r.time.hit_component + r.time.miss_component + r.time.demotion_component;
+  EXPECT_NEAR(hist->mean(), expected, 1e-9);
+}
+
+TEST(RunSchemeObs, InstrumentedRunMatchesBareRun) {
+  const Trace t = small_trace(256, 8000, 9);
+  const CostModel model = CostModel::paper_two_level();
+  auto bare = make_uni_lru({32, 64});
+  const RunResult plain = run_scheme(*bare, t, model, 0.1);
+
+  auto observed = make_uni_lru({32, 64});
+  obs::MetricsRegistry metrics;
+  obs::TraceRecorder rec(1000);
+  RunObservation observe;
+  observe.metrics = &metrics;
+  observe.events = &rec;
+  const RunResult instrumented = run_scheme(*observed, t, model, 0.1, observe);
+
+  // Observation is purely additive: identical stats and identical T_ave.
+  EXPECT_EQ(plain.stats.level_hits, instrumented.stats.level_hits);
+  EXPECT_EQ(plain.stats.misses, instrumented.stats.misses);
+  EXPECT_EQ(plain.stats.demotions, instrumented.stats.demotions);
+  EXPECT_DOUBLE_EQ(plain.t_ave_ms, instrumented.t_ave_ms);
+  EXPECT_FALSE(rec.empty());
+}
+
+// Engine-level determinism of the new fields: per-cell registries merged in
+// spec order make the counters and percentiles byte-identical no matter how
+// many worker threads raced on the cells.
+TEST(RunMatrixObs, MetricsIdenticalAcrossThreadCounts) {
+  auto t = std::make_shared<const Trace>(small_trace(256, 10000, 3));
+  auto make_specs = [&] {
+    std::vector<exp::ExperimentSpec> specs;
+    for (std::size_t cap : {16, 32, 64, 128}) {
+      exp::ExperimentSpec spec;
+      spec.factory = [cap](const Trace&) { return make_ulc({cap, 2 * cap}); };
+      spec.trace_override = t;
+      spec.model = CostModel::paper_two_level();
+      specs.push_back(std::move(spec));
+    }
+    return specs;
+  };
+
+  exp::MatrixOptions one;
+  one.threads = 1;
+  const auto base = exp::run_matrix(make_specs(), one);
+
+  exp::MatrixOptions eight;
+  eight.threads = 8;
+  const auto parallel = exp::run_matrix(make_specs(), eight);
+
+  ASSERT_EQ(base.size(), parallel.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    ASSERT_TRUE(base[i].metrics && parallel[i].metrics);
+    EXPECT_EQ(base[i].metrics->to_json().dump(),
+              parallel[i].metrics->to_json().dump())
+        << "cell " << i;
+  }
+}
+
+}  // namespace
+}  // namespace ulc

@@ -222,6 +222,35 @@ TEST_P(UlcClientPropertyTest, InvariantsHoldThroughout) {
   ASSERT_TRUE(c.check_consistency());
 }
 
+// Regression for the constructor's demotion-counter sizing: a single-level
+// hierarchy has no Demote(i -> i+1) pairs, so stats().demotions must have
+// zero entries (the old code special-cased an impossible empty capacities
+// vector — ULC_REQUIRE already rules it out). Every eviction from the only
+// level leaves the hierarchy entirely (to == kLevelOut), never through a
+// demotion counter.
+TEST(UlcClient, SingleLevelHasNoDemotionCountersAndDiscardsOut) {
+  UlcClient c(config({2}));
+  EXPECT_EQ(c.stats().demotions.size(), 0u);
+  EXPECT_EQ(c.access(1).placed_level, 0u);
+  EXPECT_EQ(c.access(2).placed_level, 0u);
+  std::uint64_t discards = 0;
+  // Immediate re-references (b, b, b+1, b+1, ...) give each new block a
+  // reuse distance of 1, so it earns placement in the full level and forces
+  // the LRU resident out of the hierarchy.
+  for (int i = 0; i < 200; ++i) {
+    const UlcAccess& a = c.access(static_cast<BlockId>(10 + i / 2));
+    for (const DemoteCmd& d : a.demotions) {
+      EXPECT_EQ(d.from, 0u);
+      EXPECT_EQ(d.to, kLevelOut);
+      ++discards;
+    }
+    EXPECT_EQ(c.stats().demotions.size(), 0u);
+  }
+  EXPECT_GT(discards, 0u);  // the discard path actually ran
+  EXPECT_LE(c.level_size(0), 2u);
+  EXPECT_TRUE(c.check_consistency());
+}
+
 std::vector<PropertyCase> property_cases() {
   std::vector<PropertyCase> cases;
   const std::vector<std::vector<std::size_t>> configs = {

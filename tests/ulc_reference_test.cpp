@@ -15,19 +15,38 @@
 namespace ulc {
 namespace {
 
-// Reference model of the single-client ULC protocol (paper §3.2.1).
+// Reference model of the single-client ULC protocol (paper §3.2.1), plus
+// the two client-side extensions the engine supports: the tempLRU of
+// footnote 3 and elastic (server-granted) levels whose fullness the server
+// toggles via set_elastic_full.
 class ReferenceUlc {
  public:
   struct Outcome {
     std::size_t hit_level = kLevelOut;
+    bool temp_hit = false;
     std::size_t placed_level = kLevelOut;
     std::vector<DemoteCmd> demotions;
   };
 
-  explicit ReferenceUlc(std::vector<std::size_t> caps) : caps_(std::move(caps)) {}
+  explicit ReferenceUlc(std::vector<std::size_t> caps,
+                        std::size_t first_elastic = kLevelOut,
+                        std::size_t temp_capacity = 0)
+      : caps_(std::move(caps)),
+        first_elastic_(first_elastic),
+        temp_capacity_(temp_capacity),
+        full_(caps_.size(), false) {}
+
+  void set_elastic_full(std::size_t level, bool full) { full_[level] = full; }
 
   Outcome access(BlockId b) {
     Outcome out;
+    if (temp_capacity_ > 0) {
+      const auto it = std::find(temp_.begin(), temp_.end(), b);
+      if (it != temp_.end()) {
+        out.temp_hit = true;
+        temp_.erase(it);
+      }
+    }
     auto pos = find(b);
     if (!pos) {
       // Not in uniLRUstack: cold. Fill the first level with room, else Lout.
@@ -35,6 +54,7 @@ class ReferenceUlc {
       stack_.insert(stack_.begin(), Entry{b, fill});
       out.placed_level = fill;
       prune();
+      touch_temp(b, fill == 0);
       return out;
     }
 
@@ -60,10 +80,11 @@ class ReferenceUlc {
     out.placed_level = j;
 
     if (j != e.level && j != kLevelOut) {
-      // Demotion cascade with same-block collapsing.
+      // Demotion cascade with same-block collapsing. An elastic level never
+      // overflows from the client's point of view — its server decides.
       std::optional<BlockId> inflight;
       for (std::size_t k = j; k < caps_.size(); ++k) {
-        if (count(k) <= caps_[k]) break;
+        if (!overflowed(k)) break;
         const auto y = yardstick(k);
         const BlockId victim = stack_[*y].block;
         const std::size_t next = k + 1 < caps_.size() ? k + 1 : kLevelOut;
@@ -77,7 +98,12 @@ class ReferenceUlc {
       }
     }
     prune();
+    touch_temp(b, j == 0);
     return out;
+  }
+
+  bool in_temp(BlockId b) const {
+    return std::find(temp_.begin(), temp_.end(), b) != temp_.end();
   }
 
   bool is_cached(BlockId b) const {
@@ -130,11 +156,31 @@ class ReferenceUlc {
     return n;
   }
 
+  bool is_elastic(std::size_t level) const { return level >= first_elastic_; }
+
+  bool has_room(std::size_t level) const {
+    if (is_elastic(level)) return !full_[level];
+    return count(level) < caps_[level];
+  }
+
+  bool overflowed(std::size_t level) const {
+    if (is_elastic(level)) return false;
+    return count(level) > caps_[level];
+  }
+
   std::size_t first_level_with_room() const {
     for (std::size_t lvl = 0; lvl < caps_.size(); ++lvl) {
-      if (count(lvl) < caps_[lvl]) return lvl;
+      if (has_room(lvl)) return lvl;
     }
     return kLevelOut;
+  }
+
+  void touch_temp(BlockId b, bool cached_at_client) {
+    if (temp_capacity_ == 0 || cached_at_client) return;
+    const auto it = std::find(temp_.begin(), temp_.end(), b);
+    if (it != temp_.end()) temp_.erase(it);
+    temp_.insert(temp_.begin(), b);
+    if (temp_.size() > temp_capacity_) temp_.pop_back();
   }
 
   void prune() {
@@ -151,7 +197,11 @@ class ReferenceUlc {
   }
 
   std::vector<std::size_t> caps_;
+  std::size_t first_elastic_ = kLevelOut;
+  std::size_t temp_capacity_ = 0;
+  std::vector<bool> full_;
   std::vector<Entry> stack_;  // front = most recent
+  std::vector<BlockId> temp_;  // front = most recent
 };
 
 struct DiffCase {
@@ -228,6 +278,87 @@ std::vector<DiffCase> diff_cases() {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, UlcDifferentialTest,
                          ::testing::ValuesIn(diff_cases()));
+
+// Boundary-configuration differential fuzz: capacity-1 levels, extreme
+// tempLRU capacities (1 block, and far larger than the footprint) and
+// elastic levels whose fullness flips mid-run — the corners the plain sweep
+// above never reaches. The engine's structural auditor runs in abort mode
+// (every step asserts), and the tempLRU contents themselves are compared.
+struct BoundaryCase {
+  std::uint64_t seed;
+  std::vector<std::size_t> caps;
+  std::size_t first_elastic;  // kLevelOut = all levels fixed
+  std::size_t temp_capacity;
+};
+
+class UlcBoundaryFuzzTest : public ::testing::TestWithParam<BoundaryCase> {};
+
+TEST_P(UlcBoundaryFuzzTest, EngineMatchesReferenceAtBoundaryConfigs) {
+  const BoundaryCase& pc = GetParam();
+  UlcConfig cfg;
+  cfg.capacities = pc.caps;
+  cfg.first_elastic_level = pc.first_elastic;
+  cfg.temp_capacity = pc.temp_capacity;
+  UlcClient engine(cfg);
+  ReferenceUlc reference(pc.caps, pc.first_elastic, pc.temp_capacity);
+
+  auto src = make_zipf_source(0, 60, 0.9, true, pc.seed);
+  Rng rng(pc.seed * 77 + 1);
+  Rng flips(pc.seed);
+  for (int i = 0; i < 3000; ++i) {
+    if (pc.first_elastic != kLevelOut && i % 101 == 0) {
+      // The server toggles fullness of each shared level mid-run.
+      for (std::size_t l = pc.first_elastic; l < pc.caps.size(); ++l) {
+        const bool full = flips.next_below(2) == 1;
+        engine.set_elastic_full(l, full);
+        reference.set_elastic_full(l, full);
+      }
+    }
+    const BlockId b = src->next(rng);
+    const UlcAccess& got = engine.access(b);
+    const ReferenceUlc::Outcome want = reference.access(b);
+
+    ASSERT_EQ(got.hit_level, want.hit_level) << "step " << i << " block " << b;
+    ASSERT_EQ(got.temp_hit, want.temp_hit) << "step " << i << " block " << b;
+    ASSERT_EQ(got.placed_level, want.placed_level) << "step " << i;
+    ASSERT_EQ(got.demotions.size(), want.demotions.size()) << "step " << i;
+    for (std::size_t d = 0; d < want.demotions.size(); ++d) {
+      ASSERT_EQ(got.demotions[d].block, want.demotions[d].block) << "step " << i;
+      ASSERT_EQ(got.demotions[d].from, want.demotions[d].from) << "step " << i;
+      ASSERT_EQ(got.demotions[d].to, want.demotions[d].to) << "step " << i;
+    }
+    ASSERT_EQ(engine.in_temp(b), reference.in_temp(b)) << "step " << i;
+    // Auditor in abort mode: any structural violation stops the run here.
+    ASSERT_TRUE(engine.check_consistency()) << "step " << i;
+  }
+  for (std::size_t lvl = 0; lvl < pc.caps.size(); ++lvl) {
+    for (BlockId blk : reference.cached_at(lvl))
+      ASSERT_EQ(engine.level_of(blk), lvl) << "blk " << blk;
+    ASSERT_EQ(engine.level_size(lvl), reference.cached_at(lvl).size());
+  }
+}
+
+std::vector<BoundaryCase> boundary_cases() {
+  return {
+      // Capacity-1 boundaries, all levels fixed.
+      {11, {1}, kLevelOut, 0},
+      {12, {1}, kLevelOut, 1},
+      {13, {1, 1, 1}, kLevelOut, 1},
+      {14, {1, 1, 1}, kLevelOut, 10000},  // tempLRU swallows the footprint
+      {15, {2, 1, 4}, kLevelOut, 3},
+      {16, {1, 1, 1, 1, 1}, kLevelOut, 2},
+      // Elastic shared levels (capacity entries past first_elastic are
+      // server-granted; 0 is legal there) with mid-run fullness flips.
+      {21, {1, 0}, 1, 0},
+      {22, {1, 0}, 1, 1},
+      {23, {1, 0, 0}, 1, 2},
+      {24, {2, 4}, 1, 10000},
+      {25, {1, 1, 0}, 2, 1},
+  };
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundary, UlcBoundaryFuzzTest,
+                         ::testing::ValuesIn(boundary_cases()));
 
 }  // namespace
 }  // namespace ulc

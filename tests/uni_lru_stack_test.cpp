@@ -133,6 +133,71 @@ TEST(UniLruStack, RemoveRequiresUncached) {
   EXPECT_TRUE(s.check_consistency());
 }
 
+// The prune loop's stop boundary is exact: a node is dropped only when its
+// seq is *strictly* below the deepest yardstick's. tail_->seq == min_seq
+// means the tail is that yardstick itself (sequence numbers are unique) and
+// it must survive. With no yardsticks left there is no boundary at all and
+// the whole stack drains.
+TEST(UniLruStack, PruneTailBoundaryAtDeepestYardstickSeq) {
+  UniLruStack s(2);
+  auto* y1 = s.push_top(1, 1);  // deepest yardstick (minimal yardstick seq)
+  s.push_top(2, kLevelOut);     // uncached, above y1: must survive
+  auto* y0 = s.push_top(3, 0);  // shallower yardstick (larger seq)
+  ASSERT_EQ(s.tail(), y1);
+  EXPECT_EQ(s.prune(), 0u);  // tail seq == min yardstick seq: kept
+  EXPECT_EQ(s.tail(), y1);
+  EXPECT_NE(s.find(2), nullptr);
+
+  // Evict the deepest yardstick out of the hierarchy: the ex-yardstick now
+  // sits at the tail strictly below the remaining yardstick, so prune
+  // drains it together with block 2 (also below y0).
+  s.yardstick_departure(y1);
+  s.set_level(y1, kLevelOut);
+  EXPECT_EQ(s.prune(), 2u);
+  EXPECT_EQ(s.find(1), nullptr);
+  EXPECT_EQ(s.find(2), nullptr);
+  EXPECT_EQ(s.tail(), y0);
+  EXPECT_TRUE(s.check_consistency());
+
+  // No yardsticks at all: every uncached node is unreachable and drains.
+  s.yardstick_departure(y0);
+  s.set_level(y0, kLevelOut);
+  EXPECT_EQ(s.prune(), 1u);
+  EXPECT_EQ(s.stack_size(), 0u);
+  EXPECT_TRUE(s.check_consistency());
+}
+
+// I4 (per-level occupancy <= capacity) is a *between-cascades* invariant:
+// mid-cascade the level that just received a block transiently holds
+// capacity+1 entries and check_consistency(&caps) must report it, while the
+// structural invariants (no capacities argument) hold at every step. Each
+// cascade stage hands the overflow one level down until the bottom victim
+// leaves the hierarchy, which restores I4.
+TEST(UniLruStack, ConsistencyCapacitiesDuringDemotionCascade) {
+  UniLruStack s(2);
+  const std::vector<std::size_t> caps{1, 1};
+  auto* a = s.push_top(1, 1);  // L1 resident (and its yardstick)
+  auto* b = s.push_top(2, 0);  // L0 resident (and its yardstick)
+  EXPECT_TRUE(s.check_consistency(&caps));
+
+  s.push_top(3, 0);  // new block placed at L0: transient L0 overflow
+  EXPECT_FALSE(s.check_consistency(&caps));
+  EXPECT_TRUE(s.check_consistency());
+
+  // Cascade stage 1: demote L0's victim into L1 — the overflow moves down.
+  s.yardstick_departure(b);
+  s.set_level(b, 1);
+  EXPECT_FALSE(s.check_consistency(&caps));
+  EXPECT_TRUE(s.check_consistency());
+
+  // Cascade stage 2: L1's victim leaves the hierarchy; I4 is restored.
+  s.yardstick_departure(a);
+  s.set_level(a, kLevelOut);
+  EXPECT_TRUE(s.check_consistency(&caps));
+  EXPECT_EQ(s.level_size(0), 1u);
+  EXPECT_EQ(s.level_size(1), 1u);
+}
+
 TEST(UniLruStack, ConsistencyWithCapacities) {
   UniLruStack s(2);
   s.push_top(1, 0);

@@ -98,11 +98,48 @@ TEST(OnlineStats, BasicMoments) {
   EXPECT_NEAR(s.stddev(), std::sqrt(1.25), 1e-12);
 }
 
-TEST(OnlineStats, EmptyIsZero) {
+// The empty-stats regression: an empty accumulator must say so explicitly.
+// mean()/variance()/sum() keep their harmless 0.0-when-empty convention, but
+// min()/max() used to silently return 0.0 too — poisoning any aggregation
+// that mixed in a zero-sample phase. They now abort; callers check empty().
+TEST(OnlineStats, EmptyIsExplicit) {
   OnlineStats s;
+  EXPECT_TRUE(s.empty());
   EXPECT_EQ(s.count(), 0u);
   EXPECT_EQ(s.mean(), 0.0);
   EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_DEATH(s.min(), "empty OnlineStats");
+  EXPECT_DEATH(s.max(), "empty OnlineStats");
+  s.add(-2.0);
+  EXPECT_FALSE(s.empty());
+  EXPECT_DOUBLE_EQ(s.min(), -2.0);
+  EXPECT_DOUBLE_EQ(s.max(), -2.0);
+}
+
+TEST(OnlineStats, MergeMatchesCombinedAccumulation) {
+  OnlineStats all, left, right;
+  const std::vector<double> xs = {0.5, -1.0, 3.25, 7.0, 2.0, 2.0, -4.5};
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    all.add(xs[i]);
+    (i < 3 ? left : right).add(xs[i]);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_DOUBLE_EQ(left.sum(), all.sum());
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-12);
+
+  // Merging an empty side (either way) is the identity.
+  OnlineStats empty;
+  OnlineStats copy = all;
+  copy.merge(empty);
+  EXPECT_EQ(copy.count(), all.count());
+  EXPECT_DOUBLE_EQ(copy.mean(), all.mean());
+  empty.merge(all);
+  EXPECT_EQ(empty.count(), all.count());
+  EXPECT_DOUBLE_EQ(empty.max(), all.max());
 }
 
 TEST(Histogram, RatiosAndCumulative) {

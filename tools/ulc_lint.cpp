@@ -24,6 +24,11 @@
 //                        with no attempts counter in sight — retries must be
 //                        bounded (proto/reliable.h) so a dead level cannot
 //                        spin the simulator forever
+//   wall-clock           std::chrono machine clocks (system_clock,
+//                        steady_clock, high_resolution_clock) anywhere in the
+//                        linted tree — simulated quantities are keyed to sim
+//                        time or access index; the only sanctioned stopwatch
+//                        is util/wallclock.h, whose lines carry allow markers
 //
 // Exit status: 0 clean, 1 findings, 2 usage/IO error.
 #include <algorithm>
@@ -252,6 +257,17 @@ class Linter {
         report(n + 1, "determinism",
                "wall-clock or libc randomness breaks reproducible runs; use "
                "util/prng.h with an explicit seed");
+    }
+
+    // wall-clock ---------------------------------------------------------
+    static const std::regex kWallClock(
+        "\\b(?:system_clock|steady_clock|high_resolution_clock)\\b");
+    for (std::size_t n = 0; n < strip_lines.size(); ++n) {
+      if (std::regex_search(strip_lines[n], kWallClock))
+        report(n + 1, "wall-clock",
+               "machine clocks break replay determinism; key measurements to "
+               "sim time or access index, or go through util/wallclock.h "
+               "(the allow-listed stopwatch shim)");
     }
 
     // unordered-iteration ------------------------------------------------

@@ -18,6 +18,14 @@
 //                   [--json=<path>]
 //       Run every applicable scheme on the trace and print one ranked
 //       table (total hits, demotion rate, T_ave).
+//   ulctool trace --out=<file.json> (--preset=... | --trace=<file>)
+//                 [--scheme=<ulc|unilru|indlru>] [--caps=<a,b,...>]
+//                 [--warmup=<f>] [--max-events=<n>]
+//       Replay the trace through the message-level protocol simulator with
+//       the observability recorder attached and write the event timeline
+//       (reference spans on the client track, Demote transfers on the level
+//       tracks) as Chrome trace_event JSON — load it in chrome://tracing or
+//       https://ui.perfetto.dev. Timestamps are simulated milliseconds.
 //
 // sim and compare run their cells on the shared experiment engine
 // (src/exp/experiment.h); --json writes the engine's structured result
@@ -36,6 +44,8 @@
 #include "hierarchy/hierarchy.h"
 #include "hierarchy/runner.h"
 #include "measures/analyzers.h"
+#include "obs/trace_recorder.h"
+#include "proto/protocol_sim.h"
 #include "trace/trace_io.h"
 #include "util/json.h"
 #include "util/table.h"
@@ -64,7 +74,11 @@ using namespace ulc;
                "  ulctool compare --caps=<a,b,...> "
                "(--preset=<name> | --trace=<file>)\n"
                "              [--clients=<n>] [--warmup=<f>] [--threads=<n>] "
-               "[--json=<path>]\n");
+               "[--json=<path>]\n"
+               "  ulctool trace --out=<file.json> "
+               "(--preset=<name> | --trace=<file>)\n"
+               "              [--scheme=<ulc|unilru|indlru>] "
+               "[--caps=<a,b,...>] [--warmup=<f>] [--max-events=<n>]\n");
   std::exit(2);
 }
 
@@ -387,6 +401,72 @@ int cmd_compare(const Args& args) {
   return 0;
 }
 
+int cmd_trace(const Args& args) {
+  if (!args.has("out")) usage("trace needs --out=<file.json>");
+  if (!obs::enabled()) {
+    std::fprintf(stderr,
+                 "ulctool: this binary was built with ULC_ENABLE_OBS=0; "
+                 "the trace recorder is compiled out\n");
+    return 1;
+  }
+  const Trace t = load_input(args);
+  const std::vector<std::size_t> caps =
+      parse_sizes(args.get("caps", "400,400,400"));
+  if (caps.empty()) usage("trace needs --caps=<a,b,...>");
+
+  const std::string kind = args.get("scheme", "ulc");
+  ProtocolScheme scheme;
+  if (kind == "ulc") {
+    scheme = ProtocolScheme::kUlc;
+  } else if (kind == "unilru") {
+    scheme = ProtocolScheme::kUniLru;
+  } else if (kind == "indlru") {
+    scheme = ProtocolScheme::kIndLru;
+  } else {
+    usage("trace needs --scheme=<ulc|unilru|indlru>");
+  }
+
+  ProtocolConfig cfg;
+  if (caps.size() == 3) {
+    cfg = ProtocolConfig::paper_three_level(caps);
+  } else {
+    cfg.caps = caps;
+    cfg.links.assign(caps.size() - 1, LinkConfig{});
+  }
+  cfg.warmup_fraction = args.get_double("warmup", 0.1);
+
+  obs::TraceRecorder recorder(args.get_u64("max-events", 0));
+  recorder.name_track(obs::TraceRecorder::kClientTrack, "client");
+  for (std::size_t l = 0; l < caps.size(); ++l)
+    recorder.name_track(obs::TraceRecorder::level_track(l),
+                        "level L" + std::to_string(l));
+
+  const ProtocolResult r = run_protocol_sim(scheme, cfg, t, &recorder);
+
+  std::string error;
+  if (!save_json(recorder.to_chrome_json(), args.get("out"), 1, &error)) {
+    std::fprintf(stderr, "ulctool: %s\n", error.c_str());
+    return 1;
+  }
+
+  std::printf("scheme %s on %s: %zu references -> %zu events",
+              protocol_scheme_name(scheme), t.name().c_str(), t.size(),
+              recorder.size());
+  if (recorder.dropped() > 0)
+    std::printf(" (%llu dropped at --max-events)",
+                static_cast<unsigned long long>(recorder.dropped()));
+  std::printf("\n");
+  const obs::LatencyHistogram& h = r.response_hist;
+  if (!h.empty())
+    std::printf("measured response ms: mean %.3f  p50 %.3f  p95 %.3f  "
+                "p99 %.3f  max %.3f\n",
+                h.mean(), h.percentile(50.0), h.percentile(95.0),
+                h.percentile(99.0), h.max());
+  std::printf("wrote %s — open in chrome://tracing or ui.perfetto.dev\n",
+              args.get("out").c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -399,5 +479,6 @@ int main(int argc, char** argv) {
   if (cmd == "analyze") return cmd_analyze(args);
   if (cmd == "sim") return cmd_sim(args);
   if (cmd == "compare") return cmd_compare(args);
+  if (cmd == "trace") return cmd_trace(args);
   usage(("unknown command: " + cmd).c_str());
 }
