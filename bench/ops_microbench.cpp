@@ -114,8 +114,8 @@ void BM_RunScheme(benchmark::State& state, bool observed) {
   state.SetItemsProcessed(
       static_cast<std::int64_t>(state.iterations() * t.size()));
 }
-BENCHMARK_CAPTURE(BM_RunScheme, obs_off, false)->Arg(1 << 12);
-BENCHMARK_CAPTURE(BM_RunScheme, obs_on, true)->Arg(1 << 12);
+BENCHMARK_CAPTURE(BM_RunScheme, obs_off, false)->Arg(1 << 12)->Arg(1 << 16);
+BENCHMARK_CAPTURE(BM_RunScheme, obs_on, true)->Arg(1 << 12)->Arg(1 << 16);
 
 // Raw cost of one histogram sample (bucket index + Welford update).
 void BM_HistogramRecord(benchmark::State& state) {

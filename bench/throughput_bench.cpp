@@ -1,0 +1,163 @@
+// Throughput gate for the slab/FlatMap hot-path storage (DESIGN.md §8).
+//
+// Replays the large Zipf preset through the main schemes one at a time
+// (serially, so memory attribution is clean) and reports, per scheme:
+//   * accesses/sec over the measured region (wall clock — explicitly the
+//     nondeterministic fields of this harness, like the experiment engine's
+//     wall_seconds/refs_per_sec),
+//   * peak and delta resident set size read from /proc/self/status
+//     (Linux-only; zeros elsewhere),
+//   * slab arena traffic (allocs/frees/pages carved+released) from the
+//     scheme's uniLRUstacks — steady-state should carve no pages after
+//     warm-up, which is the point of the arena.
+//
+// CI runs this at a smoke scale and validates the JSON schema; the numbers
+// tracked over time live in BENCH_throughput.json at the repo root.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "exp/experiment.h"
+#include "hierarchy/hierarchy.h"
+#include "hierarchy/runner.h"
+#include "obs/metrics.h"
+#include "ulc/uni_lru_stack.h"
+#include "util/table.h"
+#include "util/wallclock.h"
+
+#if defined(__linux__)
+#include <cstdlib>
+#endif
+
+using namespace ulc;
+
+namespace {
+
+// Reads a "VmRSS:  1234 kB"-style field from /proc/self/status; 0 when the
+// field (or the file) is unavailable (non-Linux).
+std::uint64_t read_status_kb(const char* field) {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::uint64_t value = 0;
+  const std::size_t field_len = std::strlen(field);
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, field, field_len) == 0 && line[field_len] == ':') {
+      value = std::strtoull(line + field_len + 1, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return value;
+#else
+  (void)field;
+  return 0;
+#endif
+}
+
+struct SchemeSpec {
+  const char* label;
+  exp::SchemeFactory make;
+  std::size_t levels = 3;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parse_options(argc, argv, 0.02);
+  const CostModel model3 = CostModel::paper_three_level();
+  const CostModel model2 = CostModel::paper_two_level();
+
+  // Fixed-size caches against the paper's large Zipf footprint (98304
+  // blocks at full scale): the stacks churn hard enough that allocation
+  // behaviour, not hash luck, dominates.
+  const std::size_t cap = 12800;
+  const std::vector<std::size_t> caps3(3, cap);
+  const SchemeSpec schemes[] = {
+      {"indLRU", [&](const Trace&) { return make_ind_lru(caps3); }},
+      {"uniLRU", [&](const Trace&) { return make_uni_lru(caps3); }},
+      {"LRU+MQ", [&](const Trace&) { return make_mq_hierarchy(cap, cap, 1); },
+       2},
+      {"ULC", [&](const Trace&) { return make_ulc(caps3); }},
+  };
+
+  std::fprintf(stderr, "synthesizing zipf trace (scale=%g)...\n", opt.scale);
+  exp::TraceCache cache;
+  const exp::TraceSpec trace_spec{"zipf", opt.scale, opt.seed};
+  const Trace& trace = cache.get(trace_spec);
+
+  TablePrinter table({"scheme", "refs", "accesses/sec", "t_ave (ms)",
+                      "rss delta (kB)", "peak rss (kB)", "slab allocs",
+                      "pages carved"});
+  Json results = Json::array();
+
+  for (const SchemeSpec& s : schemes) {
+    const std::uint64_t rss_before_kb = read_status_kb("VmRSS");
+    SchemePtr scheme = s.make(trace);
+    // No RunObservation: the throughput number is the zero-instrumentation
+    // hot path, matching BM_RunScheme's obs_off configuration.
+    const WallTimer timer;
+    const RunResult run = run_scheme(*scheme, trace,
+                                     s.levels == 2 ? model2 : model3,
+                                     opt.warmup);
+    const double wall_seconds = timer.elapsed_seconds();
+    const std::uint64_t rss_after_kb = read_status_kb("VmRSS");
+    const std::uint64_t peak_rss_kb = read_status_kb("VmHWM");
+
+    // Arena traffic over every uniLRUstack the scheme exposes (non-ULC
+    // schemes expose none and report zeros), published as obs counters so
+    // the JSON rows come from the same registry the engine benches use.
+    obs::MetricsRegistry metrics;
+    for (std::size_t i = 0; i < scheme->audit_stack_count(); ++i) {
+      const UniLruStack* stack = scheme->audit_stack(i);
+      if (stack == nullptr) continue;
+      const auto st = stack->slab_stats();
+      metrics.add_counter("slab.allocs", st.allocs);
+      metrics.add_counter("slab.frees", st.frees);
+      metrics.add_counter("slab.pages_carved", st.pages_carved);
+      metrics.add_counter("slab.pages_released", st.pages_released);
+    }
+
+    const std::uint64_t refs = run.stats.references;
+    const double accesses_per_sec =
+        wall_seconds > 0 ? static_cast<double>(refs) / wall_seconds : 0.0;
+    const std::uint64_t rss_delta_kb =
+        rss_after_kb > rss_before_kb ? rss_after_kb - rss_before_kb : 0;
+
+    table.add_row({s.label, std::to_string(refs),
+                   fmt_double(accesses_per_sec / 1e6, 2) + "M",
+                   fmt_double(run.t_ave_ms, 3), std::to_string(rss_delta_kb),
+                   std::to_string(peak_rss_kb),
+                   std::to_string(metrics.counter("slab.allocs")),
+                   std::to_string(metrics.counter("slab.pages_carved"))});
+
+    Json row = Json::object();
+    row.set("scheme", s.label);
+    row.set("trace", run.trace);
+    row.set("references", refs);
+    row.set("miss_ratio", run.stats.miss_ratio());
+    row.set("t_ave_ms", run.t_ave_ms);
+    row.set("wall_seconds", wall_seconds);          // nondeterministic
+    row.set("accesses_per_sec", accesses_per_sec);  // nondeterministic
+    Json memory = Json::object();
+    memory.set("rss_before_kb", rss_before_kb);  // nondeterministic
+    memory.set("rss_delta_kb", rss_delta_kb);    // nondeterministic
+    memory.set("peak_rss_kb", peak_rss_kb);      // nondeterministic
+    row.set("memory", std::move(memory));
+    Json slab_json = Json::object();
+    slab_json.set("allocs", metrics.counter("slab.allocs"));
+    slab_json.set("frees", metrics.counter("slab.frees"));
+    slab_json.set("pages_carved", metrics.counter("slab.pages_carved"));
+    slab_json.set("pages_released", metrics.counter("slab.pages_released"));
+    row.set("slab", std::move(slab_json));
+    results.push(std::move(row));
+  }
+
+  std::printf("Throughput: large Zipf preset, serial per-scheme runs\n\n");
+  bench::emit(table, opt);
+  bench::write_json(opt, "throughput", std::move(results));
+  return 0;
+}

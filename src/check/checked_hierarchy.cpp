@@ -376,7 +376,7 @@ void CheckedHierarchy::check_stack(const UniLruStack& stack,
   std::vector<std::size_t> counts(stack_levels, 0);
   std::uint64_t last_seq = 0;
   bool first = true;
-  for (const UniLruStack::Node* n = stack.tail(); n != nullptr; n = n->prev) {
+  for (const UniLruStack::Node* n = stack.tail(); n != nullptr; n = stack.prev(n)) {
     if (!first && n->seq <= last_seq)
       fail(ViolationKind::kStructure,
            "uniLRUstack order is not strictly recency-sorted");

@@ -6,11 +6,11 @@
 // several levels at once — the undiscerning redundancy the paper's
 // introduction criticizes. Evictions are silent drops (no transfers), hence
 // no demotion cost; its weakness is the hit rate.
-#include <unordered_set>
 #include <vector>
 
 #include "hierarchy/hierarchy.h"
 #include "replacement/cache_policy.h"
+#include "util/flat_hash.h"
 #include "util/ensure.h"
 
 namespace ulc {
@@ -36,7 +36,7 @@ class IndLruScheme final : public MultiLevelScheme {
     CachePolicy& client = *client_caches_[request.client];
     const BlockId b = request.block;
 
-    if (request.op == Op::kWrite) dirty_.insert(b);
+    if (request.op == Op::kWrite) dirty_.put(b, 1);
     if (client.touch(b, {})) {
       ++stats_.level_hits[0];
       return;
@@ -61,7 +61,7 @@ class IndLruScheme final : public MultiLevelScheme {
     if (ev.evicted) {
       audit_emit(AuditEvent::Kind::kEvict, ev.victim, 0, kAuditNoLevel,
                  request.client);
-      if (dirty_.erase(ev.victim) > 0) {
+      if (dirty_.erase(ev.victim)) {
         ++stats_.writebacks;
         audit_emit(AuditEvent::Kind::kWriteback, ev.victim);
       }
@@ -107,7 +107,7 @@ class IndLruScheme final : public MultiLevelScheme {
   std::size_t levels_;
   std::vector<PolicyPtr> client_caches_;
   std::vector<PolicyPtr> shared_caches_;  // levels 1..n-1
-  std::unordered_set<BlockId> dirty_;
+  FlatMap<BlockId, std::uint8_t> dirty_;  // set of dirty blocks
   HierarchyStats stats_;
 };
 

@@ -6,11 +6,11 @@
 // The server policy runs over the stream of client misses (the environment
 // these policies were designed for); caching is inclusive and there are no
 // demotions.
-#include <unordered_set>
 #include <vector>
 
 #include "hierarchy/hierarchy.h"
 #include "replacement/cache_policy.h"
+#include "util/flat_hash.h"
 #include "util/ensure.h"
 
 namespace ulc {
@@ -34,7 +34,7 @@ class PolicyServerScheme final : public MultiLevelScheme {
     CachePolicy& client = *clients_[request.client];
     const BlockId b = request.block;
 
-    if (request.op == Op::kWrite) dirty_.insert(b);
+    if (request.op == Op::kWrite) dirty_.put(b, 1);
     if (client.touch(b, {})) {
       ++stats_.level_hits[0];
       return;
@@ -52,7 +52,7 @@ class PolicyServerScheme final : public MultiLevelScheme {
     if (ev.evicted) {
       audit_emit(AuditEvent::Kind::kEvict, ev.victim, 0, kAuditNoLevel,
                  request.client);
-      if (dirty_.erase(ev.victim) > 0) {
+      if (dirty_.erase(ev.victim)) {
         ++stats_.writebacks;
         audit_emit(AuditEvent::Kind::kWriteback, ev.victim);
       }
@@ -90,7 +90,7 @@ class PolicyServerScheme final : public MultiLevelScheme {
  private:
   std::vector<PolicyPtr> clients_;
   PolicyPtr server_;
-  std::unordered_set<BlockId> dirty_;
+  FlatMap<BlockId, std::uint8_t> dirty_;  // set of dirty blocks
   HierarchyStats stats_;
   std::string name_;
   bool auditable_;

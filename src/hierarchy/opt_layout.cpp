@@ -126,8 +126,9 @@ class OptLayoutScheme final : public MultiLevelScheme {
   std::size_t position_ = 0;
 
   OrderStatisticList list_;  // cached blocks, ascending next use
-  std::unordered_map<BlockId, OrderStatisticList::Handle> handles_;
-  std::unordered_map<BlockId, Key> keys_;
+  // Offline OPT layout analysis, not a hot path.
+  std::unordered_map<BlockId, OrderStatisticList::Handle> handles_;  // ulc-lint: allow(hot-container)
+  std::unordered_map<BlockId, Key> keys_;  // ulc-lint: allow(hot-container)
   std::map<Key, OrderStatisticList::Handle> order_;
 
   HierarchyStats stats_;

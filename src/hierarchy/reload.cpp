@@ -6,11 +6,11 @@
 // client/server links to the disk, off the critical path. The ablation
 // bench uses this to probe when uniLRU's demotion traffic, not its layout,
 // is the problem.
-#include <unordered_set>
 #include <vector>
 
 #include "hierarchy/hierarchy.h"
 #include "order/segmented_list.h"
+#include "util/flat_hash.h"
 
 namespace ulc {
 
@@ -30,7 +30,7 @@ class ReloadUniLruScheme final : public MultiLevelScheme {
     } else {
       ++stats_.misses;
     }
-    if (request.op == Op::kWrite) dirty_.insert(request.block);
+    if (request.op == Op::kWrite) dirty_.put(request.block, 1);
     // Boundary slides become disk reloads into the lower level rather than
     // network demotions. Note the catch for dirty blocks: a reload fetches
     // the *stale* on-disk copy, so dirty blocks must be written back before
@@ -38,13 +38,13 @@ class ReloadUniLruScheme final : public MultiLevelScheme {
     crossed_wrote_back_.assign(result_.crossed_count, false);
     for (std::size_t b = 0; b < result_.crossed_count; ++b) {
       ++stats_.reloads[b];
-      if (dirty_.erase(result_.crossed[b]) > 0) {
+      if (dirty_.erase(result_.crossed[b])) {
         ++stats_.writebacks;
         crossed_wrote_back_[b] = true;
       }
     }
     const bool wrote_back =
-        result_.evicted && dirty_.erase(result_.evicted_key) > 0;
+        result_.evicted && dirty_.erase(result_.evicted_key);
     if (wrote_back) ++stats_.writebacks;
     if (auditing()) emit_events(request.block, wrote_back);
   }
@@ -97,7 +97,7 @@ class ReloadUniLruScheme final : public MultiLevelScheme {
   SegmentedList list_;
   SegmentedList::AccessResult result_;
   std::vector<bool> crossed_wrote_back_;
-  std::unordered_set<BlockId> dirty_;
+  FlatMap<BlockId, std::uint8_t> dirty_;  // set of dirty blocks
   HierarchyStats stats_;
 };
 

@@ -13,12 +13,12 @@
 // another client's L1 leave other clients' metadata stale; the driver
 // reconciles that at access time (counted as stale_syncs).
 #include <memory>
-#include <unordered_set>
 #include <vector>
 
 #include "hierarchy/hierarchy.h"
 #include "ulc/glru_server.h"
 #include "ulc/ulc_client.h"
+#include "util/flat_hash.h"
 #include "util/ensure.h"
 
 namespace ulc {
@@ -63,7 +63,7 @@ class UlcSingleScheme final : public MultiLevelScheme {
     const UlcAccess& a = client_.access(request.block);
     if (request.op == Op::kWrite) {
       if (a.placed_level != kLevelOut) {
-        dirty_.insert(request.block);
+        dirty_.put(request.block, 1);
       } else {
         ++stats_.writebacks;  // uncached write goes straight through to disk
         audit_emit(AuditEvent::Kind::kWriteback, request.block);
@@ -90,7 +90,7 @@ class UlcSingleScheme final : public MultiLevelScheme {
       // crosses every link between f and t.
       const DemoteCmd& cmd = a.demotions[d];
       if (cmd.to == kLevelOut) {
-        if (dirty_.erase(cmd.block) > 0) {
+        if (dirty_.erase(cmd.block)) {
           ++stats_.writebacks;
           demote_wrote_back_[d] = true;
         }
@@ -187,7 +187,7 @@ class UlcSingleScheme final : public MultiLevelScheme {
   UlcClient client_;
   std::size_t temp_capacity_;
   std::vector<bool> demote_wrote_back_;
-  std::unordered_set<BlockId> dirty_;
+  FlatMap<BlockId, std::uint8_t> dirty_;  // set of dirty blocks
   HierarchyStats stats_;
 };
 
@@ -225,7 +225,7 @@ class UlcMultiScheme final : public MultiLevelScheme {
     const UlcAccess& a = client.access(request.block);
     if (request.op == Op::kWrite) {
       if (a.placed_level != kLevelOut) {
-        dirty_.insert(request.block);
+        dirty_.put(request.block, 1);
       } else {
         ++stats_.writebacks;  // uncached write goes straight through to disk
         audit_emit(AuditEvent::Kind::kWriteback, request.block);
@@ -423,7 +423,7 @@ class UlcMultiScheme final : public MultiLevelScheme {
     if (!r.evicted) return merged;
     audit_emit(AuditEvent::Kind::kEvict, r.victim, 1, kAuditNoLevel,
                r.victim_owner);
-    if (dirty_.erase(r.victim) > 0) {
+    if (dirty_.erase(r.victim)) {
       ++stats_.writebacks;
       audit_emit(AuditEvent::Kind::kWriteback, r.victim);
     }
@@ -439,7 +439,7 @@ class UlcMultiScheme final : public MultiLevelScheme {
   }
 
   std::vector<std::unique_ptr<UlcClient>> clients_;
-  std::unordered_set<BlockId> dirty_;
+  FlatMap<BlockId, std::uint8_t> dirty_;  // set of dirty blocks
   GlruServer server_;
   std::vector<std::vector<BlockId>> pending_notices_;
   bool announced_full_ = false;

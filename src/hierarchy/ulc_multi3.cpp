@@ -11,12 +11,12 @@
 // evictions through the same piggybacked notices as in the two-level
 // protocol, now carrying a moved-down/evicted kind.
 #include <memory>
-#include <unordered_set>
 #include <vector>
 
 #include "hierarchy/hierarchy.h"
 #include "ulc/glru_server.h"
 #include "ulc/ulc_client.h"
+#include "util/flat_hash.h"
 #include "util/ensure.h"
 
 namespace ulc {
@@ -56,7 +56,7 @@ class UlcMulti3Scheme final : public MultiLevelScheme {
     const UlcAccess& a = client.access(request.block);
     if (request.op == Op::kWrite) {
       if (a.placed_level != kLevelOut) {
-        dirty_.insert(request.block);
+        dirty_.put(request.block, 1);
       } else {
         ++stats_.writebacks;
         audit_emit(AuditEvent::Kind::kWriteback, request.block);
@@ -285,7 +285,7 @@ class UlcMulti3Scheme final : public MultiLevelScheme {
     if (!r.evicted) return merged;
     audit_emit(AuditEvent::Kind::kEvict, r.victim, 2, kAuditNoLevel,
                r.victim_owner);
-    if (dirty_.erase(r.victim) > 0) {
+    if (dirty_.erase(r.victim)) {
       ++stats_.writebacks;
       audit_emit(AuditEvent::Kind::kWriteback, r.victim);
     }
@@ -328,7 +328,7 @@ class UlcMulti3Scheme final : public MultiLevelScheme {
   GlruServer server_;
   GlruServer array_;
   std::vector<std::vector<BlockId>> pending_;
-  std::unordered_set<BlockId> dirty_;
+  FlatMap<BlockId, std::uint8_t> dirty_;  // set of dirty blocks
   HierarchyStats stats_;
 };
 

@@ -13,7 +13,6 @@
 // client's LRU-bottom overflow is demoted to the server, entering at a
 // configurable insertion point (Wong & Wilkes' adaptive-insertion variants;
 // the bench reports the best variant per workload, as the paper did).
-#include <unordered_set>
 #include <vector>
 
 #include "hierarchy/hierarchy.h"
@@ -21,6 +20,7 @@
 #include "order/segmented_list.h"
 #include "replacement/cache_policy.h"
 #include "util/ensure.h"
+#include "util/flat_hash.h"
 
 namespace ulc {
 
@@ -52,13 +52,12 @@ class UniLruScheme final : public MultiLevelScheme {
     } else {
       ++stats_.misses;
     }
-    if (request.op == Op::kWrite) dirty_.insert(request.block);
+    if (request.op == Op::kWrite) dirty_.put(request.block, 1);
     // Each boundary slide is one demotion transfer; the final eviction is a
     // silent drop — unless the block is dirty, in which case it must be
     // written back to disk first.
     for (std::size_t b = 0; b < result_.crossed_count; ++b) ++stats_.demotions[b];
-    const bool wrote_back =
-        result_.evicted && dirty_.erase(result_.evicted_key) > 0;
+    const bool wrote_back = result_.evicted && dirty_.erase(result_.evicted_key);
     if (wrote_back) ++stats_.writebacks;
     if (auditing()) emit_events(request.block, wrote_back);
   }
@@ -107,7 +106,7 @@ class UniLruScheme final : public MultiLevelScheme {
 
   SegmentedList list_;
   SegmentedList::AccessResult result_;
-  std::unordered_set<BlockId> dirty_;
+  FlatMap<BlockId, std::uint8_t> dirty_;  // set of dirty blocks
   HierarchyStats stats_;
 };
 
@@ -118,23 +117,24 @@ class ServerLru {
  public:
   explicit ServerLru(std::size_t capacity) : capacity_(capacity) {
     ULC_REQUIRE(capacity >= 1, "server capacity must be >= 1");
+    index_.reserve(capacity_ + 1);
   }
 
-  bool contains(BlockId b) const { return index_.count(b) != 0; }
+  bool contains(BlockId b) const { return index_.contains(b); }
 
   // Exclusive read: remove and return presence.
   bool take(BlockId b) {
-    auto it = index_.find(b);
-    if (it == index_.end()) return false;
-    list_.erase(it->second);
-    index_.erase(it);
+    const OrderStatisticList::Handle* h = index_.find(b);
+    if (h == nullptr) return false;
+    list_.erase(*h);
+    index_.erase(b);
     return true;
   }
 
   // Insert a demoted block at the given policy's position; returns the
   // evicted block if the server overflowed.
   EvictResult insert(BlockId b, UniLruInsertion policy) {
-    ULC_REQUIRE(index_.find(b) == index_.end(), "server insert of present block");
+    ULC_REQUIRE(!index_.contains(b), "server insert of present block");
     std::size_t pos = 0;
     switch (policy) {
       case UniLruInsertion::kMru:
@@ -147,7 +147,7 @@ class ServerLru {
         pos = list_.size();
         break;
     }
-    index_[b] = list_.insert_at(pos, b);
+    index_.insert_new(b, list_.insert_at(pos, b));
     EvictResult ev;
     if (list_.size() > capacity_) {
       auto victim = list_.at(list_.size() - 1);
@@ -162,9 +162,9 @@ class ServerLru {
   // A server hit for a block that stays (not used by exclusive uniLRU, but
   // by tests): refresh to MRU.
   void refresh(BlockId b) {
-    auto it = index_.find(b);
-    ULC_REQUIRE(it != index_.end(), "refresh of absent block");
-    list_.move_to_front(it->second);
+    const OrderStatisticList::Handle* h = index_.find(b);
+    ULC_REQUIRE(h != nullptr, "refresh of absent block");
+    list_.move_to_front(*h);
   }
 
   std::size_t size() const { return list_.size(); }
@@ -173,7 +173,7 @@ class ServerLru {
  private:
   std::size_t capacity_;
   OrderStatisticList list_;
-  std::unordered_map<BlockId, OrderStatisticList::Handle> index_;
+  FlatMap<BlockId, OrderStatisticList::Handle> index_;
 };
 
 class UniLruMultiScheme final : public MultiLevelScheme {
@@ -194,7 +194,7 @@ class UniLruMultiScheme final : public MultiLevelScheme {
     CachePolicy& client = *clients_[request.client];
     const BlockId b = request.block;
 
-    if (request.op == Op::kWrite) dirty_.insert(b);
+    if (request.op == Op::kWrite) dirty_.put(b, 1);
     if (client.touch(b, {})) {
       ++stats_.level_hits[0];
       return;
@@ -225,14 +225,14 @@ class UniLruMultiScheme final : public MultiLevelScheme {
           audit_emit(AuditEvent::Kind::kCharge, ev.victim, 0, 1, request.client);
           audit_emit(AuditEvent::Kind::kEvict, ev.victim, 0, kAuditNoLevel,
                      request.client, /*through_bottom=*/true);
-          if (dirty_.erase(sev.victim) > 0) {
+          if (dirty_.erase(sev.victim)) {
             ++stats_.writebacks;
             audit_emit(AuditEvent::Kind::kWriteback, sev.victim);
           }
         } else {
           if (sev.evicted) {
             audit_emit(AuditEvent::Kind::kEvict, sev.victim, 1);
-            if (dirty_.erase(sev.victim) > 0) {
+            if (dirty_.erase(sev.victim)) {
               ++stats_.writebacks;
               audit_emit(AuditEvent::Kind::kWriteback, sev.victim);
             }
@@ -271,7 +271,7 @@ class UniLruMultiScheme final : public MultiLevelScheme {
   std::vector<PolicyPtr> clients_;
   ServerLru server_;
   UniLruInsertion insertion_;
-  std::unordered_set<BlockId> dirty_;
+  FlatMap<BlockId, std::uint8_t> dirty_;  // set of dirty blocks
   HierarchyStats stats_;
   std::string name_;
 };

@@ -7,11 +7,17 @@
 // opposite. Included as the self-tuning single-level baseline: it shares
 // ULC's "re-referenced blocks earn residency" instinct but tunes a split
 // instead of ranking by re-reference distance.
-#include <list>
-#include <unordered_map>
+//
+// Storage: one slab node per tracked block (resident or ghost) tagged with
+// the list it sits on; T1/T2/B1/B2 are four intrusive lists over the same
+// slab. Transitions between lists (eviction into a ghost, ghost promotion)
+// move the node rather than reallocating it, so the index entry stays put.
+#include <algorithm>
 
 #include "replacement/cache_policy.h"
 #include "util/ensure.h"
+#include "util/flat_hash.h"
+#include "util/slab.h"
 
 namespace ulc {
 
@@ -21,21 +27,25 @@ class ArcPolicy final : public CachePolicy {
  public:
   explicit ArcPolicy(std::size_t capacity) : c_(capacity) {
     ULC_REQUIRE(capacity >= 2, "ARC needs capacity >= 2");
+    // Residents (T1+T2 <= c) plus ghosts (B1+B2 <= c) bound the population.
+    index_.reserve(2 * c_ + 2);
+    slab_.reserve(2 * c_ + 2);
   }
 
   bool touch(BlockId block, const AccessContext&) override {
-    auto it = index_.find(block);
-    if (it == index_.end()) return false;
-    Entry& e = it->second;
+    const SlabHandle* f = index_.find(block);
+    if (f == nullptr) return false;
+    const SlabHandle h = *f;
+    Node& e = slab_[h];
     if (e.where == Where::kT1) {
       // Second recent reference: promote to T2.
-      t1_.erase(e.pos);
-      t2_.push_front(block);
-      e = Entry{Where::kT2, t2_.begin()};
+      t1_.erase(h);
+      e.where = Where::kT2;
+      t2_.push_front(h);
       return true;
     }
     if (e.where == Where::kT2) {
-      t2_.splice(t2_.begin(), t2_, e.pos);
+      t2_.move_front(h);
       return true;
     }
     return false;  // ghost entries are not resident
@@ -43,119 +53,135 @@ class ArcPolicy final : public CachePolicy {
 
   EvictResult insert(BlockId block, const AccessContext&) override {
     EvictResult ev;
-    auto it = index_.find(block);
-    if (it != index_.end() && it->second.where == Where::kB1) {
+    const SlabHandle* f = index_.find(block);
+    const SlabHandle h = (f != nullptr) ? *f : kNullHandle;
+    if (h != kNullHandle && slab_[h].where == Where::kB1) {
       // Case II: ghost hit in B1 -> favour recency.
       const std::size_t delta =
           b1_.size() >= b2_.size() ? 1 : (b2_.size() + b1_.size() - 1) / b1_.size();
       p_ = std::min(p_ + delta, c_);
       ev = replace(/*in_b2=*/false);
-      b1_.erase(it->second.pos);
-      t2_.push_front(block);
-      index_[block] = Entry{Where::kT2, t2_.begin()};
+      b1_.erase(h);
+      slab_[h].where = Where::kT2;
+      t2_.push_front(h);
       return ev;
     }
-    if (it != index_.end() && it->second.where == Where::kB2) {
+    if (h != kNullHandle && slab_[h].where == Where::kB2) {
       // Case III: ghost hit in B2 -> favour frequency.
       const std::size_t delta =
           b2_.size() >= b1_.size() ? 1 : (b1_.size() + b2_.size() - 1) / b2_.size();
       p_ = p_ > delta ? p_ - delta : 0;
       ev = replace(/*in_b2=*/true);
-      b2_.erase(it->second.pos);
-      t2_.push_front(block);
-      index_[block] = Entry{Where::kT2, t2_.begin()};
+      b2_.erase(h);
+      slab_[h].where = Where::kT2;
+      t2_.push_front(h);
       return ev;
     }
-    ULC_REQUIRE(it == index_.end(), "insert of resident block");
+    ULC_REQUIRE(h == kNullHandle, "insert of resident block");
 
     // Case IV: brand-new block.
     const std::size_t l1 = t1_.size() + b1_.size();
     if (l1 == c_) {
       if (t1_.size() < c_) {
         // Drop the oldest B1 ghost and replace.
-        index_.erase(b1_.back());
-        b1_.pop_back();
+        drop_ghost(b1_);
         ev = replace(false);
       } else {
         // T1 itself fills the cache: evict its LRU outright (no ghost).
-        const BlockId victim = t1_.back();
-        t1_.pop_back();
+        const SlabHandle vh = t1_.back();
+        const BlockId victim = slab_[vh].block;
+        t1_.erase(vh);
+        slab_.free(vh);
         index_.erase(victim);
         ev = EvictResult{true, victim};
       }
     } else if (l1 < c_ && t1_.size() + t2_.size() + b1_.size() + b2_.size() >= c_) {
       if (t1_.size() + t2_.size() + b1_.size() + b2_.size() >= 2 * c_) {
-        index_.erase(b2_.back());
-        b2_.pop_back();
+        drop_ghost(b2_);
       }
       ev = replace(false);
     } else if (t1_.size() + t2_.size() >= c_) {
       ev = replace(false);
     }
-    t1_.push_front(block);
-    index_[block] = Entry{Where::kT1, t1_.begin()};
+    const SlabHandle nh = slab_.alloc();
+    slab_[nh].block = block;
+    slab_[nh].where = Where::kT1;
+    t1_.push_front(nh);
+    index_.insert_new(block, nh);
     return ev;
   }
 
   bool erase(BlockId block) override {
-    auto it = index_.find(block);
-    if (it == index_.end()) return false;
-    Entry& e = it->second;
+    const SlabHandle* f = index_.find(block);
+    if (f == nullptr) return false;
+    const SlabHandle h = *f;
+    Node& e = slab_[h];
     if (e.where == Where::kT1) {
-      t1_.erase(e.pos);
+      t1_.erase(h);
     } else if (e.where == Where::kT2) {
-      t2_.erase(e.pos);
+      t2_.erase(h);
     } else {
       return false;  // ghost: not resident
     }
-    index_.erase(it);
+    slab_.free(h);
+    index_.erase(block);
     return true;
   }
 
   bool contains(BlockId block) const override {
-    auto it = index_.find(block);
-    return it != index_.end() &&
-           (it->second.where == Where::kT1 || it->second.where == Where::kT2);
+    const SlabHandle* f = index_.find(block);
+    if (f == nullptr) return false;
+    const Where w = slab_[*f].where;
+    return w == Where::kT1 || w == Where::kT2;
   }
   std::size_t size() const override { return t1_.size() + t2_.size(); }
   std::size_t capacity() const override { return c_; }
   const char* name() const override { return "ARC"; }
 
  private:
-  enum class Where { kT1, kT2, kB1, kB2 };
-  struct Entry {
-    Where where;
-    std::list<BlockId>::iterator pos;
+  enum class Where : std::uint8_t { kT1, kT2, kB1, kB2 };
+  struct Node {
+    BlockId block = 0;
+    SlabHandle prev = kNullHandle;
+    SlabHandle next = kNullHandle;
+    Where where = Where::kT1;
   };
 
+  void drop_ghost(SlabList<Node>& ghosts) {
+    const SlabHandle gh = ghosts.back();
+    index_.erase(slab_[gh].block);
+    ghosts.erase(gh);
+    slab_.free(gh);
+  }
+
   // The ARC REPLACE subroutine: evict from T1 or T2 per the target p,
-  // remembering the victim in the matching ghost list.
+  // remembering the victim in the matching ghost list. The victim's node is
+  // moved, not reallocated: its index entry remains valid.
   EvictResult replace(bool in_b2) {
     if (t1_.size() + t2_.size() < c_) return EvictResult{};
-    EvictResult ev;
     const bool take_t1 =
         !t1_.empty() && (t1_.size() > p_ || (in_b2 && t1_.size() == p_));
+    SlabHandle vh;
     if (take_t1) {
-      const BlockId victim = t1_.back();
-      t1_.pop_back();
-      b1_.push_front(victim);
-      index_[victim] = Entry{Where::kB1, b1_.begin()};
-      ev = EvictResult{true, victim};
+      vh = t1_.back();
+      t1_.erase(vh);
+      slab_[vh].where = Where::kB1;
+      b1_.push_front(vh);
     } else {
       ULC_ENSURE(!t2_.empty(), "ARC replace with empty T2");
-      const BlockId victim = t2_.back();
-      t2_.pop_back();
-      b2_.push_front(victim);
-      index_[victim] = Entry{Where::kB2, b2_.begin()};
-      ev = EvictResult{true, victim};
+      vh = t2_.back();
+      t2_.erase(vh);
+      slab_[vh].where = Where::kB2;
+      b2_.push_front(vh);
     }
-    return ev;
+    return EvictResult{true, slab_[vh].block};
   }
 
   std::size_t c_;
   std::size_t p_ = 0;  // target size of T1
-  std::list<BlockId> t1_, t2_, b1_, b2_;
-  std::unordered_map<BlockId, Entry> index_;
+  Slab<Node> slab_;
+  SlabList<Node> t1_{&slab_}, t2_{&slab_}, b1_{&slab_}, b2_{&slab_};
+  FlatMap<BlockId, SlabHandle> index_;
 };
 
 }  // namespace

@@ -1,11 +1,10 @@
 // First-In First-Out — a recency-free control policy used by tests to
 // distinguish behaviour that depends on recency updates from behaviour that
-// depends only on residency.
-#include <list>
-#include <unordered_map>
-
+// depends only on residency. Slab-backed like its siblings (util/slab.h).
 #include "replacement/cache_policy.h"
 #include "util/ensure.h"
+#include "util/flat_hash.h"
+#include "util/slab.h"
 
 namespace ulc {
 
@@ -15,43 +14,57 @@ class FifoPolicy final : public CachePolicy {
  public:
   explicit FifoPolicy(std::size_t capacity) : capacity_(capacity) {
     ULC_REQUIRE(capacity > 0, "FIFO capacity must be positive");
+    index_.reserve(capacity_ + 1);
+    slab_.reserve(capacity_ + 1);
   }
 
   bool touch(BlockId block, const AccessContext&) override {
-    return index_.find(block) != index_.end();  // no reordering on hit
+    return index_.contains(block);  // no reordering on hit
   }
 
   EvictResult insert(BlockId block, const AccessContext&) override {
-    ULC_REQUIRE(index_.find(block) == index_.end(), "insert of present block");
+    ULC_REQUIRE(!index_.contains(block), "insert of present block");
     EvictResult ev;
     if (list_.size() >= capacity_) {
+      const SlabHandle victim = list_.back();
       ev.evicted = true;
-      ev.victim = list_.back();
-      index_.erase(list_.back());
-      list_.pop_back();
+      ev.victim = slab_[victim].block;
+      index_.erase(ev.victim);
+      list_.erase(victim);
+      slab_.free(victim);
     }
-    list_.push_front(block);
-    index_[block] = list_.begin();
+    const SlabHandle h = slab_.alloc();
+    slab_[h].block = block;
+    list_.push_front(h);
+    index_.insert_new(block, h);
     return ev;
   }
 
   bool erase(BlockId block) override {
-    auto it = index_.find(block);
-    if (it == index_.end()) return false;
-    list_.erase(it->second);
-    index_.erase(it);
+    const SlabHandle* h = index_.find(block);
+    if (h == nullptr) return false;
+    list_.erase(*h);
+    slab_.free(*h);
+    index_.erase(block);
     return true;
   }
 
-  bool contains(BlockId block) const override { return index_.count(block) != 0; }
+  bool contains(BlockId block) const override { return index_.contains(block); }
   std::size_t size() const override { return list_.size(); }
   std::size_t capacity() const override { return capacity_; }
   const char* name() const override { return "FIFO"; }
 
  private:
+  struct Node {
+    BlockId block = 0;
+    SlabHandle prev = kNullHandle;
+    SlabHandle next = kNullHandle;
+  };
+
   std::size_t capacity_;
-  std::list<BlockId> list_;  // front = newest
-  std::unordered_map<BlockId, std::list<BlockId>::iterator> index_;
+  Slab<Node> slab_;
+  SlabList<Node> list_{&slab_};  // front = newest
+  FlatMap<BlockId, SlabHandle> index_;
 };
 
 }  // namespace

@@ -11,11 +11,15 @@
 // most recent on top) and queue Q (resident HIR blocks, FIFO). The stack
 // bottom is always a LIR block (pruning). Non-resident HIR entries (ghosts)
 // are bounded by `kGhostFactor` x capacity, trimmed oldest-first.
-#include <list>
-#include <unordered_map>
-
+//
+// Storage: one slab node per tracked block carrying two intrusive link
+// pairs — (s_prev, s_next) for S and (q_prev, q_next) for Q — so a resident
+// HIR block sits on both lists through the same node (util/slab.h,
+// SlabList's member-pointer parameters select the pair).
 #include "replacement/cache_policy.h"
 #include "util/ensure.h"
+#include "util/flat_hash.h"
+#include "util/slab.h"
 
 namespace ulc {
 
@@ -32,141 +36,172 @@ class LirsPolicy final : public CachePolicy {
     if (hir_capacity_ < 2) hir_capacity_ = 2;
     if (hir_capacity_ > capacity_ - 1) hir_capacity_ = capacity_ - 1;
     lir_capacity_ = capacity_ - hir_capacity_;
+    // Residents plus the bounded ghost population.
+    entries_.reserve((kGhostFactor + 1) * capacity_ + 2);
+    slab_.reserve((kGhostFactor + 1) * capacity_ + 2);
   }
 
   bool touch(BlockId block, const AccessContext&) override {
-    auto it = entries_.find(block);
-    if (it == entries_.end() || !it->second.resident) return false;
-    Entry& e = it->second;
+    const SlabHandle* f = entries_.find(block);
+    if (f == nullptr || !slab_[*f].resident) return false;
+    const SlabHandle h = *f;
+    Node& e = slab_[h];
     if (e.status == Status::kLir) {
-      const bool was_bottom = (e.in_stack && stack_.back() == block);
-      stack_move_top(block, e);
+      const bool was_bottom = (e.in_stack && stack_.back() == h);
+      stack_move_top(h);
       if (was_bottom) prune();
       return true;
     }
     // Resident HIR hit.
     if (e.in_stack) {
       // Its recency beat the LIR bottom's recency: promote to LIR.
-      stack_move_top(block, e);
+      stack_move_top(h);
       e.status = Status::kLir;
-      queue_remove(block, e);
+      queue_remove(h);
       ++lir_count_;
       demote_lir_excess();
     } else {
-      stack_push_top(block, e);
-      queue_move_tail(block, e);
+      stack_push_top(h);
+      queue_move_tail(h);
     }
     return true;
   }
 
   EvictResult insert(BlockId block, const AccessContext&) override {
-    auto it = entries_.find(block);
-    ULC_REQUIRE(it == entries_.end() || !it->second.resident,
-                "insert of resident block");
+    ULC_REQUIRE(!contains(block), "insert of resident block");
     EvictResult ev;
     if (resident_count_ >= capacity_) ev = evict_one();
+    // Look the block up only after evicting: evict_one()'s ghost trim can
+    // drop this very block's ghost entry, which would dangle a handle read
+    // up front (caught by Policies.ChurnKeepsIndexAndResidencyInAgreement).
+    const SlabHandle* f = entries_.find(block);
+    SlabHandle h = (f != nullptr) ? *f : kNullHandle;
 
-    if (lir_count_ < lir_capacity_ && (it == entries_.end() || !it->second.in_stack)) {
+    if (lir_count_ < lir_capacity_ &&
+        (h == kNullHandle || !slab_[h].in_stack)) {
       // Cold start: fill the LIR set first.
-      Entry& e = (it == entries_.end()) ? entries_[block] : it->second;
+      if (h == kNullHandle) h = make_entry(block);
+      Node& e = slab_[h];
       e.resident = true;
       e.status = Status::kLir;
-      stack_push_top(block, e);
+      stack_push_top(h);
       ++lir_count_;
       ++resident_count_;
       return ev;
     }
 
-    if (it != entries_.end() && it->second.in_stack) {
+    if (h != kNullHandle && slab_[h].in_stack) {
       // Ghost hit: the reuse distance was within the LIR recency scope.
-      Entry& e = it->second;
+      Node& e = slab_[h];
       ULC_ENSURE(e.status == Status::kHir, "ghost must be HIR");
       e.resident = true;
       e.status = Status::kLir;
       --ghost_count_;
-      stack_move_top(block, e);
+      stack_move_top(h);
       ++lir_count_;
       ++resident_count_;
       demote_lir_excess();
       return ev;
     }
 
-    Entry& e = entries_[block];
+    if (h == kNullHandle) h = make_entry(block);
+    Node& e = slab_[h];
     e.resident = true;
     e.status = Status::kHir;
-    stack_push_top(block, e);
-    queue_move_tail(block, e);
+    stack_push_top(h);
+    queue_move_tail(h);
     ++resident_count_;
     return ev;
   }
 
   bool erase(BlockId block) override {
-    auto it = entries_.find(block);
-    if (it == entries_.end() || !it->second.resident) return false;
-    Entry& e = it->second;
+    const SlabHandle* f = entries_.find(block);
+    if (f == nullptr || !slab_[*f].resident) return false;
+    const SlabHandle h = *f;
+    Node& e = slab_[h];
     if (e.status == Status::kLir) {
       --lir_count_;
-      if (e.in_stack) stack_remove(block, e);
+      if (e.in_stack) stack_remove(h);
       --resident_count_;
-      entries_.erase(it);
+      drop_entry(h);
       prune();
       return true;
     }
-    queue_remove(block, e);
+    queue_remove(h);
     --resident_count_;
     if (e.in_stack) {
       e.resident = false;  // keep as ghost
       ++ghost_count_;
       trim_ghosts();
     } else {
-      entries_.erase(it);
+      drop_entry(h);
     }
     return true;
   }
 
   bool contains(BlockId block) const override {
-    auto it = entries_.find(block);
-    return it != entries_.end() && it->second.resident;
+    const SlabHandle* f = entries_.find(block);
+    return f != nullptr && slab_[*f].resident;
   }
   std::size_t size() const override { return resident_count_; }
   std::size_t capacity() const override { return capacity_; }
   const char* name() const override { return "LIRS"; }
 
  private:
-  enum class Status { kLir, kHir };
-  struct Entry {
+  enum class Status : std::uint8_t { kLir, kHir };
+  struct Node {
+    BlockId block = 0;
+    SlabHandle s_prev = kNullHandle;
+    SlabHandle s_next = kNullHandle;
+    SlabHandle q_prev = kNullHandle;
+    SlabHandle q_next = kNullHandle;
     Status status = Status::kHir;
     bool resident = false;
     bool in_stack = false;
     bool in_queue = false;
-    std::list<BlockId>::iterator stack_pos;
-    std::list<BlockId>::iterator queue_pos;
   };
 
-  void stack_push_top(BlockId block, Entry& e) {
-    if (e.in_stack) {
-      stack_.erase(e.stack_pos);
-    }
-    stack_.push_front(block);
-    e.stack_pos = stack_.begin();
+  SlabHandle make_entry(BlockId block) {
+    const SlabHandle h = slab_.alloc();
+    Node& e = slab_[h];
+    e.block = block;
+    e.status = Status::kHir;
+    e.resident = false;
+    e.in_stack = false;
+    e.in_queue = false;
+    entries_.insert_new(block, h);
+    return h;
+  }
+
+  void drop_entry(SlabHandle h) {
+    entries_.erase(slab_[h].block);
+    slab_.free(h);
+  }
+
+  void stack_push_top(SlabHandle h) {
+    Node& e = slab_[h];
+    if (e.in_stack) stack_.erase(h);
+    stack_.push_front(h);
     e.in_stack = true;
   }
-  void stack_move_top(BlockId block, Entry& e) { stack_push_top(block, e); }
-  void stack_remove(BlockId, Entry& e) {
+  void stack_move_top(SlabHandle h) { stack_push_top(h); }
+  void stack_remove(SlabHandle h) {
+    Node& e = slab_[h];
     ULC_ENSURE(e.in_stack, "stack_remove of non-stack entry");
-    stack_.erase(e.stack_pos);
+    stack_.erase(h);
     e.in_stack = false;
   }
 
-  void queue_move_tail(BlockId block, Entry& e) {
-    if (e.in_queue) queue_.erase(e.queue_pos);
-    queue_.push_back(block);
-    e.queue_pos = std::prev(queue_.end());
+  void queue_move_tail(SlabHandle h) {
+    Node& e = slab_[h];
+    if (e.in_queue) queue_.erase(h);
+    queue_.push_back(h);
     e.in_queue = true;
   }
-  void queue_remove(BlockId, Entry& e) {
+  void queue_remove(SlabHandle h) {
+    Node& e = slab_[h];
     if (!e.in_queue) return;
-    queue_.erase(e.queue_pos);
+    queue_.erase(h);
     e.in_queue = false;
   }
 
@@ -174,14 +209,14 @@ class LirsPolicy final : public CachePolicy {
   // (resident ones stay cached via Q; non-resident ones are forgotten).
   void prune() {
     while (!stack_.empty()) {
-      const BlockId bottom = stack_.back();
-      Entry& e = entries_.at(bottom);
+      const SlabHandle bottom = stack_.back();
+      Node& e = slab_[bottom];
       if (e.status == Status::kLir) return;
-      stack_.pop_back();
+      stack_.erase(bottom);
       e.in_stack = false;
       if (!e.resident) {
         --ghost_count_;
-        entries_.erase(bottom);
+        drop_entry(bottom);
       }
     }
   }
@@ -192,23 +227,24 @@ class LirsPolicy final : public CachePolicy {
     while (lir_count_ > lir_capacity_) {
       prune();
       ULC_ENSURE(!stack_.empty(), "LIR overflow with empty stack");
-      const BlockId bottom = stack_.back();
-      Entry& e = entries_.at(bottom);
+      const SlabHandle bottom = stack_.back();
+      Node& e = slab_[bottom];
       ULC_ENSURE(e.status == Status::kLir, "pruned stack bottom must be LIR");
-      stack_.pop_back();
+      stack_.erase(bottom);
       e.in_stack = false;
       e.status = Status::kHir;
       --lir_count_;
-      queue_move_tail(bottom, e);
+      queue_move_tail(bottom);
       prune();
     }
   }
 
   EvictResult evict_one() {
     ULC_ENSURE(!queue_.empty(), "LIRS eviction with empty HIR queue");
-    const BlockId victim = queue_.front();
-    Entry& e = entries_.at(victim);
-    queue_.pop_front();
+    const SlabHandle vh = queue_.front();
+    Node& e = slab_[vh];
+    const BlockId victim = e.block;
+    queue_.erase(vh);
     e.in_queue = false;
     e.resident = false;
     --resident_count_;
@@ -216,7 +252,7 @@ class LirsPolicy final : public CachePolicy {
       ++ghost_count_;
       trim_ghosts();
     } else {
-      entries_.erase(victim);
+      drop_entry(vh);
     }
     return EvictResult{true, victim};
   }
@@ -224,15 +260,15 @@ class LirsPolicy final : public CachePolicy {
   void trim_ghosts() {
     // Bound metadata: forget the oldest (bottom-most) ghosts.
     if (ghost_count_ <= kGhostFactor * capacity_) return;
-    for (auto it = std::prev(stack_.end());
-         ghost_count_ > kGhostFactor * capacity_ && it != stack_.begin();) {
-      const BlockId b = *it;
-      Entry& e = entries_.at(b);
-      auto prev = std::prev(it);
+    SlabHandle it = stack_.back();
+    while (ghost_count_ > kGhostFactor * capacity_ && it != kNullHandle &&
+           it != stack_.front()) {
+      const SlabHandle prev = stack_.prev(it);
+      Node& e = slab_[it];
       if (e.status == Status::kHir && !e.resident) {
         stack_.erase(it);
         --ghost_count_;
-        entries_.erase(b);
+        drop_entry(it);
       }
       it = prev;
     }
@@ -244,9 +280,10 @@ class LirsPolicy final : public CachePolicy {
   std::size_t lir_count_ = 0;
   std::size_t resident_count_ = 0;
   std::size_t ghost_count_ = 0;
-  std::list<BlockId> stack_;  // front = most recent
-  std::list<BlockId> queue_;  // front = next HIR victim
-  std::unordered_map<BlockId, Entry> entries_;
+  Slab<Node> slab_;
+  SlabList<Node, &Node::s_prev, &Node::s_next> stack_{&slab_};  // front = MRU
+  SlabList<Node, &Node::q_prev, &Node::q_next> queue_{&slab_};  // front = victim
+  FlatMap<BlockId, SlabHandle> entries_;
 };
 
 }  // namespace

@@ -1,10 +1,13 @@
 // Least Recently Used — the policy underlying almost all existing file
 // systems (paper §5) and the per-level policy of the indLRU baseline.
-#include <list>
-#include <unordered_map>
-
+//
+// Slab-backed (util/slab.h): one arena node per resident block, FlatMap
+// index sized to capacity at construction, so the steady-state access path
+// performs no allocation and no rehash.
 #include "replacement/cache_policy.h"
 #include "util/ensure.h"
+#include "util/flat_hash.h"
+#include "util/slab.h"
 
 namespace ulc {
 
@@ -14,46 +17,60 @@ class LruPolicy final : public CachePolicy {
  public:
   explicit LruPolicy(std::size_t capacity) : capacity_(capacity) {
     ULC_REQUIRE(capacity > 0, "LRU capacity must be positive");
+    index_.reserve(capacity_ + 1);
+    slab_.reserve(capacity_ + 1);
   }
 
   bool touch(BlockId block, const AccessContext&) override {
-    auto it = index_.find(block);
-    if (it == index_.end()) return false;
-    list_.splice(list_.begin(), list_, it->second);
+    const SlabHandle* h = index_.find(block);
+    if (h == nullptr) return false;
+    list_.move_front(*h);
     return true;
   }
 
   EvictResult insert(BlockId block, const AccessContext&) override {
-    ULC_REQUIRE(index_.find(block) == index_.end(), "insert of present block");
+    ULC_REQUIRE(!index_.contains(block), "insert of present block");
     EvictResult ev;
     if (list_.size() >= capacity_) {
+      const SlabHandle victim = list_.back();
       ev.evicted = true;
-      ev.victim = list_.back();
-      index_.erase(list_.back());
-      list_.pop_back();
+      ev.victim = slab_[victim].block;
+      index_.erase(ev.victim);
+      list_.erase(victim);
+      slab_.free(victim);
     }
-    list_.push_front(block);
-    index_[block] = list_.begin();
+    const SlabHandle h = slab_.alloc();
+    slab_[h].block = block;
+    list_.push_front(h);
+    index_.insert_new(block, h);
     return ev;
   }
 
   bool erase(BlockId block) override {
-    auto it = index_.find(block);
-    if (it == index_.end()) return false;
-    list_.erase(it->second);
-    index_.erase(it);
+    const SlabHandle* h = index_.find(block);
+    if (h == nullptr) return false;
+    list_.erase(*h);
+    slab_.free(*h);
+    index_.erase(block);
     return true;
   }
 
-  bool contains(BlockId block) const override { return index_.count(block) != 0; }
+  bool contains(BlockId block) const override { return index_.contains(block); }
   std::size_t size() const override { return list_.size(); }
   std::size_t capacity() const override { return capacity_; }
   const char* name() const override { return "LRU"; }
 
  private:
+  struct Node {
+    BlockId block = 0;
+    SlabHandle prev = kNullHandle;
+    SlabHandle next = kNullHandle;
+  };
+
   std::size_t capacity_;
-  std::list<BlockId> list_;  // front = MRU
-  std::unordered_map<BlockId, std::list<BlockId>::iterator> index_;
+  Slab<Node> slab_;
+  SlabList<Node> list_{&slab_};  // front = MRU
+  FlatMap<BlockId, SlabHandle> index_;
 };
 
 }  // namespace

@@ -9,12 +9,16 @@
 // the head of the lowest non-empty queue. Evicted blocks leave their
 // reference count in a FIFO ghost directory (Qout) so a quick re-fetch
 // resumes the old frequency.
-#include <list>
-#include <unordered_map>
+//
+// Storage: resident blocks live in one slab, the per-frequency queues are
+// intrusive lists over it (a node is on exactly one queue); ghosts live in
+// a second slab with their own FlatMap index (util/slab.h).
 #include <vector>
 
 #include "replacement/cache_policy.h"
 #include "util/ensure.h"
+#include "util/flat_hash.h"
+#include "util/slab.h"
 
 namespace ulc {
 
@@ -26,72 +30,83 @@ class MqPolicy final : public CachePolicy {
       : capacity_(cfg.capacity),
         life_time_(cfg.life_time ? cfg.life_time : 4 * cfg.capacity),
         ghost_capacity_(cfg.ghost_capacity ? cfg.ghost_capacity : 4 * cfg.capacity),
-        queues_(cfg.queue_count) {
+        queues_(cfg.queue_count, SlabList<Node>(&slab_)),
+        ghost_lru_(&ghost_slab_) {
     ULC_REQUIRE(cfg.capacity > 0, "MQ capacity must be positive");
     ULC_REQUIRE(cfg.queue_count > 0, "MQ needs at least one queue");
+    index_.reserve(capacity_ + 1);
+    slab_.reserve(capacity_ + 1);
+    ghost_index_.reserve(ghost_capacity_ + 1);
+    ghost_slab_.reserve(ghost_capacity_ + 1);
   }
 
   bool touch(BlockId block, const AccessContext&) override {
     ++now_;
     adjust();
-    auto it = index_.find(block);
-    if (it == index_.end()) return false;
-    Entry& e = it->second;
-    queues_[e.queue].erase(e.pos);
+    const SlabHandle* h = index_.find(block);
+    if (h == nullptr) return false;
+    Node& e = slab_[*h];
+    queues_[e.queue].erase(*h);
     ++e.frequency;
     e.queue = queue_for(e.frequency);
     e.expire = now_ + life_time_;
-    queues_[e.queue].push_back(block);
-    e.pos = std::prev(queues_[e.queue].end());
+    queues_[e.queue].push_back(*h);
     return true;
   }
 
   EvictResult insert(BlockId block, const AccessContext&) override {
-    ULC_REQUIRE(index_.find(block) == index_.end(), "insert of present block");
+    ULC_REQUIRE(!index_.contains(block), "insert of present block");
     EvictResult ev;
     if (index_.size() >= capacity_) {
       ev = evict_one();
     }
     std::uint64_t freq = 1;
-    auto git = ghost_index_.find(block);
-    if (git != ghost_index_.end()) {
-      freq = git->second->frequency + 1;
-      ghost_.erase(git->second);
-      ghost_index_.erase(git);
+    const SlabHandle* gh = ghost_index_.find(block);
+    if (gh != nullptr) {
+      freq = ghost_slab_[*gh].frequency + 1;
+      ghost_lru_.erase(*gh);
+      ghost_slab_.free(*gh);
+      ghost_index_.erase(block);
     }
-    Entry e;
+    const SlabHandle h = slab_.alloc();
+    Node& e = slab_[h];
+    e.block = block;
     e.frequency = freq;
     e.queue = queue_for(freq);
     e.expire = now_ + life_time_;
-    queues_[e.queue].push_back(block);
-    e.pos = std::prev(queues_[e.queue].end());
-    index_.emplace(block, e);
+    queues_[e.queue].push_back(h);
+    index_.insert_new(block, h);
     return ev;
   }
 
   bool erase(BlockId block) override {
-    auto it = index_.find(block);
-    if (it == index_.end()) return false;
-    queues_[it->second.queue].erase(it->second.pos);
-    index_.erase(it);
+    const SlabHandle* h = index_.find(block);
+    if (h == nullptr) return false;
+    queues_[slab_[*h].queue].erase(*h);
+    slab_.free(*h);
+    index_.erase(block);
     return true;
   }
 
-  bool contains(BlockId block) const override { return index_.count(block) != 0; }
+  bool contains(BlockId block) const override { return index_.contains(block); }
   std::size_t size() const override { return index_.size(); }
   std::size_t capacity() const override { return capacity_; }
   const char* name() const override { return "MQ"; }
 
  private:
-  struct Entry {
+  struct Node {
+    BlockId block = 0;
     std::uint64_t frequency = 0;
-    std::size_t queue = 0;
     std::uint64_t expire = 0;
-    std::list<BlockId>::iterator pos;
+    std::size_t queue = 0;
+    SlabHandle prev = kNullHandle;
+    SlabHandle next = kNullHandle;
   };
-  struct GhostEntry {
-    BlockId block;
-    std::uint64_t frequency;
+  struct GhostNode {
+    BlockId block = 0;
+    std::uint64_t frequency = 0;
+    SlabHandle prev = kNullHandle;
+    SlabHandle next = kNullHandle;
   };
 
   std::size_t queue_for(std::uint64_t frequency) const {
@@ -107,14 +122,13 @@ class MqPolicy final : public CachePolicy {
   void adjust() {
     for (std::size_t q = queues_.size(); q-- > 1;) {
       if (queues_[q].empty()) continue;
-      const BlockId head = queues_[q].front();
-      Entry& e = index_.at(head);
+      const SlabHandle head = queues_[q].front();
+      Node& e = slab_[head];
       if (e.expire < now_) {
-        queues_[q].pop_front();
+        queues_[q].erase(head);
         e.queue = q - 1;
         e.expire = now_ + life_time_;
         queues_[q - 1].push_back(head);
-        e.pos = std::prev(queues_[q - 1].end());
       }
     }
   }
@@ -122,17 +136,24 @@ class MqPolicy final : public CachePolicy {
   EvictResult evict_one() {
     for (auto& queue : queues_) {
       if (queue.empty()) continue;
-      const BlockId victim = queue.front();
-      const Entry& e = index_.at(victim);
-      queue.pop_front();
-      // Remember the victim's frequency in the ghost directory.
-      ghost_.push_back(GhostEntry{victim, e.frequency});
-      ghost_index_[victim] = std::prev(ghost_.end());
-      if (ghost_.size() > ghost_capacity_) {
-        ghost_index_.erase(ghost_.front().block);
-        ghost_.pop_front();
-      }
+      const SlabHandle vh = queue.front();
+      const BlockId victim = slab_[vh].block;
+      const std::uint64_t freq = slab_[vh].frequency;
+      queue.erase(vh);
+      slab_.free(vh);
       index_.erase(victim);
+      // Remember the victim's frequency in the ghost directory.
+      const SlabHandle gh = ghost_slab_.alloc();
+      ghost_slab_[gh].block = victim;
+      ghost_slab_[gh].frequency = freq;
+      ghost_lru_.push_back(gh);
+      ghost_index_.insert_new(victim, gh);
+      if (ghost_lru_.size() > ghost_capacity_) {
+        const SlabHandle oldest = ghost_lru_.front();
+        ghost_index_.erase(ghost_slab_[oldest].block);
+        ghost_lru_.erase(oldest);
+        ghost_slab_.free(oldest);
+      }
       return EvictResult{true, victim};
     }
     ULC_ENSURE(false, "evict_one called on an empty cache");
@@ -143,10 +164,12 @@ class MqPolicy final : public CachePolicy {
   std::uint64_t life_time_;
   std::size_t ghost_capacity_;
   std::uint64_t now_ = 0;
-  std::vector<std::list<BlockId>> queues_;  // front = LRU end of each queue
-  std::unordered_map<BlockId, Entry> index_;
-  std::list<GhostEntry> ghost_;
-  std::unordered_map<BlockId, std::list<GhostEntry>::iterator> ghost_index_;
+  Slab<Node> slab_;
+  Slab<GhostNode> ghost_slab_;
+  std::vector<SlabList<Node>> queues_;  // front = LRU end of each queue
+  FlatMap<BlockId, SlabHandle> index_;
+  SlabList<GhostNode> ghost_lru_;  // front = oldest ghost
+  FlatMap<BlockId, SlabHandle> ghost_index_;
 };
 
 }  // namespace

@@ -69,7 +69,8 @@ class OptPolicy final : public CachePolicy {
   }
 
   std::size_t capacity_;
-  std::unordered_map<BlockId, std::uint64_t> index_;  // block -> next use
+  // Offline oracle, not a hot path.
+  std::unordered_map<BlockId, std::uint64_t> index_;  // ulc-lint: allow(hot-container)
   std::set<std::pair<std::uint64_t, BlockId>> queue_;
 };
 

@@ -1,11 +1,11 @@
 // RANDOM replacement — the paper's Section 2 reference point: on a spatially
 // uniform trace no on-line policy can beat a hit rate proportional to the
 // cache size, which is what RANDOM delivers.
-#include <unordered_map>
 #include <vector>
 
 #include "replacement/cache_policy.h"
 #include "util/ensure.h"
+#include "util/flat_hash.h"
 #include "util/prng.h"
 
 namespace ulc {
@@ -18,14 +18,15 @@ class RandomPolicy final : public CachePolicy {
       : capacity_(capacity), rng_(seed) {
     ULC_REQUIRE(capacity > 0, "RANDOM capacity must be positive");
     slots_.reserve(capacity);
+    index_.reserve(capacity + 1);
   }
 
   bool touch(BlockId block, const AccessContext&) override {
-    return index_.find(block) != index_.end();
+    return index_.contains(block);
   }
 
   EvictResult insert(BlockId block, const AccessContext&) override {
-    ULC_REQUIRE(index_.find(block) == index_.end(), "insert of present block");
+    ULC_REQUIRE(!index_.contains(block), "insert of present block");
     EvictResult ev;
     if (slots_.size() >= capacity_) {
       const std::size_t victim_slot =
@@ -34,28 +35,28 @@ class RandomPolicy final : public CachePolicy {
       ev.victim = slots_[victim_slot];
       index_.erase(ev.victim);
       slots_[victim_slot] = block;
-      index_[block] = victim_slot;
+      index_.insert_new(block, victim_slot);
       return ev;
     }
-    index_[block] = slots_.size();
+    index_.insert_new(block, slots_.size());
     slots_.push_back(block);
     return ev;
   }
 
   bool erase(BlockId block) override {
-    auto it = index_.find(block);
-    if (it == index_.end()) return false;
-    const std::size_t slot = it->second;
-    index_.erase(it);
+    const std::size_t* found = index_.find(block);
+    if (found == nullptr) return false;
+    const std::size_t slot = *found;  // copy before mutating the map
+    index_.erase(block);
     if (slot + 1 != slots_.size()) {
       slots_[slot] = slots_.back();
-      index_[slots_[slot]] = slot;
+      index_.put(slots_[slot], slot);
     }
     slots_.pop_back();
     return true;
   }
 
-  bool contains(BlockId block) const override { return index_.count(block) != 0; }
+  bool contains(BlockId block) const override { return index_.contains(block); }
   std::size_t size() const override { return slots_.size(); }
   std::size_t capacity() const override { return capacity_; }
   const char* name() const override { return "RANDOM"; }
@@ -64,7 +65,7 @@ class RandomPolicy final : public CachePolicy {
   std::size_t capacity_;
   Rng rng_;
   std::vector<BlockId> slots_;
-  std::unordered_map<BlockId, std::size_t> index_;
+  FlatMap<BlockId, std::size_t> index_;
 };
 
 }  // namespace

@@ -5,11 +5,14 @@
 // after leaving it — their id still in the A1out ghost — are promoted to the
 // main LRU (Am). Included as the classic admission-filter baseline against
 // which ULC's Lout/second-touch behaviour can be compared at one level.
-#include <list>
-#include <unordered_map>
-
+//
+// Storage: one slab node per tracked block (resident or ghost) with a
+// `where` tag; Am/A1in/A1out are three intrusive lists over the same slab,
+// and a node sits on exactly one of them at a time (util/slab.h).
 #include "replacement/cache_policy.h"
 #include "util/ensure.h"
+#include "util/flat_hash.h"
+#include "util/slab.h"
 
 namespace ulc {
 
@@ -25,15 +28,17 @@ class TwoQPolicy final : public CachePolicy {
     kout_ =
         static_cast<std::size_t>(static_cast<double>(capacity_) * cfg.kout_fraction);
     if (kout_ < 1) kout_ = 1;
+    // Residents plus ghosts bound the tracked population.
+    index_.reserve(capacity_ + kout_ + 1);
+    slab_.reserve(capacity_ + kout_ + 1);
   }
 
   bool touch(BlockId block, const AccessContext&) override {
-    auto it = index_.find(block);
-    if (it == index_.end()) return false;
-    Entry& e = it->second;
-    switch (e.where) {
+    const SlabHandle* h = index_.find(block);
+    if (h == nullptr) return false;
+    switch (slab_[*h].where) {
       case Where::kAm:
-        am_.splice(am_.begin(), am_, e.pos);  // LRU bump
+        am_.move_front(*h);  // LRU bump
         return true;
       case Where::kA1in:
         return true;  // 2Q: hits in A1in do not reorder
@@ -45,50 +50,73 @@ class TwoQPolicy final : public CachePolicy {
 
   EvictResult insert(BlockId block, const AccessContext&) override {
     EvictResult ev;
-    auto it = index_.find(block);
-    if (it != index_.end() && it->second.where == Where::kA1out) {
+    const SlabHandle* h = index_.find(block);
+    if (h != nullptr && slab_[*h].where == Where::kA1out) {
       // Re-reference after FIFO eviction: this block has real reuse; promote
       // into the main LRU.
-      a1out_.erase(it->second.pos);
-      index_.erase(it);
+      const SlabHandle gh = *h;
+      a1out_.erase(gh);
+      slab_.free(gh);
+      index_.erase(block);
       ev = reclaim_for(block);
-      am_.push_front(block);
-      index_[block] = Entry{Where::kAm, am_.begin()};
+      push_node(block, Where::kAm);
       return ev;
     }
-    ULC_REQUIRE(it == index_.end(), "insert of resident block");
+    ULC_REQUIRE(h == nullptr, "insert of resident block");
     ev = reclaim_for(block);
-    a1in_.push_front(block);
-    index_[block] = Entry{Where::kA1in, a1in_.begin()};
+    push_node(block, Where::kA1in);
     return ev;
   }
 
   bool erase(BlockId block) override {
-    auto it = index_.find(block);
-    if (it == index_.end() || it->second.where == Where::kA1out) return false;
-    if (it->second.where == Where::kAm) {
-      am_.erase(it->second.pos);
+    const SlabHandle* h = index_.find(block);
+    if (h == nullptr || slab_[*h].where == Where::kA1out) return false;
+    const SlabHandle nh = *h;
+    if (slab_[nh].where == Where::kAm) {
+      am_.erase(nh);
     } else {
-      a1in_.erase(it->second.pos);
+      a1in_.erase(nh);
     }
-    index_.erase(it);
+    slab_.free(nh);
+    index_.erase(block);
     return true;
   }
 
   bool contains(BlockId block) const override {
-    auto it = index_.find(block);
-    return it != index_.end() && it->second.where != Where::kA1out;
+    const SlabHandle* h = index_.find(block);
+    return h != nullptr && slab_[*h].where != Where::kA1out;
   }
   std::size_t size() const override { return am_.size() + a1in_.size(); }
   std::size_t capacity() const override { return capacity_; }
   const char* name() const override { return "2Q"; }
 
  private:
-  enum class Where { kAm, kA1in, kA1out };
-  struct Entry {
-    Where where;
-    std::list<BlockId>::iterator pos;
+  enum class Where : std::uint8_t { kAm, kA1in, kA1out };
+  struct Node {
+    BlockId block = 0;
+    SlabHandle prev = kNullHandle;
+    SlabHandle next = kNullHandle;
+    Where where = Where::kAm;
   };
+
+  void push_node(BlockId block, Where where) {
+    const SlabHandle h = slab_.alloc();
+    Node& n = slab_[h];
+    n.block = block;
+    n.where = where;
+    switch (where) {
+      case Where::kAm:
+        am_.push_front(h);
+        break;
+      case Where::kA1in:
+        a1in_.push_front(h);
+        break;
+      case Where::kA1out:
+        a1out_.push_front(h);
+        break;
+    }
+    index_.insert_new(block, h);
+  }
 
   // Frees one slot if the cache is full (the 2Q "reclaimfor" procedure).
   EvictResult reclaim_for(BlockId) {
@@ -96,18 +124,24 @@ class TwoQPolicy final : public CachePolicy {
     if (size() < capacity_) return ev;
     if (a1in_.size() > kin_ || am_.empty()) {
       // Page out the A1in FIFO tail; remember its identity in A1out.
-      const BlockId victim = a1in_.back();
-      a1in_.pop_back();
+      const SlabHandle vh = a1in_.back();
+      const BlockId victim = slab_[vh].block;
+      a1in_.erase(vh);
+      slab_.free(vh);
+      index_.erase(victim);
       ev = EvictResult{true, victim};
-      a1out_.push_front(victim);
-      index_[victim] = Entry{Where::kA1out, a1out_.begin()};
+      push_node(victim, Where::kA1out);
       if (a1out_.size() > kout_) {
-        index_.erase(a1out_.back());
-        a1out_.pop_back();
+        const SlabHandle gh = a1out_.back();
+        index_.erase(slab_[gh].block);
+        a1out_.erase(gh);
+        slab_.free(gh);
       }
     } else {
-      const BlockId victim = am_.back();
-      am_.pop_back();
+      const SlabHandle vh = am_.back();
+      const BlockId victim = slab_[vh].block;
+      am_.erase(vh);
+      slab_.free(vh);
       index_.erase(victim);
       ev = EvictResult{true, victim};
     }
@@ -117,10 +151,11 @@ class TwoQPolicy final : public CachePolicy {
   std::size_t capacity_;
   std::size_t kin_;
   std::size_t kout_;
-  std::list<BlockId> am_;     // main LRU, front = MRU
-  std::list<BlockId> a1in_;   // admission FIFO, front = newest
-  std::list<BlockId> a1out_;  // ghost FIFO of evicted A1in ids
-  std::unordered_map<BlockId, Entry> index_;
+  Slab<Node> slab_;
+  SlabList<Node> am_{&slab_};     // main LRU, front = MRU
+  SlabList<Node> a1in_{&slab_};   // admission FIFO, front = newest
+  SlabList<Node> a1out_{&slab_};  // ghost FIFO of evicted A1in ids
+  FlatMap<BlockId, SlabHandle> index_;
 };
 
 }  // namespace

@@ -6,77 +6,101 @@ namespace ulc {
 
 GlruServer::GlruServer(std::size_t capacity) : capacity_(capacity) {
   ULC_REQUIRE(capacity >= 1, "server capacity must be >= 1");
+  // Sized to capacity up front: steady-state placements neither rehash the
+  // index nor carve slab pages.
+  index_.reserve(capacity_ + 1);
+  slab_.reserve(capacity_ + 1);
 }
 
 GlruServer::PlaceResult GlruServer::place(BlockId block, ClientId owner) {
   PlaceResult result;
-  auto it = index_.find(block);
-  if (it != index_.end()) {
+  const SlabHandle* h = index_.find(block);
+  if (h != nullptr) {
     // Shared block already cached: refresh recency, transfer ownership.
-    it->second->owner = owner;
-    lru_.splice(lru_.begin(), lru_, it->second);
+    slab_[*h].owner = owner;
+    lru_.move_front(*h);
     return result;
   }
   if (lru_.size() >= capacity_) {
-    const Entry& victim = lru_.back();
+    const SlabHandle vh = lru_.back();
+    const Entry& victim = slab_[vh];
     result.evicted = true;
     result.victim = victim.block;
     result.victim_owner = victim.owner;
     index_.erase(victim.block);
-    lru_.pop_back();
+    lru_.erase(vh);
+    slab_.free(vh);
   }
-  lru_.push_front(Entry{block, owner});
-  index_[block] = lru_.begin();
+  const SlabHandle nh = slab_.alloc();
+  Entry& e = slab_[nh];
+  e.block = block;
+  e.owner = owner;
+  lru_.push_front(nh);
+  index_.insert_new(block, nh);
   return result;
 }
 
 bool GlruServer::refresh(BlockId block, ClientId owner) {
-  auto it = index_.find(block);
-  if (it == index_.end()) return false;
-  it->second->owner = owner;
-  lru_.splice(lru_.begin(), lru_, it->second);
+  const SlabHandle* h = index_.find(block);
+  if (h == nullptr) return false;
+  slab_[*h].owner = owner;
+  lru_.move_front(*h);
   return true;
 }
 
 bool GlruServer::take(BlockId block) {
-  auto it = index_.find(block);
-  if (it == index_.end()) return false;
-  lru_.erase(it->second);
-  index_.erase(it);
+  const SlabHandle* h = index_.find(block);
+  if (h == nullptr) return false;
+  const SlabHandle vh = *h;
+  index_.erase(block);
+  lru_.erase(vh);
+  slab_.free(vh);
   return true;
 }
 
 ClientId GlruServer::owner_of(BlockId block) const {
-  auto it = index_.find(block);
-  ULC_REQUIRE(it != index_.end(), "owner_of absent block");
-  return it->second->owner;
+  const SlabHandle* h = index_.find(block);
+  ULC_REQUIRE(h != nullptr, "owner_of absent block");
+  return slab_[*h].owner;
 }
 
 std::size_t GlruServer::owned_by(ClientId client) const {
   std::size_t n = 0;
-  for (const Entry& e : lru_) {
-    if (e.owner == client) ++n;
+  for (SlabHandle h = lru_.front(); h != kNullHandle; h = lru_.next(h)) {
+    if (slab_[h].owner == client) ++n;
   }
   return n;
 }
 
 std::size_t GlruServer::wipe(std::vector<BlockId>* dropped) {
   const std::size_t n = lru_.size();
-  if (dropped != nullptr) {
-    for (const Entry& e : lru_) dropped->push_back(e.block);
+  SlabHandle h = lru_.front();
+  while (h != kNullHandle) {
+    const SlabHandle next = lru_.next(h);
+    if (dropped != nullptr) dropped->push_back(slab_[h].block);
+    slab_.free(h);
+    h = next;
   }
   lru_.clear();
   index_.clear();
+  index_.reserve(capacity_ + 1);
   return n;
 }
 
 bool GlruServer::check_consistency() const {
   if (index_.size() != lru_.size()) return false;
   if (lru_.size() > capacity_) return false;
-  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
-    auto idx = index_.find(it->block);
-    if (idx == index_.end() || idx->second != it) return false;
+  std::size_t walked = 0;
+  SlabHandle prev = kNullHandle;
+  for (SlabHandle h = lru_.front(); h != kNullHandle; h = lru_.next(h)) {
+    if (lru_.prev(h) != prev) return false;
+    const SlabHandle* idx = index_.find(slab_[h].block);
+    if (idx == nullptr || *idx != h) return false;
+    prev = h;
+    ++walked;
   }
+  if (prev != lru_.back()) return false;
+  if (walked != lru_.size()) return false;
   return true;
 }
 

@@ -8,14 +8,18 @@
 // bottom is replaced and its owner must be told so it can shrink its view
 // of its server share (yardstick adjustment); the notice is delayed and
 // piggybacked on the next block retrieved by that owner.
+//
+// Storage: slab-backed intrusive LRU (util/slab.h) with a FlatMap block
+// index, sized to capacity at construction — the per-placement path never
+// touches the allocator or rehashes (DESIGN.md §8).
 #pragma once
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
 #include <vector>
 
 #include "trace/types.h"
+#include "util/flat_hash.h"
+#include "util/slab.h"
 
 namespace ulc {
 
@@ -43,7 +47,7 @@ class GlruServer {
   // absent.
   bool take(BlockId block);
 
-  bool contains(BlockId block) const { return index_.count(block) != 0; }
+  bool contains(BlockId block) const { return index_.contains(block); }
   // Owner of a cached block; block must be present.
   ClientId owner_of(BlockId block) const;
 
@@ -63,13 +67,16 @@ class GlruServer {
 
  private:
   struct Entry {
-    BlockId block;
-    ClientId owner;
+    BlockId block = 0;
+    ClientId owner = 0;
+    SlabHandle prev = kNullHandle;
+    SlabHandle next = kNullHandle;
   };
 
   std::size_t capacity_;
-  std::list<Entry> lru_;  // front = most recently directed
-  std::unordered_map<BlockId, std::list<Entry>::iterator> index_;
+  Slab<Entry> slab_;
+  SlabList<Entry> lru_{&slab_};  // front = most recently directed
+  FlatMap<BlockId, SlabHandle> index_;
 };
 
 }  // namespace ulc

@@ -21,6 +21,12 @@ UlcClient::UlcClient(const UlcConfig& config)
                 "level capacity must be >= 1");
   }
   stats_.level_hits.assign(capacities_.size(), 0);
+  if (temp_capacity_ > 0) {
+    // Sized once up front: the tempLRU never rehashes or carves pages while
+    // references are being measured.
+    temp_index_.reserve(temp_capacity_ + 1);
+    temp_slab_.reserve(temp_capacity_ + 1);
+  }
   // Non-emptiness is guaranteed by the ULC_REQUIRE above; boundary i covers
   // demotions crossing link i, so a single-level hierarchy has none and its
   // cascade only takes the kLevelOut discard path (which never indexes here).
@@ -100,12 +106,13 @@ const UlcAccess& UlcClient::access(BlockId block) {
   out_.demotions.clear();
 
   if (temp_capacity_ > 0) {
-    auto it = temp_index_.find(block);
-    if (it != temp_index_.end()) {
+    const SlabHandle* h = temp_index_.find(block);
+    if (h != nullptr) {
       out_.temp_hit = true;
       ++stats_.temp_hits;
-      temp_lru_.erase(it->second);
-      temp_index_.erase(it);
+      temp_lru_.erase(*h);
+      temp_slab_.free(*h);
+      temp_index_.erase(block);
     }
   }
 
@@ -187,7 +194,7 @@ std::size_t UlcClient::resync_wipe_level(std::size_t level,
   ULC_REQUIRE(level != kLevelOut && level < capacities_.size(),
               "resync wipe needs a real cache level");
   std::vector<UniLruStack::Node*> victims;
-  for (UniLruStack::Node* n = stack_.head(); n != nullptr; n = n->next) {
+  for (UniLruStack::Node* n = stack_.head(); n != nullptr; n = stack_.next(n)) {
     if (n->level == level) victims.push_back(n);
   }
   for (UniLruStack::Node* n : victims) {
@@ -215,16 +222,20 @@ void UlcClient::touch_temp(BlockId block, bool cached_at_client) {
   if (temp_capacity_ == 0 || cached_at_client) return;
   // The block passed through the client without being cached at L1; it sits
   // in the small tempLRU until pushed out (paper footnote 3).
-  auto it = temp_index_.find(block);
-  if (it != temp_index_.end()) {
-    temp_lru_.erase(it->second);
-    temp_index_.erase(it);
+  const SlabHandle* existing = temp_index_.find(block);
+  if (existing != nullptr) {
+    temp_lru_.move_front(*existing);
+    return;
   }
-  temp_lru_.push_front(block);
-  temp_index_[block] = temp_lru_.begin();
+  const SlabHandle h = temp_slab_.alloc();
+  temp_slab_[h].block = block;
+  temp_lru_.push_front(h);
+  temp_index_.insert_new(block, h);
   if (temp_lru_.size() > temp_capacity_) {
-    temp_index_.erase(temp_lru_.back());
-    temp_lru_.pop_back();
+    const SlabHandle victim = temp_lru_.back();
+    temp_index_.erase(temp_slab_[victim].block);
+    temp_lru_.erase(victim);
+    temp_slab_.free(victim);
   }
 }
 

@@ -23,12 +23,12 @@
 #pragma once
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
 #include <vector>
 
 #include "trace/types.h"
 #include "ulc/uni_lru_stack.h"
+#include "util/flat_hash.h"
+#include "util/slab.h"
 
 namespace ulc {
 
@@ -121,7 +121,7 @@ class UlcClient {
   // unknown). Used by the multi-client driver to reconcile shared-block
   // takes by other clients before processing an access.
   std::size_t level_of(BlockId block) const;
-  bool in_temp(BlockId block) const { return temp_index_.count(block) != 0; }
+  bool in_temp(BlockId block) const { return temp_index_.contains(block); }
 
   // Structural invariant validation (tests): stack consistency + capacities.
   bool check_consistency() const;
@@ -136,8 +136,18 @@ class UlcClient {
   UlcAccess out_;
   UlcStats stats_;
 
-  std::list<BlockId> temp_lru_;  // front = most recent
-  std::unordered_map<BlockId, std::list<BlockId>::iterator> temp_index_;
+  // Client tempLRU (paper footnote 3): slab-backed intrusive LRU of the
+  // blocks passing through the client uncached. Tiny (temp_capacity_ <=
+  // a few buffers), but on the per-reference path, so it shares the
+  // arena/FlatMap storage model of the main stack.
+  struct TempNode {
+    BlockId block = 0;
+    SlabHandle prev = kNullHandle;
+    SlabHandle next = kNullHandle;
+  };
+  Slab<TempNode> temp_slab_;
+  SlabList<TempNode> temp_lru_{&temp_slab_};  // front = most recent
+  FlatMap<BlockId, SlabHandle> temp_index_;
 
   bool is_elastic(std::size_t level) const { return level >= first_elastic_; }
   bool level_has_room(std::size_t level) const;

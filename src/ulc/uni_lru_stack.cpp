@@ -5,81 +5,57 @@
 namespace ulc {
 
 UniLruStack::UniLruStack(std::size_t levels)
-    : yard_(levels, nullptr), level_count_(levels, 0) {
+    : yard_(levels, kNullHandle), level_count_(levels, 0) {
   ULC_REQUIRE(levels >= 1, "need at least one cache level");
 }
 
-UniLruStack::~UniLruStack() {
-  Node* n = head_;
-  while (n) {
-    Node* next = n->next;
-    delete n;
-    n = next;
-  }
-  n = free_list_;
-  while (n) {
-    Node* next = n->next;
-    delete n;
-    n = next;
-  }
-}
-
 UniLruStack::Node* UniLruStack::alloc(BlockId block) {
-  Node* n;
-  if (free_list_) {
-    n = free_list_;
-    free_list_ = n->next;
-  } else {
-    n = new Node();
-  }
+  const SlabHandle h = slab_.alloc();
+  Node* n = slab_.get(h);
   n->block = block;
   n->level = kLevelOut;
   n->seq = 0;
-  n->prev = n->next = nullptr;
+  n->prev = n->next = kNullHandle;
+  n->self = h;
   return n;
 }
 
-void UniLruStack::free_node(Node* n) {
-  n->next = free_list_;
-  free_list_ = n;
-}
-
 void UniLruStack::unlink(Node* n) {
-  if (n->prev)
-    n->prev->next = n->next;
+  if (n->prev != kNullHandle)
+    slab_[n->prev].next = n->next;
   else
     head_ = n->next;
-  if (n->next)
-    n->next->prev = n->prev;
+  if (n->next != kNullHandle)
+    slab_[n->next].prev = n->prev;
   else
     tail_ = n->prev;
-  n->prev = n->next = nullptr;
+  n->prev = n->next = kNullHandle;
 }
 
 void UniLruStack::link_front(Node* n) {
-  n->prev = nullptr;
+  n->prev = kNullHandle;
   n->next = head_;
-  if (head_) head_->prev = n;
-  head_ = n;
-  if (!tail_) tail_ = n;
+  if (head_ != kNullHandle) slab_[head_].prev = n->self;
+  head_ = n->self;
+  if (tail_ == kNullHandle) tail_ = n->self;
 }
 
 UniLruStack::Node* UniLruStack::find(BlockId block) {
-  auto it = index_.find(block);
-  return it == index_.end() ? nullptr : it->second;
+  const SlabHandle* h = index_.find(block);
+  return h == nullptr ? nullptr : slab_.get(*h);
 }
 
 const UniLruStack::Node* UniLruStack::find(BlockId block) const {
-  auto it = index_.find(block);
-  return it == index_.end() ? nullptr : it->second;
+  const SlabHandle* h = index_.find(block);
+  return h == nullptr ? nullptr : slab_.get(*h);
 }
 
 UniLruStack::Node* UniLruStack::push_top(BlockId block, std::size_t level) {
-  ULC_REQUIRE(index_.find(block) == index_.end(), "push_top of present block");
+  ULC_REQUIRE(!index_.contains(block), "push_top of present block");
   Node* n = alloc(block);
   n->seq = next_seq_++;
   link_front(n);
-  index_.emplace(block, n);
+  index_.insert_new(block, n->self);
   n->level = kLevelOut;
   if (level != kLevelOut) set_level(n, level);
   return n;
@@ -87,7 +63,8 @@ UniLruStack::Node* UniLruStack::push_top(BlockId block, std::size_t level) {
 
 void UniLruStack::move_to_top(Node* n) {
   ULC_REQUIRE(n != nullptr, "move_to_top of null node");
-  ULC_ENSURE(n->level == kLevelOut || yard_[n->level] != n || level_count_[n->level] == 1,
+  ULC_ENSURE(n->level == kLevelOut || yard_[n->level] != n->self ||
+                 level_count_[n->level] == 1,
              "yardstick_departure must run before moving a yardstick "
              "(unless it is its level's only block)");
   unlink(n);
@@ -100,7 +77,8 @@ void UniLruStack::set_level(Node* n, std::size_t to) {
   const std::size_t from = n->level;
   if (from == to) return;
   if (from != kLevelOut) {
-    ULC_ENSURE(yard_[from] != n, "yardstick_departure must run before set_level");
+    ULC_ENSURE(yard_[from] != n->self,
+               "yardstick_departure must run before set_level");
     --level_count_[from];
   }
   n->level = to;
@@ -108,7 +86,8 @@ void UniLruStack::set_level(Node* n, std::size_t to) {
     ++level_count_[to];
     // DemotionSearching, O(1): the node is the new yardstick iff it is the
     // deepest (smallest-sequence) block of its new level.
-    if (yard_[to] == nullptr || n->seq < yard_[to]->seq) yard_[to] = n;
+    if (yard_[to] == kNullHandle || n->seq < slab_[yard_[to]].seq)
+      yard_[to] = n->self;
   }
 }
 
@@ -116,18 +95,18 @@ void UniLruStack::yardstick_departure(Node* n) {
   ULC_REQUIRE(n != nullptr && n->level != kLevelOut,
               "yardstick_departure needs a cached node");
   const std::size_t level = n->level;
-  if (yard_[level] != n) return;
+  if (yard_[level] != n->self) return;
   if (level_count_[level] == 1) {
-    yard_[level] = nullptr;
+    yard_[level] = kNullHandle;
     return;
   }
   // YardStickAdjustment: walk towards the stack top to the next block with
   // the same level status. It must exist: every level-L block sits at or
   // above Y_L by construction (I2).
-  Node* p = n->prev;
-  while (p && p->level != level) p = p->prev;
+  Node* p = ptr(n->prev);
+  while (p != nullptr && p->level != level) p = ptr(p->prev);
   ULC_ENSURE(p != nullptr, "no other block of a level with count >= 2 found above");
-  yard_[level] = p;
+  yard_[level] = p->self;
 }
 
 void UniLruStack::remove(Node* n) {
@@ -135,34 +114,41 @@ void UniLruStack::remove(Node* n) {
   ULC_REQUIRE(n->level == kLevelOut, "only uncached nodes may be removed");
   index_.erase(n->block);
   unlink(n);
-  free_node(n);
+  slab_.free(n->self);
 }
 
 std::size_t UniLruStack::prune() {
   // Deepest yardstick = the smallest yardstick sequence number.
   std::uint64_t min_seq = 0;
   bool have = false;
-  for (const Node* y : yard_) {
-    if (y && (!have || y->seq < min_seq)) {
-      min_seq = y->seq;
+  for (const SlabHandle yh : yard_) {
+    if (yh == kNullHandle) continue;
+    const Node& y = slab_[yh];
+    if (!have || y.seq < min_seq) {
+      min_seq = y.seq;
       have = true;
     }
   }
   std::size_t removed = 0;
-  while (tail_ && tail_->level == kLevelOut && (!have || tail_->seq < min_seq)) {
-    Node* n = tail_;
+  while (tail_ != kNullHandle) {
+    Node* n = slab_.get(tail_);
+    if (n->level != kLevelOut || (have && n->seq >= min_seq)) break;
     index_.erase(n->block);
     unlink(n);
-    free_node(n);
+    slab_.free(n->self);
     ++removed;
   }
+  // Hand fully-emptied trailing pages back under the slab's hysteresis
+  // band; live nodes are untouched (pages never move), so every Node* a
+  // caller still holds stays valid.
+  if (removed > 0) slab_.release_free_pages();
   return removed;
 }
 
 std::size_t UniLruStack::recency_status(const Node* n) const {
   ULC_REQUIRE(n != nullptr, "recency_status of null node");
   for (std::size_t i = 0; i < yard_.size(); ++i) {
-    if (yard_[i] && n->seq >= yard_[i]->seq) return i;
+    if (yard_[i] != kNullHandle && n->seq >= slab_[yard_[i]].seq) return i;
   }
   return kLevelOut;
 }
@@ -170,26 +156,29 @@ std::size_t UniLruStack::recency_status(const Node* n) const {
 bool UniLruStack::check_consistency(
     const std::vector<std::size_t>* capacities) const {
   std::vector<std::size_t> counts(level_count_.size(), 0);
-  std::vector<const Node*> deepest(level_count_.size(), nullptr);
+  std::vector<SlabHandle> deepest(level_count_.size(), kNullHandle);
   std::size_t seen = 0;
   std::uint64_t prev_seq = ~0ULL;
-  const Node* prev = nullptr;
-  for (const Node* n = head_; n; n = n->next) {
-    if (n->prev != prev) return false;
-    if (n->seq >= prev_seq) return false;  // strictly descending
-    prev_seq = n->seq;
-    auto it = index_.find(n->block);
-    if (it == index_.end() || it->second != n) return false;
-    if (n->level != kLevelOut) {
-      if (n->level >= counts.size()) return false;
-      ++counts[n->level];
-      deepest[n->level] = n;  // last seen = deepest
+  SlabHandle prev = kNullHandle;
+  for (SlabHandle h = head_; h != kNullHandle; h = slab_[h].next) {
+    const Node& n = slab_[h];
+    if (n.prev != prev) return false;
+    if (n.self != h) return false;  // handle <-> node self-link agreement
+    if (n.seq >= prev_seq) return false;  // strictly descending
+    prev_seq = n.seq;
+    const SlabHandle* idx = index_.find(n.block);
+    if (idx == nullptr || *idx != h) return false;
+    if (n.level != kLevelOut) {
+      if (n.level >= counts.size()) return false;
+      ++counts[n.level];
+      deepest[n.level] = h;  // last seen = deepest
     }
     ++seen;
-    prev = n;
+    prev = h;
   }
   if (prev != tail_) return false;
   if (seen != index_.size()) return false;
+  if (seen != slab_.live()) return false;  // no leaked slab slots
   for (std::size_t i = 0; i < counts.size(); ++i) {
     if (counts[i] != level_count_[i]) return false;
     if (yard_[i] != deepest[i]) return false;  // I3: yardstick = deepest

@@ -20,15 +20,24 @@
 // DemotionSearching as the O(1) sequence comparison that decides whether a
 // demoted block becomes its new level's yardstick.
 //
+// Storage (DESIGN.md §8): nodes live in a paged Slab<Node> arena and link to
+// each other through 32-bit slab handles; the block-id index is an
+// open-addressing FlatMap. Slab pages never move, so the Node* values handed
+// out by find()/head()/yard() stay valid for the node's whole residency —
+// across any number of later push_top() calls — and the public API keeps its
+// pointer shape. Neighbour navigation goes through next(n)/prev(n) (the
+// handle⇄pointer accessors) because the links themselves are handles now.
+//
 // Only metadata lives here (the paper's ~17 bytes/block); block contents are
 // never simulated.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "trace/types.h"
+#include "util/flat_hash.h"
+#include "util/slab.h"
 
 namespace ulc {
 
@@ -39,14 +48,14 @@ class UniLruStack {
  public:
   struct Node {
     BlockId block = 0;
-    std::size_t level = kLevelOut;
     std::uint64_t seq = 0;  // last-access sequence; stack order = descending
-    Node* prev = nullptr;   // towards head (more recent)
-    Node* next = nullptr;   // towards tail (less recent)
+    std::size_t level = kLevelOut;
+    SlabHandle prev = kNullHandle;  // towards head (more recent)
+    SlabHandle next = kNullHandle;  // towards tail (less recent)
+    SlabHandle self = kNullHandle;  // this node's own slab handle
   };
 
   explicit UniLruStack(std::size_t levels);
-  ~UniLruStack();
 
   UniLruStack(const UniLruStack&) = delete;
   UniLruStack& operator=(const UniLruStack&) = delete;
@@ -82,38 +91,51 @@ class UniLruStack {
   void remove(Node* n);
 
   // Drops kLevelOut nodes from the stack tail that lie below every
-  // yardstick (they could never be re-ranked into a cache level). Returns
-  // the number of nodes removed.
+  // yardstick (they could never be re-ranked into a cache level), then lets
+  // the slab hand emptied trailing pages back (bounded hysteresis; see
+  // Slab::release_free_pages). Returns the number of nodes removed.
   std::size_t prune();
 
   // The paper's recency status, generalized: smallest level i whose
   // yardstick Y_i is at or below n (seq(n) >= seq(Y_i)); kLevelOut if none.
   std::size_t recency_status(const Node* n) const;
 
-  Node* yard(std::size_t level) const { return yard_[level]; }
+  Node* yard(std::size_t level) const { return ptr(yard_[level]); }
   std::size_t level_size(std::size_t level) const { return level_count_[level]; }
   std::size_t stack_size() const { return index_.size(); }
 
-  Node* head() const { return head_; }
-  Node* tail() const { return tail_; }
+  Node* head() const { return ptr(head_); }
+  Node* tail() const { return ptr(tail_); }
+
+  // Neighbour accessors (stack order): next = towards the tail (less
+  // recent), prev = towards the head. nullptr past either end.
+  Node* next(const Node* n) const { return ptr(n->next); }
+  Node* prev(const Node* n) const { return ptr(n->prev); }
+
+  // Arena footprint introspection (tests, throughput bench).
+  std::size_t slab_pages() const { return slab_.page_count(); }
+  const Slab<Node>::Stats& slab_stats() const { return slab_.stats(); }
 
   // O(n) validation of all structural invariants (DESIGN.md I1-I5, in their
   // transient-tolerant form); used by tests and debug checks.
   bool check_consistency(const std::vector<std::size_t>* capacities = nullptr) const;
 
  private:
-  std::vector<Node*> yard_;
+  std::vector<SlabHandle> yard_;
   std::vector<std::size_t> level_count_;
-  Node* head_ = nullptr;
-  Node* tail_ = nullptr;
+  SlabHandle head_ = kNullHandle;
+  SlabHandle tail_ = kNullHandle;
   std::uint64_t next_seq_ = 1;
-  std::unordered_map<BlockId, Node*> index_;
-  Node* free_list_ = nullptr;
+  mutable Slab<Node> slab_;
+  FlatMap<BlockId, SlabHandle> index_;
+
+  Node* ptr(SlabHandle h) const {
+    return h == kNullHandle ? nullptr : slab_.get(h);
+  }
 
   void unlink(Node* n);
   void link_front(Node* n);
   Node* alloc(BlockId block);
-  void free_node(Node* n);
 };
 
 }  // namespace ulc

@@ -1,0 +1,210 @@
+// Deterministic open-addressing hash map for the simulation hot paths.
+//
+// Every per-reference operation of the reproduction ends in a block-id
+// lookup; std::unordered_map pays a pointer chase per node plus an
+// allocation per insert, which is the dominant cost once the metadata per
+// block is as small as the paper's ~17 bytes. FlatMap stores key/value
+// pairs inline in one power-of-two slot array (linear probing, splitmix64
+// mixing, tombstone deletion), so a lookup is one hash, one probe run over
+// contiguous memory, and no allocation.
+//
+// Determinism contract (enforced by `ulc_lint`'s unordered-iteration rule
+// elsewhere): FlatMap exposes NO iteration API at all, so probe layout —
+// the only state that depends on insertion order — can never leak into
+// simulator output. Two maps holding the same key set answer every query
+// identically regardless of the insertion/erasure history that built them.
+//
+// Keys and values must be trivially copyable (they are memcpy'd on rehash);
+// keys are hashed by their integer value via splitmix64's finalizer, which
+// is bijective — no two block ids collide before the mask is applied.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "util/ensure.h"
+
+namespace ulc {
+
+// SplitMix64 finalizer (Steele et al.); bijective 64-bit mixer.
+inline std::uint64_t splitmix64_mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+template <typename Key, typename Value>
+class FlatMap {
+  static_assert(std::is_trivially_copyable_v<Key>,
+                "FlatMap keys are memcpy'd on rehash");
+  static_assert(std::is_trivially_copyable_v<Value>,
+                "FlatMap values are memcpy'd on rehash");
+  static_assert(std::is_integral_v<Key> || std::is_enum_v<Key>,
+                "FlatMap hashes keys by integer value");
+
+ public:
+  FlatMap() = default;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  // Slot-array capacity (power of two; 0 before the first insert).
+  std::size_t bucket_count() const { return slots_.size(); }
+  // Number of rehashes performed since construction/clear; a structure that
+  // reserve()s to capacity up front must keep this at zero while running
+  // (no rehash-during-measurement).
+  std::uint64_t rehashes() const { return rehashes_; }
+
+  // Pre-sizes the table so `n` keys fit without rehashing.
+  void reserve(std::size_t n) {
+    const std::size_t want = capacity_for(n);
+    if (want > slots_.size()) rehash(want);
+  }
+
+  Value* find(Key key) {
+    if (slots_.empty()) return nullptr;
+    for (std::size_t i = bucket_of(key);; i = (i + 1) & mask_) {
+      Slot& s = slots_[i];
+      if (s.state == kEmpty) return nullptr;
+      if (s.state == kFull && s.key == key) return &s.value;
+    }
+  }
+  const Value* find(Key key) const {
+    return const_cast<FlatMap*>(this)->find(key);
+  }
+  bool contains(Key key) const { return find(key) != nullptr; }
+
+  // Inserts a key that must be absent.
+  void insert_new(Key key, Value value) {
+    Value* v = probe_insert(key);
+    ULC_REQUIRE(v != nullptr, "FlatMap::insert_new of a present key");
+    *v = value;
+  }
+
+  // Inserts or overwrites.
+  void put(Key key, Value value) {
+    grow_if_needed();
+    for (std::size_t i = bucket_of(key), tomb = kNone;; i = (i + 1) & mask_) {
+      Slot& s = slots_[i];
+      if (s.state == kFull && s.key == key) {
+        s.value = value;
+        return;
+      }
+      if (s.state == kTombstone && tomb == kNone) tomb = i;
+      if (s.state == kEmpty) {
+        place(tomb == kNone ? i : tomb, key, value);
+        return;
+      }
+    }
+  }
+
+  bool erase(Key key) {
+    if (slots_.empty()) return false;
+    for (std::size_t i = bucket_of(key);; i = (i + 1) & mask_) {
+      Slot& s = slots_[i];
+      if (s.state == kEmpty) return false;
+      if (s.state == kFull && s.key == key) {
+        s.state = kTombstone;
+        --size_;
+        ++tombstones_;
+        return true;
+      }
+    }
+  }
+
+  void clear() {
+    slots_.clear();
+    mask_ = 0;
+    size_ = 0;
+    tombstones_ = 0;
+    rehashes_ = 0;
+  }
+
+ private:
+  enum : std::uint8_t { kEmpty = 0, kFull = 1, kTombstone = 2 };
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  static constexpr std::size_t kMinBuckets = 16;
+
+  struct Slot {
+    Key key;
+    Value value;
+    std::uint8_t state = kEmpty;
+  };
+
+  std::size_t bucket_of(Key key) const {
+    return static_cast<std::size_t>(
+               splitmix64_mix(static_cast<std::uint64_t>(key))) &
+           mask_;
+  }
+
+  // Smallest power-of-two table that keeps `n` keys under 7/8 load.
+  static std::size_t capacity_for(std::size_t n) {
+    std::size_t cap = kMinBuckets;
+    while (n + n / 7 + 1 > cap - cap / 8) cap <<= 1;
+    return cap;
+  }
+
+  void grow_if_needed() {
+    if (slots_.empty()) {
+      rehash(kMinBuckets);
+      return;
+    }
+    // Rehash when live + dead slots pass 7/8 of the table. If the live count
+    // alone is small the table size is kept (tombstone purge), so a
+    // steady-state erase/insert workload cannot grow the table unboundedly.
+    if ((size_ + tombstones_ + 1) * 8 > slots_.size() * 7) {
+      const std::size_t want = capacity_for(size_ + 1);
+      rehash(want > slots_.size() ? want : slots_.size());
+    }
+  }
+
+  void place(std::size_t i, Key key, Value value) {
+    if (slots_[i].state == kTombstone) --tombstones_;
+    slots_[i] = Slot{key, value, kFull};
+    ++size_;
+  }
+
+  // Returns the value slot for a new key, or nullptr if the key exists.
+  Value* probe_insert(Key key) {
+    grow_if_needed();
+    for (std::size_t i = bucket_of(key), tomb = kNone;; i = (i + 1) & mask_) {
+      Slot& s = slots_[i];
+      if (s.state == kFull && s.key == key) return nullptr;
+      if (s.state == kTombstone && tomb == kNone) tomb = i;
+      if (s.state == kEmpty) {
+        const std::size_t at = tomb == kNone ? i : tomb;
+        place(at, key, Value{});
+        return &slots_[at].value;
+      }
+    }
+  }
+
+  void rehash(std::size_t new_buckets) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_buckets, Slot{});
+    mask_ = new_buckets - 1;
+    tombstones_ = 0;
+    size_ = 0;
+    if (!old.empty()) ++rehashes_;
+    for (const Slot& s : old) {
+      if (s.state != kFull) continue;
+      for (std::size_t i = bucket_of(s.key);; i = (i + 1) & mask_) {
+        if (slots_[i].state == kEmpty) {
+          slots_[i] = Slot{s.key, s.value, kFull};
+          ++size_;
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+  std::size_t tombstones_ = 0;
+  std::uint64_t rehashes_ = 0;
+};
+
+}  // namespace ulc

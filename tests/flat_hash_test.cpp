@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/flat_hash.h"
+
+namespace ulc {
+namespace {
+
+TEST(FlatMap, EmptyAnswersEveryQuery) {
+  FlatMap<std::uint64_t, std::uint32_t> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.bucket_count(), 0u);
+  EXPECT_EQ(m.find(7), nullptr);
+  EXPECT_FALSE(m.contains(7));
+  EXPECT_FALSE(m.erase(7));
+}
+
+TEST(FlatMap, InsertFindEraseRoundTrip) {
+  FlatMap<std::uint64_t, std::uint32_t> m;
+  m.insert_new(1, 10);
+  m.insert_new(2, 20);
+  ASSERT_NE(m.find(1), nullptr);
+  EXPECT_EQ(*m.find(1), 10u);
+  EXPECT_EQ(*m.find(2), 20u);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_TRUE(m.erase(1));
+  EXPECT_EQ(m.find(1), nullptr);
+  EXPECT_FALSE(m.erase(1));
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap, PutOverwritesInPlace) {
+  FlatMap<std::uint64_t, std::uint32_t> m;
+  m.put(5, 1);
+  m.put(5, 2);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(*m.find(5), 2u);
+}
+
+TEST(FlatMap, InsertNewOfPresentKeyDies) {
+  FlatMap<std::uint64_t, std::uint32_t> m;
+  m.insert_new(5, 1);
+  EXPECT_DEATH(m.insert_new(5, 2), "insert_new of a present key");
+}
+
+// A slot freed by erase() must be reusable: steady-state erase/insert cycles
+// (every cache eviction is one) may not grow the table without bound.
+TEST(FlatMap, TombstoneSlotsAreReusedWithoutGrowth) {
+  FlatMap<std::uint64_t, std::uint32_t> m;
+  m.reserve(64);
+  const std::size_t buckets = m.bucket_count();
+  // Churn far more keys than the table has buckets through a bounded live
+  // set; the tombstone purge on rehash keeps the table at its reserved size.
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    m.insert_new(i, static_cast<std::uint32_t>(i));
+    if (i >= 32) {
+      EXPECT_TRUE(m.erase(i - 32));
+    }
+  }
+  EXPECT_EQ(m.size(), 32u);
+  EXPECT_EQ(m.bucket_count(), buckets);
+  for (std::uint64_t i = 10000 - 32; i < 10000; ++i) {
+    ASSERT_NE(m.find(i), nullptr) << i;
+    EXPECT_EQ(*m.find(i), static_cast<std::uint32_t>(i));
+  }
+}
+
+TEST(FlatMap, GrowsAtHighLoadFactorAndKeepsEveryKey) {
+  FlatMap<std::uint64_t, std::uint64_t> m;
+  const std::uint64_t n = 5000;
+  for (std::uint64_t i = 0; i < n; ++i) m.insert_new(i * 977, i);
+  EXPECT_EQ(m.size(), n);
+  // Power-of-two table under 7/8 load.
+  const std::size_t b = m.bucket_count();
+  EXPECT_EQ(b & (b - 1), 0u);
+  EXPECT_LE((n + 1) * 8, b * 7 + 8);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ASSERT_NE(m.find(i * 977), nullptr) << i;
+    EXPECT_EQ(*m.find(i * 977), i);
+  }
+  EXPECT_GT(m.rehashes(), 0u);
+}
+
+TEST(FlatMap, ReserveThenFillNeverRehashes) {
+  FlatMap<std::uint64_t, std::uint32_t> m;
+  m.reserve(1000);
+  const std::size_t buckets = m.bucket_count();
+  for (std::uint64_t i = 0; i < 1000; ++i) m.insert_new(i, 0);
+  EXPECT_EQ(m.rehashes(), 0u);
+  EXPECT_EQ(m.bucket_count(), buckets);
+}
+
+// The determinism contract: two maps over the same key set answer every
+// query identically no matter the insertion/erasure history that built them.
+// (FlatMap has no iteration API, so queries are the whole surface.)
+TEST(FlatMap, QueriesAgreeAcrossInsertionOrders) {
+  FlatMap<std::uint64_t, std::uint64_t> a;
+  FlatMap<std::uint64_t, std::uint64_t> b;
+  const std::uint64_t n = 512;
+  for (std::uint64_t i = 0; i < n; ++i) a.insert_new(i * 31, i);
+  // b: reverse order, with extra churn that ends at the same key set.
+  for (std::uint64_t i = n; i-- > 0;) b.insert_new(i * 31, i);
+  for (std::uint64_t i = 0; i < n; i += 2) EXPECT_TRUE(b.erase(i * 31));
+  for (std::uint64_t i = 0; i < n; i += 2) b.insert_new(i * 31, i);
+  EXPECT_EQ(a.size(), b.size());
+  for (std::uint64_t k = 0; k < n * 31 + 7; ++k) {
+    const std::uint64_t* va = a.find(k);
+    const std::uint64_t* vb = b.find(k);
+    ASSERT_EQ(va == nullptr, vb == nullptr) << k;
+    if (va != nullptr) {
+      EXPECT_EQ(*va, *vb);
+    }
+  }
+}
+
+TEST(FlatMap, ClearResetsToEmpty) {
+  FlatMap<std::uint64_t, std::uint32_t> m;
+  for (std::uint64_t i = 0; i < 100; ++i) m.insert_new(i, 1);
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.bucket_count(), 0u);
+  EXPECT_EQ(m.rehashes(), 0u);
+  EXPECT_FALSE(m.contains(3));
+  m.insert_new(3, 9);
+  EXPECT_EQ(*m.find(3), 9u);
+}
+
+TEST(SplitMix64, MixesAdjacentKeysApart) {
+  // Not a statistical test — just pins that the finalizer is wired in (the
+  // identity hash would map adjacent block ids to adjacent buckets).
+  EXPECT_NE(splitmix64_mix(1) + 1, splitmix64_mix(2));
+  EXPECT_NE(splitmix64_mix(0), 0u);
+}
+
+}  // namespace
+}  // namespace ulc

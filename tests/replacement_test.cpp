@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "measures/next_use.h"
 #include "replacement/cache_policy.h"
 #include "workloads/synthetic.h"
@@ -315,6 +317,67 @@ TEST(Policies, EraseOnAllPolicies) {
     EXPECT_TRUE(policy->erase(3)) << policy->name();
     EXPECT_FALSE(policy->contains(3)) << policy->name();
     EXPECT_FALSE(policy->erase(3)) << policy->name();
+  }
+}
+
+// Regression for the slab/FlatMap port: a long mixed touch/insert/erase
+// churn over a key universe far larger than the cache drives the block index
+// through rehashes and tombstone purges and the slab through page carving
+// and handle recycling — exactly the conditions under which a call site that
+// kept a Value* or node reference across an index mutation would read a
+// stale slot. The model tracks residency from EvictResult, so any aliased
+// handle or missed index update shows up as a contains() disagreement.
+TEST(Policies, ChurnKeepsIndexAndResidencyInAgreement) {
+  struct Case {
+    const char* label;
+    PolicyPtr policy;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"lru", make_lru(64)});
+  cases.push_back({"fifo", make_fifo(64)});
+  cases.push_back({"random", make_random(64, 7)});
+  cases.push_back({"mq", make_mq(MqConfig{64})});
+  cases.push_back({"two_q", make_two_q(TwoQConfig{64})});
+  cases.push_back({"arc", make_arc(64)});
+  cases.push_back({"lirs", make_lirs(LirsConfig{64, 0.1})});
+  for (auto& c : cases) {
+    std::set<BlockId> resident;
+    std::uint64_t state = 0x9e3779b97f4a7c15ull;
+    auto next = [&state]() {
+      state ^= state << 13;
+      state ^= state >> 7;
+      state ^= state << 17;
+      return state;
+    };
+    for (std::uint64_t i = 0; i < 20000; ++i) {
+      const BlockId b = next() % 4096;  // 64x the cache: constant eviction
+      if (next() % 8 == 0) {
+        const bool erased = c.policy->erase(b);
+        EXPECT_EQ(erased, resident.count(b) != 0) << c.label << " @" << i;
+        resident.erase(b);
+        continue;
+      }
+      AccessContext ctx;
+      ctx.time = i;
+      // touch() hits exactly the resident set (ghost hits in 2Q/ARC/LIRS
+      // report as misses and are admitted below like any other miss).
+      const bool hit = c.policy->touch(b, ctx);
+      EXPECT_EQ(hit, resident.count(b) != 0) << c.label << " @" << i;
+      if (!hit && resident.count(b) == 0) {
+        EvictResult ev = c.policy->insert(b, ctx);
+        resident.insert(b);
+        if (ev.evicted) {
+          EXPECT_EQ(resident.erase(ev.victim), 1u) << c.label << " @" << i;
+        }
+      }
+      EXPECT_LE(c.policy->size(), 64u) << c.label << " @" << i;
+    }
+    // Full sweep: the policy's view of residency must match the model's.
+    for (BlockId b = 0; b < 4096; ++b) {
+      ASSERT_EQ(c.policy->contains(b), resident.count(b) != 0)
+          << c.label << " block " << b;
+    }
+    EXPECT_EQ(c.policy->size(), resident.size()) << c.label;
   }
 }
 

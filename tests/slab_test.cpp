@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/slab.h"
+
+namespace ulc {
+namespace {
+
+struct TestNode {
+  std::uint64_t value = 0;
+  SlabHandle prev = kNullHandle;
+  SlabHandle next = kNullHandle;
+};
+
+TEST(Slab, AllocHandsOutAscendingHandlesWithinAPage) {
+  Slab<TestNode> s(/*page_size=*/8);
+  for (SlabHandle want = 0; want < 16; ++want) {
+    EXPECT_EQ(s.alloc(), want);
+  }
+  EXPECT_EQ(s.page_count(), 2u);
+  EXPECT_EQ(s.live(), 16u);
+}
+
+// The documented recycling contract: free is LIFO, and a freed handle is the
+// next one handed out. There is NO generation tag — a stale handle held
+// across a free would silently alias the new occupant, which is why every
+// owner drops all copies of a handle in the same operation that frees it.
+TEST(Slab, FreeIsLifoRecycled) {
+  Slab<TestNode> s(8);
+  const SlabHandle a = s.alloc();
+  const SlabHandle b = s.alloc();
+  s[a].value = 1;
+  s[b].value = 2;
+  s.free(a);
+  s.free(b);
+  EXPECT_EQ(s.alloc(), b);  // most recently freed first
+  EXPECT_EQ(s.alloc(), a);
+  // The slot is handed back as-is: callers must assign every field.
+  EXPECT_EQ(s[a].value, 1u);
+  EXPECT_EQ(s.stats().allocs, 4u);
+  EXPECT_EQ(s.stats().frees, 2u);
+}
+
+TEST(Slab, PointersStayValidAcrossPageCarving) {
+  Slab<TestNode> s(4);
+  const SlabHandle h = s.alloc();
+  TestNode* p = s.get(h);
+  p->value = 42;
+  // Carve many more pages; the first page must not move.
+  for (int i = 0; i < 100; ++i) s.alloc();
+  EXPECT_EQ(s.get(h), p);
+  EXPECT_EQ(p->value, 42u);
+}
+
+TEST(Slab, ReserveCarvesUpFront) {
+  Slab<TestNode> s(16);
+  s.reserve(40);
+  EXPECT_EQ(s.page_count(), 3u);
+  EXPECT_EQ(s.slot_count(), 48u);
+  const auto carved = s.stats().pages_carved;
+  s.reserve(40);  // no-op
+  EXPECT_EQ(s.stats().pages_carved, carved);
+}
+
+TEST(Slab, ReleaseFreePagesNeedsMostlyEmptyArena) {
+  Slab<TestNode> s(8);
+  std::vector<SlabHandle> hs;
+  for (int i = 0; i < 32; ++i) hs.push_back(s.alloc());  // 4 pages
+  // Free half: live*4 == slot_count, still above the hysteresis threshold.
+  for (int i = 16; i < 32; ++i) s.free(hs[i]);
+  EXPECT_EQ(s.release_free_pages(), 0u);
+  // Free down to a quarter minus one: threshold passes, and the trailing
+  // three pages (all slots >= 8 are free) are released.
+  for (int i = 8; i < 16; ++i) s.free(hs[i]);
+  s.free(hs[7]);
+  EXPECT_EQ(s.release_free_pages(), 3u);
+  EXPECT_EQ(s.page_count(), 1u);
+  EXPECT_EQ(s.stats().pages_released, 3u);
+  // The survivors are untouched and the arena still allocates correctly.
+  for (int i = 0; i < 7; ++i) EXPECT_EQ(s[hs[i]].value, 0u);
+  const SlabHandle h = s.alloc();
+  EXPECT_LT(h, s.slot_count());
+}
+
+TEST(Slab, ReleaseKeepsInteriorFreePages) {
+  Slab<TestNode> s(4);
+  std::vector<SlabHandle> hs;
+  for (int i = 0; i < 16; ++i) hs.push_back(s.alloc());  // 4 pages
+  // Empty pages 0 and 1 (interior relative to the live tail) and page 3's
+  // occupants except one on page 3... keep page 3 live: free 0..7 and 12..14.
+  for (int i = 0; i < 8; ++i) s.free(hs[i]);
+  for (int i = 12; i < 15; ++i) s.free(hs[i]);
+  // live = 5, slots = 16: 5*4 >= 16, blocked by hysteresis.
+  EXPECT_EQ(s.release_free_pages(), 0u);
+  s.free(hs[15]);
+  s.free(hs[11]);
+  s.free(hs[10]);
+  s.free(hs[9]);
+  // live = 1 (hs[8] on page 2): pages 3 is free and trailing, pages 0/1 are
+  // free but interior — only page 3 could go, and one page is below the
+  // two-page minimum.
+  EXPECT_EQ(s.release_free_pages(), 0u);
+  EXPECT_EQ(s.page_count(), 4u);
+  s.free(hs[8]);
+  // Now everything is free: all four pages are trailing-free.
+  EXPECT_EQ(s.release_free_pages(), 4u);
+  EXPECT_EQ(s.page_count(), 0u);
+  EXPECT_EQ(s.live(), 0u);
+}
+
+TEST(Slab, ReleasedHandlesLeaveTheFreeStack) {
+  Slab<TestNode> s(4);
+  std::vector<SlabHandle> hs;
+  for (int i = 0; i < 12; ++i) hs.push_back(s.alloc());  // 3 pages
+  for (int i = 1; i < 12; ++i) s.free(hs[i]);
+  EXPECT_EQ(s.release_free_pages(), 2u);
+  EXPECT_EQ(s.slot_count(), 4u);
+  // Every handle alloc() now returns must be inside the remaining page.
+  for (int i = 0; i < 3; ++i) EXPECT_LT(s.alloc(), 4u);
+  EXPECT_EQ(s.live(), 4u);
+}
+
+TEST(Slab, PageSizeMustBePowerOfTwo) {
+  EXPECT_DEATH(Slab<TestNode> s(3), "power of two");
+}
+
+// The 32-bit handle-space guard is ULC_REQUIRE (always on): exhausting the
+// arena budget aborts rather than aliasing handles.
+TEST(SlabDeathTest, ArenaExhaustionDies) {
+  Slab<TestNode> s(/*page_size=*/4, /*max_slots=*/8);
+  for (int i = 0; i < 8; ++i) s.alloc();
+  EXPECT_DEATH(s.alloc(), "handle space");
+}
+
+TEST(SlabList, PushEraseMaintainsOrder) {
+  Slab<TestNode> s(8);
+  SlabList<TestNode> l(&s);
+  const SlabHandle a = s.alloc();
+  const SlabHandle b = s.alloc();
+  const SlabHandle c = s.alloc();
+  l.push_front(b);
+  l.push_front(a);  // a b
+  l.push_back(c);   // a b c
+  EXPECT_EQ(l.size(), 3u);
+  EXPECT_EQ(l.front(), a);
+  EXPECT_EQ(l.back(), c);
+  EXPECT_EQ(l.next(a), b);
+  EXPECT_EQ(l.prev(c), b);
+  l.erase(b);
+  EXPECT_EQ(l.next(a), c);
+  EXPECT_EQ(l.prev(c), a);
+  l.move_front(c);  // c a
+  EXPECT_EQ(l.front(), c);
+  EXPECT_EQ(l.back(), a);
+  l.move_back(c);  // a c
+  EXPECT_EQ(l.front(), a);
+  EXPECT_EQ(l.back(), c);
+  l.clear();
+  EXPECT_TRUE(l.empty());
+}
+
+// One node on two lists at once via the member-pointer parameters — the
+// LIRS stack/queue shape.
+struct DualNode {
+  std::uint64_t value = 0;
+  SlabHandle s_prev = kNullHandle;
+  SlabHandle s_next = kNullHandle;
+  SlabHandle q_prev = kNullHandle;
+  SlabHandle q_next = kNullHandle;
+};
+
+TEST(SlabList, DualMembershipViaMemberPointers) {
+  Slab<DualNode> slab(8);
+  SlabList<DualNode, &DualNode::s_prev, &DualNode::s_next> stack(&slab);
+  SlabList<DualNode, &DualNode::q_prev, &DualNode::q_next> queue(&slab);
+  const SlabHandle a = slab.alloc();
+  const SlabHandle b = slab.alloc();
+  stack.push_front(a);
+  stack.push_front(b);  // stack: b a
+  queue.push_back(a);   // queue: a
+  EXPECT_EQ(stack.front(), b);
+  EXPECT_EQ(queue.front(), a);
+  // Erasing from one list must not disturb the other.
+  stack.erase(a);
+  EXPECT_EQ(queue.front(), a);
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_EQ(stack.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ulc

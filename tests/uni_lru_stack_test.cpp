@@ -198,6 +198,74 @@ TEST(UniLruStack, ConsistencyCapacitiesDuringDemotionCascade) {
   EXPECT_EQ(s.level_size(1), 1u);
 }
 
+// Slab-backing regression: Node* values handed out by push_top()/find()
+// must stay valid across arbitrary later growth (pages never move). This
+// pins the no-iterator/pointer-invalidation contract the Node*-shaped API
+// depends on.
+TEST(UniLruStack, NodePointersStableAcrossGrowth) {
+  UniLruStack s(1);
+  auto* first = s.push_top(0, 0);
+  const BlockId first_block = first->block;
+  // Push far past several slab pages (default page = 1024 nodes).
+  for (BlockId b = 1; b <= 5000; ++b) s.push_top(b, kLevelOut);
+  EXPECT_EQ(s.find(0), first);  // same address, not just same block
+  EXPECT_EQ(first->block, first_block);
+  EXPECT_EQ(first->level, 0u);
+  EXPECT_GT(s.slab_pages(), 1u);
+  EXPECT_TRUE(s.check_consistency());
+}
+
+// Shrink path: grow the stack across many pages, shrink the working set
+// back to a handful of early-allocated blocks, and check that (a) the
+// logical invariants (stack_size, level counts, yardstick) hold across the
+// shrink and (b) the slab returns its emptied trailing pages.
+TEST(UniLruStack, PruneReleasesSlabPagesAfterMassEviction) {
+  UniLruStack s(1);
+  const BlockId n = 8192;
+  for (BlockId b = 0; b < n; ++b) s.push_top(b, 0);
+  EXPECT_EQ(s.stack_size(), n);
+  EXPECT_EQ(s.level_size(0), n);
+  const std::size_t grown_pages = s.slab_pages();
+  EXPECT_GE(grown_pages, 8u);
+
+  // Evict every block except the 16 oldest (which occupy the slab's first
+  // page) out of the hierarchy.
+  for (BlockId b = 16; b < n; ++b) {
+    auto* v = s.find(b);
+    ASSERT_NE(v, nullptr);
+    s.yardstick_departure(v);
+    s.set_level(v, kLevelOut);
+  }
+  // The uncached nodes are above the yardstick (still re-rankable), so they
+  // are not prunable yet.
+  EXPECT_EQ(s.prune(), 0u);
+  EXPECT_EQ(s.stack_size(), n);
+
+  // Re-reference the survivors: the yardstick walks above the uncached
+  // nodes, which now lie below it and drain on the next prune.
+  for (BlockId b = 0; b < 16; ++b) {
+    auto* v = s.find(b);
+    ASSERT_NE(v, nullptr);
+    s.yardstick_departure(v);
+    s.move_to_top(v);
+  }
+  const std::size_t removed = s.prune();
+  EXPECT_EQ(removed, static_cast<std::size_t>(n - 16));
+  EXPECT_EQ(s.stack_size(), 16u);
+  EXPECT_EQ(s.level_size(0), 16u);
+  EXPECT_LT(s.slab_pages(), grown_pages);  // trailing pages released
+  EXPECT_GT(s.slab_stats().pages_released, 0u);
+  EXPECT_TRUE(s.check_consistency());
+
+  // The survivors are fully functional after the shrink.
+  for (BlockId b = 0; b < 16; ++b) ASSERT_NE(s.find(b), nullptr);
+  auto* y = s.yard(0);
+  ASSERT_NE(y, nullptr);
+  EXPECT_EQ(y->block, 0u);
+  s.push_top(n + 1, 0);
+  EXPECT_TRUE(s.check_consistency());
+}
+
 TEST(UniLruStack, ConsistencyWithCapacities) {
   UniLruStack s(2);
   s.push_top(1, 0);

@@ -29,6 +29,13 @@
 //                        linted tree — simulated quantities are keyed to sim
 //                        time or access index; the only sanctioned stopwatch
 //                        is util/wallclock.h, whose lines carry allow markers
+//   hot-container        std::unordered_map/std::unordered_set/std::list in
+//                        the hot directories (src/ulc, src/replacement,
+//                        src/hierarchy) — per-block state there lives in the
+//                        arena cores (util/flat_hash.h + util/slab.h); node
+//                        heaps and hashed buckets reintroduce the allocation
+//                        traffic the port removed. Offline/reference paths
+//                        (OPT, layout analysis) carry allow markers.
 //
 // Exit status: 0 clean, 1 findings, 2 usage/IO error.
 #include <algorithm>
@@ -325,6 +332,23 @@ class Linter {
         report(n + 1, "float-eq",
                "exact comparison against a floating-point literal; compare "
                "with a tolerance or justify with an allow marker");
+    }
+
+    // hot-container -------------------------------------------------------
+    const std::string generic = path.generic_string();
+    const bool hot_dir = generic.find("src/ulc/") != std::string::npos ||
+                         generic.find("src/replacement/") != std::string::npos ||
+                         generic.find("src/hierarchy/") != std::string::npos;
+    if (hot_dir) {
+      static const std::regex kHotContainer(
+          "\\bunordered_(?:map|set)\\s*<|\\bstd::list\\s*<");
+      for (std::size_t n = 0; n < strip_lines.size(); ++n) {
+        if (std::regex_search(strip_lines[n], kHotContainer))
+          report(n + 1, "hot-container",
+                 "node-based container in a hot path; use FlatMap "
+                 "(util/flat_hash.h) and Slab/SlabList (util/slab.h), or "
+                 "allow-mark an offline/reference path");
+      }
     }
 
     // unbounded-retry -----------------------------------------------------
