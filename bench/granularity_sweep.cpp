@@ -1,0 +1,155 @@
+// Granularity sweep — byte-budget caching across block-size distributions.
+//
+// The paper evaluates unit-size blocks; this harness asks how the schemes
+// rank once block size is a first-class dimension. The same two-level
+// client/server hierarchy (Figure 7's setting, which all four schemes
+// support) runs under four per-block size distributions:
+//
+//   unit       every block 1 unit — the paper's setting, the regression
+//              anchor (byte budgets reduce exactly to block counts)
+//   bimodal    metadata vs data: most blocks small, a fraction 8 units
+//   heavytail  bounded-Pareto sizes — a few blocks dominate the bytes
+//   streaming  manifest + sequential media segments with per-title
+//              popularity churn (workloads/streaming.h)
+//
+// Capacities are byte budgets in SizeUnits, identical across distributions,
+// so the same budget holds fewer blocks as blocks grow: the sweep shows each
+// scheme's hit ratio (by reference and by byte) and its size-proportional
+// T_ave as granularity shifts. Schemes: ULC vs indLRU, uniLRU, MQ.
+//
+// Cells run on the experiment engine; everything except wall_seconds /
+// refs_per_sec is bit-identical across --threads values.
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.h"
+#include "exp/experiment.h"
+#include "hierarchy/hierarchy.h"
+#include "trace/size_table.h"
+#include "util/table.h"
+#include "workloads/streaming.h"
+#include "workloads/synthetic.h"
+
+using namespace ulc;
+
+namespace {
+
+constexpr std::size_t kClientBudget = 2000;   // SizeUnits
+constexpr std::size_t kServerBudget = 8000;   // SizeUnits
+constexpr std::uint64_t kZipfBlocks = 20000;  // footprint of the zipf family
+
+struct Distribution {
+  const char* name;
+  std::shared_ptr<const Trace> trace;
+};
+
+std::shared_ptr<const Trace> sized_zipf_trace(const char* name, std::uint64_t n_refs,
+                                              std::uint64_t seed,
+                                              const SizeTable* sizes) {
+  auto src = make_zipf_source(0, kZipfBlocks, 0.9, /*scramble=*/true, 11);
+  Trace t = generate(*src, n_refs, seed, name);
+  if (sizes != nullptr) stamp_sizes(t, *sizes);
+  return std::make_shared<const Trace>(std::move(t));
+}
+
+double mean_block_size(const Trace& t) {
+  std::uint64_t total = 0;
+  for (const Request& r : t) total += r.size;
+  return t.empty() ? 0.0 : static_cast<double>(total) / static_cast<double>(t.size());
+}
+
+double byte_hit_ratio(const HierarchyStats& s) {
+  std::uint64_t hit = 0;
+  for (std::uint64_t b : s.level_hit_bytes) hit += b;
+  const std::uint64_t total = hit + s.miss_bytes;
+  return total == 0 ? 0.0 : static_cast<double>(hit) / static_cast<double>(total);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parse_options(argc, argv, 0.1);
+  const std::uint64_t n_refs =
+      std::max<std::uint64_t>(static_cast<std::uint64_t>(2e6 * opt.scale), 10000);
+  // Per-unit link cost = 0.25 * the link's per-message cost, so a mean-4-unit
+  // block doubles the per-block transfer time.
+  const CostModel model = CostModel::sized(CostModel::paper_two_level(), 0.25);
+
+  const SizeTable bimodal = assign_bimodal_sizes(0, kZipfBlocks, 1, 8, 0.2, 5);
+  const SizeTable heavy = assign_heavy_tail_sizes(0, kZipfBlocks, 1.2, 32, 5);
+
+  StreamingConfig scfg;
+  scfg.n_titles = 400;
+  scfg.min_segments = 8;
+  scfg.max_segments = 48;
+  scfg.zipf_theta = 1.0;
+  scfg.abandon_prob = 0.04;
+  scfg.churn_period = 200;
+  scfg.churn_step = 17;
+  scfg.segment_size = 4;
+  const SizeTable streaming_table = streaming_sizes(scfg);
+  auto streaming_src = make_streaming_source(scfg);
+  Trace streaming_trace = generate(*streaming_src, n_refs, opt.seed, "streaming");
+  stamp_sizes(streaming_trace, streaming_table);
+
+  const Distribution distributions[] = {
+      {"unit", sized_zipf_trace("unit", n_refs, opt.seed, nullptr)},
+      {"bimodal", sized_zipf_trace("bimodal", n_refs, opt.seed, &bimodal)},
+      {"heavytail", sized_zipf_trace("heavytail", n_refs, opt.seed, &heavy)},
+      {"streaming", std::make_shared<const Trace>(std::move(streaming_trace))},
+  };
+
+  std::printf("Granularity sweep: two-level client/server, byte budgets\n");
+  std::printf("budgets: client %zu, server %zu SizeUnits; links 1ms/10ms "
+              "+ 0.25x per unit\n\n",
+              kClientBudget, kServerBudget);
+
+  std::vector<exp::ExperimentSpec> specs;
+  for (const Distribution& dist : distributions) {
+    const std::vector<std::size_t> caps{kClientBudget, kServerBudget};
+    struct Factory {
+      const char* label;
+      exp::SchemeFactory make;
+    };
+    const Factory factories[] = {
+        {"indLRU", [caps](const Trace&) { return make_ind_lru(caps); }},
+        {"uniLRU", [caps](const Trace&) { return make_uni_lru(caps); }},
+        {"MQ",
+         [](const Trace&) {
+           return make_mq_hierarchy(kClientBudget, kServerBudget, 1);
+         }},
+        {"ULC", [caps](const Trace&) { return make_ulc(caps); }},
+    };
+    for (const Factory& f : factories) {
+      exp::ExperimentSpec spec;
+      spec.factory = f.make;
+      spec.trace_override = dist.trace;
+      spec.model = model;
+      spec.warmup_fraction = opt.warmup;
+      spec.params["client_budget"] = static_cast<double>(kClientBudget);
+      spec.params["server_budget"] = static_cast<double>(kServerBudget);
+      spec.params["mean_block_size"] = mean_block_size(*dist.trace);
+      specs.push_back(std::move(spec));
+    }
+  }
+
+  std::fprintf(stderr, "running %zu cells on %zu thread(s)...\n", specs.size(),
+               opt.threads);
+  const std::vector<exp::CellResult> cells = exp::run_matrix(specs, opt.matrix());
+
+  TablePrinter table({"sizes", "scheme", "mean size", "L1 hit", "L2 hit", "miss",
+                      "byte hit", "demotion L1->L2", "T_ave (ms)"});
+  for (const exp::CellResult& cell : cells) {
+    const RunResult& r = cell.run;
+    table.add_row({r.trace, r.scheme, fmt_double(cell.params.at("mean_block_size"), 2),
+                   fmt_percent(r.stats.hit_ratio(0), 1),
+                   fmt_percent(r.stats.hit_ratio(1), 1),
+                   fmt_percent(r.stats.miss_ratio(), 1),
+                   fmt_percent(byte_hit_ratio(r.stats), 1),
+                   fmt_percent(r.stats.demotion_ratio(0), 1),
+                   fmt_double(r.t_ave_ms, 3)});
+  }
+  bench::emit(table, opt);
+  bench::write_json(opt, "granularity_sweep", exp::results_to_json(cells));
+  return 0;
+}

@@ -51,8 +51,13 @@ CheckedHierarchy::CheckedHierarchy(SchemePtr inner, CheckOptions options)
                 "auditable schemes must declare per-level capacities");
     ULC_REQUIRE(traits_.clients >= 1, "auditable schemes must declare clients");
     sizes_.resize(levels());
+    bytes_.resize(levels());
     sizes_[0].assign(traits_.clients, 0);
-    for (std::size_t l = 1; l < levels(); ++l) sizes_[l].assign(1, 0);
+    bytes_[0].assign(traits_.clients, 0);
+    for (std::size_t l = 1; l < levels(); ++l) {
+      sizes_[l].assign(1, 0);
+      bytes_[l].assign(1, 0);
+    }
     inner_->set_audit_sink(&events_);
   }
 }
@@ -84,6 +89,14 @@ std::size_t CheckedHierarchy::slot_size(std::size_t level, ClientId owner) const
   return level == 0 ? sizes_[0][owner] : sizes_[level][0];
 }
 
+std::uint64_t& CheckedHierarchy::slot_bytes(std::size_t level, ClientId owner) {
+  return level == 0 ? bytes_[0][owner] : bytes_[level][0];
+}
+
+std::uint64_t CheckedHierarchy::slot_bytes(std::size_t level, ClientId owner) const {
+  return level == 0 ? bytes_[0][owner] : bytes_[level][0];
+}
+
 std::size_t CheckedHierarchy::find_copy(BlockId block, std::size_t level,
                                         ClientId owner) const {
   auto it = copies_.find(block);
@@ -96,33 +109,45 @@ std::size_t CheckedHierarchy::find_copy(BlockId block, std::size_t level,
   return kNpos;
 }
 
-void CheckedHierarchy::add_copy(BlockId block, std::size_t level, ClientId owner) {
+void CheckedHierarchy::add_copy(BlockId block, std::size_t level, ClientId owner,
+                                SizeUnits size) {
   std::vector<Copy>& v = copies_[block];
   if (traits_.exclusive && !v.empty())
     fail(ViolationKind::kExclusivity,
          "a second copy appeared in an exclusive hierarchy");
   if (find_copy(block, level, owner) != kNpos)
     fail(ViolationKind::kDuplicate, "level already holds a copy of this block");
-  v.push_back(Copy{owner, level});
-  std::size_t& size = slot_size(level, owner);
-  ++size;
-  const std::size_t cap = traits_.capacities[level];
-  if (cap > 0 && size > cap)
-    fail(ViolationKind::kCapacity,
-         "level occupancy exceeded its capacity (demote-before-evict order "
-         "broken, or a missing eviction)");
+  v.push_back(Copy{owner, level, size});
+  ++slot_size(level, owner);
+  slot_bytes(level, owner) += size;
 }
 
-void CheckedHierarchy::remove_copy(BlockId block, std::size_t level, ClientId owner,
-                                   const char* what) {
+SizeUnits CheckedHierarchy::remove_copy(BlockId block, std::size_t level,
+                                        ClientId owner, const char* what) {
   const std::size_t i = find_copy(block, level, owner);
   if (i == kNpos)
     fail(ViolationKind::kGhost,
          std::string(what) + " acts on a copy the shadow model does not hold");
   std::vector<Copy>& v = copies_[block];
+  const SizeUnits size = v[i].size;
   v.erase(v.begin() + static_cast<std::ptrdiff_t>(i));
   if (v.empty()) copies_.erase(block);
   --slot_size(level, owner);
+  slot_bytes(level, owner) -= size;
+  return size;
+}
+
+void CheckedHierarchy::check_byte_budgets() {
+  for (std::size_t l = 0; l < levels(); ++l) {
+    const std::size_t cap = traits_.capacities[l];
+    if (cap == 0) continue;  // elastic: the shared cache sizes itself
+    for (std::size_t s = 0; s < bytes_[l].size(); ++s) {
+      if (bytes_[l][s] > cap)
+        fail(ViolationKind::kCapacity,
+             "level occupancy exceeded its byte budget at access end (a "
+             "missing eviction or demotion narration)");
+    }
+  }
 }
 
 std::vector<std::size_t> CheckedHierarchy::visible_levels(BlockId block,
@@ -168,6 +193,13 @@ void CheckedHierarchy::check_event_shape(const AuditEvent& e) const {
 }
 
 void CheckedHierarchy::replay_events() {
+  replay_demote_bytes_.assign(levels(), 0);
+  replay_reload_bytes_.assign(levels(), 0);
+  const auto charge_links = [&](std::vector<std::uint64_t>& links,
+                                const AuditEvent& e, std::uint64_t size) {
+    for (std::size_t k = e.from; k < e.to && k < links.size(); ++k)
+      links[k] += size;
+  };
   for (const AuditEvent& e : events_) {
     check_event_shape(e);
     switch (e.kind) {
@@ -178,19 +210,26 @@ void CheckedHierarchy::replay_events() {
         remove_copy(e.block, e.from, e.owner, "serve");
         break;
       case AuditEvent::Kind::kPlace:
-        add_copy(e.block, e.to, e.owner);
+        add_copy(e.block, e.to, e.owner, e.size);
         break;
       case AuditEvent::Kind::kDemote:
-      case AuditEvent::Kind::kReload:
-        remove_copy(e.block, e.from, e.owner, "demote");
-        add_copy(e.block, e.to, e.owner);
+      case AuditEvent::Kind::kReload: {
+        const SizeUnits moved = remove_copy(e.block, e.from, e.owner, "demote");
+        add_copy(e.block, e.to, e.owner, moved);
+        charge_links(e.kind == AuditEvent::Kind::kDemote ? replay_demote_bytes_
+                                                         : replay_reload_bytes_,
+                     e, moved);
         break;
-      case AuditEvent::Kind::kDemoteMerge:
-        remove_copy(e.block, e.from, e.owner, "demote-merge");
+      }
+      case AuditEvent::Kind::kDemoteMerge: {
+        const SizeUnits moved =
+            remove_copy(e.block, e.from, e.owner, "demote-merge");
         if (find_copy(e.block, e.to, e.owner) == kNpos)
           fail(ViolationKind::kGhost,
                "demote-merge into a level holding no shared copy");
+        charge_links(replay_demote_bytes_, e, moved);
         break;
+      }
       case AuditEvent::Kind::kEvict:
         if (traits_.bottom_evict_only && e.from + 1 != levels() &&
             !e.through_bottom)
@@ -205,11 +244,15 @@ void CheckedHierarchy::replay_events() {
         // did not leave through the protocol).
         remove_copy(e.block, e.from, e.owner, "lost");
         break;
-      case AuditEvent::Kind::kWriteback:
       case AuditEvent::Kind::kCharge:
+        // A charged transfer moves no copy; its byte weight is narrated.
+        charge_links(replay_demote_bytes_, e, e.size);
+        break;
+      case AuditEvent::Kind::kWriteback:
         break;
     }
   }
+  check_byte_budgets();
 }
 
 void CheckedHierarchy::replay_resync_events() {
@@ -321,20 +364,58 @@ void CheckedHierarchy::check_stats_delta(
          "writeback counter disagrees with the narrated write-backs");
   if (sum(after.level_hits) + after.misses != after.references)
     fail(ViolationKind::kConservation, "hits + misses must equal references");
+
+  // Byte conservation: the byte twins must move by exactly the traffic the
+  // narration carried — the served block's size for the hit/miss twin, the
+  // replayed per-link byte flow for the transfer twins. At unit size this
+  // degenerates to the count checks above; on mixed-size traces it catches
+  // a scheme that counts a sized block at the wrong weight.
+  if (missed) {
+    if (after.miss_bytes - before_.miss_bytes != current_.size)
+      fail(ViolationKind::kConservation,
+           "miss byte counter disagrees with the requested block's size");
+  } else if (after.level_hit_bytes[hit_level] -
+                 before_.level_hit_bytes[hit_level] !=
+             current_.size) {
+    fail(ViolationKind::kConservation,
+         "hit byte counter disagrees with the requested block's size");
+  }
+  for (std::size_t k = 0; k < replay_demote_bytes_.size() &&
+                          k < after.demotion_bytes.size();
+       ++k) {
+    if (after.demotion_bytes[k] - before_.demotion_bytes[k] !=
+        replay_demote_bytes_[k])
+      fail(ViolationKind::kConservation,
+           "demotion byte counter disagrees with the narrated byte flow");
+  }
+  for (std::size_t k = 0; k < replay_reload_bytes_.size() &&
+                          k < after.reload_bytes.size();
+       ++k) {
+    if (after.reload_bytes[k] - before_.reload_bytes[k] !=
+        replay_reload_bytes_[k])
+      fail(ViolationKind::kConservation,
+           "reload byte counter disagrees with the narrated byte flow");
+  }
 }
 
 void CheckedHierarchy::sweep() {
-  // Occupancy: shadow slot sizes against the scheme's own accounting.
+  // Occupancy: shadow slot sizes and byte usage against the scheme's own
+  // accounting.
   for (std::size_t l = 0; l < levels(); ++l) {
     if (l == 0) {
       for (ClientId c = 0; c < traits_.clients; ++c) {
         if (inner_->audit_level_size(c, 0) != sizes_[0][c])
           fail(ViolationKind::kDrift, "client cache occupancy drifted");
+        if (inner_->audit_level_bytes(c, 0) != bytes_[0][c])
+          fail(ViolationKind::kDrift, "client cache byte occupancy drifted");
       }
     } else if (inner_->audit_level_size(0, l) != sizes_[l][0]) {
       fail(ViolationKind::kDrift, "shared level occupancy drifted");
+    } else if (inner_->audit_level_bytes(0, l) != bytes_[l][0]) {
+      fail(ViolationKind::kDrift, "shared level byte occupancy drifted");
     }
   }
+  check_byte_budgets();
   // Membership: every shadow copy must be visible to the scheme and vice
   // versa, per queried client. Together with the occupancy equality above,
   // membership each way implies the resident sets are identical.

@@ -11,8 +11,9 @@
 //
 // The invariants enforced (docs/checking.md has the catalog with paper
 // references):
-//   exclusivity / per-level duplication, capacity accounting with
-//   demote-before-evict event ordering, serve-matches-request sequencing,
+//   exclusivity / per-level duplication, byte-budget capacity accounting
+//   (occupancy in SizeUnits, enforced once each access's narration has
+//   replayed), serve-matches-request sequencing,
 //   bottom-evict-only discipline, ghost movements (acting on absent copies),
 //   statistics conservation (hits + misses == references; demotion, reload
 //   and write-back counters == narrated transfer counts), residency drift,
@@ -94,6 +95,9 @@ class CheckedHierarchy final : public MultiLevelScheme {
   std::size_t audit_level_size(ClientId client, std::size_t level) const override {
     return inner_->audit_level_size(client, level);
   }
+  std::uint64_t audit_level_bytes(ClientId client, std::size_t level) const override {
+    return inner_->audit_level_bytes(client, level);
+  }
   bool audit_check_internal() const override {
     return inner_->audit_check_internal();
   }
@@ -128,6 +132,7 @@ class CheckedHierarchy final : public MultiLevelScheme {
   struct Copy {
     ClientId owner = 0;  // meaningful for level 0 only
     std::size_t level = 0;
+    SizeUnits size = 1;  // recorded at placement; sizes are id-stable
   };
 
   [[noreturn]] void fail(ViolationKind kind, const std::string& detail) const;
@@ -135,10 +140,18 @@ class CheckedHierarchy final : public MultiLevelScheme {
   std::size_t levels() const { return traits_.capacities.size(); }
   std::size_t& slot_size(std::size_t level, ClientId owner);
   std::size_t slot_size(std::size_t level, ClientId owner) const;
+  std::uint64_t& slot_bytes(std::size_t level, ClientId owner);
+  std::uint64_t slot_bytes(std::size_t level, ClientId owner) const;
   std::size_t find_copy(BlockId block, std::size_t level, ClientId owner) const;
-  void add_copy(BlockId block, std::size_t level, ClientId owner);
-  void remove_copy(BlockId block, std::size_t level, ClientId owner,
-                   const char* what);
+  void add_copy(BlockId block, std::size_t level, ClientId owner, SizeUnits size);
+  // Removes the copy and returns its recorded size (for moves down).
+  SizeUnits remove_copy(BlockId block, std::size_t level, ClientId owner,
+                        const char* what);
+  // The byte-capacity law, checked once the access's narration has fully
+  // replayed: occupancy may transiently overshoot a budget mid-access (a
+  // sized demote lands before the evictions that make room — unavoidable at
+  // block granularity), but never across an access boundary.
+  void check_byte_budgets();
   // Shadow levels of `block` visible to `client` (its own level 0 + shared).
   std::vector<std::size_t> visible_levels(BlockId block, ClientId client) const;
 
@@ -157,10 +170,18 @@ class CheckedHierarchy final : public MultiLevelScheme {
   HierarchyStats before_;  // stats snapshot taken at the top of access()
   Request current_{};
 
-  // Shadow residency: every copy of every block, plus per-slot occupancy
-  // (level 0 is per owner; shared levels have a single slot each).
+  // Shadow residency: every copy of every block, plus per-slot occupancy in
+  // copies and in SizeUnits (level 0 is per owner; shared levels have a
+  // single slot each).
   std::unordered_map<BlockId, std::vector<Copy>> copies_;
   std::vector<std::vector<std::size_t>> sizes_;
+  std::vector<std::vector<std::uint64_t>> bytes_;
+
+  // Per-access byte traffic reconstructed while replaying the narration
+  // (moves weighted by the shadow's recorded sizes, charges by the narrated
+  // size); check_stats_delta holds the scheme's byte counters to these.
+  std::vector<std::uint64_t> replay_demote_bytes_;
+  std::vector<std::uint64_t> replay_reload_bytes_;
 
   std::uint64_t accesses_ = 0;
 };

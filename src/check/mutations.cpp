@@ -45,6 +45,7 @@ class MutantScheme final : public MultiLevelScheme {
     }
     if (outer_ == nullptr) return;
     bool tampered_once = false;
+    std::size_t evicts_kept = 0;
     for (const AuditEvent& e : buffer_) {
       AuditEvent out = e;
       switch (mutation_) {
@@ -66,6 +67,14 @@ class MutantScheme final : public MultiLevelScheme {
             tampered_once = true;
             continue;  // the victim left; the narration keeps it resident
           }
+          break;
+        case Mutation::kSizeLeak:
+          // "Evict until the newcomer fits" degraded to "evict once": every
+          // eviction after the access's first goes unnarrated. A unit-size
+          // access never needs a second victim, so only sized traces expose
+          // the leak — via the end-of-access byte-budget law.
+          if (e.kind == AuditEvent::Kind::kEvict && ++evicts_kept > 1)
+            continue;
           break;
         case Mutation::kGhostDemote:
           if (!tampered_once && e.kind == AuditEvent::Kind::kDemote) {
@@ -147,6 +156,10 @@ class MutantScheme final : public MultiLevelScheme {
 
   std::size_t audit_level_size(ClientId client, std::size_t level) const override {
     return inner_->audit_level_size(client, level);
+  }
+
+  std::uint64_t audit_level_bytes(ClientId client, std::size_t level) const override {
+    return inner_->audit_level_bytes(client, level);
   }
 
   bool audit_check_internal() const override {

@@ -18,6 +18,11 @@ enum class Mutation {
   kDoublePlace,        // duplicates a placement event      -> duplicate
   kSkipDemote,         // suppresses a demotion event       -> conservation
   kDropEvict,          // suppresses an eviction event      -> capacity
+  kSizeLeak,           // the count-thinking bug in a byte-budget world: the
+                       // eviction loop stops after one victim per access, so
+                       // a sized admission leaks the rest  -> capacity
+                       // (invisible at unit size, where one admission needs
+                       // at most one victim)
   kGhostDemote,        // demotes a block that isn't there  -> ghost
   kServeWrongBlock,    // serves a block nobody asked for   -> sequencing
   kStatsDrop,          // under-reports misses              -> conservation

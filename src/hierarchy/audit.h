@@ -11,9 +11,13 @@
 // rather than by eyeballing hit-ratio tables.
 //
 // Emission contract (enforced by the auditor):
-//   * events appear in an order in which no level ever exceeds its capacity:
-//     the demotion/eviction that frees a slot precedes the placement that
-//     needs it (the paper's demote-before-evict sequencing, §3.1);
+//   * events narrate the access's real block movements in process order;
+//     the auditor tracks occupancy in SizeUnits and enforces every level's
+//     byte budget once the access has fully replayed. (Mid-access occupancy
+//     may transiently overshoot: at block granularity a sized demote can
+//     land before the evictions that make room for it, so the paper's
+//     demote-before-evict sequencing (§3.1) holds per access, not per
+//     event.);
 //   * kServe is emitted only for the requested block of the current access;
 //   * a kDemote/kDemoteMerge crossing links [from, to) accounts for exactly
 //     that many HierarchyStats::demotions increments, kReload for one
@@ -63,6 +67,10 @@ struct AuditEvent {
   // at the source with no transfer). Such evictions are legal under the
   // bottom-evict-only rule even when `from` is an interior level.
   bool through_bottom = false;
+  // kPlace only: the appearing copy's footprint in SizeUnits. Movements of
+  // existing copies (demotes, serves, evictions) reuse the size the shadow
+  // model recorded at placement — sizes are id-stable (DESIGN.md §9).
+  SizeUnits size = 1;
 };
 
 // What the auditor may assume about a scheme. Default-constructed traits

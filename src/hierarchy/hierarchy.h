@@ -57,6 +57,13 @@ class MultiLevelScheme {
     (void)level;
     return 0;
   }
+  // Occupied SizeUnits at `level` (same slot addressing as
+  // audit_level_size). Defaults to the copy count — exact for schemes that
+  // only ever see unit-size blocks; size-aware schemes override it with
+  // their byte accounting.
+  virtual std::uint64_t audit_level_bytes(ClientId client, std::size_t level) const {
+    return audit_level_size(client, level);
+  }
   // Scheme-internal structural validation (uniLRUstack consistency etc.).
   virtual bool audit_check_internal() const { return true; }
   // ULC schemes expose their clients' uniLRUstacks for the auditor's
@@ -100,9 +107,11 @@ class MultiLevelScheme {
   bool auditing() const { return audit_sink_ != nullptr; }
   void audit_emit(AuditEvent::Kind kind, BlockId block,
                   std::size_t from = kAuditNoLevel, std::size_t to = kAuditNoLevel,
-                  ClientId owner = 0, bool through_bottom = false) const {
+                  ClientId owner = 0, bool through_bottom = false,
+                  SizeUnits size = 1) const {
     if (audit_sink_ != nullptr)
-      audit_sink_->push_back(AuditEvent{kind, block, from, to, owner, through_bottom});
+      audit_sink_->push_back(
+          AuditEvent{kind, block, from, to, owner, through_bottom, size});
   }
 
  private:

@@ -35,43 +35,57 @@ class IndLruScheme final : public MultiLevelScheme {
     ++stats_.references;
     CachePolicy& client = *client_caches_[request.client];
     const BlockId b = request.block;
+    AccessContext ctx;
+    ctx.size = request.size;
 
     if (request.op == Op::kWrite) dirty_.put(b, 1);
-    if (client.touch(b, {})) {
-      ++stats_.level_hits[0];
+    if (client.touch(b, ctx)) {
+      stats_.count_hit(0, request.size);
       return;
     }
     // Walk down the hierarchy; cache the block at every level it passes.
     std::size_t hit_level = kNoHit;
     for (std::size_t l = 1; l < levels_; ++l) {
-      if (shared_caches_[l - 1]->touch(b, {})) {
+      if (shared_caches_[l - 1]->touch(b, ctx)) {
         hit_level = l;
         break;
       }
     }
     if (hit_level == kNoHit) {
-      ++stats_.misses;
+      stats_.count_miss(request.size);
       hit_level = levels_;  // disk
     } else {
-      ++stats_.level_hits[hit_level];
+      stats_.count_hit(hit_level, request.size);
     }
     // Dirty data lives at the client copy: write it back to disk when the
-    // client evicts it (the deeper inclusive copies are stale).
-    const EvictResult ev = client.insert(b, {});
-    if (ev.evicted) {
-      audit_emit(AuditEvent::Kind::kEvict, ev.victim, 0, kAuditNoLevel,
+    // client evicts it (the deeper inclusive copies are stale). A sized
+    // insert can push out several residents; a block too big for the level
+    // is bypassed (not admitted) and evicts nothing.
+    const EvictResult ev = client.insert(b, ctx);
+    ev.for_each([&](BlockId victim) {
+      audit_emit(AuditEvent::Kind::kEvict, victim, 0, kAuditNoLevel,
                  request.client);
-      if (dirty_.erase(ev.victim)) {
+      if (dirty_.erase(victim)) {
         ++stats_.writebacks;
-        audit_emit(AuditEvent::Kind::kWriteback, ev.victim);
+        audit_emit(AuditEvent::Kind::kWriteback, victim);
       }
+    });
+    if (ev.admitted) {
+      audit_emit(AuditEvent::Kind::kPlace, b, kAuditNoLevel, 0, request.client,
+                 false, request.size);
+    } else if (dirty_.erase(b)) {
+      // Uncacheable write (block bigger than the client cache): straight
+      // through to disk.
+      ++stats_.writebacks;
+      audit_emit(AuditEvent::Kind::kWriteback, b);
     }
-    audit_emit(AuditEvent::Kind::kPlace, b, kAuditNoLevel, 0, request.client);
     for (std::size_t l = 1; l < hit_level && l < levels_; ++l) {
-      const EvictResult sev = shared_caches_[l - 1]->insert(b, {});
-      if (sev.evicted)
-        audit_emit(AuditEvent::Kind::kEvict, sev.victim, l);
-      audit_emit(AuditEvent::Kind::kPlace, b, kAuditNoLevel, l);
+      const EvictResult sev = shared_caches_[l - 1]->insert(b, ctx);
+      sev.for_each(
+          [&](BlockId victim) { audit_emit(AuditEvent::Kind::kEvict, victim, l); });
+      if (sev.admitted)
+        audit_emit(AuditEvent::Kind::kPlace, b, kAuditNoLevel, l, 0, false,
+                   request.size);
     }
   }
 
@@ -99,6 +113,11 @@ class IndLruScheme final : public MultiLevelScheme {
   std::size_t audit_level_size(ClientId client, std::size_t level) const override {
     return level == 0 ? client_caches_[client]->size()
                       : shared_caches_[level - 1]->size();
+  }
+
+  std::uint64_t audit_level_bytes(ClientId client, std::size_t level) const override {
+    return level == 0 ? client_caches_[client]->used_bytes()
+                      : shared_caches_[level - 1]->used_bytes();
   }
 
  private:

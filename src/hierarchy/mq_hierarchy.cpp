@@ -33,31 +33,44 @@ class PolicyServerScheme final : public MultiLevelScheme {
     ++stats_.references;
     CachePolicy& client = *clients_[request.client];
     const BlockId b = request.block;
+    AccessContext ctx;
+    ctx.size = request.size;
 
     if (request.op == Op::kWrite) dirty_.put(b, 1);
-    if (client.touch(b, {})) {
-      ++stats_.level_hits[0];
+    if (client.touch(b, ctx)) {
+      stats_.count_hit(0, request.size);
       return;
     }
     EvictResult sev;
-    if (server_->access(b, {}, &sev)) {
-      ++stats_.level_hits[1];
+    if (server_->access(b, ctx, &sev)) {
+      stats_.count_hit(1, request.size);
     } else {
-      ++stats_.misses;  // server fetched it from disk and cached it (access()
+      stats_.count_miss(request.size);  // server fetched it from disk and cached it (access()
                         // already inserted it into MQ)
-      if (sev.evicted) audit_emit(AuditEvent::Kind::kEvict, sev.victim, 1);
-      audit_emit(AuditEvent::Kind::kPlace, b, kAuditNoLevel, 1);
+      sev.for_each(
+          [&](BlockId victim) { audit_emit(AuditEvent::Kind::kEvict, victim, 1); });
+      if (sev.admitted)
+        audit_emit(AuditEvent::Kind::kPlace, b, kAuditNoLevel, 1, 0, false,
+                   request.size);
     }
-    const EvictResult ev = client.insert(b, {});
-    if (ev.evicted) {
-      audit_emit(AuditEvent::Kind::kEvict, ev.victim, 0, kAuditNoLevel,
+    const EvictResult ev = client.insert(b, ctx);
+    ev.for_each([&](BlockId victim) {
+      audit_emit(AuditEvent::Kind::kEvict, victim, 0, kAuditNoLevel,
                  request.client);
-      if (dirty_.erase(ev.victim)) {
+      if (dirty_.erase(victim)) {
         ++stats_.writebacks;
-        audit_emit(AuditEvent::Kind::kWriteback, ev.victim);
+        audit_emit(AuditEvent::Kind::kWriteback, victim);
       }
+    });
+    if (ev.admitted) {
+      audit_emit(AuditEvent::Kind::kPlace, b, kAuditNoLevel, 0, request.client,
+                 false, request.size);
+    } else if (dirty_.erase(b)) {
+      // Uncacheable write (block bigger than the client cache): straight
+      // through to disk.
+      ++stats_.writebacks;
+      audit_emit(AuditEvent::Kind::kWriteback, b);
     }
-    audit_emit(AuditEvent::Kind::kPlace, b, kAuditNoLevel, 0, request.client);
   }
 
   const HierarchyStats& stats() const override { return stats_; }
@@ -85,6 +98,10 @@ class PolicyServerScheme final : public MultiLevelScheme {
 
   std::size_t audit_level_size(ClientId client, std::size_t level) const override {
     return level == 0 ? clients_[client]->size() : server_->size();
+  }
+
+  std::uint64_t audit_level_bytes(ClientId client, std::size_t level) const override {
+    return level == 0 ? clients_[client]->used_bytes() : server_->used_bytes();
   }
 
  private:

@@ -40,6 +40,9 @@ class OptLayoutScheme final : public MultiLevelScheme {
   }
 
   void access(const Request& request) override {
+    ULC_REQUIRE(request.size == 1,
+                "OPT-layout models unit-size blocks only (its stack positions "
+                "are slot counts, not bytes)");
     ULC_REQUIRE(position_ < trace_.size() &&
                     trace_[position_].block == request.block,
                 "OPT layout must replay its preprocessing trace in order");
@@ -50,7 +53,7 @@ class OptLayoutScheme final : public MultiLevelScheme {
     auto it = handles_.find(request.block);
     if (it != handles_.end()) {
       const std::size_t old_rank = list_.rank(it->second);
-      ++stats_.level_hits[level_of_rank(old_rank)];
+      stats_.count_hit(level_of_rank(old_rank), 1);
       // Re-key to the new next-use: remove and re-insert at the new rank.
       const Key key{nu, request.block};
       const std::size_t new_rank = rank_for(key, it->second);
@@ -62,7 +65,7 @@ class OptLayoutScheme final : public MultiLevelScheme {
       return;
     }
 
-    ++stats_.misses;
+    stats_.count_miss(1);
     if (nu == kNever) return;  // never referenced again: do not cache it
     if (list_.size() >= aggregate_) {
       // Bypass if the incoming block is itself the farthest-out; otherwise
@@ -114,7 +117,7 @@ class OptLayoutScheme final : public MultiLevelScheme {
   // One block slides across each level boundary strictly inside (lo, hi].
   void count_crossings(std::size_t lo, std::size_t hi) {
     for (std::size_t l = 0; l + 1 < boundaries_.size(); ++l) {
-      if (boundaries_[l] > lo && boundaries_[l] <= hi) ++stats_.demotions[l];
+      if (boundaries_[l] > lo && boundaries_[l] <= hi) stats_.count_demote(l, 1);
     }
   }
 

@@ -24,29 +24,33 @@ class ReloadUniLruScheme final : public MultiLevelScheme {
 
   void access(const Request& request) override {
     ++stats_.references;
-    list_.access(request.block, result_);
+    list_.access(request.block, result_, request.size);
     if (result_.hit) {
-      ++stats_.level_hits[result_.old_segment];
+      stats_.count_hit(result_.old_segment, request.size);
     } else {
-      ++stats_.misses;
+      stats_.count_miss(request.size);
     }
     if (request.op == Op::kWrite) dirty_.put(request.block, 1);
     // Boundary slides become disk reloads into the lower level rather than
     // network demotions. Note the catch for dirty blocks: a reload fetches
     // the *stale* on-disk copy, so dirty blocks must be written back before
     // their cached copy may be dropped.
-    crossed_wrote_back_.assign(result_.crossed_count, false);
-    for (std::size_t b = 0; b < result_.crossed_count; ++b) {
-      ++stats_.reloads[b];
-      if (dirty_.erase(result_.crossed[b])) {
+    crossed_wrote_back_.assign(result_.crossed.size(), false);
+    for (std::size_t i = 0; i < result_.crossed.size(); ++i) {
+      stats_.count_reload(result_.crossed[i].from, result_.crossed[i].size);
+      if (dirty_.erase(result_.crossed[i].key)) {
         ++stats_.writebacks;
-        crossed_wrote_back_[b] = true;
+        crossed_wrote_back_[i] = true;
       }
     }
-    const bool wrote_back =
-        result_.evicted && dirty_.erase(result_.evicted_key);
-    if (wrote_back) ++stats_.writebacks;
-    if (auditing()) emit_events(request.block, wrote_back);
+    evicted_wrote_back_.assign(result_.evicted.size(), false);
+    for (std::size_t i = 0; i < result_.evicted.size(); ++i) {
+      if (dirty_.erase(result_.evicted[i])) {
+        ++stats_.writebacks;
+        evicted_wrote_back_[i] = true;
+      }
+    }
+    if (auditing()) emit_events(request);
   }
 
   const HierarchyStats& stats() const override { return stats_; }
@@ -73,30 +77,67 @@ class ReloadUniLruScheme final : public MultiLevelScheme {
     return list_.segment_size(level);
   }
 
+  std::uint64_t audit_level_bytes(ClientId, std::size_t level) const override {
+    return list_.segment_bytes(level);
+  }
+
  private:
-  // Same layout narration as uniLRU, except boundary slides are kReload
-  // (disk re-read) rather than kDemote, each preceded by the write-back the
-  // stale-copy rule forces for dirty blocks.
-  void emit_events(BlockId block, bool wrote_back) {
+  struct Slide {
+    BlockId key = 0;
+    std::size_t from = 0;
+    std::size_t to = 0;
+    bool wrote_back = false;
+  };
+
+  // Collapse a block's crossings into one multi-hop move (see uniLRU); the
+  // write-back the stale-copy rule forces happens at most once per block.
+  void collect_slides() {
+    slides_.clear();
+    for (std::size_t i = 0; i < result_.crossed.size(); ++i) {
+      const SegmentedList::Crossing& c = result_.crossed[i];
+      bool merged = false;
+      for (Slide& s : slides_) {
+        if (s.key == c.key) {
+          s.to = c.from + 1;
+          s.wrote_back = s.wrote_back || crossed_wrote_back_[i];
+          merged = true;
+          break;
+        }
+      }
+      if (!merged)
+        slides_.push_back(Slide{c.key, c.from, c.from + 1, crossed_wrote_back_[i]});
+    }
+  }
+
+  // Same physical-order narration as uniLRU, except boundary slides are
+  // kReload (disk re-read) rather than kDemote, each preceded by the
+  // write-back the stale-copy rule forces for dirty blocks.
+  void emit_events(const Request& request) {
     if (result_.hit && result_.old_segment == 0) return;  // pure touch
+    const BlockId block = request.block;
     if (result_.hit) {
       audit_emit(AuditEvent::Kind::kServe, block, result_.old_segment);
-    } else if (result_.evicted) {
-      audit_emit(AuditEvent::Kind::kEvict, result_.evicted_key,
+    }
+    audit_emit(AuditEvent::Kind::kPlace, block, kAuditNoLevel, 0, 0, false,
+               request.size);
+    collect_slides();
+    for (const Slide& s : slides_) {
+      if (s.wrote_back) audit_emit(AuditEvent::Kind::kWriteback, s.key);
+      audit_emit(AuditEvent::Kind::kReload, s.key, s.from, s.to);
+    }
+    for (std::size_t i = 0; i < result_.evicted.size(); ++i) {
+      audit_emit(AuditEvent::Kind::kEvict, result_.evicted[i],
                  list_.segment_count() - 1);
-      if (wrote_back) audit_emit(AuditEvent::Kind::kWriteback, result_.evicted_key);
+      if (evicted_wrote_back_[i])
+        audit_emit(AuditEvent::Kind::kWriteback, result_.evicted[i]);
     }
-    for (std::size_t b = result_.crossed_count; b-- > 0;) {
-      if (crossed_wrote_back_[b])
-        audit_emit(AuditEvent::Kind::kWriteback, result_.crossed[b]);
-      audit_emit(AuditEvent::Kind::kReload, result_.crossed[b], b, b + 1);
-    }
-    audit_emit(AuditEvent::Kind::kPlace, block, kAuditNoLevel, 0);
   }
 
   SegmentedList list_;
   SegmentedList::AccessResult result_;
+  std::vector<Slide> slides_;
   std::vector<bool> crossed_wrote_back_;
+  std::vector<bool> evicted_wrote_back_;
   FlatMap<BlockId, std::uint8_t> dirty_;  // set of dirty blocks
   HierarchyStats stats_;
 };

@@ -60,7 +60,7 @@ class UlcSingleScheme final : public MultiLevelScheme {
 
   void access(const Request& request) override {
     ++stats_.references;
-    const UlcAccess& a = client_.access(request.block);
+    const UlcAccess& a = client_.access(request.block, request.size);
     if (request.op == Op::kWrite) {
       if (a.placed_level != kLevelOut) {
         dirty_.put(request.block, 1);
@@ -73,15 +73,16 @@ class UlcSingleScheme final : public MultiLevelScheme {
       // Block served from the client's tempLRU buffers: L1-speed. If the
       // engine repositioned it at a lower level than where a copy already
       // sits, the client ships it down — costed like a demotion.
-      ++stats_.level_hits[0];
+      stats_.count_hit(0, request.size);
       if (a.placed_level != kLevelOut && a.placed_level > 0 &&
           a.placed_level != a.hit_level) {
-        for (std::size_t k = 0; k < a.placed_level; ++k) ++stats_.demotions[k];
+        for (std::size_t k = 0; k < a.placed_level; ++k)
+          stats_.count_demote(k, a.retrieve.size);
       }
     } else if (a.hit_level != kLevelOut) {
-      ++stats_.level_hits[a.hit_level];
+      stats_.count_hit(a.hit_level, request.size);
     } else {
-      ++stats_.misses;
+      stats_.count_miss(request.size);
     }
     demote_wrote_back_.assign(a.demotions.size(), false);
     for (std::size_t d = 0; d < a.demotions.size(); ++d) {
@@ -96,7 +97,8 @@ class UlcSingleScheme final : public MultiLevelScheme {
         }
         continue;
       }
-      for (std::size_t k = cmd.from; k < cmd.to; ++k) ++stats_.demotions[k];
+      for (std::size_t k = cmd.from; k < cmd.to; ++k)
+        stats_.count_demote(k, cmd.size);
     }
     if (auditing()) emit_events(request.block, a);
   }
@@ -125,6 +127,10 @@ class UlcSingleScheme final : public MultiLevelScheme {
 
   std::size_t audit_level_size(ClientId, std::size_t level) const override {
     return client_.level_size(level);
+  }
+
+  std::uint64_t audit_level_bytes(ClientId, std::size_t level) const override {
+    return client_.level_bytes(level);
   }
 
   bool audit_check_internal() const override { return client_.check_consistency(); }
@@ -158,18 +164,19 @@ class UlcSingleScheme final : public MultiLevelScheme {
   const UlcClient& client() const { return client_; }
 
  private:
-  // Narrates the access in the protocol's own order (§3.2.1): the Retrieve
-  // serve frees the hit level's slot, the Demote cascade runs bottom-up so
-  // each transfer lands in the slot the one below just freed, and the
-  // placement of the requested block lands last. A Demote(b, f, out) is a
-  // discard at f with no transfer — the collapsed cascade through every
+  // Narrates the access in physical process order: the Retrieve serve, then
+  // the Demote cascade top-down — the order the client actually issues the
+  // transfers on the wire (§3.2.1) — then the placement of the requested
+  // block. Byte budgets are audited at end of access, so a transfer may
+  // transiently land before the slot below it drains. A Demote(b, f, out) is
+  // a discard at f with no transfer — the collapsed cascade through every
   // lower level — hence kEvict with through_bottom.
   void emit_events(BlockId block, const UlcAccess& a) {
     if (a.temp_hit) return;  // only with tempLRU, which is unsupported
     if (a.hit_level != kLevelOut && a.placed_level == a.hit_level) return;
     if (a.hit_level != kLevelOut)
       audit_emit(AuditEvent::Kind::kServe, block, a.hit_level);
-    for (std::size_t d = a.demotions.size(); d-- > 0;) {
+    for (std::size_t d = 0; d < a.demotions.size(); ++d) {
       const DemoteCmd& cmd = a.demotions[d];
       if (cmd.to == kLevelOut) {
         audit_emit(AuditEvent::Kind::kEvict, cmd.block, cmd.from, kAuditNoLevel,
@@ -181,7 +188,8 @@ class UlcSingleScheme final : public MultiLevelScheme {
       }
     }
     if (a.placed_level != kLevelOut)
-      audit_emit(AuditEvent::Kind::kPlace, block, kAuditNoLevel, a.placed_level);
+      audit_emit(AuditEvent::Kind::kPlace, block, kAuditNoLevel, a.placed_level,
+                 0, /*through_bottom=*/false, a.retrieve.size);
   }
 
   UlcClient client_;
@@ -222,7 +230,7 @@ class UlcMultiScheme final : public MultiLevelScheme {
       client.external_evict(request.block);
     }
 
-    const UlcAccess& a = client.access(request.block);
+    const UlcAccess& a = client.access(request.block, request.size);
     if (request.op == Op::kWrite) {
       if (a.placed_level != kLevelOut) {
         dirty_.put(request.block, 1);
@@ -237,7 +245,7 @@ class UlcMultiScheme final : public MultiLevelScheme {
       // bookkeeping still follows the engine's direction: a server copy is
       // kept (and refreshed on the piggybacked traffic) or dropped when the
       // block moved up to the client cache proper.
-      ++stats_.level_hits[0];
+      stats_.count_hit(0, request.size);
       if (a.hit_level == 1) {
         if (a.retrieve.cache_at == 1) {
           server_.refresh(request.block, c);
@@ -251,14 +259,15 @@ class UlcMultiScheme final : public MultiLevelScheme {
         if (server_.contains(request.block)) {
           server_.refresh(request.block, c);
         } else {
-          ++stats_.demotions[0];
-          place_at_server(request.block, c);
+          stats_.count_demote(0, a.retrieve.size);
+          if (!place_at_server(request.block, c, a.retrieve.size).admitted)
+            unplace(request.block, c);
         }
       }
     } else if (a.hit_level == 0) {
-      ++stats_.level_hits[0];
+      stats_.count_hit(0, request.size);
     } else if (a.hit_level == 1) {
-      ++stats_.level_hits[1];
+      stats_.count_hit(1, request.size);
       if (a.retrieve.cache_at == 1) {
         const bool ok = server_.refresh(request.block, c);
         ULC_ENSURE(ok, "server lost a block the client was promised");
@@ -269,7 +278,7 @@ class UlcMultiScheme final : public MultiLevelScheme {
       // The engine believes the block is uncached, but a shared copy may sit
       // at the server, placed there under another client's direction.
       if (server_.contains(request.block)) {
-        ++stats_.level_hits[1];
+        stats_.count_hit(1, request.size);
         if (a.retrieve.cache_at == 1) {
           server_.refresh(request.block, c);
         } else if (a.retrieve.cache_at == 0) {
@@ -278,25 +287,42 @@ class UlcMultiScheme final : public MultiLevelScheme {
         // cache_at == out: a pass-through read; gLRU order is driven by
         // cache requests only, so the server copy and its recency stay.
       } else {
-        ++stats_.misses;
+        stats_.count_miss(request.size);
         if (a.retrieve.cache_at == 1) {
-          place_at_server(request.block, c);
-          audit_emit(AuditEvent::Kind::kPlace, request.block, kAuditNoLevel, 1, c);
+          if (place_at_server(request.block, c, a.retrieve.size).admitted) {
+            audit_emit(AuditEvent::Kind::kPlace, request.block, kAuditNoLevel,
+                       1, c, /*through_bottom=*/false, a.retrieve.size);
+          } else {
+            unplace(request.block, c);
+          }
         }
       }
     }
 
     for (const DemoteCmd& d : a.demotions) {
       ULC_ENSURE(d.from == 0 && d.to == 1, "multi-client ULC demotes only L1->L2");
-      ++stats_.demotions[0];
-      const bool merged = place_at_server(d.block, c);
-      audit_emit(merged ? AuditEvent::Kind::kDemoteMerge : AuditEvent::Kind::kDemote,
-                 d.block, 0, 1, c);
+      stats_.count_demote(0, d.size);
+      const PlaceOutcome r = place_at_server(d.block, c, d.size);
+      if (!r.admitted) {
+        // The transfer was attempted — the client has no server directory —
+        // but the server cannot hold a block larger than its whole budget:
+        // charge the link, then the block leaves through the bottom.
+        audit_emit(AuditEvent::Kind::kCharge, d.block, 0, 1, c,
+                   /*through_bottom=*/false, d.size);
+        audit_emit(AuditEvent::Kind::kEvict, d.block, 0, kAuditNoLevel, c,
+                   /*through_bottom=*/true);
+        unplace(d.block, c);
+      } else {
+        audit_emit(r.merged ? AuditEvent::Kind::kDemoteMerge
+                            : AuditEvent::Kind::kDemote,
+                   d.block, 0, 1, c);
+      }
     }
     // The requested block's own landing at this client's L1 goes last: the
     // demotion cascade above freed its slot.
     if (!a.temp_hit && a.placed_level == 0 && a.hit_level != 0)
-      audit_emit(AuditEvent::Kind::kPlace, request.block, kAuditNoLevel, 0, c);
+      audit_emit(AuditEvent::Kind::kPlace, request.block, kAuditNoLevel, 0, c,
+                 /*through_bottom=*/false, a.retrieve.size);
   }
 
   const HierarchyStats& stats() const override { return stats_; }
@@ -323,6 +349,10 @@ class UlcMultiScheme final : public MultiLevelScheme {
 
   std::size_t audit_level_size(ClientId client, std::size_t level) const override {
     return level == 0 ? clients_[client]->level_size(0) : server_.size();
+  }
+
+  std::uint64_t audit_level_bytes(ClientId client, std::size_t level) const override {
+    return level == 0 ? clients_[client]->level_bytes(0) : server_.used_bytes();
   }
 
   bool audit_check_internal() const override {
@@ -409,33 +439,50 @@ class UlcMultiScheme final : public MultiLevelScheme {
     pending_notices_[c].clear();
   }
 
-  // Returns true if the server already held a shared copy (the placement
-  // merged into it). Emits the eviction the placement forced, so callers
-  // emitting the incoming block's own event after the call keep the
-  // free-slot-before-fill order.
-  bool place_at_server(BlockId block, ClientId owner) {
-    const bool merged = server_.contains(block);
-    const GlruServer::PlaceResult r = server_.place(block, owner);
+  struct PlaceOutcome {
+    bool merged = false;    // the server already held a shared copy
+    bool admitted = true;   // false: larger than the whole server budget
+  };
+
+  // Emits the evictions the placement forced (a sized placement can replace
+  // several gLRU bottoms at once), so callers emitting the incoming block's
+  // own event after the call keep the free-slot-before-fill order.
+  PlaceOutcome place_at_server(BlockId block, ClientId owner, SizeUnits size) {
+    PlaceOutcome out;
+    out.merged = server_.contains(block);
+    const GlruServer::PlaceResult r = server_.place(block, owner, size);
+    out.admitted = r.admitted;
     if (server_.full() && !announced_full_) {
       announced_full_ = true;
       for (auto& cl : clients_) cl->set_elastic_full(true);
     }
-    if (!r.evicted) return merged;
-    audit_emit(AuditEvent::Kind::kEvict, r.victim, 1, kAuditNoLevel,
-               r.victim_owner);
-    if (dirty_.erase(r.victim)) {
+    r.for_each([&](const GlruServer::Victim& v) {
+      audit_emit(AuditEvent::Kind::kEvict, v.block, 1, kAuditNoLevel, v.owner);
+      if (dirty_.erase(v.block)) {
+        ++stats_.writebacks;
+        audit_emit(AuditEvent::Kind::kWriteback, v.block);
+      }
+      ++stats_.eviction_notices;
+      if (v.owner == owner) {
+        // Local knowledge: the requester learns immediately.
+        if (clients_[owner]->level_of(v.block) == 1)
+          clients_[owner]->external_evict(v.block);
+      } else {
+        pending_notices_[v.owner].push_back(v.block);
+      }
+    });
+    return out;
+  }
+
+  // Repairs the engine's claim after a declined server placement: the block
+  // is not cached anywhere, so the level-1 directory entry goes and any
+  // dirty data is written straight through to disk.
+  void unplace(BlockId block, ClientId c) {
+    if (clients_[c]->level_of(block) == 1) clients_[c]->external_evict(block);
+    if (dirty_.erase(block)) {
       ++stats_.writebacks;
-      audit_emit(AuditEvent::Kind::kWriteback, r.victim);
+      audit_emit(AuditEvent::Kind::kWriteback, block);
     }
-    ++stats_.eviction_notices;
-    if (r.victim_owner == owner) {
-      // Local knowledge: the requester learns immediately.
-      if (clients_[owner]->level_of(r.victim) == 1)
-        clients_[owner]->external_evict(r.victim);
-    } else {
-      pending_notices_[r.victim_owner].push_back(r.victim);
-    }
-    return merged;
   }
 
   std::vector<std::unique_ptr<UlcClient>> clients_;

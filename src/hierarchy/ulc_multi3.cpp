@@ -53,7 +53,7 @@ class UlcMulti3Scheme final : public MultiLevelScheme {
     client.set_elastic_full(1, server_.full());
     client.set_elastic_full(2, array_.full());
 
-    const UlcAccess& a = client.access(request.block);
+    const UlcAccess& a = client.access(request.block, request.size);
     if (request.op == Op::kWrite) {
       if (a.placed_level != kLevelOut) {
         dirty_.put(request.block, 1);
@@ -68,13 +68,26 @@ class UlcMulti3Scheme final : public MultiLevelScheme {
     for (const DemoteCmd& d : a.demotions) {
       ULC_ENSURE(d.from == 0 && d.to == 1,
                  "client cascades stop at the first shared level");
-      ++stats_.demotions[0];
-      const bool merged = place_at_server(d.block, c);
-      audit_emit(merged ? AuditEvent::Kind::kDemoteMerge : AuditEvent::Kind::kDemote,
-                 d.block, 0, 1, c);
+      stats_.count_demote(0, d.size);
+      const PlaceOutcome r = place_at_server(d.block, c, d.size);
+      if (!r.admitted) {
+        // The transfer happened but the server cannot hold a block larger
+        // than its whole budget: charge the link, the block leaves through
+        // the bottom.
+        audit_emit(AuditEvent::Kind::kCharge, d.block, 0, 1, c,
+                   /*through_bottom=*/false, d.size);
+        audit_emit(AuditEvent::Kind::kEvict, d.block, 0, kAuditNoLevel, c,
+                   /*through_bottom=*/true);
+        unplace(d.block, c);
+      } else {
+        audit_emit(r.merged ? AuditEvent::Kind::kDemoteMerge
+                            : AuditEvent::Kind::kDemote,
+                   d.block, 0, 1, c);
+      }
     }
     if (a.placed_level == 0 && a.hit_level != 0)
-      audit_emit(AuditEvent::Kind::kPlace, request.block, kAuditNoLevel, 0, c);
+      audit_emit(AuditEvent::Kind::kPlace, request.block, kAuditNoLevel, 0, c,
+                 /*through_bottom=*/false, a.retrieve.size);
   }
 
   const HierarchyStats& stats() const override { return stats_; }
@@ -105,6 +118,11 @@ class UlcMulti3Scheme final : public MultiLevelScheme {
   std::size_t audit_level_size(ClientId client, std::size_t level) const override {
     if (level == 0) return clients_[client]->level_size(0);
     return level == 1 ? server_.size() : array_.size();
+  }
+
+  std::uint64_t audit_level_bytes(ClientId client, std::size_t level) const override {
+    if (level == 0) return clients_[client]->level_bytes(0);
+    return level == 1 ? server_.used_bytes() : array_.used_bytes();
   }
 
   bool audit_check_internal() const override {
@@ -170,46 +188,63 @@ class UlcMulti3Scheme final : public MultiLevelScheme {
   const GlruServer& array() const { return array_; }
 
  private:
+  struct PlaceOutcome {
+    bool merged = false;    // the shared cache already held the copy
+    bool admitted = true;   // false: larger than that cache's whole budget
+  };
+
   void serve(ClientId c, BlockId b, const UlcAccess& a) {
+    const SizeUnits size = a.retrieve.size;
     if (a.hit_level == 0) {
-      ++stats_.level_hits[0];
+      stats_.count_hit(0, size);
       return;
     }
     if (a.hit_level == 1) {
-      ++stats_.level_hits[1];
-      route_from_server(c, b, a.retrieve.cache_at);
+      stats_.count_hit(1, size);
+      route_from_server(c, b, a.retrieve.cache_at, size);
       return;
     }
     if (a.hit_level == 2) {
-      ++stats_.level_hits[2];
-      route_from_array(c, b, a.retrieve.cache_at);
+      stats_.count_hit(2, size);
+      route_from_array(c, b, a.retrieve.cache_at, size);
       return;
     }
     // Engine miss: a shared copy may still exist under another client's
     // direction.
     if (server_.contains(b)) {
-      ++stats_.level_hits[1];
-      if (a.retrieve.cache_at != kLevelOut) route_from_server(c, b, a.retrieve.cache_at);
+      stats_.count_hit(1, size);
+      if (a.retrieve.cache_at != kLevelOut)
+        route_from_server(c, b, a.retrieve.cache_at, size);
       return;
     }
     if (array_.contains(b)) {
-      ++stats_.level_hits[2];
-      if (a.retrieve.cache_at != kLevelOut) route_from_array(c, b, a.retrieve.cache_at);
+      stats_.count_hit(2, size);
+      if (a.retrieve.cache_at != kLevelOut)
+        route_from_array(c, b, a.retrieve.cache_at, size);
       return;
     }
-    ++stats_.misses;
+    stats_.count_miss(size);
     if (a.retrieve.cache_at == 1) {
-      place_at_server(b, c);
-      audit_emit(AuditEvent::Kind::kPlace, b, kAuditNoLevel, 1, c);
+      if (place_at_server(b, c, size).admitted) {
+        audit_emit(AuditEvent::Kind::kPlace, b, kAuditNoLevel, 1, c,
+                   /*through_bottom=*/false, size);
+      } else {
+        unplace(b, c);
+      }
     }
     if (a.retrieve.cache_at == 2) {
-      place_at_array(b, c);
-      audit_emit(AuditEvent::Kind::kPlace, b, kAuditNoLevel, 2, c);
+      if (place_at_array(b, c, size).admitted) {
+        audit_emit(AuditEvent::Kind::kPlace, b, kAuditNoLevel, 2, c,
+                   /*through_bottom=*/false, size);
+      } else {
+        unplace(b, c);
+      }
     }
   }
 
   // The block is at the server; move/keep it per the client's direction.
-  void route_from_server(ClientId c, BlockId b, std::size_t cache_at) {
+  void route_from_server(ClientId c, BlockId b, std::size_t cache_at,
+                         SizeUnits size) {
     if (cache_at >= 1 && cache_at != kLevelOut) {
       // Stays at the server level (cache_at == 1) or is directed to the
       // array (cache_at == 2: a block ranked down; ship it).
@@ -218,19 +253,36 @@ class UlcMulti3Scheme final : public MultiLevelScheme {
       } else {
         const bool took = server_.owner_of(b) == c;
         if (took) server_.take(b);
-        ++stats_.demotions[1];
-        const bool merged = place_at_array(b, c);
-        // Four narrations of one ship-down: a move (demote, merging or not)
-        // when this client owned the server copy, otherwise the copy stays
-        // and the transfer is pure accounting (kCharge) plus — if the array
-        // did not already hold the shared copy — a fresh copy appearing.
+        stats_.count_demote(1, size);
+        const PlaceOutcome r = place_at_array(b, c, size);
+        // Narrations of one ship-down: a move (demote, merging or not) when
+        // this client owned the server copy, otherwise the copy stays and
+        // the transfer is pure accounting (kCharge) plus — if the array did
+        // not already hold the shared copy — a fresh copy appearing. An
+        // array that cannot hold the block at all turns the move into a
+        // bottom eviction (and the charge-only case into a pure charge).
         if (took) {
-          audit_emit(merged ? AuditEvent::Kind::kDemoteMerge
-                            : AuditEvent::Kind::kDemote,
-                     b, 1, 2, c);
+          if (!r.admitted) {
+            audit_emit(AuditEvent::Kind::kCharge, b, 1, 2, c,
+                       /*through_bottom=*/false, size);
+            audit_emit(AuditEvent::Kind::kEvict, b, 1, kAuditNoLevel, c,
+                       /*through_bottom=*/true);
+            unplace(b, c);
+          } else {
+            audit_emit(r.merged ? AuditEvent::Kind::kDemoteMerge
+                                : AuditEvent::Kind::kDemote,
+                       b, 1, 2, c);
+          }
         } else {
-          audit_emit(AuditEvent::Kind::kCharge, b, 1, 2, c);
-          if (!merged) audit_emit(AuditEvent::Kind::kPlace, b, kAuditNoLevel, 2, c);
+          audit_emit(AuditEvent::Kind::kCharge, b, 1, 2, c,
+                     /*through_bottom=*/false, size);
+          if (r.admitted && !r.merged) {
+            audit_emit(AuditEvent::Kind::kPlace, b, kAuditNoLevel, 2, c,
+                       /*through_bottom=*/false, size);
+          }
+          // Declined and not taken: the other client's server copy stays
+          // (dirty data and all); only this client's claim is stale.
+          if (!r.admitted) drop_claim(b, c);
         }
       }
     } else if (cache_at == 0) {
@@ -241,7 +293,8 @@ class UlcMulti3Scheme final : public MultiLevelScheme {
     }
   }
 
-  void route_from_array(ClientId c, BlockId b, std::size_t cache_at) {
+  void route_from_array(ClientId c, BlockId b, std::size_t cache_at,
+                        SizeUnits size) {
     if (cache_at == 2) {
       array_.refresh(b, c);
     } else if (cache_at == 1) {
@@ -250,9 +303,16 @@ class UlcMulti3Scheme final : public MultiLevelScheme {
         audit_emit(AuditEvent::Kind::kServe, b, 2, kAuditNoLevel, c);
         array_.take(b);
       }
-      const bool merged = place_at_server(b, c);
-      if (!merged)
-        audit_emit(AuditEvent::Kind::kPlace, b, kAuditNoLevel, 1, c);
+      const PlaceOutcome r = place_at_server(b, c, size);
+      if (r.admitted && !r.merged) {
+        audit_emit(AuditEvent::Kind::kPlace, b, kAuditNoLevel, 1, c,
+                   /*through_bottom=*/false, size);
+      }
+      if (!r.admitted) {
+        // If this client took the array copy, the block is gone entirely;
+        // otherwise the other client's array copy (and dirty data) stays.
+        if (took) unplace(b, c); else drop_claim(b, c);
+      }
     } else if (cache_at == 0) {
       if (array_.owner_of(b) == c) {
         audit_emit(AuditEvent::Kind::kServe, b, 2, kAuditNoLevel, c);
@@ -261,37 +321,68 @@ class UlcMulti3Scheme final : public MultiLevelScheme {
     }
   }
 
-  // Returns true if the server already held the (shared) copy.
-  bool place_at_server(BlockId b, ClientId owner) {
-    const bool merged = server_.contains(b);
-    const GlruServer::PlaceResult r = server_.place(b, owner);
-    if (!r.evicted) return merged;
-    // Server-directed migration: the gLRU victim moves down to the array
+  PlaceOutcome place_at_server(BlockId b, ClientId owner, SizeUnits size) {
+    PlaceOutcome out;
+    out.merged = server_.contains(b);
+    const GlruServer::PlaceResult r = server_.place(b, owner, size);
+    out.admitted = r.admitted;
+    // Server-directed migration: each gLRU victim moves down to the array
     // instead of being dropped; its owner is told via a piggybacked notice.
-    ++stats_.demotions[1];
-    ++stats_.eviction_notices;
-    queue_notice(r.victim_owner, r.victim);
-    const bool victim_merged = place_at_array(r.victim, r.victim_owner);
-    audit_emit(victim_merged ? AuditEvent::Kind::kDemoteMerge
+    // A victim the array cannot hold at all is charged and dropped.
+    r.for_each([&](const GlruServer::Victim& v) {
+      stats_.count_demote(1, v.size);
+      ++stats_.eviction_notices;
+      queue_notice(v.owner, v.block);
+      const PlaceOutcome vr = place_at_array(v.block, v.owner, v.size);
+      if (!vr.admitted) {
+        audit_emit(AuditEvent::Kind::kCharge, v.block, 1, 2, v.owner,
+                   /*through_bottom=*/false, v.size);
+        audit_emit(AuditEvent::Kind::kEvict, v.block, 1, kAuditNoLevel,
+                   v.owner, /*through_bottom=*/true);
+        if (dirty_.erase(v.block)) {
+          ++stats_.writebacks;
+          audit_emit(AuditEvent::Kind::kWriteback, v.block);
+        }
+      } else {
+        audit_emit(vr.merged ? AuditEvent::Kind::kDemoteMerge
                              : AuditEvent::Kind::kDemote,
-               r.victim, 1, 2, r.victim_owner);
-    return merged;
+                   v.block, 1, 2, v.owner);
+      }
+    });
+    return out;
   }
 
-  // Returns true if the array already held the (shared) copy.
-  bool place_at_array(BlockId b, ClientId owner) {
-    const bool merged = array_.contains(b);
-    const GlruServer::PlaceResult r = array_.place(b, owner);
-    if (!r.evicted) return merged;
-    audit_emit(AuditEvent::Kind::kEvict, r.victim, 2, kAuditNoLevel,
-               r.victim_owner);
-    if (dirty_.erase(r.victim)) {
+  PlaceOutcome place_at_array(BlockId b, ClientId owner, SizeUnits size) {
+    PlaceOutcome out;
+    out.merged = array_.contains(b);
+    const GlruServer::PlaceResult r = array_.place(b, owner, size);
+    out.admitted = r.admitted;
+    r.for_each([&](const GlruServer::Victim& v) {
+      audit_emit(AuditEvent::Kind::kEvict, v.block, 2, kAuditNoLevel, v.owner);
+      if (dirty_.erase(v.block)) {
+        ++stats_.writebacks;
+        audit_emit(AuditEvent::Kind::kWriteback, v.block);
+      }
+      ++stats_.eviction_notices;
+      queue_notice(v.owner, v.block);
+    });
+    return out;
+  }
+
+  // Repairs the engine's claim after a declined shared-cache placement.
+  void drop_claim(BlockId b, ClientId c) {
+    const std::size_t el = clients_[c]->level_of(b);
+    if (el == 1 || el == 2) clients_[c]->external_evict(b);
+  }
+
+  // As drop_claim, for the case where no copy remains anywhere: any dirty
+  // data is written straight through to disk.
+  void unplace(BlockId b, ClientId c) {
+    drop_claim(b, c);
+    if (dirty_.erase(b)) {
       ++stats_.writebacks;
-      audit_emit(AuditEvent::Kind::kWriteback, r.victim);
+      audit_emit(AuditEvent::Kind::kWriteback, b);
     }
-    ++stats_.eviction_notices;
-    queue_notice(r.victim_owner, r.victim);
-    return merged;
   }
 
   void queue_notice(ClientId owner, BlockId block) {

@@ -46,20 +46,26 @@ class UniLruScheme final : public MultiLevelScheme {
 
   void access(const Request& request) override {
     ++stats_.references;
-    list_.access(request.block, result_);
+    list_.access(request.block, result_, request.size);
     if (result_.hit) {
-      ++stats_.level_hits[result_.old_segment];
+      stats_.count_hit(result_.old_segment, request.size);
     } else {
-      ++stats_.misses;
+      stats_.count_miss(request.size);
     }
     if (request.op == Op::kWrite) dirty_.put(request.block, 1);
-    // Each boundary slide is one demotion transfer; the final eviction is a
-    // silent drop — unless the block is dirty, in which case it must be
+    // Each boundary slide is one demotion transfer; the final evictions are
+    // silent drops — unless a block is dirty, in which case it must be
     // written back to disk first.
-    for (std::size_t b = 0; b < result_.crossed_count; ++b) ++stats_.demotions[b];
-    const bool wrote_back = result_.evicted && dirty_.erase(result_.evicted_key);
-    if (wrote_back) ++stats_.writebacks;
-    if (auditing()) emit_events(request.block, wrote_back);
+    for (const SegmentedList::Crossing& c : result_.crossed)
+      stats_.count_demote(c.from, c.size);
+    evicted_wrote_back_.assign(result_.evicted.size(), false);
+    for (std::size_t i = 0; i < result_.evicted.size(); ++i) {
+      if (dirty_.erase(result_.evicted[i])) {
+        ++stats_.writebacks;
+        evicted_wrote_back_[i] = true;
+      }
+    }
+    if (auditing()) emit_events(request);
   }
 
   const HierarchyStats& stats() const override { return stats_; }
@@ -86,33 +92,72 @@ class UniLruScheme final : public MultiLevelScheme {
     return list_.segment_size(level);
   }
 
+  std::uint64_t audit_level_bytes(ClientId, std::size_t level) const override {
+    return list_.segment_bytes(level);
+  }
+
  private:
-  // Narrates one access in demote-before-evict order: the serve (or bottom
-  // eviction) opens a hole, the boundary slides fill it bottom-up, and the
-  // MRU placement lands last, so occupancy never exceeds capacity.
-  void emit_events(BlockId block, bool wrote_back) {
+  struct Slide {
+    BlockId key = 0;
+    std::size_t from = 0;
+    std::size_t to = 0;
+  };
+
+  // A sized access can slide one block across several boundaries (it keeps
+  // being its new segment's LRU-most member); collapse its crossings into a
+  // single multi-hop move — kDemote(b, from, to) accounts one transfer per
+  // link crossed, matching the per-crossing demotion counters.
+  void collect_slides() {
+    slides_.clear();
+    for (const SegmentedList::Crossing& c : result_.crossed) {
+      bool merged = false;
+      for (Slide& s : slides_) {
+        if (s.key == c.key) {
+          s.to = c.from + 1;
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) slides_.push_back(Slide{c.key, c.from, c.from + 1});
+    }
+  }
+
+  // Narrates one access in physical process order: the serve, the MRU
+  // placement, each boundary slide, then the bottom evictions. With sized
+  // blocks the byte occupancy may transiently overshoot a budget between a
+  // slide and the evictions that make room — the auditor enforces byte
+  // budgets at access end.
+  void emit_events(const Request& request) {
     if (result_.hit && result_.old_segment == 0) return;  // pure touch
+    const BlockId block = request.block;
     if (result_.hit) {
       audit_emit(AuditEvent::Kind::kServe, block, result_.old_segment);
-    } else if (result_.evicted) {
-      audit_emit(AuditEvent::Kind::kEvict, result_.evicted_key,
-                 list_.segment_count() - 1);
-      if (wrote_back) audit_emit(AuditEvent::Kind::kWriteback, result_.evicted_key);
     }
-    for (std::size_t b = result_.crossed_count; b-- > 0;)
-      audit_emit(AuditEvent::Kind::kDemote, result_.crossed[b], b, b + 1);
-    audit_emit(AuditEvent::Kind::kPlace, block, kAuditNoLevel, 0);
+    audit_emit(AuditEvent::Kind::kPlace, block, kAuditNoLevel, 0, 0, false,
+               request.size);
+    collect_slides();
+    for (const Slide& s : slides_)
+      audit_emit(AuditEvent::Kind::kDemote, s.key, s.from, s.to);
+    for (std::size_t i = 0; i < result_.evicted.size(); ++i) {
+      audit_emit(AuditEvent::Kind::kEvict, result_.evicted[i],
+                 list_.segment_count() - 1);
+      if (evicted_wrote_back_[i])
+        audit_emit(AuditEvent::Kind::kWriteback, result_.evicted[i]);
+    }
   }
 
   SegmentedList list_;
   SegmentedList::AccessResult result_;
+  std::vector<Slide> slides_;
+  std::vector<bool> evicted_wrote_back_;
   FlatMap<BlockId, std::uint8_t> dirty_;  // set of dirty blocks
   HierarchyStats stats_;
 };
 
 // Shared server cache with positional insertion, built on the
 // order-statistic list (O(log n) insert-at-position for the kMiddle
-// variant).
+// variant). Capacity is a byte budget in SizeUnits; the insertion position
+// stays a *count* notion (half the resident blocks), as in Wong & Wilkes.
 class ServerLru {
  public:
   explicit ServerLru(std::size_t capacity) : capacity_(capacity) {
@@ -124,17 +169,25 @@ class ServerLru {
 
   // Exclusive read: remove and return presence.
   bool take(BlockId b) {
-    const OrderStatisticList::Handle* h = index_.find(b);
-    if (h == nullptr) return false;
-    list_.erase(*h);
+    const Entry* e = index_.find(b);
+    if (e == nullptr) return false;
+    used_ -= e->size;
+    list_.erase(e->handle);
     index_.erase(b);
     return true;
   }
 
-  // Insert a demoted block at the given policy's position; returns the
-  // evicted block if the server overflowed.
-  EvictResult insert(BlockId b, UniLruInsertion policy) {
+  // Insert a demoted block at the given policy's position, then evict from
+  // the LRU end until the byte budget holds again. A block larger than the
+  // whole budget is not admitted; with LRU-point insertion the entering
+  // block itself can be the first overflow victim (the passthrough corner).
+  EvictResult insert(BlockId b, UniLruInsertion policy, SizeUnits size) {
     ULC_REQUIRE(!index_.contains(b), "server insert of present block");
+    EvictResult ev;
+    if (size > capacity_) {
+      ev.admitted = false;
+      return ev;
+    }
     std::size_t pos = 0;
     switch (policy) {
       case UniLruInsertion::kMru:
@@ -147,13 +200,14 @@ class ServerLru {
         pos = list_.size();
         break;
     }
-    index_.insert_new(b, list_.insert_at(pos, b));
-    EvictResult ev;
-    if (list_.size() > capacity_) {
+    index_.insert_new(b, Entry{list_.insert_at(pos, b), size});
+    used_ += size;
+    while (used_ > capacity_) {
       auto victim = list_.at(list_.size() - 1);
-      ev.evicted = true;
-      ev.victim = list_.value(victim);
-      index_.erase(ev.victim);
+      const BlockId v = list_.value(victim);
+      used_ -= index_.find(v)->size;
+      ev.add(v);
+      index_.erase(v);
       list_.erase(victim);
     }
     return ev;
@@ -162,18 +216,25 @@ class ServerLru {
   // A server hit for a block that stays (not used by exclusive uniLRU, but
   // by tests): refresh to MRU.
   void refresh(BlockId b) {
-    const OrderStatisticList::Handle* h = index_.find(b);
-    ULC_REQUIRE(h != nullptr, "refresh of absent block");
-    list_.move_to_front(*h);
+    const Entry* e = index_.find(b);
+    ULC_REQUIRE(e != nullptr, "refresh of absent block");
+    list_.move_to_front(e->handle);
   }
 
   std::size_t size() const { return list_.size(); }
+  std::uint64_t used_bytes() const { return used_; }
   std::size_t capacity() const { return capacity_; }
 
  private:
+  struct Entry {
+    OrderStatisticList::Handle handle;
+    SizeUnits size = 1;
+  };
+
   std::size_t capacity_;
+  std::uint64_t used_ = 0;
   OrderStatisticList list_;
-  FlatMap<BlockId, OrderStatisticList::Handle> index_;
+  FlatMap<BlockId, Entry> index_;
 };
 
 class UniLruMultiScheme final : public MultiLevelScheme {
@@ -193,55 +254,34 @@ class UniLruMultiScheme final : public MultiLevelScheme {
     ++stats_.references;
     CachePolicy& client = *clients_[request.client];
     const BlockId b = request.block;
+    AccessContext ctx;
+    ctx.size = request.size;
+    size_of_.put(b, request.size);  // id-stable; needed when b is demoted
 
     if (request.op == Op::kWrite) dirty_.put(b, 1);
-    if (client.touch(b, {})) {
-      ++stats_.level_hits[0];
+    if (client.touch(b, ctx)) {
+      stats_.count_hit(0, request.size);
       return;
     }
     if (server_.take(b)) {
-      ++stats_.level_hits[1];  // served from server; exclusive move up
+      stats_.count_hit(1, request.size);  // served from server; exclusive move up
       audit_emit(AuditEvent::Kind::kServe, b, 1);
     } else {
-      ++stats_.misses;  // disk read straight to the client (exclusive)
+      stats_.count_miss(request.size);  // disk read straight to the client (exclusive)
     }
-    const EvictResult ev = client.insert(b, {});
-    if (ev.evicted) {
-      // DEMOTE the client's LRU bottom into the shared server cache. Another
-      // client may have demoted its own copy of a shared block already; the
-      // transfer still happens (the client has no server directory), but the
-      // server keeps a single copy.
-      ++stats_.demotions[0];
-      if (server_.contains(ev.victim)) {
-        server_.refresh(ev.victim);
-        audit_emit(AuditEvent::Kind::kDemoteMerge, ev.victim, 0, 1,
-                   request.client);
-      } else {
-        const EvictResult sev = server_.insert(ev.victim, insertion_);
-        if (sev.evicted && sev.victim == ev.victim) {
-          // LRU-point insertion corner: the demoted block entered at the
-          // server's own bottom and was at once the overflow victim — it
-          // passed straight through without ever being resident there.
-          audit_emit(AuditEvent::Kind::kCharge, ev.victim, 0, 1, request.client);
-          audit_emit(AuditEvent::Kind::kEvict, ev.victim, 0, kAuditNoLevel,
-                     request.client, /*through_bottom=*/true);
-          if (dirty_.erase(sev.victim)) {
-            ++stats_.writebacks;
-            audit_emit(AuditEvent::Kind::kWriteback, sev.victim);
-          }
-        } else {
-          if (sev.evicted) {
-            audit_emit(AuditEvent::Kind::kEvict, sev.victim, 1);
-            if (dirty_.erase(sev.victim)) {
-              ++stats_.writebacks;
-              audit_emit(AuditEvent::Kind::kWriteback, sev.victim);
-            }
-          }
-          audit_emit(AuditEvent::Kind::kDemote, ev.victim, 0, 1, request.client);
-        }
-      }
+    const EvictResult ev = client.insert(b, ctx);
+    if (ev.admitted) {
+      audit_emit(AuditEvent::Kind::kPlace, b, kAuditNoLevel, 0, request.client,
+                 /*through_bottom=*/false, request.size);
+    } else if (dirty_.erase(b)) {
+      // Uncacheable write: larger than the whole client budget, so the dirty
+      // data goes straight to disk.
+      ++stats_.writebacks;
+      audit_emit(AuditEvent::Kind::kWriteback, b);
     }
-    audit_emit(AuditEvent::Kind::kPlace, b, kAuditNoLevel, 0, request.client);
+    // DEMOTE each client victim into the shared server cache, in eviction
+    // order. With sized blocks one admission can push several victims out.
+    ev.for_each([&](BlockId victim) { demote_to_server(victim, request.client); });
   }
 
   const HierarchyStats& stats() const override { return stats_; }
@@ -267,11 +307,66 @@ class UniLruMultiScheme final : public MultiLevelScheme {
     return level == 0 ? clients_[client]->size() : server_.size();
   }
 
+  std::uint64_t audit_level_bytes(ClientId client, std::size_t level) const override {
+    return level == 0 ? clients_[client]->used_bytes() : server_.used_bytes();
+  }
+
  private:
+  // One client-victim demotion. Another client may have demoted its own copy
+  // of a shared block already; the transfer still happens (the client has no
+  // server directory), but the server keeps a single copy. A victim the
+  // server cannot or will not hold (passthrough corner, or larger than the
+  // whole server budget) still costs the transfer — kCharge — and then
+  // leaves through the bottom.
+  void demote_to_server(BlockId victim, ClientId owner) {
+    const SizeUnits* sz = size_of_.find(victim);
+    const SizeUnits victim_size = sz != nullptr ? *sz : 1;
+    stats_.count_demote(0, victim_size);
+    if (server_.contains(victim)) {
+      server_.refresh(victim);
+      audit_emit(AuditEvent::Kind::kDemoteMerge, victim, 0, 1, owner);
+      return;
+    }
+    const EvictResult sev = server_.insert(victim, insertion_, victim_size);
+    server_victims_.clear();
+    sev.for_each([&](BlockId v) { server_victims_.push_back(v); });
+    bool survived = sev.admitted;
+    for (BlockId v : server_victims_)
+      if (v == victim) survived = false;
+    if (survived)
+      audit_emit(AuditEvent::Kind::kDemote, victim, 0, 1, owner);
+    for (BlockId v : server_victims_) {
+      if (v == victim) {
+        audit_emit(AuditEvent::Kind::kCharge, victim, 0, 1, owner,
+                   /*through_bottom=*/false, victim_size);
+        audit_emit(AuditEvent::Kind::kEvict, victim, 0, kAuditNoLevel, owner,
+                   /*through_bottom=*/true);
+      } else {
+        audit_emit(AuditEvent::Kind::kEvict, v, 1);
+      }
+      if (dirty_.erase(v)) {
+        ++stats_.writebacks;
+        audit_emit(AuditEvent::Kind::kWriteback, v);
+      }
+    }
+    if (!sev.admitted) {
+      audit_emit(AuditEvent::Kind::kCharge, victim, 0, 1, owner,
+                 /*through_bottom=*/false, victim_size);
+      audit_emit(AuditEvent::Kind::kEvict, victim, 0, kAuditNoLevel, owner,
+                 /*through_bottom=*/true);
+      if (dirty_.erase(victim)) {
+        ++stats_.writebacks;
+        audit_emit(AuditEvent::Kind::kWriteback, victim);
+      }
+    }
+  }
+
   std::vector<PolicyPtr> clients_;
   ServerLru server_;
   UniLruInsertion insertion_;
   FlatMap<BlockId, std::uint8_t> dirty_;  // set of dirty blocks
+  FlatMap<BlockId, SizeUnits> size_of_;   // id-stable block footprints
+  std::vector<BlockId> server_victims_;
   HierarchyStats stats_;
   std::string name_;
 };

@@ -7,6 +7,7 @@ namespace ulc {
 SegmentedList::SegmentedList(std::vector<std::size_t> segment_capacities)
     : caps_(std::move(segment_capacities)),
       counts_(caps_.size(), 0),
+      bytes_(caps_.size(), 0),
       last_(caps_.size(), nullptr) {
   ULC_REQUIRE(!caps_.empty(), "SegmentedList needs at least one segment");
   for (std::size_t c : caps_) ULC_REQUIRE(c >= 1, "segment capacity must be >= 1");
@@ -27,7 +28,7 @@ SegmentedList::~SegmentedList() {
   }
 }
 
-SegmentedList::Node* SegmentedList::alloc(Key key) {
+SegmentedList::Node* SegmentedList::alloc(Key key, SizeUnits size) {
   Node* n;
   if (free_list_) {
     n = free_list_;
@@ -36,6 +37,7 @@ SegmentedList::Node* SegmentedList::alloc(Key key) {
     n = new Node();
   }
   n->key = key;
+  n->size = size;
   n->segment = 0;
   n->prev = n->next = nullptr;
   return n;
@@ -66,42 +68,53 @@ void SegmentedList::link_front(Node* n) {
   if (!tail_) tail_ = n;
 }
 
+void SegmentedList::detach_from_segment(Node* n) {
+  const std::size_t s = n->segment;
+  --counts_[s];
+  bytes_[s] -= n->size;
+  if (last_[s] == n) {
+    // With counts_[s] > 0 the predecessor is still in segment s (segments
+    // are contiguous and n was the segment's LRU-most node).
+    last_[s] = counts_[s] > 0 ? n->prev : nullptr;
+  }
+}
+
 void SegmentedList::rebalance(std::size_t from, AccessResult& out) {
   for (std::size_t s = from; s < caps_.size(); ++s) {
-    if (counts_[s] <= caps_[s]) continue;
-    ULC_ENSURE(counts_[s] == caps_[s] + 1, "segment can only overflow by one");
-    Node* m = last_[s];
-    if (s + 1 < caps_.size()) {
-      // Slide m across the boundary: positionally it stays put; it becomes
-      // the MRU-most member of segment s+1.
-      out.crossed[s] = m->key;
-      out.crossed_count = s + 1;
-      --counts_[s];
-      last_[s] = m->prev;  // counts_[s] >= 1 still, so prev is in segment s
-      m->segment = s + 1;
-      ++counts_[s + 1];
-      if (counts_[s + 1] == 1) last_[s + 1] = m;
-    } else {
-      // Overflow past the final segment: evict from the global LRU position.
-      ULC_ENSURE(m == tail_, "final-segment LRU block must be the list tail");
-      out.evicted = true;
-      out.evicted_key = m->key;
-      --counts_[s];
-      last_[s] = counts_[s] > 0 ? m->prev : nullptr;
-      unlink(m);
-      index_.erase(m->key);
-      --size_;
-      free_node(m);
+    // A sized insert can overflow a segment by more than one unit, so keep
+    // sliding the segment's LRU-most block down until the budget holds. At
+    // unit size this loop body runs at most once per boundary.
+    while (bytes_[s] > caps_[s]) {
+      Node* m = last_[s];
+      detach_from_segment(m);
+      if (s + 1 < caps_.size()) {
+        // Slide m across the boundary: positionally it stays put; it
+        // becomes the MRU-most member of segment s+1.
+        out.crossed.push_back(Crossing{s, m->key, m->size});
+        m->segment = s + 1;
+        ++counts_[s + 1];
+        bytes_[s + 1] += m->size;
+        if (counts_[s + 1] == 1) last_[s + 1] = m;
+      } else {
+        // Overflow past the final segment: evict from the global LRU
+        // position.
+        ULC_ENSURE(m == tail_, "final-segment LRU block must be the list tail");
+        out.evicted.push_back(m->key);
+        unlink(m);
+        index_.erase(m->key);
+        --size_;
+        free_node(m);
+      }
     }
   }
 }
 
-void SegmentedList::access(Key key, AccessResult& out) {
+void SegmentedList::access(Key key, AccessResult& out, SizeUnits size) {
   out.hit = false;
   out.old_segment = kNoSegment;
-  out.crossed.resize(caps_.size());
-  out.crossed_count = 0;
-  out.evicted = false;
+  out.crossed.clear();
+  out.evicted.clear();
+  ULC_REQUIRE(size >= 1, "block size must be at least one unit");
 
   auto it = index_.find(key);
   if (it != index_.end()) {
@@ -112,20 +125,21 @@ void SegmentedList::access(Key key, AccessResult& out) {
     if (old == 0 && head_ == n) {
       return;  // already MRU; nothing moves
     }
-    --counts_[old];
-    if (last_[old] == n) last_[old] = counts_[old] > 0 ? n->prev : nullptr;
+    detach_from_segment(n);
     unlink(n);
     link_front(n);
     n->segment = 0;
     ++counts_[0];
+    bytes_[0] += n->size;
     if (counts_[0] == 1) last_[0] = n;
     rebalance(0, out);
     return;
   }
 
-  Node* n = alloc(key);
+  Node* n = alloc(key, size);
   link_front(n);
   ++counts_[0];
+  bytes_[0] += size;
   if (counts_[0] == 1) last_[0] = n;
   index_.emplace(key, n);
   ++size_;
@@ -135,17 +149,14 @@ void SegmentedList::access(Key key, AccessResult& out) {
 bool SegmentedList::remove(Key key, AccessResult& out) {
   out.hit = false;
   out.old_segment = kNoSegment;
-  out.crossed.resize(caps_.size());
-  out.crossed_count = 0;
-  out.evicted = false;
+  out.crossed.clear();
+  out.evicted.clear();
 
   auto it = index_.find(key);
   if (it == index_.end()) return false;
   Node* n = it->second;
   out.old_segment = n->segment;
-  --counts_[n->segment];
-  if (last_[n->segment] == n)
-    last_[n->segment] = counts_[n->segment] > 0 ? n->prev : nullptr;
+  detach_from_segment(n);
   unlink(n);
   index_.erase(it);
   --size_;
@@ -161,14 +172,17 @@ std::size_t SegmentedList::segment_of(Key key) const {
 bool SegmentedList::check_consistency() const {
   std::size_t seen = 0;
   std::vector<std::size_t> counts(caps_.size(), 0);
+  std::vector<std::uint64_t> bytes(caps_.size(), 0);
   std::size_t prev_segment = 0;
   const Node* prev = nullptr;
   for (const Node* n = head_; n; n = n->next) {
     if (n->prev != prev) return false;
     if (n->segment >= caps_.size()) return false;
     if (n->segment < prev_segment) return false;  // segments must be contiguous
+    if (n->size < 1) return false;
     prev_segment = n->segment;
     ++counts[n->segment];
+    bytes[n->segment] += n->size;
     auto it = index_.find(n->key);
     if (it == index_.end() || it->second != n) return false;
     ++seen;
@@ -178,7 +192,8 @@ bool SegmentedList::check_consistency() const {
   if (seen != size_ || index_.size() != size_) return false;
   for (std::size_t s = 0; s < caps_.size(); ++s) {
     if (counts[s] != counts_[s]) return false;
-    if (counts_[s] > caps_[s]) return false;
+    if (bytes[s] != bytes_[s]) return false;
+    if (bytes_[s] > caps_[s]) return false;  // the byte-capacity law
     if (counts_[s] > 0) {
       if (!last_[s] || last_[s]->segment != s) return false;
       if (last_[s]->next && last_[s]->next->segment == s) return false;

@@ -1,12 +1,15 @@
-// An LRU list partitioned into k fixed-capacity contiguous segments with
-// O(k) bookkeeping per access.
+// An LRU list partitioned into k contiguous segments, each holding a byte
+// budget in SizeUnits, with O(k + slides) bookkeeping per access.
 //
 // This is the engine behind the unified-LRU (Wong & Wilkes DEMOTE) baseline:
-// segment i models cache level L_{i+1}. When a block is inserted at the MRU
-// position, one block slides across each full segment boundary above the
-// position the accessed block came from — each such slide is exactly one
-// demotion in uniLRU. The structure reports those boundary crossings so the
-// caller can account demotion traffic without scanning.
+// segment i models cache level L_{i+1}. When a block is referenced at the
+// MRU position, blocks slide across each over-budget segment boundary until
+// every segment fits its budget again — each slide is exactly one demotion
+// in uniLRU, and overflow past the final segment is an eviction. At unit
+// block size exactly one block crosses each full boundary (the classic
+// count-capacity behaviour); sized blocks can push several blocks across a
+// boundary or off the bottom in a single access, so crossings and evictions
+// are reported as vectors in the order they happened.
 #pragma once
 
 #include <cstdint>
@@ -18,21 +21,25 @@ namespace ulc {
 class SegmentedList {
  public:
   using Key = std::uint64_t;
+  using SizeUnits = std::uint32_t;
 
   static constexpr std::size_t kNoSegment = static_cast<std::size_t>(-1);
+
+  struct Crossing {
+    std::size_t from = 0;  // key slid from segment `from` into `from + 1`
+    Key key = 0;
+    SizeUnits size = 1;  // the slid block's footprint (byte-weighted stats)
+  };
 
   struct AccessResult {
     bool hit = false;
     // Segment the key was found in (kNoSegment on miss).
     std::size_t old_segment = kNoSegment;
-    // crossed[b] = key that slid from segment b into segment b+1 as a result
-    // of this access; boundaries not crossed are absent from the vector tail.
-    // Entry b is meaningful for b < crossed_count.
-    std::vector<Key> crossed;
-    std::size_t crossed_count = 0;
-    // Key evicted from the bottom of the last segment, if any.
-    bool evicted = false;
-    Key evicted_key = 0;
+    // Boundary crossings in the order they happened: all segment-0 slides
+    // first, then segment 1, ... (each entry is one uniLRU demotion).
+    std::vector<Crossing> crossed;
+    // Keys evicted off the bottom of the last segment, in eviction order.
+    std::vector<Key> evicted;
   };
 
   explicit SegmentedList(std::vector<std::size_t> segment_capacities);
@@ -41,10 +48,13 @@ class SegmentedList {
   SegmentedList(const SegmentedList&) = delete;
   SegmentedList& operator=(const SegmentedList&) = delete;
 
-  // References `key`: moves it to the MRU position (inserting it if absent)
-  // and updates segment boundaries. Results are written into `out` (whose
-  // buffers are reused across calls to avoid per-access allocation).
-  void access(Key key, AccessResult& out);
+  // References `key`: moves it to the MRU position (inserting it at `size`
+  // units if absent; a resident key keeps its original size) and updates
+  // segment boundaries. Results are written into `out` (whose buffers are
+  // reused across calls to avoid per-access allocation). A key larger than
+  // the total budget slides straight through and comes back in
+  // `out.evicted`.
+  void access(Key key, AccessResult& out, SizeUnits size = 1);
 
   // Removes `key` from the list if present (used by exclusive-caching
   // variants that drop a block on read). Returns true if it was present.
@@ -57,6 +67,7 @@ class SegmentedList {
   std::size_t size() const { return size_; }
   std::size_t segment_count() const { return caps_.size(); }
   std::size_t segment_size(std::size_t s) const { return counts_[s]; }
+  std::uint64_t segment_bytes(std::size_t s) const { return bytes_[s]; }
   std::size_t segment_capacity(std::size_t s) const { return caps_[s]; }
 
   // O(n) structural validation for tests.
@@ -65,13 +76,15 @@ class SegmentedList {
  private:
   struct Node {
     Key key;
+    SizeUnits size;
     std::size_t segment;
     Node* prev;
     Node* next;
   };
 
-  std::vector<std::size_t> caps_;
+  std::vector<std::size_t> caps_;   // byte budgets, in SizeUnits
   std::vector<std::size_t> counts_;
+  std::vector<std::uint64_t> bytes_;
   // last_[s]: LRU-most node of segment s; only meaningful when counts_[s] > 0.
   std::vector<Node*> last_;
   Node* head_ = nullptr;
@@ -80,10 +93,11 @@ class SegmentedList {
   std::unordered_map<Key, Node*> index_;
   Node* free_list_ = nullptr;
 
-  Node* alloc(Key key);
+  Node* alloc(Key key, SizeUnits size);
   void free_node(Node* n);
   void unlink(Node* n);
   void link_front(Node* n);
+  void detach_from_segment(Node* n);
   // Shifts overflow down across boundaries starting at segment `from`,
   // recording crossings; evicts from the final segment on overflow.
   void rebalance(std::size_t from, AccessResult& out);

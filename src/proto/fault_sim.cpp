@@ -68,10 +68,10 @@ Narration parse_narration(const std::vector<AuditEvent>& events, BlockId block) 
         break;
     }
   }
-  // Schemes narrate the demote cascade bottom-up (demote-before-evict);
-  // the legacy simulator issues the transfers top-down. Reversing the
-  // narrated subsequence recovers the legacy order exactly.
-  std::reverse(n.transfers.begin(), n.transfers.end());
+  // Schemes narrate the demote cascade in physical process order — top-down,
+  // the order the client issues the transfers on the wire — which is exactly
+  // the order the simulator must put them on the links (the per-message loss
+  // stream is order-sensitive).
   return n;
 }
 

@@ -92,8 +92,8 @@ class UniLruAdapter final : public SchemeAdapter {
     out.hit_level = result_.hit ? result_.old_segment : kLevelOut;
     out.demotions.clear();
     out.client_directed = false;  // each level demotes its own overflow
-    for (std::size_t b = 0; b < result_.crossed_count; ++b)
-      out.demotions.push_back(Transfer{b, b + 1});
+    for (const SegmentedList::Crossing& c : result_.crossed)
+      out.demotions.push_back(Transfer{c.from, c.from + 1});
   }
 
  private:

@@ -15,6 +15,7 @@
 #include <algorithm>
 
 #include "replacement/cache_policy.h"
+#include "util/byte_budget.h"
 #include "util/ensure.h"
 #include "util/flat_hash.h"
 #include "util/slab.h"
@@ -23,6 +24,12 @@ namespace ulc {
 
 namespace {
 
+// Byte accounting: T1/T2 residency is charged against the unit budget c_
+// (t1_bytes_/t2_bytes_), and the adaptation target p becomes a byte target
+// for T1. Ghost lists hold identities only, so the directory bounds — |B1|,
+// |B2|, and the l1/l2 trims of case IV — stay count-based (allow-marked),
+// exactly the paper's bookkeeping; at unit size counts equal bytes and the
+// original algorithm is recovered verbatim.
 class ArcPolicy final : public CachePolicy {
  public:
   explicit ArcPolicy(std::size_t capacity) : c_(capacity) {
@@ -40,8 +47,10 @@ class ArcPolicy final : public CachePolicy {
     if (e.where == Where::kT1) {
       // Second recent reference: promote to T2.
       t1_.erase(h);
+      t1_bytes_ -= e.size;
       e.where = Where::kT2;
       t2_.push_front(h);
+      t2_bytes_ += e.size;
       return true;
     }
     if (e.where == Where::kT2) {
@@ -51,8 +60,12 @@ class ArcPolicy final : public CachePolicy {
     return false;  // ghost entries are not resident
   }
 
-  EvictResult insert(BlockId block, const AccessContext&) override {
+  EvictResult insert(BlockId block, const AccessContext& ctx) override {
     EvictResult ev;
+    if (ctx.size > c_) {
+      ev.admitted = false;  // larger than the whole budget
+      return ev;
+    }
     const SlabHandle* f = index_.find(block);
     const SlabHandle h = (f != nullptr) ? *f : kNullHandle;
     if (h != kNullHandle && slab_[h].where == Where::kB1) {
@@ -60,10 +73,12 @@ class ArcPolicy final : public CachePolicy {
       const std::size_t delta =
           b1_.size() >= b2_.size() ? 1 : (b2_.size() + b1_.size() - 1) / b1_.size();
       p_ = std::min(p_ + delta, c_);
-      ev = replace(/*in_b2=*/false);
+      replace(/*in_b2=*/false, ctx.size, ev);
       b1_.erase(h);
       slab_[h].where = Where::kT2;
+      slab_[h].size = ctx.size;
       t2_.push_front(h);
+      t2_bytes_ += ctx.size;
       return ev;
     }
     if (h != kNullHandle && slab_[h].where == Where::kB2) {
@@ -71,42 +86,55 @@ class ArcPolicy final : public CachePolicy {
       const std::size_t delta =
           b2_.size() >= b1_.size() ? 1 : (b1_.size() + b2_.size() - 1) / b2_.size();
       p_ = p_ > delta ? p_ - delta : 0;
-      ev = replace(/*in_b2=*/true);
+      replace(/*in_b2=*/true, ctx.size, ev);
       b2_.erase(h);
       slab_[h].where = Where::kT2;
+      slab_[h].size = ctx.size;
       t2_.push_front(h);
+      t2_bytes_ += ctx.size;
       return ev;
     }
     ULC_REQUIRE(h == kNullHandle, "insert of resident block");
 
-    // Case IV: brand-new block.
-    const std::size_t l1 = t1_.size() + b1_.size();
-    if (l1 == c_) {
-      if (t1_.size() < c_) {
-        // Drop the oldest B1 ghost and replace.
-        drop_ghost(b1_);
-        ev = replace(false);
+    // Case IV: brand-new block. The l1/directory trims are >=-loops rather
+    // than the paper's == checks because a sized insert can retire several
+    // residents at once, skipping past the exact boundary.
+    const std::size_t l1 = t1_.size() + b1_.size();  // ulc-lint: allow(count-capacity)
+    if (l1 >= c_) {  // ulc-lint: allow(count-capacity)
+      if (!b1_.empty()) {
+        // Drop the oldest B1 ghost(s) and replace.
+        while (t1_.size() + b1_.size() >= c_ && !b1_.empty()) drop_ghost(b1_);  // ulc-lint: allow(count-capacity)
+        replace(false, ctx.size, ev);
       } else {
         // T1 itself fills the cache: evict its LRU outright (no ghost).
-        const SlabHandle vh = t1_.back();
-        const BlockId victim = slab_[vh].block;
-        t1_.erase(vh);
-        slab_.free(vh);
-        index_.erase(victim);
-        ev = EvictResult{true, victim};
+        while (t1_bytes_ + t2_bytes_ + ctx.size > c_ && !t1_.empty()) {
+          const SlabHandle vh = t1_.back();
+          const BlockId victim = slab_[vh].block;
+          t1_bytes_ -= slab_[vh].size;
+          t1_.erase(vh);
+          slab_.free(vh);
+          index_.erase(victim);
+          ev.add(victim);
+        }
       }
-    } else if (l1 < c_ && t1_.size() + t2_.size() + b1_.size() + b2_.size() >= c_) {
-      if (t1_.size() + t2_.size() + b1_.size() + b2_.size() >= 2 * c_) {
-        drop_ghost(b2_);
+    } else {
+      const std::size_t directory =
+          t1_.size() + t2_.size() + b1_.size() + b2_.size();
+      if (directory >= c_) {  // ulc-lint: allow(count-capacity)
+        std::size_t dir = directory;
+        while (dir >= 2 * c_ && !b2_.empty()) {  // ulc-lint: allow(count-capacity)
+          drop_ghost(b2_);
+          --dir;
+        }
       }
-      ev = replace(false);
-    } else if (t1_.size() + t2_.size() >= c_) {
-      ev = replace(false);
+      replace(false, ctx.size, ev);
     }
     const SlabHandle nh = slab_.alloc();
     slab_[nh].block = block;
+    slab_[nh].size = ctx.size;
     slab_[nh].where = Where::kT1;
     t1_.push_front(nh);
+    t1_bytes_ += ctx.size;
     index_.insert_new(block, nh);
     return ev;
   }
@@ -117,8 +145,10 @@ class ArcPolicy final : public CachePolicy {
     const SlabHandle h = *f;
     Node& e = slab_[h];
     if (e.where == Where::kT1) {
+      t1_bytes_ -= e.size;
       t1_.erase(h);
     } else if (e.where == Where::kT2) {
+      t2_bytes_ -= e.size;
       t2_.erase(h);
     } else {
       return false;  // ghost: not resident
@@ -136,12 +166,14 @@ class ArcPolicy final : public CachePolicy {
   }
   std::size_t size() const override { return t1_.size() + t2_.size(); }
   std::size_t capacity() const override { return c_; }
+  std::uint64_t used_bytes() const override { return t1_bytes_ + t2_bytes_; }
   const char* name() const override { return "ARC"; }
 
  private:
   enum class Where : std::uint8_t { kT1, kT2, kB1, kB2 };
   struct Node {
     BlockId block = 0;
+    SizeUnits size = 1;
     SlabHandle prev = kNullHandle;
     SlabHandle next = kNullHandle;
     Where where = Where::kT1;
@@ -155,30 +187,37 @@ class ArcPolicy final : public CachePolicy {
   }
 
   // The ARC REPLACE subroutine: evict from T1 or T2 per the target p,
-  // remembering the victim in the matching ghost list. The victim's node is
-  // moved, not reallocated: its index entry remains valid.
-  EvictResult replace(bool in_b2) {
-    if (t1_.size() + t2_.size() < c_) return EvictResult{};
-    const bool take_t1 =
-        !t1_.empty() && (t1_.size() > p_ || (in_b2 && t1_.size() == p_));
-    SlabHandle vh;
-    if (take_t1) {
-      vh = t1_.back();
-      t1_.erase(vh);
-      slab_[vh].where = Where::kB1;
-      b1_.push_front(vh);
-    } else {
-      ULC_ENSURE(!t2_.empty(), "ARC replace with empty T2");
-      vh = t2_.back();
-      t2_.erase(vh);
-      slab_[vh].where = Where::kB2;
-      b2_.push_front(vh);
+  // remembering victims in the matching ghost lists, until an incoming
+  // block of `incoming` units fits. The victims' nodes are moved, not
+  // reallocated: their index entries remain valid.
+  void replace(bool in_b2, SizeUnits incoming, EvictResult& ev) {
+    while (t1_bytes_ + t2_bytes_ + incoming > c_ &&
+           !(t1_.empty() && t2_.empty())) {
+      const bool take_t1 =
+          !t1_.empty() && (t1_bytes_ > p_ || (in_b2 && t1_bytes_ == p_));
+      SlabHandle vh;
+      if (take_t1) {
+        vh = t1_.back();
+        t1_bytes_ -= slab_[vh].size;
+        t1_.erase(vh);
+        slab_[vh].where = Where::kB1;
+        b1_.push_front(vh);
+      } else {
+        ULC_ENSURE(!t2_.empty(), "ARC replace with empty T2");
+        vh = t2_.back();
+        t2_bytes_ -= slab_[vh].size;
+        t2_.erase(vh);
+        slab_[vh].where = Where::kB2;
+        b2_.push_front(vh);
+      }
+      ev.add(slab_[vh].block);
     }
-    return EvictResult{true, slab_[vh].block};
   }
 
   std::size_t c_;
-  std::size_t p_ = 0;  // target size of T1
+  std::size_t p_ = 0;          // target T1 occupancy, in SizeUnits
+  std::uint64_t t1_bytes_ = 0; // resident occupancy, in SizeUnits
+  std::uint64_t t2_bytes_ = 0;
   Slab<Node> slab_;
   SlabList<Node> t1_{&slab_}, t2_{&slab_}, b1_{&slab_}, b2_{&slab_};
   FlatMap<BlockId, SlabHandle> index_;

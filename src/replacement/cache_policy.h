@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "trace/types.h"
 
@@ -16,14 +17,50 @@ namespace ulc {
 // Per-access side information. LRU/FIFO/RANDOM ignore it; OPT requires
 // next_use (the trace position of the next reference to this block, or
 // kNever) — supplied by the offline preprocessing in measures/next_use.h.
+// `size` is the incoming block's footprint in SizeUnits; capacity is a
+// byte budget in the same units (util/byte_budget.h), so inserting a
+// size-s block may evict several smaller residents.
 struct AccessContext {
   std::uint64_t time = 0;
   std::uint64_t next_use = 0;
+  SizeUnits size = 1;
 };
 
+// Victims of one insert. With unit-size blocks at most one block leaves per
+// insert and `more` stays empty (no allocation on the unit-size hot path);
+// a sized insert may push out several residents — the first lands in
+// `victim`, the rest in `more`, in eviction order.
 struct EvictResult {
   bool evicted = false;
   BlockId victim = 0;
+  // False when the policy declined to cache the block: OPT's farthest-out
+  // bypass, or a sized block larger than the whole budget (which no amount
+  // of eviction could fit). Unit-size inserts are always admitted.
+  bool admitted = true;
+  std::vector<BlockId> more;
+
+  void clear() {
+    evicted = false;
+    victim = 0;
+    admitted = true;
+    more.clear();
+  }
+  void add(BlockId b) {
+    if (!evicted) {
+      evicted = true;
+      victim = b;
+    } else {
+      more.push_back(b);
+    }
+  }
+  std::size_t count() const { return evicted ? 1 + more.size() : 0; }
+  // Applies `fn(BlockId)` to every victim in eviction order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    if (!evicted) return;
+    fn(victim);
+    for (BlockId b : more) fn(b);
+  }
 };
 
 class CachePolicy {
@@ -45,6 +82,9 @@ class CachePolicy {
   virtual bool contains(BlockId block) const = 0;
   virtual std::size_t size() const = 0;
   virtual std::size_t capacity() const = 0;
+  // Occupancy in SizeUnits. Equals size() for unit-size workloads; policies
+  // that track sized residents override this with their byte budget's usage.
+  virtual std::uint64_t used_bytes() const { return size(); }
   virtual const char* name() const = 0;
 
   std::uint64_t hits() const { return hits_; }

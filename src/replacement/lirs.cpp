@@ -27,6 +27,11 @@ namespace {
 
 constexpr std::size_t kGhostFactor = 3;
 
+// Byte accounting: the LIR/HIR split keeps its original formulas but is
+// interpreted in SizeUnits — lir_bytes_ against lir_capacity_, total
+// residency against capacity_. Ghost bookkeeping (stack entries without
+// data) stays count-based. At unit size every byte quantity equals the
+// original count, so the classic algorithm is recovered exactly.
 class LirsPolicy final : public CachePolicy {
  public:
   explicit LirsPolicy(const LirsConfig& cfg) : capacity_(cfg.capacity) {
@@ -59,6 +64,7 @@ class LirsPolicy final : public CachePolicy {
       e.status = Status::kLir;
       queue_remove(h);
       ++lir_count_;
+      lir_bytes_ += e.size;
       demote_lir_excess();
     } else {
       stack_push_top(h);
@@ -67,25 +73,43 @@ class LirsPolicy final : public CachePolicy {
     return true;
   }
 
-  EvictResult insert(BlockId block, const AccessContext&) override {
+  EvictResult insert(BlockId block, const AccessContext& ctx) override {
     ULC_REQUIRE(!contains(block), "insert of resident block");
     EvictResult ev;
-    if (resident_count_ >= capacity_) ev = evict_one();
+    if (ctx.size > capacity_) {
+      ev.admitted = false;  // larger than the whole budget
+      return ev;
+    }
+    // Evict until the newcomer fits. The queue can run dry mid-loop on a
+    // sized trace (a large block arriving into a LIR-heavy cache); then a
+    // LIR block is force-demoted into Q and the loop continues. At unit
+    // size this degenerates to the classic single evict_one().
+    while (resident_bytes_ + ctx.size > capacity_) {
+      if (queue_.empty()) {
+        if (lir_count_ == 0) break;
+        demote_lir_bottom();
+        continue;
+      }
+      evict_one(ev);
+    }
     // Look the block up only after evicting: evict_one()'s ghost trim can
     // drop this very block's ghost entry, which would dangle a handle read
     // up front (caught by Policies.ChurnKeepsIndexAndResidencyInAgreement).
     const SlabHandle* f = entries_.find(block);
     SlabHandle h = (f != nullptr) ? *f : kNullHandle;
 
-    if (lir_count_ < lir_capacity_ &&
+    if (lir_bytes_ + ctx.size <= lir_capacity_ &&
         (h == kNullHandle || !slab_[h].in_stack)) {
       // Cold start: fill the LIR set first.
       if (h == kNullHandle) h = make_entry(block);
       Node& e = slab_[h];
       e.resident = true;
       e.status = Status::kLir;
+      e.size = ctx.size;
       stack_push_top(h);
       ++lir_count_;
+      lir_bytes_ += ctx.size;
+      resident_bytes_ += ctx.size;
       ++resident_count_;
       return ev;
     }
@@ -96,9 +120,12 @@ class LirsPolicy final : public CachePolicy {
       ULC_ENSURE(e.status == Status::kHir, "ghost must be HIR");
       e.resident = true;
       e.status = Status::kLir;
+      e.size = ctx.size;
       --ghost_count_;
       stack_move_top(h);
       ++lir_count_;
+      lir_bytes_ += ctx.size;
+      resident_bytes_ += ctx.size;
       ++resident_count_;
       demote_lir_excess();
       return ev;
@@ -108,8 +135,10 @@ class LirsPolicy final : public CachePolicy {
     Node& e = slab_[h];
     e.resident = true;
     e.status = Status::kHir;
+    e.size = ctx.size;
     stack_push_top(h);
     queue_move_tail(h);
+    resident_bytes_ += ctx.size;
     ++resident_count_;
     return ev;
   }
@@ -121,13 +150,16 @@ class LirsPolicy final : public CachePolicy {
     Node& e = slab_[h];
     if (e.status == Status::kLir) {
       --lir_count_;
+      lir_bytes_ -= e.size;
       if (e.in_stack) stack_remove(h);
+      resident_bytes_ -= e.size;
       --resident_count_;
       drop_entry(h);
       prune();
       return true;
     }
     queue_remove(h);
+    resident_bytes_ -= e.size;
     --resident_count_;
     if (e.in_stack) {
       e.resident = false;  // keep as ghost
@@ -145,12 +177,14 @@ class LirsPolicy final : public CachePolicy {
   }
   std::size_t size() const override { return resident_count_; }
   std::size_t capacity() const override { return capacity_; }
+  std::uint64_t used_bytes() const override { return resident_bytes_; }
   const char* name() const override { return "LIRS"; }
 
  private:
   enum class Status : std::uint8_t { kLir, kHir };
   struct Node {
     BlockId block = 0;
+    SizeUnits size = 1;
     SlabHandle s_prev = kNullHandle;
     SlabHandle s_next = kNullHandle;
     SlabHandle q_prev = kNullHandle;
@@ -221,32 +255,36 @@ class LirsPolicy final : public CachePolicy {
     }
   }
 
-  // If LIR overflows its target size, demote the stack-bottom LIR block to
-  // resident HIR (tail of Q) and prune.
-  void demote_lir_excess() {
-    while (lir_count_ > lir_capacity_) {
-      prune();
-      ULC_ENSURE(!stack_.empty(), "LIR overflow with empty stack");
-      const SlabHandle bottom = stack_.back();
-      Node& e = slab_[bottom];
-      ULC_ENSURE(e.status == Status::kLir, "pruned stack bottom must be LIR");
-      stack_.erase(bottom);
-      e.in_stack = false;
-      e.status = Status::kHir;
-      --lir_count_;
-      queue_move_tail(bottom);
-      prune();
-    }
+  // Demote the stack-bottom LIR block to resident HIR (tail of Q) and prune.
+  void demote_lir_bottom() {
+    prune();
+    ULC_ENSURE(!stack_.empty(), "LIR demotion with empty stack");
+    const SlabHandle bottom = stack_.back();
+    Node& e = slab_[bottom];
+    ULC_ENSURE(e.status == Status::kLir, "pruned stack bottom must be LIR");
+    stack_.erase(bottom);
+    e.in_stack = false;
+    e.status = Status::kHir;
+    --lir_count_;
+    lir_bytes_ -= e.size;
+    queue_move_tail(bottom);
+    prune();
   }
 
-  EvictResult evict_one() {
+  // If LIR overflows its byte target, demote stack-bottom LIR blocks.
+  void demote_lir_excess() {
+    while (lir_bytes_ > lir_capacity_) demote_lir_bottom();
+  }
+
+  void evict_one(EvictResult& ev) {
     ULC_ENSURE(!queue_.empty(), "LIRS eviction with empty HIR queue");
     const SlabHandle vh = queue_.front();
     Node& e = slab_[vh];
-    const BlockId victim = e.block;
+    ev.add(e.block);
     queue_.erase(vh);
     e.in_queue = false;
     e.resident = false;
+    resident_bytes_ -= e.size;
     --resident_count_;
     if (e.in_stack) {
       ++ghost_count_;
@@ -254,14 +292,13 @@ class LirsPolicy final : public CachePolicy {
     } else {
       drop_entry(vh);
     }
-    return EvictResult{true, victim};
   }
 
   void trim_ghosts() {
-    // Bound metadata: forget the oldest (bottom-most) ghosts.
-    if (ghost_count_ <= kGhostFactor * capacity_) return;
+    // Bound metadata: ghosts hold identities, not data — a count bound.
+    if (ghost_count_ <= kGhostFactor * capacity_) return;  // ulc-lint: allow(count-capacity)
     SlabHandle it = stack_.back();
-    while (ghost_count_ > kGhostFactor * capacity_ && it != kNullHandle &&
+    while (ghost_count_ > kGhostFactor * capacity_ && it != kNullHandle &&  // ulc-lint: allow(count-capacity)
            it != stack_.front()) {
       const SlabHandle prev = stack_.prev(it);
       Node& e = slab_[it];
@@ -274,11 +311,13 @@ class LirsPolicy final : public CachePolicy {
     }
   }
 
-  std::size_t capacity_;
+  std::size_t capacity_;       // byte budget, in SizeUnits
   std::size_t hir_capacity_;
-  std::size_t lir_capacity_;
+  std::size_t lir_capacity_;   // byte budget for the LIR set
   std::size_t lir_count_ = 0;
+  std::uint64_t lir_bytes_ = 0;
   std::size_t resident_count_ = 0;
+  std::uint64_t resident_bytes_ = 0;
   std::size_t ghost_count_ = 0;
   Slab<Node> slab_;
   SlabList<Node, &Node::s_prev, &Node::s_next> stack_{&slab_};  // front = MRU

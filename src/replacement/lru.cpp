@@ -5,6 +5,7 @@
 // index sized to capacity at construction, so the steady-state access path
 // performs no allocation and no rehash.
 #include "replacement/cache_policy.h"
+#include "util/byte_budget.h"
 #include "util/ensure.h"
 #include "util/flat_hash.h"
 #include "util/slab.h"
@@ -15,7 +16,7 @@ namespace {
 
 class LruPolicy final : public CachePolicy {
  public:
-  explicit LruPolicy(std::size_t capacity) : capacity_(capacity) {
+  explicit LruPolicy(std::size_t capacity) : capacity_(capacity), budget_(capacity) {
     ULC_REQUIRE(capacity > 0, "LRU capacity must be positive");
     index_.reserve(capacity_ + 1);
     slab_.reserve(capacity_ + 1);
@@ -28,19 +29,25 @@ class LruPolicy final : public CachePolicy {
     return true;
   }
 
-  EvictResult insert(BlockId block, const AccessContext&) override {
+  EvictResult insert(BlockId block, const AccessContext& ctx) override {
     ULC_REQUIRE(!index_.contains(block), "insert of present block");
     EvictResult ev;
-    if (list_.size() >= capacity_) {
+    if (!budget_.can_ever_fit(ctx.size)) {
+      ev.admitted = false;  // larger than the whole budget: never cacheable
+      return ev;
+    }
+    while (budget_.needs_eviction(ctx.size) && !list_.empty()) {
       const SlabHandle victim = list_.back();
-      ev.evicted = true;
-      ev.victim = slab_[victim].block;
-      index_.erase(ev.victim);
+      ev.add(slab_[victim].block);
+      budget_.release(slab_[victim].size);
+      index_.erase(slab_[victim].block);
       list_.erase(victim);
       slab_.free(victim);
     }
     const SlabHandle h = slab_.alloc();
     slab_[h].block = block;
+    slab_[h].size = ctx.size;
+    budget_.charge(ctx.size);
     list_.push_front(h);
     index_.insert_new(block, h);
     return ev;
@@ -49,6 +56,7 @@ class LruPolicy final : public CachePolicy {
   bool erase(BlockId block) override {
     const SlabHandle* h = index_.find(block);
     if (h == nullptr) return false;
+    budget_.release(slab_[*h].size);
     list_.erase(*h);
     slab_.free(*h);
     index_.erase(block);
@@ -58,16 +66,19 @@ class LruPolicy final : public CachePolicy {
   bool contains(BlockId block) const override { return index_.contains(block); }
   std::size_t size() const override { return list_.size(); }
   std::size_t capacity() const override { return capacity_; }
+  std::uint64_t used_bytes() const override { return budget_.used(); }
   const char* name() const override { return "LRU"; }
 
  private:
   struct Node {
     BlockId block = 0;
+    SizeUnits size = 1;
     SlabHandle prev = kNullHandle;
     SlabHandle next = kNullHandle;
   };
 
   std::size_t capacity_;
+  ByteBudget budget_;
   Slab<Node> slab_;
   SlabList<Node> list_{&slab_};  // front = MRU
   FlatMap<BlockId, SlabHandle> index_;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "replacement/cache_policy.h"
+#include "util/byte_budget.h"
 #include "util/ensure.h"
 #include "util/flat_hash.h"
 #include "util/slab.h"
@@ -28,6 +29,7 @@ class MqPolicy final : public CachePolicy {
  public:
   explicit MqPolicy(const MqConfig& cfg)
       : capacity_(cfg.capacity),
+        budget_(cfg.capacity),
         life_time_(cfg.life_time ? cfg.life_time : 4 * cfg.capacity),
         ghost_capacity_(cfg.ghost_capacity ? cfg.ghost_capacity : 4 * cfg.capacity),
         queues_(cfg.queue_count, SlabList<Node>(&slab_)),
@@ -54,11 +56,15 @@ class MqPolicy final : public CachePolicy {
     return true;
   }
 
-  EvictResult insert(BlockId block, const AccessContext&) override {
+  EvictResult insert(BlockId block, const AccessContext& ctx) override {
     ULC_REQUIRE(!index_.contains(block), "insert of present block");
     EvictResult ev;
-    if (index_.size() >= capacity_) {
-      ev = evict_one();
+    if (!budget_.can_ever_fit(ctx.size)) {
+      ev.admitted = false;
+      return ev;
+    }
+    while (budget_.needs_eviction(ctx.size) && !index_.empty()) {
+      evict_one(ev);
     }
     std::uint64_t freq = 1;
     const SlabHandle* gh = ghost_index_.find(block);
@@ -71,10 +77,12 @@ class MqPolicy final : public CachePolicy {
     const SlabHandle h = slab_.alloc();
     Node& e = slab_[h];
     e.block = block;
+    e.size = ctx.size;
     e.frequency = freq;
     e.queue = queue_for(freq);
     e.expire = now_ + life_time_;
     queues_[e.queue].push_back(h);
+    budget_.charge(ctx.size);
     index_.insert_new(block, h);
     return ev;
   }
@@ -82,6 +90,7 @@ class MqPolicy final : public CachePolicy {
   bool erase(BlockId block) override {
     const SlabHandle* h = index_.find(block);
     if (h == nullptr) return false;
+    budget_.release(slab_[*h].size);
     queues_[slab_[*h].queue].erase(*h);
     slab_.free(*h);
     index_.erase(block);
@@ -91,11 +100,13 @@ class MqPolicy final : public CachePolicy {
   bool contains(BlockId block) const override { return index_.contains(block); }
   std::size_t size() const override { return index_.size(); }
   std::size_t capacity() const override { return capacity_; }
+  std::uint64_t used_bytes() const override { return budget_.used(); }
   const char* name() const override { return "MQ"; }
 
  private:
   struct Node {
     BlockId block = 0;
+    SizeUnits size = 1;
     std::uint64_t frequency = 0;
     std::uint64_t expire = 0;
     std::size_t queue = 0;
@@ -133,34 +144,37 @@ class MqPolicy final : public CachePolicy {
     }
   }
 
-  EvictResult evict_one() {
+  void evict_one(EvictResult& ev) {
     for (auto& queue : queues_) {
       if (queue.empty()) continue;
       const SlabHandle vh = queue.front();
       const BlockId victim = slab_[vh].block;
       const std::uint64_t freq = slab_[vh].frequency;
+      budget_.release(slab_[vh].size);
       queue.erase(vh);
       slab_.free(vh);
       index_.erase(victim);
-      // Remember the victim's frequency in the ghost directory.
+      // Remember the victim's frequency in the ghost directory. Ghosts hold
+      // identities, not data: a count bound is the measure.
       const SlabHandle gh = ghost_slab_.alloc();
       ghost_slab_[gh].block = victim;
       ghost_slab_[gh].frequency = freq;
       ghost_lru_.push_back(gh);
       ghost_index_.insert_new(victim, gh);
-      if (ghost_lru_.size() > ghost_capacity_) {
+      if (ghost_lru_.size() > ghost_capacity_) {  // ulc-lint: allow(count-capacity)
         const SlabHandle oldest = ghost_lru_.front();
         ghost_index_.erase(ghost_slab_[oldest].block);
         ghost_lru_.erase(oldest);
         ghost_slab_.free(oldest);
       }
-      return EvictResult{true, victim};
+      ev.add(victim);
+      return;
     }
     ULC_ENSURE(false, "evict_one called on an empty cache");
-    return EvictResult{};
   }
 
   std::size_t capacity_;
+  ByteBudget budget_;
   std::uint64_t life_time_;
   std::size_t ghost_capacity_;
   std::uint64_t now_ = 0;

@@ -7,6 +7,7 @@
 
 #include "measures/next_use.h"
 #include "replacement/cache_policy.h"
+#include "util/byte_budget.h"
 #include "util/ensure.h"
 
 namespace ulc {
@@ -15,16 +16,16 @@ namespace {
 
 class OptPolicy final : public CachePolicy {
  public:
-  explicit OptPolicy(std::size_t capacity) : capacity_(capacity) {
+  explicit OptPolicy(std::size_t capacity) : capacity_(capacity), budget_(capacity) {
     ULC_REQUIRE(capacity > 0, "OPT capacity must be positive");
   }
 
   bool touch(BlockId block, const AccessContext& ctx) override {
     auto it = index_.find(block);
     if (it == index_.end()) return false;
-    queue_.erase({it->second, block});
-    it->second = effective_next(ctx);
-    queue_.insert({it->second, block});
+    queue_.erase({it->second.next_use, block});
+    it->second.next_use = effective_next(ctx);
+    queue_.insert({it->second.next_use, block});
     return true;
   }
 
@@ -32,18 +33,30 @@ class OptPolicy final : public CachePolicy {
     ULC_REQUIRE(index_.find(block) == index_.end(), "insert of present block");
     EvictResult ev;
     const std::uint64_t nu = effective_next(ctx);
-    if (index_.size() >= capacity_) {
+    if (!budget_.can_ever_fit(ctx.size)) {
+      ev.admitted = false;
+      return ev;
+    }
+    // Sized blocks make true offline optimality a knapsack problem; this
+    // stays the farthest-next-use greedy, which coincides with Belady at
+    // unit size and remains an aggressive (if no longer provably optimal)
+    // clairvoyant reference for sized traces.
+    while (budget_.needs_eviction(ctx.size) && !queue_.empty()) {
       const auto victim = *queue_.rbegin();
       // Bypass: caching a block whose next use is farther than every
       // resident's cannot help (file caches may decline to cache — the same
       // freedom ULC's L_out status uses).
-      if (nu >= victim.first) return ev;
-      ev.evicted = true;
-      ev.victim = victim.second;
+      if (nu >= victim.first) {
+        ev.admitted = false;
+        return ev;
+      }
+      ev.add(victim.second);
+      budget_.release(index_.at(victim.second).size);
       queue_.erase(victim);
       index_.erase(victim.second);
     }
-    index_[block] = nu;
+    index_[block] = Resident{nu, ctx.size};
+    budget_.charge(ctx.size);
     queue_.insert({nu, block});
     return ev;
   }
@@ -51,7 +64,8 @@ class OptPolicy final : public CachePolicy {
   bool erase(BlockId block) override {
     auto it = index_.find(block);
     if (it == index_.end()) return false;
-    queue_.erase({it->second, block});
+    queue_.erase({it->second.next_use, block});
+    budget_.release(it->second.size);
     index_.erase(it);
     return true;
   }
@@ -59,9 +73,15 @@ class OptPolicy final : public CachePolicy {
   bool contains(BlockId block) const override { return index_.count(block) != 0; }
   std::size_t size() const override { return index_.size(); }
   std::size_t capacity() const override { return capacity_; }
+  std::uint64_t used_bytes() const override { return budget_.used(); }
   const char* name() const override { return "OPT"; }
 
  private:
+  struct Resident {
+    std::uint64_t next_use = 0;
+    SizeUnits size = 1;
+  };
+
   static std::uint64_t effective_next(const AccessContext& ctx) {
     // kNever sorts after every finite next use, so never-again blocks are
     // the first eviction candidates.
@@ -69,8 +89,9 @@ class OptPolicy final : public CachePolicy {
   }
 
   std::size_t capacity_;
+  ByteBudget budget_;
   // Offline oracle, not a hot path.
-  std::unordered_map<BlockId, std::uint64_t> index_;  // ulc-lint: allow(hot-container)
+  std::unordered_map<BlockId, Resident> index_;  // ulc-lint: allow(hot-container)
   std::set<std::pair<std::uint64_t, BlockId>> queue_;
 };
 

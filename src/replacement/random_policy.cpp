@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "replacement/cache_policy.h"
+#include "util/byte_budget.h"
 #include "util/ensure.h"
 #include "util/flat_hash.h"
 #include "util/prng.h"
@@ -15,9 +16,10 @@ namespace {
 class RandomPolicy final : public CachePolicy {
  public:
   RandomPolicy(std::size_t capacity, std::uint64_t seed)
-      : capacity_(capacity), rng_(seed) {
+      : capacity_(capacity), budget_(capacity), rng_(seed) {
     ULC_REQUIRE(capacity > 0, "RANDOM capacity must be positive");
     slots_.reserve(capacity);
+    sizes_.reserve(capacity);
     index_.reserve(capacity + 1);
   }
 
@@ -25,21 +27,35 @@ class RandomPolicy final : public CachePolicy {
     return index_.contains(block);
   }
 
-  EvictResult insert(BlockId block, const AccessContext&) override {
+  EvictResult insert(BlockId block, const AccessContext& ctx) override {
     ULC_REQUIRE(!index_.contains(block), "insert of present block");
     EvictResult ev;
-    if (slots_.size() >= capacity_) {
+    if (!budget_.can_ever_fit(ctx.size)) {
+      ev.admitted = false;
+      return ev;
+    }
+    while (budget_.needs_eviction(ctx.size) && !slots_.empty()) {
       const std::size_t victim_slot =
           static_cast<std::size_t>(rng_.next_below(slots_.size()));
-      ev.evicted = true;
-      ev.victim = slots_[victim_slot];
-      index_.erase(ev.victim);
-      slots_[victim_slot] = block;
-      index_.insert_new(block, victim_slot);
-      return ev;
+      ev.add(slots_[victim_slot]);
+      budget_.release(sizes_[victim_slot]);
+      index_.erase(slots_[victim_slot]);
+      if (budget_.fits(ctx.size)) {
+        // Last victim needed: the newcomer takes its slot in place, which on
+        // unit-size traces reproduces the original single-replacement
+        // behaviour (and RNG stream) exactly.
+        slots_[victim_slot] = block;
+        sizes_[victim_slot] = ctx.size;
+        budget_.charge(ctx.size);
+        index_.insert_new(block, victim_slot);
+        return ev;
+      }
+      remove_slot(victim_slot);
     }
     index_.insert_new(block, slots_.size());
     slots_.push_back(block);
+    sizes_.push_back(ctx.size);
+    budget_.charge(ctx.size);
     return ev;
   }
 
@@ -48,23 +64,34 @@ class RandomPolicy final : public CachePolicy {
     if (found == nullptr) return false;
     const std::size_t slot = *found;  // copy before mutating the map
     index_.erase(block);
-    if (slot + 1 != slots_.size()) {
-      slots_[slot] = slots_.back();
-      index_.put(slots_[slot], slot);
-    }
-    slots_.pop_back();
+    budget_.release(sizes_[slot]);
+    remove_slot(slot);
     return true;
   }
 
   bool contains(BlockId block) const override { return index_.contains(block); }
   std::size_t size() const override { return slots_.size(); }
   std::size_t capacity() const override { return capacity_; }
+  std::uint64_t used_bytes() const override { return budget_.used(); }
   const char* name() const override { return "RANDOM"; }
 
  private:
+  // Swap-removes slot (the budget/index entries must already be gone).
+  void remove_slot(std::size_t slot) {
+    if (slot + 1 != slots_.size()) {
+      slots_[slot] = slots_.back();
+      sizes_[slot] = sizes_.back();
+      index_.put(slots_[slot], slot);
+    }
+    slots_.pop_back();
+    sizes_.pop_back();
+  }
+
   std::size_t capacity_;
+  ByteBudget budget_;
   Rng rng_;
   std::vector<BlockId> slots_;
+  std::vector<SizeUnits> sizes_;  // parallel to slots_
   FlatMap<BlockId, std::size_t> index_;
 };
 

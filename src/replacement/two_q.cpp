@@ -10,6 +10,7 @@
 // `where` tag; Am/A1in/A1out are three intrusive lists over the same slab,
 // and a node sits on exactly one of them at a time (util/slab.h).
 #include "replacement/cache_policy.h"
+#include "util/byte_budget.h"
 #include "util/ensure.h"
 #include "util/flat_hash.h"
 #include "util/slab.h"
@@ -20,7 +21,8 @@ namespace {
 
 class TwoQPolicy final : public CachePolicy {
  public:
-  explicit TwoQPolicy(const TwoQConfig& cfg) : capacity_(cfg.capacity) {
+  explicit TwoQPolicy(const TwoQConfig& cfg)
+      : capacity_(cfg.capacity), budget_(cfg.capacity) {
     ULC_REQUIRE(cfg.capacity >= 2, "2Q needs capacity >= 2");
     kin_ = static_cast<std::size_t>(static_cast<double>(capacity_) * cfg.kin_fraction);
     if (kin_ < 1) kin_ = 1;
@@ -48,8 +50,12 @@ class TwoQPolicy final : public CachePolicy {
     return false;
   }
 
-  EvictResult insert(BlockId block, const AccessContext&) override {
+  EvictResult insert(BlockId block, const AccessContext& ctx) override {
     EvictResult ev;
+    if (!budget_.can_ever_fit(ctx.size)) {
+      ev.admitted = false;
+      return ev;
+    }
     const SlabHandle* h = index_.find(block);
     if (h != nullptr && slab_[*h].where == Where::kA1out) {
       // Re-reference after FIFO eviction: this block has real reuse; promote
@@ -58,13 +64,13 @@ class TwoQPolicy final : public CachePolicy {
       a1out_.erase(gh);
       slab_.free(gh);
       index_.erase(block);
-      ev = reclaim_for(block);
-      push_node(block, Where::kAm);
+      reclaim_for(ctx.size, ev);
+      push_node(block, Where::kAm, ctx.size);
       return ev;
     }
     ULC_REQUIRE(h == nullptr, "insert of resident block");
-    ev = reclaim_for(block);
-    push_node(block, Where::kA1in);
+    reclaim_for(ctx.size, ev);
+    push_node(block, Where::kA1in, ctx.size);
     return ev;
   }
 
@@ -72,9 +78,11 @@ class TwoQPolicy final : public CachePolicy {
     const SlabHandle* h = index_.find(block);
     if (h == nullptr || slab_[*h].where == Where::kA1out) return false;
     const SlabHandle nh = *h;
+    budget_.release(slab_[nh].size);
     if (slab_[nh].where == Where::kAm) {
       am_.erase(nh);
     } else {
+      a1in_bytes_ -= slab_[nh].size;
       a1in_.erase(nh);
     }
     slab_.free(nh);
@@ -88,67 +96,80 @@ class TwoQPolicy final : public CachePolicy {
   }
   std::size_t size() const override { return am_.size() + a1in_.size(); }
   std::size_t capacity() const override { return capacity_; }
+  std::uint64_t used_bytes() const override { return budget_.used(); }
   const char* name() const override { return "2Q"; }
 
  private:
   enum class Where : std::uint8_t { kAm, kA1in, kA1out };
   struct Node {
     BlockId block = 0;
+    SizeUnits size = 1;
     SlabHandle prev = kNullHandle;
     SlabHandle next = kNullHandle;
     Where where = Where::kAm;
   };
 
-  void push_node(BlockId block, Where where) {
+  void push_node(BlockId block, Where where, SizeUnits size) {
     const SlabHandle h = slab_.alloc();
     Node& n = slab_[h];
     n.block = block;
+    n.size = size;
     n.where = where;
     switch (where) {
       case Where::kAm:
+        budget_.charge(size);
         am_.push_front(h);
         break;
       case Where::kA1in:
+        budget_.charge(size);
+        a1in_bytes_ += size;
         a1in_.push_front(h);
         break;
       case Where::kA1out:
+        // Ghost: identity only, no budget charge.
         a1out_.push_front(h);
         break;
     }
     index_.insert_new(block, h);
   }
 
-  // Frees one slot if the cache is full (the 2Q "reclaimfor" procedure).
-  EvictResult reclaim_for(BlockId) {
-    EvictResult ev;
-    if (size() < capacity_) return ev;
-    if (a1in_.size() > kin_ || am_.empty()) {
-      // Page out the A1in FIFO tail; remember its identity in A1out.
-      const SlabHandle vh = a1in_.back();
-      const BlockId victim = slab_[vh].block;
-      a1in_.erase(vh);
-      slab_.free(vh);
-      index_.erase(victim);
-      ev = EvictResult{true, victim};
-      push_node(victim, Where::kA1out);
-      if (a1out_.size() > kout_) {
-        const SlabHandle gh = a1out_.back();
-        index_.erase(slab_[gh].block);
-        a1out_.erase(gh);
-        slab_.free(gh);
+  // Frees room for an incoming `size`-unit block (the 2Q "reclaimfor"
+  // procedure, looped until the newcomer fits).
+  void reclaim_for(SizeUnits size, EvictResult& ev) {
+    while (budget_.needs_eviction(size) && !(a1in_.empty() && am_.empty())) {
+      if ((a1in_bytes_ > kin_ || am_.empty()) && !a1in_.empty()) {
+        // Page out the A1in FIFO tail; remember its identity in A1out.
+        const SlabHandle vh = a1in_.back();
+        const BlockId victim = slab_[vh].block;
+        budget_.release(slab_[vh].size);
+        a1in_bytes_ -= slab_[vh].size;
+        a1in_.erase(vh);
+        slab_.free(vh);
+        index_.erase(victim);
+        ev.add(victim);
+        push_node(victim, Where::kA1out, 1);
+        // Ghosts hold identities, not data: a count bound is the measure.
+        if (a1out_.size() > kout_) {  // ulc-lint: allow(count-capacity)
+          const SlabHandle gh = a1out_.back();
+          index_.erase(slab_[gh].block);
+          a1out_.erase(gh);
+          slab_.free(gh);
+        }
+      } else {
+        const SlabHandle vh = am_.back();
+        const BlockId victim = slab_[vh].block;
+        budget_.release(slab_[vh].size);
+        am_.erase(vh);
+        slab_.free(vh);
+        index_.erase(victim);
+        ev.add(victim);
       }
-    } else {
-      const SlabHandle vh = am_.back();
-      const BlockId victim = slab_[vh].block;
-      am_.erase(vh);
-      slab_.free(vh);
-      index_.erase(victim);
-      ev = EvictResult{true, victim};
     }
-    return ev;
   }
 
   std::size_t capacity_;
+  ByteBudget budget_;     // Am + A1in residents
+  std::uint64_t a1in_bytes_ = 0;
   std::size_t kin_;
   std::size_t kout_;
   Slab<Node> slab_;

@@ -1,0 +1,62 @@
+#include "trace/size_table.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/ensure.h"
+
+namespace ulc {
+
+void SizeTable::set(BlockId block, SizeUnits size) {
+  ULC_REQUIRE(size >= 1, "block size must be at least one unit");
+  sizes_.put(block, size);
+}
+
+namespace {
+
+// Uniform double in [0, 1) from a seeded hash of the block id. Keyed to the
+// id (not a stream position) so a block's size never depends on how many
+// other blocks were assigned before it.
+double unit_from_id(BlockId block, std::uint64_t seed) {
+  const std::uint64_t h = splitmix64_mix(block ^ splitmix64_mix(seed));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+SizeTable assign_bimodal_sizes(BlockId base, std::uint64_t n_blocks,
+                               SizeUnits small, SizeUnits large,
+                               double large_fraction, std::uint64_t seed) {
+  ULC_REQUIRE(small >= 1 && large >= 1, "sizes must be at least one unit");
+  SizeTable table;
+  for (std::uint64_t i = 0; i < n_blocks; ++i) {
+    const BlockId b = base + i;
+    const bool is_large = unit_from_id(b, seed) < large_fraction;
+    table.set(b, is_large ? large : small);
+  }
+  return table;
+}
+
+SizeTable assign_heavy_tail_sizes(BlockId base, std::uint64_t n_blocks,
+                                  double alpha, SizeUnits max_size,
+                                  std::uint64_t seed) {
+  ULC_REQUIRE(alpha > 0.0, "heavy-tail shape must be positive");
+  ULC_REQUIRE(max_size >= 1, "max size must be at least one unit");
+  SizeTable table;
+  for (std::uint64_t i = 0; i < n_blocks; ++i) {
+    const BlockId b = base + i;
+    // u is bounded away from 0 so u^{-1/alpha} stays finite.
+    const double u = std::max(unit_from_id(b, seed), 1e-12);
+    const double raw = std::floor(std::pow(u, -1.0 / alpha) - 1.0);
+    const double capped =
+        std::min(raw, static_cast<double>(max_size - 1));
+    table.set(b, static_cast<SizeUnits>(1.0 + std::max(capped, 0.0)));
+  }
+  return table;
+}
+
+void stamp_sizes(Trace& trace, const SizeTable& table) {
+  for (Request& r : trace.mutable_requests()) r.size = table.size_of(r.block);
+}
+
+}  // namespace ulc

@@ -1,0 +1,64 @@
+// Per-block size assignment for sized-trace experiments.
+//
+// Block sizes live beside the trace, not inside the simulator structures: a
+// SizeTable maps block ids to sizes in SizeUnits (default 1), generators
+// stamp those sizes onto the requests they emit, and every downstream
+// consumer reads Request::size only. Unit size therefore stays the
+// zero-overhead default — a trace that never touches a SizeTable is
+// bit-identical to the pre-size-aware simulator.
+//
+// The assigners are deterministic given their seed and keyed to the block
+// id, so the same block always gets the same size regardless of reference
+// order (the accounting in the cache cores assumes a block's size is stable
+// while it is resident).
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace.h"
+#include "util/flat_hash.h"
+
+namespace ulc {
+
+class SizeTable {
+ public:
+  SizeTable() = default;
+
+  // Size of `block`; 1 when the block has no explicit entry.
+  SizeUnits size_of(BlockId block) const {
+    const SizeUnits* s = sizes_.find(block);
+    return s == nullptr ? 1 : *s;
+  }
+
+  // Records an explicit size (overwrites any previous entry).
+  void set(BlockId block, SizeUnits size);
+
+  std::size_t entries() const { return sizes_.size(); }
+  bool empty() const { return sizes_.size() == 0; }
+
+ private:
+  FlatMap<BlockId, SizeUnits> sizes_;
+};
+
+// Deterministic per-block size distributions over [0, n_blocks) block ids
+// offset by `base`. Each returns the table it filled.
+
+// Every block `small` units except a `large_fraction` of blocks (chosen by a
+// seeded hash of the id) at `large` units — the CDN "manifest vs segment"
+// shape.
+SizeTable assign_bimodal_sizes(BlockId base, std::uint64_t n_blocks,
+                               SizeUnits small, SizeUnits large,
+                               double large_fraction, std::uint64_t seed);
+
+// Bounded Pareto-like tail: size = min(max_size, 1 + floor(scale *
+// (u^{-1/alpha} - 1))) with u drawn from a seeded hash of the id. Most
+// blocks stay small; a heavy tail of blocks is much larger.
+SizeTable assign_heavy_tail_sizes(BlockId base, std::uint64_t n_blocks,
+                                  double alpha, SizeUnits max_size,
+                                  std::uint64_t seed);
+
+// Rewrites every request's size from the table (blocks absent from the
+// table get size 1).
+void stamp_sizes(Trace& trace, const SizeTable& table);
+
+}  // namespace ulc

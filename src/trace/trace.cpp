@@ -11,7 +11,7 @@ namespace ulc {
 Trace Trace::filter_client(ClientId client) const {
   Trace out(name_ + "/client" + std::to_string(client));
   for (const Request& r : requests_) {
-    if (r.client == client) out.add(r.block, 0, r.op);
+    if (r.client == client) out.add(r.block, 0, r.op, r.size);
   }
   return out;
 }
@@ -34,7 +34,11 @@ TraceStats compute_stats(const Trace& trace) {
   for (const Request& r : trace) {
     stats.max_block = std::max(stats.max_block, r.block);
     clients.insert(r.client);
+    stats.referenced_units += r.size;
+    stats.max_size = std::max(stats.max_size, r.size);
+    if (r.size != 1) stats.sized = true;
     auto [it, inserted] = first_client.emplace(r.block, r.client);
+    if (inserted) stats.footprint_units += r.size;
     if (!inserted && it->second != r.client) shared.insert(r.block);
   }
   stats.unique_blocks = first_client.size();

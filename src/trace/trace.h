@@ -15,8 +15,9 @@ class Trace {
   explicit Trace(std::string name) : name_(std::move(name)) {}
 
   void reserve(std::size_t n) { requests_.reserve(n); }
-  void add(BlockId block, ClientId client = 0, Op op = Op::kRead) {
-    requests_.push_back({block, client, op});
+  void add(BlockId block, ClientId client = 0, Op op = Op::kRead,
+           SizeUnits size = 1) {
+    requests_.push_back({block, client, op, size});
   }
   void add(const Request& r) { requests_.push_back(r); }
 
@@ -27,6 +28,8 @@ class Trace {
   bool empty() const { return requests_.empty(); }
   const Request& operator[](std::size_t i) const { return requests_[i]; }
   const std::vector<Request>& requests() const { return requests_; }
+  // In-place rewrites (size stamping); ordinary consumers use the const view.
+  std::vector<Request>& mutable_requests() { return requests_; }
 
   auto begin() const { return requests_.begin(); }
   auto end() const { return requests_.end(); }
@@ -52,6 +55,12 @@ struct TraceStats {
   // Number of blocks referenced by more than one client (sharing degree).
   std::size_t shared_blocks = 0;
   std::size_t writes = 0;
+  // Byte-accounted twins (sizes in SizeUnits). On a unit-size trace
+  // referenced_units == references and footprint_units == unique_blocks.
+  std::uint64_t referenced_units = 0;  // sum of request sizes
+  std::uint64_t footprint_units = 0;   // sum of distinct-block sizes
+  SizeUnits max_size = 0;              // largest request size seen (0 if empty)
+  bool sized = false;                  // any request.size != 1
 };
 
 TraceStats compute_stats(const Trace& trace);

@@ -18,11 +18,19 @@ using ClientId = std::uint32_t;
 // of being discarded.
 enum class Op : std::uint8_t { kRead = 0, kWrite = 1 };
 
+// Size of a block in abstract size units. The paper's evaluation is
+// unit-size (every block one buffer); size 1 remains the default so the
+// original experiments are unchanged, while sized traces (CDN segments,
+// file-server extents) carry per-block footprints that every capacity
+// account in the stack charges in these units.
+using SizeUnits = std::uint32_t;
+
 // One block reference.
 struct Request {
   BlockId block = 0;
   ClientId client = 0;
   Op op = Op::kRead;
+  SizeUnits size = 1;
 
   friend bool operator==(const Request&, const Request&) = default;
 };

@@ -12,8 +12,11 @@ GlruServer::GlruServer(std::size_t capacity) : capacity_(capacity) {
   slab_.reserve(capacity_ + 1);
 }
 
-GlruServer::PlaceResult GlruServer::place(BlockId block, ClientId owner) {
+GlruServer::PlaceResult GlruServer::place(BlockId block, ClientId owner,
+                                          SizeUnits size) {
+  ULC_REQUIRE(size >= 1, "block size must be at least one unit");
   PlaceResult result;
+  result.more.clear();
   const SlabHandle* h = index_.find(block);
   if (h != nullptr) {
     // Shared block already cached: refresh recency, transfer ownership.
@@ -21,12 +24,22 @@ GlruServer::PlaceResult GlruServer::place(BlockId block, ClientId owner) {
     lru_.move_front(*h);
     return result;
   }
-  if (lru_.size() >= capacity_) {
+  if (size > capacity_) {
+    result.admitted = false;  // larger than the whole server budget
+    return result;
+  }
+  while (used_ + size > capacity_ && !lru_.empty()) {
     const SlabHandle vh = lru_.back();
     const Entry& victim = slab_[vh];
-    result.evicted = true;
-    result.victim = victim.block;
-    result.victim_owner = victim.owner;
+    if (!result.evicted) {
+      result.evicted = true;
+      result.victim = victim.block;
+      result.victim_owner = victim.owner;
+      result.victim_size = victim.size;
+    } else {
+      result.more.push_back(Victim{victim.block, victim.owner, victim.size});
+    }
+    used_ -= victim.size;
     index_.erase(victim.block);
     lru_.erase(vh);
     slab_.free(vh);
@@ -35,6 +48,8 @@ GlruServer::PlaceResult GlruServer::place(BlockId block, ClientId owner) {
   Entry& e = slab_[nh];
   e.block = block;
   e.owner = owner;
+  e.size = size;
+  used_ += size;
   lru_.push_front(nh);
   index_.insert_new(block, nh);
   return result;
@@ -52,6 +67,7 @@ bool GlruServer::take(BlockId block) {
   const SlabHandle* h = index_.find(block);
   if (h == nullptr) return false;
   const SlabHandle vh = *h;
+  used_ -= slab_[vh].size;
   index_.erase(block);
   lru_.erase(vh);
   slab_.free(vh);
@@ -84,16 +100,20 @@ std::size_t GlruServer::wipe(std::vector<BlockId>* dropped) {
   lru_.clear();
   index_.clear();
   index_.reserve(capacity_ + 1);
+  used_ = 0;
   return n;
 }
 
 bool GlruServer::check_consistency() const {
   if (index_.size() != lru_.size()) return false;
-  if (lru_.size() > capacity_) return false;
+  if (used_ > capacity_) return false;  // the byte-capacity law
   std::size_t walked = 0;
+  std::uint64_t bytes = 0;
   SlabHandle prev = kNullHandle;
   for (SlabHandle h = lru_.front(); h != kNullHandle; h = lru_.next(h)) {
     if (lru_.prev(h) != prev) return false;
+    if (slab_[h].size < 1) return false;
+    bytes += slab_[h].size;
     const SlabHandle* idx = index_.find(slab_[h].block);
     if (idx == nullptr || *idx != h) return false;
     prev = h;
@@ -101,6 +121,7 @@ bool GlruServer::check_consistency() const {
   }
   if (prev != lru_.back()) return false;
   if (walked != lru_.size()) return false;
+  if (bytes != used_) return false;
   return true;
 }
 

@@ -27,16 +27,40 @@ class GlruServer {
  public:
   explicit GlruServer(std::size_t capacity);
 
-  struct PlaceResult {
-    bool evicted = false;
-    BlockId victim = 0;
-    ClientId victim_owner = 0;
+  struct Victim {
+    BlockId block = 0;
+    ClientId owner = 0;
+    SizeUnits size = 1;  // the victim's footprint (migrations reuse it)
   };
 
-  // Client `owner` directs `block` to be cached here (a fresh placement or a
-  // Demote(b, 1, 2)). If the block is already cached — a shared block
-  // directed here by another client — its recency and owner are refreshed.
-  PlaceResult place(BlockId block, ClientId owner);
+  struct PlaceResult {
+    bool evicted = false;
+    BlockId victim = 0;        // first victim (the only one at unit size)
+    ClientId victim_owner = 0;
+    SizeUnits victim_size = 1;
+    // Victims after the first: a sized placement can replace several gLRU
+    // bottoms at once. Empty at unit size (no allocation on that path).
+    std::vector<Victim> more;
+    // false: the block is larger than the whole server budget and was not
+    // cached (nothing was evicted for it).
+    bool admitted = true;
+
+    std::size_t count() const {
+      return (evicted ? 1 : 0) + more.size();
+    }
+    template <typename Fn>
+    void for_each(Fn&& fn) const {
+      if (evicted) fn(Victim{victim, victim_owner, victim_size});
+      for (const Victim& v : more) fn(v);
+    }
+  };
+
+  // Client `owner` directs `block` of `size` units to be cached here (a
+  // fresh placement or a Demote(b, 1, 2)). If the block is already cached —
+  // a shared block directed here by another client — its recency and owner
+  // are refreshed (it keeps its original size). Otherwise gLRU bottoms are
+  // replaced until the newcomer's bytes fit.
+  PlaceResult place(BlockId block, ClientId owner, SizeUnits size = 1);
 
   // Retrieve(b, server, server): serve the block, keeping it cached;
   // refreshes gLRU recency and ownership. Returns false if absent.
@@ -52,8 +76,9 @@ class GlruServer {
   ClientId owner_of(BlockId block) const;
 
   std::size_t size() const { return lru_.size(); }
+  std::uint64_t used_bytes() const { return used_; }
   std::size_t capacity() const { return capacity_; }
-  bool full() const { return lru_.size() >= capacity_; }
+  bool full() const { return used_ >= capacity_; }
 
   // Number of blocks currently owned by `client`.
   std::size_t owned_by(ClientId client) const;
@@ -69,11 +94,13 @@ class GlruServer {
   struct Entry {
     BlockId block = 0;
     ClientId owner = 0;
+    SizeUnits size = 1;
     SlabHandle prev = kNullHandle;
     SlabHandle next = kNullHandle;
   };
 
-  std::size_t capacity_;
+  std::size_t capacity_;      // byte budget, in SizeUnits
+  std::uint64_t used_ = 0;    // resident bytes
   Slab<Entry> slab_;
   SlabList<Entry> lru_{&slab_};  // front = most recently directed
   FlatMap<BlockId, SlabHandle> index_;

@@ -31,23 +31,32 @@ UlcClient::UlcClient(const UlcConfig& config)
   // demotions crossing link i, so a single-level hierarchy has none and its
   // cascade only takes the kLevelOut discard path (which never indexes here).
   stats_.demotions.assign(capacities_.size() - 1, 0);
+  stats_.demoted_units.assign(capacities_.size() - 1, 0);
 }
 
-bool UlcClient::level_has_room(std::size_t level) const {
+bool UlcClient::level_has_room(std::size_t level, SizeUnits size) const {
   if (is_elastic(level)) return !elastic_full_[level];
-  return stack_.level_size(level) < capacities_[level];
+  return stack_.level_bytes(level) + size <= capacities_[level];
 }
 
-std::size_t UlcClient::first_level_with_room() const {
+std::size_t UlcClient::first_level_with_room(SizeUnits size) const {
   for (std::size_t i = 0; i < capacities_.size(); ++i) {
-    if (level_has_room(i)) return i;
+    if (level_has_room(i, size)) return i;
+  }
+  return kLevelOut;
+}
+
+std::size_t UlcClient::first_feasible_level(std::size_t from,
+                                            SizeUnits size) const {
+  for (std::size_t i = from; i < capacities_.size(); ++i) {
+    if (is_elastic(i) || size <= capacities_[i]) return i;
   }
   return kLevelOut;
 }
 
 bool UlcClient::level_overflowed(std::size_t level) const {
   if (is_elastic(level)) return false;  // the shared level's server decides
-  return stack_.level_size(level) > capacities_[level];
+  return stack_.level_bytes(level) > capacities_[level];
 }
 
 void UlcClient::set_elastic_full(bool full) {
@@ -75,30 +84,41 @@ void UlcClient::run_demotion_cascade(std::size_t start_level) {
   // once to its final destination; if that destination is "out", it is
   // simply discarded at its original level with no transfer at all.
   UniLruStack::Node* inflight = nullptr;
+  std::size_t inflight_cmd = 0;  // index of inflight's DemoteCmd
   for (std::size_t k = start_level; k < capacities_.size(); ++k) {
     if (!level_overflowed(k)) break;
-    UniLruStack::Node* victim = stack_.yard(k);
-    ULC_ENSURE(victim != nullptr, "overflowing level must have a yardstick");
-    stack_.yardstick_departure(victim);
-    const std::size_t next = (k + 1 < capacities_.size()) ? k + 1 : kLevelOut;
-    stack_.set_level(victim, next);
-    if (victim == inflight) {
-      out_.demotions.back().to = next;  // extend the in-flight demotion
-    } else {
-      out_.demotions.push_back(DemoteCmd{victim->block, k, next});
+    // A sized placement can overflow a level by more than one block's worth,
+    // so each level demotes yardsticks until its byte budget holds again (at
+    // unit size: at most one victim per level, the classic cascade).
+    while (level_overflowed(k)) {
+      UniLruStack::Node* victim = stack_.yard(k);
+      ULC_ENSURE(victim != nullptr, "overflowing level must have a yardstick");
+      stack_.yardstick_departure(victim);
+      const std::size_t next = (k + 1 < capacities_.size()) ? k + 1 : kLevelOut;
+      stack_.set_level(victim, next);
+      if (victim == inflight) {
+        out_.demotions[inflight_cmd].to = next;  // extend the in-flight demotion
+      } else {
+        out_.demotions.push_back(DemoteCmd{victim->block, k, next, victim->size});
+        inflight_cmd = out_.demotions.size() - 1;
+      }
+      inflight = (next == kLevelOut) ? nullptr : victim;
+      if (next == kLevelOut) ++stats_.evictions;
     }
-    inflight = (next == kLevelOut) ? nullptr : victim;
-    if (next == kLevelOut) ++stats_.evictions;
   }
   // Account block transfers: a demote from f to t crosses links f..t-1; a
   // demote to "out" is a local discard (no transfer).
   for (const DemoteCmd& d : out_.demotions) {
     if (d.to == kLevelOut) continue;
-    for (std::size_t k = d.from; k < d.to; ++k) ++stats_.demotions[k];
+    for (std::size_t k = d.from; k < d.to; ++k) {
+      ++stats_.demotions[k];
+      stats_.demoted_units[k] += d.size;
+    }
   }
 }
 
-const UlcAccess& UlcClient::access(BlockId block) {
+const UlcAccess& UlcClient::access(BlockId block, SizeUnits size) {
+  ULC_REQUIRE(size >= 1, "block size must be at least one unit");
   ++stats_.references;
   out_.hit_level = kLevelOut;
   out_.temp_hit = false;
@@ -118,13 +138,14 @@ const UlcAccess& UlcClient::access(BlockId block) {
 
   UniLruStack::Node* n = stack_.find(block);
   if (n == nullptr) {
-    // Cold (or long-ago-pruned) block: fill the first level with room, or
-    // stay uncached when the whole hierarchy is full (paper §3.2.1).
-    const std::size_t fill = first_level_with_room();
-    n = stack_.push_top(block, fill);
+    // Cold (or long-ago-pruned) block: fill the first level with byte room,
+    // or stay uncached when the whole hierarchy is full (paper §3.2.1). A
+    // block larger than every level's budget is never cached.
+    const std::size_t fill = first_level_with_room(size);
+    n = stack_.push_top(block, fill, size);
     if (!out_.temp_hit) ++stats_.misses;
     out_.placed_level = fill;
-    out_.retrieve = RetrieveCmd{block, kLevelOut, fill};
+    out_.retrieve = RetrieveCmd{block, kLevelOut, fill, size};
     stack_.prune();
     touch_temp(block, fill == 0);
     return out_;
@@ -141,10 +162,13 @@ const UlcAccess& UlcClient::access(BlockId block) {
     ++stats_.misses;
   }
 
-  // Placement level: its recency status (= its LLD band), falling back to
-  // the first level with room during warm-up, else uncached.
+  // Placement level: its recency status (= its LLD band), weighed by size —
+  // a band whose byte budget could never hold the block is skipped deeper
+  // (it resides at i, so the search stops by i at the latest) — falling
+  // back to the first level with room during warm-up, else uncached.
   std::size_t j = r;
-  if (j == kLevelOut) j = first_level_with_room();
+  if (j != kLevelOut) j = first_feasible_level(j, n->size);
+  if (j == kLevelOut) j = first_level_with_room(n->size);
   ULC_ENSURE(i == kLevelOut || j == kLevelOut || j <= i,
              "recency status deeper than level status (paper: i < j impossible)");
 
@@ -152,15 +176,15 @@ const UlcAccess& UlcClient::access(BlockId block) {
     // Retrieve(b, i, i): stays where it is (or stays uncached).
     if (i != kLevelOut && stack_.level_size(i) > 1) stack_.yardstick_departure(n);
     stack_.move_to_top(n);
-    out_.retrieve = RetrieveCmd{block, i, i};
+    out_.retrieve = RetrieveCmd{block, i, i, n->size};
     out_.placed_level = i;
   } else {
-    // Retrieve(b, i, j), j < i (or i = out): move b to level j and free a
-    // slot there via the demotion cascade.
+    // Retrieve(b, i, j), j < i (or i = out): move b to level j and free
+    // room there via the demotion cascade.
     if (i != kLevelOut) stack_.yardstick_departure(n);
     stack_.move_to_top(n);
     stack_.set_level(n, j);
-    out_.retrieve = RetrieveCmd{block, i, j};
+    out_.retrieve = RetrieveCmd{block, i, j, n->size};
     out_.placed_level = j;
     if (j != kLevelOut) run_demotion_cascade(j);
   }

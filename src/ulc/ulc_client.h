@@ -46,12 +46,14 @@ struct RetrieveCmd {
   BlockId block = 0;
   std::size_t from_level = kLevelOut;  // kLevelOut = disk (below all caches)
   std::size_t cache_at = kLevelOut;    // kLevelOut = do not cache anywhere
+  SizeUnits size = 1;                  // transfer size, in SizeUnits
 };
 
 struct DemoteCmd {
   BlockId block = 0;
   std::size_t from = 0;
   std::size_t to = kLevelOut;  // kLevelOut = evicted out of the hierarchy
+  SizeUnits size = 1;          // transfer size, in SizeUnits
 };
 
 struct UlcAccess {
@@ -70,6 +72,7 @@ struct UlcStats {
   std::uint64_t temp_hits = 0;
   std::uint64_t misses = 0;
   std::vector<std::uint64_t> demotions;       // [i] = Demote(i -> i+1) count
+  std::vector<std::uint64_t> demoted_units;   // [i] = units shipped over link i
   std::uint64_t evictions = 0;                // demotes out of the last level
   std::uint64_t external_evictions = 0;       // server-initiated (multi-client)
   std::uint64_t resync_drops = 0;             // directory entries dropped by
@@ -82,7 +85,12 @@ class UlcClient {
   explicit UlcClient(const UlcConfig& config);
 
   // Processes one reference. The returned struct is reused across calls.
-  const UlcAccess& access(BlockId block);
+  // `size` is the block's size in SizeUnits (id-stable across references; a
+  // resident block keeps the size it was first cached with). Per-level
+  // capacities are byte budgets: placement only ranks a block into a level
+  // whose budget can hold it, and the demotion cascade keeps demoting
+  // yardsticks until the placed block fits.
+  const UlcAccess& access(BlockId block, SizeUnits size = 1);
 
   // Multi-client: a shared level replaced `block` (this client owned it).
   // Must name a block this client currently has at an elastic level.
@@ -115,6 +123,9 @@ class UlcClient {
   const UniLruStack& stack() const { return stack_; }
   std::size_t levels() const { return capacities_.size(); }
   std::size_t level_size(std::size_t level) const { return stack_.level_size(level); }
+  std::uint64_t level_bytes(std::size_t level) const {
+    return stack_.level_bytes(level);
+  }
   std::size_t capacity(std::size_t level) const { return capacities_[level]; }
   bool is_cached(BlockId block) const;
   // Level the engine believes `block` is cached at (kLevelOut if uncached or
@@ -150,8 +161,12 @@ class UlcClient {
   FlatMap<BlockId, SlabHandle> temp_index_;
 
   bool is_elastic(std::size_t level) const { return level >= first_elastic_; }
-  bool level_has_room(std::size_t level) const;
-  std::size_t first_level_with_room() const;  // kLevelOut if none
+  bool level_has_room(std::size_t level, SizeUnits size) const;
+  std::size_t first_level_with_room(SizeUnits size) const;  // kLevelOut if none
+  // First level >= from whose byte budget could ever hold `size` (elastic
+  // levels always qualify); kLevelOut if none. The size-aware leg of the
+  // yardstick placement rule.
+  std::size_t first_feasible_level(std::size_t from, SizeUnits size) const;
   bool level_overflowed(std::size_t level) const;
   void run_demotion_cascade(std::size_t start_level);
   void touch_temp(BlockId block, bool cached_at_client);

@@ -5,7 +5,9 @@
 namespace ulc {
 
 UniLruStack::UniLruStack(std::size_t levels)
-    : yard_(levels, kNullHandle), level_count_(levels, 0) {
+    : yard_(levels, kNullHandle),
+      level_count_(levels, 0),
+      level_bytes_(levels, 0) {
   ULC_REQUIRE(levels >= 1, "need at least one cache level");
 }
 
@@ -15,6 +17,7 @@ UniLruStack::Node* UniLruStack::alloc(BlockId block) {
   n->block = block;
   n->level = kLevelOut;
   n->seq = 0;
+  n->size = 1;
   n->prev = n->next = kNullHandle;
   n->self = h;
   return n;
@@ -50,10 +53,13 @@ const UniLruStack::Node* UniLruStack::find(BlockId block) const {
   return h == nullptr ? nullptr : slab_.get(*h);
 }
 
-UniLruStack::Node* UniLruStack::push_top(BlockId block, std::size_t level) {
+UniLruStack::Node* UniLruStack::push_top(BlockId block, std::size_t level,
+                                         SizeUnits size) {
   ULC_REQUIRE(!index_.contains(block), "push_top of present block");
+  ULC_REQUIRE(size >= 1, "block size must be at least one unit");
   Node* n = alloc(block);
   n->seq = next_seq_++;
+  n->size = size;
   link_front(n);
   index_.insert_new(block, n->self);
   n->level = kLevelOut;
@@ -80,10 +86,12 @@ void UniLruStack::set_level(Node* n, std::size_t to) {
     ULC_ENSURE(yard_[from] != n->self,
                "yardstick_departure must run before set_level");
     --level_count_[from];
+    level_bytes_[from] -= n->size;
   }
   n->level = to;
   if (to != kLevelOut) {
     ++level_count_[to];
+    level_bytes_[to] += n->size;
     // DemotionSearching, O(1): the node is the new yardstick iff it is the
     // deepest (smallest-sequence) block of its new level.
     if (yard_[to] == kNullHandle || n->seq < slab_[yard_[to]].seq)
@@ -156,6 +164,7 @@ std::size_t UniLruStack::recency_status(const Node* n) const {
 bool UniLruStack::check_consistency(
     const std::vector<std::size_t>* capacities) const {
   std::vector<std::size_t> counts(level_count_.size(), 0);
+  std::vector<std::uint64_t> bytes(level_count_.size(), 0);
   std::vector<SlabHandle> deepest(level_count_.size(), kNullHandle);
   std::size_t seen = 0;
   std::uint64_t prev_seq = ~0ULL;
@@ -165,12 +174,14 @@ bool UniLruStack::check_consistency(
     if (n.prev != prev) return false;
     if (n.self != h) return false;  // handle <-> node self-link agreement
     if (n.seq >= prev_seq) return false;  // strictly descending
+    if (n.size < 1) return false;
     prev_seq = n.seq;
     const SlabHandle* idx = index_.find(n.block);
     if (idx == nullptr || *idx != h) return false;
     if (n.level != kLevelOut) {
       if (n.level >= counts.size()) return false;
       ++counts[n.level];
+      bytes[n.level] += n.size;
       deepest[n.level] = h;  // last seen = deepest
     }
     ++seen;
@@ -181,8 +192,9 @@ bool UniLruStack::check_consistency(
   if (seen != slab_.live()) return false;  // no leaked slab slots
   for (std::size_t i = 0; i < counts.size(); ++i) {
     if (counts[i] != level_count_[i]) return false;
+    if (bytes[i] != level_bytes_[i]) return false;
     if (yard_[i] != deepest[i]) return false;  // I3: yardstick = deepest
-    if (capacities && counts[i] > (*capacities)[i]) return false;  // I4
+    if (capacities && bytes[i] > (*capacities)[i]) return false;  // I4 (bytes)
   }
   return true;
 }

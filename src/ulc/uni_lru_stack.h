@@ -49,6 +49,7 @@ class UniLruStack {
   struct Node {
     BlockId block = 0;
     std::uint64_t seq = 0;  // last-access sequence; stack order = descending
+    SizeUnits size = 1;     // block size in SizeUnits (id-stable)
     std::size_t level = kLevelOut;
     SlabHandle prev = kNullHandle;  // towards head (more recent)
     SlabHandle next = kNullHandle;  // towards tail (less recent)
@@ -66,8 +67,9 @@ class UniLruStack {
   Node* find(BlockId block);
   const Node* find(BlockId block) const;
 
-  // Inserts an absent block at the stack top with the given level status.
-  Node* push_top(BlockId block, std::size_t level);
+  // Inserts an absent block at the stack top with the given level status
+  // and size (charged to the level's byte occupancy).
+  Node* push_top(BlockId block, std::size_t level, SizeUnits size = 1);
 
   // Moves a present node to the stack top (fresh sequence number). The
   // node's level status is unchanged; yardsticks are NOT adjusted (callers
@@ -102,6 +104,8 @@ class UniLruStack {
 
   Node* yard(std::size_t level) const { return ptr(yard_[level]); }
   std::size_t level_size(std::size_t level) const { return level_count_[level]; }
+  // Byte occupancy of a level, in SizeUnits (== level_size at unit size).
+  std::uint64_t level_bytes(std::size_t level) const { return level_bytes_[level]; }
   std::size_t stack_size() const { return index_.size(); }
 
   Node* head() const { return ptr(head_); }
@@ -117,12 +121,14 @@ class UniLruStack {
   const Slab<Node>::Stats& slab_stats() const { return slab_.stats(); }
 
   // O(n) validation of all structural invariants (DESIGN.md I1-I5, in their
-  // transient-tolerant form); used by tests and debug checks.
+  // transient-tolerant form); used by tests and debug checks. Capacities are
+  // byte budgets: I4 checks level_bytes(i) <= capacities[i].
   bool check_consistency(const std::vector<std::size_t>* capacities = nullptr) const;
 
  private:
   std::vector<SlabHandle> yard_;
   std::vector<std::size_t> level_count_;
+  std::vector<std::uint64_t> level_bytes_;
   SlabHandle head_ = kNullHandle;
   SlabHandle tail_ = kNullHandle;
   std::uint64_t next_seq_ = 1;

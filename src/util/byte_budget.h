@@ -1,0 +1,64 @@
+// Byte-budget capacity accounting shared by every cache core.
+//
+// Historically each level held `capacity` blocks and every structure
+// compared a count against it. With sized blocks the capacity value is
+// reinterpreted as a budget in SizeUnits and occupancy is the sum of
+// resident block sizes; "full" becomes "the incoming block does not fit"
+// and eviction loops run until it does. When every block is one unit the
+// arithmetic below reduces exactly to the old count comparisons, which is
+// what the unit-size golden-parity tests pin down:
+//
+//   old: size() >= capacity   (evict one, then insert)
+//   new: used + incoming > capacity   (evict until it fits)
+//
+// are victim-for-victim identical at size 1, because each eviction frees
+// exactly the one unit the insert needs.
+//
+// The `ulc_lint` count-vs-capacity rule bans raw `.size() <= cap`-style
+// comparisons in src/replacement and src/hierarchy so occupancy accounting
+// funnels through this helper (ghost/metadata lists, which hold identities
+// rather than data, stay count-bounded under allow markers).
+#pragma once
+
+#include <cstdint>
+
+#include "trace/types.h"
+#include "util/ensure.h"
+
+namespace ulc {
+
+class ByteBudget {
+ public:
+  ByteBudget() = default;
+  explicit ByteBudget(std::uint64_t capacity_units) : capacity_(capacity_units) {}
+
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t used() const { return used_; }
+  std::uint64_t free_units() const {
+    return used_ >= capacity_ ? 0 : capacity_ - used_;
+  }
+
+  // True when a block of `size` units can be admitted without eviction.
+  bool fits(SizeUnits size) const { return used_ + size <= capacity_; }
+  // True when admitting `size` units requires evictions first. The caller's
+  // eviction loop is `while (budget.needs_eviction(size) && <has victims>)`.
+  bool needs_eviction(SizeUnits size) const { return used_ + size > capacity_; }
+  // True when occupancy exceeds the budget (a state only transiently legal,
+  // e.g. mid-cascade in uniLRU segments).
+  bool overflowed() const { return used_ > capacity_; }
+  // A single block larger than the whole budget can never be cached here.
+  bool can_ever_fit(SizeUnits size) const { return size <= capacity_; }
+
+  void charge(SizeUnits size) { used_ += size; }
+  void release(SizeUnits size) {
+    ULC_ENSURE(used_ >= size, "byte budget released more than it charged");
+    used_ -= size;
+  }
+  void reset() { used_ = 0; }
+
+ private:
+  std::uint64_t capacity_ = 0;
+  std::uint64_t used_ = 0;
+};
+
+}  // namespace ulc

@@ -1,0 +1,106 @@
+#include "workloads/streaming.h"
+
+#include <vector>
+
+#include "util/ensure.h"
+
+namespace ulc {
+
+namespace {
+
+class StreamingSource final : public PatternSource {
+ public:
+  explicit StreamingSource(const StreamingConfig& cfg)
+      : sampler_(cfg.n_titles, cfg.zipf_theta),
+        abandon_prob_(cfg.abandon_prob),
+        churn_period_(cfg.churn_period),
+        churn_step_(cfg.churn_step) {
+    build_layout(cfg, starts_, segments_);
+  }
+
+  BlockId next(Rng& rng) override {
+    if (remaining_ == 0) {
+      if (churn_period_ > 0 && ++sessions_ % churn_period_ == 0) {
+        offset_ = (offset_ + churn_step_) % starts_.size();
+      }
+      const std::uint64_t rank = sampler_.sample(rng);
+      const std::size_t title =
+          static_cast<std::size_t>((rank + offset_) % starts_.size());
+      session_start_ = starts_[title];
+      cursor_ = session_start_;
+      remaining_ = 1 + segments_[title];  // manifest + media segments
+    }
+    const BlockId b = cursor_;
+    ++cursor_;
+    --remaining_;
+    // After each media segment (never after the manifest) the viewer may
+    // walk away, so sessions mostly replay popular prefixes and only the
+    // hottest titles see their tails referenced.
+    if (remaining_ > 0 && b != session_start_ && rng.next_bool(abandon_prob_)) {
+      remaining_ = 0;
+    }
+    return b;
+  }
+
+  static void build_layout(const StreamingConfig& cfg, std::vector<BlockId>& starts,
+                           std::vector<std::uint64_t>& segments) {
+    ULC_REQUIRE(cfg.n_titles > 0, "streaming catalogue needs titles");
+    ULC_REQUIRE(cfg.min_segments >= 1, "titles need at least one segment");
+    ULC_REQUIRE(cfg.max_segments >= cfg.min_segments,
+                "segment-run bounds are inverted");
+    ULC_REQUIRE(cfg.manifest_size >= 1 && cfg.segment_size >= 1,
+                "block sizes are at least one unit");
+    starts.resize(static_cast<std::size_t>(cfg.n_titles));
+    segments.resize(static_cast<std::size_t>(cfg.n_titles));
+    Rng rng(cfg.layout_seed);
+    const std::uint64_t span = cfg.max_segments - cfg.min_segments + 1;
+    BlockId cursor = cfg.base;
+    for (std::size_t i = 0; i < starts.size(); ++i) {
+      starts[i] = cursor;
+      segments[i] = cfg.min_segments + rng.next_below(span);
+      cursor += 1 + segments[i];
+    }
+  }
+
+ private:
+  ZipfSampler sampler_;
+  double abandon_prob_;
+  std::uint64_t churn_period_;
+  std::uint64_t churn_step_;
+  std::vector<BlockId> starts_;
+  std::vector<std::uint64_t> segments_;
+  BlockId session_start_ = 0;
+  BlockId cursor_ = 0;
+  std::uint64_t remaining_ = 0;
+  std::uint64_t sessions_ = 0;
+  std::uint64_t offset_ = 0;
+};
+
+}  // namespace
+
+PatternPtr make_streaming_source(const StreamingConfig& config) {
+  return std::make_unique<StreamingSource>(config);
+}
+
+std::uint64_t streaming_footprint(const StreamingConfig& config) {
+  std::vector<BlockId> starts;
+  std::vector<std::uint64_t> segments;
+  StreamingSource::build_layout(config, starts, segments);
+  return (starts.back() + 1 + segments.back()) - config.base;
+}
+
+SizeTable streaming_sizes(const StreamingConfig& config) {
+  std::vector<BlockId> starts;
+  std::vector<std::uint64_t> segments;
+  StreamingSource::build_layout(config, starts, segments);
+  SizeTable table;
+  for (std::size_t i = 0; i < starts.size(); ++i) {
+    table.set(starts[i], config.manifest_size);
+    for (std::uint64_t s = 0; s < segments[i]; ++s) {
+      table.set(starts[i] + 1 + s, config.segment_size);
+    }
+  }
+  return table;
+}
+
+}  // namespace ulc

@@ -1,0 +1,54 @@
+// Streaming-segment workload family: the natural sized-block stress case.
+//
+// A video catalogue of `n_titles` titles, each laid out contiguously as one
+// small manifest block followed by a run of large media-segment blocks
+// (Friedlander & Aggarwal's LRU generalization for video streaming treats
+// exactly this shape; Beckmann et al. make granularity change a first-class
+// caching dimension). A session picks a title by Zipf popularity, reads its
+// manifest, then streams the segments sequentially — abandoning after each
+// segment with a fixed probability, so most sessions watch a prefix and only
+// popular titles see their tails. Title popularity churns: every
+// `churn_period` sessions the rank-to-title mapping rotates, moving the hot
+// set through the catalogue the way a front page rotates its promotions.
+//
+// The reference stream comes from make_streaming_source(); the matching
+// per-block footprints (manifest vs segment sizes, id-stable) come from
+// streaming_sizes() and are stamped onto a materialized trace with
+// stamp_sizes().
+#pragma once
+
+#include <cstdint>
+
+#include "trace/size_table.h"
+#include "workloads/synthetic.h"
+
+namespace ulc {
+
+struct StreamingConfig {
+  BlockId base = 0;
+  std::uint64_t n_titles = 200;
+  // Per-title segment-run length is drawn once from [min_segments,
+  // max_segments] (deterministically from layout_seed).
+  std::uint64_t min_segments = 8;
+  std::uint64_t max_segments = 60;
+  double zipf_theta = 0.9;   // title popularity skew
+  double abandon_prob = 0.05;  // per-segment chance the viewer stops
+  // Popularity churn: every `churn_period` sessions the ranking rotates by
+  // `churn_step` titles. 0 disables churn.
+  std::uint64_t churn_period = 0;
+  std::uint64_t churn_step = 1;
+  std::uint64_t layout_seed = 7;
+  SizeUnits manifest_size = 1;  // each title's first block
+  SizeUnits segment_size = 4;   // every media segment block
+};
+
+PatternPtr make_streaming_source(const StreamingConfig& config);
+
+// Total number of blocks the catalogue layout occupies.
+std::uint64_t streaming_footprint(const StreamingConfig& config);
+
+// Per-block footprints for the catalogue layout: manifest blocks at
+// manifest_size, segment blocks at segment_size.
+SizeTable streaming_sizes(const StreamingConfig& config);
+
+}  // namespace ulc

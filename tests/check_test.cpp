@@ -13,6 +13,7 @@
 #include "hierarchy/runner.h"
 #include "proto/protocol_sim.h"
 #include "replacement/cache_policy.h"
+#include "trace/size_table.h"
 #include "trace/trace.h"
 #include "workloads/paper_presets.h"
 #include "workloads/synthetic.h"
@@ -42,6 +43,26 @@ Trace multi_trace() {
       0.15, 9);
 }
 
+// Mixed-size twins of the traces above: the same reference streams with
+// deterministic per-block footprints stamped on (id-stable sizes).
+Trace sized_single_trace() {
+  Trace t = single_trace();
+  stamp_sizes(t, assign_bimodal_sizes(0, 400, 1, 4, 0.25, 17));
+  return t;
+}
+
+Trace sized_loop_trace() {
+  Trace t = loop_trace();
+  stamp_sizes(t, assign_bimodal_sizes(0, 60, 1, 4, 0.3, 23));
+  return t;
+}
+
+Trace sized_multi_trace() {
+  Trace t = multi_trace();
+  stamp_sizes(t, assign_heavy_tail_sizes(0, 300, 1.1, 12, 19));
+  return t;
+}
+
 void expect_stats_equal(const HierarchyStats& a, const HierarchyStats& b) {
   EXPECT_EQ(a.references, b.references);
   EXPECT_EQ(a.level_hits, b.level_hits);
@@ -51,6 +72,11 @@ void expect_stats_equal(const HierarchyStats& a, const HierarchyStats& b) {
   EXPECT_EQ(a.writebacks, b.writebacks);
   EXPECT_EQ(a.eviction_notices, b.eviction_notices);
   EXPECT_EQ(a.stale_syncs, b.stale_syncs);
+  EXPECT_EQ(a.level_hit_bytes, b.level_hit_bytes);
+  EXPECT_EQ(a.miss_bytes, b.miss_bytes);
+  EXPECT_EQ(a.demotion_bytes, b.demotion_bytes);
+  EXPECT_EQ(a.reload_bytes, b.reload_bytes);
+  EXPECT_EQ(a.sized, b.sized);
 }
 
 // Runs `checked` and `plain` over the trace and requires the auditor to be
@@ -128,6 +154,29 @@ TEST(CheckedHierarchy, UlcMultiRunsClean) {
 
 TEST(CheckedHierarchy, UlcMultiThreeRunsClean) {
   const Trace t = multi_trace();
+  expect_clean(make_ulc_multi_three(12, 32, 48, 3),
+               make_ulc_multi_three(12, 32, 48, 3), t);
+}
+
+// The byte laws on traces where they differ from the count laws: every
+// scheme must keep its byte twins conserved against the narrated byte flow,
+// its byte occupancy under budget at access boundaries, and its internal
+// byte accounting in step with the shadow model — on mixed-size traces.
+TEST(CheckedHierarchy, MixedSizeSingleClientSchemesRunClean) {
+  const Trace t = sized_single_trace();
+  expect_clean(make_uni_lru({24, 40, 36}), make_uni_lru({24, 40, 36}), t);
+  expect_clean(make_ulc({32, 48, 40}), make_ulc({32, 48, 40}), t);
+  expect_clean(make_ind_lru({32, 64, 48}), make_ind_lru({32, 64, 48}), t);
+  expect_clean(make_reload_uni_lru({24, 40, 36}), make_reload_uni_lru({24, 40, 36}),
+               t);
+}
+
+TEST(CheckedHierarchy, MixedSizeMultiClientSchemesRunClean) {
+  const Trace t = sized_multi_trace();
+  expect_clean(make_ulc_multi(16, 64, 3), make_ulc_multi(16, 64, 3), t);
+  expect_clean(make_uni_lru_multi(16, 64, 3, UniLruInsertion::kMru),
+               make_uni_lru_multi(16, 64, 3, UniLruInsertion::kMru), t);
+  expect_clean(make_mq_hierarchy(16, 64, 3), make_mq_hierarchy(16, 64, 3), t);
   expect_clean(make_ulc_multi_three(12, 32, 48, 3),
                make_ulc_multi_three(12, 32, 48, 3), t);
 }
@@ -277,6 +326,29 @@ TEST(Mutations, DroppedEvictionOverflowsCapacity) {
                    loop_trace());
   ASSERT_TRUE(kind.has_value());
   EXPECT_EQ(*kind, ViolationKind::kCapacity);
+}
+
+TEST(Mutations, SizeLeakOverflowsByteBudgetOnSizedTrace) {
+  // "Evict until the newcomer fits" degraded to "evict once": a 4-unit
+  // admission pushes several 1-unit victims out but only the first leaves
+  // the narration, so the bottom level's byte occupancy exceeds its budget
+  // at the end of the access — the byte-capacity law must bite.
+  const auto kind =
+      violation_of(make_mutant(make_uni_lru({8, 12, 10}), Mutation::kSizeLeak),
+                   sized_loop_trace());
+  ASSERT_TRUE(kind.has_value());
+  EXPECT_EQ(*kind, ViolationKind::kCapacity);
+}
+
+TEST(Mutations, SizeLeakIsInvisibleAtUnitSize) {
+  // The same defect never fires on a unit-size trace: one admission needs at
+  // most one victim, so the suppressed second eviction never exists. This is
+  // exactly the bug class the pre-refactor (count-capacity) auditor could
+  // not express.
+  const auto kind =
+      violation_of(make_mutant(make_uni_lru({8, 12, 10}), Mutation::kSizeLeak),
+                   loop_trace());
+  EXPECT_FALSE(kind.has_value());
 }
 
 TEST(Mutations, GhostDemoteIsCaught) {

@@ -1,0 +1,37 @@
+#!/bin/sh
+# Unit-size equivalence regression (DESIGN.md §9): with every block at size 1,
+# the byte-budget refactor must be a strict no-op — bench JSON byte-identical
+# to the pre-refactor goldens, at every thread count. Timing fields are the
+# only permitted difference.
+#
+# Usage: golden_parity.sh <bench_binary> <golden_json> <threads>...
+set -e
+
+bench="$1"
+golden="$2"
+shift 2
+[ -x "$bench" ] || { echo "missing bench binary: $bench" >&2; exit 1; }
+[ -f "$golden" ] || { echo "missing golden file: $golden" >&2; exit 1; }
+
+strip_timing() {
+  grep -v -E '"(wall_seconds|refs_per_sec|threads)":' "$1"
+}
+
+base="golden_parity_$(basename "$golden" .golden.json)"
+strip_timing "$golden" > "${base}.want"
+
+status=0
+for t in "$@"; do
+  out="${base}.t${t}.json"
+  "$bench" --threads="$t" --json="$out" > /dev/null
+  if strip_timing "$out" | diff -u "${base}.want" - > "${base}.t${t}.diff"; then
+    echo "PARITY_OK threads=$t"
+  else
+    echo "PARITY_DIFF threads=$t ($bench vs $golden):" >&2
+    head -40 "${base}.t${t}.diff" >&2
+    status=1
+  fi
+  rm -f "$out" "${base}.t${t}.diff"
+done
+rm -f "${base}.want"
+exit $status

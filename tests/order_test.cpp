@@ -129,8 +129,9 @@ TEST(SegmentedList, FillsSegmentsInOrder) {
   EXPECT_FALSE(r.hit);
   list.access(2, r);
   list.access(3, r);
-  EXPECT_EQ(r.crossed_count, 1u);   // block 1 slid into segment 1
-  EXPECT_EQ(r.crossed[0], 1u);
+  ASSERT_EQ(r.crossed.size(), 1u);  // block 1 slid into segment 1
+  EXPECT_EQ(r.crossed[0].from, 0u);
+  EXPECT_EQ(r.crossed[0].key, 1u);
   list.access(4, r);
   EXPECT_EQ(list.segment_size(0), 2u);
   EXPECT_EQ(list.segment_size(1), 2u);
@@ -147,8 +148,8 @@ TEST(SegmentedList, EvictsFromGlobalLruPosition) {
   list.access(1, r);
   list.access(2, r);
   list.access(3, r);
-  EXPECT_TRUE(r.evicted);
-  EXPECT_EQ(r.evicted_key, 1u);
+  ASSERT_EQ(r.evicted.size(), 1u);
+  EXPECT_EQ(r.evicted[0], 1u);
   EXPECT_FALSE(list.contains(1));
   EXPECT_TRUE(list.contains(2));
   EXPECT_TRUE(list.contains(3));
@@ -162,15 +163,78 @@ TEST(SegmentedList, HitReportsOldSegmentAndDemotesAboveIt) {
   list.access(1, r);  // hit in segment 2
   EXPECT_TRUE(r.hit);
   EXPECT_EQ(r.old_segment, 2u);
-  EXPECT_EQ(r.crossed_count, 2u);  // one slide at each boundary above
-  EXPECT_EQ(r.crossed[0], 5u);
-  EXPECT_EQ(r.crossed[1], 3u);
-  EXPECT_FALSE(r.evicted);
+  ASSERT_EQ(r.crossed.size(), 2u);  // one slide at each boundary above
+  EXPECT_EQ(r.crossed[0].from, 0u);
+  EXPECT_EQ(r.crossed[0].key, 5u);
+  EXPECT_EQ(r.crossed[1].from, 1u);
+  EXPECT_EQ(r.crossed[1].key, 3u);
+  EXPECT_TRUE(r.evicted.empty());
   // Hit at the top causes no movement.
   list.access(1, r);
   EXPECT_TRUE(r.hit);
   EXPECT_EQ(r.old_segment, 0u);
-  EXPECT_EQ(r.crossed_count, 0u);
+  EXPECT_TRUE(r.crossed.empty());
+  EXPECT_TRUE(list.check_consistency());
+}
+
+// ---- sized blocks ----
+
+TEST(SegmentedList, SizedBlocksCrossAndEvictInBatches) {
+  SegmentedList list({4, 4});
+  SegmentedList::AccessResult r;
+  list.access(1, r, 2);
+  list.access(2, r, 2);  // segment 0 exactly full: [2, 1]
+  EXPECT_TRUE(r.crossed.empty());
+  list.access(3, r, 4);  // 3 displaces both resident blocks at once
+  ASSERT_EQ(r.crossed.size(), 2u);
+  EXPECT_EQ(r.crossed[0].key, 1u);  // LRU-most slides first
+  EXPECT_EQ(r.crossed[1].key, 2u);
+  EXPECT_TRUE(r.evicted.empty());
+  EXPECT_EQ(list.segment_bytes(0), 4u);
+  EXPECT_EQ(list.segment_bytes(1), 4u);
+  list.access(4, r, 4);  // pushes 3 down, which pushes 1 and 2 out
+  ASSERT_EQ(r.crossed.size(), 1u);
+  EXPECT_EQ(r.crossed[0].key, 3u);
+  ASSERT_EQ(r.evicted.size(), 2u);
+  EXPECT_EQ(r.evicted[0], 1u);
+  EXPECT_EQ(r.evicted[1], 2u);
+  EXPECT_TRUE(list.check_consistency());
+}
+
+TEST(SegmentedList, OversizedBlockPassesStraightThrough) {
+  SegmentedList list({2, 2});
+  SegmentedList::AccessResult r;
+  list.access(1, r, 1);
+  list.access(9, r, 8);  // larger than the whole budget: slides off the end
+  EXPECT_FALSE(r.hit);
+  ASSERT_EQ(r.evicted.size(), 2u);
+  EXPECT_EQ(r.evicted[0], 1u);
+  EXPECT_EQ(r.evicted[1], 9u);
+  EXPECT_FALSE(list.contains(9));
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_TRUE(list.check_consistency());
+}
+
+TEST(SegmentedList, SizedHitCanEvictThroughTheBottom) {
+  SegmentedList list({4, 3});
+  SegmentedList::AccessResult r;
+  list.access(10, r, 1);
+  list.access(20, r, 2);
+  list.access(30, r, 1);
+  list.access(40, r, 3);  // layout: seg0 = [40(3), 30(1)], seg1 = [20(2), 10(1)]
+  EXPECT_EQ(list.segment_bytes(0), 4u);
+  EXPECT_EQ(list.segment_bytes(1), 3u);
+  // A hit moves no net bytes, but block granularity can overshoot a
+  // boundary and squeeze blocks off the bottom.
+  list.access(20, r);  // resident: keeps its stored size of 2
+  EXPECT_TRUE(r.hit);
+  EXPECT_EQ(r.old_segment, 1u);
+  ASSERT_EQ(r.crossed.size(), 2u);
+  EXPECT_EQ(r.crossed[0].key, 30u);
+  EXPECT_EQ(r.crossed[1].key, 40u);
+  ASSERT_EQ(r.evicted.size(), 2u);
+  EXPECT_EQ(r.evicted[0], 10u);
+  EXPECT_EQ(r.evicted[1], 30u);  // demoted and evicted in the same access
   EXPECT_TRUE(list.check_consistency());
 }
 
@@ -234,9 +298,10 @@ TEST_P(SegmentedListRandomTest, MatchesLruReference) {
     if (expect_hit) {
       ASSERT_EQ(r.old_segment, expect_seg);
     }
-    ASSERT_EQ(r.evicted, expect_evict);
+    ASSERT_EQ(!r.evicted.empty(), expect_evict);
     if (expect_evict) {
-      ASSERT_EQ(r.evicted_key, expect_victim);
+      ASSERT_EQ(r.evicted.size(), 1u);
+      ASSERT_EQ(r.evicted[0], expect_victim);
     }
     // Segment assignment must match positional segmentation.
     if (step % 100 == 0) {

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "workloads/paper_presets.h"
+#include "workloads/streaming.h"
 #include "workloads/synthetic.h"
 
 namespace ulc {
@@ -142,6 +143,108 @@ TEST(Synthetic, MultiClientRatesRespected) {
   std::size_t c0 = 0;
   for (const Request& r : t) c0 += r.client == 0 ? 1 : 0;
   EXPECT_NEAR(static_cast<double>(c0) / 20000.0, 0.75, 0.02);
+}
+
+TEST(Streaming, SeededDeterminismAndLayoutCoverage) {
+  StreamingConfig cfg;
+  cfg.n_titles = 40;
+  cfg.min_segments = 4;
+  cfg.max_segments = 12;
+  cfg.manifest_size = 2;
+  cfg.segment_size = 5;
+  auto a = make_streaming_source(cfg);
+  auto b = make_streaming_source(cfg);
+  const Trace ta = generate(*a, 8000, 21, "sa");
+  const Trace tb = generate(*b, 8000, 21, "sb");
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i) ASSERT_EQ(ta[i].block, tb[i].block);
+  // A different reference seed picks different sessions.
+  auto c = make_streaming_source(cfg);
+  const Trace tc = generate(*c, 8000, 22, "sc");
+  std::size_t differ = 0;
+  for (std::size_t i = 0; i < tc.size(); ++i) differ += tc[i].block != ta[i].block;
+  EXPECT_GT(differ, 0u);
+
+  // The size table covers the whole catalogue layout, nothing else, and every
+  // block is either a manifest or a segment.
+  const std::uint64_t footprint = streaming_footprint(cfg);
+  const SizeTable sizes = streaming_sizes(cfg);
+  EXPECT_EQ(sizes.entries(), footprint);
+  std::uint64_t manifests = 0;
+  for (std::uint64_t id = 0; id < footprint; ++id) {
+    const SizeUnits s = sizes.size_of(cfg.base + id);
+    ASSERT_TRUE(s == cfg.manifest_size || s == cfg.segment_size);
+    manifests += s == cfg.manifest_size;
+  }
+  EXPECT_EQ(manifests, cfg.n_titles);
+  for (const Request& r : ta) ASSERT_LT(r.block - cfg.base, footprint);
+}
+
+TEST(Streaming, SessionsAreSequentialSegmentRuns) {
+  StreamingConfig cfg;
+  cfg.n_titles = 30;
+  cfg.min_segments = 3;
+  cfg.max_segments = 10;
+  cfg.abandon_prob = 0.15;
+  cfg.manifest_size = 2;  // distinguishes manifests from segments below
+  cfg.segment_size = 5;
+  auto src = make_streaming_source(cfg);
+  const Trace t = generate(*src, 6000, 31, "seq");
+  const SizeTable sizes = streaming_sizes(cfg);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const bool manifest = sizes.size_of(t[i].block) == cfg.manifest_size;
+    if (i > 0 && !manifest) {
+      // Segments only ever continue the run their manifest started.
+      ASSERT_EQ(t[i].block, t[i - 1].block + 1) << "at " << i;
+    }
+    if (manifest && i + 1 < t.size()) {
+      // The viewer never quits on the manifest alone: at least one segment.
+      ASSERT_EQ(t[i + 1].block, t[i].block + 1) << "at " << i;
+    }
+  }
+}
+
+TEST(Streaming, PopularityChurnMovesTheHotTitle) {
+  StreamingConfig cfg;
+  cfg.n_titles = 50;
+  cfg.min_segments = 3;
+  cfg.max_segments = 6;
+  cfg.zipf_theta = 1.2;
+  cfg.manifest_size = 2;
+  cfg.segment_size = 4;
+  cfg.churn_period = 60;  // rotate the ranking every 60 sessions
+  cfg.churn_step = 11;
+  auto src = make_streaming_source(cfg);
+  const Trace t = generate(*src, 40000, 41, "churn");
+  const SizeTable sizes = streaming_sizes(cfg);
+  // Hottest manifest over the first vs last tenth of the trace.
+  auto hottest = [&](std::size_t lo, std::size_t hi) {
+    std::unordered_map<BlockId, int> counts;
+    for (std::size_t i = lo; i < hi; ++i)
+      if (sizes.size_of(t[i].block) == cfg.manifest_size) ++counts[t[i].block];
+    BlockId best = 0;
+    int best_n = -1;
+    for (auto& [b, n] : counts)
+      if (n > best_n) best_n = n, best = b;
+    return best;
+  };
+  EXPECT_NE(hottest(0, t.size() / 10), hottest(9 * t.size() / 10, t.size()));
+
+  // Without churn the same config keeps its hot title end to end.
+  cfg.churn_period = 0;
+  auto stable = make_streaming_source(cfg);
+  const Trace s = generate(*stable, 40000, 41, "stable");
+  auto hottest_s = [&](std::size_t lo, std::size_t hi) {
+    std::unordered_map<BlockId, int> counts;
+    for (std::size_t i = lo; i < hi; ++i)
+      if (sizes.size_of(s[i].block) == cfg.manifest_size) ++counts[s[i].block];
+    BlockId best = 0;
+    int best_n = -1;
+    for (auto& [b, n] : counts)
+      if (n > best_n) best_n = n, best = b;
+    return best;
+  };
+  EXPECT_EQ(hottest_s(0, s.size() / 10), hottest_s(9 * s.size() / 10, s.size()));
 }
 
 TEST(Presets, Deterministic) {

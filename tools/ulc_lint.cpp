@@ -36,6 +36,14 @@
 //                        heaps and hashed buckets reintroduce the allocation
 //                        traffic the port removed. Offline/reference paths
 //                        (OPT, layout analysis) carry allow markers.
+//   count-capacity       a `.size() <= cap`-style comparison (entry count
+//                        against something named cap*/budget*) in
+//                        src/replacement or src/hierarchy — capacities are
+//                        byte budgets in SizeUnits, so admission/eviction
+//                        decisions must compare occupied bytes, not entry
+//                        counts. Structures that are genuinely count-bounded
+//                        (ghost lists, per-block metadata directories) carry
+//                        allow markers.
 //
 // Exit status: 0 clean, 1 findings, 2 usage/IO error.
 #include <algorithm>
@@ -348,6 +356,27 @@ class Linter {
                  "node-based container in a hot path; use FlatMap "
                  "(util/flat_hash.h) and Slab/SlabList (util/slab.h), or "
                  "allow-mark an offline/reference path");
+      }
+    }
+
+    // count-capacity -------------------------------------------------------
+    const bool budget_dir = generic.find("src/replacement/") != std::string::npos ||
+                            generic.find("src/hierarchy/") != std::string::npos;
+    if (budget_dir) {
+      // Either operand order: `x.size() < cap_` or `capacity > q.size()`.
+      // "cap"/"budget" anywhere in the other operand's identifier is enough
+      // (cap_, caps[i], server_capacity, byte_budget...).
+      static const std::regex kCountCapacity(
+          "\\.size\\(\\)\\s*(?:<=|>=|<|>|==|!=)[^;{]*\\b(?:[A-Za-z_0-9]*cap|"
+          "[A-Za-z_0-9]*budget)|\\b(?:[A-Za-z_0-9]*cap|[A-Za-z_0-9]*budget)"
+          "[A-Za-z0-9_]*(?:\\[[^\\]]*\\])?\\s*(?:<=|>=|<|>|==|!=)[^;{]*"
+          "\\.size\\(\\)");
+      for (std::size_t n = 0; n < strip_lines.size(); ++n) {
+        if (std::regex_search(strip_lines[n], kCountCapacity))
+          report(n + 1, "count-capacity",
+                 "entry count compared against a capacity; budgets are bytes "
+                 "(SizeUnits), so compare occupied bytes, or allow-mark a "
+                 "genuinely count-bounded structure (ghost/metadata lists)");
       }
     }
 
