@@ -18,11 +18,13 @@
 // comparisons in src/replacement and src/hierarchy so occupancy accounting
 // funnels through this helper (ghost/metadata lists, which hold identities
 // rather than data, stay count-bounded under allow markers).
+// Sizes are taken as plain std::uint64_t (SizeUnits converts up losslessly)
+// so this header stays in util, below the trace layer, per the
+// include-layering DAG in tools/lint/layers.txt.
 #pragma once
 
 #include <cstdint>
 
-#include "trace/types.h"
 #include "util/ensure.h"
 
 namespace ulc {
@@ -39,18 +41,20 @@ class ByteBudget {
   }
 
   // True when a block of `size` units can be admitted without eviction.
-  bool fits(SizeUnits size) const { return used_ + size <= capacity_; }
+  bool fits(std::uint64_t size) const { return used_ + size <= capacity_; }
   // True when admitting `size` units requires evictions first. The caller's
   // eviction loop is `while (budget.needs_eviction(size) && <has victims>)`.
-  bool needs_eviction(SizeUnits size) const { return used_ + size > capacity_; }
+  bool needs_eviction(std::uint64_t size) const {
+    return used_ + size > capacity_;
+  }
   // True when occupancy exceeds the budget (a state only transiently legal,
   // e.g. mid-cascade in uniLRU segments).
   bool overflowed() const { return used_ > capacity_; }
   // A single block larger than the whole budget can never be cached here.
-  bool can_ever_fit(SizeUnits size) const { return size <= capacity_; }
+  bool can_ever_fit(std::uint64_t size) const { return size <= capacity_; }
 
-  void charge(SizeUnits size) { used_ += size; }
-  void release(SizeUnits size) {
+  void charge(std::uint64_t size) { used_ += size; }
+  void release(std::uint64_t size) {
     ULC_ENSURE(used_ >= size, "byte budget released more than it charged");
     used_ -= size;
   }

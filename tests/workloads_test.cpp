@@ -64,7 +64,8 @@ TEST(Synthetic, ZipfScrambleDecorrelatesIds) {
   // The most popular scrambled block is almost surely not id 0.
   BlockId hottest = 0;
   int best = -1;
-  for (auto& [b, n] : cs) {
+  // Argmax over counts: order-insensitive, nothing emitted.
+  for (auto& [b, n] : cs) {  // ulc-lint: allow(unordered-iteration)
     if (n > best) {
       best = n;
       hottest = b;
@@ -224,7 +225,8 @@ TEST(Streaming, PopularityChurnMovesTheHotTitle) {
       if (sizes.size_of(t[i].block) == cfg.manifest_size) ++counts[t[i].block];
     BlockId best = 0;
     int best_n = -1;
-    for (auto& [b, n] : counts)
+    // Argmax over counts: order-insensitive, nothing emitted.
+    for (auto& [b, n] : counts)  // ulc-lint: allow(unordered-iteration)
       if (n > best_n) best_n = n, best = b;
     return best;
   };
@@ -240,7 +242,8 @@ TEST(Streaming, PopularityChurnMovesTheHotTitle) {
       if (sizes.size_of(s[i].block) == cfg.manifest_size) ++counts[s[i].block];
     BlockId best = 0;
     int best_n = -1;
-    for (auto& [b, n] : counts)
+    // Argmax over counts: order-insensitive, nothing emitted.
+    for (auto& [b, n] : counts)  // ulc-lint: allow(unordered-iteration)
       if (n > best_n) best_n = n, best = b;
     return best;
   };

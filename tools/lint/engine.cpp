@@ -1,0 +1,309 @@
+#include "lint/engine.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace ulc::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool cpp_extension(const std::string& path) {
+  const std::size_t dot = path.rfind('.');
+  if (dot == std::string::npos) return false;
+  const std::string ext = path.substr(dot);
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
+}
+
+std::string stem_of(const std::string& path) {
+  const std::size_t dot = path.rfind('.');
+  return dot == std::string::npos ? path : path.substr(0, dot);
+}
+
+Severity severity_for(const Options& opts, const std::string& rule) {
+  if (opts.warn_rules.count(rule) != 0) return Severity::kWarning;
+  for (const RuleInfo& r : all_rules())
+    if (rule == r.name) return r.default_severity;
+  return Severity::kError;
+}
+
+void json_escape(std::ostringstream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+Engine::Engine(Options opts) : opts_(std::move(opts)) {}
+
+void Engine::add_source(const std::string& path, std::string text) {
+  auto unit = std::make_unique<FileUnit>();
+  unit->lexed = lex(path, std::move(text));
+  unit->symbols = scan(unit->lexed);
+  units_.push_back(std::move(unit));
+}
+
+void Engine::add_file(const std::string& path) {
+  if (!cpp_extension(path)) return;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    io_errors_.push_back("cannot read " + path);
+    return;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  add_source(path, buf.str());
+}
+
+void Engine::add_directory(const std::string& dir) {
+  std::error_code ec;
+  std::vector<std::string> paths;
+  for (fs::recursive_directory_iterator it(dir, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) break;
+    if (it->is_regular_file(ec) && cpp_extension(it->path().string()))
+      paths.push_back(it->path().string());
+  }
+  if (ec) {
+    io_errors_.push_back("cannot walk " + dir + ": " + ec.message());
+    return;
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const std::string& p : paths) add_file(p);
+}
+
+std::string Engine::display_path(const std::string& path) const {
+  if (opts_.root.empty()) return path;
+  std::string root = opts_.root;
+  if (!root.empty() && root.back() != '/') root.push_back('/');
+  if (path.compare(0, root.size(), root) == 0) return path.substr(root.size());
+  return path;
+}
+
+bool allow_marker_covers(const std::string& line_text,
+                         const std::string& rule) {
+  const std::size_t at = line_text.find("ulc-lint:");
+  if (at == std::string::npos) return false;
+  std::size_t open = line_text.find("allow(", at);
+  if (open == std::string::npos) return false;
+  const std::size_t close = line_text.find(')', open);
+  if (close == std::string::npos) return false;
+  std::string list = line_text.substr(open + 6, close - open - 6);
+  std::string name;
+  std::vector<std::string> names;
+  for (char c : list) {
+    if (c == ',' || c == ' ' || c == '\t') {
+      if (!name.empty()) names.push_back(name);
+      name.clear();
+    } else {
+      name.push_back(c);
+    }
+  }
+  if (!name.empty()) names.push_back(name);
+  return std::find(names.begin(), names.end(), rule) != names.end();
+}
+
+std::map<std::string, std::set<std::string>> parse_layers(
+    const std::string& text, std::vector<std::string>& errors) {
+  std::map<std::string, std::set<std::string>> layers;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::string module;
+    if (!(fields >> module)) continue;  // blank line
+    if (module.back() != ':') {
+      errors.push_back("layers.txt:" + std::to_string(lineno) +
+                       ": expected 'module:' at line start");
+      continue;
+    }
+    module.pop_back();
+    std::set<std::string>& deps = layers[module];
+    std::string dep;
+    while (fields >> dep) deps.insert(dep);
+  }
+  return layers;
+}
+
+std::set<std::string> parse_baseline(const std::string& text) {
+  std::set<std::string> keys;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    while (!line.empty() && (line.back() == ' ' || line.back() == '\r'))
+      line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    keys.insert(line);
+  }
+  return keys;
+}
+
+Report Engine::run() {
+  Report report;
+  report.errors = io_errors_;
+
+  // Cross-file context.
+  GlobalContext ctx;
+  for (const auto& u : units_)
+    for (const EnumDef& e : u->symbols.enums) ctx.enums[e.name].push_back(&e);
+  // Sibling pairs: every other unit sharing a path stem (foo.cpp <-> foo.h).
+  std::map<std::string, std::vector<const FileUnit*>> stem_groups;
+  for (const auto& u : units_)
+    stem_groups[stem_of(u->lexed.path)].push_back(u.get());
+  for (const auto& [stem, group] : stem_groups) {
+    if (group.size() < 2) continue;
+    for (const FileUnit* a : group)
+      for (const FileUnit* b : group)
+        if (a != b) ctx.sibling[a] = b;
+  }
+
+  if (!opts_.layers_file.empty()) {
+    std::ifstream in(opts_.layers_file, std::ios::binary);
+    if (!in) {
+      report.errors.push_back("cannot read layers file " + opts_.layers_file);
+    } else {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      ctx.layers = parse_layers(buf.str(), report.errors);
+    }
+  }
+
+  std::set<std::string> baseline;
+  if (!opts_.baseline_file.empty()) {
+    std::ifstream in(opts_.baseline_file, std::ios::binary);
+    if (!in) {
+      report.errors.push_back("cannot read baseline file " +
+                              opts_.baseline_file);
+    } else {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      baseline = parse_baseline(buf.str());
+    }
+  }
+
+  std::vector<Finding> raw;
+  for (const auto& u : units_) run_rules(*u, ctx, raw);
+
+  std::map<std::string, const FileUnit*> path_map;
+  for (const auto& u : units_) path_map[u->lexed.path] = u.get();
+
+  std::set<std::string> used_baseline;
+  for (Finding& f : raw) {
+    f.severity = severity_for(opts_, f.rule);
+    const FileUnit* u = path_map[f.path];
+    // Same-line marker, or a marker-only line directly above.
+    const std::string& here = u->lexed.line_text(f.line);
+    const std::string& above = f.line > 1 ? u->lexed.line_text(f.line - 1) : here;
+    const bool above_is_marker_line =
+        f.line > 1 &&
+        above.find_first_not_of(" \t") != std::string::npos &&
+        above[above.find_first_not_of(" \t")] == '/' &&
+        above.find("ulc-lint:") != std::string::npos;
+    if (allow_marker_covers(here, f.rule) ||
+        (above_is_marker_line && allow_marker_covers(above, f.rule))) {
+      ++report.suppressed_count;
+      continue;
+    }
+    const std::string key = display_path(f.path) + ":" +
+                            std::to_string(f.line) + ":" + f.rule;
+    if (baseline.count(key) != 0) {
+      used_baseline.insert(key);
+      ++report.baselined_count;
+      continue;
+    }
+    report.findings.push_back(std::move(f));
+  }
+  for (const std::string& k : baseline)
+    if (used_baseline.count(k) == 0) report.unused_baseline.push_back(k);
+
+  std::stable_sort(report.findings.begin(), report.findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.path != b.path) return a.path < b.path;
+                     if (a.line != b.line) return a.line < b.line;
+                     return a.col < b.col;
+                   });
+  for (Finding& f : report.findings) {
+    f.path = display_path(f.path);
+    if (f.severity == Severity::kError)
+      ++report.error_count;
+    else
+      ++report.warning_count;
+  }
+  return report;
+}
+
+std::string Engine::render_text(const Report& report) {
+  std::ostringstream os;
+  for (const std::string& e : report.errors) os << "ulc_lint: error: " << e << "\n";
+  for (const Finding& f : report.findings) {
+    os << f.path << ":" << f.line << ":" << f.col << ": "
+       << (f.severity == Severity::kError ? "error" : "warning") << " ["
+       << f.rule << "] " << f.message << "\n";
+  }
+  for (const std::string& k : report.unused_baseline)
+    os << "ulc_lint: note: stale baseline entry (no longer fires): " << k
+       << "\n";
+  os << "ulc_lint: " << report.error_count << " error(s), "
+     << report.warning_count << " warning(s), " << report.suppressed_count
+     << " allow-marked, " << report.baselined_count << " baselined\n";
+  return os.str();
+}
+
+std::string Engine::render_json(const Report& report) {
+  std::ostringstream os;
+  os << "{\n  \"findings\": [";
+  bool first = true;
+  for (const Finding& f : report.findings) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "    {\"path\": \"";
+    json_escape(os, f.path);
+    os << "\", \"line\": " << f.line << ", \"col\": " << f.col
+       << ", \"rule\": \"";
+    json_escape(os, f.rule);
+    os << "\", \"severity\": \""
+       << (f.severity == Severity::kError ? "error" : "warning")
+       << "\", \"message\": \"";
+    json_escape(os, f.message);
+    os << "\"}";
+  }
+  os << (first ? "" : "\n  ") << "],\n";
+  os << "  \"stale_baseline\": [";
+  first = true;
+  for (const std::string& k : report.unused_baseline) {
+    os << (first ? "" : ", ");
+    first = false;
+    os << "\"";
+    json_escape(os, k);
+    os << "\"";
+  }
+  os << "],\n";
+  os << "  \"errors\": " << report.error_count
+     << ",\n  \"warnings\": " << report.warning_count
+     << ",\n  \"suppressed\": " << report.suppressed_count
+     << ",\n  \"baselined\": " << report.baselined_count << "\n}\n";
+  return os.str();
+}
+
+}  // namespace ulc::lint

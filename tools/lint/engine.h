@@ -1,0 +1,89 @@
+// Lint engine: file loading, suppression, baseline filtering and output.
+//
+// The engine owns everything around the rules: it lexes and scans each
+// input, builds the cross-file context (enum table, sibling TUs, layering
+// DAG), runs the rules, then filters findings through `// ulc-lint:
+// allow(rule)` markers and the checked-in baseline before rendering them as
+// text or JSON. Exit-code policy: errors gate, warnings inform.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/rules.h"
+
+namespace ulc::lint {
+
+struct Options {
+  // Paths whose display (and baseline keys) should be relative to this root.
+  std::string root;
+  // layers.txt path; empty disables the include-layering rule.
+  std::string layers_file;
+  // Baseline of known findings to suppress; empty means no baseline.
+  std::string baseline_file;
+  // Rules demoted from error to warning (reported, never gate the exit).
+  std::set<std::string> warn_rules;
+};
+
+struct Report {
+  std::vector<Finding> findings;        // post-filter, in file/line order
+  std::size_t error_count = 0;
+  std::size_t warning_count = 0;
+  std::size_t suppressed_count = 0;     // silenced by allow markers
+  std::size_t baselined_count = 0;      // silenced by the baseline
+  // Baseline entries that no longer match any finding — stale debt that
+  // should be deleted from the file.
+  std::vector<std::string> unused_baseline;
+  // I/O or config problems (unreadable file, malformed layers.txt line).
+  std::vector<std::string> errors;
+
+  bool ok() const { return error_count == 0 && errors.empty(); }
+};
+
+class Engine {
+ public:
+  explicit Engine(Options opts);
+
+  // Adds one file (lexes + scans immediately). Non-C++ extensions are
+  // ignored so directories can be added wholesale.
+  void add_file(const std::string& path);
+  // Recursively adds every .h/.cpp/.cc/.hpp under `dir`, sorted for
+  // deterministic ordering.
+  void add_directory(const std::string& dir);
+  // Adds an in-memory file (unit tests).
+  void add_source(const std::string& path, std::string text);
+
+  Report run();
+
+  // Renders `report` as human-readable text (one line per finding plus a
+  // summary) or as a JSON document for CI artifacts.
+  static std::string render_text(const Report& report);
+  static std::string render_json(const Report& report);
+
+  // Path shown to users / used in baseline keys: relative to opts.root when
+  // it lies underneath, unchanged otherwise.
+  std::string display_path(const std::string& path) const;
+
+ private:
+  Options opts_;
+  std::vector<std::unique_ptr<FileUnit>> units_;
+  std::vector<std::string> io_errors_;
+};
+
+// Parses a layers file: `module: dep dep ...` lines, `#` comments, `*`
+// meaning unconstrained. Malformed lines are reported via `errors`.
+std::map<std::string, std::set<std::string>> parse_layers(
+    const std::string& text, std::vector<std::string>& errors);
+
+// Parses a baseline file: `path:line:rule` lines, `#` comments.
+std::set<std::string> parse_baseline(const std::string& text);
+
+// True when `line_text` (or the previous line, for whole-line markers)
+// carries `// ulc-lint: allow(rule[, rule...])` naming `rule`.
+bool allow_marker_covers(const std::string& line_text, const std::string& rule);
+
+}  // namespace ulc::lint

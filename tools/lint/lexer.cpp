@@ -1,0 +1,319 @@
+#include "lint/lexer.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace ulc::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool digit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+// Multi-character punctuation, longest first within each leading char.
+const char* const kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "++", "--", "<<", ">>", "<=",
+    ">=",  "==",  "!=",  "&&",  "||", "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=",  "^=",  ".*",
+};
+
+class Lexer {
+ public:
+  Lexer(std::string path, std::string text) {
+    out_.path = std::move(path);
+    out_.text = std::move(text);
+  }
+
+  LexedFile run() {
+    split_lines();
+    const std::string& s = out_.text;
+    while (i_ < s.size()) {
+      const char c = s[i_];
+      if (c == '\n') {
+        advance_line();
+        ++i_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        ++i_;
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        lex_line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        lex_block_comment();
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        lex_directive();
+        continue;
+      }
+      at_line_start_ = false;
+      if (raw_string_start()) {
+        lex_raw_string();
+        continue;
+      }
+      if (c == '"' || (string_prefix() && s[after_prefix()] == '"')) {
+        lex_quoted(TokKind::kString, '"');
+        continue;
+      }
+      if (c == '\'' || (string_prefix() && s[after_prefix()] == '\'')) {
+        lex_quoted(TokKind::kChar, '\'');
+        continue;
+      }
+      if (ident_start(c)) {
+        lex_ident();
+        continue;
+      }
+      if (digit(c) || (c == '.' && digit(peek(1)))) {
+        lex_number();
+        continue;
+      }
+      lex_punct();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  char peek(std::size_t ahead) const {
+    return i_ + ahead < out_.text.size() ? out_.text[i_ + ahead] : '\0';
+  }
+
+  void split_lines() {
+    std::string cur;
+    for (char c : out_.text) {
+      if (c == '\n') {
+        out_.lines.push_back(cur);
+        cur.clear();
+      } else {
+        cur.push_back(c);
+      }
+    }
+    if (!cur.empty()) out_.lines.push_back(cur);
+  }
+
+  void advance_line() {
+    ++line_;
+    line_begin_ = i_ + 1;
+  }
+
+  std::size_t col() const { return i_ - line_begin_ + 1; }
+
+  void push(TokKind kind, std::size_t begin, std::size_t begin_line,
+            std::size_t begin_col) {
+    Token t;
+    t.kind = kind;
+    t.text = out_.text.substr(begin, i_ - begin);
+    t.line = begin_line;
+    t.col = begin_col;
+    out_.tokens.push_back(std::move(t));
+  }
+
+  void lex_line_comment() {
+    const std::size_t begin = i_, bl = line_, bc = col();
+    while (i_ < out_.text.size() && out_.text[i_] != '\n') ++i_;
+    Token t{TokKind::kPunct, out_.text.substr(begin, i_ - begin), bl, bc};
+    out_.comments.push_back(std::move(t));
+  }
+
+  void lex_block_comment() {
+    const std::size_t begin = i_, bl = line_, bc = col();
+    i_ += 2;
+    while (i_ < out_.text.size()) {
+      if (out_.text[i_] == '\n') advance_line();
+      if (out_.text[i_] == '*' && peek(1) == '/') {
+        i_ += 2;
+        break;
+      }
+      ++i_;
+    }
+    Token t{TokKind::kPunct, out_.text.substr(begin, i_ - begin), bl, bc};
+    out_.comments.push_back(std::move(t));
+  }
+
+  // Captures a whole `#` directive as one token: through end of line, with
+  // backslash-newline continuations joined. A `//` tail is dropped from the
+  // token text (it is still recorded as a comment).
+  void lex_directive() {
+    const std::size_t bl = line_, bc = col();
+    std::string body;
+    while (i_ < out_.text.size()) {
+      const char c = out_.text[i_];
+      if (c == '\\' && peek(1) == '\n') {
+        body.push_back(' ');
+        ++i_;        // the backslash
+        advance_line();
+        ++i_;        // the newline
+        continue;
+      }
+      if (c == '\n') break;  // newline handled by the main loop
+      if (c == '/' && peek(1) == '/') {
+        lex_line_comment();
+        break;
+      }
+      if (c == '/' && peek(1) == '*') {
+        lex_block_comment();
+        body.push_back(' ');
+        continue;
+      }
+      body.push_back(c);
+      ++i_;
+    }
+    while (!body.empty() && (body.back() == ' ' || body.back() == '\t' ||
+                             body.back() == '\r'))
+      body.pop_back();
+    out_.tokens.push_back(Token{TokKind::kPreprocessor, std::move(body), bl, bc});
+    at_line_start_ = true;
+  }
+
+  // Length of an encoding prefix (u8, u, U, L) at i_, or 0.
+  std::size_t prefix_len() const {
+    const char c = out_.text[i_];
+    if (c == 'u' && peek(1) == '8') return 2;
+    if (c == 'u' || c == 'U' || c == 'L') return 1;
+    return 0;
+  }
+  bool string_prefix() const {
+    const std::size_t n = prefix_len();
+    return n > 0 && !prev_ident_char();
+  }
+  std::size_t after_prefix() const { return i_ + prefix_len(); }
+
+  // True when the character before i_ would glue onto an identifier — then
+  // an `R"` here is the tail of a longer name, not a raw-string prefix.
+  bool prev_ident_char() const {
+    return i_ > 0 && ident_char(out_.text[i_ - 1]);
+  }
+
+  // Raw strings: R"delim( ... )delim", optionally with an encoding prefix.
+  // The critical near-miss this must NOT match is a quote-R sequence inside
+  // an ordinary literal such as "LLD-R" — the leading `"` is consumed by
+  // lex_quoted first, so the R there is literal content, and an `R` glued to
+  // a preceding identifier (e.g. FOO_R"x") is not a prefix either.
+  bool raw_string_start() const {
+    if (prev_ident_char()) return false;
+    std::size_t j = i_ + prefix_len();
+    return j + 1 < out_.text.size() && out_.text[j] == 'R' &&
+           out_.text[j + 1] == '"';
+  }
+
+  void lex_raw_string() {
+    const std::size_t begin = i_, bl = line_, bc = col();
+    i_ = i_ + prefix_len() + 2;  // past R"
+    std::string delim;
+    while (i_ < out_.text.size() && out_.text[i_] != '(') {
+      delim.push_back(out_.text[i_]);
+      ++i_;
+    }
+    if (i_ < out_.text.size()) ++i_;  // past (
+    const std::string close = ")" + delim + "\"";
+    const std::size_t end = out_.text.find(close, i_);
+    const std::size_t stop =
+        end == std::string::npos ? out_.text.size() : end + close.size();
+    while (i_ < stop) {
+      if (out_.text[i_] == '\n') advance_line();
+      ++i_;
+    }
+    push(TokKind::kRawString, begin, bl, bc);
+  }
+
+  void lex_quoted(TokKind kind, char quote) {
+    const std::size_t begin = i_, bl = line_, bc = col();
+    i_ = begin + prefix_len() + 1;  // past the opening quote
+    while (i_ < out_.text.size()) {
+      const char c = out_.text[i_];
+      if (c == '\\' && i_ + 1 < out_.text.size()) {
+        if (out_.text[i_ + 1] == '\n') advance_line();
+        i_ += 2;
+        continue;
+      }
+      if (c == '\n') break;  // unterminated: stop at end of line
+      ++i_;
+      if (c == quote) break;
+    }
+    push(kind, begin, bl, bc);
+  }
+
+  void lex_ident() {
+    const std::size_t begin = i_, bl = line_, bc = col();
+    while (i_ < out_.text.size() && ident_char(out_.text[i_])) ++i_;
+    push(TokKind::kIdent, begin, bl, bc);
+  }
+
+  // pp-number: digits, idents chars, dots, and sign chars after e/E/p/P.
+  // Digit separators (') are consumed so 1'000'000 is one token.
+  void lex_number() {
+    const std::size_t begin = i_, bl = line_, bc = col();
+    ++i_;
+    while (i_ < out_.text.size()) {
+      const char c = out_.text[i_];
+      if (ident_char(c) || c == '.') {
+        ++i_;
+        continue;
+      }
+      if (c == '\'' && ident_char(peek(1))) {
+        i_ += 2;
+        continue;
+      }
+      if ((c == '+' || c == '-') && i_ > begin) {
+        const char prev = out_.text[i_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          ++i_;
+          continue;
+        }
+      }
+      break;
+    }
+    push(TokKind::kNumber, begin, bl, bc);
+  }
+
+  void lex_punct() {
+    const std::size_t begin = i_, bl = line_, bc = col();
+    for (const char* p : kPuncts) {
+      const std::size_t n = std::char_traits<char>::length(p);
+      if (out_.text.compare(i_, n, p) == 0) {
+        i_ += n;
+        push(TokKind::kPunct, begin, bl, bc);
+        return;
+      }
+    }
+    ++i_;
+    push(TokKind::kPunct, begin, bl, bc);
+  }
+
+  LexedFile out_;
+  std::size_t i_ = 0;
+  std::size_t line_ = 1;
+  std::size_t line_begin_ = 0;
+  bool at_line_start_ = true;
+};
+
+}  // namespace
+
+const std::string& LexedFile::line_text(std::size_t line) const {
+  static const std::string kEmpty;
+  if (line == 0 || line > lines.size()) return kEmpty;
+  return lines[line - 1];
+}
+
+LexedFile lex(std::string path, std::string text) {
+  return Lexer(std::move(path), std::move(text)).run();
+}
+
+bool is_float_literal(const Token& tok) {
+  if (tok.kind != TokKind::kNumber) return false;
+  const std::string& t = tok.text;
+  if (t.size() > 1 && t[0] == '0' && (t[1] == 'x' || t[1] == 'X')) return false;
+  if (t.find('.') != std::string::npos) return true;
+  return t.find('e') != std::string::npos || t.find('E') != std::string::npos;
+}
+
+}  // namespace ulc::lint

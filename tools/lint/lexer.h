@@ -1,0 +1,62 @@
+// Token-level C++ lexer for ulc_lint.
+//
+// The old linter ran regexes over a "stripped" copy of each file produced by
+// a five-state character machine. That machine could not lex raw string
+// literals — `R"(...)"` was treated as an ordinary string, so any `)"` inside
+// the raw body re-entered code state and leaked literal content into rule
+// matching — and it threw the token structure away, so rules could not ask
+// "what declared this identifier" or "which call does this paren close".
+// This lexer produces a real token stream (identifiers, numbers, string /
+// char literals including raw strings, punctuation, preprocessor directives,
+// comments) with line/column positions, which the symbol tracker
+// (symbols.h) and the rule engine (rules.h) consume.
+//
+// Scope: this is a lexer for the dialect of C++ this repository is written
+// in, not a standards-complete front end. Trigraphs, digraphs and splices
+// inside tokens are not handled; preprocessor directives are captured as
+// single tokens (with backslash continuations joined) rather than expanded.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ulc::lint {
+
+enum class TokKind {
+  kIdent,         // identifiers and keywords
+  kNumber,        // pp-number: integer / float literal
+  kString,        // "..."; text is the full literal including quotes
+  kRawString,     // R"delim(...)delim" (and u8R/uR/UR/LR variants)
+  kChar,          // '...'
+  kPunct,         // operators and punctuation, longest-match
+  kPreprocessor,  // a full # directive line (continuations joined)
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;      // source spelling (directives: logical line)
+  std::size_t line = 1;  // 1-based
+  std::size_t col = 1;   // 1-based, in the physical source line
+};
+
+struct LexedFile {
+  std::string path;
+  std::string text;                 // original bytes
+  std::vector<std::string> lines;   // original lines, newline-free
+  std::vector<Token> tokens;        // code tokens, comments excluded
+  std::vector<Token> comments;      // // and /* */ bodies, in order
+
+  // Original text of `line` (1-based), or an empty string out of range.
+  const std::string& line_text(std::size_t line) const;
+};
+
+// Lexes `text` into tokens. Never fails: unterminated literals consume the
+// rest of the file, unknown bytes become single-char kPunct tokens.
+LexedFile lex(std::string path, std::string text);
+
+// True when a number token spells a floating-point literal (contains a '.'
+// or a decimal exponent; hex literals never qualify).
+bool is_float_literal(const Token& tok);
+
+}  // namespace ulc::lint

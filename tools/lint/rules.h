@@ -1,0 +1,76 @@
+// Rule engine for ulc_lint: structured findings over the token stream.
+//
+// Each rule inspects one file's tokens plus the symbol tables (its own TU,
+// the same-stem sibling header/source, and the repo-wide enum table) and
+// appends Findings. Suppression, baseline filtering and output formatting
+// live in engine.h; the rules themselves only decide "is this a violation".
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.h"
+#include "lint/symbols.h"
+
+namespace ulc::lint {
+
+enum class Severity { kError, kWarning };
+
+struct Finding {
+  std::string path;
+  std::size_t line = 0;
+  std::size_t col = 0;
+  std::string rule;
+  Severity severity = Severity::kError;
+  std::string message;
+};
+
+struct RuleInfo {
+  const char* name;
+  Severity default_severity;
+  const char* summary;  // one-liner for --list-rules and docs
+};
+
+// Every rule the engine knows, in display order. The first ten are ports of
+// the old regex linter; the last four are the semantic rules the token
+// stream makes possible.
+const std::vector<RuleInfo>& all_rules();
+bool is_known_rule(const std::string& name);
+
+// One lexed + scanned file.
+struct FileUnit {
+  LexedFile lexed;
+  TuSymbols symbols;
+};
+
+// Cross-file context shared by every rule invocation.
+struct GlobalContext {
+  // Enum name -> every definition of that name across the linted set (the
+  // same unqualified name may be defined in several TUs).
+  std::map<std::string, std::vector<const EnumDef*>> enums;
+  // Same-stem sibling (foo.cpp <-> foo.h), nullptr when absent.
+  std::map<const FileUnit*, const FileUnit*> sibling;
+  // Module layering DAG from layers.txt: module -> allowed include targets.
+  // The special target "*" leaves a module unconstrained. Empty map (not
+  // loaded) disables the include-layering rule.
+  std::map<std::string, std::set<std::string>> layers;
+
+  const FileUnit* sibling_of(const FileUnit& unit) const {
+    auto it = sibling.find(&unit);
+    return it == sibling.end() ? nullptr : it->second;
+  }
+};
+
+// Runs every rule over `unit`, appending raw findings (suppression and
+// baseline filtering happen in the engine).
+void run_rules(const FileUnit& unit, const GlobalContext& ctx,
+               std::vector<Finding>& out);
+
+// Module of a path for the layering rule: the directory component after
+// "src", or "bench"/"tools"/"tests" for those trees; empty when unknown.
+std::string module_of(const std::string& path);
+
+}  // namespace ulc::lint

@@ -1,0 +1,306 @@
+#include "lint/symbols.h"
+
+#include <algorithm>
+
+namespace ulc::lint {
+
+namespace {
+
+bool is_ident(const Token& t) { return t.kind == TokKind::kIdent; }
+bool is_punct(const Token& t, const char* s) {
+  return t.kind == TokKind::kPunct && t.text == s;
+}
+bool is_word(const Token& t, const char* s) {
+  return t.kind == TokKind::kIdent && t.text == s;
+}
+
+bool is_statement_keyword(const std::string& s) {
+  return s == "return" || s == "delete" || s == "new" || s == "case" ||
+         s == "goto" || s == "else" || s == "throw" || s == "using" ||
+         s == "typedef" || s == "typename" || s == "template" ||
+         s == "operator" || s == "sizeof" || s == "static_assert" ||
+         s == "public" || s == "private" || s == "protected" || s == "break" ||
+         s == "continue" || s == "do" || s == "namespace" || s == "friend";
+}
+
+bool is_control_keyword(const std::string& s) {
+  return s == "if" || s == "for" || s == "while" || s == "switch" ||
+         s == "catch" || s == "return" || s == "sizeof" || s == "alignof" ||
+         s == "decltype" || s == "noexcept" || s == "static_assert" ||
+         s == "alignas" || s == "throw" || s == "new" || s == "delete";
+}
+
+bool is_decl_qualifier(const std::string& s) {
+  return s == "const" || s == "constexpr" || s == "static" || s == "inline" ||
+         s == "mutable" || s == "volatile" || s == "explicit" ||
+         s == "virtual" || s == "extern" || s == "thread_local";
+}
+
+// Skips a template argument list starting at the `<` token. Returns one past
+// the matching `>`, or npos when this `<` is better explained as a
+// comparison (a `;`, `{` or end of file arrives first).
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+std::size_t skip_template_args(const std::vector<Token>& toks, std::size_t at) {
+  int depth = 0;
+  for (std::size_t i = at; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kPunct) continue;
+    if (t.text == "<") ++depth;
+    if (t.text == "<<") depth += 2;
+    if (t.text == ">") --depth;
+    if (t.text == ">>") depth -= 2;
+    if (depth <= 0) return i + 1;
+    if (t.text == ";" || t.text == "{") return kNpos;
+    if (t.text == "(") {
+      i = skip_balanced(toks, i);
+      if (i == toks.size()) return kNpos;
+      --i;
+    }
+  }
+  return kNpos;
+}
+
+class Scanner {
+ public:
+  explicit Scanner(const LexedFile& file) : file_(file), toks_(file.tokens) {}
+
+  TuSymbols run() {
+    for (std::size_t i = 0; i < toks_.size(); ++i) {
+      scan_enum(i);
+      scan_class(i);
+      scan_reserved(i);
+      scan_var_decl(i);
+      scan_function(i);
+    }
+    drop_nested_functions();
+    return std::move(out_);
+  }
+
+ private:
+  const Token& tok(std::size_t i) const {
+    static const Token kEof{TokKind::kPunct, "", 0, 0};
+    return i < toks_.size() ? toks_[i] : kEof;
+  }
+
+  void scan_enum(std::size_t i) {
+    if (!is_word(tok(i), "enum")) return;
+    std::size_t j = i + 1;
+    if (is_word(tok(j), "class") || is_word(tok(j), "struct")) ++j;
+    if (!is_ident(tok(j))) return;  // unnamed enum: nothing to switch over
+    EnumDef def;
+    def.name = tok(j).text;
+    def.line = tok(j).line;
+    def.path = file_.path;
+    ++j;
+    if (is_punct(tok(j), ":")) {  // underlying type
+      ++j;
+      while (j < toks_.size() && !is_punct(tok(j), "{") && !is_punct(tok(j), ";"))
+        ++j;
+    }
+    if (!is_punct(tok(j), "{")) return;  // forward declaration
+    ++j;
+    bool expect_name = true;
+    int depth = 1;
+    while (j < toks_.size() && depth > 0) {
+      const Token& t = tok(j);
+      if (is_punct(t, "{")) ++depth;
+      if (is_punct(t, "}")) --depth;
+      if (depth == 1) {
+        if (expect_name && is_ident(t)) {
+          def.enumerators.push_back(t.text);
+          expect_name = false;
+        } else if (is_punct(t, ",")) {
+          expect_name = true;
+        } else if (is_punct(t, "(") || is_punct(t, "[")) {
+          j = skip_balanced(toks_, j);
+          continue;
+        }
+      }
+      ++j;
+    }
+    if (!def.enumerators.empty()) out_.enums.push_back(std::move(def));
+  }
+
+  void scan_class(std::size_t i) {
+    if (!is_word(tok(i), "class") && !is_word(tok(i), "struct")) return;
+    std::size_t j = i + 1;
+    if (!is_ident(tok(j))) return;
+    ClassDef def;
+    def.name = tok(j).text;
+    ++j;
+    if (is_word(tok(j), "final")) ++j;
+    if (is_punct(tok(j), ":")) {
+      ++j;
+      std::string last_ident;
+      while (j < toks_.size() && !is_punct(tok(j), "{") && !is_punct(tok(j), ";")) {
+        const Token& t = tok(j);
+        if (is_ident(t) && !is_decl_qualifier(t.text) && t.text != "public" &&
+            t.text != "private" && t.text != "protected")
+          last_ident = t.text;
+        if (is_punct(t, "<")) {
+          const std::size_t past = skip_template_args(toks_, j);
+          if (past == kNpos) return;
+          j = past;
+          continue;
+        }
+        if (is_punct(t, ",")) {
+          if (!last_ident.empty()) def.bases.push_back(last_ident);
+          last_ident.clear();
+        }
+        ++j;
+      }
+      if (!last_ident.empty()) def.bases.push_back(last_ident);
+    }
+    if (!is_punct(tok(j), "{")) return;  // forward decl or variable
+    def.body_begin = j;
+    def.body_end = skip_balanced(toks_, j);
+    out_.classes.push_back(std::move(def));
+  }
+
+  void scan_reserved(std::size_t i) {
+    if (!is_ident(tok(i))) return;
+    if (!is_punct(tok(i + 1), ".") && !is_punct(tok(i + 1), "->")) return;
+    if (!is_word(tok(i + 2), "reserve") || !is_punct(tok(i + 3), "(")) return;
+    out_.reserved_receivers.insert(tok(i).text);
+  }
+
+  // Declarations of the shape:  [qualifiers] Head[::Chain][<args>] [*&]*
+  // name (; = { , ))   — records name -> Head (last chain component).
+  void scan_var_decl(std::size_t i) {
+    if (!is_ident(tok(i)) || is_statement_keyword(tok(i).text) ||
+        is_control_keyword(tok(i).text) || is_decl_qualifier(tok(i).text))
+      return;
+    // Only start at the head of the type: the previous token must not make
+    // this identifier part of a larger expression or qualified name.
+    const Token& prev = tok(i == 0 ? toks_.size() : i - 1);
+    if (i > 0 && (is_ident(prev) || is_punct(prev, "::") || is_punct(prev, ".") ||
+                  is_punct(prev, "->")))
+      return;
+    std::size_t j = i;
+    std::string head = tok(j).text;
+    ++j;
+    while (is_punct(tok(j), "::") && is_ident(tok(j + 1))) {
+      head = tok(j + 1).text;
+      j += 2;
+    }
+    if (is_punct(tok(j), "<")) {
+      const std::size_t past = skip_template_args(toks_, j);
+      if (past == kNpos) return;
+      j = past;
+    }
+    while (is_punct(tok(j), "*") || is_punct(tok(j), "&") ||
+           is_punct(tok(j), "&&") || is_word(tok(j), "const"))
+      ++j;
+    if (!is_ident(tok(j)) || is_statement_keyword(tok(j).text) ||
+        is_decl_qualifier(tok(j).text))
+      return;
+    const std::string name = tok(j).text;
+    const Token& after = tok(j + 1);
+    if (is_punct(after, ";") || is_punct(after, "=") || is_punct(after, "{") ||
+        is_punct(after, ",") || is_punct(after, ")"))
+      out_.var_types[name].insert(head);
+  }
+
+  void scan_function(std::size_t i) {
+    if (!is_ident(tok(i)) || !is_punct(tok(i + 1), "(")) return;
+    if (is_control_keyword(tok(i).text) || is_statement_keyword(tok(i).text))
+      return;
+    const std::size_t params_end = skip_balanced(toks_, i + 1);
+    if (params_end >= toks_.size()) return;
+    FunctionDef def;
+    def.name = tok(i).text;
+    def.header_begin = i;
+    def.line = tok(i).line;
+    if (is_punct(tok(i - 1), "::") && is_ident(tok(i - 2)) && i >= 2)
+      def.qualifier = tok(i - 2).text;
+    std::size_t j = params_end;
+    // Specifier run between the parameter list and the body.
+    while (j < toks_.size()) {
+      const Token& t = tok(j);
+      if (is_word(t, "const")) {
+        def.is_const = true;
+        ++j;
+        continue;
+      }
+      if (is_word(t, "override") || is_word(t, "final") ||
+          is_word(t, "noexcept") || is_punct(t, "&") || is_punct(t, "&&")) {
+        ++j;
+        if (is_word(t, "noexcept") && is_punct(tok(j), "(")) {
+          j = skip_balanced(toks_, j);
+        }
+        continue;
+      }
+      if (is_punct(t, "->")) {  // trailing return type
+        ++j;
+        while (j < toks_.size() && !is_punct(tok(j), "{") && !is_punct(tok(j), ";"))
+          ++j;
+        continue;
+      }
+      if (is_punct(t, ":")) {  // constructor initializer list
+        ++j;
+        while (j < toks_.size()) {
+          while (j < toks_.size() && (is_ident(tok(j)) || is_punct(tok(j), "::")))
+            ++j;
+          if (is_punct(tok(j), "<")) {
+            const std::size_t past = skip_template_args(toks_, j);
+            if (past == kNpos) return;
+            j = past;
+          }
+          if (!is_punct(tok(j), "(") && !is_punct(tok(j), "{")) return;
+          j = skip_balanced(toks_, j);
+          if (!is_punct(tok(j), ",")) break;
+          ++j;
+        }
+        continue;
+      }
+      break;
+    }
+    if (!is_punct(tok(j), "{")) return;  // declaration, not a definition
+    def.body_begin = j;
+    def.body_end = skip_balanced(toks_, j);
+    out_.functions.push_back(std::move(def));
+  }
+
+  // A lambda or block expression can occasionally be mis-read as a nested
+  // function definition; the enclosing function's range already covers those
+  // tokens, so keep only the outermost definitions.
+  void drop_nested_functions() {
+    auto& fns = out_.functions;
+    std::vector<FunctionDef> kept;
+    for (const FunctionDef& f : fns) {
+      bool nested = false;
+      for (const FunctionDef& g : fns) {
+        if (g.body_begin < f.header_begin && f.body_end <= g.body_end &&
+            (g.body_begin != f.body_begin || g.body_end != f.body_end)) {
+          nested = true;
+          break;
+        }
+      }
+      if (!nested) kept.push_back(f);
+    }
+    fns = std::move(kept);
+  }
+
+  const LexedFile& file_;
+  const std::vector<Token>& toks_;
+  TuSymbols out_;
+};
+
+}  // namespace
+
+std::size_t skip_balanced(const std::vector<Token>& tokens, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (t.kind != TokKind::kPunct) continue;
+    if (t.text == "(" || t.text == "[" || t.text == "{") ++depth;
+    if (t.text == ")" || t.text == "]" || t.text == "}") --depth;
+    if (depth == 0) return i + 1;
+  }
+  return tokens.size();
+}
+
+TuSymbols scan(const LexedFile& file) { return Scanner(file).run(); }
+
+}  // namespace ulc::lint

@@ -1,0 +1,76 @@
+// Lightweight per-translation-unit symbol tracking for ulc_lint.
+//
+// The semantic rules need three things no regex can answer: which enums
+// exist and what their enumerators are (enum-switch exhaustiveness), what
+// type a name was declared with (is `entries_` a FlatMap? is `stack_` a
+// SlabList?), and where function bodies begin and end (so pointer lifetimes
+// and narration obligations can be scoped to one function). This scanner
+// extracts exactly that from a token stream — a recognizer for the
+// declaration shapes this repository uses, not a general C++ parser. It is
+// deliberately conservative: when a construct does not match, it records
+// nothing, and rules treat "unknown" as "make no claim".
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.h"
+
+namespace ulc::lint {
+
+struct EnumDef {
+  std::string name;                       // unqualified (nested enums too)
+  std::vector<std::string> enumerators;
+  std::size_t line = 0;
+  std::string path;                       // defining file
+};
+
+struct FunctionDef {
+  std::string name;        // last identifier before the parameter list
+  std::string qualifier;   // `Class` in `Class::name`, empty otherwise
+  bool is_const = false;   // const member function
+  std::size_t header_begin = 0;  // token index of the name
+  std::size_t body_begin = 0;    // token index of `{`
+  std::size_t body_end = 0;      // token index one past the matching `}`
+  std::size_t line = 0;
+};
+
+struct ClassDef {
+  std::string name;
+  std::vector<std::string> bases;  // base-class identifiers (last component)
+  std::size_t body_begin = 0;      // token index of `{`
+  std::size_t body_end = 0;        // one past the matching `}`
+};
+
+struct TuSymbols {
+  std::vector<EnumDef> enums;
+  std::vector<FunctionDef> functions;
+  std::vector<ClassDef> classes;
+  // Declared-variable name -> set of type heads it was declared with in this
+  // TU ("FlatMap", "Slab", "SlabList", "unordered_map", ...). The head is
+  // the last identifier of the type's leading name (std::vector -> vector).
+  std::map<std::string, std::set<std::string>> var_types;
+  // Receivers that are reserve()d somewhere in this TU (`x.reserve(...)`):
+  // their FlatMap insertions cannot rehash mid-run.
+  std::set<std::string> reserved_receivers;
+
+  const std::set<std::string>* types_of(const std::string& name) const {
+    auto it = var_types.find(name);
+    return it == var_types.end() ? nullptr : &it->second;
+  }
+  bool declared_as(const std::string& name, const std::string& head) const {
+    const std::set<std::string>* t = types_of(name);
+    return t != nullptr && t->count(head) != 0;
+  }
+};
+
+TuSymbols scan(const LexedFile& file);
+
+// Index one past the token matching the opener at `open` ('(' '[' '{' '<'),
+// or tokens.size() when unbalanced. `open` must point at the opener.
+std::size_t skip_balanced(const std::vector<Token>& tokens, std::size_t open);
+
+}  // namespace ulc::lint

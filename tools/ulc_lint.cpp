@@ -1,484 +1,111 @@
-// ulc_lint — repository-specific style and determinism linter.
+// ulc_lint — repository-specific semantic linter (thin CLI).
 //
-// The generic compiler warnings cannot see repo-level contracts: simulator
-// output must be bit-reproducible (no wall-clock or libc randomness, no
-// hash-order leaking into emitted sequences), every invariant failure must
-// say *which* invariant broke, and headers must stay include-clean. This
-// tool enforces those contracts textually, comment- and string-aware, and
-// runs as a ctest case so CI fails on regressions.
+// All analysis lives in the library under tools/lint/: a token-aware lexer
+// (lint/lexer.h) that understands comments, string/char literals including
+// raw strings, and preprocessor lines; a per-TU symbol scanner
+// (lint/symbols.h) for enums, declared variable types and function bodies;
+// fourteen rules (lint/rules.h); and the suppression/baseline/output engine
+// (lint/engine.h). See docs/linting.md for the rule catalog.
 //
-// Usage: ulc_lint <dir> [<dir>...]
+// Usage:
+//   ulc_lint [options] <dir|file>...
+//     --root=DIR        display/baseline paths relative to DIR
+//     --layers=FILE     module DAG for include-layering (off when absent)
+//     --baseline=FILE   suppress findings listed as path:line:rule
+//     --warn=RULE       demote RULE to a warning (repeatable)
+//     --json[=FILE]     machine-readable findings (stdout or FILE)
+//     --list-rules      print the rule catalog and exit
 //
-// Rules (suppress a line with `// ulc-lint: allow(<rule>)`):
-//   determinism          rand()/srand()/time()/std::random_device anywhere
-//   unordered-iteration  range-for over a variable declared as an unordered
-//                        container in the same translation unit (file plus
-//                        its same-stem sibling header/source) — hash order
-//                        must never feed output
-//   ensure-msg           ULC_ENSURE/ULC_REQUIRE with an empty message
-//   pragma-once          header file without #pragma once
-//   using-namespace      `using namespace` in a header
-//   float-eq             ==/!= against a floating-point literal
-//   unbounded-retry      an infinite loop (`while (true)` / `for (;;)`) whose
-//                        body issues protocol sends (send/deliver_at/transfer)
-//                        with no attempts counter in sight — retries must be
-//                        bounded (proto/reliable.h) so a dead level cannot
-//                        spin the simulator forever
-//   wall-clock           std::chrono machine clocks (system_clock,
-//                        steady_clock, high_resolution_clock) anywhere in the
-//                        linted tree — simulated quantities are keyed to sim
-//                        time or access index; the only sanctioned stopwatch
-//                        is util/wallclock.h, whose lines carry allow markers
-//   hot-container        std::unordered_map/std::unordered_set/std::list in
-//                        the hot directories (src/ulc, src/replacement,
-//                        src/hierarchy) — per-block state there lives in the
-//                        arena cores (util/flat_hash.h + util/slab.h); node
-//                        heaps and hashed buckets reintroduce the allocation
-//                        traffic the port removed. Offline/reference paths
-//                        (OPT, layout analysis) carry allow markers.
-//   count-capacity       a `.size() <= cap`-style comparison (entry count
-//                        against something named cap*/budget*) in
-//                        src/replacement or src/hierarchy — capacities are
-//                        byte budgets in SizeUnits, so admission/eviction
-//                        decisions must compare occupied bytes, not entry
-//                        counts. Structures that are genuinely count-bounded
-//                        (ghost lists, per-block metadata directories) carry
-//                        allow markers.
+// Suppress a single finding with `// ulc-lint: allow(rule)` on the flagged
+// line or alone on the line above it.
 //
-// Exit status: 0 clean, 1 findings, 2 usage/IO error.
-#include <algorithm>
-#include <cctype>
+// Exit codes: 0 clean (warnings allowed), 1 findings at error severity,
+// 2 usage or I/O error.
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
-#include <map>
-#include <regex>
-#include <set>
-#include <sstream>
 #include <string>
 #include <vector>
 
+#include "lint/engine.h"
+
 namespace {
 
-namespace fs = std::filesystem;
-
-struct Finding {
-  std::string path;
-  std::size_t line;
-  std::string rule;
-  std::string message;
-};
-
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+int list_rules() {
+  for (const ulc::lint::RuleInfo& r : ulc::lint::all_rules())
+    std::printf("%-24s %s\n", r.name, r.summary);
+  return 0;
 }
-
-// Replaces comment bodies and string/char-literal contents with spaces,
-// preserving offsets and newlines, so textual rules never fire inside
-// comments or literals. Quote characters themselves are kept.
-std::string strip(const std::string& text) {
-  std::string out = text;
-  enum class State { kCode, kLine, kBlock, kString, kChar } state = State::kCode;
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    const char c = text[i];
-    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLine;
-          out[i] = ' ';
-        } else if (c == '/' && next == '*') {
-          state = State::kBlock;
-          out[i] = ' ';
-        } else if (c == '"') {
-          state = State::kString;
-        } else if (c == '\'') {
-          state = State::kChar;
-        }
-        break;
-      case State::kLine:
-        if (c == '\n')
-          state = State::kCode;
-        else
-          out[i] = ' ';
-        break;
-      case State::kBlock:
-        if (c == '*' && next == '/') {
-          out[i] = ' ';
-          out[i + 1] = ' ';
-          ++i;
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kString:
-      case State::kChar: {
-        const char quote = state == State::kString ? '"' : '\'';
-        if (c == '\\' && next != '\0') {
-          out[i] = ' ';
-          if (next != '\n') out[i + 1] = ' ';
-          ++i;
-        } else if (c == quote) {
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      }
-    }
-  }
-  return out;
-}
-
-std::vector<std::string> split_lines(const std::string& text) {
-  std::vector<std::string> lines;
-  std::string cur;
-  for (char c : text) {
-    if (c == '\n') {
-      lines.push_back(cur);
-      cur.clear();
-    } else {
-      cur.push_back(c);
-    }
-  }
-  if (!cur.empty()) lines.push_back(cur);
-  return lines;
-}
-
-// Per-line suppression markers: `// ulc-lint: allow(rule1, rule2)`.
-bool allowed(const std::string& original_line, const std::string& rule) {
-  static const std::string kMarker = "ulc-lint: allow(";
-  std::size_t at = 0;
-  while ((at = original_line.find(kMarker, at)) != std::string::npos) {
-    const std::size_t open = at + kMarker.size();
-    const std::size_t close = original_line.find(')', open);
-    if (close == std::string::npos) break;
-    std::stringstream list(original_line.substr(open, close - open));
-    std::string item;
-    while (std::getline(list, item, ',')) {
-      item.erase(std::remove_if(item.begin(), item.end(),
-                                [](char c) { return std::isspace(
-                                    static_cast<unsigned char>(c)) != 0; }),
-                 item.end());
-      if (item == rule) return true;
-    }
-    at = close;
-  }
-  return false;
-}
-
-// Names of variables declared as std::unordered_{map,set}<...> in the given
-// stripped text. Walks past the balanced template argument list and records
-// the declarator identifier that follows.
-void collect_unordered_names(const std::string& stripped,
-                             std::set<std::string>& names) {
-  static const std::regex kDecl("unordered_(?:map|set)\\s*<");
-  for (auto it = std::sregex_iterator(stripped.begin(), stripped.end(), kDecl);
-       it != std::sregex_iterator(); ++it) {
-    std::size_t i = static_cast<std::size_t>(it->position()) + it->length();
-    int depth = 1;
-    while (i < stripped.size() && depth > 0) {
-      if (stripped[i] == '<') ++depth;
-      if (stripped[i] == '>') --depth;
-      ++i;
-    }
-    while (i < stripped.size() &&
-           std::isspace(static_cast<unsigned char>(stripped[i])) != 0)
-      ++i;
-    std::string name;
-    while (i < stripped.size() && ident_char(stripped[i])) name.push_back(stripped[i++]);
-    while (i < stripped.size() &&
-           std::isspace(static_cast<unsigned char>(stripped[i])) != 0)
-      ++i;
-    const char after = i < stripped.size() ? stripped[i] : '\0';
-    if (!name.empty() && (after == ';' || after == '{' || after == '=' || after == ','))
-      names.insert(name);
-  }
-}
-
-// Parses an ULC_ENSURE/ULC_REQUIRE invocation starting at the macro name in
-// `text` and returns its final argument (the message), or nullopt when the
-// call is malformed. String-aware so commas inside the message don't split.
-std::string last_macro_argument(const std::string& text, std::size_t name_end) {
-  std::size_t i = name_end;
-  while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])) != 0)
-    ++i;
-  if (i >= text.size() || text[i] != '(') return {};
-  ++i;
-  int depth = 1;
-  bool in_string = false;
-  std::size_t arg_start = i;
-  std::string last;
-  for (; i < text.size() && depth > 0; ++i) {
-    const char c = text[i];
-    if (in_string) {
-      if (c == '\\')
-        ++i;
-      else if (c == '"')
-        in_string = false;
-      continue;
-    }
-    if (c == '"') in_string = true;
-    if (c == '(' || c == '[' || c == '{') ++depth;
-    if (c == ')' || c == ']' || c == '}') --depth;
-    if ((c == ',' && depth == 1) || (depth == 0)) {
-      last = text.substr(arg_start, i - arg_start);
-      arg_start = i + 1;
-    }
-  }
-  const auto first = last.find_first_not_of(" \t\n\r");
-  if (first == std::string::npos) return {};
-  const auto end = last.find_last_not_of(" \t\n\r");
-  return last.substr(first, end - first + 1);
-}
-
-std::size_t line_of(const std::string& text, std::size_t offset) {
-  return 1 + static_cast<std::size_t>(
-                 std::count(text.begin(), text.begin() + static_cast<long>(offset),
-                            '\n'));
-}
-
-class Linter {
- public:
-  void lint_file(const fs::path& path) {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
-      std::fprintf(stderr, "ulc_lint: cannot read %s\n", path.c_str());
-      io_error_ = true;
-      return;
-    }
-    std::stringstream buf;
-    buf << in.rdbuf();
-    const std::string original = buf.str();
-    const std::string stripped = strip(original);
-    const auto orig_lines = split_lines(original);
-    const auto strip_lines = split_lines(stripped);
-    const bool is_header = path.extension() == ".h";
-
-    auto report = [&](std::size_t line, const std::string& rule,
-                      const std::string& message) {
-      const std::string& src =
-          line >= 1 && line <= orig_lines.size() ? orig_lines[line - 1] : original;
-      if (!allowed(src, rule))
-        findings_.push_back({path.generic_string(), line, rule, message});
-    };
-
-    // determinism --------------------------------------------------------
-    static const std::regex kNonDet(
-        "(^|[^A-Za-z0-9_])(rand\\s*\\(|srand\\s*\\(|time\\s*\\(|random_device)");
-    for (std::size_t n = 0; n < strip_lines.size(); ++n) {
-      if (std::regex_search(strip_lines[n], kNonDet))
-        report(n + 1, "determinism",
-               "wall-clock or libc randomness breaks reproducible runs; use "
-               "util/prng.h with an explicit seed");
-    }
-
-    // wall-clock ---------------------------------------------------------
-    static const std::regex kWallClock(
-        "\\b(?:system_clock|steady_clock|high_resolution_clock)\\b");
-    for (std::size_t n = 0; n < strip_lines.size(); ++n) {
-      if (std::regex_search(strip_lines[n], kWallClock))
-        report(n + 1, "wall-clock",
-               "machine clocks break replay determinism; key measurements to "
-               "sim time or access index, or go through util/wallclock.h "
-               "(the allow-listed stopwatch shim)");
-    }
-
-    // unordered-iteration ------------------------------------------------
-    std::set<std::string> unordered;
-    collect_unordered_names(stripped, unordered);
-    for (const fs::path& sib : siblings(path)) {
-      std::ifstream sin(sib, std::ios::binary);
-      if (!sin) continue;
-      std::stringstream sbuf;
-      sbuf << sin.rdbuf();
-      collect_unordered_names(strip(sbuf.str()), unordered);
-    }
-    static const std::regex kRangeFor(
-        "for\\s*\\([^;()]*:\\s*([A-Za-z_][A-Za-z0-9_]*)\\s*\\)");
-    for (std::size_t n = 0; n < strip_lines.size(); ++n) {
-      std::smatch m;
-      if (std::regex_search(strip_lines[n], m, kRangeFor) &&
-          unordered.count(m[1].str()) != 0)
-        report(n + 1, "unordered-iteration",
-               "hash-order iteration over '" + m[1].str() +
-                   "' may leak into output; iterate a sorted copy");
-    }
-
-    // ensure-msg ---------------------------------------------------------
-    static const std::regex kEnsure("ULC_(?:ENSURE|REQUIRE)\\b");
-    for (auto it = std::sregex_iterator(stripped.begin(), stripped.end(), kEnsure);
-         it != std::sregex_iterator(); ++it) {
-      const std::size_t at = static_cast<std::size_t>(it->position());
-      const std::size_t name_end = at + it->length();
-      const std::size_t line = line_of(original, at);
-      // Skip the macro definitions themselves (util/ensure.h).
-      if (strip_lines[line - 1].find("#define") != std::string::npos) continue;
-      const std::string msg = last_macro_argument(original, name_end);
-      if (msg.empty() || msg == "\"\"")
-        report(line, "ensure-msg", "invariant check without a diagnostic message");
-    }
-
-    // pragma-once / using-namespace (headers only) -----------------------
-    if (is_header) {
-      if (stripped.find("#pragma once") == std::string::npos)
-        report(1, "pragma-once", "header lacks #pragma once");
-      for (std::size_t n = 0; n < strip_lines.size(); ++n) {
-        if (std::regex_search(strip_lines[n], std::regex("\\busing\\s+namespace\\b")))
-          report(n + 1, "using-namespace",
-                 "headers must not inject namespaces into every includer");
-      }
-    }
-
-    // float-eq -----------------------------------------------------------
-    static const std::regex kFloatEq(
-        "((^|[^<>=!&|])(==|!=)\\s*([0-9]+\\.[0-9]*|\\.[0-9]+)f?)"
-        "|(([0-9]+\\.[0-9]*|\\.[0-9]+)f?\\s*(==|!=)([^=]|$))");
-    for (std::size_t n = 0; n < strip_lines.size(); ++n) {
-      if (std::regex_search(strip_lines[n], kFloatEq))
-        report(n + 1, "float-eq",
-               "exact comparison against a floating-point literal; compare "
-               "with a tolerance or justify with an allow marker");
-    }
-
-    // hot-container -------------------------------------------------------
-    const std::string generic = path.generic_string();
-    const bool hot_dir = generic.find("src/ulc/") != std::string::npos ||
-                         generic.find("src/replacement/") != std::string::npos ||
-                         generic.find("src/hierarchy/") != std::string::npos;
-    if (hot_dir) {
-      static const std::regex kHotContainer(
-          "\\bunordered_(?:map|set)\\s*<|\\bstd::list\\s*<");
-      for (std::size_t n = 0; n < strip_lines.size(); ++n) {
-        if (std::regex_search(strip_lines[n], kHotContainer))
-          report(n + 1, "hot-container",
-                 "node-based container in a hot path; use FlatMap "
-                 "(util/flat_hash.h) and Slab/SlabList (util/slab.h), or "
-                 "allow-mark an offline/reference path");
-      }
-    }
-
-    // count-capacity -------------------------------------------------------
-    const bool budget_dir = generic.find("src/replacement/") != std::string::npos ||
-                            generic.find("src/hierarchy/") != std::string::npos;
-    if (budget_dir) {
-      // Either operand order: `x.size() < cap_` or `capacity > q.size()`.
-      // "cap"/"budget" anywhere in the other operand's identifier is enough
-      // (cap_, caps[i], server_capacity, byte_budget...).
-      static const std::regex kCountCapacity(
-          "\\.size\\(\\)\\s*(?:<=|>=|<|>|==|!=)[^;{]*\\b(?:[A-Za-z_0-9]*cap|"
-          "[A-Za-z_0-9]*budget)|\\b(?:[A-Za-z_0-9]*cap|[A-Za-z_0-9]*budget)"
-          "[A-Za-z0-9_]*(?:\\[[^\\]]*\\])?\\s*(?:<=|>=|<|>|==|!=)[^;{]*"
-          "\\.size\\(\\)");
-      for (std::size_t n = 0; n < strip_lines.size(); ++n) {
-        if (std::regex_search(strip_lines[n], kCountCapacity))
-          report(n + 1, "count-capacity",
-                 "entry count compared against a capacity; budgets are bytes "
-                 "(SizeUnits), so compare occupied bytes, or allow-mark a "
-                 "genuinely count-bounded structure (ghost/metadata lists)");
-      }
-    }
-
-    // unbounded-retry -----------------------------------------------------
-    static const std::regex kInfLoop(
-        "while\\s*\\(\\s*(?:true|1)\\s*\\)|for\\s*\\(\\s*;\\s*;\\s*\\)");
-    static const std::regex kSendCall("\\b(?:send|deliver_at|transfer)\\s*\\(");
-    static const std::regex kAttemptsBound("attempt|retr(?:y|ies)|tries");
-    for (auto it = std::sregex_iterator(stripped.begin(), stripped.end(), kInfLoop);
-         it != std::sregex_iterator(); ++it) {
-      const std::size_t at = static_cast<std::size_t>(it->position());
-      // Loop body: the balanced brace block after the header, or the single
-      // statement up to `;` when unbraced.
-      std::size_t i = at + static_cast<std::size_t>(it->length());
-      while (i < stripped.size() &&
-             std::isspace(static_cast<unsigned char>(stripped[i])) != 0)
-        ++i;
-      std::size_t body_start = i;
-      std::size_t body_end = i;
-      if (i < stripped.size() && stripped[i] == '{') {
-        body_start = ++i;
-        int depth = 1;
-        while (i < stripped.size() && depth > 0) {
-          if (stripped[i] == '{') ++depth;
-          if (stripped[i] == '}') --depth;
-          ++i;
-        }
-        body_end = i;
-      } else {
-        while (i < stripped.size() && stripped[i] != ';') ++i;
-        body_end = i;
-      }
-      const std::string body = stripped.substr(body_start, body_end - body_start);
-      if (std::regex_search(body, kSendCall) &&
-          !std::regex_search(body, kAttemptsBound))
-        report(line_of(stripped, at), "unbounded-retry",
-               "infinite loop around a protocol send with no attempts bound; "
-               "retries must be counted against RetryPolicy::max_attempts "
-               "(proto/reliable.h)");
-    }
-  }
-
-  bool io_error() const { return io_error_; }
-
-  int emit() const {
-    auto sorted = findings_;
-    std::sort(sorted.begin(), sorted.end(), [](const Finding& a, const Finding& b) {
-      if (a.path != b.path) return a.path < b.path;
-      if (a.line != b.line) return a.line < b.line;
-      return a.rule < b.rule;
-    });
-    for (const Finding& f : sorted)
-      std::printf("%s:%zu: [%s] %s\n", f.path.c_str(), f.line, f.rule.c_str(),
-                  f.message.c_str());
-    if (sorted.empty()) {
-      std::printf("ulc_lint: clean\n");
-      return 0;
-    }
-    std::printf("ulc_lint: %zu issue(s)\n", sorted.size());
-    return 1;
-  }
-
- private:
-  // The same-stem .h/.cpp sibling completes the translation unit for
-  // member-variable declarations.
-  static std::vector<fs::path> siblings(const fs::path& path) {
-    std::vector<fs::path> out;
-    for (const char* ext : {".h", ".cpp"}) {
-      fs::path sib = path;
-      sib.replace_extension(ext);
-      if (sib != path && fs::exists(sib)) out.push_back(sib);
-    }
-    return out;
-  }
-
-  std::vector<Finding> findings_;
-  bool io_error_ = false;
-};
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: ulc_lint <dir> [<dir>...]\n");
+  ulc::lint::Options opts;
+  bool json = false;
+  std::string json_file;
+  std::vector<std::string> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) {
+      return arg.substr(std::string(prefix).size());
+    };
+    if (arg == "--list-rules") return list_rules();
+    if (arg.rfind("--root=", 0) == 0) {
+      opts.root = value("--root=");
+    } else if (arg.rfind("--layers=", 0) == 0) {
+      opts.layers_file = value("--layers=");
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      opts.baseline_file = value("--baseline=");
+    } else if (arg.rfind("--warn=", 0) == 0) {
+      const std::string rule = value("--warn=");
+      if (!ulc::lint::is_known_rule(rule)) {
+        std::fprintf(stderr, "ulc_lint: unknown rule '%s'\n", rule.c_str());
+        return 2;
+      }
+      opts.warn_rules.insert(rule);
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json = true;
+      json_file = value("--json=");
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "ulc_lint: unknown option '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr, "usage: ulc_lint [options] <dir|file>...\n");
     return 2;
   }
-  std::vector<fs::path> files;
-  for (int i = 1; i < argc; ++i) {
-    const fs::path root(argv[i]);
-    if (!fs::exists(root)) {
-      std::fprintf(stderr, "ulc_lint: no such path: %s\n", argv[i]);
-      return 2;
-    }
-    for (const auto& entry : fs::recursive_directory_iterator(root)) {
-      if (!entry.is_regular_file()) continue;
-      const auto ext = entry.path().extension();
-      if (ext == ".h" || ext == ".cpp") files.push_back(entry.path());
+
+  ulc::lint::Engine engine(opts);
+  for (const std::string& in : inputs) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(in, ec))
+      engine.add_directory(in);
+    else
+      engine.add_file(in);
+  }
+
+  const ulc::lint::Report report = engine.run();
+  const std::string text = ulc::lint::Engine::render_text(report);
+  std::fputs(text.c_str(), stdout);
+  if (json) {
+    const std::string doc = ulc::lint::Engine::render_json(report);
+    if (json_file.empty()) {
+      std::fputs(doc.c_str(), stdout);
+    } else {
+      std::ofstream out(json_file, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "ulc_lint: cannot write %s\n", json_file.c_str());
+        return 2;
+      }
+      out << doc;
     }
   }
-  std::sort(files.begin(), files.end());
-  Linter linter;
-  for (const fs::path& f : files) linter.lint_file(f);
-  if (linter.io_error()) return 2;
-  return linter.emit();
+  if (!report.errors.empty()) return 2;
+  return report.error_count == 0 ? 0 : 1;
 }
