@@ -65,6 +65,23 @@ Json row_json(const FaultedProtocolResult& r, ProtocolScheme scheme,
   jr.set("stale_reads", rs.stale_reads);
   jr.set("failed_reads", rs.failed_reads);
   jr.set("demote_drops", rs.demote_drops);
+  jr.set("cross_epoch_drops", rs.cross_epoch_drops);
+  jr.set("post_recovery_stale_reads", rs.post_recovery_stale_reads);
+  // Data-loss accounting from the write-back journal. lost_acked must stay
+  // zero under every fault plan — an acknowledged write that vanishes is a
+  // durability-law violation, not a measurement.
+  const JournalStats& js = r.journal;
+  Json jj = Json::object();
+  jj.set("appended", js.appended);
+  jj.set("appended_bytes", js.appended_bytes);
+  jj.set("acked", js.acked);
+  jj.set("acked_bytes", js.acked_bytes);
+  jj.set("lost_unacked", js.lost_unacked);
+  jj.set("lost_unacked_bytes", js.lost_unacked_bytes);
+  jj.set("lost_acked", js.lost_acked);
+  jj.set("dirty_lost", js.dirty_lost);
+  jj.set("dirty_lost_bytes", js.dirty_lost_bytes);
+  jr.set("writeback_journal", std::move(jj));
   Json phases = Json::array();
   for (std::size_t p = 0; p < kFaultPhases; ++p) {
     Json jp = Json::object();

@@ -38,6 +38,8 @@ const char* violation_kind_name(ViolationKind kind) {
       return "yardstick";
     case ViolationKind::kStructure:
       return "structure";
+    case ViolationKind::kDurability:
+      return "durability";
   }
   return "?";
 }
@@ -188,6 +190,8 @@ void CheckedHierarchy::check_event_shape(const AuditEvent& e) const {
         fail(ViolationKind::kSequencing, "downward transfer must move down");
       break;
     case AuditEvent::Kind::kWriteback:
+      if (e.from == kAuditNoLevel)
+        fail(ViolationKind::kSequencing, "write-back without a source level");
       break;
   }
 }
@@ -195,6 +199,7 @@ void CheckedHierarchy::check_event_shape(const AuditEvent& e) const {
 void CheckedHierarchy::replay_events() {
   replay_demote_bytes_.assign(levels(), 0);
   replay_reload_bytes_.assign(levels(), 0);
+  bool flushed_current = false;
   const auto charge_links = [&](std::vector<std::uint64_t>& links,
                                 const AuditEvent& e, std::uint64_t size) {
     for (std::size_t k = e.from; k < e.to && k < links.size(); ++k)
@@ -237,22 +242,58 @@ void CheckedHierarchy::replay_events() {
                "eviction from an interior level of a demote-before-evict "
                "hierarchy");
         remove_copy(e.block, e.from, e.owner, "evict");
+        // A dirty block whose last copy just left the hierarchy must have a
+        // write-back narrated within the same access (D1); record it and
+        // judge once the full narration has replayed.
+        if (dirty_shadow_.count(e.block) != 0 &&
+            copies_.find(e.block) == copies_.end())
+          dirty_exits_.push_back(e.block);
         break;
       case AuditEvent::Kind::kLost:
         // A resync discovered the copy is gone. Not an eviction: exempt
         // from the bottom-evict-only rule (the copy was found missing, it
-        // did not leave through the protocol).
+        // did not leave through the protocol). The dirty data is lost with
+        // the copy — that is what the journal's loss record is for — so the
+        // durability shadow forgets it rather than demanding a write-back.
         remove_copy(e.block, e.from, e.owner, "lost");
+        dirty_shadow_.erase(e.block);
         break;
       case AuditEvent::Kind::kCharge:
         // A charged transfer moves no copy; its byte weight is narrated.
         charge_links(replay_demote_bytes_, e, e.size);
         break;
-      case AuditEvent::Kind::kWriteback:
+      case AuditEvent::Kind::kWriteback: {
+        // D2: a write-back may only carry dirty data. The one legal
+        // exception is the straight-through write of the current request
+        // (an uncacheable block written directly to the storage level).
+        const bool write_through =
+            current_.op == Op::kWrite && e.block == current_.block;
+        if (dirty_shadow_.count(e.block) == 0 && !write_through)
+          fail(ViolationKind::kDurability,
+               "write-back narrated for a block with no dirty data (ack "
+               "before write)");
+        if (e.block == current_.block) flushed_current = true;
+        dirty_shadow_.erase(e.block);
         break;
+      }
     }
   }
   check_byte_budgets();
+  // D1: every dirty block that fully left the hierarchy this access must
+  // have had its write-back narrated by now (the kWriteback replay above
+  // cleared it from the durability shadow).
+  for (BlockId b : dirty_exits_) {
+    if (dirty_shadow_.count(b) != 0 && copies_.find(b) == copies_.end())
+      fail(ViolationKind::kDurability,
+           "a dirty block left the hierarchy without a write-back");
+  }
+  dirty_exits_.clear();
+  // A write that leaves the block resident leaves dirty data behind — unless
+  // the access already flushed it (a straight-through write whose stale copy
+  // another client still holds is clean: the data reached disk).
+  if (current_.op == Op::kWrite && !flushed_current &&
+      copies_.find(current_.block) != copies_.end())
+    dirty_shadow_.insert(current_.block);
 }
 
 void CheckedHierarchy::replay_resync_events() {
@@ -262,6 +303,7 @@ void CheckedHierarchy::replay_resync_events() {
       fail(ViolationKind::kSequencing,
            "directory resync may narrate only kLost events");
     remove_copy(e.block, e.from, e.owner, "lost");
+    dirty_shadow_.erase(e.block);
   }
   events_.clear();
 }
@@ -501,6 +543,15 @@ void CheckedHierarchy::access(const Request& request) {
   if (traits_.supported) {
     replay_events();
     check_stats_delta(pre_visible);
+    // D3: the journal's own ordering laws — no ack before the write landed,
+    // acks in append order, no acknowledged entry ever lost — must hold at
+    // every access boundary.
+    if (journal_ != nullptr) {
+      std::string why;
+      if (!journal_->laws_hold(why))
+        fail(ViolationKind::kDurability,
+             "write-back journal law violated: " + why);
+    }
   } else {
     // Statistics-conservation fallback for schemes without event support.
     const HierarchyStats& after = inner_->stats();
@@ -520,6 +571,12 @@ void CheckedHierarchy::reset_stats() { inner_->reset_stats(); }
 
 void CheckedHierarchy::final_check() {
   if (traits_.supported) sweep();
+  if (journal_ != nullptr) {
+    std::string why;
+    if (!journal_->laws_hold(why))
+      fail(ViolationKind::kDurability,
+           "write-back journal law violated: " + why);
+  }
 }
 
 SchemePtr make_checked(SchemePtr inner, CheckOptions options) {

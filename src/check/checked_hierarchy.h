@@ -30,6 +30,7 @@
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "hierarchy/hierarchy.h"
@@ -46,6 +47,7 @@ enum class ViolationKind : std::uint8_t {
   kDrift,         // scheme residency answers disagree with the shadow model
   kYardstick,     // a uniLRUstack yardstick law failed
   kStructure,     // scheme-internal consistency check failed
+  kDurability,    // a dirty block was dropped or acked without a write-back
 };
 
 const char* violation_kind_name(ViolationKind kind);
@@ -83,6 +85,14 @@ class CheckedHierarchy final : public MultiLevelScheme {
   const HierarchyStats& stats() const override { return inner_->stats(); }
   void reset_stats() override;
   const char* name() const override { return inner_->name(); }
+
+  // The journal hooks into the inner scheme as usual, but the auditor keeps
+  // a pointer so it can hold the journal to its ordering laws (D3) at every
+  // access boundary and in final_check().
+  void set_writeback_journal(WritebackSink* journal) override {
+    journal_ = journal;
+    inner_->set_writeback_journal(journal);
+  }
 
   // The audit interface forwards to the inner scheme, except the sink: the
   // auditor owns the inner scheme's narration.
@@ -176,6 +186,14 @@ class CheckedHierarchy final : public MultiLevelScheme {
   std::unordered_map<BlockId, std::vector<Copy>> copies_;
   std::vector<std::vector<std::size_t>> sizes_;
   std::vector<std::vector<std::uint64_t>> bytes_;
+
+  // Durability shadow state: which blocks hold dirty data the hierarchy has
+  // not yet written back (D1/D2), and which dirty blocks fully left the
+  // hierarchy this access — legal only if a write-back for them was also
+  // narrated before the access ended (D1, checked after replay).
+  std::unordered_set<BlockId> dirty_shadow_;
+  std::vector<BlockId> dirty_exits_;
+  WritebackSink* journal_ = nullptr;
 
   // Per-access byte traffic reconstructed while replaying the narration
   // (moves weighted by the shadow's recorded sizes, charges by the narrated

@@ -4,11 +4,47 @@
 #include <string>
 
 #include "ulc/uni_lru_stack.h"
+#include "ulc/writeback.h"
 #include "util/ensure.h"
 
 namespace ulc {
 
 namespace {
+
+// The kReplayReorder defect lives between the scheme and its journal: the
+// appends pass straight through, but the completion side (mark_written +
+// ack) runs newest-first at the end of each access, acking out of append
+// order — the bug the journal's replay-order law exists to catch.
+class ReorderSink final : public WritebackSink {
+ public:
+  void attach(WritebackSink* downstream) { downstream_ = downstream; }
+
+  std::uint64_t append(BlockId block, std::size_t level, SizeUnits size) override {
+    const std::uint64_t seq = downstream_->append(block, level, size);
+    pending_.push_back(seq);
+    return seq;
+  }
+  void mark_written(std::uint64_t seq) override { downstream_->mark_written(seq); }
+  void ack(std::uint64_t seq) override { downstream_->ack(seq); }
+  void record_loss(BlockId block, std::size_t level, SizeUnits size) override {
+    downstream_->record_loss(block, level, size);
+  }
+  bool laws_hold(std::string& why) const override {
+    return downstream_->laws_hold(why);
+  }
+
+  void flush_reversed() {
+    for (std::size_t i = pending_.size(); i > 0; --i) {
+      downstream_->mark_written(pending_[i - 1]);
+      downstream_->ack(pending_[i - 1]);
+    }
+    pending_.clear();
+  }
+
+ private:
+  WritebackSink* downstream_ = nullptr;
+  std::vector<std::uint64_t> pending_;
+};
 
 class MutantScheme final : public MultiLevelScheme {
  public:
@@ -16,6 +52,7 @@ class MutantScheme final : public MultiLevelScheme {
       : inner_(std::move(inner)), mutation_(mutation) {
     ULC_REQUIRE(inner_ != nullptr, "mutant needs a scheme to break");
     name_ = std::string("mutant(") + inner_->name() + ")";
+    if (tampers_stats()) tampered_ = inner_->stats();
     if (mutation_ == Mutation::kMisorderYardstick) {
       // A tiny private uniLRUstack whose level-0 yardstick is corrupted by
       // writing the node's level field directly, bypassing set_level's
@@ -33,16 +70,54 @@ class MutantScheme final : public MultiLevelScheme {
     inner_->set_audit_sink(sink == nullptr ? nullptr : &buffer_);
   }
 
+  void set_writeback_journal(WritebackSink* journal) override {
+    if (mutation_ == Mutation::kReplayReorder) {
+      reorder_sink_.attach(journal);
+      inner_->set_writeback_journal(journal == nullptr ? nullptr
+                                                       : &reorder_sink_);
+    } else {
+      inner_->set_writeback_journal(journal);
+    }
+  }
+
   void access(const Request& request) override {
     buffer_.clear();
     inner_->access(request);
-    if (mutation_ == Mutation::kStatsDrop) {
+    tamper_events(request);
+    if (mutation_ == Mutation::kReplayReorder) reorder_sink_.flush_reversed();
+    if (tampers_stats()) {
       tampered_ = inner_->stats();
-      if (!stats_dropped_ && tampered_.misses > 0) {
-        --tampered_.misses;
-        stats_dropped_ = true;
+      if (mutation_ == Mutation::kStatsDrop) {
+        if (!stats_dropped_ && tampered_.misses > 0) {
+          --tampered_.misses;
+          stats_dropped_ = true;
+        }
+      } else {
+        // The write-back defects keep the counter consistent with their
+        // tampered narration, so only the durability laws can see them.
+        tampered_.writebacks += injected_writebacks_;
+        tampered_.writebacks -= suppressed_writebacks_;
       }
     }
+  }
+
+  bool supports_resync() const override { return inner_->supports_resync(); }
+
+ private:
+  bool tampers_stats() const {
+    return mutation_ == Mutation::kStatsDrop ||
+           mutation_ == Mutation::kDropDirty ||
+           mutation_ == Mutation::kAckBeforeWrite;
+  }
+
+  bool writeback_in_buffer(BlockId block) const {
+    for (const AuditEvent& e : buffer_)
+      if (e.kind == AuditEvent::Kind::kWriteback && e.block == block)
+        return true;
+    return false;
+  }
+
+  void tamper_events(const Request& request) {
     if (outer_ == nullptr) return;
     bool tampered_once = false;
     std::size_t evicts_kept = 0;
@@ -88,6 +163,33 @@ class MutantScheme final : public MultiLevelScheme {
             tampered_once = true;
           }
           break;
+        case Mutation::kDropDirty:
+          // The dirty victim leaves with its eviction, but the write-back
+          // that must precede the drop never happens: the narration and the
+          // counter vanish together (the stale on-disk copy is now the only
+          // copy). The straight-through write of the current block is left
+          // alone so the drop hits an evicted resident block.
+          if (!tampered_once && e.kind == AuditEvent::Kind::kWriteback &&
+              e.block != request.block) {
+            tampered_once = true;
+            ++suppressed_writebacks_;
+            continue;
+          }
+          break;
+        case Mutation::kAckBeforeWrite:
+          // Forward a clean victim's eviction, then claim a write-back for
+          // it — acknowledging data that was never dirty. The counter is
+          // bumped to match, so only the durability shadow can tell.
+          if (!tampered_once && e.kind == AuditEvent::Kind::kEvict &&
+              e.block != request.block && !writeback_in_buffer(e.block)) {
+            outer_->push_back(out);
+            outer_->push_back(AuditEvent{AuditEvent::Kind::kWriteback, e.block,
+                                         e.from, kAuditNoLevel, 0, false, 1});
+            ++injected_writebacks_;
+            tampered_once = true;
+            continue;
+          }
+          break;
         default:
           break;
       }
@@ -95,8 +197,7 @@ class MutantScheme final : public MultiLevelScheme {
     }
   }
 
-  bool supports_resync() const override { return inner_->supports_resync(); }
-
+ public:
   bool resync_drop(ClientId client, BlockId block, std::size_t level) override {
     if (mutation_ == Mutation::kResyncAmnesia) {
       // The recovery bug under test: the client acknowledges the lost copy
@@ -130,11 +231,11 @@ class MutantScheme final : public MultiLevelScheme {
   }
 
   const HierarchyStats& stats() const override {
-    return mutation_ == Mutation::kStatsDrop ? tampered_ : inner_->stats();
+    return tampers_stats() ? tampered_ : inner_->stats();
   }
   void reset_stats() override {
     inner_->reset_stats();
-    if (mutation_ == Mutation::kStatsDrop) tampered_ = inner_->stats();
+    if (tampers_stats()) tampered_ = inner_->stats();
   }
   const char* name() const override { return name_.c_str(); }
 
@@ -186,6 +287,9 @@ class MutantScheme final : public MultiLevelScheme {
   std::vector<AuditEvent> buffer_;
   HierarchyStats tampered_;
   bool stats_dropped_ = false;
+  std::uint64_t injected_writebacks_ = 0;
+  std::uint64_t suppressed_writebacks_ = 0;
+  ReorderSink reorder_sink_;
   std::unique_ptr<UniLruStack> side_stack_;
 };
 

@@ -30,6 +30,13 @@ enum class Mutation {
   kMisorderYardstick,  // corrupts a uniLRUstack yardstick  -> yardstick
   kResyncAmnesia,      // resync narrates the kLost but forgets to evict the
                        // stale directory entry              -> drift
+  kDropDirty,          // evicts a dirty block but skips its write-back (the
+                       // narration and the counter both)    -> durability
+  kAckBeforeWrite,     // claims a write-back for a victim that was never
+                       // dirty — acking unwritten data      -> durability
+  kReplayReorder,      // completes an access's journal write-backs
+                       // newest-first, acking out of append order
+                       //                                    -> durability
 };
 
 // Wraps `inner` with the given defect. The wrapper keeps the inner scheme's

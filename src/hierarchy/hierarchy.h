@@ -11,6 +11,7 @@
 #include "replacement/cache_policy.h"
 #include "trace/trace.h"
 #include "trace/types.h"
+#include "ulc/writeback.h"
 
 namespace ulc {
 
@@ -103,6 +104,16 @@ class MultiLevelScheme {
     return 0;
   }
 
+  // ---- Write-back journal (ulc/writeback.h) ----
+  //
+  // Install (or clear, with nullptr) the durable-write sink. Schemes report
+  // every dirty block leaving the hierarchy through journal_write_back();
+  // with no sink installed the write-back is still narrated and counted,
+  // matching the legacy fire-and-forget cost model exactly.
+  virtual void set_writeback_journal(WritebackSink* journal) {
+    journal_ = journal;
+  }
+
  protected:
   bool auditing() const { return audit_sink_ != nullptr; }
   void audit_emit(AuditEvent::Kind kind, BlockId block,
@@ -114,8 +125,26 @@ class MultiLevelScheme {
           AuditEvent{kind, block, from, to, owner, through_bottom, size});
   }
 
+  WritebackSink* writeback_journal() const { return journal_; }
+
+  // The single choke point for dirty data leaving the hierarchy: narrate
+  // the write-back (the auditor's D-laws key off this event) and enqueue it
+  // to the journal.
+  void journal_write_back(BlockId block, std::size_t from, SizeUnits size) const {
+    audit_emit(AuditEvent::Kind::kWriteback, block, from, kAuditNoLevel, 0,
+               false, size);
+    if (journal_ != nullptr) journal_->append(block, from, size);
+  }
+
+  // A dirty copy destroyed without a write-back (crash resync): report the
+  // loss so the fault harness can measure it.
+  void journal_record_loss(BlockId block, std::size_t from, SizeUnits size) const {
+    if (journal_ != nullptr) journal_->record_loss(block, from, size);
+  }
+
  private:
   std::vector<AuditEvent>* audit_sink_ = nullptr;
+  WritebackSink* journal_ = nullptr;
 };
 
 using SchemePtr = std::unique_ptr<MultiLevelScheme>;

@@ -36,7 +36,7 @@ class PolicyServerScheme final : public MultiLevelScheme {
     AccessContext ctx;
     ctx.size = request.size;
 
-    if (request.op == Op::kWrite) dirty_.put(b, 1);
+    if (request.op == Op::kWrite) dirty_.put(b, request.size);
     if (client.touch(b, ctx)) {
       stats_.count_hit(0, request.size);
       return;
@@ -57,19 +57,15 @@ class PolicyServerScheme final : public MultiLevelScheme {
     ev.for_each([&](BlockId victim) {
       audit_emit(AuditEvent::Kind::kEvict, victim, 0, kAuditNoLevel,
                  request.client);
-      if (dirty_.erase(victim)) {
-        ++stats_.writebacks;
-        audit_emit(AuditEvent::Kind::kWriteback, victim);
-      }
+      write_back_if_dirty(victim, 0);
     });
     if (ev.admitted) {
       audit_emit(AuditEvent::Kind::kPlace, b, kAuditNoLevel, 0, request.client,
                  false, request.size);
-    } else if (dirty_.erase(b)) {
+    } else {
       // Uncacheable write (block bigger than the client cache): straight
       // through to disk.
-      ++stats_.writebacks;
-      audit_emit(AuditEvent::Kind::kWriteback, b);
+      write_back_if_dirty(b, 0);
     }
   }
 
@@ -105,9 +101,21 @@ class PolicyServerScheme final : public MultiLevelScheme {
   }
 
  private:
+  // Write-back choke point: drops the dirty marking only after the
+  // write-back is narrated and journaled.
+  bool write_back_if_dirty(BlockId b, std::size_t from) {
+    const SizeUnits* size = dirty_.find(b);
+    if (size == nullptr) return false;
+    const SizeUnits bytes = *size;
+    dirty_.erase(b);
+    ++stats_.writebacks;
+    journal_write_back(b, from, bytes);
+    return true;
+  }
+
   std::vector<PolicyPtr> clients_;
   PolicyPtr server_;
-  FlatMap<BlockId, std::uint8_t> dirty_;  // set of dirty blocks
+  FlatMap<BlockId, SizeUnits> dirty_;  // dirty block -> written size
   HierarchyStats stats_;
   std::string name_;
   bool auditable_;

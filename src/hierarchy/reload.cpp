@@ -30,27 +30,21 @@ class ReloadUniLruScheme final : public MultiLevelScheme {
     } else {
       stats_.count_miss(request.size);
     }
-    if (request.op == Op::kWrite) dirty_.put(request.block, 1);
+    if (request.op == Op::kWrite) dirty_.put(request.block, request.size);
     // Boundary slides become disk reloads into the lower level rather than
     // network demotions. Note the catch for dirty blocks: a reload fetches
     // the *stale* on-disk copy, so dirty blocks must be written back before
     // their cached copy may be dropped.
-    crossed_wrote_back_.assign(result_.crossed.size(), false);
-    for (std::size_t i = 0; i < result_.crossed.size(); ++i) {
-      stats_.count_reload(result_.crossed[i].from, result_.crossed[i].size);
-      if (dirty_.erase(result_.crossed[i].key)) {
-        ++stats_.writebacks;
-        crossed_wrote_back_[i] = true;
-      }
+    for (const SegmentedList::Crossing& c : result_.crossed)
+      stats_.count_reload(c.from, c.size);
+    if (auditing()) {
+      emit_events(request);
+    } else {
+      collect_slides();
+      for (const Slide& s : slides_) write_back_if_dirty(s.key, s.from);
     }
-    evicted_wrote_back_.assign(result_.evicted.size(), false);
-    for (std::size_t i = 0; i < result_.evicted.size(); ++i) {
-      if (dirty_.erase(result_.evicted[i])) {
-        ++stats_.writebacks;
-        evicted_wrote_back_[i] = true;
-      }
-    }
-    if (auditing()) emit_events(request);
+    for (BlockId victim : result_.evicted)
+      write_back_if_dirty(victim, list_.segment_count() - 1);
   }
 
   const HierarchyStats& stats() const override { return stats_; }
@@ -86,32 +80,29 @@ class ReloadUniLruScheme final : public MultiLevelScheme {
     BlockId key = 0;
     std::size_t from = 0;
     std::size_t to = 0;
-    bool wrote_back = false;
   };
 
   // Collapse a block's crossings into one multi-hop move (see uniLRU); the
   // write-back the stale-copy rule forces happens at most once per block.
   void collect_slides() {
     slides_.clear();
-    for (std::size_t i = 0; i < result_.crossed.size(); ++i) {
-      const SegmentedList::Crossing& c = result_.crossed[i];
+    for (const SegmentedList::Crossing& c : result_.crossed) {
       bool merged = false;
       for (Slide& s : slides_) {
         if (s.key == c.key) {
           s.to = c.from + 1;
-          s.wrote_back = s.wrote_back || crossed_wrote_back_[i];
           merged = true;
           break;
         }
       }
-      if (!merged)
-        slides_.push_back(Slide{c.key, c.from, c.from + 1, crossed_wrote_back_[i]});
+      if (!merged) slides_.push_back(Slide{c.key, c.from, c.from + 1});
     }
   }
 
   // Same physical-order narration as uniLRU, except boundary slides are
   // kReload (disk re-read) rather than kDemote, each preceded by the
-  // write-back the stale-copy rule forces for dirty blocks.
+  // write-back the stale-copy rule forces for dirty blocks (emitted from
+  // the write-back choke point).
   void emit_events(const Request& request) {
     if (result_.hit && result_.old_segment == 0) return;  // pure touch
     const BlockId block = request.block;
@@ -122,23 +113,29 @@ class ReloadUniLruScheme final : public MultiLevelScheme {
                request.size);
     collect_slides();
     for (const Slide& s : slides_) {
-      if (s.wrote_back) audit_emit(AuditEvent::Kind::kWriteback, s.key);
+      write_back_if_dirty(s.key, s.from);
       audit_emit(AuditEvent::Kind::kReload, s.key, s.from, s.to);
     }
-    for (std::size_t i = 0; i < result_.evicted.size(); ++i) {
-      audit_emit(AuditEvent::Kind::kEvict, result_.evicted[i],
-                 list_.segment_count() - 1);
-      if (evicted_wrote_back_[i])
-        audit_emit(AuditEvent::Kind::kWriteback, result_.evicted[i]);
-    }
+    for (BlockId victim : result_.evicted)
+      audit_emit(AuditEvent::Kind::kEvict, victim, list_.segment_count() - 1);
+  }
+
+  // Write-back choke point: drops the dirty marking only after the
+  // write-back is narrated and journaled.
+  bool write_back_if_dirty(BlockId b, std::size_t from) {
+    const SizeUnits* size = dirty_.find(b);
+    if (size == nullptr) return false;
+    const SizeUnits bytes = *size;
+    dirty_.erase(b);
+    ++stats_.writebacks;
+    journal_write_back(b, from, bytes);
+    return true;
   }
 
   SegmentedList list_;
   SegmentedList::AccessResult result_;
   std::vector<Slide> slides_;
-  std::vector<bool> crossed_wrote_back_;
-  std::vector<bool> evicted_wrote_back_;
-  FlatMap<BlockId, std::uint8_t> dirty_;  // set of dirty blocks
+  FlatMap<BlockId, SizeUnits> dirty_;  // dirty block -> written size
   HierarchyStats stats_;
 };
 

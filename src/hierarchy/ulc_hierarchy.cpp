@@ -63,10 +63,15 @@ class UlcSingleScheme final : public MultiLevelScheme {
     const UlcAccess& a = client_.access(request.block, request.size);
     if (request.op == Op::kWrite) {
       if (a.placed_level != kLevelOut) {
-        dirty_.put(request.block, 1);
+        dirty_.put(request.block, request.size);
       } else {
-        ++stats_.writebacks;  // uncached write goes straight through to disk
-        audit_emit(AuditEvent::Kind::kWriteback, request.block);
+        // Uncached write goes straight through to disk. The freshest data
+        // is on disk now, so any older dirty marking (a stale copy another
+        // client parked lower down) is superseded — writing it back later
+        // would clobber this newer version.
+        dirty_.erase(request.block);
+        ++stats_.writebacks;
+        journal_write_back(request.block, 0, request.size);
       }
     }
     if (a.temp_hit) {
@@ -84,23 +89,18 @@ class UlcSingleScheme final : public MultiLevelScheme {
     } else {
       stats_.count_miss(request.size);
     }
-    demote_wrote_back_.assign(a.demotions.size(), false);
-    for (std::size_t d = 0; d < a.demotions.size(); ++d) {
+    for (const DemoteCmd& cmd : a.demotions) {
       // A demote to "out" discards the block at its source level — after a
       // write-back if it is dirty. Otherwise a multi-hop Demote(b, f, t)
       // crosses every link between f and t.
-      const DemoteCmd& cmd = a.demotions[d];
-      if (cmd.to == kLevelOut) {
-        if (dirty_.erase(cmd.block)) {
-          ++stats_.writebacks;
-          demote_wrote_back_[d] = true;
-        }
-        continue;
-      }
+      if (cmd.to == kLevelOut) continue;
       for (std::size_t k = cmd.from; k < cmd.to; ++k)
         stats_.count_demote(k, cmd.size);
     }
     if (auditing()) emit_events(request.block, a);
+    for (const DemoteCmd& cmd : a.demotions) {
+      if (cmd.to == kLevelOut) write_back_if_dirty(cmd.block, cmd.from);
+    }
   }
 
   const HierarchyStats& stats() const override { return stats_; }
@@ -146,7 +146,11 @@ class UlcSingleScheme final : public MultiLevelScheme {
 
   bool resync_drop(ClientId, BlockId block, std::size_t level) override {
     if (!client_.resync_evict(block, level)) return false;
-    dirty_.erase(block);  // the copy (and any dirty data) is gone
+    // The copy (and any dirty data) is gone: measured as loss, not written
+    // back.
+    if (const SizeUnits* s = dirty_.find(block))
+      journal_record_loss(block, level, *s);
+    dirty_.erase(block);
     audit_emit(AuditEvent::Kind::kLost, block, level);
     return true;
   }
@@ -155,6 +159,7 @@ class UlcSingleScheme final : public MultiLevelScheme {
     std::vector<BlockId> lost;
     const std::size_t n = client_.resync_wipe_level(level, &lost);
     for (BlockId b : lost) {
+      if (const SizeUnits* s = dirty_.find(b)) journal_record_loss(b, level, *s);
       dirty_.erase(b);
       audit_emit(AuditEvent::Kind::kLost, b, level);
     }
@@ -176,13 +181,10 @@ class UlcSingleScheme final : public MultiLevelScheme {
     if (a.hit_level != kLevelOut && a.placed_level == a.hit_level) return;
     if (a.hit_level != kLevelOut)
       audit_emit(AuditEvent::Kind::kServe, block, a.hit_level);
-    for (std::size_t d = 0; d < a.demotions.size(); ++d) {
-      const DemoteCmd& cmd = a.demotions[d];
+    for (const DemoteCmd& cmd : a.demotions) {
       if (cmd.to == kLevelOut) {
         audit_emit(AuditEvent::Kind::kEvict, cmd.block, cmd.from, kAuditNoLevel,
                    0, /*through_bottom=*/true);
-        if (demote_wrote_back_[d])
-          audit_emit(AuditEvent::Kind::kWriteback, cmd.block);
       } else {
         audit_emit(AuditEvent::Kind::kDemote, cmd.block, cmd.from, cmd.to);
       }
@@ -192,10 +194,21 @@ class UlcSingleScheme final : public MultiLevelScheme {
                  0, /*through_bottom=*/false, a.retrieve.size);
   }
 
+  // Write-back choke point: drops the dirty marking only after the
+  // write-back is narrated and journaled.
+  bool write_back_if_dirty(BlockId b, std::size_t from) {
+    const SizeUnits* size = dirty_.find(b);
+    if (size == nullptr) return false;
+    const SizeUnits bytes = *size;
+    dirty_.erase(b);
+    ++stats_.writebacks;
+    journal_write_back(b, from, bytes);
+    return true;
+  }
+
   UlcClient client_;
   std::size_t temp_capacity_;
-  std::vector<bool> demote_wrote_back_;
-  FlatMap<BlockId, std::uint8_t> dirty_;  // set of dirty blocks
+  FlatMap<BlockId, SizeUnits> dirty_;  // dirty block -> written size
   HierarchyStats stats_;
 };
 
@@ -233,10 +246,15 @@ class UlcMultiScheme final : public MultiLevelScheme {
     const UlcAccess& a = client.access(request.block, request.size);
     if (request.op == Op::kWrite) {
       if (a.placed_level != kLevelOut) {
-        dirty_.put(request.block, 1);
+        dirty_.put(request.block, request.size);
       } else {
-        ++stats_.writebacks;  // uncached write goes straight through to disk
-        audit_emit(AuditEvent::Kind::kWriteback, request.block);
+        // Uncached write goes straight through to disk. The freshest data
+        // is on disk now, so any older dirty marking (a stale copy another
+        // client parked lower down) is superseded — writing it back later
+        // would clobber this newer version.
+        dirty_.erase(request.block);
+        ++stats_.writebacks;
+        journal_write_back(request.block, 0, request.size);
       }
     }
 
@@ -375,6 +393,8 @@ class UlcMultiScheme final : public MultiLevelScheme {
   bool resync_drop(ClientId client, BlockId block, std::size_t level) override {
     if (level == 0) {
       if (!clients_[client]->resync_evict(block, 0)) return false;
+      if (const SizeUnits* s = dirty_.find(block))
+        journal_record_loss(block, 0, *s);
       dirty_.erase(block);
       audit_emit(AuditEvent::Kind::kLost, block, 0, kAuditNoLevel, client);
       return true;
@@ -387,6 +407,8 @@ class UlcMultiScheme final : public MultiLevelScheme {
     }
     if (!had && !claimed) return false;
     if (had) {
+      if (const SizeUnits* s = dirty_.find(block))
+        journal_record_loss(block, 1, *s);
       dirty_.erase(block);
       audit_emit(AuditEvent::Kind::kLost, block, 1);
     }
@@ -398,6 +420,7 @@ class UlcMultiScheme final : public MultiLevelScheme {
     if (level == 0) {
       const std::size_t n = clients_[client]->resync_wipe_level(0, &lost);
       for (BlockId b : lost) {
+        if (const SizeUnits* s = dirty_.find(b)) journal_record_loss(b, 0, *s);
         dirty_.erase(b);
         audit_emit(AuditEvent::Kind::kLost, b, 0, kAuditNoLevel, client);
       }
@@ -405,6 +428,7 @@ class UlcMultiScheme final : public MultiLevelScheme {
     }
     const std::size_t n = server_.wipe(&lost);
     for (BlockId b : lost) {
+      if (const SizeUnits* s = dirty_.find(b)) journal_record_loss(b, 1, *s);
       dirty_.erase(b);
       audit_emit(AuditEvent::Kind::kLost, b, 1);
     }
@@ -458,10 +482,7 @@ class UlcMultiScheme final : public MultiLevelScheme {
     }
     r.for_each([&](const GlruServer::Victim& v) {
       audit_emit(AuditEvent::Kind::kEvict, v.block, 1, kAuditNoLevel, v.owner);
-      if (dirty_.erase(v.block)) {
-        ++stats_.writebacks;
-        audit_emit(AuditEvent::Kind::kWriteback, v.block);
-      }
+      write_back_if_dirty(v.block, 1);
       ++stats_.eviction_notices;
       if (v.owner == owner) {
         // Local knowledge: the requester learns immediately.
@@ -479,14 +500,23 @@ class UlcMultiScheme final : public MultiLevelScheme {
   // dirty data is written straight through to disk.
   void unplace(BlockId block, ClientId c) {
     if (clients_[c]->level_of(block) == 1) clients_[c]->external_evict(block);
-    if (dirty_.erase(block)) {
-      ++stats_.writebacks;
-      audit_emit(AuditEvent::Kind::kWriteback, block);
-    }
+    write_back_if_dirty(block, 0);
+  }
+
+  // Write-back choke point: drops the dirty marking only after the
+  // write-back is narrated and journaled.
+  bool write_back_if_dirty(BlockId b, std::size_t from) {
+    const SizeUnits* size = dirty_.find(b);
+    if (size == nullptr) return false;
+    const SizeUnits bytes = *size;
+    dirty_.erase(b);
+    ++stats_.writebacks;
+    journal_write_back(b, from, bytes);
+    return true;
   }
 
   std::vector<std::unique_ptr<UlcClient>> clients_;
-  FlatMap<BlockId, std::uint8_t> dirty_;  // set of dirty blocks
+  FlatMap<BlockId, SizeUnits> dirty_;  // dirty block -> written size
   GlruServer server_;
   std::vector<std::vector<BlockId>> pending_notices_;
   bool announced_full_ = false;

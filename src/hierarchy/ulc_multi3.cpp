@@ -56,10 +56,15 @@ class UlcMulti3Scheme final : public MultiLevelScheme {
     const UlcAccess& a = client.access(request.block, request.size);
     if (request.op == Op::kWrite) {
       if (a.placed_level != kLevelOut) {
-        dirty_.put(request.block, 1);
+        dirty_.put(request.block, request.size);
       } else {
+        // Uncached write goes straight through to disk. The freshest data
+        // is on disk now, so any older dirty marking (a stale copy another
+        // client parked lower down) is superseded — writing it back later
+        // would clobber this newer version.
+        dirty_.erase(request.block);
         ++stats_.writebacks;
-        audit_emit(AuditEvent::Kind::kWriteback, request.block);
+        journal_write_back(request.block, 0, request.size);
       }
     }
 
@@ -145,6 +150,8 @@ class UlcMulti3Scheme final : public MultiLevelScheme {
   bool resync_drop(ClientId client, BlockId block, std::size_t level) override {
     if (level == 0) {
       if (!clients_[client]->resync_evict(block, 0)) return false;
+      if (const SizeUnits* s = dirty_.find(block))
+        journal_record_loss(block, 0, *s);
       dirty_.erase(block);
       audit_emit(AuditEvent::Kind::kLost, block, 0, kAuditNoLevel, client);
       return true;
@@ -158,6 +165,8 @@ class UlcMulti3Scheme final : public MultiLevelScheme {
     }
     if (!had && !claimed) return false;
     if (had) {
+      if (const SizeUnits* s = dirty_.find(block))
+        journal_record_loss(block, level, *s);
       dirty_.erase(block);
       audit_emit(AuditEvent::Kind::kLost, block, level);
     }
@@ -169,6 +178,7 @@ class UlcMulti3Scheme final : public MultiLevelScheme {
     if (level == 0) {
       const std::size_t n = clients_[client]->resync_wipe_level(0, &lost);
       for (BlockId b : lost) {
+        if (const SizeUnits* s = dirty_.find(b)) journal_record_loss(b, 0, *s);
         dirty_.erase(b);
         audit_emit(AuditEvent::Kind::kLost, b, 0, kAuditNoLevel, client);
       }
@@ -177,6 +187,7 @@ class UlcMulti3Scheme final : public MultiLevelScheme {
     GlruServer& shared = level == 1 ? server_ : array_;
     const std::size_t n = shared.wipe(&lost);
     for (BlockId b : lost) {
+      if (const SizeUnits* s = dirty_.find(b)) journal_record_loss(b, level, *s);
       dirty_.erase(b);
       audit_emit(AuditEvent::Kind::kLost, b, level);
     }
@@ -339,10 +350,7 @@ class UlcMulti3Scheme final : public MultiLevelScheme {
                    /*through_bottom=*/false, v.size);
         audit_emit(AuditEvent::Kind::kEvict, v.block, 1, kAuditNoLevel,
                    v.owner, /*through_bottom=*/true);
-        if (dirty_.erase(v.block)) {
-          ++stats_.writebacks;
-          audit_emit(AuditEvent::Kind::kWriteback, v.block);
-        }
+        write_back_if_dirty(v.block, 1);
       } else {
         audit_emit(vr.merged ? AuditEvent::Kind::kDemoteMerge
                              : AuditEvent::Kind::kDemote,
@@ -359,10 +367,7 @@ class UlcMulti3Scheme final : public MultiLevelScheme {
     out.admitted = r.admitted;
     r.for_each([&](const GlruServer::Victim& v) {
       audit_emit(AuditEvent::Kind::kEvict, v.block, 2, kAuditNoLevel, v.owner);
-      if (dirty_.erase(v.block)) {
-        ++stats_.writebacks;
-        audit_emit(AuditEvent::Kind::kWriteback, v.block);
-      }
+      write_back_if_dirty(v.block, 2);
       ++stats_.eviction_notices;
       queue_notice(v.owner, v.block);
     });
@@ -379,10 +384,19 @@ class UlcMulti3Scheme final : public MultiLevelScheme {
   // data is written straight through to disk.
   void unplace(BlockId b, ClientId c) {
     drop_claim(b, c);
-    if (dirty_.erase(b)) {
-      ++stats_.writebacks;
-      audit_emit(AuditEvent::Kind::kWriteback, b);
-    }
+    write_back_if_dirty(b, 0);
+  }
+
+  // Write-back choke point: drops the dirty marking only after the
+  // write-back is narrated and journaled.
+  bool write_back_if_dirty(BlockId b, std::size_t from) {
+    const SizeUnits* size = dirty_.find(b);
+    if (size == nullptr) return false;
+    const SizeUnits bytes = *size;
+    dirty_.erase(b);
+    ++stats_.writebacks;
+    journal_write_back(b, from, bytes);
+    return true;
   }
 
   void queue_notice(ClientId owner, BlockId block) {
@@ -419,7 +433,7 @@ class UlcMulti3Scheme final : public MultiLevelScheme {
   GlruServer server_;
   GlruServer array_;
   std::vector<std::vector<BlockId>> pending_;
-  FlatMap<BlockId, std::uint8_t> dirty_;  // set of dirty blocks
+  FlatMap<BlockId, SizeUnits> dirty_;  // dirty block -> written size
   HierarchyStats stats_;
 };
 

@@ -52,20 +52,15 @@ class UniLruScheme final : public MultiLevelScheme {
     } else {
       stats_.count_miss(request.size);
     }
-    if (request.op == Op::kWrite) dirty_.put(request.block, 1);
+    if (request.op == Op::kWrite) dirty_.put(request.block, request.size);
     // Each boundary slide is one demotion transfer; the final evictions are
     // silent drops — unless a block is dirty, in which case it must be
     // written back to disk first.
     for (const SegmentedList::Crossing& c : result_.crossed)
       stats_.count_demote(c.from, c.size);
-    evicted_wrote_back_.assign(result_.evicted.size(), false);
-    for (std::size_t i = 0; i < result_.evicted.size(); ++i) {
-      if (dirty_.erase(result_.evicted[i])) {
-        ++stats_.writebacks;
-        evicted_wrote_back_[i] = true;
-      }
-    }
     if (auditing()) emit_events(request);
+    for (BlockId victim : result_.evicted)
+      write_back_if_dirty(victim, list_.segment_count() - 1);
   }
 
   const HierarchyStats& stats() const override { return stats_; }
@@ -138,19 +133,26 @@ class UniLruScheme final : public MultiLevelScheme {
     collect_slides();
     for (const Slide& s : slides_)
       audit_emit(AuditEvent::Kind::kDemote, s.key, s.from, s.to);
-    for (std::size_t i = 0; i < result_.evicted.size(); ++i) {
-      audit_emit(AuditEvent::Kind::kEvict, result_.evicted[i],
-                 list_.segment_count() - 1);
-      if (evicted_wrote_back_[i])
-        audit_emit(AuditEvent::Kind::kWriteback, result_.evicted[i]);
-    }
+    for (BlockId victim : result_.evicted)
+      audit_emit(AuditEvent::Kind::kEvict, victim, list_.segment_count() - 1);
+  }
+
+  // Write-back choke point: drops the dirty marking only after the
+  // write-back is narrated and journaled.
+  bool write_back_if_dirty(BlockId b, std::size_t from) {
+    const SizeUnits* size = dirty_.find(b);
+    if (size == nullptr) return false;
+    const SizeUnits bytes = *size;
+    dirty_.erase(b);
+    ++stats_.writebacks;
+    journal_write_back(b, from, bytes);
+    return true;
   }
 
   SegmentedList list_;
   SegmentedList::AccessResult result_;
   std::vector<Slide> slides_;
-  std::vector<bool> evicted_wrote_back_;
-  FlatMap<BlockId, std::uint8_t> dirty_;  // set of dirty blocks
+  FlatMap<BlockId, SizeUnits> dirty_;  // dirty block -> written size
   HierarchyStats stats_;
 };
 
@@ -258,7 +260,7 @@ class UniLruMultiScheme final : public MultiLevelScheme {
     ctx.size = request.size;
     size_of_.put(b, request.size);  // id-stable; needed when b is demoted
 
-    if (request.op == Op::kWrite) dirty_.put(b, 1);
+    if (request.op == Op::kWrite) dirty_.put(b, request.size);
     if (client.touch(b, ctx)) {
       stats_.count_hit(0, request.size);
       return;
@@ -273,11 +275,10 @@ class UniLruMultiScheme final : public MultiLevelScheme {
     if (ev.admitted) {
       audit_emit(AuditEvent::Kind::kPlace, b, kAuditNoLevel, 0, request.client,
                  /*through_bottom=*/false, request.size);
-    } else if (dirty_.erase(b)) {
+    } else {
       // Uncacheable write: larger than the whole client budget, so the dirty
       // data goes straight to disk.
-      ++stats_.writebacks;
-      audit_emit(AuditEvent::Kind::kWriteback, b);
+      write_back_if_dirty(b, 0);
     }
     // DEMOTE each client victim into the shared server cache, in eviction
     // order. With sized blocks one admission can push several victims out.
@@ -344,28 +345,34 @@ class UniLruMultiScheme final : public MultiLevelScheme {
       } else {
         audit_emit(AuditEvent::Kind::kEvict, v, 1);
       }
-      if (dirty_.erase(v)) {
-        ++stats_.writebacks;
-        audit_emit(AuditEvent::Kind::kWriteback, v);
-      }
+      write_back_if_dirty(v, v == victim ? 0 : 1);
     }
     if (!sev.admitted) {
       audit_emit(AuditEvent::Kind::kCharge, victim, 0, 1, owner,
                  /*through_bottom=*/false, victim_size);
       audit_emit(AuditEvent::Kind::kEvict, victim, 0, kAuditNoLevel, owner,
                  /*through_bottom=*/true);
-      if (dirty_.erase(victim)) {
-        ++stats_.writebacks;
-        audit_emit(AuditEvent::Kind::kWriteback, victim);
-      }
+      write_back_if_dirty(victim, 0);
     }
+  }
+
+  // Write-back choke point: drops the dirty marking only after the
+  // write-back is narrated and journaled.
+  bool write_back_if_dirty(BlockId b, std::size_t from) {
+    const SizeUnits* size = dirty_.find(b);
+    if (size == nullptr) return false;
+    const SizeUnits bytes = *size;
+    dirty_.erase(b);
+    ++stats_.writebacks;
+    journal_write_back(b, from, bytes);
+    return true;
   }
 
   std::vector<PolicyPtr> clients_;
   ServerLru server_;
   UniLruInsertion insertion_;
-  FlatMap<BlockId, std::uint8_t> dirty_;  // set of dirty blocks
-  FlatMap<BlockId, SizeUnits> size_of_;   // id-stable block footprints
+  FlatMap<BlockId, SizeUnits> dirty_;    // dirty block -> written size
+  FlatMap<BlockId, SizeUnits> size_of_;  // id-stable block footprints
   std::vector<BlockId> server_victims_;
   HierarchyStats stats_;
   std::string name_;

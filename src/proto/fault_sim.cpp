@@ -1,6 +1,7 @@
 #include "proto/fault_sim.h"
 
 #include <algorithm>
+#include <deque>
 #include <memory>
 #include <unordered_map>
 
@@ -150,6 +151,34 @@ FaultedProtocolResult run_faulted_protocol_sim(ProtocolScheme scheme_kind,
     return config.checked ? checked->last_events() : sink;
   };
 
+  // Write-back journal: the scheme appends an entry per dirty block it
+  // writes back; the simulator plays the storage side on a dedicated
+  // channel (one disk_service_ms per block, FIFO), marking each entry
+  // written and acknowledging it in append order when its write lands.
+  // Deliberately off the read path and PRNG-free: with journaling on or
+  // off, fault-free runs stay byte-identical to run_protocol_sim.
+  WritebackJournal journal(WritebackJournal::Mode::kManual);
+  if (config.journal) scheme->set_writeback_journal(&journal);
+  struct QueuedWrite {
+    std::uint64_t seq = 0;
+    SimTime at = 0.0;  // storage completion time
+  };
+  std::deque<QueuedWrite> wb_queue;
+  std::size_t journal_seen = 0;
+  SimTime wb_busy_until = 0.0;
+  // Complete every queued write that lands by `t`: mark written, then ack.
+  // Entries a crash already wiped (kLost) are skipped — their data never
+  // reached storage.
+  const auto drain_writebacks = [&](SimTime t) {
+    while (!wb_queue.empty() && wb_queue.front().at <= t) {
+      const QueuedWrite w = wb_queue.front();
+      wb_queue.pop_front();
+      if (journal.state_of(w.seq) == JournalEntryState::kLost) continue;
+      journal.mark_written(w.seq);
+      journal.ack(w.seq);
+    }
+  };
+
   // Zero-load round trips for the timeout budgets. base_rtt[t] is the RTT of
   // a read served by level t (t == nlevels: the disk path); ctrl_rtt[t] the
   // RTT of a pure control exchange with level t.
@@ -192,6 +221,12 @@ FaultedProtocolResult run_faulted_protocol_sim(ProtocolScheme scheme_kind,
         if (rec)
           rec->instant("crash L" + std::to_string(l), "fault", when,
                        obs::TraceRecorder::level_track(l), current_access);
+        if (config.journal) {
+          // Writes that completed before the crash are safely acknowledged;
+          // whatever the level had not acknowledged by then is gone.
+          drain_writebacks(when);
+          journal.crash_wipe(l);
+        }
         for (auto it = st.present.begin(); it != st.present.end();) {
           // Erase-all sweep: the surviving set is order-independent.
           if (it->second < when) {
@@ -375,6 +410,12 @@ FaultedProtocolResult run_faulted_protocol_sim(ProtocolScheme scheme_kind,
   // bounded retries from the sender's buffer).
   const auto process_demote = [&](const AuditEvent& tr, SimTime at0) {
     const bool charge_only = tr.kind == AuditEvent::Kind::kCharge;
+    // The sender stamps the transfer with its view of the target's epoch;
+    // a receiver that restarted in the meantime refuses the cross-epoch
+    // delivery (it cannot trust pre-crash directory state), closing the
+    // crash-during-demotion window where stale data landed in a freshly
+    // restarted cache.
+    const std::uint64_t expected_epoch = levels[tr.to].known_epoch;
     SimTime at = at0;
     if (scheme_kind == ProtocolScheme::kUlc && tr.from > 0) {
       bool delivered = false;
@@ -441,6 +482,16 @@ FaultedProtocolResult run_faulted_protocol_sim(ProtocolScheme scheme_kind,
         }
       }
       if (alive && armed && plan.down_at(tr.to, t)) alive = false;
+      if (alive && armed && plan.epoch_at(tr.to, t) != expected_epoch) {
+        ++rel.cross_epoch_drops;
+        if (rec)
+          rec->instant("demote cross-epoch L" + std::to_string(tr.from) +
+                           "->L" + std::to_string(tr.to),
+                       "fault", t, obs::TraceRecorder::level_track(tr.to),
+                       current_access, static_cast<std::int64_t>(tr.block));
+        if (!charge_only) resync_drop(tr.block, tr.to);
+        return;
+      }
       if (alive) {
         if (!charge_only) levels[tr.to].present[tr.block] = t;
         if (rec)
@@ -491,6 +542,9 @@ FaultedProtocolResult run_faulted_protocol_sim(ProtocolScheme scheme_kind,
       }
       disk_busy_at_start = disk_busy_total;
     }
+
+    // Storage side of the journal: complete every write-back due by now.
+    if (config.journal) drain_writebacks(now);
 
     // Recovery machinery (all of it no-ops on a fault-free plan).
     FaultPhase phase = FaultPhase::kNormal;
@@ -549,6 +603,7 @@ FaultedProtocolResult run_faulted_protocol_sim(ProtocolScheme scheme_kind,
     if (claimed == 0) {
       if (armed && !present_at(0, block, now)) {
         ++rel.stale_reads;  // the client's own copy was lost earlier
+        if (phase == FaultPhase::kRecovered) ++rel.post_recovery_stale_reads;
         to_disk = true;
         heal_plant = true;
       } else {
@@ -572,6 +627,7 @@ FaultedProtocolResult run_faulted_protocol_sim(ProtocolScheme scheme_kind,
         } else if (fo.nack) {
           ++rel.nacks;
           ++rel.stale_reads;
+          if (phase == FaultPhase::kRecovered) ++rel.post_recovery_stale_reads;
           const std::uint64_t before_epoch = levels[claimed].known_epoch;
           resync_after_epoch(claimed, fo.epoch, fo.at);
           if (fo.epoch == before_epoch) resync_drop(block, claimed);
@@ -639,10 +695,30 @@ FaultedProtocolResult run_faulted_protocol_sim(ProtocolScheme scheme_kind,
     for (const AuditEvent& ev : narr.evicts)
       levels[ev.from].present.erase(ev.block);
 
+    // Schedule the storage writes for every journal entry this access
+    // appended: FIFO on the dedicated write-back channel, one service time
+    // per block.
+    if (config.journal) {
+      const std::vector<JournalEntry>& entries = journal.entries();
+      for (; journal_seen < entries.size(); ++journal_seen) {
+        const SimTime t_write =
+            std::max(completion, wb_busy_until) + proto.disk_service_ms;
+        wb_busy_until = t_write;
+        wb_queue.push_back(QueuedWrite{entries[journal_seen].seq, t_write});
+      }
+    }
+
     now = completion;
   }
 
+  // Let the write-back channel finish: every scheduled write that no crash
+  // wiped completes and is acknowledged.
+  if (config.journal) drain_writebacks(wb_busy_until);
+  result.journal = journal.stats();
+
   if (checked != nullptr) checked->final_check();
+  // Detach before the journal (declared after the scheme) goes away.
+  if (config.journal) scheme->set_writeback_journal(nullptr);
 
   const SimTime elapsed = std::max(now - measure_start, 1e-9);
   result.base.elapsed_ms = elapsed;
@@ -660,6 +736,23 @@ FaultedProtocolResult run_faulted_protocol_sim(ProtocolScheme scheme_kind,
   result.measure_start_ms = measure_start;
   result.end_ms = now;
   return result;
+}
+
+void publish_fault_metrics(obs::MetricsRegistry& metrics,
+                           const FaultedProtocolResult& result) {
+  const JournalStats& js = result.journal;
+  metrics.add_counter("durability.writebacks_journaled", js.appended);
+  metrics.add_counter("durability.writebacks_acked", js.acked);
+  metrics.add_counter("durability.lost_unacked", js.lost_unacked);
+  metrics.add_counter("durability.lost_unacked_bytes", js.lost_unacked_bytes);
+  metrics.add_counter("durability.lost_acked", js.lost_acked);
+  metrics.add_counter("durability.dirty_lost", js.dirty_lost);
+  metrics.add_counter("durability.dirty_lost_bytes", js.dirty_lost_bytes);
+  const ReliabilityStats& rs = result.reliability;
+  metrics.add_counter("staleness.stale_reads", rs.stale_reads);
+  metrics.add_counter("staleness.post_recovery_stale_reads",
+                      rs.post_recovery_stale_reads);
+  metrics.add_counter("staleness.cross_epoch_drops", rs.cross_epoch_drops);
 }
 
 }  // namespace ulc

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "proto/faults.h"
+#include "proto/journal.h"
 #include "proto/protocol_sim.h"
 #include "proto/reliable.h"
 
@@ -38,6 +39,12 @@ struct FaultSimConfig {
   // every access and resync).
   bool checked = true;
   bool abort_on_violation = false;   // auditor aborts instead of throwing
+  // Attach an epoch-stamped write-back journal: dirty blocks leaving the
+  // hierarchy are queued on a dedicated storage channel, marked written when
+  // the device completes them and acknowledged back in append order; a level
+  // crash wipes the entries it had not yet acknowledged. Draws no PRNG and
+  // never touches the read path, so fault-free parity holds either way.
+  bool journal = true;
   std::string context;               // replay context for violation reports
   // Optional message-timeline recorder (reference spans, Demote transfers,
   // crash wipes, breaker trips/closes, probes). Purely additive: recording
@@ -56,6 +63,7 @@ const char* fault_phase_name(FaultPhase phase);
 struct FaultedProtocolResult {
   ProtocolResult base;
   ReliabilityStats reliability;  // whole-run totals (not reset at warmup)
+  JournalStats journal;          // write-back pipeline + data-loss accounting
   // Response time split by the phase each reference started in (reset at
   // warmup like base.response_ms).
   std::array<OnlineStats, kFaultPhases> phase_response_ms;
@@ -71,5 +79,11 @@ struct FaultedProtocolResult {
 FaultedProtocolResult run_faulted_protocol_sim(ProtocolScheme scheme,
                                                const FaultSimConfig& config,
                                                const Trace& trace);
+
+// Publishes the run's data-loss and staleness accounting as named obs
+// counters ("durability.*", "staleness.*") so dashboards that scrape the
+// registry see the fault story next to the performance counters.
+void publish_fault_metrics(obs::MetricsRegistry& metrics,
+                           const FaultedProtocolResult& result);
 
 }  // namespace ulc

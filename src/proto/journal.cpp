@@ -1,0 +1,128 @@
+#include "proto/journal.h"
+
+#include <algorithm>
+
+#include "util/ensure.h"
+
+namespace ulc {
+
+JournalEntry* WritebackJournal::find(std::uint64_t seq) {
+  if (seq == 0 || seq > entries_.size()) return nullptr;
+  return &entries_[seq - 1];
+}
+
+std::uint64_t WritebackJournal::append(BlockId block, std::size_t level,
+                                       SizeUnits size) {
+  JournalEntry e;
+  e.seq = entries_.size() + 1;
+  e.block = block;
+  e.level = level;
+  e.size = size;
+  e.epoch = epoch_;
+  entries_.push_back(e);
+  ++stats_.appended;
+  stats_.appended_bytes += size;
+  if (mode_ == Mode::kSynchronous) {
+    mark_written(e.seq);
+    ack(e.seq);
+  }
+  return e.seq;
+}
+
+void WritebackJournal::mark_written(std::uint64_t seq) {
+  JournalEntry* e = find(seq);
+  ULC_REQUIRE(e != nullptr, "mark_written of an unknown journal entry");
+  if (e->state == JournalEntryState::kPending) {
+    e->state = JournalEntryState::kWritten;
+  }
+}
+
+void WritebackJournal::ack(std::uint64_t seq) {
+  JournalEntry* e = find(seq);
+  ULC_REQUIRE(e != nullptr, "ack of an unknown journal entry");
+  if (e->state == JournalEntryState::kLost) {
+    // The crash destroyed the entry before storage wrote it; a straggling
+    // acknowledgement for it is a protocol violation.
+    ++stats_.ack_before_write;
+    return;
+  }
+  if (e->state == JournalEntryState::kPending) ++stats_.ack_before_write;
+  if (e->state == JournalEntryState::kAcked) return;
+  if (seq < last_acked_seq_) ++stats_.replay_reorders;
+  last_acked_seq_ = seq;
+  e->state = JournalEntryState::kAcked;
+  e->ack_index = next_ack_index_++;
+  ++stats_.acked;
+  stats_.acked_bytes += e->size;
+}
+
+void WritebackJournal::record_loss(BlockId block, std::size_t level,
+                                   SizeUnits size) {
+  (void)block;
+  (void)level;
+  ++stats_.dirty_lost;
+  stats_.dirty_lost_bytes += size;
+}
+
+WritebackJournal::WipeResult WritebackJournal::crash_wipe(std::size_t level) {
+  WipeResult wiped;
+  for (JournalEntry& e : entries_) {
+    if (e.level != level || e.state != JournalEntryState::kPending) continue;
+    e.state = JournalEntryState::kLost;
+    ++wiped.entries;
+    wiped.bytes += e.size;
+  }
+  stats_.lost_unacked += wiped.entries;
+  stats_.lost_unacked_bytes += wiped.bytes;
+  ++epoch_;
+  return wiped;
+}
+
+std::vector<JournalEntry> WritebackJournal::replay() const {
+  std::vector<JournalEntry> acked;
+  for (const JournalEntry& e : entries_) {
+    if (e.state == JournalEntryState::kAcked) acked.push_back(e);
+  }
+  // Acknowledgement order is the recovery order. laws_hold() separately
+  // certifies it matches the append order (prefix property).
+  std::sort(acked.begin(), acked.end(),
+            [](const JournalEntry& a, const JournalEntry& b) {
+              return a.ack_index < b.ack_index;
+            });
+  return acked;
+}
+
+JournalEntryState WritebackJournal::state_of(std::uint64_t seq) const {
+  ULC_REQUIRE(seq >= 1 && seq <= entries_.size(),
+              "state_of of an unknown journal entry");
+  return entries_[seq - 1].state;
+}
+
+std::size_t WritebackJournal::pending() const {
+  std::size_t n = 0;
+  for (const JournalEntry& e : entries_) {
+    if (e.state == JournalEntryState::kPending ||
+        e.state == JournalEntryState::kWritten) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+bool WritebackJournal::laws_hold(std::string& why) const {
+  if (stats_.ack_before_write != 0) {
+    why = "an entry was acknowledged before storage wrote it";
+    return false;
+  }
+  if (stats_.replay_reorders != 0) {
+    why = "acknowledgements arrived out of append order";
+    return false;
+  }
+  if (stats_.lost_acked != 0) {
+    why = "an acknowledged write was lost";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace ulc

@@ -1,0 +1,110 @@
+// Epoch-stamped write-back journal: the durable half of the write-back
+// pipeline (ulc/writeback.h is the scheme-facing interface).
+//
+// Every dirty block leaving a cache level is appended as a journal entry;
+// the storage level then writes it (kPending -> kWritten) and acknowledges
+// it back to the client (kWritten -> kAcked). A crash of the source level
+// destroys the entries it had not yet pushed to storage (kPending ->
+// kLost) and bumps the journal epoch, so post-crash appends are
+// distinguishable from pre-crash ones. Recovery replays exactly the
+// acknowledged prefix, in acknowledgement order.
+//
+// The laws the journal enforces (checked live by CheckedHierarchy):
+//   D-ack   an entry is acknowledged only after it was written,
+//   D-order acknowledgements arrive in append order (replay is a prefix),
+//   D-keep  an acknowledged write is never lost.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ulc/writeback.h"
+
+namespace ulc {
+
+enum class JournalEntryState : std::uint8_t {
+  kPending,  // appended, not yet written by storage
+  kWritten,  // durable at storage, not yet acknowledged
+  kAcked,    // acknowledged to the client; replayed on recovery
+  kLost,     // destroyed by a crash before storage wrote it
+};
+
+struct JournalEntry {
+  std::uint64_t seq = 0;
+  BlockId block = 0;
+  std::size_t level = 0;      // level the dirty block left
+  SizeUnits size = 1;
+  std::uint64_t epoch = 0;    // journal epoch at append time
+  JournalEntryState state = JournalEntryState::kPending;
+  std::uint64_t ack_index = 0;  // position in the acknowledgement order
+};
+
+// Counter snapshot for benchmarks and the fault harness. `lost_acked` and
+// the two protocol-order counters must stay zero on every run — they are
+// law violations, not statistics.
+struct JournalStats {
+  std::uint64_t appended = 0;
+  std::uint64_t appended_bytes = 0;
+  std::uint64_t acked = 0;
+  std::uint64_t acked_bytes = 0;
+  std::uint64_t lost_unacked = 0;        // crash-wiped journal entries
+  std::uint64_t lost_unacked_bytes = 0;
+  std::uint64_t lost_acked = 0;          // law D-keep violations
+  std::uint64_t ack_before_write = 0;    // law D-ack violations
+  std::uint64_t replay_reorders = 0;     // law D-order violations
+  std::uint64_t dirty_lost = 0;          // dirty copies destroyed un-journaled
+  std::uint64_t dirty_lost_bytes = 0;
+};
+
+class WritebackJournal final : public WritebackSink {
+ public:
+  // kSynchronous models the legacy cost-model write-back: storage writes
+  // and acknowledges in the same instant the entry is appended (fault-free
+  // runs stay byte-identical). kManual leaves every transition to the
+  // caller — the fault simulator drives written/acked against its own
+  // clock and crash schedule.
+  enum class Mode { kSynchronous, kManual };
+
+  explicit WritebackJournal(Mode mode = Mode::kSynchronous) : mode_(mode) {}
+
+  std::uint64_t append(BlockId block, std::size_t level,
+                       SizeUnits size) override;
+  void mark_written(std::uint64_t seq) override;
+  void ack(std::uint64_t seq) override;
+  void record_loss(BlockId block, std::size_t level, SizeUnits size) override;
+  bool laws_hold(std::string& why) const override;
+
+  // A crash of `level`: every entry that level appended but storage has not
+  // written yet is destroyed, and the journal epoch advances so post-crash
+  // appends carry a fresh stamp.
+  struct WipeResult {
+    std::uint64_t entries = 0;
+    std::uint64_t bytes = 0;
+  };
+  WipeResult crash_wipe(std::size_t level);
+
+  // Recovery contract: the replayable image is the acknowledged entries in
+  // acknowledgement order (laws_hold() certifies that order is the append
+  // prefix order).
+  std::vector<JournalEntry> replay() const;
+
+  JournalEntryState state_of(std::uint64_t seq) const;
+  const std::vector<JournalEntry>& entries() const { return entries_; }
+  std::size_t pending() const;
+  std::uint64_t epoch() const { return epoch_; }
+  const JournalStats& stats() const { return stats_; }
+
+ private:
+  JournalEntry* find(std::uint64_t seq);
+
+  Mode mode_;
+  std::vector<JournalEntry> entries_;  // seq == index + 1, append-ordered
+  JournalStats stats_;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t next_ack_index_ = 0;
+  std::uint64_t last_acked_seq_ = 0;
+};
+
+}  // namespace ulc

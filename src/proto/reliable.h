@@ -101,6 +101,12 @@ struct ReliabilityStats {
   std::uint64_t failed_reads = 0;    // even the disk path exhausted its budget
   std::uint64_t demote_drops = 0;    // demotions whose data never arrived
   std::uint64_t dead_placements = 0;  // placements directed at a down level
+  std::uint64_t cross_epoch_drops = 0;  // demote data refused by a receiver
+                                        // that restarted since the sender
+                                        // last synced its epoch
+  std::uint64_t post_recovery_stale_reads = 0;  // stale reads served after
+                                                // every breaker had closed
+                                                // (recovery left stale state)
 };
 
 }  // namespace ulc

@@ -52,8 +52,22 @@ void BlockCache::release_buffer(std::size_t index) {
   free_buffers_.push_back(index);
 }
 
-void BlockCache::writeback(BlockId block, std::span<const std::byte> contents) {
-  origin_.write(block, contents);
+void BlockCache::set_writeback_journal(WritebackSink* journal) {
+  std::lock_guard<std::mutex> guard(lock_);
+  journal_ = journal;
+}
+
+void BlockCache::writeback(BlockId block, std::size_t from,
+                           std::span<const std::byte> contents) {
+  if (journal_ != nullptr) {
+    const std::uint64_t seq = journal_->append(
+        block, from, static_cast<SizeUnits>(config_.block_size));
+    origin_.write(block, contents);
+    journal_->mark_written(seq);
+    journal_->ack(seq);
+  } else {
+    origin_.write(block, contents);
+  }
   ++stats_.writebacks;
 }
 
@@ -67,9 +81,10 @@ void BlockCache::handle_demotions(const UlcAccess& outcome) {
         near_.store(d.block, std::span(data, config_.block_size));
         ++stats_.demotions;
       } else {
-        // Discard from RAM: dirty data must reach the origin first.
+        // Discard from RAM: dirty data must reach the origin first. The
+        // RAM buffer is freed only after the write-back returns.
         if (dirty_.erase(d.block) > 0)
-          writeback(d.block, std::span(data, config_.block_size));
+          writeback(d.block, 0, std::span(data, config_.block_size));
       }
       release_buffer(it->second);
       resident_.erase(it);
@@ -77,9 +92,13 @@ void BlockCache::handle_demotions(const UlcAccess& outcome) {
       // Leaving the near tier; in a two-tier cache that means discard.
       ULC_ENSURE(d.to == kLevelOut, "two-tier cache demotes near-tier blocks out");
       if (dirty_.erase(d.block) > 0) {
+        // Pin for the write-back window: the tier refuses to evict the
+        // block while its bytes are being copied out.
+        near_.pin(d.block);
         const bool ok = near_.fetch(d.block, scratch2_);
         ULC_ENSURE(ok, "dirty near-tier block missing");
-        writeback(d.block, scratch2_);
+        writeback(d.block, 1, scratch2_);
+        near_.unpin(d.block);
       }
       near_.evict(d.block);
     }
@@ -110,7 +129,7 @@ void BlockCache::apply_placement(BlockId block, const UlcAccess& outcome,
   } else {
     // Not cached anywhere: pass-through. A write goes straight to the
     // origin; a read retains nothing.
-    if (dirtying) writeback(block, contents);
+    if (dirtying) writeback(block, 0, contents);
   }
 }
 
@@ -170,14 +189,15 @@ void BlockCache::flush() {
   for (BlockId block : to_flush) {
     auto it = resident_.find(block);
     if (it != resident_.end()) {
-      origin_.write(block,
-                    std::span(buffer_data(it->second), config_.block_size));
+      writeback(block, 0,
+                std::span(buffer_data(it->second), config_.block_size));
     } else {
+      near_.pin(block);
       const bool ok = near_.fetch(block, scratch_);
       ULC_ENSURE(ok, "dirty block missing from both tiers");
-      origin_.write(block, scratch_);
+      writeback(block, 1, scratch_);
+      near_.unpin(block);
     }
-    ++stats_.writebacks;
   }
   dirty_.clear();
 }

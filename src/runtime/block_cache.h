@@ -23,6 +23,7 @@
 
 #include "runtime/tier.h"
 #include "ulc/ulc_client.h"
+#include "ulc/writeback.h"
 
 namespace ulc {
 
@@ -58,6 +59,13 @@ class BlockCache {
   // Writes every dirty block back to the origin (cached copies stay valid).
   void flush();
 
+  // Optional write-back journal: every dirty block written to the origin is
+  // appended, marked written when origin.write returns, and acknowledged —
+  // the same pipeline the simulated hierarchies narrate. Pass nullptr to
+  // detach. The sink must outlive the cache (or be detached before
+  // destruction; note ~BlockCache flushes).
+  void set_writeback_journal(WritebackSink* journal);
+
   BlockCacheStats stats() const;
   std::size_t block_size() const { return config_.block_size; }
 
@@ -79,7 +87,11 @@ class BlockCache {
   void apply_placement(BlockId block, const UlcAccess& outcome,
                        std::span<const std::byte> contents, bool dirtying);
   void handle_demotions(const UlcAccess& outcome);
-  void writeback(BlockId block, std::span<const std::byte> contents);
+  // Pushes the block's bytes to the origin through the journal pipeline
+  // (append -> write -> mark_written -> ack). `from` is the tier the dirty
+  // data is leaving (0 = RAM, 1 = near tier).
+  void writeback(BlockId block, std::size_t from,
+                 std::span<const std::byte> contents);
 
   BlockCacheConfig config_;
   NearTier& near_;
@@ -93,6 +105,7 @@ class BlockCache {
   std::unordered_set<BlockId> dirty_;  // dirty wherever the block now lives
   std::vector<std::byte> scratch_;
   std::vector<std::byte> scratch2_;  // demotion-path IO (keeps scratch_ valid)
+  WritebackSink* journal_ = nullptr;
   BlockCacheStats stats_;
 };
 

@@ -9,6 +9,25 @@
 
 namespace ulc {
 
+void NearTier::evict(BlockId block) {
+  ULC_REQUIRE(pin_count(block) == 0,
+              "evicting a pinned block (write-back still in flight)");
+  do_evict(block);
+}
+
+void NearTier::pin(BlockId block) { ++pins_[block]; }
+
+void NearTier::unpin(BlockId block) {
+  auto it = pins_.find(block);
+  ULC_REQUIRE(it != pins_.end(), "unpin of a block that holds no pin");
+  if (--it->second == 0) pins_.erase(it);
+}
+
+std::uint32_t NearTier::pin_count(BlockId block) const {
+  auto it = pins_.find(block);
+  return it == pins_.end() ? 0 : it->second;
+}
+
 namespace {
 
 class MemoryNearTier final : public NearTier {
@@ -32,10 +51,11 @@ class MemoryNearTier final : public NearTier {
                "near tier overfilled: the placement engine must bound it");
   }
 
-  void evict(BlockId block) override { store_.erase(block); }
-
   std::size_t capacity_blocks() const override { return capacity_; }
   std::size_t block_size() const override { return block_size_; }
+
+ protected:
+  void do_evict(BlockId block) override { store_.erase(block); }
 
  private:
   std::size_t capacity_;
@@ -118,15 +138,16 @@ class FileNearTier final : public NearTier {
                 "tier write failed");
   }
 
-  void evict(BlockId block) override {
+  std::size_t capacity_blocks() const override { return capacity_; }
+  std::size_t block_size() const override { return block_size_; }
+
+ protected:
+  void do_evict(BlockId block) override {
     auto it = slots_.find(block);
     if (it == slots_.end()) return;
     free_slots_.push_back(it->second);
     slots_.erase(it);
   }
-
-  std::size_t capacity_blocks() const override { return capacity_; }
-  std::size_t block_size() const override { return block_size_; }
 
  private:
   void read_slot(std::size_t slot, std::span<std::byte> out) {

@@ -12,6 +12,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <unordered_map>
 
 #include "trace/types.h"
 
@@ -20,6 +21,11 @@ namespace ulc {
 // The second cache tier. It stores whatever blocks the ULC engine directs to
 // it; it makes no replacement decisions of its own (capacity is enforced by
 // the engine's placement, the tier only reports it).
+//
+// Pinning (bio.c-style buffer refcounts): a writer pins a block for the
+// duration of a write-back so the block cannot be evicted out from under
+// the in-flight IO. Pins nest; evict() of a pinned block is a caller
+// contract violation and aborts.
 class NearTier {
  public:
   virtual ~NearTier() = default;
@@ -28,11 +34,23 @@ class NearTier {
   virtual bool fetch(BlockId block, std::span<std::byte> out) = 0;
   // Stores (or overwrites) a block.
   virtual void store(BlockId block, std::span<const std::byte> data) = 0;
-  // Drops a block (no data movement).
-  virtual void evict(BlockId block) = 0;
+  // Drops a block (no data movement). Refuses (aborts) while pinned.
+  void evict(BlockId block);
+
+  // Refcounted pin/unpin around an in-flight write-back.
+  void pin(BlockId block);
+  void unpin(BlockId block);
+  std::uint32_t pin_count(BlockId block) const;
 
   virtual std::size_t capacity_blocks() const = 0;
   virtual std::size_t block_size() const = 0;
+
+ protected:
+  // The actual drop, called only once the pin check has passed.
+  virtual void do_evict(BlockId block) = 0;
+
+ private:
+  std::unordered_map<BlockId, std::uint32_t> pins_;
 };
 
 // The authoritative backing store.

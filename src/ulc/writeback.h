@@ -1,0 +1,51 @@
+// The write-back contract between a cache hierarchy and durable storage.
+//
+// Dirty blocks never simply vanish: when one leaves a level (eviction,
+// demotion to "out", discard), the scheme reports it to a WritebackSink
+// before dropping the cached copy. The sink owns the durability story —
+// the concrete journal in proto/journal.h stamps entries with the storage
+// level's crash epoch, tracks the written -> acknowledged lifecycle, and
+// exposes the durability laws the auditor checks live.
+//
+// The interface lives in the ulc layer (not proto) so every consumer —
+// hierarchy schemes, the runtime block cache, the checked auditor — can
+// name it without widening the layering DAG.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "trace/types.h"
+
+namespace ulc {
+
+class WritebackSink {
+ public:
+  virtual ~WritebackSink() = default;
+
+  // A dirty block of `size` units is leaving level `level` for storage.
+  // Returns the journal sequence number of the new entry.
+  virtual std::uint64_t append(BlockId block, std::size_t level,
+                               SizeUnits size) = 0;
+
+  // The storage level finished writing entry `seq` (data durable, not yet
+  // acknowledged to the client).
+  virtual void mark_written(std::uint64_t seq) = 0;
+
+  // The storage level acknowledged entry `seq` back to the client; only now
+  // may the writer forget the block.
+  virtual void ack(std::uint64_t seq) = 0;
+
+  // A dirty block was destroyed *without* a write-back (crash wipe, resync
+  // purge of a lost level). This is the data-loss event the fault harness
+  // measures; it is legal under faults and a law violation without them.
+  virtual void record_loss(BlockId block, std::size_t level,
+                           SizeUnits size) = 0;
+
+  // True when every durability law holds; on failure `why` names the first
+  // broken law.
+  virtual bool laws_hold(std::string& why) const = 0;
+};
+
+}  // namespace ulc

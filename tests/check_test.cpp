@@ -10,6 +10,7 @@
 #include "check/checked_hierarchy.h"
 #include "check/mutations.h"
 #include "hierarchy/hierarchy.h"
+#include "proto/journal.h"
 #include "hierarchy/runner.h"
 #include "proto/protocol_sim.h"
 #include "replacement/cache_policy.h"
@@ -179,6 +180,31 @@ TEST(CheckedHierarchy, MixedSizeMultiClientSchemesRunClean) {
   expect_clean(make_mq_hierarchy(16, 64, 3), make_mq_hierarchy(16, 64, 3), t);
   expect_clean(make_ulc_multi_three(12, 32, 48, 3),
                make_ulc_multi_three(12, 32, 48, 3), t);
+}
+
+TEST(CheckedHierarchy, JournaledRunsStayCleanAndConserveWritebacks) {
+  // With a journal attached through the auditor, every scheme must satisfy
+  // the durability laws live (D1–D3 on every access) and its write-back
+  // counter must equal the journal's appends.
+  const Trace t = sized_single_trace();
+  std::vector<SchemePtr> schemes;
+  schemes.push_back(make_uni_lru({24, 40, 36}));
+  schemes.push_back(make_ulc({32, 48, 40}));
+  schemes.push_back(make_ind_lru({32, 64, 48}));
+  schemes.push_back(make_reload_uni_lru({24, 40, 36}));
+  for (SchemePtr& s : schemes) {
+    CheckOptions opt;
+    opt.sweep_interval = 32;
+    opt.context = t.name();
+    CheckedHierarchy checked(std::move(s), opt);
+    WritebackJournal journal;
+    checked.set_writeback_journal(&journal);
+    for (const Request& r : t) ASSERT_NO_THROW(checked.access(r)) << checked.name();
+    ASSERT_NO_THROW(checked.final_check()) << checked.name();
+    EXPECT_EQ(journal.stats().appended, checked.stats().writebacks)
+        << checked.name();
+    EXPECT_GT(journal.stats().appended, 0u) << checked.name();
+  }
 }
 
 TEST(CheckedHierarchy, UnsupportedSchemesFallBackToStatsChecks) {
@@ -398,6 +424,59 @@ TEST(Mutations, CorruptedYardstickIsCaught) {
       loop_trace(), /*sweep_interval=*/4);
   ASSERT_TRUE(kind.has_value());
   EXPECT_EQ(*kind, ViolationKind::kYardstick);
+}
+
+TEST(Mutations, DroppedDirtyWritebackIsDurabilityViolation) {
+  // A dirty victim leaves the hierarchy with its write-back suppressed
+  // (narration and counter both): only the durability shadow can see the
+  // stale on-disk copy become the sole copy.
+  const auto kind =
+      violation_of(make_mutant(make_uni_lru({8, 12, 10}), Mutation::kDropDirty),
+                   loop_trace());
+  ASSERT_TRUE(kind.has_value());
+  EXPECT_EQ(*kind, ViolationKind::kDurability);
+}
+
+TEST(Mutations, DroppedDirtyWritebackOnUlcIsCaught) {
+  const auto kind =
+      violation_of(make_mutant(make_ulc({8, 12, 10}), Mutation::kDropDirty),
+                   single_trace());
+  ASSERT_TRUE(kind.has_value());
+  EXPECT_EQ(*kind, ViolationKind::kDurability);
+}
+
+TEST(Mutations, AckBeforeWriteIsDurabilityViolation) {
+  // A clean victim's eviction gains a fabricated write-back (counter bumped
+  // to match): acknowledging data that was never dirty.
+  const auto kind = violation_of(
+      make_mutant(make_uni_lru({8, 12, 10}), Mutation::kAckBeforeWrite),
+      loop_trace());
+  ASSERT_TRUE(kind.has_value());
+  EXPECT_EQ(*kind, ViolationKind::kDurability);
+}
+
+TEST(Mutations, ReplayReorderViolatesJournalLaw) {
+  // The mutant completes each access's journal write-backs newest-first; the
+  // journal's prefix-order law (D3, checked at every access boundary) fires
+  // on the first access that writes back two or more blocks. Needs the sized
+  // trace so one big admission evicts several dirty victims at once.
+  CheckOptions opt;
+  opt.sweep_interval = 8;
+  opt.context = "mutation-test";
+  CheckedHierarchy checked(
+      make_mutant(make_uni_lru({8, 12, 10}), Mutation::kReplayReorder), opt);
+  WritebackJournal journal(WritebackJournal::Mode::kManual);
+  checked.set_writeback_journal(&journal);
+  std::optional<ViolationKind> kind;
+  try {
+    for (const Request& r : sized_loop_trace()) checked.access(r);
+    checked.final_check();
+  } catch (const AuditViolation& v) {
+    kind = v.kind;
+  }
+  ASSERT_TRUE(kind.has_value());
+  EXPECT_EQ(*kind, ViolationKind::kDurability);
+  EXPECT_GT(journal.stats().replay_reorders, 0u);
 }
 
 using CheckDeathTest = ::testing::Test;

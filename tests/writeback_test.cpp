@@ -4,6 +4,7 @@
 
 #include "hierarchy/hierarchy.h"
 #include "hierarchy/runner.h"
+#include "proto/journal.h"
 #include "trace/trace.h"
 #include "trace/trace_io.h"
 #include "util/prng.h"
@@ -141,5 +142,130 @@ TEST(Writeback, MultiClientUlcServerEvictions) {
   EXPECT_GT(scheme->stats().writebacks, 0u);
 }
 
+// ---- Write-back journal: epoch-stamped append/write/ack lifecycle ----
+
+TEST(Journal, SynchronousModeAcksInAppendOrder) {
+  WritebackJournal j;  // synchronous: append implies written + acked
+  const std::uint64_t s1 = j.append(7, 0, 4);
+  const std::uint64_t s2 = j.append(9, 1, 1);
+  EXPECT_EQ(s1, 1u);
+  EXPECT_EQ(s2, 2u);
+  EXPECT_EQ(j.state_of(s1), JournalEntryState::kAcked);
+  EXPECT_EQ(j.state_of(s2), JournalEntryState::kAcked);
+  EXPECT_EQ(j.stats().appended, 2u);
+  EXPECT_EQ(j.stats().appended_bytes, 5u);
+  EXPECT_EQ(j.stats().acked, 2u);
+  EXPECT_EQ(j.pending(), 0u);
+  std::string why;
+  EXPECT_TRUE(j.laws_hold(why)) << why;
+  const auto replay = j.replay();
+  ASSERT_EQ(replay.size(), 2u);
+  EXPECT_EQ(replay[0].seq, s1);
+  EXPECT_EQ(replay[1].seq, s2);
+}
+
+TEST(Journal, ManualModeTracksTheAckPipeline) {
+  WritebackJournal j(WritebackJournal::Mode::kManual);
+  const std::uint64_t s1 = j.append(7, 0, 2);
+  EXPECT_EQ(j.state_of(s1), JournalEntryState::kPending);
+  EXPECT_EQ(j.pending(), 1u);
+  j.mark_written(s1);
+  EXPECT_EQ(j.state_of(s1), JournalEntryState::kWritten);
+  j.ack(s1);
+  EXPECT_EQ(j.state_of(s1), JournalEntryState::kAcked);
+  EXPECT_EQ(j.pending(), 0u);
+  std::string why;
+  EXPECT_TRUE(j.laws_hold(why)) << why;
+}
+
+TEST(Journal, AckOfAnUnwrittenEntryViolatesTheLaw) {
+  WritebackJournal j(WritebackJournal::Mode::kManual);
+  const std::uint64_t s1 = j.append(7, 0, 1);
+  j.ack(s1);  // never marked written
+  EXPECT_EQ(j.stats().ack_before_write, 1u);
+  std::string why;
+  EXPECT_FALSE(j.laws_hold(why));
+  EXPECT_NE(why.find("before"), std::string::npos);
+}
+
+TEST(Journal, OutOfOrderAcksViolateThePrefixLaw) {
+  WritebackJournal j(WritebackJournal::Mode::kManual);
+  const std::uint64_t s1 = j.append(7, 0, 1);
+  const std::uint64_t s2 = j.append(9, 0, 1);
+  j.mark_written(s1);
+  j.mark_written(s2);
+  j.ack(s2);
+  j.ack(s1);  // acked behind an already-acked later entry
+  EXPECT_EQ(j.stats().replay_reorders, 1u);
+  std::string why;
+  EXPECT_FALSE(j.laws_hold(why));
+}
+
+TEST(Journal, CrashWipesUnackedEntriesAndBumpsTheEpoch) {
+  WritebackJournal j(WritebackJournal::Mode::kManual);
+  const std::uint64_t s1 = j.append(7, 1, 3);
+  const std::uint64_t s2 = j.append(9, 1, 2);
+  const std::uint64_t s3 = j.append(11, 0, 1);  // another level: survives
+  j.mark_written(s1);
+  j.ack(s1);
+  EXPECT_EQ(j.epoch(), 0u);
+  const auto wiped = j.crash_wipe(1);
+  EXPECT_EQ(wiped.entries, 1u);  // s2 only: s1 was already acked
+  EXPECT_EQ(wiped.bytes, 2u);
+  EXPECT_EQ(j.epoch(), 1u);
+  EXPECT_EQ(j.state_of(s1), JournalEntryState::kAcked);
+  EXPECT_EQ(j.state_of(s2), JournalEntryState::kLost);
+  EXPECT_EQ(j.state_of(s3), JournalEntryState::kPending);
+  EXPECT_EQ(j.stats().lost_unacked, 1u);
+  EXPECT_EQ(j.stats().lost_unacked_bytes, 2u);
+  EXPECT_EQ(j.stats().lost_acked, 0u);
+  // An acknowledged write is never lost: the laws still hold after a crash.
+  std::string why;
+  EXPECT_TRUE(j.laws_hold(why)) << why;
+  // Replay returns exactly the acknowledged prefix, in ack order.
+  const auto replay = j.replay();
+  ASSERT_EQ(replay.size(), 1u);
+  EXPECT_EQ(replay[0].seq, s1);
+  // New appends carry the post-crash epoch.
+  const std::uint64_t s4 = j.append(13, 1, 1);
+  EXPECT_EQ(j.entries()[s4 - 1].epoch, 1u);
+}
+
+TEST(Journal, RecordLossCountsDirtyDataLostOutsideThePipeline) {
+  WritebackJournal j(WritebackJournal::Mode::kManual);
+  j.record_loss(5, 0, 3);
+  EXPECT_EQ(j.stats().dirty_lost, 1u);
+  EXPECT_EQ(j.stats().dirty_lost_bytes, 3u);
+  std::string why;
+  EXPECT_TRUE(j.laws_hold(why)) << why;  // a narrated loss is not a law break
+}
+
+TEST(Journal, SchemeWritebacksAllReachTheJournal) {
+  // Every scheme's write-back counter must equal its journal appends, with
+  // byte-accurate sizes, across the whole family.
+  auto src = make_zipf_source(0, 400, 0.8, true, 5);
+  const Trace t = with_writes(generate(*src, 20000, 7, "z"), 0.4, 9);
+  std::vector<SchemePtr> schemes;
+  schemes.push_back(make_uni_lru({40, 40}));
+  schemes.push_back(make_ulc({40, 40}));
+  schemes.push_back(make_ind_lru({40, 40}));
+  schemes.push_back(make_reload_uni_lru({40, 40}));
+  schemes.push_back(make_uni_lru_multi(40, 80, 1, UniLruInsertion::kMru));
+  schemes.push_back(make_ulc_multi(40, 80, 1));
+  schemes.push_back(make_ulc_multi_three(32, 48, 64, 1));
+  schemes.push_back(make_mq_hierarchy(40, 80, 1));
+  for (SchemePtr& s : schemes) {
+    WritebackJournal j;
+    s->set_writeback_journal(&j);
+    for (const Request& r : t) s->access(r);
+    EXPECT_EQ(j.stats().appended, s->stats().writebacks) << s->name();
+    EXPECT_EQ(j.stats().acked, j.stats().appended) << s->name();
+    EXPECT_GT(j.stats().appended, 0u) << s->name();
+    std::string why;
+    EXPECT_TRUE(j.laws_hold(why)) << s->name() << ": " << why;
+  }
+}
+
 }  // namespace
 }  // namespace ulc
+
