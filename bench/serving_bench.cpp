@@ -1,0 +1,193 @@
+// Serving-path throughput/latency gate (ROADMAP item 1, DESIGN.md §10).
+//
+// Drives the concurrent ServingRuntime (sharded BlockCache + gLRU directory
+// over MPSC queues) with the multi-threaded load generator and reports, per
+// workload × thread count: sustained requests/sec and p50/p95/p99 request
+// latency from the obs histograms, plus the cache and directory counters.
+//
+// Closed-loop saturation (--rate=0, the default) produces the throughput
+// numbers tracked in BENCH_serving.json; --rate=<r> switches to open-loop
+// pacing at r requests/sec per thread, where latency is measured from the
+// scheduled start so coordinated omission cannot hide server lag.
+//
+// CI runs a 1- and 4-thread smoke with schema validation; the numbers
+// tracked over time live in BENCH_serving.json at the repo root.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "runtime/loadgen.h"
+#include "util/table.h"
+
+using namespace ulc;
+
+namespace {
+
+struct ServingOptions {
+  std::uint64_t requests = 200000;
+  std::vector<std::size_t> threads = {1, 4, 16};
+  std::vector<std::string> workloads = {"zipf", "streaming"};
+  std::size_t shards = 4;
+  std::size_t server_shards = 4;
+  double write_frac = 0.1;
+  double rate = 0.0;
+  std::uint64_t seed = 1;
+  std::size_t memory_blocks = 512;  // RAM pool per cache shard
+  std::size_t near_blocks = 2048;   // near tier per cache shard
+  std::size_t block_size = 4096;
+  bool csv = false;
+  std::string json_path;
+};
+
+std::vector<std::string> split_csv(const char* text) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (*p == ',') {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(*p);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+ServingOptions parse(int argc, char** argv) {
+  ServingOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--requests=", 11) == 0) {
+      opt.requests = bench::parse_u64_arg(arg + 11, "--requests");
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      opt.threads.clear();
+      for (const std::string& t : split_csv(arg + 10))
+        opt.threads.push_back(static_cast<std::size_t>(
+            bench::parse_u64_arg(t.c_str(), "--threads")));
+    } else if (std::strncmp(arg, "--workloads=", 12) == 0) {
+      opt.workloads = split_csv(arg + 12);
+    } else if (std::strncmp(arg, "--shards=", 9) == 0) {
+      opt.shards = static_cast<std::size_t>(bench::parse_u64_arg(arg + 9, "--shards"));
+    } else if (std::strncmp(arg, "--server-shards=", 16) == 0) {
+      opt.server_shards =
+          static_cast<std::size_t>(bench::parse_u64_arg(arg + 16, "--server-shards"));
+    } else if (std::strncmp(arg, "--write-frac=", 13) == 0) {
+      opt.write_frac = bench::parse_double_arg(arg + 13, "--write-frac");
+    } else if (std::strncmp(arg, "--rate=", 7) == 0) {
+      opt.rate = bench::parse_double_arg(arg + 7, "--rate");
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      opt.seed = bench::parse_u64_arg(arg + 7, "--seed");
+    } else if (std::strncmp(arg, "--memory-blocks=", 16) == 0) {
+      opt.memory_blocks =
+          static_cast<std::size_t>(bench::parse_u64_arg(arg + 16, "--memory-blocks"));
+    } else if (std::strncmp(arg, "--near-blocks=", 14) == 0) {
+      opt.near_blocks =
+          static_cast<std::size_t>(bench::parse_u64_arg(arg + 14, "--near-blocks"));
+    } else if (std::strncmp(arg, "--block-size=", 13) == 0) {
+      opt.block_size =
+          static_cast<std::size_t>(bench::parse_u64_arg(arg + 13, "--block-size"));
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      opt.json_path = arg + 7;
+    } else if (std::strcmp(arg, "--csv") == 0) {
+      opt.csv = true;
+    } else if (std::strcmp(arg, "--help") == 0) {
+      std::printf(
+          "usage: %s [--requests=<n>] [--threads=<a,b,...>]\n"
+          "          [--workloads=zipf,streaming] [--shards=<n>]\n"
+          "          [--server-shards=<n>] [--write-frac=<f>] [--rate=<r>]\n"
+          "          [--memory-blocks=<n>] [--near-blocks=<n>]\n"
+          "          [--block-size=<n>] [--seed=<n>] [--json=<path>] [--csv]\n",
+          argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s (try --help)\n", arg);
+      std::exit(2);
+    }
+  }
+  if (opt.requests == 0 || opt.threads.empty() || opt.workloads.empty() ||
+      opt.shards == 0 || opt.block_size == 0 || opt.write_frac < 0.0 ||
+      opt.write_frac > 1.0 || opt.rate < 0.0) {
+    std::fprintf(stderr, "invalid options (try --help)\n");
+    std::exit(2);
+  }
+  return opt;
+}
+
+LoadGenConfig make_config(const ServingOptions& opt, const std::string& workload,
+                          std::size_t threads) {
+  LoadGenConfig cfg;
+  cfg.workload = workload;
+  cfg.requests = opt.requests;
+  cfg.threads = threads;
+  cfg.write_frac = opt.write_frac;
+  cfg.rate = opt.rate;
+  cfg.seed = opt.seed;
+  cfg.footprint_blocks = 1 << 16;
+  cfg.zipf_theta = 0.9;
+  cfg.streaming.n_titles = 2000;
+  cfg.streaming.churn_period = 500;
+  cfg.serving.per_shard.block_size = opt.block_size;
+  cfg.serving.per_shard.memory_blocks = opt.memory_blocks;
+  cfg.serving.cache_shards = opt.shards;
+  cfg.serving.near_blocks_per_shard = opt.near_blocks;
+  cfg.serving.enable_directory = opt.server_shards > 0;
+  if (opt.server_shards > 0) cfg.serving.directory.shards = opt.server_shards;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ServingOptions opt = parse(argc, argv);
+
+  TablePrinter table({"workload", "threads", "requests", "req/s", "p50 (ms)",
+                      "p95 (ms)", "p99 (ms)", "mem hit%", "near hit%"});
+  Json results = Json::array();
+
+  for (const std::string& workload : opt.workloads) {
+    for (std::size_t threads : opt.threads) {
+      std::fprintf(stderr, "serving %s x%zu threads (%llu requests)...\n",
+                   workload.c_str(), threads,
+                   static_cast<unsigned long long>(opt.requests));
+      const LoadGenConfig cfg = make_config(opt, workload, threads);
+      const LoadGenResult r = run_serving_load(cfg);
+
+      const double refs = static_cast<double>(r.cache.reads + r.cache.writes);
+      table.add_row(
+          {workload, std::to_string(threads), std::to_string(r.requests),
+           fmt_double(r.requests_per_sec, 0),
+           fmt_double(r.latency_ms.percentile(50), 4),
+           fmt_double(r.latency_ms.percentile(95), 4),
+           fmt_double(r.latency_ms.percentile(99), 4),
+           fmt_double(refs > 0 ? 100.0 * r.cache.memory_hits / refs : 0.0, 1),
+           fmt_double(refs > 0 ? 100.0 * r.cache.near_hits / refs : 0.0, 1)});
+      results.push(load_result_to_json(cfg, r));
+    }
+  }
+
+  if (opt.csv) {
+    const std::string csv = table.to_csv();
+    std::fwrite(csv.data(), 1, csv.size(), stdout);
+  } else {
+    table.print();
+  }
+  std::printf("\n");
+
+  if (!opt.json_path.empty()) {
+    Json doc = Json::object();
+    doc.set("benchmark", "serving_bench");
+    doc.set("requests", opt.requests);
+    doc.set("seed", opt.seed);
+    doc.set("results", std::move(results));
+    std::string error;
+    if (!save_json(doc, opt.json_path, 2, &error)) {
+      std::fprintf(stderr, "--json: %s\n", error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s\n", opt.json_path.c_str());
+  }
+  return 0;
+}

@@ -16,6 +16,10 @@ UlcConfig engine_config(const BlockCacheConfig& cfg, const NearTier& near) {
   return out;
 }
 
+inline void bump(std::atomic<std::uint64_t>& counter) {
+  counter.fetch_add(1, std::memory_order_relaxed);
+}
+
 }  // namespace
 
 BlockCache::BlockCache(const BlockCacheConfig& config, NearTier& near,
@@ -57,6 +61,18 @@ void BlockCache::set_writeback_journal(WritebackSink* journal) {
   journal_ = journal;
 }
 
+void BlockCache::set_placement_listener(PlacementListener* listener,
+                                        std::uint32_t shard) {
+  std::lock_guard<std::mutex> guard(lock_);
+  listener_ = listener;
+  shard_id_ = shard;
+}
+
+void BlockCache::notify(BlockId block, PlacementEventKind kind) {
+  if (listener_ != nullptr)
+    listener_->on_placement(PlacementEvent{block, shard_id_, kind});
+}
+
 void BlockCache::writeback(BlockId block, std::size_t from,
                            std::span<const std::byte> contents) {
   if (journal_ != nullptr) {
@@ -68,7 +84,8 @@ void BlockCache::writeback(BlockId block, std::size_t from,
   } else {
     origin_.write(block, contents);
   }
-  ++stats_.writebacks;
+  bump(counters_.writebacks);
+  notify(block, PlacementEventKind::kWriteback);
 }
 
 void BlockCache::handle_demotions(const UlcAccess& outcome) {
@@ -79,12 +96,14 @@ void BlockCache::handle_demotions(const UlcAccess& outcome) {
       const std::byte* data = buffer_data(it->second);
       if (d.to == 1) {
         near_.store(d.block, std::span(data, config_.block_size));
-        ++stats_.demotions;
+        bump(counters_.demotions);
+        notify(d.block, PlacementEventKind::kDemote);
       } else {
         // Discard from RAM: dirty data must reach the origin first. The
         // RAM buffer is freed only after the write-back returns.
         if (dirty_.erase(d.block) > 0)
           writeback(d.block, 0, std::span(data, config_.block_size));
+        notify(d.block, PlacementEventKind::kDiscard);
       }
       release_buffer(it->second);
       resident_.erase(it);
@@ -101,6 +120,7 @@ void BlockCache::handle_demotions(const UlcAccess& outcome) {
         near_.unpin(d.block);
       }
       near_.evict(d.block);
+      notify(d.block, PlacementEventKind::kDiscard);
     }
   }
 }
@@ -114,6 +134,8 @@ void BlockCache::apply_placement(BlockId block, const UlcAccess& outcome,
     if (it == resident_.end()) {
       buf = acquire_buffer();
       resident_[block] = buf;
+      notify(block, outcome.hit_level == 1 ? PlacementEventKind::kPromote
+                                           : PlacementEventKind::kStore);
     } else {
       buf = it->second;
     }
@@ -124,7 +146,10 @@ void BlockCache::apply_placement(BlockId block, const UlcAccess& outcome,
   } else if (outcome.placed_level == 1) {
     // Stays at / goes to the near tier. On a near-tier read hit nothing
     // moves; writes and fresh placements must store the bytes.
-    if (dirtying || outcome.hit_level != 1) near_.store(block, contents);
+    if (dirtying || outcome.hit_level != 1) {
+      near_.store(block, contents);
+      if (outcome.hit_level != 1) notify(block, PlacementEventKind::kStore);
+    }
     if (dirtying) dirty_.insert(block);
   } else {
     // Not cached anywhere: pass-through. A write goes straight to the
@@ -136,20 +161,20 @@ void BlockCache::apply_placement(BlockId block, const UlcAccess& outcome,
 void BlockCache::read(BlockId block, std::span<std::byte> out) {
   ULC_REQUIRE(out.size() >= config_.block_size, "read buffer too small");
   std::lock_guard<std::mutex> guard(lock_);
-  ++stats_.reads;
+  bump(counters_.reads);
   const UlcAccess& a = engine_.access(block);
 
   const std::byte* source = nullptr;
   if (a.hit_level == 0) {
-    ++stats_.memory_hits;
+    bump(counters_.memory_hits);
     source = buffer_data(resident_.at(block));
   } else if (a.hit_level == 1) {
-    ++stats_.near_hits;
+    bump(counters_.near_hits);
     const bool ok = near_.fetch(block, scratch_);
     ULC_ENSURE(ok, "engine says near-tier hit but the tier lacks the block");
     source = scratch_.data();
   } else {
-    ++stats_.origin_reads;
+    bump(counters_.origin_reads);
     origin_.read(block, scratch_);
     source = scratch_.data();
   }
@@ -166,12 +191,12 @@ void BlockCache::read(BlockId block, std::span<std::byte> out) {
 void BlockCache::write(BlockId block, std::span<const std::byte> in) {
   ULC_REQUIRE(in.size() >= config_.block_size, "write buffer too small");
   std::lock_guard<std::mutex> guard(lock_);
-  ++stats_.writes;
+  bump(counters_.writes);
   const UlcAccess& a = engine_.access(block);
   if (a.hit_level == 0) {
-    ++stats_.memory_hits;
+    bump(counters_.memory_hits);
   } else if (a.hit_level == 1) {
-    ++stats_.near_hits;
+    bump(counters_.near_hits);
   }
   // A whole-block write does not need the old contents; the new bytes are
   // placed per the engine's direction.
@@ -180,31 +205,55 @@ void BlockCache::write(BlockId block, std::span<const std::byte> in) {
                   /*dirtying=*/true);
 }
 
+void BlockCache::write_back_dirty_locked(BlockId block) {
+  auto it = resident_.find(block);
+  if (it != resident_.end()) {
+    writeback(block, 0,
+              std::span(buffer_data(it->second), config_.block_size));
+  } else {
+    near_.pin(block);
+    const bool ok = near_.fetch(block, scratch_);
+    ULC_ENSURE(ok, "dirty block missing from both tiers");
+    writeback(block, 1, scratch_);
+    near_.unpin(block);
+  }
+  dirty_.erase(block);
+}
+
 void BlockCache::flush() {
   std::lock_guard<std::mutex> guard(lock_);
   // Write back in block order: the hash-set iteration order must not leak
   // into the sequence of origin writes (determinism across runs/platforms).
   std::vector<BlockId> to_flush(dirty_.begin(), dirty_.end());
   std::sort(to_flush.begin(), to_flush.end());
-  for (BlockId block : to_flush) {
-    auto it = resident_.find(block);
-    if (it != resident_.end()) {
-      writeback(block, 0,
-                std::span(buffer_data(it->second), config_.block_size));
-    } else {
-      near_.pin(block);
-      const bool ok = near_.fetch(block, scratch_);
-      ULC_ENSURE(ok, "dirty block missing from both tiers");
-      writeback(block, 1, scratch_);
-      near_.unpin(block);
-    }
-  }
-  dirty_.clear();
+  for (BlockId block : to_flush) write_back_dirty_locked(block);
+}
+
+std::vector<BlockId> BlockCache::dirty_blocks() const {
+  std::lock_guard<std::mutex> guard(lock_);
+  std::vector<BlockId> out(dirty_.begin(), dirty_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void BlockCache::flush_block(BlockId block) {
+  std::lock_guard<std::mutex> guard(lock_);
+  if (dirty_.count(block) == 0) return;
+  write_back_dirty_locked(block);
 }
 
 BlockCacheStats BlockCache::stats() const {
-  std::lock_guard<std::mutex> guard(lock_);
-  return stats_;
+  // Deliberately lock-free: concurrent readers/writers publish each counter
+  // with relaxed atomics, so a monitoring thread never waits behind IO.
+  BlockCacheStats out;
+  out.memory_hits = counters_.memory_hits.load(std::memory_order_relaxed);
+  out.near_hits = counters_.near_hits.load(std::memory_order_relaxed);
+  out.origin_reads = counters_.origin_reads.load(std::memory_order_relaxed);
+  out.demotions = counters_.demotions.load(std::memory_order_relaxed);
+  out.writebacks = counters_.writebacks.load(std::memory_order_relaxed);
+  out.reads = counters_.reads.load(std::memory_order_relaxed);
+  out.writes = counters_.writes.load(std::memory_order_relaxed);
+  return out;
 }
 
 bool BlockCache::resident_in_memory(BlockId block) const {

@@ -9,12 +9,17 @@
 // write-backs. Blocks the engine declines to cache are served straight
 // through (the caller receives a copy; nothing is retained).
 //
-// Thread safety: all operations are serialized by one internal mutex (the
-// engine's metadata operations are O(1), so the lock is held briefly except
-// during tier/origin IO; a sharded design is future work).
+// Thread safety: all mutating operations are serialized by one internal
+// mutex (the engine's metadata operations are O(1), so the lock is held
+// briefly except during tier/origin IO). Hot counters are relaxed atomics,
+// so stats() is lock-free: a monitoring thread never queues behind an
+// in-flight origin read. ShardedBlockCache layers N of these for callers
+// whose access rate outgrows one lock.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <span>
 #include <unordered_map>
@@ -42,6 +47,31 @@ struct BlockCacheStats {
   std::uint64_t writes = 0;
 };
 
+// Data-movement notifications for an external directory (the serving
+// runtime's sharded gLRU server consumes these over MPSC queues). Each event
+// names the block, the cache shard that owns it, and what happened to it.
+enum class PlacementEventKind : std::uint8_t {
+  kStore,      // block materialized in a cache tier (miss fill / demote target)
+  kPromote,    // moved up from the near tier into RAM
+  kDemote,     // moved down from RAM into the near tier
+  kDiscard,    // dropped from the cache entirely
+  kWriteback,  // dirty bytes pushed to the origin
+};
+
+struct PlacementEvent {
+  BlockId block = 0;
+  std::uint32_t shard = 0;  // owning cache shard (0 for a standalone cache)
+  PlacementEventKind kind = PlacementEventKind::kStore;
+};
+
+class PlacementListener {
+ public:
+  virtual ~PlacementListener() = default;
+  // Called with the cache's internal lock held; implementations must be fast
+  // and must never call back into the cache (hand off to a queue instead).
+  virtual void on_placement(const PlacementEvent& event) = 0;
+};
+
 class BlockCache {
  public:
   // The tiers must outlive the cache. near.block_size() must match.
@@ -56,8 +86,15 @@ class BlockCache {
   // Replaces the block's contents from `in` (>= block_size bytes).
   void write(BlockId block, std::span<const std::byte> in);
 
-  // Writes every dirty block back to the origin (cached copies stay valid).
+  // Writes every dirty block back to the origin in ascending block order
+  // (cached copies stay valid).
   void flush();
+
+  // Sorted snapshot of the currently dirty block ids, and a single-block
+  // flush (no-op when the block is not dirty). ShardedBlockCache composes
+  // these into a globally block-ordered cross-shard flush.
+  std::vector<BlockId> dirty_blocks() const;
+  void flush_block(BlockId block);
 
   // Optional write-back journal: every dirty block written to the origin is
   // appended, marked written when origin.write returns, and acknowledged —
@@ -66,7 +103,12 @@ class BlockCache {
   // destruction; note ~BlockCache flushes).
   void set_writeback_journal(WritebackSink* journal);
 
-  BlockCacheStats stats() const;
+  // Optional placement listener; events carry `shard` as their owner id.
+  // Pass nullptr to detach. The listener must outlive the cache (or be
+  // detached before destruction; note ~BlockCache flushes).
+  void set_placement_listener(PlacementListener* listener, std::uint32_t shard);
+
+  BlockCacheStats stats() const;  // lock-free (relaxed counter reads)
   std::size_t block_size() const { return config_.block_size; }
 
   // Test support: true if the block currently occupies a RAM buffer.
@@ -77,10 +119,24 @@ class BlockCache {
     std::byte* data = nullptr;
   };
 
+  // Mutated under lock_, read lock-free by stats(): relaxed ordering is
+  // enough because each counter is independent (no cross-counter invariant
+  // is promised to concurrent readers).
+  struct Counters {
+    std::atomic<std::uint64_t> memory_hits{0};
+    std::atomic<std::uint64_t> near_hits{0};
+    std::atomic<std::uint64_t> origin_reads{0};
+    std::atomic<std::uint64_t> demotions{0};
+    std::atomic<std::uint64_t> writebacks{0};
+    std::atomic<std::uint64_t> reads{0};
+    std::atomic<std::uint64_t> writes{0};
+  };
+
   // All private methods require lock_ to be held.
   std::byte* buffer_data(std::size_t index) { return &arena_[index * config_.block_size]; }
   std::size_t acquire_buffer();
   void release_buffer(std::size_t index);
+  void notify(BlockId block, PlacementEventKind kind);
   // Applies the engine's outcome for `block` whose fresh contents are in
   // `scratch` (filled from wherever it was served). Returns nothing; updates
   // residency, near tier, and write-back state.
@@ -92,6 +148,9 @@ class BlockCache {
   // data is leaving (0 = RAM, 1 = near tier).
   void writeback(BlockId block, std::size_t from,
                  std::span<const std::byte> contents);
+  // Writes one dirty block back (resident buffer or pinned near-tier fetch)
+  // and clears its dirty bit. The block must be in dirty_.
+  void write_back_dirty_locked(BlockId block);
 
   BlockCacheConfig config_;
   NearTier& near_;
@@ -106,7 +165,9 @@ class BlockCache {
   std::vector<std::byte> scratch_;
   std::vector<std::byte> scratch2_;  // demotion-path IO (keeps scratch_ valid)
   WritebackSink* journal_ = nullptr;
-  BlockCacheStats stats_;
+  PlacementListener* listener_ = nullptr;
+  std::uint32_t shard_id_ = 0;
+  Counters counters_;
 };
 
 }  // namespace ulc

@@ -1,8 +1,11 @@
 #include "runtime/sharded_cache.h"
 
+#include <algorithm>
 #include <mutex>
+#include <utility>
 
 #include "util/ensure.h"
+#include "util/flat_hash.h"
 
 namespace ulc {
 
@@ -27,9 +30,12 @@ class SynchronizedOrigin final : public Origin {
   std::mutex lock_;
 };
 
-// Fibonacci hashing spreads sequential block ids across shards.
+// Route through the splitmix64 finalizer (FlatMap's mixer): every input bit
+// influences every output bit, so structured id spaces — sequential
+// streaming segments, strided scans — spread evenly. The previous Fibonacci
+// multiply alone left low-entropy ids correlated after the >> 32.
 inline std::size_t shard_index(BlockId block, std::size_t shards) {
-  return static_cast<std::size_t>((block * 0x9e3779b97f4a7c15ULL) >> 32) % shards;
+  return static_cast<std::size_t>(splitmix64_mix(block) % shards);
 }
 
 }  // namespace
@@ -55,6 +61,10 @@ ShardedBlockCache::ShardedBlockCache(const BlockCacheConfig& per_shard,
   }
 }
 
+std::size_t ShardedBlockCache::shard_of(BlockId block) const {
+  return shard_index(block, shards_.size());
+}
+
 BlockCache& ShardedBlockCache::shard_for(BlockId block) {
   return *shards_[shard_index(block, shards_.size())].cache;
 }
@@ -68,7 +78,24 @@ void ShardedBlockCache::write(BlockId block, std::span<const std::byte> in) {
 }
 
 void ShardedBlockCache::flush() {
-  for (Shard& shard : shards_) shard.cache->flush();
+  // Deterministic cross-shard order: gather every shard's dirty set, sort
+  // globally by block id, and flush one block at a time. Flushing shards
+  // back-to-back instead would interleave origin writes by shard index,
+  // so the shared origin's write sequence (and any journal behind it)
+  // would depend on the shard count.
+  std::vector<std::pair<BlockId, std::size_t>> dirty;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    for (BlockId block : shards_[s].cache->dirty_blocks())
+      dirty.emplace_back(block, s);
+  }
+  std::sort(dirty.begin(), dirty.end());
+  for (const auto& [block, s] : dirty) shards_[s].cache->flush_block(block);
+}
+
+void ShardedBlockCache::set_placement_listener(PlacementListener* listener) {
+  for (std::size_t s = 0; s < shards_.size(); ++s)
+    shards_[s].cache->set_placement_listener(listener,
+                                             static_cast<std::uint32_t>(s));
 }
 
 BlockCacheStats ShardedBlockCache::stats() const {

@@ -8,6 +8,18 @@
 // 1/N of the capacity, which preserves ULC's behaviour for workloads whose
 // locality is not correlated with the hash (tests check the hit-rate parity
 // against a single shard).
+//
+// Routing goes through the splitmix64 finalizer (the same mixer FlatMap
+// uses), not raw block-id bits: structured id spaces — sequential streaming
+// segments, power-of-two strides — would otherwise pile onto a few shards
+// and turn the shard layer into a single lock with extra steps.
+//
+// Determinism is per-shard, not global: concurrent callers interleave across
+// shard locks however the scheduler likes, but each shard's engine sees a
+// well-defined access sequence. The one cross-shard ordering this class does
+// promise is flush(): dirty blocks are written back to the shared origin in
+// ascending block-id order across all shards, so a quiescent flush produces
+// a byte-identical origin write sequence regardless of shard count.
 #pragma once
 
 #include <functional>
@@ -33,11 +45,23 @@ class ShardedBlockCache {
 
   void read(BlockId block, std::span<std::byte> out);
   void write(BlockId block, std::span<const std::byte> in);
+
+  // Writes every dirty block back to the origin in ascending block-id order
+  // across all shards (matching BlockCache::flush's in-shard order). Only
+  // quiescent flushes are deterministic: concurrent writers can re-dirty
+  // blocks while the sweep runs.
   void flush();
 
-  BlockCacheStats stats() const;  // aggregated over shards
+  // Installs `listener` on every shard (shard index as the event owner id).
+  // Pass nullptr to detach. Same lifetime contract as BlockCache's.
+  void set_placement_listener(PlacementListener* listener);
+
+  BlockCacheStats stats() const;  // aggregated over shards; lock-free
   std::size_t shards() const { return shards_.size(); }
   std::size_t block_size() const { return block_size_; }
+
+  // The shard index `block` routes to (stable for the cache's lifetime).
+  std::size_t shard_of(BlockId block) const;
 
  private:
   struct Shard {

@@ -615,6 +615,67 @@ TEST(Rules, DirtyDropOutOfScopeClean) {
                      "dirty-drop"));
 }
 
+// ---------- lock-order ------------------------------------------------------
+
+TEST(Rules, LockOrderFiresOnNestedGuards) {
+  EXPECT_TRUE(fires("src/runtime/a.cpp",
+                    R"__(void Cache::move(int b) {
+  std::lock_guard<std::mutex> a(from_.lock);
+  std::lock_guard<std::mutex> c(to_.lock);
+  transfer(b);
+})__",
+                    "lock-order"));
+}
+
+TEST(Rules, LockOrderOneGuardPerFunctionClean) {
+  // The structural discipline: one guard per function, even across several
+  // functions in one file, is exactly what the rule wants to see.
+  EXPECT_FALSE(fires("src/runtime/a.cpp",
+                     R"__(void Cache::read(int b) {
+  std::lock_guard<std::mutex> guard(lock_);
+  serve(b);
+}
+void Cache::write(int b) {
+  std::unique_lock<std::mutex> guard(lock_);
+  store(b);
+})__",
+                     "lock-order"));
+}
+
+TEST(Rules, LockOrderTypeMentionIsNotAConstruction) {
+  // Naming the guard type (an alias, a template parameter) without
+  // constructing one must not count toward the nesting.
+  EXPECT_FALSE(fires("src/runtime/a.cpp",
+                     R"__(using Guard = std::lock_guard;
+void Cache::read(int b) {
+  std::lock_guard<std::mutex> guard(lock_);
+  serve(b);
+})__",
+                     "lock-order"));
+}
+
+TEST(Rules, LockOrderAllowMarkedWithOrderingComment) {
+  // A documented global order is the sanctioned escape hatch.
+  EXPECT_FALSE(fires("src/runtime/a.cpp",
+                     R"__(void Cache::move(int b) {
+  std::lock_guard<std::mutex> a(from_.lock);
+  // Lock order: shards are always taken in ascending index order.
+  std::lock_guard<std::mutex> c(to_.lock);  // ulc-lint: allow(lock-order)
+  transfer(b);
+})__",
+                     "lock-order"));
+}
+
+TEST(Rules, LockOrderOutOfTreeClean) {
+  // Only src/runtime carries the shard-lock discipline.
+  EXPECT_FALSE(fires("src/proto/a.cpp",
+                     R"__(void Sim::step() {
+  std::lock_guard<std::mutex> a(x_);
+  std::lock_guard<std::mutex> b(y_);
+})__",
+                     "lock-order"));
+}
+
 // ---------- enum-switch -----------------------------------------------------
 
 TEST(Rules, EnumSwitchFiresOnMissingEnumerator) {

@@ -790,6 +790,38 @@ void rule_include_layering(const FileUnit& u, const GlobalContext& ctx,
   }
 }
 
+// ---- lock-order ------------------------------------------------------------
+
+// The serving runtime is deadlock-free by construction: every function takes
+// at most one guard (shard locks are leaves; cross-shard work goes through
+// the MPSC queues instead of nesting). A second guard construction in one
+// function body therefore either needs a documented lock order or a
+// restructure — flag it, allow-markable with the ordering comment.
+void rule_lock_order(const FileUnit& u, std::vector<Finding>& out) {
+  if (!path_has(u, "src/runtime/")) return;
+  const auto& toks = u.lexed.tokens;
+  for (const FunctionDef& fn : u.symbols.functions) {
+    std::size_t guards = 0;
+    for (std::size_t i = fn.body_begin; i < fn.body_end && i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (!is_ident(t)) continue;
+      const bool guard_type = t.text == "lock_guard" || t.text == "unique_lock" ||
+                              t.text == "scoped_lock" || t.text == "shared_lock";
+      if (!guard_type) continue;
+      if (!is_punct(tok(u, i + 1), "<") && !is_punct(tok(u, i + 1), "("))
+        continue;  // mention, not a construction
+      if (++guards == 2) {
+        add(out, u, t, "lock-order",
+            "second lock guard in '" + fn.name +
+                "': nested shard-lock acquisition risks deadlock; route "
+                "cross-shard work through the MPSC queues, or document the "
+                "global lock order with an allow marker");
+        break;  // one finding per function
+      }
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& all_rules() {
@@ -822,6 +854,9 @@ const std::vector<RuleInfo>& all_rules() {
        "switch over a repo enum without default misses enumerators"},
       {"include-layering", Severity::kError,
        "include edge not in the declared module DAG (tools/lint/layers.txt)"},
+      {"lock-order", Severity::kError,
+       "nested lock-guard acquisition in src/runtime without an ordering "
+       "comment"},
   };
   return kRules;
 }
@@ -868,6 +903,7 @@ void run_rules(const FileUnit& unit, const GlobalContext& ctx,
   rule_dirty_drop(unit, out);
   rule_enum_switch(unit, ctx, out);
   rule_include_layering(unit, ctx, out);
+  rule_lock_order(unit, out);
 }
 
 }  // namespace ulc::lint

@@ -26,6 +26,16 @@
 //       (reference spans on the client track, Demote transfers on the level
 //       tracks) as Chrome trace_event JSON — load it in chrome://tracing or
 //       https://ui.perfetto.dev. Timestamps are simulated milliseconds.
+//   ulctool serve [--workload=<zipf|streaming>] [--requests=<n>] [--threads=<n>]
+//                 [--shards=<n>] [--server-shards=<n>] [--write-frac=<f>]
+//                 [--rate=<r>] [--memory-blocks=<n>] [--near-blocks=<n>]
+//                 [--block-size=<n>] [--seed=<n>] [--json=<path>]
+//       Drive the concurrent serving runtime (sharded BlockCache + gLRU
+//       directory over MPSC queues) with the multi-threaded load generator
+//       and report requests/sec, latency percentiles and cache/directory
+//       counters. --rate=0 is closed-loop saturation; --rate=<r> paces each
+//       thread open-loop at r requests/sec. --server-shards=0 disables the
+//       directory.
 //
 // sim and compare run their cells on the shared experiment engine
 // (src/exp/experiment.h); --json writes the engine's structured result
@@ -46,6 +56,7 @@
 #include "measures/analyzers.h"
 #include "obs/trace_recorder.h"
 #include "proto/protocol_sim.h"
+#include "runtime/loadgen.h"
 #include "trace/trace_io.h"
 #include "util/json.h"
 #include "util/table.h"
@@ -78,7 +89,13 @@ using namespace ulc;
                "  ulctool trace --out=<file.json> "
                "(--preset=<name> | --trace=<file>)\n"
                "              [--scheme=<ulc|unilru|indlru>] "
-               "[--caps=<a,b,...>] [--warmup=<f>] [--max-events=<n>]\n");
+               "[--caps=<a,b,...>] [--warmup=<f>] [--max-events=<n>]\n"
+               "  ulctool serve [--workload=<zipf|streaming>] "
+               "[--requests=<n>] [--threads=<n>]\n"
+               "              [--shards=<n>] [--server-shards=<n>] "
+               "[--write-frac=<f>] [--rate=<r>]\n"
+               "              [--memory-blocks=<n>] [--near-blocks=<n>] "
+               "[--block-size=<n>] [--seed=<n>] [--json=<path>]\n");
   std::exit(2);
 }
 
@@ -467,6 +484,77 @@ int cmd_trace(const Args& args) {
   return 0;
 }
 
+int cmd_serve(const Args& args) {
+  LoadGenConfig cfg;
+  cfg.workload = args.get("workload", "zipf");
+  if (cfg.workload != "zipf" && cfg.workload != "streaming")
+    usage("serve needs --workload=<zipf|streaming>");
+  cfg.requests = args.get_u64("requests", 100000);
+  cfg.threads = static_cast<std::size_t>(args.get_u64("threads", 2));
+  cfg.write_frac = args.get_double("write-frac", 0.1);
+  cfg.rate = args.get_double("rate", 0.0);
+  cfg.seed = args.get_u64("seed", 1);
+  cfg.serving.cache_shards =
+      static_cast<std::size_t>(args.get_u64("shards", 4));
+  cfg.serving.per_shard.block_size =
+      static_cast<std::size_t>(args.get_u64("block-size", 4096));
+  cfg.serving.per_shard.memory_blocks =
+      static_cast<std::size_t>(args.get_u64("memory-blocks", 512));
+  cfg.serving.near_blocks_per_shard =
+      static_cast<std::size_t>(args.get_u64("near-blocks", 2048));
+  const std::uint64_t server_shards = args.get_u64("server-shards", 4);
+  cfg.serving.enable_directory = server_shards > 0;
+  if (server_shards > 0)
+    cfg.serving.directory.shards = static_cast<std::size_t>(server_shards);
+  if (cfg.requests == 0) usage("serve needs --requests >= 1");
+  if (cfg.threads == 0) usage("serve needs --threads >= 1");
+  if (cfg.serving.cache_shards == 0) usage("serve needs --shards >= 1");
+  if (cfg.write_frac < 0.0 || cfg.write_frac > 1.0)
+    usage("serve needs --write-frac in [0, 1]");
+  if (cfg.rate < 0.0) usage("serve needs --rate >= 0");
+
+  const LoadGenResult r = run_serving_load(cfg);
+
+  std::printf("served %llu requests (%llu reads, %llu writes) on %zu threads "
+              "over %zu cache shards\n",
+              static_cast<unsigned long long>(r.requests),
+              static_cast<unsigned long long>(r.reads),
+              static_cast<unsigned long long>(r.writes), cfg.threads,
+              cfg.serving.cache_shards);
+  std::printf("throughput: %.0f req/s (%.3f s wall)\n", r.requests_per_sec,
+              r.wall_seconds);
+  if (!r.latency_ms.empty())
+    std::printf("latency ms: mean %.4f  p50 %.4f  p95 %.4f  p99 %.4f  "
+                "max %.4f\n",
+                r.latency_ms.mean(), r.latency_ms.percentile(50.0),
+                r.latency_ms.percentile(95.0), r.latency_ms.percentile(99.0),
+                r.latency_ms.max());
+  const double refs = static_cast<double>(r.cache.reads + r.cache.writes);
+  if (refs > 0)
+    std::printf("cache: %.1f%% memory hits, %.1f%% near hits, "
+                "%llu demotions, %llu writebacks\n",
+                100.0 * static_cast<double>(r.cache.memory_hits) / refs,
+                100.0 * static_cast<double>(r.cache.near_hits) / refs,
+                static_cast<unsigned long long>(r.cache.demotions),
+                static_cast<unsigned long long>(r.cache.writebacks));
+  if (!r.directory.shards.empty())
+    std::printf("directory: %llu events applied over %zu shards, "
+                "%llu blocks tracked\n",
+                static_cast<unsigned long long>(r.directory.applied()),
+                r.directory.shards.size(),
+                static_cast<unsigned long long>(r.directory.resident()));
+
+  if (args.has("json")) {
+    std::string error;
+    if (!save_json(load_result_to_json(cfg, r), args.get("json"), 2, &error)) {
+      std::fprintf(stderr, "ulctool: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", args.get("json").c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -480,5 +568,6 @@ int main(int argc, char** argv) {
   if (cmd == "sim") return cmd_sim(args);
   if (cmd == "compare") return cmd_compare(args);
   if (cmd == "trace") return cmd_trace(args);
+  if (cmd == "serve") return cmd_serve(args);
   usage(("unknown command: " + cmd).c_str());
 }
