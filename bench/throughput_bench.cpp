@@ -9,7 +9,11 @@
 //     (Linux-only; zeros elsewhere),
 //   * slab arena traffic (allocs/frees/pages carved+released) from the
 //     scheme's uniLRUstacks — steady-state should carve no pages after
-//     warm-up, which is the point of the arena.
+//     warm-up, which is the point of the arena,
+//   * FlatMap probe-length statistics (mean/max groups examined per lookup)
+//     in debug builds only — the counters compile out under NDEBUG, so
+//     Release rows simply omit the "probe" object and the measured numbers
+//     stay free of instrumentation overhead.
 //
 // CI runs this at a smoke scale and validates the JSON schema; the numbers
 // tracked over time live in BENCH_throughput.json at the repo root.
@@ -24,6 +28,7 @@
 #include "hierarchy/runner.h"
 #include "obs/metrics.h"
 #include "ulc/uni_lru_stack.h"
+#include "util/flat_hash.h"
 #include "util/table.h"
 #include "util/wallclock.h"
 
@@ -96,6 +101,7 @@ int main(int argc, char** argv) {
 
   for (const SchemeSpec& s : schemes) {
     const std::uint64_t rss_before_kb = read_status_kb("VmRSS");
+    reset_flat_probe_stats();
     SchemePtr scheme = s.make(trace);
     // No RunObservation: the throughput number is the zero-instrumentation
     // hot path, matching BM_RunScheme's obs_off configuration.
@@ -153,6 +159,22 @@ int main(int argc, char** argv) {
     slab_json.set("pages_carved", metrics.counter("slab.pages_carved"));
     slab_json.set("pages_released", metrics.counter("slab.pages_released"));
     row.set("slab", std::move(slab_json));
+    // Probe-length shape of the whole replay (ctor warm-up included): with
+    // the 7/8 load factor the mean should sit barely above 1 group per
+    // lookup. Debug builds only — under NDEBUG the per-lookup accounting is
+    // compiled out of FlatMap and this object is omitted.
+    if (flat_probe_stats_enabled()) {
+      const FlatProbeStats probe = flat_probe_stats();
+      Json probe_json = Json::object();
+      probe_json.set("lookups", probe.lookups);
+      probe_json.set("mean_groups",
+                     probe.lookups > 0
+                         ? static_cast<double>(probe.groups_probed) /
+                               static_cast<double>(probe.lookups)
+                         : 0.0);
+      probe_json.set("max_groups", probe.max_groups);
+      row.set("probe", std::move(probe_json));
+    }
     results.push(std::move(row));
   }
 

@@ -3,7 +3,9 @@
 // reload, and ULC itself.
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "hierarchy/audit.h"
@@ -23,6 +25,33 @@ class MultiLevelScheme {
 
   // Processes one block reference from `request.client`.
   virtual void access(const Request& request) = 0;
+
+  // Issues cache prefetches for the state `access(request)` will touch —
+  // the block's hash group(s), nothing more. Strictly non-mutating and made
+  // of pure prefetch instructions: it never stalls, never faults, and never
+  // changes observable behaviour, so callers may invoke it for any future
+  // request (or not at all) without affecting results. run_scheme calls it
+  // one request ahead so the lines arrive while the current access runs.
+  virtual void prefetch(const Request& request) const { (void)request; }
+
+  // Processes a contiguous run of references. Semantically identical to
+  // calling access() in order (the default does exactly that, interleaving
+  // prefetch() one request ahead); hot schemes override it with a
+  // devirtualized loop — the override's calls into a `final` class compile
+  // to direct calls — plus a two-deep prefetch pipeline (DESIGN.md §11).
+  virtual void access_batch(std::span<const Request> batch) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (i + 1 < batch.size()) prefetch(batch[i + 1]);
+      access(batch[i]);
+    }
+  }
+
+  // True when replaying the clients' request subsequences independently —
+  // each against a fresh copy of this scheme — and merging the per-client
+  // statistics reproduces a serial replay exactly. Only schemes with zero
+  // cross-client state (no shared levels) can claim this; exp::run_matrix
+  // uses it to split one oversized cell across worker threads.
+  virtual bool supports_partitioned_replay() const { return false; }
 
   virtual const HierarchyStats& stats() const = 0;
   // Drops accumulated statistics (end of the warm-up period) without
@@ -199,6 +228,14 @@ SchemePtr make_ulc_multi_three(std::size_t client_cap, std::size_t server_cap,
 // ULC, single client, any number of levels. `temp_capacity` client buffers
 // (carved out of caps[0]) hold pass-through blocks (paper footnote 3).
 SchemePtr make_ulc(std::vector<std::size_t> caps, std::size_t temp_capacity = 0);
+
+// N fully-private single-client hierarchies side by side (one `per_client()`
+// instance per client, no shared levels): the no-sharing baseline. The only
+// factory whose schemes claim supports_partitioned_replay() — zero
+// cross-client state by construction, so exp::run_matrix may replay each
+// client's subsequence independently and merge the counters exactly.
+SchemePtr make_client_private(const std::function<SchemePtr()>& per_client,
+                              std::size_t n_clients);
 
 // ULC, multiple clients sharing one server (two levels): per-client engines
 // with an elastic second level, gLRU allocation at the server, delayed

@@ -85,6 +85,27 @@ class IndLruScheme final : public MultiLevelScheme {
     }
   }
 
+  // The lines the client-level probe touches (its LRU index and the dirty
+  // map). Shared levels are only reached on a client miss, so their groups
+  // are not worth the prefetch slots on the common path.
+  void prefetch(const Request& request) const override {
+    if (request.client >= client_caches_.size()) return;
+    client_caches_[request.client]->prefetch(request.block);
+    dirty_.prefetch(request.block);
+  }
+
+  void access_batch(std::span<const Request> batch) override {
+    if (auditing()) {
+      MultiLevelScheme::access_batch(batch);
+      return;
+    }
+    const std::size_t n = batch.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i + 4 < n) prefetch(batch[i + 4]);
+      access(batch[i]);
+    }
+  }
+
   const HierarchyStats& stats() const override { return stats_; }
   void reset_stats() override { stats_.clear(); }
   const char* name() const override { return "indLRU"; }

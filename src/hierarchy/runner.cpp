@@ -112,6 +112,7 @@ RunResult run_scheme(MultiLevelScheme& scheme, const Trace& trace,
         stats_reset = true;
         cost.snapshot();
       }
+      if (i + 1 < trace.size()) scheme.prefetch(trace[i + 1]);
       scheme.access(trace[i]);
       if (stats_reset) {
         const double ms = cost.observe();
@@ -125,13 +126,16 @@ RunResult run_scheme(MultiLevelScheme& scheme, const Trace& trace,
       }
     }
   } else {
-    for (std::size_t i = 0; i < trace.size(); ++i) {
-      if (i >= warmup && !stats_reset) {
-        scheme.reset_stats();
-        stats_reset = true;
-      }
-      scheme.access(trace[i]);
-    }
+    // Batched path: one virtual dispatch per span instead of per reference,
+    // and the hot schemes' access_batch overrides run their prefetch
+    // pipeline inside. Splitting at the warmup boundary reproduces the
+    // per-access loop's reset point exactly (reset fires before reference
+    // `warmup`, which exists since warmup_fraction < 1).
+    const std::span<const Request> all(trace.requests());
+    scheme.access_batch(all.first(warmup));
+    scheme.reset_stats();
+    stats_reset = true;
+    scheme.access_batch(all.subspan(warmup));
   }
   ULC_ENSURE(stats_reset, "warmup must end before the trace does");
   result.stats = scheme.stats();

@@ -95,6 +95,26 @@ class UlcMulti3Scheme final : public MultiLevelScheme {
                  /*through_bottom=*/false, a.retrieve.size);
   }
 
+  void prefetch(const Request& request) const override {
+    if (request.client >= clients_.size()) return;
+    clients_[request.client]->prefetch_index(request.block);
+    server_.prefetch(request.block);
+    array_.prefetch(request.block);
+    dirty_.prefetch(request.block);
+  }
+
+  void access_batch(std::span<const Request> batch) override {
+    if (auditing()) {
+      MultiLevelScheme::access_batch(batch);
+      return;
+    }
+    const std::size_t n = batch.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i + 4 < n) prefetch(batch[i + 4]);
+      access(batch[i]);
+    }
+  }
+
   const HierarchyStats& stats() const override { return stats_; }
   void reset_stats() override { stats_.clear(); }
   const char* name() const override { return "ULC"; }

@@ -63,6 +63,24 @@ class UniLruScheme final : public MultiLevelScheme {
       write_back_if_dirty(victim, list_.segment_count() - 1);
   }
 
+  // Only the dirty map exposes a prefetchable index; the segmented list's
+  // node map (std::unordered_map) gives no stable bucket address to pull.
+  void prefetch(const Request& request) const override {
+    dirty_.prefetch(request.block);
+  }
+
+  void access_batch(std::span<const Request> batch) override {
+    if (auditing()) {
+      MultiLevelScheme::access_batch(batch);
+      return;
+    }
+    const std::size_t n = batch.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i + 4 < n) prefetch(batch[i + 4]);
+      access(batch[i]);
+    }
+  }
+
   const HierarchyStats& stats() const override { return stats_; }
   void reset_stats() override { stats_.clear(); }
   const char* name() const override { return "uniLRU"; }

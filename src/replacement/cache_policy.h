@@ -79,6 +79,12 @@ class CachePolicy {
   // Removes a block (exclusive-caching reads); false if absent.
   virtual bool erase(BlockId block) = 0;
 
+  // Pulls the cache lines a touch/insert of `block` would probe first
+  // toward the core (index hash group, typically). Pure prefetch
+  // instructions: never stalls, never changes observable state. Default
+  // no-op so simple or cold policies need not care.
+  virtual void prefetch(BlockId block) const { (void)block; }
+
   virtual bool contains(BlockId block) const = 0;
   virtual std::size_t size() const = 0;
   virtual std::size_t capacity() const = 0;

@@ -22,6 +22,8 @@ class LruPolicy final : public CachePolicy {
     slab_.reserve(capacity_ + 1);
   }
 
+  void prefetch(BlockId block) const override { index_.prefetch(block); }
+
   bool touch(BlockId block, const AccessContext&) override {
     const SlabHandle* h = index_.find(block);
     if (h == nullptr) return false;

@@ -42,6 +42,13 @@ class MqPolicy final : public CachePolicy {
     ghost_slab_.reserve(ghost_capacity_ + 1);
   }
 
+  // Both tables a miss path probes: the resident index first, then the
+  // ghost directory for the remembered-frequency lookup.
+  void prefetch(BlockId block) const override {
+    index_.prefetch(block);
+    ghost_index_.prefetch(block);
+  }
+
   bool touch(BlockId block, const AccessContext&) override {
     ++now_;
     adjust();

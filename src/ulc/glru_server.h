@@ -72,6 +72,8 @@ class GlruServer {
   bool take(BlockId block);
 
   bool contains(BlockId block) const { return index_.contains(block); }
+  // Stage-1 prefetch of the block's index group (non-mutating, never stalls).
+  void prefetch(BlockId block) const { index_.prefetch(block); }
   // Owner of a cached block; block must be present.
   ClientId owner_of(BlockId block) const;
 

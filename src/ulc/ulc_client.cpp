@@ -32,6 +32,20 @@ UlcClient::UlcClient(const UlcConfig& config)
   // cascade only takes the kLevelOut discard path (which never indexes here).
   stats_.demotions.assign(capacities_.size() - 1, 0);
   stats_.demoted_units.assign(capacities_.size() - 1, 0);
+  // Pre-size the stack to the largest fixed level's budget: a conservative
+  // floor on the steady-state stack population (the full stack approaches
+  // the *sum* of the levels, so this floor never overshoots the footprint
+  // organic growth would reach) that moves the index's early growth-rehash
+  // chain and the arena's page carving off the measured path. Capped so a
+  // huge byte budget (units >> blocks) cannot pre-carve an absurd arena;
+  // past the floor both structures still grow organically.
+  std::uint64_t floor_units = 0;
+  for (std::size_t i = 0; i < capacities_.size(); ++i)
+    if (!is_elastic(i))
+      floor_units = std::max<std::uint64_t>(floor_units, capacities_[i]);
+  constexpr std::uint64_t kReserveCap = std::uint64_t{1} << 20;
+  if (floor_units > 0)
+    stack_.reserve(static_cast<std::size_t>(std::min(floor_units, kReserveCap)));
 }
 
 bool UlcClient::level_has_room(std::size_t level, SizeUnits size) const {

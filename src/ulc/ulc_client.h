@@ -119,6 +119,14 @@ class UlcClient {
   std::size_t resync_wipe_level(std::size_t level,
                                 std::vector<BlockId>* dropped = nullptr);
 
+  // Prefetch pipeline hook (non-mutating; see MultiLevelScheme::prefetch):
+  // pulls the hash group(s) a future access will probe plus the arena slot
+  // a cold insert would claim.
+  void prefetch_index(BlockId block) const {
+    stack_.prefetch_index(block);
+    if (temp_capacity_ > 0) temp_index_.prefetch(block);
+  }
+
   const UlcStats& stats() const { return stats_; }
   const UniLruStack& stack() const { return stack_; }
   std::size_t levels() const { return capacities_.size(); }

@@ -6,9 +6,15 @@ namespace ulc {
 
 UniLruStack::UniLruStack(std::size_t levels)
     : yard_(levels, kNullHandle),
+      yard_seq_(levels, 0),
       level_count_(levels, 0),
       level_bytes_(levels, 0) {
   ULC_REQUIRE(levels >= 1, "need at least one cache level");
+}
+
+void UniLruStack::reserve(std::size_t blocks) {
+  index_.reserve(blocks);
+  slab_.reserve(blocks);
 }
 
 UniLruStack::Node* UniLruStack::alloc(BlockId block) {
@@ -55,12 +61,13 @@ const UniLruStack::Node* UniLruStack::find(BlockId block) const {
 
 UniLruStack::Node* UniLruStack::push_top(BlockId block, std::size_t level,
                                          SizeUnits size) {
-  ULC_REQUIRE(!index_.contains(block), "push_top of present block");
   ULC_REQUIRE(size >= 1, "block size must be at least one unit");
   Node* n = alloc(block);
   n->seq = next_seq_++;
   n->size = size;
   link_front(n);
+  // insert_new REQUIREs absence internally, so presence is still rejected —
+  // without a second full probe of the same key on every cold access.
   index_.insert_new(block, n->self);
   n->level = kLevelOut;
   if (level != kLevelOut) set_level(n, level);
@@ -76,6 +83,11 @@ void UniLruStack::move_to_top(Node* n) {
   unlink(n);
   n->seq = next_seq_++;
   link_front(n);
+  // The exceptional case the ENSURE above admits: a level's only block is
+  // its own yardstick and may move without a departure; its refreshed seq
+  // must reach the shadow.
+  if (n->level != kLevelOut && yard_[n->level] == n->self)
+    yard_seq_[n->level] = n->seq;
 }
 
 void UniLruStack::set_level(Node* n, std::size_t to) {
@@ -94,8 +106,10 @@ void UniLruStack::set_level(Node* n, std::size_t to) {
     level_bytes_[to] += n->size;
     // DemotionSearching, O(1): the node is the new yardstick iff it is the
     // deepest (smallest-sequence) block of its new level.
-    if (yard_[to] == kNullHandle || n->seq < slab_[yard_[to]].seq)
+    if (yard_[to] == kNullHandle || n->seq < yard_seq_[to]) {
       yard_[to] = n->self;
+      yard_seq_[to] = n->seq;
+    }
   }
 }
 
@@ -115,6 +129,7 @@ void UniLruStack::yardstick_departure(Node* n) {
   while (p != nullptr && p->level != level) p = ptr(p->prev);
   ULC_ENSURE(p != nullptr, "no other block of a level with count >= 2 found above");
   yard_[level] = p->self;
+  yard_seq_[level] = p->seq;
 }
 
 void UniLruStack::remove(Node* n) {
@@ -126,14 +141,14 @@ void UniLruStack::remove(Node* n) {
 }
 
 std::size_t UniLruStack::prune() {
-  // Deepest yardstick = the smallest yardstick sequence number.
+  // Deepest yardstick = the smallest yardstick sequence number (read from
+  // the contiguous shadow; no slab derefs on this per-access path).
   std::uint64_t min_seq = 0;
   bool have = false;
-  for (const SlabHandle yh : yard_) {
-    if (yh == kNullHandle) continue;
-    const Node& y = slab_[yh];
-    if (!have || y.seq < min_seq) {
-      min_seq = y.seq;
+  for (std::size_t i = 0; i < yard_.size(); ++i) {
+    if (yard_[i] == kNullHandle) continue;
+    if (!have || yard_seq_[i] < min_seq) {
+      min_seq = yard_seq_[i];
       have = true;
     }
   }
@@ -156,7 +171,7 @@ std::size_t UniLruStack::prune() {
 std::size_t UniLruStack::recency_status(const Node* n) const {
   ULC_REQUIRE(n != nullptr, "recency_status of null node");
   for (std::size_t i = 0; i < yard_.size(); ++i) {
-    if (yard_[i] != kNullHandle && n->seq >= slab_[yard_[i]].seq) return i;
+    if (yard_[i] != kNullHandle && n->seq >= yard_seq_[i]) return i;
   }
   return kLevelOut;
 }
@@ -194,6 +209,9 @@ bool UniLruStack::check_consistency(
     if (counts[i] != level_count_[i]) return false;
     if (bytes[i] != level_bytes_[i]) return false;
     if (yard_[i] != deepest[i]) return false;  // I3: yardstick = deepest
+    // The seq shadow must agree with the node it mirrors.
+    if (yard_[i] != kNullHandle && yard_seq_[i] != slab_[yard_[i]].seq)
+      return false;
     if (capacities && bytes[i] > (*capacities)[i]) return false;  // I4 (bytes)
   }
   return true;

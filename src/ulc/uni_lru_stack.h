@@ -46,14 +46,17 @@ inline constexpr std::size_t kLevelOut = static_cast<std::size_t>(-1);
 
 class UniLruStack {
  public:
+  // Deliberately initializer-free (trivially default-constructible): the
+  // slab then hands out raw pages instead of memsetting them, and alloc()
+  // assigns every field before a node is ever linked or indexed.
   struct Node {
-    BlockId block = 0;
-    std::uint64_t seq = 0;  // last-access sequence; stack order = descending
-    SizeUnits size = 1;     // block size in SizeUnits (id-stable)
-    std::size_t level = kLevelOut;
-    SlabHandle prev = kNullHandle;  // towards head (more recent)
-    SlabHandle next = kNullHandle;  // towards tail (less recent)
-    SlabHandle self = kNullHandle;  // this node's own slab handle
+    BlockId block;       // key
+    std::uint64_t seq;   // last-access sequence; stack order = descending
+    SizeUnits size;      // block size in SizeUnits (id-stable)
+    std::size_t level;   // level status; kLevelOut = uncached
+    SlabHandle prev;     // towards head (more recent)
+    SlabHandle next;     // towards tail (less recent)
+    SlabHandle self;     // this node's own slab handle
   };
 
   explicit UniLruStack(std::size_t levels);
@@ -63,9 +66,23 @@ class UniLruStack {
 
   std::size_t levels() const { return level_count_.size(); }
 
+  // Pre-sizes the block index and the node arena so `blocks` concurrent
+  // residents never rehash the index or carve a page mid-run.
+  void reserve(std::size_t blocks);
+
   // Lookup; nullptr if the block is not in the stack.
   Node* find(BlockId block);
   const Node* find(BlockId block) const;
+
+  // Prefetch stage 1: pull the block's index hash group toward the cache,
+  // plus the arena slot a cold insert would claim (cold pushes write a
+  // whole fresh node). Pure prefetch instructions — never stalls, never
+  // mutates. (The stack tail is deliberately NOT prefetched: prune() walks
+  // it on every access, so it is already resident.)
+  void prefetch_index(BlockId block) const {
+    index_.prefetch(block);
+    slab_.prefetch_next_alloc();
+  }
 
   // Inserts an absent block at the stack top with the given level status
   // and size (charged to the level's byte occupancy).
@@ -119,6 +136,8 @@ class UniLruStack {
   // Arena footprint introspection (tests, throughput bench).
   std::size_t slab_pages() const { return slab_.page_count(); }
   const Slab<Node>::Stats& slab_stats() const { return slab_.stats(); }
+  std::size_t index_buckets() const { return index_.bucket_count(); }
+  std::uint64_t index_rehashes() const { return index_.rehashes(); }
 
   // O(n) validation of all structural invariants (DESIGN.md I1-I5, in their
   // transient-tolerant form); used by tests and debug checks. Capacities are
@@ -127,6 +146,12 @@ class UniLruStack {
 
  private:
   std::vector<SlabHandle> yard_;
+  // Shadow of the yardstick nodes' sequence numbers (valid where yard_ is
+  // non-null). prune() and recency_status() run on every reference and only
+  // need the seqs; reading them from this contiguous array instead of
+  // chasing yard_ handles into the slab saves up to `levels` dependent
+  // (frequently cache-missing) loads per access.
+  std::vector<std::uint64_t> yard_seq_;
   std::vector<std::size_t> level_count_;
   std::vector<std::uint64_t> level_bytes_;
   SlabHandle head_ = kNullHandle;

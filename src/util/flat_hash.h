@@ -3,28 +3,52 @@
 // Every per-reference operation of the reproduction ends in a block-id
 // lookup; std::unordered_map pays a pointer chase per node plus an
 // allocation per insert, which is the dominant cost once the metadata per
-// block is as small as the paper's ~17 bytes. FlatMap stores key/value
-// pairs inline in one power-of-two slot array (linear probing, splitmix64
-// mixing, tombstone deletion), so a lookup is one hash, one probe run over
-// contiguous memory, and no allocation.
+// block is as small as the paper's ~17 bytes. FlatMap is a SwissTable-style
+// table: a control-byte array holds one byte per slot (0x80 empty, 0x81
+// tombstone, otherwise the low 7 bits of the key's hash), probed a group of
+// 16 bytes at a time through the Group16 policy (util/simd.h: SSE2 compare +
+// movemask, NEON, or a portable scalar loop). A lookup is one hash, one or
+// two 16-byte control loads, and only then a key compare on the (almost
+// always unique) fragment match — key/value pairs live in a parallel flat
+// array and are touched once.
 //
 // Determinism contract (enforced by `ulc_lint`'s unordered-iteration rule
 // elsewhere): FlatMap exposes NO iteration API at all, so probe layout —
 // the only state that depends on insertion order — can never leak into
 // simulator output. Two maps holding the same key set answer every query
 // identically regardless of the insertion/erasure history that built them.
+// The SIMD and scalar group policies produce bit-identical match masks and
+// share this file's load-factor arithmetic, so the two builds also agree on
+// every rehash point (pinned by the differential fuzz in flat_hash_test).
+//
+// Load-factor arithmetic (kept verbatim from the pre-SwissTable FlatMap so
+// existing reserve()-to-capacity callers keep their zero-rehash guarantee):
+//   * capacity_for(n): smallest power-of-two cap (>= 16) with
+//     n + n/7 + 1 <= cap - cap/8;
+//   * growth triggers pre-insert when (size + tombstones + 1) * 8 > cap * 7.
+// Proof that reserve(n) then n inserts never rehashes: cap - cap/8 is
+// exactly 7*cap/8 for power-of-two cap >= 16, so capacity_for gives
+// n + n/7 + 1 <= 7*cap/8, hence n < 7*cap/8. Insert i (0-indexed, table
+// fresh so tombstones = 0) triggers growth iff (i + 1) * 8 > 7 * cap; the
+// largest i is n - 1 and 8n <= 7*cap, so the trigger never fires. The exact
+// boundary (first growth on insert index 7*cap/8 without a reserve) is
+// pinned in tests/flat_hash_test.cpp.
 //
 // Keys and values must be trivially copyable (they are memcpy'd on rehash);
 // keys are hashed by their integer value via splitmix64's finalizer, which
 // is bijective — no two block ids collide before the mask is applied.
 #pragma once
 
+#include <atomic>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <type_traits>
 #include <vector>
 
 #include "util/ensure.h"
+#include "util/simd.h"
 
 namespace ulc {
 
@@ -36,7 +60,61 @@ inline std::uint64_t splitmix64_mix(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
-template <typename Key, typename Value>
+// Process-wide probe-length accounting for find() calls, for diagnosing
+// probing regressions from bench/throughput_bench. Debug-only: compiled out
+// under NDEBUG so Release hot paths carry zero overhead. Atomics (relaxed)
+// keep the counters race-free under the concurrent runtime's TSan suites.
+struct FlatProbeStats {
+  std::uint64_t lookups = 0;       // find() calls against non-empty tables
+  std::uint64_t groups_probed = 0; // 16-slot groups examined across them
+  std::uint64_t max_groups = 0;    // longest single probe sequence
+};
+
+#if !defined(NDEBUG)
+#define ULC_FLAT_HASH_PROBE_STATS 1
+namespace detail {
+inline std::atomic<std::uint64_t> g_probe_lookups{0};
+inline std::atomic<std::uint64_t> g_probe_groups{0};
+inline std::atomic<std::uint64_t> g_probe_max{0};
+inline void record_probe(std::uint64_t groups) {
+  g_probe_lookups.fetch_add(1, std::memory_order_relaxed);
+  g_probe_groups.fetch_add(groups, std::memory_order_relaxed);
+  std::uint64_t prev = g_probe_max.load(std::memory_order_relaxed);
+  while (prev < groups && !g_probe_max.compare_exchange_weak(
+                              prev, groups, std::memory_order_relaxed)) {
+  }
+}
+}  // namespace detail
+#endif
+
+inline FlatProbeStats flat_probe_stats() {
+  FlatProbeStats out;
+#if defined(ULC_FLAT_HASH_PROBE_STATS)
+  out.lookups = detail::g_probe_lookups.load(std::memory_order_relaxed);
+  out.groups_probed = detail::g_probe_groups.load(std::memory_order_relaxed);
+  out.max_groups = detail::g_probe_max.load(std::memory_order_relaxed);
+#endif
+  return out;
+}
+
+inline void reset_flat_probe_stats() {
+#if defined(ULC_FLAT_HASH_PROBE_STATS)
+  detail::g_probe_lookups.store(0, std::memory_order_relaxed);
+  detail::g_probe_groups.store(0, std::memory_order_relaxed);
+  detail::g_probe_max.store(0, std::memory_order_relaxed);
+#endif
+}
+
+// Whether probe-length accounting is compiled in (false in Release).
+inline constexpr bool flat_probe_stats_enabled() {
+#if defined(ULC_FLAT_HASH_PROBE_STATS)
+  return true;
+#else
+  return false;
+#endif
+}
+
+template <typename Key, typename Value, typename Group = Group16>
 class FlatMap {
   static_assert(std::is_trivially_copyable_v<Key>,
                 "FlatMap keys are memcpy'd on rehash");
@@ -51,7 +129,7 @@ class FlatMap {
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
   // Slot-array capacity (power of two; 0 before the first insert).
-  std::size_t bucket_count() const { return slots_.size(); }
+  std::size_t bucket_count() const { return ctrl_.size(); }
   // Number of rehashes performed since construction/clear; a structure that
   // reserve()s to capacity up front must keep this at zero while running
   // (no rehash-during-measurement).
@@ -60,15 +138,49 @@ class FlatMap {
   // Pre-sizes the table so `n` keys fit without rehashing.
   void reserve(std::size_t n) {
     const std::size_t want = capacity_for(n);
-    if (want > slots_.size()) rehash(want);
+    if (want > ctrl_.size()) rehash(want);
+  }
+
+  // Pulls the key's control group and slot group toward the cache ahead of
+  // an access one request in the future. Non-mutating; safe on empty maps.
+  void prefetch(Key key) const {
+    if (ctrl_.empty()) return;
+    const std::size_t g = group_of(hash_of(key));
+    prefetch_read(ctrl_.data() + g * kGroupWidth);
+    prefetch_read(slots_.get() + g * kGroupWidth);
   }
 
   Value* find(Key key) {
-    if (slots_.empty()) return nullptr;
-    for (std::size_t i = bucket_of(key);; i = (i + 1) & mask_) {
-      Slot& s = slots_[i];
-      if (s.state == kEmpty) return nullptr;
-      if (s.state == kFull && s.key == key) return &s.value;
+    if (ctrl_.empty()) return nullptr;
+    const std::uint64_t h = hash_of(key);
+    const std::uint8_t h2 = fragment_of(h);
+#if defined(ULC_FLAT_HASH_PROBE_STATS)
+    std::uint64_t groups = 0;
+#endif
+    for (std::size_t g = group_of(h);; g = (g + 1) & group_mask_) {
+      const std::uint8_t* ctrl = ctrl_.data() + g * kGroupWidth;
+#if defined(ULC_FLAT_HASH_PROBE_STATS)
+      ++groups;
+#endif
+      std::uint32_t match = Group::match_byte(ctrl, h2);
+      while (match != 0) {
+        const std::size_t i =
+            g * kGroupWidth +
+            static_cast<std::size_t>(std::countr_zero(match));
+        if (slots_[i].key == key) {
+#if defined(ULC_FLAT_HASH_PROBE_STATS)
+          detail::record_probe(groups);
+#endif
+          return &slots_[i].value;
+        }
+        match &= match - 1;
+      }
+      if (Group::match_empty(ctrl) != 0) {
+#if defined(ULC_FLAT_HASH_PROBE_STATS)
+        detail::record_probe(groups);
+#endif
+        return nullptr;
+      }
     }
   }
   const Value* find(Key key) const {
@@ -78,65 +190,97 @@ class FlatMap {
 
   // Inserts a key that must be absent.
   void insert_new(Key key, Value value) {
-    Value* v = probe_insert(key);
-    ULC_REQUIRE(v != nullptr, "FlatMap::insert_new of a present key");
-    *v = value;
+    grow_if_needed();
+    const std::uint64_t h = hash_of(key);
+    const Probe p = find_or_prepare(key, h);
+    ULC_REQUIRE(!p.found, "FlatMap::insert_new of a present key");
+    place(p.index, fragment_of(h), key, value);
   }
 
   // Inserts or overwrites.
   void put(Key key, Value value) {
     grow_if_needed();
-    for (std::size_t i = bucket_of(key), tomb = kNone;; i = (i + 1) & mask_) {
-      Slot& s = slots_[i];
-      if (s.state == kFull && s.key == key) {
-        s.value = value;
-        return;
-      }
-      if (s.state == kTombstone && tomb == kNone) tomb = i;
-      if (s.state == kEmpty) {
-        place(tomb == kNone ? i : tomb, key, value);
-        return;
-      }
+    const std::uint64_t h = hash_of(key);
+    const Probe p = find_or_prepare(key, h);
+    if (p.found) {
+      slots_[p.index].value = value;
+      return;
     }
+    place(p.index, fragment_of(h), key, value);
   }
 
   bool erase(Key key) {
-    if (slots_.empty()) return false;
-    for (std::size_t i = bucket_of(key);; i = (i + 1) & mask_) {
-      Slot& s = slots_[i];
-      if (s.state == kEmpty) return false;
-      if (s.state == kFull && s.key == key) {
-        s.state = kTombstone;
-        --size_;
-        ++tombstones_;
-        return true;
+    if (ctrl_.empty()) return false;
+    const std::uint64_t h = hash_of(key);
+    const std::uint8_t h2 = fragment_of(h);
+    for (std::size_t g = group_of(h);; g = (g + 1) & group_mask_) {
+      const std::uint8_t* ctrl = ctrl_.data() + g * kGroupWidth;
+      std::uint32_t match = Group::match_byte(ctrl, h2);
+      while (match != 0) {
+        const std::size_t i =
+            g * kGroupWidth +
+            static_cast<std::size_t>(std::countr_zero(match));
+        if (slots_[i].key == key) {
+          // A slot may be reset to empty (instead of tombstoned) iff its
+          // group still holds an empty byte: probes stop at the first group
+          // with an empty, so no key's probe sequence has ever continued
+          // *past* a non-full group — and a group that went full stays
+          // empty-free until the next rehash (erases in it take the
+          // tombstone branch), so non-fullness today proves non-fullness at
+          // every earlier insert. This keeps the tombstone count near zero
+          // under erase-heavy churn (prune()), which is what prevents the
+          // repeated full-size purge rehashes the old byte-probed table
+          // suffered. The decision reads only control bytes, so SIMD and
+          // scalar builds agree on it bit-for-bit.
+          if (Group::match_empty(ctrl) != 0) {
+            ctrl_[i] = kCtrlEmpty;
+          } else {
+            ctrl_[i] = kCtrlTombstone;
+            ++tombstones_;
+          }
+          --size_;
+          return true;
+        }
+        match &= match - 1;
       }
+      if (Group::match_empty(ctrl) != 0) return false;
     }
   }
 
   void clear() {
-    slots_.clear();
-    mask_ = 0;
+    ctrl_.clear();
+    slots_.reset();
+    group_mask_ = 0;
     size_ = 0;
     tombstones_ = 0;
     rehashes_ = 0;
   }
 
  private:
-  enum : std::uint8_t { kEmpty = 0, kFull = 1, kTombstone = 2 };
   static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
   static constexpr std::size_t kMinBuckets = 16;
 
-  struct Slot {
+  struct Pair {
     Key key;
     Value value;
-    std::uint8_t state = kEmpty;
+  };
+  struct Probe {
+    std::size_t index;
+    bool found;
   };
 
-  std::size_t bucket_of(Key key) const {
-    return static_cast<std::size_t>(
-               splitmix64_mix(static_cast<std::uint64_t>(key))) &
-           mask_;
+  static std::uint64_t hash_of(Key key) {
+    return splitmix64_mix(static_cast<std::uint64_t>(key));
+  }
+  // Low 7 bits are the control fragment (high bit clear, so a fragment can
+  // never alias the empty/tombstone sentinels)...
+  static std::uint8_t fragment_of(std::uint64_t h) {
+    return static_cast<std::uint8_t>(h & 0x7F);
+  }
+  // ...and the bits above them pick the starting group, so fragment and
+  // group index are independent.
+  std::size_t group_of(std::uint64_t h) const {
+    return static_cast<std::size_t>(h >> 7) & group_mask_;
   }
 
   // Smallest power-of-two table that keeps `n` keys under 7/8 load.
@@ -147,52 +291,92 @@ class FlatMap {
   }
 
   void grow_if_needed() {
-    if (slots_.empty()) {
+    if (ctrl_.empty()) {
       rehash(kMinBuckets);
       return;
     }
     // Rehash when live + dead slots pass 7/8 of the table. If the live count
     // alone is small the table size is kept (tombstone purge), so a
     // steady-state erase/insert workload cannot grow the table unboundedly.
-    if ((size_ + tombstones_ + 1) * 8 > slots_.size() * 7) {
+    if ((size_ + tombstones_ + 1) * 8 > ctrl_.size() * 7) {
       const std::size_t want = capacity_for(size_ + 1);
-      rehash(want > slots_.size() ? want : slots_.size());
+      rehash(want > ctrl_.size() ? want : ctrl_.size());
     }
   }
 
-  void place(std::size_t i, Key key, Value value) {
-    if (slots_[i].state == kTombstone) --tombstones_;
-    slots_[i] = Slot{key, value, kFull};
+  // Locates `key`, or the slot a fresh insert of it must use: the first
+  // free slot (tombstone or empty) along the probe sequence. The scan stops
+  // at the first group containing a truly-empty byte — beyond it the key
+  // cannot exist, and that group contributes a free slot if none was seen.
+  Probe find_or_prepare(Key key, std::uint64_t h) const {
+    const std::uint8_t h2 = fragment_of(h);
+    std::size_t insert_at = kNone;
+    for (std::size_t g = group_of(h);; g = (g + 1) & group_mask_) {
+      const std::uint8_t* ctrl = ctrl_.data() + g * kGroupWidth;
+      std::uint32_t match = Group::match_byte(ctrl, h2);
+      while (match != 0) {
+        const std::size_t i =
+            g * kGroupWidth +
+            static_cast<std::size_t>(std::countr_zero(match));
+        if (slots_[i].key == key) return Probe{i, true};
+        match &= match - 1;
+      }
+      if (insert_at == kNone) {
+        const std::uint32_t free = Group::match_free(ctrl);
+        if (free != 0) {
+          insert_at = g * kGroupWidth +
+                      static_cast<std::size_t>(std::countr_zero(free));
+        }
+      }
+      if (Group::match_empty(ctrl) != 0) return Probe{insert_at, false};
+    }
+  }
+
+  void place(std::size_t i, std::uint8_t h2, Key key, Value value) {
+    if (ctrl_[i] == kCtrlTombstone) --tombstones_;
+    ctrl_[i] = h2;
+    slots_[i] = Pair{key, value};
     ++size_;
   }
 
-  // Returns the value slot for a new key, or nullptr if the key exists.
-  Value* probe_insert(Key key) {
-    grow_if_needed();
-    for (std::size_t i = bucket_of(key), tomb = kNone;; i = (i + 1) & mask_) {
-      Slot& s = slots_[i];
-      if (s.state == kFull && s.key == key) return nullptr;
-      if (s.state == kTombstone && tomb == kNone) tomb = i;
-      if (s.state == kEmpty) {
-        const std::size_t at = tomb == kNone ? i : tomb;
-        place(at, key, Value{});
-        return &slots_[at].value;
-      }
-    }
-  }
-
   void rehash(std::size_t new_buckets) {
-    std::vector<Slot> old = std::move(slots_);
-    slots_.assign(new_buckets, Slot{});
-    mask_ = new_buckets - 1;
+    std::vector<std::uint8_t> old_ctrl = std::move(ctrl_);
+    std::unique_ptr<Pair[]> old_slots = std::move(slots_);
+    ctrl_.assign(new_buckets, kCtrlEmpty);
+    // Deliberately uninitialized: a pair is only ever read where its control
+    // byte says "full", and place() writes the pair before setting that
+    // byte. Zeroing here would memset 16+ bytes per slot on every growth
+    // step — the dominant rehash cost, 8x the control array's.
+    slots_ = std::make_unique_for_overwrite<Pair[]>(new_buckets);
+    group_mask_ = new_buckets / kGroupWidth - 1;
     tombstones_ = 0;
     size_ = 0;
-    if (!old.empty()) ++rehashes_;
-    for (const Slot& s : old) {
-      if (s.state != kFull) continue;
-      for (std::size_t i = bucket_of(s.key);; i = (i + 1) & mask_) {
-        if (slots_[i].state == kEmpty) {
-          slots_[i] = Slot{s.key, s.value, kFull};
+    if (!old_ctrl.empty()) ++rehashes_;
+    // Reinsertion in old slot-index order; the fresh table has no
+    // tombstones, so the first empty byte is the insertion point.
+    // The reinserts scatter-write across the fresh table, so each one is a
+    // cold-line stall; running the hash a few slots ahead and prefetching
+    // the destination group overlaps those misses.
+    constexpr std::size_t kRehashAhead = 8;
+    for (std::size_t idx = 0; idx < old_ctrl.size(); ++idx) {
+      const std::size_t ahead = idx + kRehashAhead;
+      if (ahead < old_ctrl.size() && (old_ctrl[ahead] & 0x80) == 0) {
+        const std::size_t ag = group_of(hash_of(old_slots[ahead].key));
+        prefetch_write(ctrl_.data() + ag * kGroupWidth);
+        prefetch_write(slots_.get() + ag * kGroupWidth);
+      }
+      if ((old_ctrl[idx] & 0x80) != 0) continue;  // empty or tombstone
+      const Pair& s = old_slots[idx];
+      const std::uint64_t h = hash_of(s.key);
+      for (std::size_t g = group_of(h);; g = (g + 1) & group_mask_) {
+        const std::uint8_t* ctrl = ctrl_.data() + g * kGroupWidth;
+        const std::uint32_t free = Group::match_empty(ctrl);
+        if (free != 0) {
+          const std::size_t i =
+              g * kGroupWidth +
+              static_cast<std::size_t>(std::countr_zero(free));
+          ctrl_[i] = fragment_of(h);
+          slots_[i] = s;
           ++size_;
           break;
         }
@@ -200,8 +384,12 @@ class FlatMap {
     }
   }
 
-  std::vector<Slot> slots_;
-  std::size_t mask_ = 0;
+  // One control byte per slot, probed kGroupWidth at a time; slots_ always
+  // has ctrl_.size() entries (a power of two >= kMinBuckets) and is
+  // uninitialized where the control byte is not a hash fragment.
+  std::vector<std::uint8_t> ctrl_;
+  std::unique_ptr<Pair[]> slots_;
+  std::size_t group_mask_ = 0;
   std::size_t size_ = 0;
   std::size_t tombstones_ = 0;
   std::uint64_t rehashes_ = 0;

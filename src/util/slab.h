@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "util/ensure.h"
+#include "util/simd.h"
 
 namespace ulc {
 
@@ -63,7 +64,8 @@ class Slab {
 
   // Hands out a slot. Reuses the most recently freed slot first; otherwise
   // carves the next page. The returned slot holds whatever the previous
-  // occupant left (or T{} on a fresh page) — callers assign every field.
+  // occupant left (on a fresh page: T{}, or indeterminate bytes when T is
+  // trivially default-constructible) — callers assign every field.
   SlabHandle alloc() {
     if (free_.empty()) carve_page();
     const SlabHandle h = free_.back();
@@ -95,13 +97,29 @@ class Slab {
   T* get(SlabHandle h) { return &(*this)[h]; }
   const T* get(SlabHandle h) const { return &(*this)[h]; }
 
+  // Pulls the slot the next alloc() will hand out toward the cache in
+  // exclusive state (callers assign every field of a fresh slot). No-op when
+  // the next alloc would carve. Non-mutating; part of the prefetch pipeline.
+  void prefetch_next_alloc() const {
+    if (!free_.empty()) {
+      const SlabHandle h = free_.back();
+      prefetch_write(&pages_[h >> page_shift_][h & (page_size_ - 1)]);
+    }
+  }
+
   std::size_t live() const { return live_; }
-  std::size_t slot_count() const { return pages_.size() << page_shift_; }
+  // Cached (updated on carve/release): this is the bound every handle deref
+  // checks, so it must not re-derive pages_.size() each time.
+  std::size_t slot_count() const { return slot_count_; }
   std::size_t page_count() const { return pages_.size(); }
   std::uint32_t page_size() const { return page_size_; }
 
   // Carves pages until at least `n` slots exist (no-op if already there).
+  // The largest reservation is also a floor for release_free_pages: pages a
+  // caller pre-carved to avoid mid-run carving are never handed back, so a
+  // reserve-then-fill warm-up cannot be undone by an early release.
   void reserve(std::size_t n) {
+    if (n > reserved_floor_) reserved_floor_ = n;
     while (slot_count() < n) carve_page();
   }
 
@@ -113,8 +131,10 @@ class Slab {
   // pages cannot be renumbered). Returns the number of pages released.
   std::size_t release_free_pages() {
     if (live_ * 4 >= slot_count()) return 0;
+    const std::size_t keep_pages =
+        (reserved_floor_ + page_size_ - 1) >> page_shift_;
     std::size_t releasable = 0;
-    while (releasable < pages_.size() &&
+    while (pages_.size() - releasable > keep_pages &&
            page_live_[pages_.size() - 1 - releasable] == 0)
       ++releasable;
     if (releasable < 2) return 0;
@@ -122,6 +142,7 @@ class Slab {
       pages_.pop_back();
       page_live_.pop_back();
     }
+    slot_count_ -= releasable << page_shift_;
     const SlabHandle limit = static_cast<SlabHandle>(slot_count());
     std::size_t kept = 0;
     for (const SlabHandle h : free_) {
@@ -152,8 +173,13 @@ class Slab {
     ULC_REQUIRE(slot_count() + page_size_ <= max_slots_,
                 "slab arena exhausted its 32-bit handle space budget");
     const SlabHandle base = static_cast<SlabHandle>(slot_count());
-    pages_.push_back(std::make_unique<T[]>(page_size_));
+    // Trivial node types skip the page memset — alloc()'s contract already
+    // obliges callers to assign every field, and on hot paths the zeroing
+    // is pure overwritten-before-read work. Types with default member
+    // initializers still get them (for_overwrite default-initializes).
+    pages_.push_back(std::make_unique_for_overwrite<T[]>(page_size_));
     page_live_.push_back(0);
+    slot_count_ += page_size_;
     // Reverse order so alloc() hands out ascending handles within a page.
     free_.reserve(free_.size() + page_size_);
     for (std::uint32_t i = page_size_; i-- > 0;)
@@ -164,6 +190,8 @@ class Slab {
   std::uint32_t page_size_;
   std::uint32_t page_shift_ = 0;
   std::uint64_t max_slots_;
+  std::size_t reserved_floor_ = 0;  // largest reserve(); release keeps it
+  std::size_t slot_count_ = 0;      // == pages_.size() << page_shift_
   std::vector<std::unique_ptr<T[]>> pages_;
   std::vector<std::uint32_t> page_live_;  // live slots per page
   std::vector<SlabHandle> free_;          // LIFO free stack

@@ -128,6 +128,151 @@ TEST(FlatMap, ClearResetsToEmpty) {
   EXPECT_EQ(*m.find(3), 9u);
 }
 
+// ---- Load-factor boundary pins ----
+//
+// The growth trigger fires pre-insert when (size + tombstones + 1) * 8 >
+// buckets * 7; on a tombstone-free organic fill that is exactly size ==
+// 7*buckets/8. Pinning the full growth chain keeps the SIMD rewrite honest
+// about "same rehash points as the byte-probed original".
+TEST(FlatMap, OrganicGrowthRehashesAtExactSevenEighthsBoundaries) {
+  FlatMap<std::uint64_t, std::uint32_t> m;
+  std::vector<std::size_t> growth_sizes;  // size() at the moment of a rehash
+  std::uint64_t seen = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    m.insert_new(i * 2654435761ull, 0);
+    if (m.rehashes() != seen) {
+      seen = m.rehashes();
+      growth_sizes.push_back(m.size() - 1);  // trigger fired pre-insert
+    }
+  }
+  EXPECT_EQ(growth_sizes,
+            (std::vector<std::size_t>{14, 28, 56, 112, 224, 448, 896}));
+}
+
+// reserve(n) followed by n inserts must never rehash, including exactly at
+// the 7/8 trigger values n = 7*2^k/8 and one either side of them.
+TEST(FlatMap, ReserveBoundaryValuesNeverRehash) {
+  for (std::size_t cap = 16; cap <= 4096; cap <<= 1) {
+    const std::size_t t = cap / 8 * 7;
+    for (const std::size_t n : {t - 1, t, t + 1}) {
+      FlatMap<std::uint64_t, std::uint32_t> m;
+      m.reserve(n);
+      const std::size_t buckets = m.bucket_count();
+      for (std::uint64_t i = 0; i < n; ++i)
+        m.insert_new(i * 0x9e3779b97f4a7c15ull, 1);
+      EXPECT_EQ(m.rehashes(), 0u) << "cap=" << cap << " n=" << n;
+      EXPECT_EQ(m.bucket_count(), buckets) << "cap=" << cap << " n=" << n;
+      EXPECT_EQ(m.size(), n);
+    }
+  }
+}
+
+// ---- SIMD vs scalar differential fuzz ----
+//
+// The portable Group16Scalar loop is the reference semantics; the platform
+// SIMD policy (Group16 — SSE2 here, NEON on AArch64, scalar again when
+// forced) must reproduce every query answer AND every rehash point
+// bit-for-bit under a tombstone-heavy seed-driven churn. Both instantiations
+// live in this one binary, so the agreement is checked on every platform and
+// under every sanitizer job, not just in the ULC_FORCE_SCALAR_GROUPS build.
+template <typename Group>
+using MapOf = FlatMap<std::uint64_t, std::uint64_t, Group>;
+
+struct FuzzRng {
+  std::uint64_t state;
+  std::uint64_t next() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 11;
+  }
+};
+
+template <typename A, typename B>
+void expect_maps_agree(A& a, B& b, std::uint64_t key_space,
+                       const char* when) {
+  ASSERT_EQ(a.size(), b.size()) << when;
+  ASSERT_EQ(a.bucket_count(), b.bucket_count()) << when;
+  ASSERT_EQ(a.rehashes(), b.rehashes()) << when;
+  for (std::uint64_t k = 0; k < key_space; ++k) {
+    const std::uint64_t* va = a.find(k);
+    const std::uint64_t* vb = b.find(k);
+    ASSERT_EQ(va == nullptr, vb == nullptr) << when << " key " << k;
+    if (va != nullptr) ASSERT_EQ(*va, *vb) << when << " key " << k;
+  }
+}
+
+TEST(FlatMapDifferential, SimdMatchesScalarUnderTombstoneHeavyChurn) {
+  constexpr std::uint64_t kKeySpace = 512;
+  // Three insertion orders for the initial fill: ascending, descending, and
+  // a multiplicative shuffle — distinct probe-layout histories that must
+  // all end bit-compatible.
+  for (int order = 0; order < 3; ++order) {
+    MapOf<Group16> simd;
+    MapOf<Group16Scalar> scalar;
+    for (std::uint64_t i = 0; i < kKeySpace / 2; ++i) {
+      std::uint64_t k;
+      switch (order) {
+        case 0: k = i; break;
+        case 1: k = kKeySpace / 2 - 1 - i; break;
+        default: k = (i * 181) % (kKeySpace / 2);
+      }
+      simd.insert_new(k, k * 3);
+      scalar.insert_new(k, k * 3);
+    }
+    expect_maps_agree(simd, scalar, kKeySpace, "after fill");
+
+    // Churn: erase-biased mix keeps tombstones plentiful; put() overwrites
+    // exercise the found path.
+    FuzzRng rng{0xabcdef12u + static_cast<std::uint64_t>(order)};
+    for (int step = 0; step < 20000; ++step) {
+      const std::uint64_t k = rng.next() % kKeySpace;
+      switch (rng.next() % 4) {
+        case 0: {
+          const bool ea = simd.erase(k);
+          const bool eb = scalar.erase(k);
+          ASSERT_EQ(ea, eb) << "erase step " << step;
+          break;
+        }
+        case 1: {
+          simd.put(k, static_cast<std::uint64_t>(step));
+          scalar.put(k, static_cast<std::uint64_t>(step));
+          break;
+        }
+        case 2: {
+          if (simd.find(k) == nullptr) {
+            simd.insert_new(k, k);
+            scalar.insert_new(k, k);
+          }
+          break;
+        }
+        default: {
+          const std::uint64_t* va = simd.find(k);
+          const std::uint64_t* vb = scalar.find(k);
+          ASSERT_EQ(va == nullptr, vb == nullptr) << "find step " << step;
+          if (va != nullptr) ASSERT_EQ(*va, *vb) << "find step " << step;
+        }
+      }
+      ASSERT_EQ(simd.rehashes(), scalar.rehashes()) << "step " << step;
+    }
+    expect_maps_agree(simd, scalar, kKeySpace, "after churn");
+  }
+}
+
+TEST(FlatMapDifferential, ReserveAndClearAgree) {
+  MapOf<Group16> simd;
+  MapOf<Group16Scalar> scalar;
+  simd.reserve(300);
+  scalar.reserve(300);
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    simd.insert_new(i * 7919, i);
+    scalar.insert_new(i * 7919, i);
+  }
+  expect_maps_agree(simd, scalar, 300 * 7919 + 1, "reserved fill");
+  simd.clear();
+  scalar.clear();
+  EXPECT_EQ(simd.bucket_count(), scalar.bucket_count());
+  EXPECT_EQ(simd.size(), scalar.size());
+}
+
 TEST(SplitMix64, MixesAdjacentKeysApart) {
   // Not a statistical test — just pins that the finalizer is wired in (the
   // identity hash would map adjacent block ids to adjacent buckets).

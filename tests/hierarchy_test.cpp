@@ -265,5 +265,48 @@ TEST_P(OptLayoutDominanceTest, NoSchemeBeatsIt) {
 INSTANTIATE_TEST_SUITE_P(Workloads, OptLayoutDominanceTest,
                          ::testing::Values(0, 1, 2, 3));
 
+// access_batch is contractually "access() in a loop"; every scheme that
+// overrides it with a devirtualized prefetch pipeline must produce the exact
+// counters of the per-access path, including across arbitrary span splits
+// (run_scheme splits at the warmup boundary).
+TEST(AccessBatch, EveryOverrideMatchesThePerAccessLoop) {
+  std::vector<PatternPtr> sources;
+  sources.push_back(make_zipf_source(0, 400, 0.9, true, 3));
+  sources.push_back(make_loop_source(10000, 300));
+  sources.push_back(make_zipf_source(20000, 500, 1.1, true, 7));
+  const Trace t = generate_multi(std::move(sources), {0.5, 0.3, 0.2}, 20000,
+                                 13, "batch");
+  using Factory = SchemePtr (*)();
+  const std::pair<const char*, Factory> factories[] = {
+      {"indLRU", [] { return make_ind_lru({64, 128, 256}, 3); }},
+      {"uniLRU", [] { return make_uni_lru({64, 128, 256}); }},
+      {"uniLRU-multi",
+       [] { return make_uni_lru_multi(64, 256, 3, UniLruInsertion::kMru); }},
+      {"MQ", [] { return make_mq_hierarchy(64, 256, 3); }},
+      {"reload", [] { return make_reload_uni_lru({64, 128, 256}); }},
+      {"ULC", [] { return make_ulc({64, 128, 256}); }},
+      {"ULC-multi", [] { return make_ulc_multi(64, 256, 3); }},
+      {"ULC-multi3", [] { return make_ulc_multi_three(64, 128, 256, 3); }},
+      {"private",
+       [] {
+         return make_client_private([] { return make_ulc({64, 128}); }, 3);
+       }},
+  };
+  for (const auto& [name, factory] : factories) {
+    SchemePtr looped = factory();
+    for (const Request& r : t) looped->access(r);
+    SchemePtr batched = factory();
+    // Uneven splits, including a 1-request span and an empty tail.
+    const std::span<const Request> all(t.requests());
+    batched->access_batch(all.first(1));
+    batched->access_batch(all.subspan(1, 7777));
+    batched->access_batch(all.subspan(7778));
+    batched->access_batch(all.subspan(t.size()));
+    EXPECT_EQ(counters_to_json(looped->stats()).dump(),
+              counters_to_json(batched->stats()).dump())
+        << name;
+  }
+}
+
 }  // namespace
 }  // namespace ulc

@@ -676,6 +676,60 @@ TEST(Rules, LockOrderOutOfTreeClean) {
                      "lock-order"));
 }
 
+// ---------- raw-intrinsic ---------------------------------------------------
+
+TEST(Rules, RawIntrinsicFiresOnSseOutsideSimdHeader) {
+  EXPECT_TRUE(fires("src/util/flat_hash.h",
+                    R"__(int mask(const unsigned char* p) {
+  const __m128i g = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  return _mm_movemask_epi8(g);
+})__",
+                    "raw-intrinsic"));
+}
+
+TEST(Rules, RawIntrinsicFiresOnNeonAndPrefetchBuiltin) {
+  EXPECT_TRUE(fires("src/ulc/uni_lru_stack.cpp",
+                    R"__(void warm(const unsigned char* p) {
+  uint8x16_t g = vld1q_u8(p);
+  (void)g;
+  __builtin_prefetch(p);
+})__",
+                    "raw-intrinsic"));
+}
+
+TEST(Rules, RawIntrinsicSimdHeaderIsTheSanctionedHome) {
+  // util/simd.h owns the per-ISA policies; intrinsics there are the point.
+  EXPECT_FALSE(fires("src/util/simd.h",
+                     R"__(int mask(const unsigned char* p) {
+  const __m128i g = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  return _mm_movemask_epi8(g);
+})__",
+                     "raw-intrinsic"));
+}
+
+TEST(Rules, RawIntrinsicNearMissIdentifiersClean) {
+  // Wrapper names and NEON-shaped-but-ordinary identifiers stay clean: the
+  // sanctioned prefetch_read wrapper, a lane-suffix lookalike without the
+  // 'v' prefix, and a _t type without the MxN lane shape.
+  EXPECT_FALSE(fires("src/ulc/ulc_client.cpp",
+                     R"__(void touch(const void* p) {
+  prefetch_read(p);
+  int checksum_u32 = 0;
+  uint_fast8_t small = 0;
+  (void)checksum_u32;
+  (void)small;
+})__",
+                     "raw-intrinsic"));
+}
+
+TEST(Rules, RawIntrinsicAllowMarkedClean) {
+  EXPECT_FALSE(fires("src/util/slab.h",
+                     R"__(void warm(const void* p) {
+  __builtin_prefetch(p);  // ulc-lint: allow(raw-intrinsic)
+})__",
+                     "raw-intrinsic"));
+}
+
 // ---------- enum-switch -----------------------------------------------------
 
 TEST(Rules, EnumSwitchFiresOnMissingEnumerator) {

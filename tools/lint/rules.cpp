@@ -822,6 +822,76 @@ void rule_lock_order(const FileUnit& u, std::vector<Finding>& out) {
   }
 }
 
+// ---- raw-intrinsic ---------------------------------------------------------
+//
+// util/simd.h is the single place raw SSE/NEON intrinsics (and the bare
+// prefetch builtin) are allowed: it owns the per-ISA group-probe policies and
+// the scalar fallback that the differential fuzz pins against them. An
+// intrinsic anywhere else forks the portability surface — the scalar build
+// stops covering it, and determinism between ISAs is no longer tested. The
+// rule is pattern-based (x86 `_mm*_` / `__m128`-family types /
+// `__builtin_ia32_*`, NEON `v*_<lane-type>` calls and `uint8x16_t`-style
+// vector types, and `__builtin_prefetch`) so new intrinsics are caught
+// without a list update; a genuinely unrelated identifier that trips the
+// NEON heuristic can be allow-marked.
+
+bool neon_lane_suffix(const std::string& s) {
+  static const char* const kSuffixes[] = {"u8",  "u16", "u32", "u64", "s8",
+                                          "s16", "s32", "s64", "f16", "f32",
+                                          "f64", "p8",  "p16", "p64"};
+  const std::size_t us = s.rfind('_');
+  if (us == std::string::npos || us + 1 >= s.size()) return false;
+  const std::string tail = s.substr(us + 1);
+  for (const char* suf : kSuffixes)
+    if (tail == suf) return true;
+  return false;
+}
+
+bool neon_vector_type(const std::string& s) {
+  // uint8x16_t, int16x8_t, float32x4_t, poly8x8_t, uint8x8x2_t ...
+  if (s.size() < 7 || s.compare(s.size() - 2, 2, "_t") != 0) return false;
+  std::size_t i = 0;
+  if (s.compare(0, 4, "uint") == 0) i = 4;
+  else if (s.compare(0, 3, "int") == 0) i = 3;
+  else if (s.compare(0, 5, "float") == 0) i = 5;
+  else if (s.compare(0, 4, "poly") == 0) i = 4;
+  else return false;
+  bool saw_x = false;
+  for (; i + 2 < s.size(); ++i) {
+    const char c = s[i];
+    if (c == 'x') saw_x = true;
+    else if (c < '0' || c > '9') return false;
+  }
+  return saw_x;
+}
+
+bool raw_intrinsic_ident(const std::string& s) {
+  if (s.compare(0, 4, "_mm_") == 0 || s.compare(0, 7, "_mm256_") == 0 ||
+      s.compare(0, 7, "_mm512_") == 0)
+    return true;
+  if (s.compare(0, 4, "__m1") == 0 || s.compare(0, 4, "__m2") == 0 ||
+      s.compare(0, 4, "__m5") == 0)
+    return true;
+  if (s.compare(0, 14, "__builtin_ia32") == 0) return true;
+  if (s == "__builtin_prefetch") return true;
+  if (s.size() > 4 && s[0] == 'v' && neon_lane_suffix(s)) return true;
+  return neon_vector_type(s);
+}
+
+void rule_raw_intrinsic(const FileUnit& u, std::vector<Finding>& out) {
+  const std::string& p = u.lexed.path;
+  if (p.size() >= 11 && p.compare(p.size() - 11, 11, "util/simd.h") == 0)
+    return;
+  for (const Token& t : u.lexed.tokens) {
+    if (is_ident(t) && raw_intrinsic_ident(t.text))
+      add(out, u, t, "raw-intrinsic",
+          "raw SIMD/prefetch intrinsic '" + t.text +
+              "' outside util/simd.h; go through the Group16 policies and "
+              "prefetch_read/prefetch_write so the scalar fallback and the "
+              "differential fuzz keep covering this code");
+  }
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& all_rules() {
@@ -857,6 +927,8 @@ const std::vector<RuleInfo>& all_rules() {
       {"lock-order", Severity::kError,
        "nested lock-guard acquisition in src/runtime without an ordering "
        "comment"},
+      {"raw-intrinsic", Severity::kError,
+       "SSE/NEON/prefetch intrinsic used outside util/simd.h"},
   };
   return kRules;
 }
@@ -904,6 +976,7 @@ void run_rules(const FileUnit& unit, const GlobalContext& ctx,
   rule_enum_switch(unit, ctx, out);
   rule_include_layering(unit, ctx, out);
   rule_lock_order(unit, out);
+  rule_raw_intrinsic(unit, out);
 }
 
 }  // namespace ulc::lint
